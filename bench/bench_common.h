@@ -1,0 +1,141 @@
+// Shared plumbing for the table/figure harnesses.
+//
+// Every harness honors two environment variables:
+//   WIDEN_BENCH_FULL=1   run closer to paper scale (slow on one core)
+//   WIDEN_SCALE=<float>  override the dataset scale multiplier directly
+// The default ("fast") profile shrinks dataset scale, dimensions, and epoch
+// counts so the whole `for b in build/bench/*; do $b; done` loop finishes on
+// a single CPU core while preserving the qualitative shape of each result.
+
+#ifndef WIDEN_BENCH_BENCH_COMMON_H_
+#define WIDEN_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "core/widen_config.h"
+#include "datasets/acm.h"
+#include "datasets/dblp.h"
+#include "datasets/yelp.h"
+#include "train/model.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace widen::bench {
+
+inline bool FullMode() {
+  const char* env = std::getenv("WIDEN_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Dataset scale multiplier for the presets.
+inline double DatasetScale() {
+  if (const char* env = std::getenv("WIDEN_SCALE")) {
+    const double parsed = std::atof(env);
+    if (parsed > 0.0) return parsed;
+  }
+  return FullMode() ? 1.0 : 0.15;
+}
+
+inline int64_t Epochs() { return FullMode() ? 30 : 12; }
+inline int64_t EmbeddingDim() { return FullMode() ? 64 : 16; }
+
+inline train::ModelHyperparams BenchHyperparams(uint64_t seed = 42) {
+  train::ModelHyperparams hp;
+  hp.embedding_dim = EmbeddingDim();
+  hp.hidden_dim = EmbeddingDim();
+  hp.epochs = Epochs();
+  hp.batch_size = 32;
+  hp.learning_rate = 1e-2f;
+  hp.dropout = 0.0f;
+  hp.seed = seed;
+  return hp;
+}
+
+/// One full-batch epoch is a single gradient step, so the GCN-family needs
+/// far more epochs than the mini-batch models to reach comparable
+/// convergence (the paper tunes each baseline by grid search; this is the
+/// equivalent knob). Used by the Table 2/3/4 harnesses; Fig. 4 deliberately
+/// fixes 10 epochs for everyone, as in §4.7.
+inline train::ModelHyperparams TunedHyperparams(const std::string& model,
+                                                uint64_t seed = 42) {
+  train::ModelHyperparams hp = BenchHyperparams(seed);
+  if (model == "GCN" || model == "GTN") {
+    hp.epochs = FullMode() ? 300 : 150;
+    hp.learning_rate = 2e-2f;
+  } else if (model == "FastGCN") {
+    hp.epochs = FullMode() ? 60 : 30;
+  }
+  return hp;
+}
+
+/// WIDEN configuration tuned per dataset (§4.4 tunes baselines by grid
+/// search and reports WIDEN under one unified set; at this reproduction's
+/// reduced scale the regularization strength matters more than at paper
+/// scale, so it is chosen per dataset, mirroring the paper's own choice of
+/// γ = 0.01 on ACM/DBLP and no regularization on Yelp).
+inline core::WidenConfig WidenConfigFor(const std::string& dataset,
+                                        uint64_t seed = 42) {
+  core::WidenConfig config =
+      baselines::WidenConfigFromHyperparams(BenchHyperparams(seed));
+  config.max_epochs = FullMode() ? 40 : 30;
+  if (dataset == "ACM") {
+    config.l2_regularization = 0.2f;
+  } else if (dataset == "DBLP") {
+    config.embedding_dim = 32;
+    config.l2_regularization = 0.1f;
+  } else {  // Yelp
+    config.l2_regularization = 0.1f;
+    config.learning_rate = 2e-2f;
+  }
+  return config;
+}
+
+/// ACM + DBLP + Yelp at the current scale. Aborts on generation failure
+/// (benchmarks have no caller to propagate to).
+inline std::vector<datasets::Dataset> MakeAllDatasets(uint64_t seed = 7) {
+  datasets::DatasetOptions options;
+  options.scale = DatasetScale();
+  options.seed = seed;
+  std::vector<datasets::Dataset> out;
+  for (auto maker :
+       {datasets::MakeAcm, datasets::MakeDblp, datasets::MakeYelp}) {
+    auto dataset = maker(options);
+    WIDEN_CHECK(dataset.ok()) << dataset.status().ToString();
+    out.push_back(std::move(dataset).value());
+  }
+  return out;
+}
+
+/// Prints a Markdown-ish table row: "| v1 | v2 | ... |".
+inline void PrintRow(const std::vector<std::string>& cells,
+                     const std::vector<size_t>& widths) {
+  std::string line = "|";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const size_t width = i < widths.size() ? widths[i] : 10;
+    line += " " + PadRight(cells[i], width) + " |";
+  }
+  std::puts(line.c_str());
+}
+
+inline void PrintRule(const std::vector<size_t>& widths) {
+  std::string line = "|";
+  for (size_t width : widths) {
+    line += std::string(width + 2, '-') + "|";
+  }
+  std::puts(line.c_str());
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+  std::printf("(profile: %s, dataset scale %.2f — set WIDEN_BENCH_FULL=1 for "
+              "paper-scale runs)\n\n",
+              FullMode() ? "full" : "fast", DatasetScale());
+}
+
+}  // namespace widen::bench
+
+#endif  // WIDEN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,105 @@
+// Extension harness: ablations of the DESIGN.md implementation choices that
+// the paper leaves unspecified — pack dropout, inductive warm-up passes, and
+// the per-dataset regularization strength. Complements Table 4 (which
+// ablates the paper's own components).
+
+#include <cstdio>
+
+#include "baselines/widen_adapter.h"
+#include "bench_common.h"
+#include "datasets/splits.h"
+#include "train/trainer.h"
+
+namespace widen {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Extension: design-choice ablations (micro-F1)");
+  std::vector<datasets::Dataset> all = bench::MakeAllDatasets();
+
+  // --- Pack dropout (transductive) ---
+  {
+    std::puts("-- pack dropout (transductive test F1) --");
+    const std::vector<size_t> widths = {8, 9, 9, 9};
+    bench::PrintRow({"dropout", "ACM", "DBLP", "Yelp"}, widths);
+    bench::PrintRule(widths);
+    for (float dropout : {0.0f, 0.2f, 0.4f}) {
+      std::vector<std::string> cells = {FormatDouble(dropout, 1)};
+      for (const datasets::Dataset& dataset : all) {
+        core::WidenConfig config = bench::WidenConfigFor(dataset.name);
+        config.dropout = dropout;
+        baselines::WidenAdapter model(config);
+        auto result =
+            train::FitAndScore(model, dataset.graph, dataset.split.train,
+                               dataset.graph, dataset.split.test);
+        WIDEN_CHECK(result.ok()) << result.status().ToString();
+        cells.push_back(FormatDouble(result->micro_f1, 4));
+      }
+      bench::PrintRow(cells, widths);
+      std::fflush(stdout);
+    }
+  }
+
+  // --- Inductive warm-up passes ---
+  {
+    std::puts("\n-- inductive warm-up passes (held-out F1) --");
+    const std::vector<size_t> widths = {8, 9, 9, 9};
+    bench::PrintRow({"passes", "ACM", "DBLP", "Yelp"}, widths);
+    bench::PrintRule(widths);
+    // Fit once per dataset, vary eval passes on fresh models to keep the
+    // comparison clean (the pass count only matters at inference).
+    for (int64_t passes : {1, 2, 4}) {
+      std::vector<std::string> cells = {std::to_string(passes)};
+      for (const datasets::Dataset& dataset : all) {
+        auto split = datasets::MakeInductiveSplit(dataset.graph, 0.2, 77);
+        WIDEN_CHECK(split.ok());
+        core::WidenConfig config = bench::WidenConfigFor(dataset.name);
+        config.eval_refresh_passes = passes;
+        baselines::WidenAdapter model(config);
+        auto result = train::FitAndScore(
+            model, split->training.graph, split->train_labeled,
+            dataset.graph, split->heldout);
+        WIDEN_CHECK(result.ok()) << result.status().ToString();
+        cells.push_back(FormatDouble(result->micro_f1, 4));
+      }
+      bench::PrintRow(cells, widths);
+      std::fflush(stdout);
+    }
+  }
+
+  // --- Regularization strength ---
+  {
+    std::puts("\n-- weight decay (transductive test F1) --");
+    const std::vector<size_t> widths = {8, 9, 9, 9};
+    bench::PrintRow({"gamma", "ACM", "DBLP", "Yelp"}, widths);
+    bench::PrintRule(widths);
+    for (float gamma : {0.01f, 0.1f, 0.2f}) {
+      std::vector<std::string> cells = {FormatDouble(gamma, 2)};
+      for (const datasets::Dataset& dataset : all) {
+        core::WidenConfig config = bench::WidenConfigFor(dataset.name);
+        config.l2_regularization = gamma;
+        baselines::WidenAdapter model(config);
+        auto result =
+            train::FitAndScore(model, dataset.graph, dataset.split.train,
+                               dataset.graph, dataset.split.test);
+        WIDEN_CHECK(result.ok()) << result.status().ToString();
+        cells.push_back(FormatDouble(result->micro_f1, 4));
+      }
+      bench::PrintRow(cells, widths);
+      std::fflush(stdout);
+    }
+  }
+  std::puts(
+      "\nNo paper reference (extension): documents how sensitive the"
+      " reproduction is to the choices the paper leaves open. The paper's"
+      " own γ = 0.01 assumes its much larger label sets; the reduced-scale"
+      " presets need stronger regularization (see DESIGN.md §5).");
+}
+
+}  // namespace
+}  // namespace widen
+
+int main() {
+  widen::Run();
+  return 0;
+}

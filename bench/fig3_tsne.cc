@@ -1,0 +1,93 @@
+// Regenerates Figure 3: t-SNE of inductively learned node embeddings.
+// WIDEN trains on the inductive subgraph, embeds the held-out nodes against
+// the full graph, and the 2-D t-SNE coordinates are written to
+// fig3_<dataset>.csv (columns: x, y, class). The silhouette score printed
+// per dataset quantifies the figure's claim that classes form separated
+// clusters (positive and well above the shuffled-label baseline).
+
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "baselines/widen_adapter.h"
+#include "bench_common.h"
+#include "datasets/splits.h"
+#include "util/random.h"
+#include "viz/silhouette.h"
+#include "viz/tsne.h"
+
+namespace widen {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Figure 3: t-SNE of inductively learned embeddings");
+  std::vector<datasets::Dataset> all = bench::MakeAllDatasets();
+  const size_t max_points = bench::FullMode() ? 1000 : 300;
+
+  const std::vector<size_t> widths = {8, 10, 14, 20, 24};
+  bench::PrintRow({"Dataset", "#Points", "Silhouette",
+                   "Silhouette(shuffled)", "Output CSV"},
+                  widths);
+  bench::PrintRule(widths);
+
+  for (const datasets::Dataset& dataset : all) {
+    auto split = datasets::MakeInductiveSplit(dataset.graph, 0.2, 77);
+    WIDEN_CHECK(split.ok());
+    core::WidenConfig config = bench::WidenConfigFor(dataset.name);
+    baselines::WidenAdapter model(config, "WIDEN");
+    WIDEN_CHECK_OK(model.Fit(split->training.graph, split->train_labeled));
+
+    // Like the paper, subsample for clarity on the large graph.
+    std::vector<graph::NodeId> nodes = split->heldout;
+    if (nodes.size() > max_points) {
+      Rng rng(5);
+      rng.Shuffle(nodes);
+      nodes.resize(max_points);
+    }
+    auto embeddings = model.Embed(dataset.graph, nodes);
+    WIDEN_CHECK(embeddings.ok());
+    std::vector<int32_t> labels;
+    for (graph::NodeId v : nodes) labels.push_back(dataset.graph.label(v));
+
+    viz::TsneOptions tsne;
+    tsne.perplexity =
+        std::min(30.0, static_cast<double>(nodes.size()) / 4.0);
+    tsne.iterations = bench::FullMode() ? 500 : 200;
+    auto coords = viz::RunTsne(*embeddings, tsne);
+    WIDEN_CHECK(coords.ok()) << coords.status().ToString();
+
+    auto silhouette = viz::SilhouetteScore(*coords, labels);
+    WIDEN_CHECK(silhouette.ok());
+    std::vector<int32_t> shuffled = labels;
+    Rng rng(6);
+    rng.Shuffle(shuffled);
+    auto baseline = viz::SilhouetteScore(*coords, shuffled);
+    WIDEN_CHECK(baseline.ok());
+
+    const std::string csv = StrCat("fig3_", dataset.name, ".csv");
+    std::FILE* file = std::fopen(csv.c_str(), "w");
+    WIDEN_CHECK(file != nullptr) << "cannot open " << csv;
+    std::fprintf(file, "x,y,class\n");
+    for (int64_t i = 0; i < coords->rows(); ++i) {
+      std::fprintf(file, "%.5f,%.5f,%d\n", coords->at(i, 0), coords->at(i, 1),
+                   labels[static_cast<size_t>(i)]);
+    }
+    std::fclose(file);
+
+    bench::PrintRow({dataset.name, std::to_string(nodes.size()),
+                     FormatDouble(*silhouette, 4),
+                     FormatDouble(*baseline, 4), csv},
+                    widths);
+    std::fflush(stdout);
+  }
+  std::puts(
+      "\nPaper claim (Fig. 3): same-class nodes form clusters with clear"
+      " boundaries — reproduced when Silhouette >> Silhouette(shuffled).");
+}
+
+}  // namespace
+}  // namespace widen
+
+int main() {
+  widen::Run();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Regenerates Figure 4: training efficiency. For every method on ACM and
+// DBLP: (a) mean wall-clock seconds per training epoch, and (b) micro-F1
+// on the test split after exactly 10 training epochs. Paper shape to
+// verify: WIDEN's time/epoch undercuts GraphSAGE and FastGCN while its
+// 10-epoch F1 tops the chart; the heavyweight heterogeneous models (HAN,
+// GTN, HGT) pay the largest per-epoch cost among sampled methods.
+
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "baselines/widen_adapter.h"
+#include "bench_common.h"
+#include "train/trainer.h"
+#include "util/timer.h"
+
+namespace widen {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 4: training efficiency (time/epoch + F1 after 10 epochs)");
+  std::vector<datasets::Dataset> all = bench::MakeAllDatasets();
+  all.pop_back();  // ACM and DBLP only (§4.7)
+
+  const std::vector<size_t> widths = {10, 9, 16, 12};
+  for (const datasets::Dataset& dataset : all) {
+    std::printf("-- %s --\n", dataset.name.c_str());
+    bench::PrintRow({"Method", "Epochs", "sec/epoch", "F1@10ep"}, widths);
+    bench::PrintRule(widths);
+    for (const std::string& name : baselines::AvailableModels()) {
+      DurationStats epoch_times;
+      auto observer = [&epoch_times](int64_t, double, double seconds) {
+        epoch_times.Add(seconds);
+      };
+      std::unique_ptr<train::Model> model;
+      if (name == "WIDEN") {
+        core::WidenConfig config = bench::WidenConfigFor(dataset.name);
+        config.max_epochs = 10;  // fixed by the protocol
+        auto adapter = std::make_unique<baselines::WidenAdapter>(config);
+        adapter->set_epoch_observer(observer);
+        model = std::move(adapter);
+      } else {
+        train::ModelHyperparams hp = bench::BenchHyperparams();
+        hp.epochs = 10;  // fixed by the protocol
+        hp.epoch_observer = observer;
+        auto created = baselines::CreateModel(name, hp);
+        WIDEN_CHECK(created.ok());
+        model = std::move(created).value();
+      }
+      auto result =
+          train::FitAndScore(*model, dataset.graph, dataset.split.train,
+                             dataset.graph, dataset.split.test);
+      WIDEN_CHECK(result.ok())
+          << name << ": " << result.status().ToString();
+      const double per_epoch =
+          epoch_times.count() > 0
+              ? epoch_times.Mean()
+              : result->fit_seconds / 10.0;
+      bench::PrintRow({name, std::to_string(epoch_times.count()),
+                       FormatDouble(per_epoch, 4) + "s",
+                       FormatDouble(result->micro_f1, 4)},
+                      widths);
+      std::fflush(stdout);
+    }
+    std::puts("");
+  }
+  std::puts(
+      "Paper reference (Fig. 4): WIDEN 0.8964s/epoch on ACM and 0.9213s on"
+      " DBLP — faster than GraphSAGE and FastGCN (both > 1s) — with the best"
+      " F1 after 10 epochs.\n"
+      "Known deviation of this reproduction (see EXPERIMENTS.md): our WIDEN"
+      " epoch refreshes the stateful embedding of EVERY node (Algorithm 3"
+      " iterates all of V), so on CPU its per-epoch cost scales with |V|"
+      " while the sampled baselines only touch training neighborhoods; the"
+      " paper's GPU batching hides that difference.");
+}
+
+}  // namespace
+}  // namespace widen
+
+int main() {
+  widen::Run();
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Google-benchmark microbenchmarks for the kernels behind Fig. 4's
+// efficiency argument: message packaging, single-query attention, masked
+// successive attention, sampling, and the dense/sparse matmuls they ride on.
+
+#include <benchmark/benchmark.h>
+
+#include "core/message_pack.h"
+#include "datasets/synthetic.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/random_walk.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+#include "util/random.h"
+
+namespace widen {
+namespace {
+
+namespace T = widen::tensor;
+
+T::Tensor RandomTensor(int64_t rows, int64_t cols, bool grad, Rng& rng) {
+  T::Tensor t = T::NormalInit(T::Shape::Matrix(rows, cols), rng, 1.0f);
+  t.set_requires_grad(grad);
+  return t;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  T::Tensor a = RandomTensor(n, n, false, rng);
+  T::Tensor b = RandomTensor(n, n, false, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(T::MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_AttentionSingleQuery(benchmark::State& state) {
+  const int64_t packs = state.range(0), d = 64;
+  Rng rng(2);
+  T::Tensor m = RandomTensor(packs, d, true, rng);
+  T::Tensor wq = RandomTensor(d, d, true, rng);
+  T::Tensor wk = RandomTensor(d, d, true, rng);
+  T::Tensor wv = RandomTensor(d, d, true, rng);
+  for (auto _ : state) {
+    T::Tensor q = T::MatMul(T::SliceRows(m, 0, 1), wq);
+    T::Tensor scores =
+        T::Scale(T::MatMul(q, T::Transpose(T::MatMul(m, wk))), 0.125f);
+    T::Tensor out = T::MatMul(T::SoftmaxRows(scores), T::MatMul(m, wv));
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_AttentionSingleQuery)->Arg(6)->Arg(11)->Arg(21);
+
+void BM_SuccessiveMaskedAttention(benchmark::State& state) {
+  const int64_t packs = state.range(0), d = 64;
+  Rng rng(3);
+  T::Tensor m = RandomTensor(packs, d, true, rng);
+  T::Tensor wq = RandomTensor(d, d, true, rng);
+  T::Tensor wk = RandomTensor(d, d, true, rng);
+  T::Tensor wv = RandomTensor(d, d, true, rng);
+  for (auto _ : state) {
+    T::Tensor scores = T::Scale(
+        T::MatMul(T::MatMul(m, wq), T::Transpose(T::MatMul(m, wk))), 0.125f);
+    T::Tensor masked = T::Add(scores, T::CausalAttentionMask(packs));
+    T::Tensor out = T::MatMul(T::SoftmaxRows(masked), T::MatMul(m, wv));
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SuccessiveMaskedAttention)->Arg(6)->Arg(11)->Arg(21);
+
+datasets::SyntheticGraphSpec BenchSpec() {
+  datasets::SyntheticGraphSpec spec;
+  spec.name = "bench";
+  spec.node_types = {{"doc", 2000, true}, {"tag", 300, false}};
+  spec.edge_types = {{"doc-tag", "doc", "tag", 4.0, 0.8},
+                     {"doc-doc", "doc", "doc", 3.0, 0.8}};
+  spec.num_classes = 3;
+  spec.feature_dim = 32;
+  return spec;
+}
+
+void BM_WideSampling(benchmark::State& state) {
+  auto graph = datasets::GenerateSyntheticGraph(BenchSpec());
+  WIDEN_CHECK(graph.ok());
+  Rng rng(4);
+  graph::NodeId v = 0;
+  for (auto _ : state) {
+    auto set = sampling::SampleWideNeighbors(
+        *graph, v, state.range(0), rng);
+    benchmark::DoNotOptimize(set.nodes.data());
+    v = static_cast<graph::NodeId>((v + 1) % graph->num_nodes());
+  }
+}
+BENCHMARK(BM_WideSampling)->Arg(5)->Arg(20);
+
+void BM_DeepWalkSampling(benchmark::State& state) {
+  auto graph = datasets::GenerateSyntheticGraph(BenchSpec());
+  WIDEN_CHECK(graph.ok());
+  Rng rng(5);
+  graph::NodeId v = 0;
+  for (auto _ : state) {
+    auto walk = sampling::SampleDeepWalk(*graph, v, state.range(0), rng);
+    benchmark::DoNotOptimize(walk.nodes.data());
+    v = static_cast<graph::NodeId>((v + 1) % graph->num_nodes());
+  }
+}
+BENCHMARK(BM_DeepWalkSampling)->Arg(5)->Arg(20);
+
+void BM_PackWide(benchmark::State& state) {
+  const int64_t neighbors = state.range(0), d = 64;
+  Rng rng(6);
+  core::EdgeEmbeddings tables(4, 3, d, rng);
+  T::Tensor target = RandomTensor(1, d, true, rng);
+  T::Tensor neighbor_embeddings = RandomTensor(neighbors, d, true, rng);
+  sampling::WideNeighborSet wide;
+  for (int64_t i = 0; i < neighbors; ++i) {
+    wide.nodes.push_back(static_cast<graph::NodeId>(i));
+    wide.edge_types.push_back(static_cast<graph::EdgeTypeId>(i % 4));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::PackWide(target, neighbor_embeddings, wide, 0, tables).data());
+  }
+}
+BENCHMARK(BM_PackWide)->Arg(5)->Arg(20);
+
+void BM_SparseMatMul(benchmark::State& state) {
+  const int64_t n = 2000, d = 64;
+  Rng rng(7);
+  std::vector<std::tuple<int64_t, int64_t, float>> triplets;
+  for (int64_t i = 0; i < n * 8; ++i) {
+    triplets.emplace_back(rng.UniformInt(n), rng.UniformInt(n), 0.1f);
+  }
+  T::SparseCsr a = T::SparseCsr::FromTriplets(n, n, triplets);
+  T::Tensor x = RandomTensor(n, d, false, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(T::SparseMatMul(a, x).data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * d);
+}
+BENCHMARK(BM_SparseMatMul);
+
+void BM_BackwardTape(benchmark::State& state) {
+  // Cost of one WIDEN-style forward+backward for a single target.
+  const int64_t d = 64, packs = 21;
+  Rng rng(8);
+  T::Tensor m = RandomTensor(packs, d, true, rng);
+  T::Tensor wq = RandomTensor(d, d, true, rng);
+  T::Tensor wk = RandomTensor(d, d, true, rng);
+  T::Tensor wv = RandomTensor(d, d, true, rng);
+  T::Tensor c = RandomTensor(d, 3, true, rng);
+  for (auto _ : state) {
+    T::Tensor q = T::MatMul(T::SliceRows(m, 0, 1), wq);
+    T::Tensor scores =
+        T::Scale(T::MatMul(q, T::Transpose(T::MatMul(m, wk))), 0.125f);
+    T::Tensor h = T::MatMul(T::SoftmaxRows(scores), T::MatMul(m, wv));
+    T::Tensor loss = T::SoftmaxCrossEntropy(T::MatMul(h, c), {1});
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_BackwardTape);
+
+}  // namespace
+}  // namespace widen
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Regenerates Table 1: "Statistics of datasets in use" — node/edge counts,
+// type counts, feature dimensions, class counts, and split sizes for the
+// ACM, DBLP, and Yelp presets, plus the transductive and inductive splits.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datasets/splits.h"
+#include "graph/graph_stats.h"
+
+namespace widen {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Table 1: Statistics of datasets in use");
+  std::vector<datasets::Dataset> all = bench::MakeAllDatasets();
+
+  const std::vector<size_t> widths = {26, 12, 12, 12};
+  bench::PrintRow({"Property", "ACM", "DBLP", "Yelp"}, widths);
+  bench::PrintRule(widths);
+
+  std::vector<graph::GraphStats> stats;
+  std::vector<datasets::InductiveSplit> inductive;
+  for (const datasets::Dataset& dataset : all) {
+    stats.push_back(graph::ComputeStats(dataset.graph));
+    auto split = datasets::MakeInductiveSplit(dataset.graph, 0.2, 99);
+    WIDEN_CHECK(split.ok()) << split.status().ToString();
+    inductive.push_back(std::move(split).value());
+  }
+
+  auto row = [&](const std::string& name, auto getter) {
+    std::vector<std::string> cells = {name};
+    for (size_t i = 0; i < all.size(); ++i) {
+      cells.push_back(getter(i));
+    }
+    bench::PrintRow(cells, widths);
+  };
+
+  row("#Nodes", [&](size_t i) {
+    return WithThousandsSeparators(stats[i].num_nodes);
+  });
+  row("#Node Types",
+      [&](size_t i) { return std::to_string(stats[i].num_node_types); });
+  row("#Edges", [&](size_t i) {
+    return WithThousandsSeparators(stats[i].num_edges);
+  });
+  row("#Edge Types",
+      [&](size_t i) { return std::to_string(stats[i].num_edge_types); });
+  row("#Features",
+      [&](size_t i) { return std::to_string(stats[i].feature_dim); });
+  row("#Class Labels",
+      [&](size_t i) { return std::to_string(stats[i].num_classes); });
+  row("Transductive #Train", [&](size_t i) {
+    return WithThousandsSeparators(
+        static_cast<int64_t>(all[i].split.train.size()));
+  });
+  row("Transductive #Validation", [&](size_t i) {
+    return WithThousandsSeparators(
+        static_cast<int64_t>(all[i].split.validation.size()));
+  });
+  row("Transductive #Test", [&](size_t i) {
+    return WithThousandsSeparators(
+        static_cast<int64_t>(all[i].split.test.size()));
+  });
+  row("Inductive #Train", [&](size_t i) {
+    return WithThousandsSeparators(
+        static_cast<int64_t>(inductive[i].train_labeled.size()));
+  });
+  row("Inductive #Test (held out)", [&](size_t i) {
+    return WithThousandsSeparators(
+        static_cast<int64_t>(inductive[i].heldout.size()));
+  });
+
+  std::puts("");
+  for (size_t i = 0; i < all.size(); ++i) {
+    std::printf("-- %s detail --\n%s\n", all[i].name.c_str(),
+                graph::FormatStats(all[i].graph, stats[i]).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace widen
+
+int main() {
+  widen::Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "baselines/common.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace widen::baselines {
+
+tensor::SparseCsr NormalizedAdjacency(const graph::HeteroGraph& graph) {
+  const int64_t n = graph.num_nodes();
+  std::vector<double> degree(static_cast<size_t>(n), 1.0);  // + self loop
+  for (graph::NodeId v = 0; v < n; ++v) {
+    degree[static_cast<size_t>(v)] += static_cast<double>(graph.degree(v));
+  }
+  std::vector<std::tuple<int64_t, int64_t, float>> triplets;
+  triplets.reserve(static_cast<size_t>(graph.num_edges()) * 2 +
+                   static_cast<size_t>(n));
+  auto norm = [&](graph::NodeId u, graph::NodeId v) {
+    return static_cast<float>(1.0 / std::sqrt(degree[static_cast<size_t>(u)] *
+                                              degree[static_cast<size_t>(v)]));
+  };
+  for (graph::NodeId v = 0; v < n; ++v) {
+    triplets.emplace_back(v, v, norm(v, v));
+    graph::Csr::NeighborSpan span = graph.neighbors(v);
+    for (int64_t i = 0; i < span.size; ++i) {
+      triplets.emplace_back(v, span.neighbors[i], norm(v, span.neighbors[i]));
+    }
+  }
+  return tensor::SparseCsr::FromTriplets(n, n, triplets);
+}
+
+tensor::SparseCsr TypedRowNormalizedAdjacency(const graph::HeteroGraph& graph,
+                                              graph::EdgeTypeId edge_type) {
+  const int64_t n = graph.num_nodes();
+  std::vector<std::tuple<int64_t, int64_t, float>> triplets;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    graph::Csr::NeighborSpan span = graph.neighbors(v);
+    int64_t typed_degree = 0;
+    for (int64_t i = 0; i < span.size; ++i) {
+      if (span.edge_types[i] == edge_type) ++typed_degree;
+    }
+    if (typed_degree == 0) continue;
+    const float w = 1.0f / static_cast<float>(typed_degree);
+    for (int64_t i = 0; i < span.size; ++i) {
+      if (span.edge_types[i] == edge_type) {
+        triplets.emplace_back(v, span.neighbors[i], w);
+      }
+    }
+  }
+  return tensor::SparseCsr::FromTriplets(n, n, triplets);
+}
+
+tensor::SparseCsr IdentityCsr(int64_t n) {
+  std::vector<std::tuple<int64_t, int64_t, float>> triplets;
+  triplets.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) triplets.emplace_back(i, i, 1.0f);
+  return tensor::SparseCsr::FromTriplets(n, n, triplets);
+}
+
+std::vector<float> TrainMask(int64_t num_nodes,
+                             const std::vector<graph::NodeId>& train_nodes) {
+  std::vector<float> mask(static_cast<size_t>(num_nodes), 0.0f);
+  for (graph::NodeId v : train_nodes) {
+    WIDEN_CHECK(v >= 0 && v < num_nodes);
+    mask[static_cast<size_t>(v)] = 1.0f;
+  }
+  return mask;
+}
+
+std::vector<int32_t> MaskedLabels(const graph::HeteroGraph& graph) {
+  std::vector<int32_t> labels(static_cast<size_t>(graph.num_nodes()), 0);
+  for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const int32_t y = graph.label(v);
+    labels[static_cast<size_t>(v)] = y >= 0 ? y : 0;
+  }
+  return labels;
+}
+
+}  // namespace widen::baselines

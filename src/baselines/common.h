@@ -1,0 +1,55 @@
+// Helpers shared by the baseline implementations: normalized adjacencies,
+// label masks, and the per-graph adjacency cache.
+
+#ifndef WIDEN_BASELINES_COMMON_H_
+#define WIDEN_BASELINES_COMMON_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "tensor/sparse.h"
+
+namespace widen::baselines {
+
+/// GCN propagation matrix: D^{-1/2} (A + I) D^{-1/2}, edge types ignored.
+tensor::SparseCsr NormalizedAdjacency(const graph::HeteroGraph& graph);
+
+/// Row-normalized adjacency restricted to edges of one type. With
+/// `include_identity`, pass -1 as the type to get the identity matrix
+/// (GTN's "no-op" relation).
+tensor::SparseCsr TypedRowNormalizedAdjacency(const graph::HeteroGraph& graph,
+                                              graph::EdgeTypeId edge_type);
+
+/// Identity matrix as CSR.
+tensor::SparseCsr IdentityCsr(int64_t n);
+
+/// Per-node weights: 1 on `train` nodes, 0 elsewhere (masked-loss training).
+std::vector<float> TrainMask(int64_t num_nodes,
+                             const std::vector<graph::NodeId>& train_nodes);
+
+/// All node labels with unlabeled entries mapped to class 0 (they must be
+/// masked out by a zero weight).
+std::vector<int32_t> MaskedLabels(const graph::HeteroGraph& graph);
+
+/// Caches one value per graph identity (baselines rebuild propagation
+/// matrices when Predict() is called on a different graph than Fit()).
+template <typename V>
+class PerGraphCache {
+ public:
+  template <typename MakeFn>
+  const V& GetOrCreate(const graph::HeteroGraph& graph, MakeFn make) {
+    auto it = cache_.find(&graph);
+    if (it == cache_.end()) {
+      it = cache_.emplace(&graph, make()).first;
+    }
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<const graph::HeteroGraph*, V> cache_;
+};
+
+}  // namespace widen::baselines
+
+#endif  // WIDEN_BASELINES_COMMON_H_

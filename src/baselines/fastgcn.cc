@@ -1,0 +1,145 @@
+#include "baselines/fastgcn.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/timer.h"
+
+namespace widen::baselines {
+
+namespace T = widen::tensor;
+
+FastGcnModel::FastGcnModel(train::ModelHyperparams hyperparams,
+                           int64_t layer_sample_size)
+    : hp_(std::move(hyperparams)),
+      layer_sample_size_(layer_sample_size),
+      rng_(hp_.seed) {}
+
+Status FastGcnModel::EnsureInitialized(const graph::HeteroGraph& graph) {
+  if (initialized_) return Status::OK();
+  if (!graph.features().defined() || !graph.has_labels()) {
+    return Status::FailedPrecondition("graph needs features and labels");
+  }
+  w1_ = T::XavierUniform(
+      T::Shape::Matrix(graph.feature_dim(), hp_.hidden_dim), rng_, "fgcn_w1");
+  w2_ = T::XavierUniform(T::Shape::Matrix(hp_.hidden_dim, graph.num_classes()),
+                         rng_, "fgcn_w2");
+  optimizer_ = std::make_unique<T::Adam>(hp_.learning_rate, 0.9f, 0.999f,
+                                         1e-8f, hp_.weight_decay);
+  optimizer_->AddParameters({w1_, w2_});
+  initialized_ = true;
+  return Status::OK();
+}
+
+T::Tensor FastGcnModel::DenseAdjacencySlice(
+    const T::SparseCsr& adjacency, const std::vector<graph::NodeId>& rows,
+    const sampling::LayerSample& cols) const {
+  std::unordered_map<graph::NodeId, std::pair<int64_t, float>> col_pos;
+  col_pos.reserve(cols.nodes.size());
+  for (size_t j = 0; j < cols.nodes.size(); ++j) {
+    col_pos[cols.nodes[j]] = {static_cast<int64_t>(j), cols.weights[j]};
+  }
+  T::Tensor dense(T::Shape::Matrix(static_cast<int64_t>(rows.size()),
+                                   static_cast<int64_t>(cols.nodes.size())));
+  float* out = dense.mutable_data();
+  const int64_t width = static_cast<int64_t>(cols.nodes.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const graph::NodeId r = rows[i];
+    for (int64_t k = adjacency.offsets()[static_cast<size_t>(r)];
+         k < adjacency.offsets()[static_cast<size_t>(r) + 1]; ++k) {
+      const auto it =
+          col_pos.find(adjacency.col_indices()[static_cast<size_t>(k)]);
+      if (it == col_pos.end()) continue;
+      out[static_cast<int64_t>(i) * width + it->second.first] +=
+          adjacency.values()[static_cast<size_t>(k)] * it->second.second;
+    }
+  }
+  return dense;
+}
+
+Status FastGcnModel::Fit(const graph::HeteroGraph& graph,
+                         const std::vector<graph::NodeId>& train_nodes) {
+  WIDEN_RETURN_IF_ERROR(EnsureInitialized(graph));
+  if (train_nodes.empty()) {
+    return Status::InvalidArgument("no training nodes");
+  }
+  const T::SparseCsr& adjacency = adjacency_cache_.GetOrCreate(
+      graph, [&] { return NormalizedAdjacency(graph); });
+  sampling::LayerSampler sampler(graph);
+  std::vector<graph::NodeId> order = train_nodes;
+
+  for (int64_t epoch = 0; epoch < hp_.epochs; ++epoch) {
+    StopWatch watch;
+    rng_.Shuffle(order);
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(hp_.batch_size)) {
+      const size_t end =
+          std::min(order.size(), begin + static_cast<size_t>(hp_.batch_size));
+      std::vector<graph::NodeId> batch(order.begin() + begin,
+                                       order.begin() + end);
+      // Two independently sampled layers (t nodes each).
+      sampling::LayerSample layer1 = sampler.Sample(layer_sample_size_, rng_);
+      sampling::LayerSample layer2 = sampler.Sample(layer_sample_size_, rng_);
+      // H1(S1) = ReLU( Â[S1, S2]·diag(w2) X(S2) W1 )
+      std::vector<int32_t> layer2_idx(layer2.nodes.begin(),
+                                      layer2.nodes.end());
+      T::Tensor x2 = T::GatherRows(graph.features(), layer2_idx);
+      T::Tensor a12 = DenseAdjacencySlice(adjacency, layer1.nodes, layer2);
+      T::Tensor h1 = T::Relu(T::MatMul(a12, T::MatMul(x2, w1_)));
+      // logits(B) = Â[B, S1]·diag(w1) H1 W2
+      T::Tensor a01 = DenseAdjacencySlice(adjacency, batch, layer1);
+      T::Tensor logits = T::MatMul(T::MatMul(a01, h1), w2_);
+      std::vector<int32_t> labels;
+      labels.reserve(batch.size());
+      for (graph::NodeId v : batch) labels.push_back(graph.label(v));
+      T::Tensor loss = T::SoftmaxCrossEntropy(logits, labels);
+      optimizer_->ZeroGrad();
+      loss.Backward();
+      optimizer_->Step();
+      loss_sum += loss.item();
+      ++batches;
+    }
+    if (hp_.epoch_observer) {
+      hp_.epoch_observer(epoch,
+                         batches > 0 ? loss_sum / static_cast<double>(batches)
+                                     : 0.0,
+                         watch.ElapsedSeconds());
+    }
+  }
+  return Status::OK();
+}
+
+T::Tensor FastGcnModel::FullForward(const graph::HeteroGraph& graph,
+                                    T::Tensor* hidden) {
+  const T::SparseCsr& adjacency = adjacency_cache_.GetOrCreate(
+      graph, [&] { return NormalizedAdjacency(graph); });
+  T::Tensor h =
+      T::Relu(T::MatMul(T::SparseMatMul(adjacency, graph.features()), w1_));
+  if (hidden != nullptr) *hidden = h;
+  return T::MatMul(T::SparseMatMul(adjacency, h), w2_);
+}
+
+StatusOr<std::vector<int32_t>> FastGcnModel::Predict(
+    const graph::HeteroGraph& graph, const std::vector<graph::NodeId>& nodes) {
+  if (!initialized_) return Status::FailedPrecondition("Predict before Fit");
+  T::Tensor logits = FullForward(graph, nullptr);
+  std::vector<int32_t> indices(nodes.begin(), nodes.end());
+  return T::ArgMaxRows(T::GatherRows(logits, indices));
+}
+
+StatusOr<T::Tensor> FastGcnModel::Embed(
+    const graph::HeteroGraph& graph, const std::vector<graph::NodeId>& nodes) {
+  if (!initialized_) return Status::FailedPrecondition("Embed before Fit");
+  T::Tensor hidden;
+  FullForward(graph, &hidden);
+  std::vector<int32_t> indices(nodes.begin(), nodes.end());
+  T::Tensor out = T::GatherRows(hidden, indices);
+  out.DetachInPlace();
+  return out;
+}
+
+}  // namespace widen::baselines

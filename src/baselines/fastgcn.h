@@ -1,0 +1,55 @@
+// FastGCN baseline (Chen, Ma & Xiao, 2018): the GCN architecture trained
+// with layer-wise importance sampling — each batch touches only two sampled
+// node sets instead of recursive neighborhoods. Inference runs the full
+// (deterministic) GCN propagation, as in the original.
+
+#ifndef WIDEN_BASELINES_FASTGCN_H_
+#define WIDEN_BASELINES_FASTGCN_H_
+
+#include "baselines/common.h"
+#include "sampling/layer_sampler.h"
+#include "tensor/optimizer.h"
+#include "train/model.h"
+#include "util/random.h"
+
+namespace widen::baselines {
+
+class FastGcnModel : public train::Model {
+ public:
+  /// `layer_sample_size` is the per-layer sample budget t.
+  explicit FastGcnModel(train::ModelHyperparams hyperparams,
+                        int64_t layer_sample_size = 128);
+
+  std::string name() const override { return "FastGCN"; }
+
+  Status Fit(const graph::HeteroGraph& graph,
+             const std::vector<graph::NodeId>& train_nodes) override;
+  StatusOr<std::vector<int32_t>> Predict(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+  StatusOr<tensor::Tensor> Embed(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+
+ private:
+  Status EnsureInitialized(const graph::HeteroGraph& graph);
+  tensor::Tensor FullForward(const graph::HeteroGraph& graph,
+                             tensor::Tensor* hidden);
+  /// Dense [rows.size(), cols.size()] slice of Â scaled by the importance
+  /// weights of `cols`.
+  tensor::Tensor DenseAdjacencySlice(const tensor::SparseCsr& adjacency,
+                                     const std::vector<graph::NodeId>& rows,
+                                     const sampling::LayerSample& cols) const;
+
+  train::ModelHyperparams hp_;
+  int64_t layer_sample_size_;
+  Rng rng_;
+  bool initialized_ = false;
+  tensor::Tensor w1_, w2_;
+  std::unique_ptr<tensor::Adam> optimizer_;
+  PerGraphCache<tensor::SparseCsr> adjacency_cache_;
+};
+
+}  // namespace widen::baselines
+
+#endif  // WIDEN_BASELINES_FASTGCN_H_

@@ -1,0 +1,167 @@
+#include "baselines/gat.h"
+
+#include <algorithm>
+
+#include "sampling/neighbor_sampler.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/timer.h"
+
+namespace widen::baselines {
+
+namespace T = widen::tensor;
+
+GatModel::GatModel(train::ModelHyperparams hyperparams, int64_t num_heads,
+                   int64_t fanout)
+    : hp_(std::move(hyperparams)), num_heads_(num_heads), fanout_(fanout),
+      rng_(hp_.seed) {
+  WIDEN_CHECK_GT(num_heads_, 0);
+}
+
+Status GatModel::EnsureInitialized(const graph::HeteroGraph& graph) {
+  if (initialized_) return Status::OK();
+  if (!graph.features().defined() || !graph.has_labels()) {
+    return Status::FailedPrecondition("graph needs features and labels");
+  }
+  const int64_t d0 = graph.feature_dim();
+  const int64_t head_dim = std::max<int64_t>(1, hp_.hidden_dim / num_heads_);
+  std::vector<T::Tensor> params;
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    w1_heads_.push_back(
+        T::XavierUniform(T::Shape::Matrix(d0, head_dim), rng_, "gat_w1"));
+    a1_self_.push_back(
+        T::XavierUniform(T::Shape::Matrix(head_dim, 1), rng_, "gat_a1s"));
+    a1_neighbor_.push_back(
+        T::XavierUniform(T::Shape::Matrix(head_dim, 1), rng_, "gat_a1n"));
+    params.push_back(w1_heads_.back());
+    params.push_back(a1_self_.back());
+    params.push_back(a1_neighbor_.back());
+  }
+  const int64_t layer1_dim = head_dim * num_heads_;
+  w2_ = T::XavierUniform(T::Shape::Matrix(layer1_dim, hp_.hidden_dim), rng_,
+                         "gat_w2");
+  a2_self_ = T::XavierUniform(T::Shape::Matrix(hp_.hidden_dim, 1), rng_,
+                              "gat_a2s");
+  a2_neighbor_ = T::XavierUniform(T::Shape::Matrix(hp_.hidden_dim, 1), rng_,
+                                  "gat_a2n");
+  classifier_ = T::XavierUniform(
+      T::Shape::Matrix(hp_.hidden_dim, graph.num_classes()), rng_, "gat_c");
+  params.insert(params.end(), {w2_, a2_self_, a2_neighbor_, classifier_});
+  optimizer_ = std::make_unique<T::Adam>(hp_.learning_rate, 0.9f, 0.999f,
+                                         1e-8f, hp_.weight_decay);
+  optimizer_->AddParameters(params);
+  initialized_ = true;
+  return Status::OK();
+}
+
+T::Tensor GatModel::AttentionHead(const T::Tensor& features,
+                                  const T::Tensor& w,
+                                  const T::Tensor& attn_self,
+                                  const T::Tensor& attn_neighbor) {
+  // H = X W; scores_i = LeakyReLU(a_s·h_self + a_n·h_i); α = softmax(scores).
+  T::Tensor h = T::MatMul(features, w);            // [(K+1), d_h]
+  T::Tensor self_row = T::SliceRows(h, 0, 1);      // [1, d_h]
+  T::Tensor self_score = T::MatMul(self_row, attn_self);     // [1, 1]
+  T::Tensor neighbor_scores = T::MatMul(h, attn_neighbor);   // [(K+1), 1]
+  T::Tensor scores =
+      T::LeakyRelu(T::Add(neighbor_scores, self_score), 0.2f);
+  T::Tensor alpha = T::SoftmaxRows(T::Transpose(scores));    // [1, K+1]
+  return T::MatMul(alpha, h);                                // [1, d_h]
+}
+
+T::Tensor GatModel::Layer1(const graph::HeteroGraph& graph,
+                           graph::NodeId node, Rng& rng) {
+  sampling::WideNeighborSet neighbors =
+      sampling::SampleWideNeighbors(graph, node, fanout_, rng);
+  std::vector<int32_t> indices;
+  indices.reserve(neighbors.size() + 1);
+  indices.push_back(node);
+  for (graph::NodeId u : neighbors.nodes) indices.push_back(u);
+  T::Tensor features = T::GatherRows(graph.features(), indices);
+  std::vector<T::Tensor> heads;
+  heads.reserve(static_cast<size_t>(num_heads_));
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    heads.push_back(AttentionHead(features, w1_heads_[static_cast<size_t>(h)],
+                                  a1_self_[static_cast<size_t>(h)],
+                                  a1_neighbor_[static_cast<size_t>(h)]));
+  }
+  return T::Elu(heads.size() == 1 ? heads[0] : T::ConcatCols(heads));
+}
+
+T::Tensor GatModel::EmbedOne(const graph::HeteroGraph& graph,
+                             graph::NodeId node, Rng& rng) {
+  sampling::WideNeighborSet neighbors =
+      sampling::SampleWideNeighbors(graph, node, fanout_, rng);
+  std::vector<T::Tensor> rows;
+  rows.reserve(neighbors.size() + 1);
+  rows.push_back(Layer1(graph, node, rng));
+  for (graph::NodeId u : neighbors.nodes) {
+    rows.push_back(Layer1(graph, u, rng));
+  }
+  T::Tensor h1 = rows.size() == 1 ? rows[0] : T::ConcatRows(rows);
+  return T::Elu(AttentionHead(h1, w2_, a2_self_, a2_neighbor_));
+}
+
+Status GatModel::Fit(const graph::HeteroGraph& graph,
+                     const std::vector<graph::NodeId>& train_nodes) {
+  WIDEN_RETURN_IF_ERROR(EnsureInitialized(graph));
+  if (train_nodes.empty()) {
+    return Status::InvalidArgument("no training nodes");
+  }
+  std::vector<graph::NodeId> order = train_nodes;
+  for (int64_t epoch = 0; epoch < hp_.epochs; ++epoch) {
+    StopWatch watch;
+    rng_.Shuffle(order);
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(hp_.batch_size)) {
+      const size_t end =
+          std::min(order.size(), begin + static_cast<size_t>(hp_.batch_size));
+      std::vector<T::Tensor> rows;
+      std::vector<int32_t> labels;
+      for (size_t i = begin; i < end; ++i) {
+        rows.push_back(EmbedOne(graph, order[i], rng_));
+        labels.push_back(graph.label(order[i]));
+      }
+      T::Tensor logits = T::MatMul(T::ConcatRows(rows), classifier_);
+      T::Tensor loss = T::SoftmaxCrossEntropy(logits, labels);
+      optimizer_->ZeroGrad();
+      loss.Backward();
+      optimizer_->Step();
+      loss_sum += loss.item();
+      ++batches;
+    }
+    if (hp_.epoch_observer) {
+      hp_.epoch_observer(epoch,
+                         batches > 0 ? loss_sum / static_cast<double>(batches)
+                                     : 0.0,
+                         watch.ElapsedSeconds());
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<int32_t>> GatModel::Predict(
+    const graph::HeteroGraph& graph, const std::vector<graph::NodeId>& nodes) {
+  WIDEN_ASSIGN_OR_RETURN(T::Tensor embeddings, Embed(graph, nodes));
+  return T::ArgMaxRows(T::MatMul(embeddings, classifier_));
+}
+
+StatusOr<T::Tensor> GatModel::Embed(const graph::HeteroGraph& graph,
+                                    const std::vector<graph::NodeId>& nodes) {
+  if (!initialized_) return Status::FailedPrecondition("Embed before Fit");
+  Rng eval_rng(hp_.seed ^ 0x6A7ULL);
+  std::vector<T::Tensor> rows;
+  rows.reserve(nodes.size());
+  for (graph::NodeId v : nodes) {
+    T::Tensor row = EmbedOne(graph, v, eval_rng);
+    row.DetachInPlace();
+    rows.push_back(row);
+  }
+  T::Tensor out = T::ConcatRows(rows);
+  out.DetachInPlace();
+  return out;
+}
+
+}  // namespace widen::baselines

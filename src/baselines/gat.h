@@ -1,0 +1,59 @@
+// GAT baseline (Veličković et al., 2018): two layers of additive attention
+// over sampled first-order neighborhoods (the neighborhood-sampling reading
+// of GAT used by the paper), multi-head in the first layer.
+
+#ifndef WIDEN_BASELINES_GAT_H_
+#define WIDEN_BASELINES_GAT_H_
+
+#include "tensor/optimizer.h"
+#include "train/model.h"
+#include "util/random.h"
+
+namespace widen::baselines {
+
+class GatModel : public train::Model {
+ public:
+  explicit GatModel(train::ModelHyperparams hyperparams, int64_t num_heads = 2,
+                    int64_t fanout = 8);
+
+  std::string name() const override { return "GAT"; }
+
+  Status Fit(const graph::HeteroGraph& graph,
+             const std::vector<graph::NodeId>& train_nodes) override;
+  StatusOr<std::vector<int32_t>> Predict(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+  StatusOr<tensor::Tensor> Embed(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+
+ private:
+  Status EnsureInitialized(const graph::HeteroGraph& graph);
+  /// One attention head applied to [self; neighbors] feature rows.
+  /// `features` is [(K+1), in_dim] with the self row first.
+  tensor::Tensor AttentionHead(const tensor::Tensor& features,
+                               const tensor::Tensor& w,
+                               const tensor::Tensor& attn_self,
+                               const tensor::Tensor& attn_neighbor);
+  /// Layer-1 representation (heads concatenated, ELU).
+  tensor::Tensor Layer1(const graph::HeteroGraph& graph, graph::NodeId node,
+                        Rng& rng);
+  tensor::Tensor EmbedOne(const graph::HeteroGraph& graph, graph::NodeId node,
+                          Rng& rng);
+
+  train::ModelHyperparams hp_;
+  int64_t num_heads_;
+  int64_t fanout_;
+  Rng rng_;
+  bool initialized_ = false;
+  std::vector<tensor::Tensor> w1_heads_;      // [d0, d/h] per head
+  std::vector<tensor::Tensor> a1_self_;       // [d/h, 1] per head
+  std::vector<tensor::Tensor> a1_neighbor_;   // [d/h, 1] per head
+  tensor::Tensor w2_, a2_self_, a2_neighbor_;  // second (single-head) layer
+  tensor::Tensor classifier_;
+  std::unique_ptr<tensor::Adam> optimizer_;
+};
+
+}  // namespace widen::baselines
+
+#endif  // WIDEN_BASELINES_GAT_H_

@@ -1,0 +1,87 @@
+#include "baselines/gcn.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/timer.h"
+
+namespace widen::baselines {
+
+namespace T = widen::tensor;
+
+GcnModel::GcnModel(train::ModelHyperparams hyperparams)
+    : hp_(std::move(hyperparams)), rng_(hp_.seed) {}
+
+Status GcnModel::EnsureInitialized(const graph::HeteroGraph& graph) {
+  if (initialized_) {
+    if (graph.feature_dim() != w1_.rows()) {
+      return Status::FailedPrecondition("feature dimension changed after Fit");
+    }
+    return Status::OK();
+  }
+  if (!graph.features().defined() || !graph.has_labels()) {
+    return Status::FailedPrecondition("graph needs features and labels");
+  }
+  w1_ = T::XavierUniform(
+      T::Shape::Matrix(graph.feature_dim(), hp_.hidden_dim), rng_, "gcn_w1");
+  w2_ = T::XavierUniform(T::Shape::Matrix(hp_.hidden_dim, graph.num_classes()),
+                         rng_, "gcn_w2");
+  optimizer_ = std::make_unique<T::Adam>(hp_.learning_rate, 0.9f, 0.999f,
+                                         1e-8f, hp_.weight_decay);
+  optimizer_->AddParameters({w1_, w2_});
+  initialized_ = true;
+  return Status::OK();
+}
+
+T::Tensor GcnModel::ForwardLogits(const graph::HeteroGraph& graph,
+                                  T::Tensor* hidden, bool training) {
+  const T::SparseCsr& adjacency = adjacency_cache_.GetOrCreate(
+      graph, [&] { return NormalizedAdjacency(graph); });
+  T::Tensor x = graph.features();
+  T::Tensor h = T::Relu(T::MatMul(T::SparseMatMul(adjacency, x), w1_));
+  if (training) h = T::Dropout(h, hp_.dropout, rng_, /*training=*/true);
+  if (hidden != nullptr) *hidden = h;
+  return T::MatMul(T::SparseMatMul(adjacency, h), w2_);
+}
+
+Status GcnModel::Fit(const graph::HeteroGraph& graph,
+                     const std::vector<graph::NodeId>& train_nodes) {
+  WIDEN_RETURN_IF_ERROR(EnsureInitialized(graph));
+  if (train_nodes.empty()) {
+    return Status::InvalidArgument("no training nodes");
+  }
+  const std::vector<float> mask = TrainMask(graph.num_nodes(), train_nodes);
+  const std::vector<int32_t> labels = MaskedLabels(graph);
+  for (int64_t epoch = 0; epoch < hp_.epochs; ++epoch) {
+    StopWatch watch;
+    T::Tensor logits = ForwardLogits(graph, nullptr, /*training=*/true);
+    T::Tensor loss = T::SoftmaxCrossEntropy(logits, labels, &mask);
+    optimizer_->ZeroGrad();
+    loss.Backward();
+    optimizer_->Step();
+    if (hp_.epoch_observer) {
+      hp_.epoch_observer(epoch, loss.item(), watch.ElapsedSeconds());
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<int32_t>> GcnModel::Predict(
+    const graph::HeteroGraph& graph, const std::vector<graph::NodeId>& nodes) {
+  if (!initialized_) return Status::FailedPrecondition("Predict before Fit");
+  T::Tensor logits = ForwardLogits(graph, nullptr, /*training=*/false);
+  std::vector<int32_t> indices(nodes.begin(), nodes.end());
+  return T::ArgMaxRows(T::GatherRows(logits, indices));
+}
+
+StatusOr<T::Tensor> GcnModel::Embed(const graph::HeteroGraph& graph,
+                                    const std::vector<graph::NodeId>& nodes) {
+  if (!initialized_) return Status::FailedPrecondition("Embed before Fit");
+  T::Tensor hidden;
+  ForwardLogits(graph, &hidden, /*training=*/false);
+  std::vector<int32_t> indices(nodes.begin(), nodes.end());
+  T::Tensor out = T::GatherRows(hidden, indices);
+  out.DetachInPlace();
+  return out;
+}
+
+}  // namespace widen::baselines

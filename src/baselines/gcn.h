@@ -1,0 +1,49 @@
+// GCN baseline (Kipf & Welling, 2017): two spectral convolution layers over
+// the symmetric-normalized full adjacency, trained full-batch with a masked
+// cross-entropy. Heterogeneity is ignored by design.
+
+#ifndef WIDEN_BASELINES_GCN_H_
+#define WIDEN_BASELINES_GCN_H_
+
+#include "baselines/common.h"
+#include "tensor/optimizer.h"
+#include "train/model.h"
+#include "util/random.h"
+
+namespace widen::baselines {
+
+class GcnModel : public train::Model {
+ public:
+  explicit GcnModel(train::ModelHyperparams hyperparams);
+
+  std::string name() const override { return "GCN"; }
+  /// Feature-masking approximation only (§4.6): the trained filters are
+  /// re-applied to the full graph at predict time.
+  bool supports_inductive() const override { return true; }
+
+  Status Fit(const graph::HeteroGraph& graph,
+             const std::vector<graph::NodeId>& train_nodes) override;
+  StatusOr<std::vector<int32_t>> Predict(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+  StatusOr<tensor::Tensor> Embed(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+
+ private:
+  Status EnsureInitialized(const graph::HeteroGraph& graph);
+  /// Full forward pass; `hidden` (optional) receives the first-layer output.
+  tensor::Tensor ForwardLogits(const graph::HeteroGraph& graph,
+                               tensor::Tensor* hidden, bool training);
+
+  train::ModelHyperparams hp_;
+  Rng rng_;
+  bool initialized_ = false;
+  tensor::Tensor w1_, w2_;
+  std::unique_ptr<tensor::Adam> optimizer_;
+  PerGraphCache<tensor::SparseCsr> adjacency_cache_;
+};
+
+}  // namespace widen::baselines
+
+#endif  // WIDEN_BASELINES_GCN_H_

@@ -1,0 +1,137 @@
+#include "baselines/graphsage.h"
+
+#include <algorithm>
+
+#include "sampling/neighbor_sampler.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/timer.h"
+
+namespace widen::baselines {
+
+namespace T = widen::tensor;
+
+GraphSageModel::GraphSageModel(train::ModelHyperparams hyperparams,
+                               int64_t fanout1, int64_t fanout2)
+    : hp_(std::move(hyperparams)),
+      fanout1_(fanout1),
+      fanout2_(fanout2),
+      rng_(hp_.seed) {}
+
+Status GraphSageModel::EnsureInitialized(const graph::HeteroGraph& graph) {
+  if (initialized_) return Status::OK();
+  if (!graph.features().defined() || !graph.has_labels()) {
+    return Status::FailedPrecondition("graph needs features and labels");
+  }
+  const int64_t d0 = graph.feature_dim();
+  const int64_t d = hp_.hidden_dim;
+  w1_ = T::XavierUniform(T::Shape::Matrix(2 * d0, d), rng_, "sage_w1");
+  w2_ = T::XavierUniform(T::Shape::Matrix(2 * d, d), rng_, "sage_w2");
+  classifier_ = T::XavierUniform(T::Shape::Matrix(d, graph.num_classes()),
+                                 rng_, "sage_c");
+  optimizer_ = std::make_unique<T::Adam>(hp_.learning_rate, 0.9f, 0.999f,
+                                         1e-8f, hp_.weight_decay);
+  optimizer_->AddParameters({w1_, w2_, classifier_});
+  initialized_ = true;
+  return Status::OK();
+}
+
+T::Tensor GraphSageModel::Layer1(const graph::HeteroGraph& graph,
+                                 graph::NodeId node, Rng& rng) {
+  T::Tensor self = T::GatherRows(graph.features(), {node});
+  sampling::WideNeighborSet neighbors =
+      sampling::SampleWideNeighbors(graph, node, fanout2_, rng);
+  T::Tensor neighborhood_mean;
+  if (neighbors.size() > 0) {
+    std::vector<int32_t> idx(neighbors.nodes.begin(), neighbors.nodes.end());
+    neighborhood_mean = T::MeanRows(T::GatherRows(graph.features(), idx));
+  } else {
+    neighborhood_mean = T::Tensor(self.shape());
+  }
+  return T::Relu(T::MatMul(T::ConcatCols({self, neighborhood_mean}), w1_));
+}
+
+T::Tensor GraphSageModel::EmbedOne(const graph::HeteroGraph& graph,
+                                   graph::NodeId node, Rng& rng) {
+  T::Tensor self_h1 = Layer1(graph, node, rng);
+  sampling::WideNeighborSet neighbors =
+      sampling::SampleWideNeighbors(graph, node, fanout1_, rng);
+  T::Tensor neighborhood_mean;
+  if (neighbors.size() > 0) {
+    std::vector<T::Tensor> rows;
+    rows.reserve(neighbors.size());
+    for (graph::NodeId u : neighbors.nodes) {
+      rows.push_back(Layer1(graph, u, rng));
+    }
+    neighborhood_mean = T::MeanRows(T::ConcatRows(rows));
+  } else {
+    neighborhood_mean = T::Tensor(self_h1.shape());
+  }
+  T::Tensor h2 =
+      T::Relu(T::MatMul(T::ConcatCols({self_h1, neighborhood_mean}), w2_));
+  return T::RowL2Normalize(h2);
+}
+
+Status GraphSageModel::Fit(const graph::HeteroGraph& graph,
+                           const std::vector<graph::NodeId>& train_nodes) {
+  WIDEN_RETURN_IF_ERROR(EnsureInitialized(graph));
+  if (train_nodes.empty()) {
+    return Status::InvalidArgument("no training nodes");
+  }
+  std::vector<graph::NodeId> order = train_nodes;
+  for (int64_t epoch = 0; epoch < hp_.epochs; ++epoch) {
+    StopWatch watch;
+    rng_.Shuffle(order);
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(hp_.batch_size)) {
+      const size_t end =
+          std::min(order.size(), begin + static_cast<size_t>(hp_.batch_size));
+      std::vector<T::Tensor> rows;
+      std::vector<int32_t> labels;
+      for (size_t i = begin; i < end; ++i) {
+        rows.push_back(EmbedOne(graph, order[i], rng_));
+        labels.push_back(graph.label(order[i]));
+      }
+      T::Tensor logits = T::MatMul(T::ConcatRows(rows), classifier_);
+      T::Tensor loss = T::SoftmaxCrossEntropy(logits, labels);
+      optimizer_->ZeroGrad();
+      loss.Backward();
+      optimizer_->Step();
+      loss_sum += loss.item();
+      ++batches;
+    }
+    if (hp_.epoch_observer) {
+      hp_.epoch_observer(epoch,
+                         batches > 0 ? loss_sum / static_cast<double>(batches)
+                                     : 0.0,
+                         watch.ElapsedSeconds());
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<int32_t>> GraphSageModel::Predict(
+    const graph::HeteroGraph& graph, const std::vector<graph::NodeId>& nodes) {
+  WIDEN_ASSIGN_OR_RETURN(T::Tensor embeddings, Embed(graph, nodes));
+  return T::ArgMaxRows(T::MatMul(embeddings, classifier_));
+}
+
+StatusOr<T::Tensor> GraphSageModel::Embed(
+    const graph::HeteroGraph& graph, const std::vector<graph::NodeId>& nodes) {
+  if (!initialized_) return Status::FailedPrecondition("Embed before Fit");
+  Rng eval_rng(hp_.seed ^ 0x5A6EULL);
+  std::vector<T::Tensor> rows;
+  rows.reserve(nodes.size());
+  for (graph::NodeId v : nodes) {
+    T::Tensor row = EmbedOne(graph, v, eval_rng);
+    row.DetachInPlace();
+    rows.push_back(row);
+  }
+  T::Tensor out = T::ConcatRows(rows);
+  out.DetachInPlace();
+  return out;
+}
+
+}  // namespace widen::baselines

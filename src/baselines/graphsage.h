@@ -1,0 +1,51 @@
+// GraphSAGE baseline (Hamilton, Ying & Leskovec, 2017): two mean-aggregator
+// layers over uniformly sampled neighborhoods, mini-batch trained and
+// inductive by construction.
+
+#ifndef WIDEN_BASELINES_GRAPHSAGE_H_
+#define WIDEN_BASELINES_GRAPHSAGE_H_
+
+#include "tensor/optimizer.h"
+#include "train/model.h"
+#include "util/random.h"
+
+namespace widen::baselines {
+
+class GraphSageModel : public train::Model {
+ public:
+  /// `fanout1`/`fanout2` are the neighbor sample sizes of layers 2 and 1.
+  explicit GraphSageModel(train::ModelHyperparams hyperparams,
+                          int64_t fanout1 = 10, int64_t fanout2 = 5);
+
+  std::string name() const override { return "GraphSAGE"; }
+
+  Status Fit(const graph::HeteroGraph& graph,
+             const std::vector<graph::NodeId>& train_nodes) override;
+  StatusOr<std::vector<int32_t>> Predict(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+  StatusOr<tensor::Tensor> Embed(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+
+ private:
+  Status EnsureInitialized(const graph::HeteroGraph& graph);
+  /// h1(u) = ReLU(W1 [x_u ; mean of sampled neighbor features]).
+  tensor::Tensor Layer1(const graph::HeteroGraph& graph, graph::NodeId node,
+                        Rng& rng);
+  /// Full two-layer embedding of one node, L2-normalized.
+  tensor::Tensor EmbedOne(const graph::HeteroGraph& graph, graph::NodeId node,
+                          Rng& rng);
+
+  train::ModelHyperparams hp_;
+  int64_t fanout1_;
+  int64_t fanout2_;
+  Rng rng_;
+  bool initialized_ = false;
+  tensor::Tensor w1_, w2_, classifier_;
+  std::unique_ptr<tensor::Adam> optimizer_;
+};
+
+}  // namespace widen::baselines
+
+#endif  // WIDEN_BASELINES_GRAPHSAGE_H_

@@ -1,0 +1,113 @@
+#include "baselines/gtn.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/timer.h"
+
+namespace widen::baselines {
+
+namespace T = widen::tensor;
+
+GtnModel::GtnModel(train::ModelHyperparams hyperparams)
+    : hp_(std::move(hyperparams)), rng_(hp_.seed) {}
+
+Status GtnModel::EnsureInitialized(const graph::HeteroGraph& graph) {
+  if (initialized_) return Status::OK();
+  if (!graph.features().defined() || !graph.has_labels()) {
+    return Status::FailedPrecondition("graph needs features and labels");
+  }
+  const int64_t num_relations = graph.schema().num_edge_types() + 1;  // + I
+  w1_ = T::XavierUniform(
+      T::Shape::Matrix(graph.feature_dim(), hp_.hidden_dim), rng_, "gtn_w1");
+  w2_ = T::XavierUniform(T::Shape::Matrix(hp_.hidden_dim, graph.num_classes()),
+                         rng_, "gtn_w2");
+  select1_ = T::ZeroParam(T::Shape::Matrix(1, num_relations), "gtn_sel1");
+  select2_ = T::ZeroParam(T::Shape::Matrix(1, num_relations), "gtn_sel2");
+  optimizer_ = std::make_unique<T::Adam>(hp_.learning_rate, 0.9f, 0.999f,
+                                         1e-8f, hp_.weight_decay);
+  optimizer_->AddParameters({w1_, w2_, select1_, select2_});
+  initialized_ = true;
+  return Status::OK();
+}
+
+T::Tensor GtnModel::ForwardLogits(const graph::HeteroGraph& graph,
+                                  T::Tensor* hidden) {
+  const std::vector<T::SparseCsr>& relations = relations_cache_.GetOrCreate(
+      graph, [&] {
+        std::vector<T::SparseCsr> rel;
+        for (graph::EdgeTypeId t = 0; t < graph.schema().num_edge_types();
+             ++t) {
+          rel.push_back(TypedRowNormalizedAdjacency(graph, t));
+        }
+        rel.push_back(IdentityCsr(graph.num_nodes()));
+        return rel;
+      });
+  const int64_t num_relations = static_cast<int64_t>(relations.size());
+
+  T::Tensor alpha1 = T::SoftmaxRows(select1_);
+  T::Tensor alpha2 = T::SoftmaxRows(select2_);
+  T::Tensor xw = T::MatMul(graph.features(), w1_);
+
+  // First selection layer: P = Σ_t α¹_t A_t (XW).
+  T::Tensor first_hop;
+  for (int64_t t = 0; t < num_relations; ++t) {
+    T::Tensor term = T::ScaleBy(
+        T::SparseMatMul(relations[static_cast<size_t>(t)], xw),
+        T::SliceCols(alpha1, t, 1));
+    first_hop = first_hop.defined() ? T::Add(first_hop, term) : term;
+  }
+  // Second selection layer: H = Σ_t α²_t A_t P.
+  T::Tensor second_hop;
+  for (int64_t t = 0; t < num_relations; ++t) {
+    T::Tensor term = T::ScaleBy(
+        T::SparseMatMul(relations[static_cast<size_t>(t)], first_hop),
+        T::SliceCols(alpha2, t, 1));
+    second_hop = second_hop.defined() ? T::Add(second_hop, term) : term;
+  }
+  T::Tensor h = T::Relu(second_hop);
+  if (hidden != nullptr) *hidden = h;
+  return T::MatMul(h, w2_);
+}
+
+Status GtnModel::Fit(const graph::HeteroGraph& graph,
+                     const std::vector<graph::NodeId>& train_nodes) {
+  WIDEN_RETURN_IF_ERROR(EnsureInitialized(graph));
+  if (train_nodes.empty()) {
+    return Status::InvalidArgument("no training nodes");
+  }
+  const std::vector<float> mask = TrainMask(graph.num_nodes(), train_nodes);
+  const std::vector<int32_t> labels = MaskedLabels(graph);
+  for (int64_t epoch = 0; epoch < hp_.epochs; ++epoch) {
+    StopWatch watch;
+    T::Tensor logits = ForwardLogits(graph, nullptr);
+    T::Tensor loss = T::SoftmaxCrossEntropy(logits, labels, &mask);
+    optimizer_->ZeroGrad();
+    loss.Backward();
+    optimizer_->Step();
+    if (hp_.epoch_observer) {
+      hp_.epoch_observer(epoch, loss.item(), watch.ElapsedSeconds());
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<int32_t>> GtnModel::Predict(
+    const graph::HeteroGraph& graph, const std::vector<graph::NodeId>& nodes) {
+  if (!initialized_) return Status::FailedPrecondition("Predict before Fit");
+  T::Tensor logits = ForwardLogits(graph, nullptr);
+  std::vector<int32_t> indices(nodes.begin(), nodes.end());
+  return T::ArgMaxRows(T::GatherRows(logits, indices));
+}
+
+StatusOr<T::Tensor> GtnModel::Embed(const graph::HeteroGraph& graph,
+                                    const std::vector<graph::NodeId>& nodes) {
+  if (!initialized_) return Status::FailedPrecondition("Embed before Fit");
+  T::Tensor hidden;
+  ForwardLogits(graph, &hidden);
+  std::vector<int32_t> indices(nodes.begin(), nodes.end());
+  T::Tensor out = T::GatherRows(hidden, indices);
+  out.DetachInPlace();
+  return out;
+}
+
+}  // namespace widen::baselines

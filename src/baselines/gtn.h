@@ -1,0 +1,53 @@
+// GTN baseline (Yun et al., 2019): soft selection of edge types composed
+// into 2-hop meta-path adjacencies, followed by graph convolution.
+//
+// This implementation keeps one channel with two selection layers: the
+// composite propagation is Σ_{t1,t2} α¹_{t1} α²_{t2} A_{t2} A_{t1}, where the
+// per-type adjacencies A_t (plus the identity "skip" relation) are fixed and
+// the selection weights α are softmax-parameterized and learned end-to-end.
+
+#ifndef WIDEN_BASELINES_GTN_H_
+#define WIDEN_BASELINES_GTN_H_
+
+#include "baselines/common.h"
+#include "tensor/optimizer.h"
+#include "train/model.h"
+#include "util/random.h"
+
+namespace widen::baselines {
+
+class GtnModel : public train::Model {
+ public:
+  explicit GtnModel(train::ModelHyperparams hyperparams);
+
+  std::string name() const override { return "GTN"; }
+
+  Status Fit(const graph::HeteroGraph& graph,
+             const std::vector<graph::NodeId>& train_nodes) override;
+  StatusOr<std::vector<int32_t>> Predict(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+  StatusOr<tensor::Tensor> Embed(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+
+ private:
+  Status EnsureInitialized(const graph::HeteroGraph& graph);
+  /// Full-graph forward; hidden (optional) receives the composite-conv
+  /// representation.
+  tensor::Tensor ForwardLogits(const graph::HeteroGraph& graph,
+                               tensor::Tensor* hidden);
+
+  train::ModelHyperparams hp_;
+  Rng rng_;
+  bool initialized_ = false;
+  tensor::Tensor w1_, w2_;
+  tensor::Tensor select1_, select2_;  // [1, num_relations] logits
+  std::unique_ptr<tensor::Adam> optimizer_;
+  // Per-graph: typed adjacencies + identity, indexed by relation.
+  PerGraphCache<std::vector<tensor::SparseCsr>> relations_cache_;
+};
+
+}  // namespace widen::baselines
+
+#endif  // WIDEN_BASELINES_GTN_H_

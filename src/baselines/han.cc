@@ -1,0 +1,220 @@
+#include "baselines/han.h"
+
+#include <algorithm>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/timer.h"
+
+namespace widen::baselines {
+
+namespace T = widen::tensor;
+
+HanModel::HanModel(train::ModelHyperparams hyperparams, int64_t fanout)
+    : hp_(std::move(hyperparams)), fanout_(fanout), rng_(hp_.seed) {}
+
+std::vector<graph::MetaPath> HanModel::DeriveMetaPaths(
+    const graph::HeteroGraph& graph) {
+  const graph::GraphSchema& schema = graph.schema();
+  const graph::NodeTypeId labeled = graph.labeled_node_type();
+  std::vector<graph::MetaPath> paths;
+  for (graph::EdgeTypeId e1 = 0; e1 < schema.num_edge_types(); ++e1) {
+    const graph::EdgeTypeSpec& s1 = schema.edge_type(e1);
+    if (s1.src_type != labeled && s1.dst_type != labeled) continue;
+    const graph::NodeTypeId mid =
+        s1.src_type == labeled ? s1.dst_type : s1.src_type;
+    // L-X-L.
+    paths.push_back(graph::MetaPath{
+        schema.node_type_name(labeled) + "-" + schema.node_type_name(mid) +
+            "-" + schema.node_type_name(labeled),
+        {e1, e1}});
+    // L-X-Y-X-L through X's other relations.
+    for (graph::EdgeTypeId e2 = 0; e2 < schema.num_edge_types(); ++e2) {
+      if (e2 == e1) continue;
+      const graph::EdgeTypeSpec& s2 = schema.edge_type(e2);
+      if (s2.src_type != mid && s2.dst_type != mid) continue;
+      const graph::NodeTypeId far =
+          s2.src_type == mid ? s2.dst_type : s2.src_type;
+      if (far == labeled) continue;
+      paths.push_back(graph::MetaPath{
+          schema.node_type_name(labeled) + "-" + schema.node_type_name(mid) +
+              "-" + schema.node_type_name(far) + "-" +
+              schema.node_type_name(mid) + "-" +
+              schema.node_type_name(labeled),
+          {e1, e2, e2, e1}});
+      if (paths.size() >= kMaxMetaPaths) return paths;
+    }
+    if (paths.size() >= kMaxMetaPaths) break;
+  }
+  return paths;
+}
+
+Status HanModel::EnsureInitialized(const graph::HeteroGraph& graph) {
+  if (initialized_) return Status::OK();
+  if (!graph.features().defined() || !graph.has_labels()) {
+    return Status::FailedPrecondition("graph needs features and labels");
+  }
+  paths_ = DeriveMetaPaths(graph);
+  if (paths_.empty()) {
+    return Status::FailedPrecondition(
+        "no meta paths derivable around the labeled node type");
+  }
+  const int64_t d0 = graph.feature_dim();
+  const int64_t d = hp_.hidden_dim;
+  std::vector<T::Tensor> params;
+  for (size_t p = 0; p < paths_.size(); ++p) {
+    path_w_.push_back(
+        T::XavierUniform(T::Shape::Matrix(d0, d), rng_, "han_w"));
+    path_a_self_.push_back(
+        T::XavierUniform(T::Shape::Matrix(d, 1), rng_, "han_as"));
+    path_a_neigh_.push_back(
+        T::XavierUniform(T::Shape::Matrix(d, 1), rng_, "han_an"));
+    params.push_back(path_w_.back());
+    params.push_back(path_a_self_.back());
+    params.push_back(path_a_neigh_.back());
+  }
+  semantic_w_ = T::XavierUniform(T::Shape::Matrix(d, d), rng_, "han_sw");
+  semantic_b_ = T::ZeroParam(T::Shape::Matrix(1, d), "han_sb");
+  semantic_q_ = T::XavierUniform(T::Shape::Matrix(d, 1), rng_, "han_sq");
+  classifier_ =
+      T::XavierUniform(T::Shape::Matrix(d, graph.num_classes()), rng_,
+                       "han_c");
+  params.insert(params.end(),
+                {semantic_w_, semantic_b_, semantic_q_, classifier_});
+  optimizer_ = std::make_unique<T::Adam>(hp_.learning_rate, 0.9f, 0.999f,
+                                         1e-8f, hp_.weight_decay);
+  optimizer_->AddParameters(params);
+  initialized_ = true;
+  return Status::OK();
+}
+
+const std::vector<graph::MetaPathAdjacency>& HanModel::AdjacenciesFor(
+    const graph::HeteroGraph& graph) {
+  return adjacency_cache_.GetOrCreate(graph, [&] {
+    std::vector<graph::MetaPathAdjacency> adjacencies;
+    for (const graph::MetaPath& path : paths_) {
+      auto composed = graph::ComposeMetaPath(graph, path, /*max_neighbors=*/32);
+      WIDEN_CHECK(composed.ok()) << composed.status().ToString();
+      adjacencies.push_back(std::move(composed).value());
+    }
+    return adjacencies;
+  });
+}
+
+T::Tensor HanModel::NodeLevel(const graph::HeteroGraph& graph,
+                              const graph::MetaPathAdjacency& adjacency,
+                              size_t path_index, graph::NodeId node,
+                              Rng& rng) {
+  const std::vector<graph::NodeId>& all_neighbors =
+      adjacency.neighbors[static_cast<size_t>(node)];
+  std::vector<int32_t> indices;
+  indices.push_back(node);
+  if (static_cast<int64_t>(all_neighbors.size()) <= fanout_) {
+    for (graph::NodeId u : all_neighbors) indices.push_back(u);
+  } else {
+    for (size_t pick :
+         rng.SampleWithoutReplacement(all_neighbors.size(),
+                                      static_cast<size_t>(fanout_))) {
+      indices.push_back(all_neighbors[pick]);
+    }
+  }
+  T::Tensor features = T::GatherRows(graph.features(), indices);
+  T::Tensor h = T::MatMul(features, path_w_[path_index]);
+  T::Tensor self_row = T::SliceRows(h, 0, 1);
+  T::Tensor scores = T::LeakyRelu(
+      T::Add(T::MatMul(h, path_a_neigh_[path_index]),
+             T::MatMul(self_row, path_a_self_[path_index])),
+      0.2f);
+  T::Tensor alpha = T::SoftmaxRows(T::Transpose(scores));
+  return T::Elu(T::MatMul(alpha, h));
+}
+
+T::Tensor HanModel::EmbedBatch(const graph::HeteroGraph& graph,
+                               const std::vector<graph::NodeId>& nodes,
+                               Rng& rng) {
+  const std::vector<graph::MetaPathAdjacency>& adjacencies =
+      AdjacenciesFor(graph);
+  // Per-path batch representations.
+  std::vector<T::Tensor> per_path;
+  per_path.reserve(paths_.size());
+  for (size_t p = 0; p < paths_.size(); ++p) {
+    std::vector<T::Tensor> rows;
+    rows.reserve(nodes.size());
+    for (graph::NodeId v : nodes) {
+      rows.push_back(NodeLevel(graph, adjacencies[p], p, v, rng));
+    }
+    per_path.push_back(T::ConcatRows(rows));
+  }
+  // Semantic attention: w_p = mean_v q·tanh(W h_p(v) + b); β = softmax(w).
+  std::vector<T::Tensor> path_scores;
+  for (const T::Tensor& h_p : per_path) {
+    T::Tensor scored = T::MatMul(
+        T::Tanh(T::Add(T::MatMul(h_p, semantic_w_), semantic_b_)),
+        semantic_q_);
+    path_scores.push_back(T::MeanRows(scored));  // [1, 1]
+  }
+  T::Tensor beta = T::SoftmaxRows(T::ConcatCols(path_scores));  // [1, P]
+  T::Tensor fused;
+  for (size_t p = 0; p < per_path.size(); ++p) {
+    T::Tensor term = T::ScaleBy(per_path[p],
+                                T::SliceCols(beta, static_cast<int64_t>(p), 1));
+    fused = fused.defined() ? T::Add(fused, term) : term;
+  }
+  return fused;
+}
+
+Status HanModel::Fit(const graph::HeteroGraph& graph,
+                     const std::vector<graph::NodeId>& train_nodes) {
+  WIDEN_RETURN_IF_ERROR(EnsureInitialized(graph));
+  if (train_nodes.empty()) {
+    return Status::InvalidArgument("no training nodes");
+  }
+  std::vector<graph::NodeId> order = train_nodes;
+  for (int64_t epoch = 0; epoch < hp_.epochs; ++epoch) {
+    StopWatch watch;
+    rng_.Shuffle(order);
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(hp_.batch_size)) {
+      const size_t end =
+          std::min(order.size(), begin + static_cast<size_t>(hp_.batch_size));
+      std::vector<graph::NodeId> batch(order.begin() + begin,
+                                       order.begin() + end);
+      T::Tensor embeddings = EmbedBatch(graph, batch, rng_);
+      T::Tensor logits = T::MatMul(embeddings, classifier_);
+      std::vector<int32_t> labels;
+      for (graph::NodeId v : batch) labels.push_back(graph.label(v));
+      T::Tensor loss = T::SoftmaxCrossEntropy(logits, labels);
+      optimizer_->ZeroGrad();
+      loss.Backward();
+      optimizer_->Step();
+      loss_sum += loss.item();
+      ++batches;
+    }
+    if (hp_.epoch_observer) {
+      hp_.epoch_observer(epoch,
+                         batches > 0 ? loss_sum / static_cast<double>(batches)
+                                     : 0.0,
+                         watch.ElapsedSeconds());
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<int32_t>> HanModel::Predict(
+    const graph::HeteroGraph& graph, const std::vector<graph::NodeId>& nodes) {
+  WIDEN_ASSIGN_OR_RETURN(T::Tensor embeddings, Embed(graph, nodes));
+  return T::ArgMaxRows(T::MatMul(embeddings, classifier_));
+}
+
+StatusOr<T::Tensor> HanModel::Embed(const graph::HeteroGraph& graph,
+                                    const std::vector<graph::NodeId>& nodes) {
+  if (!initialized_) return Status::FailedPrecondition("Embed before Fit");
+  Rng eval_rng(hp_.seed ^ 0x4A4ULL);
+  T::Tensor out = EmbedBatch(graph, nodes, eval_rng);
+  out.DetachInPlace();
+  return out;
+}
+
+}  // namespace widen::baselines

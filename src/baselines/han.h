@@ -1,0 +1,70 @@
+// HAN baseline (Wang et al., 2019): hierarchical attention over meta paths —
+// node-level attention aggregates each target's meta-path neighbors, then
+// semantic-level attention fuses the per-path representations.
+//
+// Meta paths are derived from the schema around the labeled node type L:
+// L-X-L for every edge type touching L, plus L-X-Y-X-L extensions through
+// X's other edge types (yielding e.g. PAP/PSP on ACM and APA/APCPA/APTPA on
+// DBLP), capped at kMaxMetaPaths.
+
+#ifndef WIDEN_BASELINES_HAN_H_
+#define WIDEN_BASELINES_HAN_H_
+
+#include "baselines/common.h"
+#include "graph/metapath.h"
+#include "tensor/optimizer.h"
+#include "train/model.h"
+#include "util/random.h"
+
+namespace widen::baselines {
+
+class HanModel : public train::Model {
+ public:
+  static constexpr size_t kMaxMetaPaths = 4;
+
+  explicit HanModel(train::ModelHyperparams hyperparams, int64_t fanout = 10);
+
+  std::string name() const override { return "HAN"; }
+
+  Status Fit(const graph::HeteroGraph& graph,
+             const std::vector<graph::NodeId>& train_nodes) override;
+  StatusOr<std::vector<int32_t>> Predict(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+  StatusOr<tensor::Tensor> Embed(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+
+  /// Schema-derived meta paths around the labeled type (exposed for tests).
+  static std::vector<graph::MetaPath> DeriveMetaPaths(
+      const graph::HeteroGraph& graph);
+
+ private:
+  Status EnsureInitialized(const graph::HeteroGraph& graph);
+  const std::vector<graph::MetaPathAdjacency>& AdjacenciesFor(
+      const graph::HeteroGraph& graph);
+  /// Node-level attention of one node under one meta path -> [1, d].
+  tensor::Tensor NodeLevel(const graph::HeteroGraph& graph,
+                           const graph::MetaPathAdjacency& adjacency,
+                           size_t path_index, graph::NodeId node, Rng& rng);
+  /// Semantic-fused embeddings of a node batch -> [batch, d].
+  tensor::Tensor EmbedBatch(const graph::HeteroGraph& graph,
+                            const std::vector<graph::NodeId>& nodes, Rng& rng);
+
+  train::ModelHyperparams hp_;
+  int64_t fanout_;
+  Rng rng_;
+  bool initialized_ = false;
+  std::vector<graph::MetaPath> paths_;
+  std::vector<tensor::Tensor> path_w_;        // [d0, d] per path
+  std::vector<tensor::Tensor> path_a_self_;   // [d, 1]
+  std::vector<tensor::Tensor> path_a_neigh_;  // [d, 1]
+  tensor::Tensor semantic_w_, semantic_b_, semantic_q_;
+  tensor::Tensor classifier_;
+  std::unique_ptr<tensor::Adam> optimizer_;
+  PerGraphCache<std::vector<graph::MetaPathAdjacency>> adjacency_cache_;
+};
+
+}  // namespace widen::baselines
+
+#endif  // WIDEN_BASELINES_HAN_H_

@@ -1,0 +1,52 @@
+// HGT baseline (Hu et al., 2020): relation-parameterized transformer
+// attention over sampled neighborhoods. Keys and values are projected by
+// per-edge-type matrices and queries by per-node-type matrices, so common and
+// relation-specific patterns are both captured; a residual connection and an
+// output projection follow, as in the original (depth reduced to one layer).
+
+#ifndef WIDEN_BASELINES_HGT_H_
+#define WIDEN_BASELINES_HGT_H_
+
+#include "tensor/optimizer.h"
+#include "train/model.h"
+#include "util/random.h"
+
+namespace widen::baselines {
+
+class HgtModel : public train::Model {
+ public:
+  explicit HgtModel(train::ModelHyperparams hyperparams, int64_t fanout = 12);
+
+  std::string name() const override { return "HGT"; }
+
+  Status Fit(const graph::HeteroGraph& graph,
+             const std::vector<graph::NodeId>& train_nodes) override;
+  StatusOr<std::vector<int32_t>> Predict(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+  StatusOr<tensor::Tensor> Embed(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+
+ private:
+  Status EnsureInitialized(const graph::HeteroGraph& graph);
+  tensor::Tensor EmbedOne(const graph::HeteroGraph& graph, graph::NodeId node,
+                          Rng& rng);
+
+  train::ModelHyperparams hp_;
+  int64_t fanout_;
+  Rng rng_;
+  bool initialized_ = false;
+  tensor::Tensor w_in_;                    // [d0, d] shared input projection
+  std::vector<tensor::Tensor> w_query_;    // per node type, [d, d]
+  std::vector<tensor::Tensor> w_key_;      // per edge type, [d, d]
+  std::vector<tensor::Tensor> w_value_;    // per edge type, [d, d]
+  std::vector<tensor::Tensor> relation_prior_;  // per edge type, [1, 1] μ
+  tensor::Tensor w_out_;                   // [d, d]
+  tensor::Tensor classifier_;
+  std::unique_ptr<tensor::Adam> optimizer_;
+};
+
+}  // namespace widen::baselines
+
+#endif  // WIDEN_BASELINES_HGT_H_

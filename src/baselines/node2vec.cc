@@ -1,0 +1,141 @@
+#include "baselines/node2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sampling/random_walk.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/timer.h"
+
+namespace widen::baselines {
+
+namespace T = widen::tensor;
+
+Node2VecModel::Node2VecModel(train::ModelHyperparams hyperparams,
+                             Node2VecParams params)
+    : hp_(std::move(hyperparams)), nv_(params), rng_(hp_.seed) {}
+
+void Node2VecModel::SgnsUpdate(graph::NodeId center, graph::NodeId context,
+                               const sampling::NegativeSampler& sampler,
+                               Rng& rng) {
+  const int64_t d = hp_.embedding_dim;
+  float* v_in = in_embeddings_.data() + static_cast<int64_t>(center) * d;
+  std::vector<float> grad_in(static_cast<size_t>(d), 0.0f);
+  auto update_pair = [&](graph::NodeId target, float label) {
+    float* v_out = out_embeddings_.data() + static_cast<int64_t>(target) * d;
+    float dot = 0.0f;
+    for (int64_t j = 0; j < d; ++j) dot += v_in[j] * v_out[j];
+    const float sigma = 1.0f / (1.0f + std::exp(-dot));
+    const float coeff = nv_.sgns_learning_rate * (label - sigma);
+    for (int64_t j = 0; j < d; ++j) {
+      grad_in[static_cast<size_t>(j)] += coeff * v_out[j];
+      v_out[j] += coeff * v_in[j];
+    }
+  };
+  update_pair(context, 1.0f);
+  for (graph::NodeId negative :
+       sampler.SampleExcluding(context, nv_.negatives, rng)) {
+    update_pair(negative, 0.0f);
+  }
+  for (int64_t j = 0; j < d; ++j) v_in[j] += grad_in[static_cast<size_t>(j)];
+}
+
+Status Node2VecModel::Fit(const graph::HeteroGraph& graph,
+                          const std::vector<graph::NodeId>& train_nodes) {
+  if (train_nodes.empty()) {
+    return Status::InvalidArgument("no training nodes");
+  }
+  const int64_t n = graph.num_nodes();
+  const int64_t d = hp_.embedding_dim;
+  fit_num_nodes_ = n;
+  in_embeddings_.assign(static_cast<size_t>(n * d), 0.0f);
+  out_embeddings_.assign(static_cast<size_t>(n * d), 0.0f);
+  for (float& x : in_embeddings_) {
+    x = static_cast<float>((rng_.UniformDouble() - 0.5) / d);
+  }
+
+  sampling::NegativeSampler negative_sampler(graph);
+  std::vector<graph::NodeId> starts(static_cast<size_t>(n));
+  for (graph::NodeId v = 0; v < n; ++v) starts[static_cast<size_t>(v)] = v;
+
+  for (int64_t epoch = 0; epoch < nv_.sgns_epochs; ++epoch) {
+    StopWatch watch;
+    rng_.Shuffle(starts);
+    for (graph::NodeId start : starts) {
+      for (int64_t w = 0; w < nv_.walks_per_node; ++w) {
+        std::vector<graph::NodeId> walk = sampling::SampleNode2VecWalk(
+            graph, start, nv_.walk_length, nv_.p, nv_.q, rng_);
+        for (size_t i = 0; i < walk.size(); ++i) {
+          const size_t lo = i > static_cast<size_t>(nv_.window)
+                                ? i - static_cast<size_t>(nv_.window)
+                                : 0;
+          const size_t hi =
+              std::min(walk.size(), i + static_cast<size_t>(nv_.window) + 1);
+          for (size_t j = lo; j < hi; ++j) {
+            if (j == i) continue;
+            SgnsUpdate(walk[i], walk[j], negative_sampler, rng_);
+          }
+        }
+      }
+    }
+    if (hp_.epoch_observer) {
+      hp_.epoch_observer(epoch, /*loss=*/0.0, watch.ElapsedSeconds());
+    }
+  }
+
+  // Softmax head on frozen embeddings of the labeled training nodes.
+  T::Tensor table = T::Tensor::FromVector(T::Shape::Matrix(n, d),
+                                          in_embeddings_);
+  std::vector<int32_t> indices(train_nodes.begin(), train_nodes.end());
+  std::vector<int32_t> labels;
+  labels.reserve(train_nodes.size());
+  for (graph::NodeId v : train_nodes) {
+    const int32_t y = graph.label(v);
+    if (y < 0) {
+      return Status::InvalidArgument("unlabeled training node");
+    }
+    labels.push_back(y);
+  }
+  classifier_ = T::XavierUniform(T::Shape::Matrix(d, graph.num_classes()),
+                                 rng_, "n2v_c");
+  T::Adam head_optimizer(0.05f, 0.9f, 0.999f, 1e-8f, hp_.weight_decay);
+  head_optimizer.AddParameter(classifier_);
+  T::Tensor features = T::GatherRows(table, indices);
+  features.DetachInPlace();
+  for (int64_t step = 0; step < 200; ++step) {
+    T::Tensor loss =
+        T::SoftmaxCrossEntropy(T::MatMul(features, classifier_), labels);
+    head_optimizer.ZeroGrad();
+    loss.Backward();
+    head_optimizer.Step();
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<std::vector<int32_t>> Node2VecModel::Predict(
+    const graph::HeteroGraph& graph, const std::vector<graph::NodeId>& nodes) {
+  WIDEN_ASSIGN_OR_RETURN(T::Tensor embeddings, Embed(graph, nodes));
+  return T::ArgMaxRows(T::MatMul(embeddings, classifier_));
+}
+
+StatusOr<T::Tensor> Node2VecModel::Embed(
+    const graph::HeteroGraph& graph, const std::vector<graph::NodeId>& nodes) {
+  if (!fitted_) return Status::FailedPrecondition("Embed before Fit");
+  if (graph.num_nodes() != fit_num_nodes_) {
+    return Status::FailedPrecondition(
+        "Node2Vec is transductive: evaluation graph must be the Fit graph");
+  }
+  const int64_t d = hp_.embedding_dim;
+  T::Tensor out(T::Shape::Matrix(static_cast<int64_t>(nodes.size()), d));
+  float* dst = out.mutable_data();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const float* src =
+        in_embeddings_.data() + static_cast<int64_t>(nodes[i]) * d;
+    std::copy(src, src + d, dst + static_cast<int64_t>(i) * d);
+  }
+  return out;
+}
+
+}  // namespace widen::baselines

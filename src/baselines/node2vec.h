@@ -1,0 +1,66 @@
+// Node2Vec baseline (Grover & Leskovec, 2016): biased second-order random
+// walks feeding skip-gram with negative sampling, trained unsupervised with
+// direct SGD on the embedding arrays (no autograd tape — SGNS updates are
+// closed-form and this is how the reference implementation works). A softmax
+// classifier is then fitted on the frozen embeddings of the training nodes.
+//
+// Transductive only: embeddings are tied to node identities.
+
+#ifndef WIDEN_BASELINES_NODE2VEC_H_
+#define WIDEN_BASELINES_NODE2VEC_H_
+
+#include "sampling/negative_sampler.h"
+#include "tensor/optimizer.h"
+#include "train/model.h"
+#include "util/random.h"
+
+namespace widen::baselines {
+
+class Node2VecModel : public train::Model {
+ public:
+  struct Node2VecParams {
+    double p = 1.0;          // return parameter
+    double q = 1.0;          // in-out parameter
+    int64_t walks_per_node = 5;
+    int64_t walk_length = 20;
+    int64_t window = 5;
+    int64_t negatives = 5;
+    int64_t sgns_epochs = 2;
+    float sgns_learning_rate = 0.025f;
+  };
+
+  explicit Node2VecModel(train::ModelHyperparams hyperparams)
+      : Node2VecModel(std::move(hyperparams), Node2VecParams()) {}
+  Node2VecModel(train::ModelHyperparams hyperparams, Node2VecParams params);
+
+  std::string name() const override { return "Node2Vec"; }
+  /// Embeddings are per-node-id lookup tables; unseen nodes are impossible.
+  bool supports_inductive() const override { return false; }
+
+  Status Fit(const graph::HeteroGraph& graph,
+             const std::vector<graph::NodeId>& train_nodes) override;
+  StatusOr<std::vector<int32_t>> Predict(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+  StatusOr<tensor::Tensor> Embed(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+
+ private:
+  /// One SGNS update for (center, context) plus negatives.
+  void SgnsUpdate(graph::NodeId center, graph::NodeId context,
+                  const sampling::NegativeSampler& sampler, Rng& rng);
+
+  train::ModelHyperparams hp_;
+  Node2VecParams nv_;
+  Rng rng_;
+  bool fitted_ = false;
+  int64_t fit_num_nodes_ = 0;
+  std::vector<float> in_embeddings_;   // [N, d] row-major
+  std::vector<float> out_embeddings_;  // [N, d] context vectors
+  tensor::Tensor classifier_;          // [d, c] softmax head
+};
+
+}  // namespace widen::baselines
+
+#endif  // WIDEN_BASELINES_NODE2VEC_H_

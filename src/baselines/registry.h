@@ -1,0 +1,32 @@
+// Name-based model factory used by the benchmark harnesses.
+
+#ifndef WIDEN_BASELINES_REGISTRY_H_
+#define WIDEN_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/widen_config.h"
+#include "train/model.h"
+#include "util/status.h"
+
+namespace widen::baselines {
+
+/// Model names in the row order of Table 2 (WIDEN last).
+std::vector<std::string> AvailableModels();
+
+/// Creates a model by Table 2 name ("Node2Vec", "GCN", "FastGCN",
+/// "GraphSAGE", "GAT", "GTN", "HAN", "HGT", "WIDEN"). The common hyperparams
+/// are mapped onto each family's knobs; WIDEN derives a WidenConfig from
+/// them (paper §4.4 downsampling defaults).
+StatusOr<std::unique_ptr<train::Model>> CreateModel(
+    const std::string& name, const train::ModelHyperparams& hyperparams);
+
+/// WidenConfig matching what CreateModel("WIDEN", hp) uses.
+core::WidenConfig WidenConfigFromHyperparams(
+    const train::ModelHyperparams& hyperparams);
+
+}  // namespace widen::baselines
+
+#endif  // WIDEN_BASELINES_REGISTRY_H_

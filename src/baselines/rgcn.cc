@@ -1,0 +1,111 @@
+#include "baselines/rgcn.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/timer.h"
+
+namespace widen::baselines {
+
+namespace T = widen::tensor;
+
+RgcnModel::RgcnModel(train::ModelHyperparams hyperparams)
+    : hp_(std::move(hyperparams)), rng_(hp_.seed) {}
+
+Status RgcnModel::EnsureInitialized(const graph::HeteroGraph& graph) {
+  if (initialized_) return Status::OK();
+  if (!graph.features().defined() || !graph.has_labels()) {
+    return Status::FailedPrecondition("graph needs features and labels");
+  }
+  const int64_t d0 = graph.feature_dim();
+  const int64_t d = hp_.hidden_dim;
+  const int32_t c = graph.num_classes();
+  std::vector<T::Tensor> params;
+  for (graph::EdgeTypeId e = 0; e < graph.schema().num_edge_types(); ++e) {
+    w1_per_type_.push_back(
+        T::XavierUniform(T::Shape::Matrix(d0, d), rng_, "rgcn_w1"));
+    w2_per_type_.push_back(
+        T::XavierUniform(T::Shape::Matrix(d, c), rng_, "rgcn_w2"));
+    params.push_back(w1_per_type_.back());
+    params.push_back(w2_per_type_.back());
+  }
+  w1_self_ = T::XavierUniform(T::Shape::Matrix(d0, d), rng_, "rgcn_w1s");
+  w2_self_ = T::XavierUniform(T::Shape::Matrix(d, c), rng_, "rgcn_w2s");
+  params.push_back(w1_self_);
+  params.push_back(w2_self_);
+  optimizer_ = std::make_unique<T::Adam>(hp_.learning_rate, 0.9f, 0.999f,
+                                         1e-8f, hp_.weight_decay);
+  optimizer_->AddParameters(params);
+  initialized_ = true;
+  return Status::OK();
+}
+
+T::Tensor RgcnModel::ForwardLogits(const graph::HeteroGraph& graph,
+                                   T::Tensor* hidden) {
+  const std::vector<T::SparseCsr>& adjacencies = adjacency_cache_.GetOrCreate(
+      graph, [&] {
+        std::vector<T::SparseCsr> rel;
+        for (graph::EdgeTypeId t = 0; t < graph.schema().num_edge_types();
+             ++t) {
+          rel.push_back(TypedRowNormalizedAdjacency(graph, t));
+        }
+        return rel;
+      });
+  // Layer 1: H = ReLU(X W_self + Σ_r A_r X W_r).
+  T::Tensor h = T::MatMul(graph.features(), w1_self_);
+  for (size_t r = 0; r < adjacencies.size(); ++r) {
+    h = T::Add(h, T::SparseMatMul(adjacencies[r],
+                                  T::MatMul(graph.features(), w1_per_type_[r])));
+  }
+  h = T::Relu(h);
+  if (hidden != nullptr) *hidden = h;
+  // Layer 2 (to logits).
+  T::Tensor logits = T::MatMul(h, w2_self_);
+  for (size_t r = 0; r < adjacencies.size(); ++r) {
+    logits = T::Add(
+        logits, T::SparseMatMul(adjacencies[r], T::MatMul(h, w2_per_type_[r])));
+  }
+  return logits;
+}
+
+Status RgcnModel::Fit(const graph::HeteroGraph& graph,
+                      const std::vector<graph::NodeId>& train_nodes) {
+  WIDEN_RETURN_IF_ERROR(EnsureInitialized(graph));
+  if (train_nodes.empty()) {
+    return Status::InvalidArgument("no training nodes");
+  }
+  const std::vector<float> mask = TrainMask(graph.num_nodes(), train_nodes);
+  const std::vector<int32_t> labels = MaskedLabels(graph);
+  for (int64_t epoch = 0; epoch < hp_.epochs; ++epoch) {
+    StopWatch watch;
+    T::Tensor logits = ForwardLogits(graph, nullptr);
+    T::Tensor loss = T::SoftmaxCrossEntropy(logits, labels, &mask);
+    optimizer_->ZeroGrad();
+    loss.Backward();
+    optimizer_->Step();
+    if (hp_.epoch_observer) {
+      hp_.epoch_observer(epoch, loss.item(), watch.ElapsedSeconds());
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<int32_t>> RgcnModel::Predict(
+    const graph::HeteroGraph& graph, const std::vector<graph::NodeId>& nodes) {
+  if (!initialized_) return Status::FailedPrecondition("Predict before Fit");
+  T::Tensor logits = ForwardLogits(graph, nullptr);
+  std::vector<int32_t> indices(nodes.begin(), nodes.end());
+  return T::ArgMaxRows(T::GatherRows(logits, indices));
+}
+
+StatusOr<T::Tensor> RgcnModel::Embed(const graph::HeteroGraph& graph,
+                                     const std::vector<graph::NodeId>& nodes) {
+  if (!initialized_) return Status::FailedPrecondition("Embed before Fit");
+  T::Tensor hidden;
+  ForwardLogits(graph, &hidden);
+  std::vector<int32_t> indices(nodes.begin(), nodes.end());
+  T::Tensor out = T::GatherRows(hidden, indices);
+  out.DetachInPlace();
+  return out;
+}
+
+}  // namespace widen::baselines

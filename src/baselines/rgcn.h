@@ -1,0 +1,49 @@
+// RGCN (Schlichtkrull et al., 2018) — bonus baseline beyond Table 2 (the
+// paper discusses it in §5.2 as the early heterogeneous GNN): one linear
+// projection per edge type, summed with a self-connection, two layers,
+// full-batch masked cross-entropy.
+
+#ifndef WIDEN_BASELINES_RGCN_H_
+#define WIDEN_BASELINES_RGCN_H_
+
+#include "baselines/common.h"
+#include "tensor/optimizer.h"
+#include "train/model.h"
+#include "util/random.h"
+
+namespace widen::baselines {
+
+class RgcnModel : public train::Model {
+ public:
+  explicit RgcnModel(train::ModelHyperparams hyperparams);
+
+  std::string name() const override { return "RGCN"; }
+
+  Status Fit(const graph::HeteroGraph& graph,
+             const std::vector<graph::NodeId>& train_nodes) override;
+  StatusOr<std::vector<int32_t>> Predict(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+  StatusOr<tensor::Tensor> Embed(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+
+ private:
+  Status EnsureInitialized(const graph::HeteroGraph& graph);
+  tensor::Tensor ForwardLogits(const graph::HeteroGraph& graph,
+                               tensor::Tensor* hidden);
+
+  train::ModelHyperparams hp_;
+  Rng rng_;
+  bool initialized_ = false;
+  std::vector<tensor::Tensor> w1_per_type_;  // [d0, d] per edge type
+  tensor::Tensor w1_self_;                   // [d0, d]
+  std::vector<tensor::Tensor> w2_per_type_;  // [d, c] per edge type
+  tensor::Tensor w2_self_;                   // [d, c]
+  std::unique_ptr<tensor::Adam> optimizer_;
+  PerGraphCache<std::vector<tensor::SparseCsr>> adjacency_cache_;
+};
+
+}  // namespace widen::baselines
+
+#endif  // WIDEN_BASELINES_RGCN_H_

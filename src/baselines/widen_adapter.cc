@@ -1,0 +1,31 @@
+#include "baselines/widen_adapter.h"
+
+namespace widen::baselines {
+
+Status WidenAdapter::Fit(const graph::HeteroGraph& graph,
+                         const std::vector<graph::NodeId>& train_nodes) {
+  WIDEN_ASSIGN_OR_RETURN(model_, core::WidenModel::Create(&graph, config_));
+  auto observer = [this](const core::WidenEpochLog& log) {
+    if (observer_) observer_(log.epoch, log.mean_loss, log.seconds);
+  };
+  WIDEN_ASSIGN_OR_RETURN(report_, model_->Train(train_nodes, observer));
+  return Status::OK();
+}
+
+StatusOr<std::vector<int32_t>> WidenAdapter::Predict(
+    const graph::HeteroGraph& graph, const std::vector<graph::NodeId>& nodes) {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("Predict before Fit");
+  }
+  return model_->Predict(graph, nodes);
+}
+
+StatusOr<tensor::Tensor> WidenAdapter::Embed(
+    const graph::HeteroGraph& graph, const std::vector<graph::NodeId>& nodes) {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("Embed before Fit");
+  }
+  return model_->EmbedNodes(graph, nodes);
+}
+
+}  // namespace widen::baselines

@@ -1,0 +1,52 @@
+// Adapter exposing core::WidenModel through the common train::Model
+// interface so harnesses can sweep WIDEN alongside the baselines.
+
+#ifndef WIDEN_BASELINES_WIDEN_ADAPTER_H_
+#define WIDEN_BASELINES_WIDEN_ADAPTER_H_
+
+#include <memory>
+
+#include "core/widen_config.h"
+#include "core/widen_model.h"
+#include "train/model.h"
+
+namespace widen::baselines {
+
+class WidenAdapter : public train::Model {
+ public:
+  explicit WidenAdapter(core::WidenConfig config, std::string display_name = "WIDEN")
+      : config_(std::move(config)), display_name_(std::move(display_name)) {}
+
+  std::string name() const override { return display_name_; }
+  bool supports_inductive() const override { return true; }
+
+  Status Fit(const graph::HeteroGraph& graph,
+             const std::vector<graph::NodeId>& train_nodes) override;
+  StatusOr<std::vector<int32_t>> Predict(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+  StatusOr<tensor::Tensor> Embed(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) override;
+
+  /// Per-epoch telemetry of the last Fit (Fig. 4/5 harnesses).
+  const core::WidenTrainReport& last_report() const { return report_; }
+  /// Non-null after Fit.
+  core::WidenModel* model() { return model_.get(); }
+
+  /// Hook for the common epoch observer.
+  void set_epoch_observer(train::EpochObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  core::WidenConfig config_;
+  std::string display_name_;
+  std::unique_ptr<core::WidenModel> model_;
+  core::WidenTrainReport report_;
+  train::EpochObserver observer_;
+};
+
+}  // namespace widen::baselines
+
+#endif  // WIDEN_BASELINES_WIDEN_ADAPTER_H_

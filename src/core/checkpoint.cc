@@ -1,0 +1,69 @@
+#include "core/checkpoint.h"
+
+#include "tensor/serialize.h"
+#include "util/string_util.h"
+
+namespace widen::core {
+namespace {
+
+// Stable per-parameter names: index + label (labels alone may repeat across
+// attention matrices of the same kind).
+tensor::NamedTensors NameParameters(const WidenModel& model) {
+  tensor::NamedTensors named;
+  std::vector<tensor::Tensor> params = model.Parameters();
+  named.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    named.emplace_back(StrCat("p", i, ":", params[i].label()), params[i]);
+  }
+  return named;
+}
+
+}  // namespace
+
+Status SaveWidenModel(const WidenModel& model, const std::string& path) {
+  tensor::NamedTensors named = NameParameters(model);
+  // Algorithm 3's output ("vector representations for all v in V") is part
+  // of the trained state: persist the embedding store when it exists.
+  tensor::Tensor reps, valid;
+  if (model.ExportTrainingCache(&reps, &valid)) {
+    named.emplace_back("cache:reps", reps);
+    named.emplace_back("cache:valid", valid);
+  }
+  return tensor::SaveTensors(path, named);
+}
+
+Status LoadWidenModel(WidenModel& model, const std::string& path) {
+  WIDEN_ASSIGN_OR_RETURN(tensor::NamedTensors loaded,
+                         tensor::LoadTensors(path));
+  tensor::NamedTensors expected = NameParameters(model);
+  // Optional embedding store rides at the end.
+  tensor::Tensor cache_reps, cache_valid;
+  if (loaded.size() >= 2 && loaded[loaded.size() - 2].first == "cache:reps" &&
+      loaded.back().first == "cache:valid") {
+    cache_reps = loaded[loaded.size() - 2].second;
+    cache_valid = loaded.back().second;
+    loaded.pop_back();
+    loaded.pop_back();
+  }
+  if (loaded.size() != expected.size()) {
+    return Status::InvalidArgument(
+        StrCat("checkpoint has ", loaded.size(), " tensors, model expects ",
+               expected.size()));
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (loaded[i].first != expected[i].first) {
+      return Status::InvalidArgument(
+          StrCat("checkpoint tensor ", i, " is '", loaded[i].first,
+                 "', model expects '", expected[i].first,
+                 "' (was the model created with the same config?)"));
+    }
+    WIDEN_RETURN_IF_ERROR(
+        tensor::CopyInto(loaded[i].second, expected[i].second));
+  }
+  if (cache_reps.defined()) {
+    WIDEN_RETURN_IF_ERROR(model.ImportTrainingCache(cache_reps, cache_valid));
+  }
+  return Status::OK();
+}
+
+}  // namespace widen::core

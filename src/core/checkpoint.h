@@ -1,0 +1,27 @@
+// Saving/restoring trained WIDEN parameters (extension beyond the paper:
+// production systems need to ship the trained model to serving).
+
+#ifndef WIDEN_CORE_CHECKPOINT_H_
+#define WIDEN_CORE_CHECKPOINT_H_
+
+#include <string>
+
+#include "core/widen_model.h"
+#include "util/status.h"
+
+namespace widen::core {
+
+/// Writes all parameters of `model` to `path` (tensor-bundle format, see
+/// tensor/serialize.h). The WidenConfig is NOT stored; callers re-create the
+/// model with the same config before restoring.
+Status SaveWidenModel(const WidenModel& model, const std::string& path);
+
+/// Restores parameters saved by SaveWidenModel into `model`, which must
+/// have been created with a configuration producing identical parameter
+/// shapes. Embedding caches are not restored (they are recomputed by the
+/// next training/eval pass).
+Status LoadWidenModel(WidenModel& model, const std::string& path);
+
+}  // namespace widen::core
+
+#endif  // WIDEN_CORE_CHECKPOINT_H_

@@ -1,0 +1,85 @@
+#include "core/downsampling.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace widen::core {
+namespace {
+
+// argmin over attention[1..], returning a 0-based local index.
+size_t ArgMinNeighborAttention(const std::vector<float>& attention,
+                               size_t num_neighbors) {
+  WIDEN_CHECK_EQ(attention.size(), num_neighbors + 1);
+  WIDEN_CHECK_GT(num_neighbors, 0u);
+  size_t best = 0;
+  for (size_t n = 1; n < num_neighbors; ++n) {
+    if (attention[n + 1] < attention[best + 1]) best = n;
+  }
+  return best;
+}
+
+// Removes position s' from a deep state, applying Eq. (8) to its successor
+// beforehand when applicable.
+void RemoveDeepPosition(DeepNeighborState& state, size_t victim,
+                        const tensor::Tensor& pack_values,
+                        const EdgeEmbeddings& tables, bool use_relay_edges) {
+  WIDEN_CHECK_LT(victim, state.size());
+  WIDEN_CHECK_EQ(pack_values.rows(), static_cast<int64_t>(state.size()) + 1);
+  if (use_relay_edges && victim + 1 < state.size()) {
+    // relay = maxpool(e_{s'+1,s'}, m_{s'}); m_{s'} sits at pack row
+    // victim + 1 (row 0 is the target's own pack).
+    std::vector<float> edge_vec =
+        tables.EdgeVectorValue(state.edges[victim + 1]);
+    const int64_t d = pack_values.cols();
+    WIDEN_CHECK_EQ(static_cast<int64_t>(edge_vec.size()), d);
+    const float* pack =
+        pack_values.data() + (static_cast<int64_t>(victim) + 1) * d;
+    for (int64_t j = 0; j < d; ++j) {
+      edge_vec[static_cast<size_t>(j)] =
+          std::max(edge_vec[static_cast<size_t>(j)], pack[j]);
+    }
+    DeepEdgeSlot& successor = state.edges[victim + 1];
+    successor.relay = std::move(edge_vec);
+    successor.edge_type = -1;
+  }
+  state.nodes.erase(state.nodes.begin() + static_cast<std::ptrdiff_t>(victim));
+  state.edges.erase(state.edges.begin() + static_cast<std::ptrdiff_t>(victim));
+}
+
+}  // namespace
+
+size_t ShrinkWideSet(sampling::WideNeighborSet& wide,
+                     const std::vector<float>& attention) {
+  const size_t victim = ArgMinNeighborAttention(attention, wide.size());
+  wide.RemoveLocalIndex(victim);
+  return victim;
+}
+
+size_t ShrinkWideSetRandom(sampling::WideNeighborSet& wide, Rng& rng) {
+  WIDEN_CHECK_GT(wide.size(), 0u);
+  const size_t victim = static_cast<size_t>(rng.UniformInt(wide.size()));
+  wide.RemoveLocalIndex(victim);
+  return victim;
+}
+
+size_t PruneDeepState(DeepNeighborState& state,
+                      const std::vector<float>& attention,
+                      const tensor::Tensor& pack_values,
+                      const EdgeEmbeddings& tables, bool use_relay_edges) {
+  const size_t victim = ArgMinNeighborAttention(attention, state.size());
+  RemoveDeepPosition(state, victim, pack_values, tables, use_relay_edges);
+  return victim;
+}
+
+size_t PruneDeepStateRandom(DeepNeighborState& state,
+                            const tensor::Tensor& pack_values,
+                            const EdgeEmbeddings& tables,
+                            bool use_relay_edges, Rng& rng) {
+  WIDEN_CHECK_GT(state.size(), 0u);
+  const size_t victim = static_cast<size_t>(rng.UniformInt(state.size()));
+  RemoveDeepPosition(state, victim, pack_values, tables, use_relay_edges);
+  return victim;
+}
+
+}  // namespace widen::core

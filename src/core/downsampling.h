@@ -1,0 +1,48 @@
+// Active downsampling (§3.3): Algorithm 1 (wide message shrinking) and
+// Algorithm 2 (deep message pruning with contextualized relay edges, Eq. 8),
+// plus the random variants used by the Table 4 ablations.
+
+#ifndef WIDEN_CORE_DOWNSAMPLING_H_
+#define WIDEN_CORE_DOWNSAMPLING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/message_pack.h"
+#include "sampling/neighbor_sampler.h"
+#include "util/random.h"
+
+namespace widen::core {
+
+/// Algorithm 1: removes the wide neighbor with the smallest attentive weight.
+/// `attention` holds the |W|+1 weights of Eq. (3) with the target itself at
+/// index 0 (excluded from the argmin, per line 3). Returns the removed local
+/// index. Requires a non-empty neighbor set.
+size_t ShrinkWideSet(sampling::WideNeighborSet& wide,
+                     const std::vector<float>& attention);
+
+/// Table 4 "Random Downsampling for W(t)": drops a uniformly random neighbor.
+size_t ShrinkWideSetRandom(sampling::WideNeighborSet& wide, Rng& rng);
+
+/// Algorithm 2: removes the deep pack with the smallest attentive weight of
+/// Eq. (5) (`attention` again carries the target at index 0). When the
+/// removed pack is not the last element and `use_relay_edges` is set, its
+/// successor's edge slot is replaced by the relay vector
+/// maxpool(e_{s'+1,s'}, m_{s'}) (Eq. 8), where pack values are read from
+/// `pack_values` — the current M▷ contents, shape [|D|+1, d] — and edge
+/// vectors from `tables`. Returns the removed local index.
+size_t PruneDeepState(DeepNeighborState& state,
+                      const std::vector<float>& attention,
+                      const tensor::Tensor& pack_values,
+                      const EdgeEmbeddings& tables, bool use_relay_edges);
+
+/// Table 4 "Random Downsampling for D(t)": uniformly random removal. Relay
+/// edges are still applied unless `use_relay_edges` is false.
+size_t PruneDeepStateRandom(DeepNeighborState& state,
+                            const tensor::Tensor& pack_values,
+                            const EdgeEmbeddings& tables,
+                            bool use_relay_edges, Rng& rng);
+
+}  // namespace widen::core
+
+#endif  // WIDEN_CORE_DOWNSAMPLING_H_

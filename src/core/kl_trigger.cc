@@ -1,0 +1,47 @@
+#include "core/kl_trigger.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace widen::core {
+
+double KlDivergence(const std::vector<float>& previous,
+                    const std::vector<float>& current) {
+  if (previous.size() != current.size() || previous.empty()) {
+    return AttentionTracker::kInfinity;
+  }
+  double kl = 0.0;
+  for (size_t i = 0; i < previous.size(); ++i) {
+    const double p = std::max(static_cast<double>(previous[i]), 1e-12);
+    const double q = std::max(static_cast<double>(current[i]), 1e-12);
+    kl += p * std::log(p / q);
+  }
+  // Numerical drift can push the sum a hair below zero.
+  return std::max(kl, 0.0);
+}
+
+double AttentionTracker::UpdateAndComputeKl(
+    int64_t key, uint64_t set_signature, const std::vector<float>& attention) {
+  double kl = kInfinity;
+  auto it = history_.find(key);
+  if (it != history_.end() && it->second.signature == set_signature) {
+    kl = KlDivergence(it->second.attention, attention);
+  }
+  Entry& entry = history_[key];
+  entry.signature = set_signature;
+  entry.attention = attention;
+  return kl;
+}
+
+void AttentionTracker::Reset(int64_t key) { history_.erase(key); }
+
+uint64_t HashNodeSequence(const std::vector<int32_t>& nodes) {
+  uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
+  for (int32_t node : nodes) {
+    hash ^= static_cast<uint64_t>(static_cast<uint32_t>(node));
+    hash *= 1099511628211ULL;  // FNV prime
+  }
+  return hash;
+}
+
+}  // namespace widen::core

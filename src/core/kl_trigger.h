@@ -1,0 +1,64 @@
+// KL-divergence downsampling trigger (§3.4, Eq. 9).
+//
+// For each target (and each deep walk φ), WIDEN compares the attention
+// distribution learned this epoch with last epoch's distribution over the
+// SAME neighbor set. A small divergence means the model gained little new
+// information from the set, so a neighbor can safely be dropped. If the set
+// changed between epochs the divergence is defined as +infinity (never
+// trigger).
+//
+// Note: Eq. (9) as printed is Σ a_{z-1} ln(a_z / a_{z-1}), which is the
+// NEGATIVE of KL(a_{z-1} ‖ a_z) and thus never positive. We implement the
+// standard non-negative divergence KL(a_{z-1} ‖ a_z), matching the prose
+// ("a sufficiently small KL_z means low information gain").
+
+#ifndef WIDEN_CORE_KL_TRIGGER_H_
+#define WIDEN_CORE_KL_TRIGGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace widen::core {
+
+/// KL(previous ‖ current) of two discrete distributions of equal size;
+/// +infinity on size mismatch. Inputs need not be perfectly normalized
+/// (softmax output drift is tolerated); entries are clamped at 1e-12.
+double KlDivergence(const std::vector<float>& previous,
+                    const std::vector<float>& current);
+
+/// Per-key attention history. Keys identify a (target, neighbor-set) pair —
+/// the model uses target id for wide sets and target*Φ+φ for deep sets.
+class AttentionTracker {
+ public:
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  /// Returns KL(previous ‖ current) if a previous distribution exists for
+  /// `key` AND the set signature matches (Eq. 9's W_z = W_{z-1} condition);
+  /// +infinity otherwise. Then records (signature, attention) for next epoch.
+  double UpdateAndComputeKl(int64_t key, uint64_t set_signature,
+                            const std::vector<float>& attention);
+
+  /// Drops history for `key` (e.g. after a downsampling step changed the
+  /// set; the next epoch re-establishes a baseline).
+  void Reset(int64_t key);
+
+  size_t size() const { return history_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t signature = 0;
+    std::vector<float> attention;
+  };
+  std::unordered_map<int64_t, Entry> history_;
+};
+
+/// Order-sensitive FNV-1a hash of a node-id sequence, used as the set
+/// signature (local indexes matter: Eq. 9 compares weights position-wise).
+uint64_t HashNodeSequence(const std::vector<int32_t>& nodes);
+
+}  // namespace widen::core
+
+#endif  // WIDEN_CORE_KL_TRIGGER_H_

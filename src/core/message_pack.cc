@@ -1,0 +1,125 @@
+#include "core/message_pack.h"
+
+#include <cstring>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace widen::core {
+
+DeepNeighborState MakeDeepState(const sampling::DeepNeighborSequence& walk) {
+  DeepNeighborState state;
+  state.target = walk.target;
+  state.nodes = walk.nodes;
+  state.edges.reserve(walk.edge_types.size());
+  for (graph::EdgeTypeId t : walk.edge_types) {
+    DeepEdgeSlot slot;
+    slot.edge_type = t;
+    state.edges.push_back(std::move(slot));
+  }
+  return state;
+}
+
+EdgeEmbeddings::EdgeEmbeddings(int32_t num_edge_types, int32_t num_node_types,
+                               int64_t embedding_dim, Rng& rng) {
+  WIDEN_CHECK_GT(num_edge_types, 0);
+  WIDEN_CHECK_GT(num_node_types, 0);
+  // Mean 1 keeps v ⊙ e near v at initialization so early packs are sane.
+  edge_table_ = tensor::NormalInit(
+      tensor::Shape::Matrix(num_edge_types, embedding_dim), rng, 0.1f,
+      "G_edge");
+  self_loop_table_ = tensor::NormalInit(
+      tensor::Shape::Matrix(num_node_types, embedding_dim), rng, 0.1f,
+      "G_selfloop");
+  for (tensor::Tensor* table : {&edge_table_, &self_loop_table_}) {
+    float* p = table->mutable_data();
+    for (int64_t i = 0; i < table->size(); ++i) p[i] += 1.0f;
+  }
+}
+
+tensor::Tensor EdgeEmbeddings::SelfLoopEmbedding(
+    graph::NodeTypeId node_type) const {
+  return tensor::GatherRows(self_loop_table_, {node_type});
+}
+
+std::vector<float> EdgeEmbeddings::EdgeVectorValue(
+    const DeepEdgeSlot& slot) const {
+  if (slot.is_relay()) return slot.relay;
+  WIDEN_CHECK_GE(slot.edge_type, 0);
+  WIDEN_CHECK_LT(slot.edge_type, edge_table_.rows());
+  const int64_t d = edge_table_.cols();
+  std::vector<float> out(static_cast<size_t>(d));
+  std::memcpy(out.data(),
+              edge_table_.data() + static_cast<int64_t>(slot.edge_type) * d,
+              static_cast<size_t>(d) * sizeof(float));
+  return out;
+}
+
+tensor::Tensor PackWide(const tensor::Tensor& target_embedding,
+                        const tensor::Tensor& neighbor_embeddings,
+                        const sampling::WideNeighborSet& wide,
+                        graph::NodeTypeId target_type,
+                        const EdgeEmbeddings& tables) {
+  WIDEN_CHECK_EQ(target_embedding.rows(), 1);
+  WIDEN_CHECK_EQ(neighbor_embeddings.rows(),
+                 static_cast<int64_t>(wide.size()));
+  tensor::Tensor self_pack =
+      tensor::Mul(target_embedding, tables.SelfLoopEmbedding(target_type));
+  if (wide.size() == 0) return self_pack;
+  std::vector<int32_t> types(wide.edge_types.begin(), wide.edge_types.end());
+  tensor::Tensor edge_rows = tensor::GatherRows(tables.edge_table(), types);
+  tensor::Tensor neighbor_packs = tensor::Mul(neighbor_embeddings, edge_rows);
+  return tensor::ConcatRows({self_pack, neighbor_packs});
+}
+
+tensor::Tensor PackDeep(const tensor::Tensor& target_embedding,
+                        const tensor::Tensor& node_embeddings,
+                        const DeepNeighborState& state,
+                        graph::NodeTypeId target_type,
+                        const EdgeEmbeddings& tables) {
+  WIDEN_CHECK_EQ(target_embedding.rows(), 1);
+  WIDEN_CHECK_EQ(node_embeddings.rows(), static_cast<int64_t>(state.size()));
+  WIDEN_CHECK_EQ(state.nodes.size(), state.edges.size());
+  tensor::Tensor self_pack =
+      tensor::Mul(target_embedding, tables.SelfLoopEmbedding(target_type));
+  if (state.size() == 0) return self_pack;
+
+  // Fast path: no relay slots -> one gather covers the whole edge matrix.
+  bool any_relay = false;
+  for (const DeepEdgeSlot& slot : state.edges) {
+    if (slot.is_relay()) {
+      any_relay = true;
+      break;
+    }
+  }
+  tensor::Tensor edge_rows;
+  if (!any_relay) {
+    std::vector<int32_t> types;
+    types.reserve(state.edges.size());
+    for (const DeepEdgeSlot& slot : state.edges) {
+      types.push_back(slot.edge_type);
+    }
+    edge_rows = tensor::GatherRows(tables.edge_table(), types);
+  } else {
+    // Mixed rows: trainable lookups interleaved with frozen relay vectors.
+    const int64_t d = tables.edge_table().cols();
+    std::vector<tensor::Tensor> rows;
+    rows.reserve(state.edges.size());
+    for (const DeepEdgeSlot& slot : state.edges) {
+      if (slot.is_relay()) {
+        WIDEN_CHECK_EQ(static_cast<int64_t>(slot.relay.size()), d);
+        rows.push_back(tensor::Tensor::FromVector(
+            tensor::Shape::Matrix(1, d), slot.relay));
+      } else {
+        rows.push_back(
+            tensor::GatherRows(tables.edge_table(), {slot.edge_type}));
+      }
+    }
+    edge_rows = tensor::ConcatRows(rows);
+  }
+  tensor::Tensor node_packs = tensor::Mul(node_embeddings, edge_rows);
+  return tensor::ConcatRows({self_pack, node_packs});
+}
+
+}  // namespace widen::core

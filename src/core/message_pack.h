@@ -1,0 +1,97 @@
+// Heterogeneous message packaging (§3.1, Eq. 1-2).
+//
+// A message pack is the Hadamard interaction v ⊙ e of a node representation
+// with the embedding of its connecting edge. PACK° stacks the target's
+// self-loop pack with the packs of its wide neighbors; PACK▷ does the same
+// for a deep random-walk sequence, where each edge links a node to its walk
+// predecessor (e_{1,0} = e_{1,t}).
+//
+// Deep sequences additionally support *relay edge* slots: after Algorithm 2
+// prunes a pack, its successor's edge is replaced by a frozen contextualized
+// relay vector (Eq. 8). A slot therefore resolves either to a trainable
+// edge-type embedding or to a constant relay vector.
+
+#ifndef WIDEN_CORE_MESSAGE_PACK_H_
+#define WIDEN_CORE_MESSAGE_PACK_H_
+
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/random_walk.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace widen::core {
+
+/// The edge description at one deep-sequence position.
+struct DeepEdgeSlot {
+  /// Schema edge type backing this slot; ignored when `relay` is set.
+  graph::EdgeTypeId edge_type = -1;
+  /// Frozen relay vector (Eq. 8) replacing the edge embedding, if non-empty.
+  std::vector<float> relay;
+
+  bool is_relay() const { return !relay.empty(); }
+};
+
+/// Mutable deep neighbor state D(v_t): the walk nodes plus the (possibly
+/// relayed) edge of every position. Local index s is the vector position.
+struct DeepNeighborState {
+  graph::NodeId target = -1;
+  std::vector<graph::NodeId> nodes;
+  std::vector<DeepEdgeSlot> edges;  // edges[s] links nodes[s] to position s-1
+
+  size_t size() const { return nodes.size(); }
+};
+
+/// Seeds the state from a freshly sampled walk.
+DeepNeighborState MakeDeepState(const sampling::DeepNeighborSequence& walk);
+
+/// Trainable heterogeneity tables: one embedding per edge type (G^edge) and
+/// one self-loop embedding per node type (e_{t,t} of Eq. 1-2).
+class EdgeEmbeddings {
+ public:
+  EdgeEmbeddings(int32_t num_edge_types, int32_t num_node_types,
+                 int64_t embedding_dim, Rng& rng);
+
+  const tensor::Tensor& edge_table() const { return edge_table_; }
+  const tensor::Tensor& self_loop_table() const { return self_loop_table_; }
+
+  /// Differentiable 1-row lookup of the self-loop embedding for `node_type`.
+  tensor::Tensor SelfLoopEmbedding(graph::NodeTypeId node_type) const;
+
+  /// Current (non-differentiable) value of one edge-type embedding, used for
+  /// relay-vector computation.
+  std::vector<float> EdgeVectorValue(const DeepEdgeSlot& slot) const;
+
+  std::vector<tensor::Tensor> Parameters() const {
+    return {edge_table_, self_loop_table_};
+  }
+
+ private:
+  tensor::Tensor edge_table_;       // [num_edge_types, d]
+  tensor::Tensor self_loop_table_;  // [num_node_types, d]
+};
+
+/// PACK° (Eq. 1): builds M° of shape [|W|+1, d]. Row 0 is the target's
+/// self-loop pack; row n+1 is wide neighbor n's pack.
+/// `target_embedding` is [1, d]; `neighbor_embeddings` is [|W|, d] with rows
+/// aligned to `wide.nodes`.
+tensor::Tensor PackWide(const tensor::Tensor& target_embedding,
+                        const tensor::Tensor& neighbor_embeddings,
+                        const sampling::WideNeighborSet& wide,
+                        graph::NodeTypeId target_type,
+                        const EdgeEmbeddings& tables);
+
+/// PACK▷ (Eq. 2): builds M▷ of shape [|D|+1, d]. Row 0 is the target's
+/// self-loop pack; row s+1 packs walk node s with its (possibly relayed)
+/// predecessor edge.
+tensor::Tensor PackDeep(const tensor::Tensor& target_embedding,
+                        const tensor::Tensor& node_embeddings,
+                        const DeepNeighborState& state,
+                        graph::NodeTypeId target_type,
+                        const EdgeEmbeddings& tables);
+
+}  // namespace widen::core
+
+#endif  // WIDEN_CORE_MESSAGE_PACK_H_

@@ -1,0 +1,51 @@
+#include "core/widen_config.h"
+
+#include "util/string_util.h"
+
+namespace widen::core {
+
+std::string WidenConfig::VariantName() const {
+  std::vector<std::string> tags;
+  if (disable_downsampling) tags.push_back("no-downsampling");
+  if (disable_wide) tags.push_back("no-wide");
+  if (disable_deep) tags.push_back("no-deep");
+  if (disable_successive_attention) tags.push_back("no-successive-attn");
+  if (disable_relay_edges) tags.push_back("no-relay-edges");
+  if (random_wide_downsampling) tags.push_back("random-wide-ds");
+  if (random_deep_downsampling) tags.push_back("random-deep-ds");
+  if (tags.empty()) return "default";
+  return Join(tags, "+");
+}
+
+Status WidenConfig::Validate() const {
+  if (embedding_dim <= 0) {
+    return Status::InvalidArgument("embedding_dim must be positive");
+  }
+  if (num_wide_neighbors < 0 || num_deep_neighbors < 0) {
+    return Status::InvalidArgument("neighbor sizes must be non-negative");
+  }
+  if (num_deep_walks <= 0) {
+    return Status::InvalidArgument("num_deep_walks (Phi) must be >= 1");
+  }
+  if (learning_rate <= 0.0f) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+  if (batch_size <= 0 || max_epochs <= 0) {
+    return Status::InvalidArgument("batch_size and max_epochs must be positive");
+  }
+  if (wide_lower_bound < 1 || deep_lower_bound < 1) {
+    return Status::InvalidArgument("downsampling lower bounds must be >= 1");
+  }
+  if (disable_wide && disable_deep) {
+    return Status::InvalidArgument(
+        "cannot disable both wide and deep neighborhoods");
+  }
+  if (disable_downsampling &&
+      (random_wide_downsampling || random_deep_downsampling)) {
+    return Status::InvalidArgument(
+        "random downsampling contradicts disable_downsampling");
+  }
+  return Status::OK();
+}
+
+}  // namespace widen::core

@@ -1,0 +1,642 @@
+#include "core/widen_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/autograd.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace widen::core {
+namespace {
+
+namespace T = widen::tensor;
+
+// Scaled dot-product attention with a single query row (Eq. 3 / Eq. 5).
+// Returns {context [1, d_v], attention weights as floats}.
+struct SingleQueryAttention {
+  T::Tensor context;
+  std::vector<float> weights;
+};
+
+SingleQueryAttention AttendSingleQuery(const T::Tensor& query_row,
+                                       const T::Tensor& keys,
+                                       const T::Tensor& values,
+                                       int64_t model_dim) {
+  T::Tensor scores = T::Scale(
+      T::MatMul(query_row, T::Transpose(keys)),
+      1.0f / std::sqrt(static_cast<float>(model_dim)));
+  T::Tensor attention = T::SoftmaxRows(scores);
+  SingleQueryAttention out;
+  out.context = T::MatMul(attention, values);
+  out.weights.assign(attention.data(), attention.data() + attention.size());
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<WidenModel>> WidenModel::Create(
+    const graph::HeteroGraph* graph, const WidenConfig& config) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("graph must not be null");
+  }
+  WIDEN_RETURN_IF_ERROR(config.Validate());
+  if (!graph->features().defined()) {
+    return Status::FailedPrecondition("graph has no node features");
+  }
+  if (!graph->has_labels()) {
+    return Status::FailedPrecondition("graph has no labels");
+  }
+  return std::unique_ptr<WidenModel>(new WidenModel(graph, config));
+}
+
+WidenModel::WidenModel(const graph::HeteroGraph* graph,
+                       const WidenConfig& config)
+    : graph_(graph), config_(config), rng_(config.seed) {
+  const int64_t d = config_.embedding_dim;
+  const int64_t d0 = graph_->feature_dim();
+  const int32_t c = graph_->num_classes();
+
+  g_node_ = T::XavierUniform(T::Shape::Matrix(d0, d), rng_, "G_node");
+  edges_ = std::make_unique<EdgeEmbeddings>(
+      graph_->schema().num_edge_types(), graph_->schema().num_node_types(), d,
+      rng_);
+  auto attn = [&](const char* name) {
+    return T::XavierUniform(T::Shape::Matrix(d, d), rng_, name);
+  };
+  wq_wide_ = attn("Wq_wide");
+  wk_wide_ = attn("Wk_wide");
+  wv_wide_ = attn("Wv_wide");
+  wq_deep_ = attn("Wq_deep");
+  wk_deep_ = attn("Wk_deep");
+  wv_deep_ = attn("Wv_deep");
+  wq_deep2_ = attn("Wq_deep2");
+  wk_deep2_ = attn("Wk_deep2");
+  wv_deep2_ = attn("Wv_deep2");
+  fuse_w_ = T::XavierUniform(T::Shape::Matrix(2 * d, d), rng_, "W_fuse");
+  fuse_b_ = T::ZeroParam(T::Shape::Matrix(1, d), "b_fuse");
+  classifier_ = T::XavierUniform(T::Shape::Matrix(d, c), rng_, "C");
+
+  optimizer_ = std::make_unique<T::Adam>(config_.learning_rate,
+                                         /*beta1=*/0.9f, /*beta2=*/0.999f,
+                                         /*epsilon=*/1e-8f,
+                                         config_.l2_regularization);
+  optimizer_->AddParameters(Parameters());
+}
+
+std::vector<T::Tensor> WidenModel::Parameters() const {
+  std::vector<T::Tensor> params = {g_node_};
+  for (const T::Tensor& p : edges_->Parameters()) params.push_back(p);
+  for (const T::Tensor& p :
+       {wq_wide_, wk_wide_, wv_wide_, wq_deep_, wk_deep_, wv_deep_, wq_deep2_,
+        wk_deep2_, wv_deep2_, fuse_w_, fuse_b_, classifier_}) {
+    params.push_back(p);
+  }
+  return params;
+}
+
+int64_t WidenModel::TotalParameterCount() const {
+  int64_t total = 0;
+  for (const T::Tensor& p : Parameters()) total += p.size();
+  return total;
+}
+
+T::Tensor WidenModel::ProjectNodes(
+    const graph::HeteroGraph& graph,
+    const std::vector<graph::NodeId>& nodes) const {
+  WIDEN_CHECK_EQ(graph.feature_dim(), g_node_.rows())
+      << "feature dimension mismatch between graphs";
+  std::vector<int32_t> indices(nodes.begin(), nodes.end());
+  T::Tensor features = T::GatherRows(graph.features(), indices);
+  return T::MatMul(features, g_node_);
+}
+
+WidenModel::EmbeddingCache& WidenModel::CacheFor(
+    const graph::HeteroGraph& graph) {
+  EmbeddingCache& cache = caches_[&graph];
+  const size_t wanted =
+      static_cast<size_t>(graph.num_nodes() * config_.embedding_dim);
+  if (cache.data.size() != wanted) {
+    cache.data.assign(wanted, 0.0f);
+    cache.valid.assign(static_cast<size_t>(graph.num_nodes()), false);
+  }
+  return cache;
+}
+
+T::Tensor WidenModel::LookupReps(const graph::HeteroGraph& graph,
+                                 const std::vector<graph::NodeId>& nodes) {
+  const int64_t d = config_.embedding_dim;
+  // Differentiable projection x G^node for every neighbor...
+  T::Tensor projected = ProjectNodes(graph, nodes);
+  EmbeddingCache& cache = CacheFor(graph);
+  // ...plus a constant residual that shifts each cached node's VALUE to its
+  // stored multi-hop representation. Straight-through: values come from the
+  // cache, gradients still reach G^node through the projection term.
+  T::Tensor residual(projected.shape());
+  float* rp = residual.mutable_data();
+  const float* pp = projected.data();
+  bool any_cached = false;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const graph::NodeId v = nodes[i];
+    if (!cache.valid[static_cast<size_t>(v)]) continue;
+    any_cached = true;
+    const float* src = cache.data.data() + static_cast<int64_t>(v) * d;
+    float* row = rp + static_cast<int64_t>(i) * d;
+    const float* prow = pp + static_cast<int64_t>(i) * d;
+    for (int64_t j = 0; j < d; ++j) row[j] = src[j] - prow[j];
+  }
+  if (!any_cached) return projected;
+  return T::Add(projected, residual);
+}
+
+void WidenModel::StoreRep(const graph::HeteroGraph& graph,
+                          graph::NodeId node, const T::Tensor& row) {
+  WIDEN_CHECK_EQ(row.rows(), 1);
+  WIDEN_CHECK_EQ(row.cols(), config_.embedding_dim);
+  EmbeddingCache& cache = CacheFor(graph);
+  std::copy(row.data(), row.data() + config_.embedding_dim,
+            cache.data.data() +
+                static_cast<int64_t>(node) * config_.embedding_dim);
+  cache.valid[static_cast<size_t>(node)] = true;
+}
+
+void WidenModel::RefreshCache(const graph::HeteroGraph& graph,
+                              int64_t passes) {
+  T::NoGradScope no_grad;
+  Rng refresh_rng(config_.seed ^ 0x2EF2E54ULL);
+  for (int64_t pass = 0; pass < passes; ++pass) {
+    for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) {
+      TargetState state = SampleTargetState(graph, v, refresh_rng);
+      ForwardResult result = Forward(graph, state, /*keep_artifacts=*/false);
+      StoreRep(graph, v, result.embedding);
+    }
+  }
+}
+
+WidenModel::TargetState WidenModel::SampleTargetState(
+    const graph::HeteroGraph& graph, graph::NodeId node, Rng& rng) const {
+  TargetState state;
+  state.node = node;
+  if (!config_.disable_wide) {
+    state.wide = sampling::SampleWideNeighbors(graph, node,
+                                               config_.num_wide_neighbors, rng);
+  } else {
+    state.wide.target = node;
+  }
+  if (!config_.disable_deep) {
+    state.deeps.reserve(static_cast<size_t>(config_.num_deep_walks));
+    for (int64_t phi = 0; phi < config_.num_deep_walks; ++phi) {
+      state.deeps.push_back(MakeDeepState(
+          sampling::SampleDeepWalk(graph, node, config_.num_deep_neighbors,
+                                   rng)));
+    }
+  }
+  return state;
+}
+
+WidenModel::ForwardResult WidenModel::Forward(const graph::HeteroGraph& graph,
+                                              TargetState& state,
+                                              bool keep_artifacts) {
+  const int64_t d = config_.embedding_dim;
+  const graph::NodeTypeId target_type = graph.node_type(state.node);
+  // Dropout only perturbs gradient-carrying (supervised) forwards; cache
+  // refreshes and inference run clean. The tape itself is controlled by
+  // NoGradScope at the call sites.
+  const bool training = keep_artifacts && !T::NoGradScope::Active();
+  T::Tensor target_embedding = ProjectNodes(graph, {state.node});
+
+  ForwardResult result;
+
+  // ---- Wide attentive message passing (Eq. 1 + Eq. 3) ----
+  T::Tensor h_wide;
+  if (!config_.disable_wide) {
+    T::Tensor neighbor_embeddings =
+        state.wide.size() > 0 ? LookupReps(graph, state.wide.nodes)
+                              : T::Tensor(T::Shape::Matrix(0, d));
+    T::Tensor packs = PackWide(target_embedding, neighbor_embeddings,
+                               state.wide, target_type, *edges_);
+    T::Tensor query = T::SliceRows(packs, 0, 1);  // m_t°
+    packs = T::Dropout(packs, config_.dropout, rng_, training);
+    SingleQueryAttention attn = AttendSingleQuery(
+        T::MatMul(query, wq_wide_), T::MatMul(packs, wk_wide_),
+        T::MatMul(packs, wv_wide_), d);
+    h_wide = attn.context;
+    if (keep_artifacts) result.wide_attention = std::move(attn.weights);
+  } else {
+    h_wide = T::Tensor(T::Shape::Matrix(1, d));  // zero contribution
+  }
+
+  // ---- Deep successive self-attention (Eq. 2 + Eq. 4-6) ----
+  T::Tensor h_deep;
+  if (!config_.disable_deep) {
+    std::vector<T::Tensor> deep_contexts;
+    deep_contexts.reserve(state.deeps.size());
+    for (DeepNeighborState& deep : state.deeps) {
+      T::Tensor node_embeddings =
+          deep.size() > 0 ? LookupReps(graph, deep.nodes)
+                          : T::Tensor(T::Shape::Matrix(0, d));
+      T::Tensor raw_packs = PackDeep(target_embedding, node_embeddings, deep,
+                                     target_type, *edges_);
+      T::Tensor packs = T::Dropout(raw_packs, config_.dropout, rng_, training);
+      // Eq. (4): refine the pack sequence with a masked self-attention so
+      // information flows from the walk tail toward the target only.
+      T::Tensor refined;
+      if (!config_.disable_successive_attention) {
+        T::Tensor scores = T::Scale(
+            T::MatMul(T::MatMul(packs, wq_deep_),
+                      T::Transpose(T::MatMul(packs, wk_deep_))),
+            1.0f / std::sqrt(static_cast<float>(d)));
+        T::Tensor masked =
+            T::Add(scores, T::CausalAttentionMask(packs.rows()));
+        refined = T::MatMul(T::SoftmaxRows(masked), T::MatMul(packs, wv_deep_));
+      } else {
+        refined = packs;
+      }
+      // Eq. (5): target pack queries the refined sequence; values come from
+      // the raw packs (M▷ W_V▷'), exactly as printed.
+      T::Tensor query = T::SliceRows(packs, 0, 1);  // m_t▷
+      SingleQueryAttention attn = AttendSingleQuery(
+          T::MatMul(query, wq_deep2_), T::MatMul(refined, wk_deep2_),
+          T::MatMul(packs, wv_deep2_), d);
+      deep_contexts.push_back(attn.context);
+      if (keep_artifacts) {
+        result.deep_attention.push_back(std::move(attn.weights));
+        // Relay edges (Eq. 8) must read the true pack values, not the
+        // dropout-perturbed ones.
+        result.deep_pack_values.push_back(raw_packs.DetachedCopy());
+      }
+    }
+    // Average pooling over the Φ walks (Eq. 7).
+    if (deep_contexts.size() == 1) {
+      h_deep = deep_contexts[0];
+    } else {
+      h_deep = T::MeanRows(T::ConcatRows(deep_contexts));
+    }
+  } else {
+    h_deep = T::Tensor(T::Shape::Matrix(1, d));
+  }
+
+  // ---- Fuse (Eq. 7) ----
+  T::Tensor fused = T::ConcatCols({h_wide, h_deep});
+  T::Tensor hidden =
+      T::Relu(T::Add(T::MatMul(fused, fuse_w_), fuse_b_));
+  result.embedding = T::RowL2Normalize(hidden);
+  return result;
+}
+
+void WidenModel::MaybeDownsample(TargetState& state,
+                                 const ForwardResult& result,
+                                 WidenEpochLog& log) {
+  if (config_.disable_downsampling) return;
+
+  // Wide set (Algorithm 1), gated by Eq. (9) unless the random ablation is
+  // active.
+  if (!config_.disable_wide &&
+      static_cast<int64_t>(state.wide.size()) > config_.wide_lower_bound) {
+    if (config_.random_wide_downsampling) {
+      ShrinkWideSetRandom(state.wide, rng_);
+      ++log.wide_drops;
+    } else {
+      const uint64_t signature = HashNodeSequence(state.wide.nodes);
+      const double kl = wide_tracker_.UpdateAndComputeKl(
+          state.node, signature, result.wide_attention);
+      if (kl < static_cast<double>(config_.wide_kl_threshold)) {
+        ShrinkWideSet(state.wide, result.wide_attention);
+        ++log.wide_drops;
+      }
+    }
+  }
+
+  // Deep sets (Algorithm 2 with relay edges, Eq. 8).
+  if (!config_.disable_deep) {
+    for (size_t phi = 0; phi < state.deeps.size(); ++phi) {
+      DeepNeighborState& deep = state.deeps[phi];
+      if (static_cast<int64_t>(deep.size()) <= config_.deep_lower_bound) {
+        continue;
+      }
+      const bool use_relay = !config_.disable_relay_edges;
+      if (config_.random_deep_downsampling) {
+        PruneDeepStateRandom(deep, result.deep_pack_values[phi], *edges_,
+                             use_relay, rng_);
+        ++log.deep_drops;
+      } else {
+        const int64_t key =
+            static_cast<int64_t>(state.node) * config_.num_deep_walks +
+            static_cast<int64_t>(phi);
+        const uint64_t signature = HashNodeSequence(deep.nodes);
+        const double kl = deep_tracker_.UpdateAndComputeKl(
+            key, signature, result.deep_attention[phi]);
+        if (kl < static_cast<double>(config_.deep_kl_threshold)) {
+          PruneDeepState(deep, result.deep_attention[phi],
+                         result.deep_pack_values[phi], *edges_, use_relay);
+          ++log.deep_drops;
+        }
+      }
+    }
+  }
+}
+
+StatusOr<WidenTrainReport> WidenModel::Train(
+    const std::vector<graph::NodeId>& train_nodes,
+    const std::function<void(const WidenEpochLog&)>& epoch_observer) {
+  if (train_nodes.empty()) {
+    return Status::InvalidArgument("no training nodes");
+  }
+  for (graph::NodeId v : train_nodes) {
+    if (v < 0 || v >= graph_->num_nodes()) {
+      return Status::OutOfRange(StrCat("train node ", v, " out of range"));
+    }
+    if (graph_->label(v) < 0) {
+      return Status::InvalidArgument(StrCat("train node ", v, " is unlabeled"));
+    }
+  }
+
+  // Algorithm 3 line 3: sample W(v_t) and D(v_t) once for ALL v in V —
+  // every epoch refreshes every node's stateful embedding (Eq. 10 masks the
+  // unlabeled ones out of the loss), which is how information reaches
+  // farther than one hop as epochs accumulate.
+  for (graph::NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    if (target_states_.find(v) == target_states_.end()) {
+      target_states_.emplace(v, SampleTargetState(*graph_, v, rng_));
+    }
+  }
+  std::vector<bool> in_train_set(static_cast<size_t>(graph_->num_nodes()),
+                                 false);
+  for (graph::NodeId v : train_nodes) {
+    in_train_set[static_cast<size_t>(v)] = true;
+  }
+  CacheFor(*graph_);  // allocate the training graph's embedding store
+
+  WidenTrainReport report;
+  StopWatch total_watch;
+  std::vector<graph::NodeId> supervised_order = train_nodes;
+  std::vector<graph::NodeId> refresh_order;
+  refresh_order.reserve(static_cast<size_t>(graph_->num_nodes()) -
+                        train_nodes.size());
+  for (graph::NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    if (!in_train_set[static_cast<size_t>(v)]) refresh_order.push_back(v);
+  }
+  for (int64_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    StopWatch epoch_watch;
+    WidenEpochLog log;
+    log.epoch = current_epoch_;
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+
+    // Supervised mini-batches over the labeled training nodes (Eq. 10).
+    rng_.Shuffle(supervised_order);
+    for (size_t begin = 0; begin < supervised_order.size();
+         begin += static_cast<size_t>(config_.batch_size)) {
+      const size_t end =
+          std::min(supervised_order.size(),
+                   begin + static_cast<size_t>(config_.batch_size));
+      std::vector<T::Tensor> embeddings;
+      std::vector<int32_t> labels;
+      embeddings.reserve(end - begin);
+      labels.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        const graph::NodeId v = supervised_order[i];
+        TargetState& state = target_states_.at(v);
+        ForwardResult result = Forward(*graph_, state, /*keep_artifacts=*/true);
+        embeddings.push_back(result.embedding);
+        labels.push_back(graph_->label(v));
+        // Algorithm 3 lines 9-13: downsampling needs at least one full prior
+        // epoch over the same sets (the KL gate enforces it; the epoch guard
+        // below mirrors the printed "z > 1" condition).
+        if (current_epoch_ >= 1) MaybeDownsample(state, result, log);
+        // "v_t' replaces the original node embedding."
+        StoreRep(*graph_, v, result.embedding.DetachedCopy());
+      }
+      T::Tensor batch = T::ConcatRows(embeddings);
+      T::Tensor logits = T::MatMul(batch, classifier_);
+      T::Tensor loss = T::SoftmaxCrossEntropy(logits, labels);
+      optimizer_->ZeroGrad();
+      loss.Backward();
+      optimizer_->Step();
+      loss_sum += loss.item();
+      ++batches;
+    }
+
+    // Stateful-embedding refresh for every other node of V (Algorithm 3
+    // iterates all of V; unlabeled nodes contribute no loss, Eq. 10). This
+    // sweep is what pushes information one hop further per epoch.
+    {
+      T::NoGradScope no_grad;
+      rng_.Shuffle(refresh_order);
+      for (graph::NodeId v : refresh_order) {
+        TargetState& state = target_states_.at(v);
+        ForwardResult result = Forward(*graph_, state, /*keep_artifacts=*/true);
+        if (current_epoch_ >= 1) MaybeDownsample(state, result, log);
+        StoreRep(*graph_, v, result.embedding);
+      }
+    }
+
+    log.mean_loss = batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
+    log.seconds = epoch_watch.ElapsedSeconds();
+    double wide_total = 0.0, deep_total = 0.0;
+    int64_t deep_sets = 0;
+    for (graph::NodeId v : train_nodes) {
+      const TargetState& state = target_states_.at(v);
+      wide_total += static_cast<double>(state.wide.size());
+      for (const DeepNeighborState& deep : state.deeps) {
+        deep_total += static_cast<double>(deep.size());
+        ++deep_sets;
+      }
+    }
+    log.mean_wide_size =
+        wide_total / static_cast<double>(train_nodes.size());
+    log.mean_deep_size =
+        deep_sets > 0 ? deep_total / static_cast<double>(deep_sets) : 0.0;
+    report.epochs.push_back(log);
+    if (epoch_observer) epoch_observer(log);
+    ++current_epoch_;
+  }
+  // One final coherent refresh: every cached representation is recomputed
+  // with the fully trained parameters (mid-epoch rows were written under
+  // older parameter values).
+  RefreshCache(*graph_, 1);
+  report.total_seconds = total_watch.ElapsedSeconds();
+  return report;
+}
+
+StatusOr<WidenTrainReport> WidenModel::TrainUnsupervised(
+    int64_t walk_length, int64_t window, int64_t negatives,
+    const std::function<void(const WidenEpochLog&)>& epoch_observer) {
+  if (walk_length < 2 || window < 1 || negatives < 1) {
+    return Status::InvalidArgument("bad unsupervised-training parameters");
+  }
+  for (graph::NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    if (target_states_.find(v) == target_states_.end()) {
+      target_states_.emplace(v, SampleTargetState(*graph_, v, rng_));
+    }
+  }
+  CacheFor(*graph_);
+
+  // Auxiliary per-node CONTEXT vectors (skip-gram output table). Breaking
+  // the encoder/context symmetry prevents representation collapse; the
+  // table is a training artifact only — the encoder stays inductive.
+  T::Tensor context_table = T::NormalInit(
+      T::Shape::Matrix(graph_->num_nodes(), config_.embedding_dim), rng_,
+      0.1f, "sgns_context");
+  T::Adam context_optimizer(config_.learning_rate);
+  context_optimizer.AddParameter(context_table);
+
+  WidenTrainReport report;
+  StopWatch total_watch;
+  std::vector<graph::NodeId> order(static_cast<size_t>(graph_->num_nodes()));
+  for (graph::NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    order[static_cast<size_t>(v)] = v;
+  }
+  for (int64_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    StopWatch epoch_watch;
+    WidenEpochLog log;
+    log.epoch = current_epoch_;
+    rng_.Shuffle(order);
+    double loss_sum = 0.0;
+    int64_t steps = 0;
+
+    for (graph::NodeId target : order) {
+      TargetState& state = target_states_.at(target);
+      ForwardResult result = Forward(*graph_, state, /*keep_artifacts=*/true);
+
+      // Positive context: a co-occurring node on a fresh short walk.
+      // Contexts come from the auxiliary table; the encoder output is the
+      // query. InfoNCE against uniform negatives.
+      sampling::DeepNeighborSequence walk =
+          sampling::SampleDeepWalk(*graph_, target, walk_length, rng_);
+      if (!walk.nodes.empty()) {
+        const size_t pick = static_cast<size_t>(rng_.UniformInt(std::min(
+            static_cast<uint64_t>(walk.nodes.size()),
+            static_cast<uint64_t>(window))));
+        std::vector<int32_t> context_ids = {walk.nodes[pick]};
+        for (int64_t n = 0; n < negatives; ++n) {
+          context_ids.push_back(static_cast<int32_t>(
+              rng_.UniformInt(static_cast<uint64_t>(graph_->num_nodes()))));
+        }
+        T::Tensor contexts = T::GatherRows(context_table, context_ids);
+        T::Tensor scores =
+            T::MatMul(result.embedding, T::Transpose(contexts));
+        T::Tensor loss = T::SoftmaxCrossEntropy(scores, {0});
+        optimizer_->ZeroGrad();
+        context_optimizer.ZeroGrad();
+        loss.Backward();
+        optimizer_->Step();
+        context_optimizer.Step();
+        loss_sum += loss.item();
+        ++steps;
+      }
+      if (current_epoch_ >= 1) MaybeDownsample(state, result, log);
+      StoreRep(*graph_, target, result.embedding.DetachedCopy());
+    }
+
+    log.mean_loss = steps > 0 ? loss_sum / static_cast<double>(steps) : 0.0;
+    log.seconds = epoch_watch.ElapsedSeconds();
+    report.epochs.push_back(log);
+    if (epoch_observer) epoch_observer(log);
+    ++current_epoch_;
+  }
+  RefreshCache(*graph_, 1);
+  report.total_seconds = total_watch.ElapsedSeconds();
+  return report;
+}
+
+T::Tensor WidenModel::EmbedNodes(const graph::HeteroGraph& graph,
+                                 const std::vector<graph::NodeId>& nodes) {
+  T::NoGradScope no_grad;
+  // Algorithm 3's output IS the embedding store ("vector representations
+  // v_t for all v_t in V"), so nodes of the training graph are read from
+  // the cache directly. A graph never seen before (inductive evaluation)
+  // first gets warm-up refresh passes so every node — including the unseen
+  // ones — carries the same multi-hop representation training produced.
+  if (caches_.find(&graph) == caches_.end()) {
+    RefreshCache(graph, config_.eval_refresh_passes);
+  }
+  EmbeddingCache& cache = CacheFor(graph);
+  const int64_t d = config_.embedding_dim;
+  const int64_t samples = std::max<int64_t>(1, config_.eval_samples);
+  Rng eval_rng(config_.seed ^ 0xE7A1ULL);
+  T::Tensor out(T::Shape::Matrix(static_cast<int64_t>(nodes.size()), d));
+  float* dst = out.mutable_data();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const graph::NodeId v = nodes[i];
+    float* row = dst + static_cast<int64_t>(i) * d;
+    if (cache.valid[static_cast<size_t>(v)]) {
+      const float* src = cache.data.data() + static_cast<int64_t>(v) * d;
+      std::copy(src, src + d, row);
+      continue;
+    }
+    // Cold node (e.g. EmbedNodes before Train): average over independent
+    // neighborhood samples to reduce sampling variance.
+    T::Tensor mean;
+    for (int64_t s = 0; s < samples; ++s) {
+      TargetState state = SampleTargetState(graph, v, eval_rng);
+      ForwardResult result = Forward(graph, state, /*keep_artifacts=*/false);
+      mean = mean.defined() ? T::Add(mean, result.embedding)
+                            : result.embedding;
+    }
+    mean = T::RowL2Normalize(T::Scale(mean, 1.0f / static_cast<float>(samples)));
+    std::copy(mean.data(), mean.data() + d, row);
+  }
+  return out;
+}
+
+std::vector<int32_t> WidenModel::Predict(
+    const graph::HeteroGraph& graph, const std::vector<graph::NodeId>& nodes) {
+  T::Tensor embeddings = EmbedNodes(graph, nodes);
+  T::Tensor logits = T::MatMul(embeddings, classifier_);
+  return T::ArgMaxRows(logits);
+}
+
+bool WidenModel::ExportTrainingCache(T::Tensor* reps,
+                                     T::Tensor* valid) const {
+  auto it = caches_.find(graph_);
+  if (it == caches_.end() || it->second.data.empty()) return false;
+  const EmbeddingCache& cache = it->second;
+  const int64_t n = graph_->num_nodes();
+  const int64_t d = config_.embedding_dim;
+  *reps = T::Tensor::FromVector(T::Shape::Matrix(n, d), cache.data);
+  *valid = T::Tensor(T::Shape::Matrix(n, 1));
+  for (int64_t v = 0; v < n; ++v) {
+    valid->set(v, 0, cache.valid[static_cast<size_t>(v)] ? 1.0f : 0.0f);
+  }
+  return true;
+}
+
+Status WidenModel::ImportTrainingCache(const T::Tensor& reps,
+                                       const T::Tensor& valid) {
+  const int64_t n = graph_->num_nodes();
+  const int64_t d = config_.embedding_dim;
+  if (!reps.defined() || reps.shape() != T::Shape::Matrix(n, d)) {
+    return Status::InvalidArgument("cache reps shape mismatch");
+  }
+  if (!valid.defined() || valid.shape() != T::Shape::Matrix(n, 1)) {
+    return Status::InvalidArgument("cache valid shape mismatch");
+  }
+  EmbeddingCache& cache = CacheFor(*graph_);
+  cache.data.assign(reps.data(), reps.data() + reps.size());
+  for (int64_t v = 0; v < n; ++v) {
+    cache.valid[static_cast<size_t>(v)] = valid.at(v, 0) != 0.0f;
+  }
+  return Status::OK();
+}
+
+std::pair<int64_t, double> WidenModel::NeighborSetSizes(
+    graph::NodeId node) const {
+  auto it = target_states_.find(node);
+  if (it == target_states_.end()) return {-1, -1.0};
+  const TargetState& state = it->second;
+  double deep_total = 0.0;
+  for (const DeepNeighborState& deep : state.deeps) {
+    deep_total += static_cast<double>(deep.size());
+  }
+  const double mean_deep =
+      state.deeps.empty()
+          ? 0.0
+          : deep_total / static_cast<double>(state.deeps.size());
+  return {static_cast<int64_t>(state.wide.size()), mean_deep};
+}
+
+}  // namespace widen::core

@@ -1,0 +1,175 @@
+// WIDEN: the wide and deep message passing network (§3 of the paper).
+//
+// Inductive by construction: node representations are projections of raw
+// features (v_t = x_t G^node, §2 "Embedding Initialization"), so unseen
+// nodes are embedded by the trained parameters against any graph that shares
+// the schema and feature space — the full graph at inductive test time, even
+// when training used a subgraph.
+
+#ifndef WIDEN_CORE_WIDEN_MODEL_H_
+#define WIDEN_CORE_WIDEN_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/downsampling.h"
+#include "core/kl_trigger.h"
+#include "core/message_pack.h"
+#include "core/widen_config.h"
+#include "graph/hetero_graph.h"
+#include "tensor/optimizer.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace widen::core {
+
+/// Per-epoch training telemetry (drives the Fig. 4/5 efficiency harnesses).
+struct WidenEpochLog {
+  int64_t epoch = 0;
+  double mean_loss = 0.0;
+  double seconds = 0.0;
+  int64_t wide_drops = 0;  // Algorithm 1 invocations this epoch
+  int64_t deep_drops = 0;  // Algorithm 2 invocations this epoch
+  double mean_wide_size = 0.0;
+  double mean_deep_size = 0.0;
+};
+
+struct WidenTrainReport {
+  std::vector<WidenEpochLog> epochs;
+  double total_seconds = 0.0;
+};
+
+/// The WIDEN model: parameters + persistent per-target neighbor state.
+class WidenModel {
+ public:
+  /// `graph` must outlive the model and carry features + labels.
+  static StatusOr<std::unique_ptr<WidenModel>> Create(
+      const graph::HeteroGraph* graph, const WidenConfig& config);
+
+  WidenModel(const WidenModel&) = delete;
+  WidenModel& operator=(const WidenModel&) = delete;
+
+  /// Algorithm 3: semi-supervised training on `train_nodes` (must be labeled
+  /// nodes of the training graph). Neighbor sets are sampled once up front
+  /// (line 3) and then shrunk by the active downsampling machinery.
+  /// `epoch_observer`, if set, fires after every epoch.
+  StatusOr<WidenTrainReport> Train(
+      const std::vector<graph::NodeId>& train_nodes,
+      const std::function<void(const WidenEpochLog&)>& epoch_observer = {});
+
+  /// Unsupervised alternative to Train() (§3.4 notes WIDEN "can be
+  /// optimized for different downstream tasks"): a skip-gram-with-negative-
+  /// sampling objective over random-walk co-occurrence, requiring no labels.
+  /// Useful for link prediction and for pre-training on unlabeled graphs.
+  /// `walk_length`/`window`/`negatives` follow DeepWalk conventions.
+  StatusOr<WidenTrainReport> TrainUnsupervised(
+      int64_t walk_length = 8, int64_t window = 3, int64_t negatives = 4,
+      const std::function<void(const WidenEpochLog&)>& epoch_observer = {});
+
+  /// Embeds `nodes` of `graph` with fresh neighbor samples (no downsampling,
+  /// no tape). Returns [nodes.size(), d]. Pass a different graph than the
+  /// training one for inductive inference; feature dimension and schema must
+  /// match.
+  tensor::Tensor EmbedNodes(const graph::HeteroGraph& graph,
+                            const std::vector<graph::NodeId>& nodes);
+
+  /// Class predictions via the trained classifier head C.
+  std::vector<int32_t> Predict(const graph::HeteroGraph& graph,
+                               const std::vector<graph::NodeId>& nodes);
+
+  const WidenConfig& config() const { return config_; }
+  std::vector<tensor::Tensor> Parameters() const;
+  int64_t TotalParameterCount() const;
+
+  /// Copies the training graph's embedding store into `reps` ([N, d]) and
+  /// `valid` ([N, 1], 0/1). Returns false when no store exists yet.
+  /// Algorithm 3's output is exactly these representations, so checkpoints
+  /// include them (core/checkpoint.h).
+  bool ExportTrainingCache(tensor::Tensor* reps, tensor::Tensor* valid) const;
+  /// Restores a store exported by ExportTrainingCache for the training
+  /// graph. Shapes must match the graph and embedding dimension.
+  Status ImportTrainingCache(const tensor::Tensor& reps,
+                             const tensor::Tensor& valid);
+
+  /// Current size of a training target's neighbor sets (tests/diagnostics).
+  /// Returns {wide_size, mean_deep_size}; {-1, -1} if the node has no state.
+  std::pair<int64_t, double> NeighborSetSizes(graph::NodeId node) const;
+
+ private:
+  WidenModel(const graph::HeteroGraph* graph, const WidenConfig& config);
+
+  /// Mutable per-target neighbor state, persisted across epochs.
+  struct TargetState {
+    graph::NodeId node = -1;
+    sampling::WideNeighborSet wide;
+    std::vector<DeepNeighborState> deeps;  // Φ sequences
+  };
+
+  /// One forward pass' artifacts for a single target.
+  struct ForwardResult {
+    tensor::Tensor embedding;  // [1, d], on the tape when training
+    std::vector<float> wide_attention;               // |W|+1 (Eq. 3)
+    std::vector<std::vector<float>> deep_attention;  // Φ x (|D_φ|+1) (Eq. 5)
+    std::vector<tensor::Tensor> deep_pack_values;    // Φ detached M▷ copies
+  };
+
+  /// Stateful node representations: each message passing step "replaces the
+  /// original node embedding" (§3), so information propagates one hop
+  /// further per epoch. Rows are detached values; invalid rows fall back to
+  /// the fresh projection x G^node.
+  struct EmbeddingCache {
+    std::vector<float> data;
+    std::vector<bool> valid;
+  };
+
+  TargetState SampleTargetState(const graph::HeteroGraph& graph,
+                                graph::NodeId node, Rng& rng) const;
+  ForwardResult Forward(const graph::HeteroGraph& graph, TargetState& state,
+                        bool keep_artifacts);
+  /// v = x G^node for the given node ids (differentiable).
+  tensor::Tensor ProjectNodes(const graph::HeteroGraph& graph,
+                              const std::vector<graph::NodeId>& nodes) const;
+  EmbeddingCache& CacheFor(const graph::HeteroGraph& graph);
+  /// Constant [nodes.size(), d] neighbor representations: cached when
+  /// available, else current x G^node values.
+  tensor::Tensor LookupReps(const graph::HeteroGraph& graph,
+                            const std::vector<graph::NodeId>& nodes);
+  /// Writes a detached embedding row back into the graph's cache.
+  void StoreRep(const graph::HeteroGraph& graph, graph::NodeId node,
+                const tensor::Tensor& row);
+  /// Tape-free pass over all nodes of `graph` with fresh neighbor samples,
+  /// populating its cache (inductive warm-up; §4.6 evaluation).
+  void RefreshCache(const graph::HeteroGraph& graph, int64_t passes);
+  /// Applies the downsampling policy to one target after its forward pass.
+  void MaybeDownsample(TargetState& state, const ForwardResult& result,
+                       WidenEpochLog& log);
+
+  const graph::HeteroGraph* graph_;
+  WidenConfig config_;
+  Rng rng_;
+
+  // Parameters.
+  tensor::Tensor g_node_;  // [d0, d]
+  std::unique_ptr<EdgeEmbeddings> edges_;
+  tensor::Tensor wq_wide_, wk_wide_, wv_wide_;        // Eq. (3)
+  tensor::Tensor wq_deep_, wk_deep_, wv_deep_;        // Eq. (4)
+  tensor::Tensor wq_deep2_, wk_deep2_, wv_deep2_;     // Eq. (5)
+  tensor::Tensor fuse_w_, fuse_b_;                    // Eq. (7)
+  tensor::Tensor classifier_;                         // C of Eq. (10)
+
+  std::unique_ptr<tensor::Adam> optimizer_;
+
+  // Training state.
+  std::unordered_map<graph::NodeId, TargetState> target_states_;
+  std::unordered_map<const graph::HeteroGraph*, EmbeddingCache> caches_;
+  AttentionTracker wide_tracker_;
+  AttentionTracker deep_tracker_;
+  int64_t current_epoch_ = 0;
+};
+
+}  // namespace widen::core
+
+#endif  // WIDEN_CORE_WIDEN_MODEL_H_

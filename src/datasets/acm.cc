@@ -1,0 +1,54 @@
+#include "datasets/acm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace widen::datasets {
+namespace {
+
+int64_t Scaled(int64_t base, double scale) {
+  return std::max<int64_t>(4, static_cast<int64_t>(std::llround(
+                                  static_cast<double>(base) * scale)));
+}
+
+}  // namespace
+
+SyntheticGraphSpec AcmSpec(const DatasetOptions& options) {
+  SyntheticGraphSpec spec;
+  spec.name = "ACM";
+  spec.node_types = {
+      {"paper", Scaled(1200, options.scale), /*labeled=*/true},
+      {"author", Scaled(800, options.scale), false},
+      {"subject", Scaled(48, options.scale), false},
+  };
+  spec.edge_types = {
+      // Co-authorship communities are informative but noisy.
+      {"paper-author", "paper", "author", /*mean_degree=*/2.6,
+       /*homophily=*/0.75},
+      // Subject areas align closely with the class labels.
+      {"paper-subject", "paper", "subject", /*mean_degree=*/1.4,
+       /*homophily=*/0.92},
+  };
+  spec.num_classes = 3;
+  spec.feature_dim = 128;
+  spec.feature_style = FeatureStyle::kBagOfWords;
+  spec.feature_noise = 0.35;
+  spec.words_per_node = 12.0;
+  spec.label_noise = 0.04;
+  spec.seed = options.seed;
+  return spec;
+}
+
+StatusOr<Dataset> MakeAcm(const DatasetOptions& options) {
+  Dataset dataset;
+  dataset.name = "ACM";
+  WIDEN_ASSIGN_OR_RETURN(dataset.graph,
+                         GenerateSyntheticGraph(AcmSpec(options)));
+  WIDEN_ASSIGN_OR_RETURN(
+      dataset.split,
+      MakeTransductiveSplit(dataset.graph, /*train=*/0.20,
+                            /*validation=*/0.10, options.seed + 1));
+  return dataset;
+}
+
+}  // namespace widen::datasets

@@ -1,0 +1,22 @@
+// ACM preset: academic graph with paper / author / subject nodes, labeled
+// papers (3 classes: database, wireless communication, data mining).
+// Mirrors the schema of the ACM dataset in Table 1 at reduced scale.
+
+#ifndef WIDEN_DATASETS_ACM_H_
+#define WIDEN_DATASETS_ACM_H_
+
+#include "datasets/dataset.h"
+#include "datasets/synthetic.h"
+
+namespace widen::datasets {
+
+/// The generator spec (exposed so tests and ablations can perturb it).
+SyntheticGraphSpec AcmSpec(const DatasetOptions& options);
+
+/// Generates the graph and the default transductive split (~20% train / 10%
+/// validation of the labeled papers, matching Table 1 proportions).
+StatusOr<Dataset> MakeAcm(const DatasetOptions& options = {});
+
+}  // namespace widen::datasets
+
+#endif  // WIDEN_DATASETS_ACM_H_

@@ -1,0 +1,31 @@
+// The bundle handed to training harnesses: a graph plus its evaluation
+// splits and a display name.
+
+#ifndef WIDEN_DATASETS_DATASET_H_
+#define WIDEN_DATASETS_DATASET_H_
+
+#include <string>
+
+#include "datasets/splits.h"
+#include "graph/hetero_graph.h"
+
+namespace widen::datasets {
+
+/// One benchmark dataset instance.
+struct Dataset {
+  std::string name;
+  graph::HeteroGraph graph;
+  TransductiveSplit split;
+};
+
+/// Options shared by the ACM/DBLP/Yelp presets. `scale` multiplies every
+/// node-type count (1.0 = the repository defaults documented in DESIGN.md,
+/// which are reduced from the paper's sizes; see the substitution table).
+struct DatasetOptions {
+  double scale = 1.0;
+  uint64_t seed = 7;
+};
+
+}  // namespace widen::datasets
+
+#endif  // WIDEN_DATASETS_DATASET_H_

@@ -1,0 +1,57 @@
+#include "datasets/dblp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace widen::datasets {
+namespace {
+
+int64_t Scaled(int64_t base, double scale) {
+  return std::max<int64_t>(4, static_cast<int64_t>(std::llround(
+                                  static_cast<double>(base) * scale)));
+}
+
+}  // namespace
+
+SyntheticGraphSpec DblpSpec(const DatasetOptions& options) {
+  SyntheticGraphSpec spec;
+  spec.name = "DBLP";
+  spec.node_types = {
+      {"author", Scaled(1000, options.scale), /*labeled=*/true},
+      {"paper", Scaled(1600, options.scale), false},
+      {"conference", Scaled(20, options.scale), false},
+      {"term", Scaled(700, options.scale), false},
+  };
+  spec.edge_types = {
+      {"paper-author", "paper", "author", /*mean_degree=*/2.8,
+       /*homophily=*/0.82},
+      // Venues are strongly area-specific.
+      {"paper-conference", "paper", "conference", /*mean_degree=*/1.0,
+       /*homophily=*/0.9},
+      // Terms are reused across areas.
+      {"paper-term", "paper", "term", /*mean_degree=*/3.0,
+       /*homophily=*/0.55},
+  };
+  spec.num_classes = 4;
+  spec.feature_dim = 96;
+  spec.feature_style = FeatureStyle::kBagOfWords;
+  spec.feature_noise = 0.45;
+  spec.words_per_node = 10.0;
+  spec.label_noise = 0.04;
+  spec.seed = options.seed + 11;
+  return spec;
+}
+
+StatusOr<Dataset> MakeDblp(const DatasetOptions& options) {
+  Dataset dataset;
+  dataset.name = "DBLP";
+  WIDEN_ASSIGN_OR_RETURN(dataset.graph,
+                         GenerateSyntheticGraph(DblpSpec(options)));
+  WIDEN_ASSIGN_OR_RETURN(
+      dataset.split,
+      MakeTransductiveSplit(dataset.graph, /*train=*/0.20,
+                            /*validation=*/0.10, options.seed + 12));
+  return dataset;
+}
+
+}  // namespace widen::datasets

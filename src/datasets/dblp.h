@@ -1,0 +1,20 @@
+// DBLP preset: academic graph with paper / author / conference / term nodes,
+// labeled authors (4 research areas). The class signal reaches authors
+// mostly through 2-hop author-paper-X structure, which is why meta path
+// methods shine on DBLP in the paper.
+
+#ifndef WIDEN_DATASETS_DBLP_H_
+#define WIDEN_DATASETS_DBLP_H_
+
+#include "datasets/dataset.h"
+#include "datasets/synthetic.h"
+
+namespace widen::datasets {
+
+SyntheticGraphSpec DblpSpec(const DatasetOptions& options);
+
+StatusOr<Dataset> MakeDblp(const DatasetOptions& options = {});
+
+}  // namespace widen::datasets
+
+#endif  // WIDEN_DATASETS_DBLP_H_

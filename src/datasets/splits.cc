@@ -1,0 +1,100 @@
+#include "datasets/splits.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace widen::datasets {
+
+StatusOr<TransductiveSplit> MakeTransductiveSplit(
+    const graph::HeteroGraph& graph, double train_fraction,
+    double validation_fraction, uint64_t seed) {
+  if (train_fraction <= 0.0 || validation_fraction < 0.0 ||
+      train_fraction + validation_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        StrCat("bad split fractions: train=", train_fraction,
+               " val=", validation_fraction));
+  }
+  std::vector<graph::NodeId> labeled = graph.LabeledNodes();
+  if (labeled.empty()) {
+    return Status::FailedPrecondition("graph has no labeled nodes");
+  }
+  Rng rng(seed);
+  rng.Shuffle(labeled);
+  const auto n = static_cast<int64_t>(labeled.size());
+  const int64_t n_train = std::max<int64_t>(
+      1, static_cast<int64_t>(train_fraction * static_cast<double>(n)));
+  const int64_t n_val = static_cast<int64_t>(
+      validation_fraction * static_cast<double>(n));
+  if (n_train + n_val >= n) {
+    return Status::InvalidArgument("split leaves no test nodes");
+  }
+  TransductiveSplit split;
+  split.train.assign(labeled.begin(), labeled.begin() + n_train);
+  split.validation.assign(labeled.begin() + n_train,
+                          labeled.begin() + n_train + n_val);
+  split.test.assign(labeled.begin() + n_train + n_val, labeled.end());
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.validation.begin(), split.validation.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+std::vector<graph::NodeId> SubsetTrainLabels(
+    const std::vector<graph::NodeId>& train, double fraction, uint64_t seed) {
+  WIDEN_CHECK(fraction > 0.0 && fraction <= 1.0) << "fraction " << fraction;
+  if (fraction >= 1.0) return train;
+  std::vector<graph::NodeId> shuffled = train;
+  Rng rng(seed);
+  rng.Shuffle(shuffled);
+  const auto keep = std::max<size_t>(
+      1, static_cast<size_t>(fraction * static_cast<double>(train.size())));
+  shuffled.resize(keep);
+  std::sort(shuffled.begin(), shuffled.end());
+  return shuffled;
+}
+
+StatusOr<InductiveSplit> MakeInductiveSplit(const graph::HeteroGraph& graph,
+                                            double holdout_fraction,
+                                            uint64_t seed) {
+  if (holdout_fraction <= 0.0 || holdout_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        StrCat("holdout fraction ", holdout_fraction, " out of (0, 1)"));
+  }
+  std::vector<graph::NodeId> labeled = graph.LabeledNodes();
+  if (labeled.size() < 2) {
+    return Status::FailedPrecondition("not enough labeled nodes");
+  }
+  Rng rng(seed);
+  rng.Shuffle(labeled);
+  const auto n_holdout = std::max<size_t>(
+      1, static_cast<size_t>(holdout_fraction *
+                             static_cast<double>(labeled.size())));
+
+  InductiveSplit split;
+  split.heldout.assign(labeled.begin(),
+                       labeled.begin() + static_cast<std::ptrdiff_t>(n_holdout));
+  std::sort(split.heldout.begin(), split.heldout.end());
+
+  std::vector<bool> is_heldout(static_cast<size_t>(graph.num_nodes()), false);
+  for (graph::NodeId v : split.heldout) {
+    is_heldout[static_cast<size_t>(v)] = true;
+  }
+  std::vector<graph::NodeId> kept;
+  kept.reserve(static_cast<size_t>(graph.num_nodes()) - n_holdout);
+  for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (!is_heldout[static_cast<size_t>(v)]) kept.push_back(v);
+  }
+  WIDEN_ASSIGN_OR_RETURN(split.training,
+                         graph::SubgraphExtractor::Induced(graph, kept));
+  for (graph::NodeId v = 0; v < split.training.graph.num_nodes(); ++v) {
+    if (split.training.graph.label(v) >= 0) split.train_labeled.push_back(v);
+  }
+  if (split.train_labeled.empty()) {
+    return Status::FailedPrecondition("all labeled nodes were held out");
+  }
+  return split;
+}
+
+}  // namespace widen::datasets

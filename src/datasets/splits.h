@@ -1,0 +1,53 @@
+// Train/validation/test split logic for the transductive protocol (§4.3,
+// Table 1) and the inductive protocol (20% of labeled nodes removed from the
+// training graph entirely, §4.6).
+
+#ifndef WIDEN_DATASETS_SPLITS_H_
+#define WIDEN_DATASETS_SPLITS_H_
+
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "graph/subgraph.h"
+#include "util/status.h"
+
+namespace widen::datasets {
+
+/// Disjoint labeled-node id sets.
+struct TransductiveSplit {
+  std::vector<graph::NodeId> train;
+  std::vector<graph::NodeId> validation;
+  std::vector<graph::NodeId> test;
+};
+
+/// Randomly partitions the labeled nodes into train/val/test with the given
+/// fractions (test takes the remainder). Fails if fractions are out of range
+/// or any side would be empty.
+StatusOr<TransductiveSplit> MakeTransductiveSplit(
+    const graph::HeteroGraph& graph, double train_fraction,
+    double validation_fraction, uint64_t seed);
+
+/// The "25% / 50% / 75% / 100% of the training labels" sweep of Table 2:
+/// a deterministic prefix-like subsample of `train`.
+std::vector<graph::NodeId> SubsetTrainLabels(
+    const std::vector<graph::NodeId>& train, double fraction, uint64_t seed);
+
+/// Inductive protocol: `holdout_fraction` of the labeled nodes are removed
+/// from the graph; models train on the remaining subgraph and must embed the
+/// held-out nodes at test time against the FULL graph.
+struct InductiveSplit {
+  /// The training graph (held-out nodes absent) + id correspondence.
+  graph::Subgraph training;
+  /// Held-out labeled nodes, as FULL-graph ids.
+  std::vector<graph::NodeId> heldout;
+  /// Labeled training nodes, as TRAINING-subgraph ids.
+  std::vector<graph::NodeId> train_labeled;
+};
+
+StatusOr<InductiveSplit> MakeInductiveSplit(const graph::HeteroGraph& graph,
+                                            double holdout_fraction,
+                                            uint64_t seed);
+
+}  // namespace widen::datasets
+
+#endif  // WIDEN_DATASETS_SPLITS_H_

@@ -1,0 +1,290 @@
+#include "datasets/synthetic.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace widen::datasets {
+namespace {
+
+constexpr uint64_t kCommunityStream = 0xC0117EC7ULL;
+constexpr uint64_t kLabelStream = 0x1ABE1ULL;
+constexpr uint64_t kEdgeStream = 0xED6EULL;
+constexpr uint64_t kFeatureStream = 0xFEA7ULL;
+
+// Node counts per type, in spec order, with cumulative id offsets.
+struct Layout {
+  std::vector<int64_t> offsets;  // first id of each node type
+  int64_t total = 0;
+  int32_t labeled_type = -1;
+};
+
+StatusOr<Layout> ComputeLayout(const SyntheticGraphSpec& spec) {
+  Layout layout;
+  int labeled_count = 0;
+  for (size_t t = 0; t < spec.node_types.size(); ++t) {
+    const NodeTypeSpec& nt = spec.node_types[t];
+    if (nt.count <= 0) {
+      return Status::InvalidArgument(
+          StrCat("node type '", nt.name, "' has count ", nt.count));
+    }
+    if (nt.labeled) {
+      layout.labeled_type = static_cast<int32_t>(t);
+      ++labeled_count;
+    }
+    layout.offsets.push_back(layout.total);
+    layout.total += nt.count;
+  }
+  if (labeled_count != 1) {
+    return Status::InvalidArgument("exactly one node type must be labeled");
+  }
+  return layout;
+}
+
+std::vector<int32_t> ComputeCommunities(const SyntheticGraphSpec& spec,
+                                        int64_t total_nodes) {
+  Rng rng(spec.seed ^ kCommunityStream);
+  std::vector<int32_t> communities(static_cast<size_t>(total_nodes));
+  for (auto& c : communities) {
+    c = static_cast<int32_t>(
+        rng.UniformInt(static_cast<uint64_t>(spec.num_classes)));
+  }
+  return communities;
+}
+
+}  // namespace
+
+std::vector<int32_t> RegenerateCommunities(const SyntheticGraphSpec& spec) {
+  auto layout = ComputeLayout(spec);
+  WIDEN_CHECK(layout.ok()) << layout.status().ToString();
+  return ComputeCommunities(spec, layout->total);
+}
+
+StatusOr<graph::HeteroGraph> GenerateSyntheticGraph(
+    const SyntheticGraphSpec& spec) {
+  if (spec.num_classes < 2) {
+    return Status::InvalidArgument("num_classes must be at least 2");
+  }
+  if (spec.feature_dim < spec.num_classes) {
+    return Status::InvalidArgument("feature_dim must be >= num_classes");
+  }
+  WIDEN_ASSIGN_OR_RETURN(Layout layout, ComputeLayout(spec));
+
+  // Schema.
+  graph::GraphSchema schema;
+  std::unordered_map<std::string, graph::NodeTypeId> type_by_name;
+  for (const NodeTypeSpec& nt : spec.node_types) {
+    if (type_by_name.count(nt.name) > 0) {
+      return Status::InvalidArgument(StrCat("duplicate node type ", nt.name));
+    }
+    type_by_name[nt.name] = schema.AddNodeType(nt.name);
+  }
+  std::vector<graph::EdgeTypeId> edge_type_ids;
+  for (const EdgeTypeSpec& et : spec.edge_types) {
+    auto src = type_by_name.find(et.src_type);
+    auto dst = type_by_name.find(et.dst_type);
+    if (src == type_by_name.end() || dst == type_by_name.end()) {
+      return Status::InvalidArgument(
+          StrCat("edge type '", et.name, "' references unknown node type"));
+    }
+    if (et.mean_degree_per_src <= 0.0) {
+      return Status::InvalidArgument(
+          StrCat("edge type '", et.name, "' has non-positive mean degree"));
+    }
+    if (et.homophily < 0.0 || et.homophily > 1.0) {
+      return Status::InvalidArgument(
+          StrCat("edge type '", et.name, "' homophily out of [0, 1]"));
+    }
+    if (!et.dst_class_weights.empty()) {
+      if (static_cast<int32_t>(et.dst_class_weights.size()) !=
+          spec.num_classes) {
+        return Status::InvalidArgument(
+            StrCat("edge type '", et.name, "' dst_class_weights size != ",
+                   spec.num_classes));
+      }
+      double total_weight = 0.0;
+      for (double w : et.dst_class_weights) {
+        if (w < 0.0) {
+          return Status::InvalidArgument(
+              StrCat("edge type '", et.name, "' has negative class weight"));
+        }
+        total_weight += w;
+      }
+      if (total_weight <= 0.0) {
+        return Status::InvalidArgument(
+            StrCat("edge type '", et.name, "' class weights are all zero"));
+      }
+    }
+    edge_type_ids.push_back(
+        schema.AddEdgeType(et.name, src->second, dst->second));
+  }
+
+  graph::GraphBuilder builder(schema);
+  for (size_t t = 0; t < spec.node_types.size(); ++t) {
+    builder.AddNodes(static_cast<graph::NodeTypeId>(t),
+                     spec.node_types[t].count);
+  }
+
+  const std::vector<int32_t> communities =
+      ComputeCommunities(spec, layout.total);
+
+  // Per-(type, community) node lists for homophilous endpoint draws.
+  auto nodes_of = [&](int32_t type) {
+    std::pair<int64_t, int64_t> range{
+        layout.offsets[static_cast<size_t>(type)],
+        layout.offsets[static_cast<size_t>(type)] +
+            spec.node_types[static_cast<size_t>(type)].count};
+    return range;
+  };
+  std::vector<std::vector<std::vector<graph::NodeId>>> by_type_community(
+      spec.node_types.size(),
+      std::vector<std::vector<graph::NodeId>>(
+          static_cast<size_t>(spec.num_classes)));
+  for (size_t t = 0; t < spec.node_types.size(); ++t) {
+    auto [begin, end] = nodes_of(static_cast<int32_t>(t));
+    for (int64_t v = begin; v < end; ++v) {
+      by_type_community[t][static_cast<size_t>(
+                               communities[static_cast<size_t>(v)])]
+          .push_back(static_cast<graph::NodeId>(v));
+    }
+  }
+
+  // Edges.
+  Rng edge_rng(spec.seed ^ kEdgeStream);
+  for (size_t e = 0; e < spec.edge_types.size(); ++e) {
+    const EdgeTypeSpec& et = spec.edge_types[e];
+    const int32_t src_type = type_by_name[et.src_type];
+    const int32_t dst_type = type_by_name[et.dst_type];
+    auto [src_begin, src_end] = nodes_of(src_type);
+    auto [dst_begin, dst_end] = nodes_of(dst_type);
+    const int64_t dst_count = dst_end - dst_begin;
+    for (int64_t u = src_begin; u < src_end; ++u) {
+      // Degree = floor(mean) + Bernoulli(frac), at least 1.
+      int64_t degree = static_cast<int64_t>(et.mean_degree_per_src);
+      if (edge_rng.Bernoulli(et.mean_degree_per_src - std::floor(et.mean_degree_per_src))) {
+        ++degree;
+      }
+      if (degree < 1) degree = 1;
+      const int32_t cu = communities[static_cast<size_t>(u)];
+      double max_class_weight = 0.0;
+      for (double w : et.dst_class_weights) {
+        max_class_weight = std::max(max_class_weight, w);
+      }
+      for (int64_t k = 0; k < degree; ++k) {
+        graph::NodeId v = -1;
+        // Class-conditioned types resample until a compatible endpoint is
+        // accepted (bounded retries keep the degree distribution intact).
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          const auto& same = by_type_community[static_cast<size_t>(dst_type)]
+                                              [static_cast<size_t>(cu)];
+          if (!same.empty() && edge_rng.Bernoulli(et.homophily)) {
+            v = same[static_cast<size_t>(edge_rng.UniformInt(same.size()))];
+          } else {
+            v = static_cast<graph::NodeId>(
+                dst_begin +
+                static_cast<int64_t>(edge_rng.UniformInt(
+                    static_cast<uint64_t>(dst_count))));
+          }
+          if (et.dst_class_weights.empty()) break;
+          const double accept =
+              et.dst_class_weights[static_cast<size_t>(
+                  communities[static_cast<size_t>(v)])] /
+              max_class_weight;
+          if (edge_rng.Bernoulli(accept)) break;
+          v = -1;
+        }
+        if (v < 0) continue;  // all retries rejected
+        if (v == static_cast<graph::NodeId>(u)) continue;  // skip self loop
+        WIDEN_RETURN_IF_ERROR(builder.AddEdge(static_cast<graph::NodeId>(u), v,
+                                              edge_type_ids[e]));
+      }
+    }
+  }
+
+  // Labels.
+  Rng label_rng(spec.seed ^ kLabelStream);
+  std::vector<int32_t> labels(static_cast<size_t>(layout.total), -1);
+  {
+    auto [begin, end] = nodes_of(layout.labeled_type);
+    for (int64_t v = begin; v < end; ++v) {
+      int32_t y = communities[static_cast<size_t>(v)];
+      if (label_rng.Bernoulli(spec.label_noise)) {
+        y = static_cast<int32_t>(
+            label_rng.UniformInt(static_cast<uint64_t>(spec.num_classes)));
+      }
+      labels[static_cast<size_t>(v)] = y;
+    }
+  }
+  WIDEN_RETURN_IF_ERROR(builder.SetLabels(
+      std::move(labels), spec.num_classes,
+      static_cast<graph::NodeTypeId>(layout.labeled_type)));
+
+  // Features.
+  Rng feat_rng(spec.seed ^ kFeatureStream);
+  tensor::Tensor features(
+      tensor::Shape::Matrix(layout.total, spec.feature_dim));
+  float* fp = features.mutable_data();
+  if (spec.feature_style == FeatureStyle::kBagOfWords) {
+    const int64_t block = spec.feature_dim / spec.num_classes;
+    for (int64_t v = 0; v < layout.total; ++v) {
+      const int32_t c = communities[static_cast<size_t>(v)];
+      int64_t words = static_cast<int64_t>(spec.words_per_node);
+      if (feat_rng.Bernoulli(spec.words_per_node -
+                             std::floor(spec.words_per_node))) {
+        ++words;
+      }
+      float* row = fp + v * spec.feature_dim;
+      for (int64_t w = 0; w < words; ++w) {
+        int64_t idx;
+        if (!feat_rng.Bernoulli(spec.feature_noise)) {
+          idx = static_cast<int64_t>(c) * block +
+                static_cast<int64_t>(
+                    feat_rng.UniformInt(static_cast<uint64_t>(block)));
+        } else {
+          idx = static_cast<int64_t>(feat_rng.UniformInt(
+              static_cast<uint64_t>(spec.feature_dim)));
+        }
+        row[idx] += 1.0f;
+      }
+      // Unit-L2 rows keep scales comparable across nodes.
+      double norm_sq = 0.0;
+      for (int64_t j = 0; j < spec.feature_dim; ++j) {
+        norm_sq += static_cast<double>(row[j]) * row[j];
+      }
+      const float inv =
+          norm_sq > 0.0 ? static_cast<float>(1.0 / std::sqrt(norm_sq)) : 0.0f;
+      for (int64_t j = 0; j < spec.feature_dim; ++j) row[j] *= inv;
+    }
+  } else {
+    // Per-community mean directions.
+    std::vector<std::vector<float>> means(
+        static_cast<size_t>(spec.num_classes),
+        std::vector<float>(static_cast<size_t>(spec.feature_dim)));
+    for (auto& mean : means) {
+      double norm_sq = 0.0;
+      for (auto& x : mean) {
+        x = static_cast<float>(feat_rng.Normal());
+        norm_sq += static_cast<double>(x) * x;
+      }
+      const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq + 1e-12));
+      for (auto& x : mean) x *= inv;
+    }
+    const float noise = static_cast<float>(spec.feature_noise);
+    for (int64_t v = 0; v < layout.total; ++v) {
+      const auto& mean = means[static_cast<size_t>(
+          communities[static_cast<size_t>(v)])];
+      float* row = fp + v * spec.feature_dim;
+      for (int64_t j = 0; j < spec.feature_dim; ++j) {
+        row[j] = mean[static_cast<size_t>(j)] +
+                 noise * static_cast<float>(feat_rng.Normal());
+      }
+    }
+  }
+  builder.SetFeatures(std::move(features));
+
+  return builder.Build();
+}
+
+}  // namespace widen::datasets

@@ -1,0 +1,20 @@
+// Yelp preset: business review graph with user / business / category /
+// attribute nodes, labeled businesses (service quality: low / medium / high).
+// The largest and noisiest of the three presets — dense word-embedding-style
+// features and a weakly informative social (user-user) edge type.
+
+#ifndef WIDEN_DATASETS_YELP_H_
+#define WIDEN_DATASETS_YELP_H_
+
+#include "datasets/dataset.h"
+#include "datasets/synthetic.h"
+
+namespace widen::datasets {
+
+SyntheticGraphSpec YelpSpec(const DatasetOptions& options);
+
+StatusOr<Dataset> MakeYelp(const DatasetOptions& options = {});
+
+}  // namespace widen::datasets
+
+#endif  // WIDEN_DATASETS_YELP_H_

@@ -1,0 +1,61 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace widen::graph {
+
+Csr Csr::FromHalfEdges(
+    int64_t num_nodes,
+    const std::vector<std::tuple<NodeId, NodeId, EdgeTypeId>>& half_edges) {
+  WIDEN_CHECK_GE(num_nodes, 0);
+  Csr csr;
+  csr.offsets_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  for (const auto& [src, dst, etype] : half_edges) {
+    WIDEN_CHECK(src >= 0 && src < num_nodes) << "bad src " << src;
+    WIDEN_CHECK(dst >= 0 && dst < num_nodes) << "bad dst " << dst;
+    ++csr.offsets_[static_cast<size_t>(src) + 1];
+  }
+  for (size_t i = 1; i < csr.offsets_.size(); ++i) {
+    csr.offsets_[i] += csr.offsets_[i - 1];
+  }
+  csr.neighbors_.resize(half_edges.size());
+  csr.edge_types_.resize(half_edges.size());
+  std::vector<int64_t> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+  for (const auto& [src, dst, etype] : half_edges) {
+    const int64_t pos = cursor[static_cast<size_t>(src)]++;
+    csr.neighbors_[static_cast<size_t>(pos)] = dst;
+    csr.edge_types_[static_cast<size_t>(pos)] = etype;
+  }
+  // Sort each adjacency list by (neighbor, type) for determinism.
+  for (int64_t v = 0; v < num_nodes; ++v) {
+    const int64_t begin = csr.offsets_[static_cast<size_t>(v)];
+    const int64_t end = csr.offsets_[static_cast<size_t>(v) + 1];
+    std::vector<std::pair<NodeId, EdgeTypeId>> entries;
+    entries.reserve(static_cast<size_t>(end - begin));
+    for (int64_t i = begin; i < end; ++i) {
+      entries.emplace_back(csr.neighbors_[static_cast<size_t>(i)],
+                           csr.edge_types_[static_cast<size_t>(i)]);
+    }
+    std::sort(entries.begin(), entries.end());
+    for (int64_t i = begin; i < end; ++i) {
+      csr.neighbors_[static_cast<size_t>(i)] =
+          entries[static_cast<size_t>(i - begin)].first;
+      csr.edge_types_[static_cast<size_t>(i)] =
+          entries[static_cast<size_t>(i - begin)].second;
+    }
+  }
+  return csr;
+}
+
+EdgeTypeId Csr::EdgeTypeBetween(NodeId u, NodeId v) const {
+  NeighborSpan span = neighbors(u);
+  // Neighbor lists are sorted by neighbor id: binary search the lower bound.
+  const NodeId* begin = span.neighbors;
+  const NodeId* end = span.neighbors + span.size;
+  const NodeId* it = std::lower_bound(begin, end, v);
+  if (it == end || *it != v) return -1;
+  return span.edge_types[it - begin];
+}
+
+}  // namespace widen::graph

@@ -1,0 +1,73 @@
+// Compressed sparse row adjacency with per-edge type ids.
+
+#ifndef WIDEN_GRAPH_CSR_H_
+#define WIDEN_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/schema.h"
+#include "util/logging.h"
+
+namespace widen::graph {
+
+using NodeId = int32_t;
+
+/// One directed half-edge as seen from a node's adjacency list.
+struct HalfEdge {
+  NodeId neighbor;
+  EdgeTypeId edge_type;
+};
+
+/// Immutable CSR adjacency. Undirected graphs store each edge in both
+/// endpoint lists. Neighbor lists are sorted by (neighbor, edge_type) so
+/// lookups and set operations are deterministic.
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Builds from a directed half-edge list: edges[i] = (src, dst, type).
+  /// Callers wanting undirected semantics pass both orientations.
+  static Csr FromHalfEdges(
+      int64_t num_nodes,
+      const std::vector<std::tuple<NodeId, NodeId, EdgeTypeId>>& half_edges);
+
+  int64_t num_nodes() const {
+    return static_cast<int64_t>(offsets_.size()) - 1;
+  }
+  int64_t num_half_edges() const {
+    return static_cast<int64_t>(neighbors_.size());
+  }
+
+  int64_t degree(NodeId v) const {
+    WIDEN_DCHECK(v >= 0 && v < num_nodes());
+    return offsets_[static_cast<size_t>(v) + 1] -
+           offsets_[static_cast<size_t>(v)];
+  }
+
+  /// Contiguous neighbor slice of v. Pointers are valid while the Csr lives.
+  struct NeighborSpan {
+    const NodeId* neighbors;
+    const EdgeTypeId* edge_types;
+    int64_t size;
+  };
+  NeighborSpan neighbors(NodeId v) const {
+    WIDEN_DCHECK(v >= 0 && v < num_nodes());
+    const int64_t begin = offsets_[static_cast<size_t>(v)];
+    return NeighborSpan{neighbors_.data() + begin, edge_types_.data() + begin,
+                        degree(v)};
+  }
+
+  /// Edge type between u and v, or -1 if not adjacent. If parallel edges of
+  /// different types exist, returns the smallest type id.
+  EdgeTypeId EdgeTypeBetween(NodeId u, NodeId v) const;
+
+ private:
+  std::vector<int64_t> offsets_;   // size num_nodes + 1
+  std::vector<NodeId> neighbors_;  // size num_half_edges
+  std::vector<EdgeTypeId> edge_types_;
+};
+
+}  // namespace widen::graph
+
+#endif  // WIDEN_GRAPH_CSR_H_

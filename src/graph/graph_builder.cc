@@ -1,0 +1,122 @@
+#include "graph/graph_builder.h"
+
+#include "util/string_util.h"
+
+namespace widen::graph {
+
+NodeId GraphBuilder::AddNode(NodeTypeId type) {
+  WIDEN_CHECK(type >= 0 && type < schema_.num_node_types())
+      << "unknown node type " << type;
+  node_types_.push_back(type);
+  return static_cast<NodeId>(node_types_.size() - 1);
+}
+
+NodeId GraphBuilder::AddNodes(NodeTypeId type, int64_t count) {
+  WIDEN_CHECK_GT(count, 0);
+  NodeId first = AddNode(type);
+  for (int64_t i = 1; i < count; ++i) AddNode(type);
+  return first;
+}
+
+Status GraphBuilder::AddEdge(NodeId u, NodeId v, EdgeTypeId edge_type) {
+  if (u < 0 || u >= num_nodes() || v < 0 || v >= num_nodes()) {
+    return Status::InvalidArgument(
+        StrCat("edge endpoint out of range: (", u, ", ", v, ") with ",
+               num_nodes(), " nodes"));
+  }
+  if (u == v) {
+    return Status::InvalidArgument(StrCat("self loop on node ", u));
+  }
+  if (edge_type < 0 || edge_type >= schema_.num_edge_types()) {
+    return Status::InvalidArgument(StrCat("unknown edge type ", edge_type));
+  }
+  const NodeTypeId tu = node_types_[static_cast<size_t>(u)];
+  const NodeTypeId tv = node_types_[static_cast<size_t>(v)];
+  if (!schema_.EdgeTypeCompatible(edge_type, tu, tv)) {
+    return Status::InvalidArgument(
+        StrCat("edge type '", schema_.edge_type_name(edge_type),
+               "' cannot connect node types '", schema_.node_type_name(tu),
+               "' and '", schema_.node_type_name(tv), "'"));
+  }
+  edges_.emplace_back(u, v, edge_type);
+  return Status::OK();
+}
+
+void GraphBuilder::SetFeatures(tensor::Tensor features) {
+  features_ = std::move(features);
+}
+
+Status GraphBuilder::SetLabels(std::vector<int32_t> labels,
+                               int32_t num_classes, NodeTypeId labeled_type) {
+  if (num_classes <= 0) {
+    return Status::InvalidArgument("num_classes must be positive");
+  }
+  if (labeled_type < 0 || labeled_type >= schema_.num_node_types()) {
+    return Status::InvalidArgument(StrCat("unknown node type ", labeled_type));
+  }
+  if (static_cast<int64_t>(labels.size()) != num_nodes()) {
+    return Status::InvalidArgument(
+        StrCat("labels size ", labels.size(), " != node count ", num_nodes()));
+  }
+  for (size_t v = 0; v < labels.size(); ++v) {
+    const int32_t y = labels[v];
+    if (y < -1 || y >= num_classes) {
+      return Status::InvalidArgument(
+          StrCat("label ", y, " on node ", v, " out of range"));
+    }
+    if (y >= 0 && node_types_[v] != labeled_type) {
+      return Status::InvalidArgument(
+          StrCat("labeled node ", v, " has type ", node_types_[v],
+                 " but labeled type is ", labeled_type));
+    }
+  }
+  labels_ = std::move(labels);
+  num_classes_ = num_classes;
+  labeled_node_type_ = labeled_type;
+  return Status::OK();
+}
+
+StatusOr<HeteroGraph> GraphBuilder::Build() {
+  if (features_.defined()) {
+    if (features_.shape().rank() != 2 || features_.rows() != num_nodes()) {
+      return Status::InvalidArgument(
+          StrCat("features shape ", features_.shape().ToString(),
+                 " incompatible with ", num_nodes(), " nodes"));
+    }
+    if (features_.requires_grad()) {
+      return Status::InvalidArgument("node features must not require grad");
+    }
+  }
+
+  HeteroGraph g;
+  g.schema_ = schema_;
+  g.node_types_ = std::move(node_types_);
+  g.nodes_by_type_.assign(static_cast<size_t>(schema_.num_node_types()), {});
+  for (NodeId v = 0; v < static_cast<NodeId>(g.node_types_.size()); ++v) {
+    g.nodes_by_type_[static_cast<size_t>(g.node_types_[static_cast<size_t>(v)])]
+        .push_back(v);
+  }
+  std::vector<std::tuple<NodeId, NodeId, EdgeTypeId>> half_edges;
+  half_edges.reserve(edges_.size() * 2);
+  for (const auto& [u, v, t] : edges_) {
+    half_edges.emplace_back(u, v, t);
+    half_edges.emplace_back(v, u, t);
+  }
+  g.csr_ = Csr::FromHalfEdges(static_cast<int64_t>(g.node_types_.size()),
+                              half_edges);
+  g.features_ = std::move(features_);
+  g.labels_ = std::move(labels_);
+  g.num_classes_ = num_classes_;
+  g.labeled_node_type_ = labeled_node_type_;
+
+  // Reset builder state.
+  node_types_.clear();
+  edges_.clear();
+  features_ = tensor::Tensor();
+  labels_.clear();
+  num_classes_ = 0;
+  labeled_node_type_ = -1;
+  return g;
+}
+
+}  // namespace widen::graph

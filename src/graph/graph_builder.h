@@ -1,0 +1,58 @@
+// Mutable builder for HeteroGraph with validation at Build() time.
+
+#ifndef WIDEN_GRAPH_GRAPH_BUILDER_H_
+#define WIDEN_GRAPH_GRAPH_BUILDER_H_
+
+#include <tuple>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "util/status.h"
+
+namespace widen::graph {
+
+/// Accumulates nodes, edges, features, and labels, then freezes them into an
+/// immutable HeteroGraph. Recoverable misuse (bad ids, type-incompatible
+/// edges, shape mismatches) surfaces as Status.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(GraphSchema schema) : schema_(std::move(schema)) {}
+
+  /// Adds one node of `type`; returns its dense id.
+  NodeId AddNode(NodeTypeId type);
+
+  /// Adds `count` nodes of `type`; returns the first id.
+  NodeId AddNodes(NodeTypeId type, int64_t count);
+
+  /// Adds an undirected typed edge. Fails on unknown ids, self loops, or an
+  /// edge type incompatible with the endpoints' node types.
+  Status AddEdge(NodeId u, NodeId v, EdgeTypeId edge_type);
+
+  /// Sets the dense feature matrix; rows must equal the node count at
+  /// Build() time.
+  void SetFeatures(tensor::Tensor features);
+
+  /// Declares labels: `labels[v]` in [0, num_classes) or -1. Only nodes of
+  /// `labeled_type` may be labeled.
+  Status SetLabels(std::vector<int32_t> labels, int32_t num_classes,
+                   NodeTypeId labeled_type);
+
+  int64_t num_nodes() const { return static_cast<int64_t>(node_types_.size()); }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+
+  /// Validates and freezes. The builder is left empty.
+  StatusOr<HeteroGraph> Build();
+
+ private:
+  GraphSchema schema_;
+  std::vector<NodeTypeId> node_types_;
+  std::vector<std::tuple<NodeId, NodeId, EdgeTypeId>> edges_;
+  tensor::Tensor features_;
+  std::vector<int32_t> labels_;
+  int32_t num_classes_ = 0;
+  NodeTypeId labeled_node_type_ = -1;
+};
+
+}  // namespace widen::graph
+
+#endif  // WIDEN_GRAPH_GRAPH_BUILDER_H_

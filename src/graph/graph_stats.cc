@@ -1,0 +1,67 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace widen::graph {
+
+GraphStats ComputeStats(const HeteroGraph& graph) {
+  GraphStats s;
+  s.num_nodes = graph.num_nodes();
+  s.num_node_types = graph.schema().num_node_types();
+  s.num_edges = graph.num_edges();
+  s.num_edge_types = graph.schema().num_edge_types();
+  s.feature_dim = graph.feature_dim();
+  s.num_classes = graph.num_classes();
+  s.nodes_per_type.assign(static_cast<size_t>(s.num_node_types), 0);
+  s.edges_per_type.assign(static_cast<size_t>(s.num_edge_types), 0);
+  int64_t degree_sum = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    ++s.nodes_per_type[static_cast<size_t>(graph.node_type(v))];
+    const int64_t deg = graph.degree(v);
+    degree_sum += deg;
+    s.max_degree = std::max(s.max_degree, deg);
+    if (graph.label(v) >= 0) ++s.num_labeled;
+    Csr::NeighborSpan span = graph.neighbors(v);
+    for (int64_t i = 0; i < span.size; ++i) {
+      // Count each undirected edge once (from its lower endpoint).
+      if (span.neighbors[i] > v) {
+        ++s.edges_per_type[static_cast<size_t>(span.edge_types[i])];
+      }
+    }
+  }
+  s.mean_degree = s.num_nodes > 0
+                      ? static_cast<double>(degree_sum) /
+                            static_cast<double>(s.num_nodes)
+                      : 0.0;
+  return s;
+}
+
+std::string FormatStats(const HeteroGraph& graph, const GraphStats& stats) {
+  std::ostringstream out;
+  auto row = [&out](const std::string& k, const std::string& v) {
+    out << "  " << PadRight(k, 18) << v << "\n";
+  };
+  row("#Nodes", WithThousandsSeparators(stats.num_nodes));
+  row("#Node Types", std::to_string(stats.num_node_types));
+  row("#Edges", WithThousandsSeparators(stats.num_edges));
+  row("#Edge Types", std::to_string(stats.num_edge_types));
+  row("#Features", std::to_string(stats.feature_dim));
+  row("#Class Labels", std::to_string(stats.num_classes));
+  row("#Labeled Nodes", WithThousandsSeparators(stats.num_labeled));
+  row("Mean Degree", FormatDouble(stats.mean_degree, 2));
+  row("Max Degree", std::to_string(stats.max_degree));
+  for (size_t t = 0; t < stats.nodes_per_type.size(); ++t) {
+    row(StrCat("  #", graph.schema().node_type_name(static_cast<NodeTypeId>(t))),
+        WithThousandsSeparators(stats.nodes_per_type[t]));
+  }
+  for (size_t t = 0; t < stats.edges_per_type.size(); ++t) {
+    row(StrCat("  #", graph.schema().edge_type_name(static_cast<EdgeTypeId>(t))),
+        WithThousandsSeparators(stats.edges_per_type[t]));
+  }
+  return out.str();
+}
+
+}  // namespace widen::graph

@@ -1,0 +1,38 @@
+// Dataset statistics (Table 1 of the paper) and degree summaries.
+
+#ifndef WIDEN_GRAPH_GRAPH_STATS_H_
+#define WIDEN_GRAPH_GRAPH_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+
+namespace widen::graph {
+
+/// Aggregate counts mirroring the rows of Table 1.
+struct GraphStats {
+  int64_t num_nodes = 0;
+  int32_t num_node_types = 0;
+  int64_t num_edges = 0;
+  int32_t num_edge_types = 0;
+  int64_t feature_dim = 0;
+  int32_t num_classes = 0;
+  int64_t num_labeled = 0;
+  double mean_degree = 0.0;
+  int64_t max_degree = 0;
+  /// Node count per node type, indexed by NodeTypeId.
+  std::vector<int64_t> nodes_per_type;
+  /// Undirected edge count per edge type, indexed by EdgeTypeId.
+  std::vector<int64_t> edges_per_type;
+};
+
+/// Computes all statistics in one pass over the CSR.
+GraphStats ComputeStats(const HeteroGraph& graph);
+
+/// Multi-line human-readable rendering, one "Property | Value" row per line.
+std::string FormatStats(const HeteroGraph& graph, const GraphStats& stats);
+
+}  // namespace widen::graph
+
+#endif  // WIDEN_GRAPH_GRAPH_STATS_H_

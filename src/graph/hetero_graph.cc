@@ -1,0 +1,30 @@
+#include "graph/hetero_graph.h"
+
+#include <sstream>
+
+namespace widen::graph {
+
+const std::vector<NodeId>& HeteroGraph::nodes_of_type(NodeTypeId type) const {
+  WIDEN_CHECK(type >= 0 && type < schema_.num_node_types());
+  return nodes_by_type_[static_cast<size_t>(type)];
+}
+
+std::vector<NodeId> HeteroGraph::LabeledNodes() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (label(v) >= 0) out.push_back(v);
+  }
+  return out;
+}
+
+std::string HeteroGraph::DebugString() const {
+  std::ostringstream out;
+  out << "HeteroGraph{nodes=" << num_nodes() << ", edges=" << num_edges()
+      << ", node_types=" << schema_.num_node_types()
+      << ", edge_types=" << schema_.num_edge_types()
+      << ", feature_dim=" << feature_dim() << ", classes=" << num_classes_
+      << "}";
+  return out.str();
+}
+
+}  // namespace widen::graph

@@ -1,0 +1,86 @@
+// The heterogeneous graph container: typed nodes, typed undirected edges,
+// node features, and (optionally) class labels on one node type.
+
+#ifndef WIDEN_GRAPH_HETERO_GRAPH_H_
+#define WIDEN_GRAPH_HETERO_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/schema.h"
+#include "tensor/tensor.h"
+
+namespace widen::graph {
+
+/// Immutable heterogeneous graph (Definition 1). Construct via GraphBuilder.
+///
+/// Node ids are dense in [0, num_nodes). Edges are undirected and typed;
+/// the CSR stores both half-edges. Features are a dense [num_nodes, feat_dim]
+/// matrix; labels are -1 for unlabeled nodes.
+class HeteroGraph {
+ public:
+  HeteroGraph() = default;
+
+  const GraphSchema& schema() const { return schema_; }
+
+  int64_t num_nodes() const { return static_cast<int64_t>(node_types_.size()); }
+  /// Undirected edge count (half-edge count / 2).
+  int64_t num_edges() const { return csr_.num_half_edges() / 2; }
+
+  NodeTypeId node_type(NodeId v) const {
+    WIDEN_DCHECK(v >= 0 && v < num_nodes());
+    return node_types_[static_cast<size_t>(v)];
+  }
+  const std::vector<NodeTypeId>& node_types() const { return node_types_; }
+
+  /// All node ids of the given type, ascending.
+  const std::vector<NodeId>& nodes_of_type(NodeTypeId type) const;
+
+  int64_t degree(NodeId v) const { return csr_.degree(v); }
+  Csr::NeighborSpan neighbors(NodeId v) const { return csr_.neighbors(v); }
+  EdgeTypeId EdgeTypeBetween(NodeId u, NodeId v) const {
+    return csr_.EdgeTypeBetween(u, v);
+  }
+
+  /// Raw node features, [num_nodes, feature_dim]; never differentiable.
+  const tensor::Tensor& features() const { return features_; }
+  int64_t feature_dim() const {
+    return features_.defined() ? features_.cols() : 0;
+  }
+
+  bool has_labels() const { return num_classes_ > 0; }
+  int32_t num_classes() const { return num_classes_; }
+  /// Node type carrying labels (e.g. "paper" on ACM).
+  NodeTypeId labeled_node_type() const { return labeled_node_type_; }
+  /// Label of v, or -1.
+  int32_t label(NodeId v) const {
+    WIDEN_DCHECK(v >= 0 && v < num_nodes());
+    return labels_.empty() ? -1 : labels_[static_cast<size_t>(v)];
+  }
+  const std::vector<int32_t>& labels() const { return labels_; }
+
+  /// All nodes with a label, ascending.
+  std::vector<NodeId> LabeledNodes() const;
+
+  std::string DebugString() const;
+
+ private:
+  friend class GraphBuilder;
+  friend class SubgraphExtractor;
+
+  GraphSchema schema_;
+  std::vector<NodeTypeId> node_types_;
+  std::vector<std::vector<NodeId>> nodes_by_type_;
+  Csr csr_;
+  tensor::Tensor features_;
+  std::vector<int32_t> labels_;
+  int32_t num_classes_ = 0;
+  NodeTypeId labeled_node_type_ = -1;
+};
+
+}  // namespace widen::graph
+
+#endif  // WIDEN_GRAPH_HETERO_GRAPH_H_

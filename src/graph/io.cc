@@ -1,0 +1,250 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_builder.h"
+#include "util/string_util.h"
+
+namespace widen::graph {
+namespace {
+
+Status ParseError(int line, const std::string& message) {
+  return Status::InvalidArgument(StrCat("line ", line, ": ", message));
+}
+
+}  // namespace
+
+Status SaveGraphText(const HeteroGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError(StrCat("cannot open '", path, "' for writing"));
+  }
+  out << "widen-graph 1\n";
+  const GraphSchema& schema = graph.schema();
+  for (NodeTypeId t = 0; t < schema.num_node_types(); ++t) {
+    out << "node_type " << schema.node_type_name(t) << "\n";
+  }
+  for (EdgeTypeId e = 0; e < schema.num_edge_types(); ++e) {
+    const EdgeTypeSpec& spec = schema.edge_type(e);
+    out << "edge_type " << spec.name << " "
+        << schema.node_type_name(spec.src_type) << " "
+        << schema.node_type_name(spec.dst_type) << "\n";
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    out << "node " << schema.node_type_name(graph.node_type(v)) << "\n";
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    Csr::NeighborSpan span = graph.neighbors(v);
+    for (int64_t i = 0; i < span.size; ++i) {
+      if (span.neighbors[i] > v) {  // each undirected edge once
+        out << "edge " << v << " " << span.neighbors[i] << " "
+            << schema.edge_type_name(span.edge_types[i]) << "\n";
+      }
+    }
+  }
+  if (graph.features().defined()) {
+    const int64_t dim = graph.feature_dim();
+    out << "features " << dim << "\n";
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      const float* row = graph.features().data() + static_cast<int64_t>(v) * dim;
+      bool all_zero = true;
+      for (int64_t j = 0; j < dim; ++j) {
+        if (row[j] != 0.0f) {
+          all_zero = false;
+          break;
+        }
+      }
+      if (all_zero) continue;
+      out << "f " << v;
+      for (int64_t j = 0; j < dim; ++j) out << " " << row[j];
+      out << "\n";
+    }
+  }
+  if (graph.has_labels()) {
+    out << "labels " << graph.num_classes() << " "
+        << schema.node_type_name(graph.labeled_node_type()) << "\n";
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      if (graph.label(v) >= 0) {
+        out << "label " << v << " " << graph.label(v) << "\n";
+      }
+    }
+  }
+  out.flush();
+  if (!out) return Status::IOError(StrCat("write to '", path, "' failed"));
+  return Status::OK();
+}
+
+StatusOr<HeteroGraph> LoadGraphText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError(StrCat("cannot open '", path, "'"));
+
+  // Two-pass-free design: collect declarations first into staging vectors,
+  // then build (features need the final node count).
+  GraphSchema schema;
+  bool schema_frozen = false;  // set once the first node appears
+  std::vector<NodeTypeId> node_types;
+  struct PendingEdge {
+    NodeId u;
+    NodeId v;
+    std::string type;
+    int line;
+  };
+  std::vector<PendingEdge> edges;
+  int64_t feature_dim = -1;
+  std::vector<std::pair<NodeId, std::vector<float>>> feature_rows;
+  int32_t num_classes = 0;
+  std::string labeled_type_name;
+  std::vector<std::pair<NodeId, int32_t>> labels;
+
+  std::string line;
+  int line_number = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comments and whitespace-only lines.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;
+
+    if (!saw_header) {
+      int version = 0;
+      if (keyword != "widen-graph" || !(tokens >> version) || version != 1) {
+        return ParseError(line_number, "expected header 'widen-graph 1'");
+      }
+      saw_header = true;
+      continue;
+    }
+
+    if (keyword == "node_type") {
+      std::string name;
+      if (!(tokens >> name)) return ParseError(line_number, "missing name");
+      if (schema_frozen) {
+        return ParseError(line_number, "node_type after first node");
+      }
+      if (schema.FindNodeType(name).ok()) {
+        return ParseError(line_number, StrCat("duplicate node type '", name,
+                                              "'"));
+      }
+      schema.AddNodeType(name);
+    } else if (keyword == "edge_type") {
+      std::string name, src, dst;
+      if (!(tokens >> name >> src >> dst)) {
+        return ParseError(line_number, "edge_type needs name src dst");
+      }
+      if (schema_frozen) {
+        return ParseError(line_number, "edge_type after first node");
+      }
+      auto src_id = schema.FindNodeType(src);
+      auto dst_id = schema.FindNodeType(dst);
+      if (!src_id.ok() || !dst_id.ok()) {
+        return ParseError(line_number, "unknown endpoint node type");
+      }
+      if (schema.FindEdgeType(name).ok()) {
+        return ParseError(line_number, StrCat("duplicate edge type '", name,
+                                              "'"));
+      }
+      schema.AddEdgeType(name, *src_id, *dst_id);
+    } else if (keyword == "node") {
+      std::string type_name;
+      if (!(tokens >> type_name)) {
+        return ParseError(line_number, "node needs a type name");
+      }
+      auto type = schema.FindNodeType(type_name);
+      if (!type.ok()) {
+        return ParseError(line_number,
+                          StrCat("unknown node type '", type_name, "'"));
+      }
+      schema_frozen = true;
+      node_types.push_back(*type);
+    } else if (keyword == "edge") {
+      PendingEdge edge;
+      edge.line = line_number;
+      if (!(tokens >> edge.u >> edge.v >> edge.type)) {
+        return ParseError(line_number, "edge needs u v type");
+      }
+      edges.push_back(std::move(edge));
+    } else if (keyword == "features") {
+      if (!(tokens >> feature_dim) || feature_dim <= 0) {
+        return ParseError(line_number, "features needs a positive dim");
+      }
+    } else if (keyword == "f") {
+      if (feature_dim <= 0) {
+        return ParseError(line_number, "'f' before 'features <dim>'");
+      }
+      NodeId v = -1;
+      if (!(tokens >> v)) return ParseError(line_number, "f needs node id");
+      std::vector<float> row(static_cast<size_t>(feature_dim));
+      for (int64_t j = 0; j < feature_dim; ++j) {
+        if (!(tokens >> row[static_cast<size_t>(j)])) {
+          return ParseError(line_number,
+                            StrCat("feature row needs ", feature_dim,
+                                   " values"));
+        }
+      }
+      feature_rows.emplace_back(v, std::move(row));
+    } else if (keyword == "labels") {
+      if (!(tokens >> num_classes >> labeled_type_name) || num_classes <= 0) {
+        return ParseError(line_number, "labels needs num_classes type_name");
+      }
+    } else if (keyword == "label") {
+      NodeId v = -1;
+      int32_t y = -1;
+      if (!(tokens >> v >> y)) {
+        return ParseError(line_number, "label needs node id and class");
+      }
+      labels.emplace_back(v, y);
+    } else {
+      return ParseError(line_number, StrCat("unknown keyword '", keyword,
+                                            "'"));
+    }
+  }
+  if (!saw_header) return Status::InvalidArgument("empty graph file");
+
+  GraphBuilder builder(schema);
+  for (NodeTypeId t : node_types) builder.AddNode(t);
+  for (const PendingEdge& edge : edges) {
+    auto type = schema.FindEdgeType(edge.type);
+    if (!type.ok()) {
+      return ParseError(edge.line, StrCat("unknown edge type '", edge.type,
+                                          "'"));
+    }
+    Status added = builder.AddEdge(edge.u, edge.v, *type);
+    if (!added.ok()) return ParseError(edge.line, added.message());
+  }
+  if (feature_dim > 0) {
+    tensor::Tensor features(tensor::Shape::Matrix(
+        static_cast<int64_t>(node_types.size()), feature_dim));
+    for (const auto& [v, row] : feature_rows) {
+      if (v < 0 || v >= static_cast<NodeId>(node_types.size())) {
+        return Status::InvalidArgument(StrCat("feature row for bad node ", v));
+      }
+      std::copy(row.begin(), row.end(),
+                features.mutable_data() + static_cast<int64_t>(v) * feature_dim);
+    }
+    builder.SetFeatures(std::move(features));
+  }
+  if (num_classes > 0) {
+    auto labeled_type = schema.FindNodeType(labeled_type_name);
+    if (!labeled_type.ok()) {
+      return Status::InvalidArgument(
+          StrCat("unknown labeled type '", labeled_type_name, "'"));
+    }
+    std::vector<int32_t> label_vector(node_types.size(), -1);
+    for (const auto& [v, y] : labels) {
+      if (v < 0 || v >= static_cast<NodeId>(node_types.size())) {
+        return Status::InvalidArgument(StrCat("label for bad node ", v));
+      }
+      label_vector[static_cast<size_t>(v)] = y;
+    }
+    WIDEN_RETURN_IF_ERROR(
+        builder.SetLabels(std::move(label_vector), num_classes,
+                          *labeled_type));
+  }
+  return builder.Build();
+}
+
+}  // namespace widen::graph

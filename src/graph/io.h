@@ -1,0 +1,36 @@
+// Text serialization of heterogeneous graphs, so users can bring their own
+// data without writing builder code. Line-oriented, '#'-comments allowed:
+//
+//   widen-graph 1
+//   node_type <name>                      # one per node type, in id order
+//   edge_type <name> <src_type> <dst_type>
+//   node <type_name>                      # ids assigned in file order
+//   edge <u> <v> <edge_type_name>
+//   features <dim>
+//   f <node_id> <v0> <v1> ... <v_dim-1>   # omitted rows are zero
+//   labels <num_classes> <labeled_type_name>
+//   label <node_id> <class>
+//
+// Sections may interleave as long as referenced names/ids exist.
+
+#ifndef WIDEN_GRAPH_IO_H_
+#define WIDEN_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/hetero_graph.h"
+#include "util/status.h"
+
+namespace widen::graph {
+
+/// Writes `graph` in the format above (features and labels included when
+/// present).
+Status SaveGraphText(const HeteroGraph& graph, const std::string& path);
+
+/// Parses a file written by SaveGraphText (or by hand). All structural
+/// errors are reported with line numbers.
+StatusOr<HeteroGraph> LoadGraphText(const std::string& path);
+
+}  // namespace widen::graph
+
+#endif  // WIDEN_GRAPH_IO_H_

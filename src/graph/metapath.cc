@@ -1,0 +1,79 @@
+#include "graph/metapath.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace widen::graph {
+
+StatusOr<MetaPathAdjacency> ComposeMetaPath(const HeteroGraph& graph,
+                                            const MetaPath& path,
+                                            int64_t max_neighbors) {
+  if (path.edge_types.empty()) {
+    return Status::InvalidArgument("meta path has no edge types");
+  }
+  for (EdgeTypeId t : path.edge_types) {
+    if (t < 0 || t >= graph.schema().num_edge_types()) {
+      return Status::InvalidArgument(StrCat("unknown edge type ", t,
+                                            " in meta path ", path.name));
+    }
+  }
+
+  MetaPathAdjacency result;
+  result.path = path;
+  result.neighbors.assign(static_cast<size_t>(graph.num_nodes()), {});
+
+  // Frontier expansion per source node. Graphs here are small enough that a
+  // per-node multiset walk is simpler and fast enough; visit counts give the
+  // frequency used for capping.
+  std::unordered_map<NodeId, int64_t> frontier;
+  std::unordered_map<NodeId, int64_t> next;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    frontier.clear();
+    frontier[v] = 1;
+    for (EdgeTypeId step : path.edge_types) {
+      next.clear();
+      for (const auto& [node, count] : frontier) {
+        Csr::NeighborSpan span = graph.neighbors(node);
+        for (int64_t i = 0; i < span.size; ++i) {
+          if (span.edge_types[i] == step) next[span.neighbors[i]] += count;
+        }
+      }
+      frontier.swap(next);
+      if (frontier.empty()) break;
+    }
+    std::vector<std::pair<int64_t, NodeId>> ranked;  // (-count, id)
+    ranked.reserve(frontier.size());
+    for (const auto& [node, count] : frontier) {
+      if (node != v) ranked.emplace_back(-count, node);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    int64_t keep = max_neighbors > 0
+                       ? std::min<int64_t>(max_neighbors,
+                                           static_cast<int64_t>(ranked.size()))
+                       : static_cast<int64_t>(ranked.size());
+    std::vector<NodeId>& out = result.neighbors[static_cast<size_t>(v)];
+    out.reserve(static_cast<size_t>(keep));
+    for (int64_t i = 0; i < keep; ++i) out.push_back(ranked[i].second);
+    std::sort(out.begin(), out.end());
+  }
+  return result;
+}
+
+std::vector<MetaPath> DefaultSymmetricMetaPaths(const GraphSchema& schema) {
+  std::vector<MetaPath> paths;
+  for (EdgeTypeId e = 0; e < schema.num_edge_types(); ++e) {
+    const EdgeTypeSpec& spec = schema.edge_type(e);
+    if (spec.src_type == spec.dst_type) continue;
+    MetaPath path;
+    path.name = StrCat(schema.node_type_name(spec.src_type), "-",
+                       schema.node_type_name(spec.dst_type), "-",
+                       schema.node_type_name(spec.src_type));
+    path.edge_types = {e, e};
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace widen::graph

@@ -1,0 +1,46 @@
+// Meta-path utilities for the meta path-based baselines (HAN, GTN).
+//
+// A meta path is a sequence of edge types, e.g. paper-author / author-paper
+// (PAP). Composing the typed adjacencies along the sequence yields, for every
+// node of the path's start type, the set of nodes reachable by following the
+// path — the "meta-path neighbors" that HAN aggregates over.
+
+#ifndef WIDEN_GRAPH_METAPATH_H_
+#define WIDEN_GRAPH_METAPATH_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "util/status.h"
+
+namespace widen::graph {
+
+/// A meta path as an edge-type sequence; `name` is cosmetic ("PAP").
+struct MetaPath {
+  std::string name;
+  std::vector<EdgeTypeId> edge_types;
+};
+
+/// Adjacency induced by one meta path: `neighbors[v]` lists the distinct
+/// endpoints reachable from v along the path (deduplicated, sorted, self
+/// excluded, capped at `max_neighbors` by frequency then id).
+struct MetaPathAdjacency {
+  MetaPath path;
+  std::vector<std::vector<NodeId>> neighbors;
+};
+
+/// Composes the typed adjacencies along `path`. `max_neighbors` bounds memory
+/// on hub nodes (0 = unlimited).
+StatusOr<MetaPathAdjacency> ComposeMetaPath(const HeteroGraph& graph,
+                                            const MetaPath& path,
+                                            int64_t max_neighbors = 64);
+
+/// Derives the standard symmetric 2-hop meta paths X-E-Y-E-X for every edge
+/// type E whose endpoint types differ — the schema-driven default used when a
+/// dataset does not hand-pick meta paths (e.g. PAP and PSP on ACM).
+std::vector<MetaPath> DefaultSymmetricMetaPaths(const GraphSchema& schema);
+
+}  // namespace widen::graph
+
+#endif  // WIDEN_GRAPH_METAPATH_H_

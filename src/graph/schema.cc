@@ -1,0 +1,64 @@
+#include "graph/schema.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace widen::graph {
+
+NodeTypeId GraphSchema::AddNodeType(std::string name) {
+  WIDEN_CHECK(!name.empty());
+  for (const std::string& existing : node_type_names_) {
+    WIDEN_CHECK(existing != name) << "duplicate node type: " << name;
+  }
+  node_type_names_.push_back(std::move(name));
+  return static_cast<NodeTypeId>(node_type_names_.size() - 1);
+}
+
+EdgeTypeId GraphSchema::AddEdgeType(std::string name, NodeTypeId src_type,
+                                    NodeTypeId dst_type) {
+  WIDEN_CHECK(!name.empty());
+  WIDEN_CHECK(src_type >= 0 && src_type < num_node_types());
+  WIDEN_CHECK(dst_type >= 0 && dst_type < num_node_types());
+  for (const EdgeTypeSpec& existing : edge_types_) {
+    WIDEN_CHECK(existing.name != name) << "duplicate edge type: " << name;
+  }
+  edge_types_.push_back(EdgeTypeSpec{std::move(name), src_type, dst_type});
+  return static_cast<EdgeTypeId>(edge_types_.size() - 1);
+}
+
+const std::string& GraphSchema::node_type_name(NodeTypeId id) const {
+  WIDEN_CHECK(id >= 0 && id < num_node_types());
+  return node_type_names_[static_cast<size_t>(id)];
+}
+
+const std::string& GraphSchema::edge_type_name(EdgeTypeId id) const {
+  return edge_type(id).name;
+}
+
+const EdgeTypeSpec& GraphSchema::edge_type(EdgeTypeId id) const {
+  WIDEN_CHECK(id >= 0 && id < num_edge_types());
+  return edge_types_[static_cast<size_t>(id)];
+}
+
+StatusOr<NodeTypeId> GraphSchema::FindNodeType(const std::string& name) const {
+  for (size_t i = 0; i < node_type_names_.size(); ++i) {
+    if (node_type_names_[i] == name) return static_cast<NodeTypeId>(i);
+  }
+  return Status::NotFound(StrCat("node type '", name, "'"));
+}
+
+StatusOr<EdgeTypeId> GraphSchema::FindEdgeType(const std::string& name) const {
+  for (size_t i = 0; i < edge_types_.size(); ++i) {
+    if (edge_types_[i].name == name) return static_cast<EdgeTypeId>(i);
+  }
+  return Status::NotFound(StrCat("edge type '", name, "'"));
+}
+
+bool GraphSchema::EdgeTypeCompatible(EdgeTypeId etype, NodeTypeId a,
+                                     NodeTypeId b) const {
+  const EdgeTypeSpec& spec = edge_type(etype);
+  return (spec.src_type == a && spec.dst_type == b) ||
+         (spec.src_type == b && spec.dst_type == a);
+}
+
+}  // namespace widen::graph

@@ -1,0 +1,68 @@
+// Graph schema: the vocabulary of node types and edge types of a
+// heterogeneous graph (Definition 1 in the paper).
+
+#ifndef WIDEN_GRAPH_SCHEMA_H_
+#define WIDEN_GRAPH_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace widen::graph {
+
+using NodeTypeId = int32_t;
+using EdgeTypeId = int32_t;
+
+/// Declares one edge type together with the node types it may connect.
+/// Edges are stored undirected; (src, dst) records the canonical orientation
+/// used at AddEdge time, and the reverse direction is implied.
+struct EdgeTypeSpec {
+  std::string name;
+  NodeTypeId src_type = -1;
+  NodeTypeId dst_type = -1;
+};
+
+/// Immutable-after-setup registry of node and edge types.
+///
+/// Typical use: a dataset constructs one GraphSchema, registers types, then
+/// hands it (by value) to a GraphBuilder. Lookup by name is linear — schemas
+/// have a handful of types.
+class GraphSchema {
+ public:
+  /// Registers a node type; returns its dense id.
+  NodeTypeId AddNodeType(std::string name);
+
+  /// Registers an edge type between two previously registered node types;
+  /// returns its dense id.
+  EdgeTypeId AddEdgeType(std::string name, NodeTypeId src_type,
+                         NodeTypeId dst_type);
+
+  int32_t num_node_types() const {
+    return static_cast<int32_t>(node_type_names_.size());
+  }
+  int32_t num_edge_types() const {
+    return static_cast<int32_t>(edge_types_.size());
+  }
+
+  const std::string& node_type_name(NodeTypeId id) const;
+  const std::string& edge_type_name(EdgeTypeId id) const;
+  const EdgeTypeSpec& edge_type(EdgeTypeId id) const;
+
+  /// Id lookup by name; NotFound if absent.
+  StatusOr<NodeTypeId> FindNodeType(const std::string& name) const;
+  StatusOr<EdgeTypeId> FindEdgeType(const std::string& name) const;
+
+  /// True if an edge of type `etype` may connect nodes of the given types
+  /// in either orientation.
+  bool EdgeTypeCompatible(EdgeTypeId etype, NodeTypeId a, NodeTypeId b) const;
+
+ private:
+  std::vector<std::string> node_type_names_;
+  std::vector<EdgeTypeSpec> edge_types_;
+};
+
+}  // namespace widen::graph
+
+#endif  // WIDEN_GRAPH_SCHEMA_H_

@@ -1,0 +1,85 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace widen::graph {
+
+StatusOr<Subgraph> SubgraphExtractor::Induced(
+    const HeteroGraph& parent, const std::vector<NodeId>& kept_nodes) {
+  const int64_t parent_n = parent.num_nodes();
+  Subgraph result;
+  result.from_parent.assign(static_cast<size_t>(parent_n), -1);
+  result.to_parent.reserve(kept_nodes.size());
+
+  std::vector<NodeId> sorted = kept_nodes;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const NodeId old_id = sorted[i];
+    if (old_id < 0 || old_id >= parent_n) {
+      return Status::OutOfRange(StrCat("kept node ", old_id, " out of range"));
+    }
+    if (i > 0 && sorted[i] == sorted[i - 1]) {
+      return Status::InvalidArgument(StrCat("duplicate kept node ", old_id));
+    }
+    result.from_parent[static_cast<size_t>(old_id)] =
+        static_cast<NodeId>(result.to_parent.size());
+    result.to_parent.push_back(old_id);
+  }
+
+  HeteroGraph& g = result.graph;
+  g.schema_ = parent.schema();
+  g.node_types_.reserve(result.to_parent.size());
+  for (NodeId old_id : result.to_parent) {
+    g.node_types_.push_back(parent.node_type(old_id));
+  }
+  g.nodes_by_type_.assign(
+      static_cast<size_t>(g.schema_.num_node_types()), {});
+  for (NodeId v = 0; v < static_cast<NodeId>(g.node_types_.size()); ++v) {
+    g.nodes_by_type_[static_cast<size_t>(
+                         g.node_types_[static_cast<size_t>(v)])]
+        .push_back(v);
+  }
+
+  // Re-emit surviving half-edges under the new ids.
+  std::vector<std::tuple<NodeId, NodeId, EdgeTypeId>> half_edges;
+  for (NodeId new_u = 0; new_u < static_cast<NodeId>(result.to_parent.size());
+       ++new_u) {
+    const NodeId old_u = result.to_parent[static_cast<size_t>(new_u)];
+    Csr::NeighborSpan span = parent.neighbors(old_u);
+    for (int64_t i = 0; i < span.size; ++i) {
+      const NodeId new_v =
+          result.from_parent[static_cast<size_t>(span.neighbors[i])];
+      if (new_v >= 0) half_edges.emplace_back(new_u, new_v, span.edge_types[i]);
+    }
+  }
+  g.csr_ = Csr::FromHalfEdges(static_cast<int64_t>(g.node_types_.size()),
+                              half_edges);
+
+  if (parent.features().defined()) {
+    const int64_t d = parent.feature_dim();
+    tensor::Tensor feats(
+        tensor::Shape::Matrix(static_cast<int64_t>(result.to_parent.size()), d));
+    float* dst = feats.mutable_data();
+    const float* src = parent.features().data();
+    for (size_t i = 0; i < result.to_parent.size(); ++i) {
+      std::memcpy(dst + static_cast<int64_t>(i) * d,
+                  src + static_cast<int64_t>(result.to_parent[i]) * d,
+                  static_cast<size_t>(d) * sizeof(float));
+    }
+    g.features_ = std::move(feats);
+  }
+  if (parent.has_labels()) {
+    g.labels_.reserve(result.to_parent.size());
+    for (NodeId old_id : result.to_parent) {
+      g.labels_.push_back(parent.label(old_id));
+    }
+    g.num_classes_ = parent.num_classes();
+    g.labeled_node_type_ = parent.labeled_node_type();
+  }
+  return result;
+}
+
+}  // namespace widen::graph

@@ -1,0 +1,34 @@
+// Induced subgraph extraction, used for the inductive evaluation protocol
+// (removing held-out nodes from the training graph, §4.3) and the
+// scalability experiment's node-ratio subsampling (Fig. 5).
+
+#ifndef WIDEN_GRAPH_SUBGRAPH_H_
+#define WIDEN_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "util/status.h"
+
+namespace widen::graph {
+
+/// An induced subgraph together with the id correspondence to its parent.
+struct Subgraph {
+  HeteroGraph graph;
+  /// new id -> old id, size graph.num_nodes().
+  std::vector<NodeId> to_parent;
+  /// old id -> new id, -1 for dropped nodes; size parent.num_nodes().
+  std::vector<NodeId> from_parent;
+};
+
+/// Extracts the subgraph induced by `kept_nodes` (old ids, need not be
+/// sorted; duplicates rejected). Features and labels are sliced along.
+class SubgraphExtractor {
+ public:
+  static StatusOr<Subgraph> Induced(const HeteroGraph& parent,
+                                    const std::vector<NodeId>& kept_nodes);
+};
+
+}  // namespace widen::graph
+
+#endif  // WIDEN_GRAPH_SUBGRAPH_H_

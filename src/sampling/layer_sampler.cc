@@ -1,0 +1,54 @@
+#include "sampling/layer_sampler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace widen::sampling {
+
+LayerSampler::LayerSampler(const graph::HeteroGraph& graph) {
+  const int64_t n = graph.num_nodes();
+  WIDEN_CHECK_GT(n, 0);
+  probabilities_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    // ||A(:, v)||^2 for the unweighted adjacency = degree; +1 smooths
+    // isolated nodes.
+    const double q = static_cast<double>(graph.degree(v)) + 1.0;
+    probabilities_[static_cast<size_t>(v)] = q;
+    total += q;
+  }
+  cumulative_.resize(static_cast<size_t>(n));
+  double acc = 0.0;
+  for (size_t i = 0; i < probabilities_.size(); ++i) {
+    probabilities_[i] /= total;
+    acc += probabilities_[i];
+    cumulative_[i] = acc;
+  }
+  cumulative_.back() = 1.0;
+}
+
+LayerSample LayerSampler::Sample(int64_t t, Rng& rng) const {
+  WIDEN_CHECK_GT(t, 0);
+  std::unordered_map<graph::NodeId, float> weight_by_node;
+  for (int64_t i = 0; i < t; ++i) {
+    const double u = rng.UniformDouble();
+    const auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    const graph::NodeId v = static_cast<graph::NodeId>(
+        std::distance(cumulative_.begin(), it));
+    weight_by_node[v] += static_cast<float>(
+        1.0 / (static_cast<double>(t) * probabilities_[static_cast<size_t>(v)]));
+  }
+  LayerSample sample;
+  sample.nodes.reserve(weight_by_node.size());
+  sample.weights.reserve(weight_by_node.size());
+  for (const auto& [node, weight] : weight_by_node) {
+    sample.nodes.push_back(node);
+    sample.weights.push_back(weight);
+  }
+  return sample;
+}
+
+}  // namespace widen::sampling

@@ -1,0 +1,46 @@
+// FastGCN-style layer-wise importance sampling (Chen, Ma & Xiao, 2018).
+//
+// Instead of expanding neighborhoods per node, FastGCN samples a fixed-size
+// node set per layer with probability q(u) proportional to the squared norm
+// of A's column — which for a binary adjacency reduces to the degree — and
+// corrects the aggregation with 1/(t * q(u)) importance weights.
+
+#ifndef WIDEN_SAMPLING_LAYER_SAMPLER_H_
+#define WIDEN_SAMPLING_LAYER_SAMPLER_H_
+
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "util/random.h"
+
+namespace widen::sampling {
+
+/// One sampled layer: distinct node ids plus their importance weights
+/// 1 / (t * q(u)).
+struct LayerSample {
+  std::vector<graph::NodeId> nodes;
+  std::vector<float> weights;
+};
+
+/// Degree-proportional sampler with precomputed distribution.
+class LayerSampler {
+ public:
+  explicit LayerSampler(const graph::HeteroGraph& graph);
+
+  /// Samples `t` nodes (with replacement, then deduplicated — weights are
+  /// aggregated on duplicates, keeping the estimator unbiased).
+  LayerSample Sample(int64_t t, Rng& rng) const;
+
+  /// q(u) for tests.
+  double probability(graph::NodeId v) const {
+    return probabilities_[static_cast<size_t>(v)];
+  }
+
+ private:
+  std::vector<double> probabilities_;  // q(u), sums to 1
+  std::vector<double> cumulative_;     // prefix sums for O(log n) draws
+};
+
+}  // namespace widen::sampling
+
+#endif  // WIDEN_SAMPLING_LAYER_SAMPLER_H_

@@ -1,0 +1,68 @@
+#include "sampling/negative_sampler.h"
+
+#include <cmath>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace widen::sampling {
+
+NegativeSampler::NegativeSampler(const graph::HeteroGraph& graph) {
+  const int64_t n = graph.num_nodes();
+  WIDEN_CHECK_GT(n, 0);
+  std::vector<double> weights(static_cast<size_t>(n));
+  double total = 0.0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const double w =
+        std::pow(static_cast<double>(graph.degree(v)) + 1e-3, 0.75);
+    weights[static_cast<size_t>(v)] = w;
+    total += w;
+  }
+  // Vose's alias method.
+  accept_.assign(static_cast<size_t>(n), 1.0);
+  alias_.assign(static_cast<size_t>(n), 0);
+  std::deque<graph::NodeId> small, large;
+  std::vector<double> scaled(static_cast<size_t>(n));
+  for (graph::NodeId v = 0; v < n; ++v) {
+    scaled[static_cast<size_t>(v)] =
+        weights[static_cast<size_t>(v)] * static_cast<double>(n) / total;
+    (scaled[static_cast<size_t>(v)] < 1.0 ? small : large).push_back(v);
+  }
+  while (!small.empty() && !large.empty()) {
+    const graph::NodeId s = small.front();
+    small.pop_front();
+    const graph::NodeId l = large.front();
+    large.pop_front();
+    accept_[static_cast<size_t>(s)] = scaled[static_cast<size_t>(s)];
+    alias_[static_cast<size_t>(s)] = l;
+    scaled[static_cast<size_t>(l)] =
+        scaled[static_cast<size_t>(l)] + scaled[static_cast<size_t>(s)] - 1.0;
+    (scaled[static_cast<size_t>(l)] < 1.0 ? small : large).push_back(l);
+  }
+  // Remaining buckets keep accept probability 1.
+}
+
+graph::NodeId NegativeSampler::Sample(Rng& rng) const {
+  const size_t bucket =
+      static_cast<size_t>(rng.UniformInt(accept_.size()));
+  if (rng.UniformDouble() < accept_[bucket]) {
+    return static_cast<graph::NodeId>(bucket);
+  }
+  return alias_[bucket];
+}
+
+std::vector<graph::NodeId> NegativeSampler::SampleExcluding(
+    graph::NodeId forbidden, int64_t count, Rng& rng) const {
+  std::vector<graph::NodeId> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    graph::NodeId candidate = Sample(rng);
+    for (int retry = 0; retry < 8 && candidate == forbidden; ++retry) {
+      candidate = Sample(rng);
+    }
+    out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace widen::sampling

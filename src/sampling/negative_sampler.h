@@ -1,0 +1,36 @@
+// Unigram^0.75 negative sampling (word2vec/Node2Vec style).
+
+#ifndef WIDEN_SAMPLING_NEGATIVE_SAMPLER_H_
+#define WIDEN_SAMPLING_NEGATIVE_SAMPLER_H_
+
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "util/random.h"
+
+namespace widen::sampling {
+
+/// Draws "noise" nodes with probability proportional to degree^0.75 via the
+/// alias method, so each draw is O(1).
+class NegativeSampler {
+ public:
+  /// Builds the alias table from the degree distribution of `graph`.
+  /// Zero-degree nodes get weight epsilon so every node remains sampleable.
+  explicit NegativeSampler(const graph::HeteroGraph& graph);
+
+  /// One negative sample.
+  graph::NodeId Sample(Rng& rng) const;
+
+  /// `count` negatives, excluding `forbidden` (resampled on collision, with
+  /// a bounded number of retries before accepting the collision).
+  std::vector<graph::NodeId> SampleExcluding(graph::NodeId forbidden,
+                                             int64_t count, Rng& rng) const;
+
+ private:
+  std::vector<double> accept_;        // alias-method acceptance probability
+  std::vector<graph::NodeId> alias_;  // alias-method fallback bucket
+};
+
+}  // namespace widen::sampling
+
+#endif  // WIDEN_SAMPLING_NEGATIVE_SAMPLER_H_

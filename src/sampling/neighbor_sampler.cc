@@ -1,0 +1,62 @@
+#include "sampling/neighbor_sampler.h"
+
+#include "util/logging.h"
+
+namespace widen::sampling {
+
+void WideNeighborSet::RemoveLocalIndex(size_t n) {
+  WIDEN_CHECK_LT(n, nodes.size());
+  nodes.erase(nodes.begin() + static_cast<std::ptrdiff_t>(n));
+  edge_types.erase(edge_types.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+WideNeighborSet SampleWideNeighbors(const graph::HeteroGraph& graph,
+                                    graph::NodeId target, int64_t sample_size,
+                                    Rng& rng) {
+  WIDEN_CHECK_GE(sample_size, 0);
+  WideNeighborSet set;
+  set.target = target;
+  graph::Csr::NeighborSpan span = graph.neighbors(target);
+  if (span.size == 0 || sample_size == 0) return set;
+  if (span.size <= sample_size) {
+    set.nodes.assign(span.neighbors, span.neighbors + span.size);
+    set.edge_types.assign(span.edge_types, span.edge_types + span.size);
+    // Shuffle jointly so local indexes are not biased by CSR order.
+    for (size_t i = set.nodes.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(rng.UniformInt(i));
+      std::swap(set.nodes[i - 1], set.nodes[j]);
+      std::swap(set.edge_types[i - 1], set.edge_types[j]);
+    }
+    return set;
+  }
+  std::vector<size_t> picks = rng.SampleWithoutReplacement(
+      static_cast<size_t>(span.size), static_cast<size_t>(sample_size));
+  set.nodes.reserve(picks.size());
+  set.edge_types.reserve(picks.size());
+  for (size_t p : picks) {
+    set.nodes.push_back(span.neighbors[p]);
+    set.edge_types.push_back(span.edge_types[p]);
+  }
+  return set;
+}
+
+WideNeighborSet SampleWideNeighborsWithReplacement(
+    const graph::HeteroGraph& graph, graph::NodeId target,
+    int64_t sample_size, Rng& rng) {
+  WIDEN_CHECK_GE(sample_size, 0);
+  WideNeighborSet set;
+  set.target = target;
+  graph::Csr::NeighborSpan span = graph.neighbors(target);
+  if (span.size == 0 || sample_size == 0) return set;
+  set.nodes.reserve(static_cast<size_t>(sample_size));
+  set.edge_types.reserve(static_cast<size_t>(sample_size));
+  for (int64_t i = 0; i < sample_size; ++i) {
+    const size_t p =
+        static_cast<size_t>(rng.UniformInt(static_cast<uint64_t>(span.size)));
+    set.nodes.push_back(span.neighbors[p]);
+    set.edge_types.push_back(span.edge_types[p]);
+  }
+  return set;
+}
+
+}  // namespace widen::sampling

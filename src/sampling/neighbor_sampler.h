@@ -1,0 +1,44 @@
+// Wide neighbor sampling (Definition 2 of the paper): for a target node,
+// draw up to N_w uniformly random first-order neighbors together with the
+// edge types connecting them to the target.
+
+#ifndef WIDEN_SAMPLING_NEIGHBOR_SAMPLER_H_
+#define WIDEN_SAMPLING_NEIGHBOR_SAMPLER_H_
+
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "util/random.h"
+
+namespace widen::sampling {
+
+/// A sampled wide neighbor set W(v_t). Position in `nodes` is the paper's
+/// local index n (0-based here); values are global node ids. `edge_types[n]`
+/// is the type of the edge (v_t, nodes[n]).
+struct WideNeighborSet {
+  graph::NodeId target = -1;
+  std::vector<graph::NodeId> nodes;
+  std::vector<graph::EdgeTypeId> edge_types;
+
+  size_t size() const { return nodes.size(); }
+
+  /// Removes the neighbor at local index n, shifting later local indexes
+  /// down by one — exactly the re-indexing loop of Algorithm 1 (lines 5-8).
+  void RemoveLocalIndex(size_t n);
+};
+
+/// Uniformly samples min(N_w, degree) distinct neighbors of `target`.
+/// Isolated targets yield an empty set. Deterministic given `rng` state.
+WideNeighborSet SampleWideNeighbors(const graph::HeteroGraph& graph,
+                                    graph::NodeId target, int64_t sample_size,
+                                    Rng& rng);
+
+/// GraphSAGE-style sampling: exactly `sample_size` draws, with replacement
+/// when the degree is smaller (unless the target is isolated).
+WideNeighborSet SampleWideNeighborsWithReplacement(
+    const graph::HeteroGraph& graph, graph::NodeId target,
+    int64_t sample_size, Rng& rng);
+
+}  // namespace widen::sampling
+
+#endif  // WIDEN_SAMPLING_NEIGHBOR_SAMPLER_H_

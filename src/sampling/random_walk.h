@@ -1,0 +1,46 @@
+// Deep neighbor sampling (Definition 3): random-walk sequences that carry the
+// edge type taken at every step, plus the biased second-order walk used by
+// Node2Vec.
+
+#ifndef WIDEN_SAMPLING_RANDOM_WALK_H_
+#define WIDEN_SAMPLING_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "util/random.h"
+
+namespace widen::sampling {
+
+/// A sampled deep neighbor sequence D(v_t). `nodes[s]` is the node at walk
+/// position s (0-based; the target itself is NOT stored, per Definition 3).
+/// `edge_types[s]` is the type of the edge from the predecessor — so
+/// edge_types[0] types the edge (v_t, nodes[0]), matching e_{1,0} = e_{1,t}.
+/// The walk may be shorter than requested if it reaches a sink.
+struct DeepNeighborSequence {
+  graph::NodeId target = -1;
+  std::vector<graph::NodeId> nodes;
+  std::vector<graph::EdgeTypeId> edge_types;
+
+  size_t size() const { return nodes.size(); }
+};
+
+/// Uniform random walk of (up to) `length` steps starting from `target`.
+/// Revisits are allowed (standard DeepWalk behaviour); immediate backtracking
+/// is permitted as well. Isolated targets yield an empty sequence.
+DeepNeighborSequence SampleDeepWalk(const graph::HeteroGraph& graph,
+                                    graph::NodeId target, int64_t length,
+                                    Rng& rng);
+
+/// Node2Vec second-order biased walk: return parameter `p` and in-out
+/// parameter `q` reweight the step distribution as in Grover & Leskovec
+/// (2016). The returned sequence INCLUDES the start node at position 0
+/// (skip-gram training consumes whole walks).
+std::vector<graph::NodeId> SampleNode2VecWalk(const graph::HeteroGraph& graph,
+                                              graph::NodeId start,
+                                              int64_t length, double p,
+                                              double q, Rng& rng);
+
+}  // namespace widen::sampling
+
+#endif  // WIDEN_SAMPLING_RANDOM_WALK_H_

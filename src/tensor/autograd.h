@@ -1,0 +1,23 @@
+// Reverse-mode differentiation driver.
+//
+// The tape is distributed: every non-leaf tensor stores its parents and a
+// backward closure. Backward(loss) topologically orders the reachable
+// subgraph and invokes closures in reverse order, accumulating gradients.
+
+#ifndef WIDEN_TENSOR_AUTOGRAD_H_
+#define WIDEN_TENSOR_AUTOGRAD_H_
+
+#include "tensor/tensor.h"
+
+namespace widen::tensor {
+
+/// Runs backpropagation from `root`, which must be a scalar. Equivalent to
+/// `root.Backward()`.
+void Backward(const Tensor& root);
+
+/// Number of autograd nodes reachable from `root` (diagnostics/tests).
+size_t CountTapeNodes(const Tensor& root);
+
+}  // namespace widen::tensor
+
+#endif  // WIDEN_TENSOR_AUTOGRAD_H_

@@ -1,0 +1,62 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace widen::tensor {
+namespace {
+
+// fan_in / fan_out follow the convention for row-vector activations
+// (x W with W of shape [in, out]).
+void FanInOut(const Shape& shape, int64_t* fan_in, int64_t* fan_out) {
+  if (shape.rank() == 2) {
+    *fan_in = shape.dim(0);
+    *fan_out = shape.dim(1);
+  } else {
+    *fan_in = shape.NumElements();
+    *fan_out = shape.NumElements();
+  }
+}
+
+}  // namespace
+
+Tensor XavierUniform(const Shape& shape, Rng& rng, std::string label) {
+  int64_t fan_in = 0, fan_out = 0;
+  FanInOut(shape, &fan_in, &fan_out);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(std::max<int64_t>(fan_in + fan_out, 1)));
+  Tensor t(shape);
+  float* p = t.mutable_data();
+  for (int64_t i = 0; i < t.size(); ++i) p[i] = rng.UniformFloat(-bound, bound);
+  t.set_requires_grad(true);
+  t.set_label(std::move(label));
+  return t;
+}
+
+Tensor HeNormal(const Shape& shape, Rng& rng, std::string label) {
+  int64_t fan_in = 0, fan_out = 0;
+  FanInOut(shape, &fan_in, &fan_out);
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(std::max<int64_t>(fan_in, 1)));
+  return NormalInit(shape, rng, stddev, std::move(label));
+}
+
+Tensor NormalInit(const Shape& shape, Rng& rng, float stddev,
+                  std::string label) {
+  Tensor t(shape);
+  float* p = t.mutable_data();
+  for (int64_t i = 0; i < t.size(); ++i) {
+    p[i] = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  t.set_requires_grad(true);
+  t.set_label(std::move(label));
+  return t;
+}
+
+Tensor ZeroParam(const Shape& shape, std::string label) {
+  Tensor t(shape);
+  t.set_requires_grad(true);
+  t.set_label(std::move(label));
+  return t;
+}
+
+}  // namespace widen::tensor

@@ -1,0 +1,29 @@
+// Parameter initialization schemes.
+
+#ifndef WIDEN_TENSOR_INIT_H_
+#define WIDEN_TENSOR_INIT_H_
+
+#include <string>
+
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace widen::tensor {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+/// Returns a differentiable leaf tensor.
+Tensor XavierUniform(const Shape& shape, Rng& rng, std::string label = "");
+
+/// He/Kaiming normal: N(0, sqrt(2 / fan_in)). For ReLU stacks.
+Tensor HeNormal(const Shape& shape, Rng& rng, std::string label = "");
+
+/// N(0, stddev) initialization (embedding tables).
+Tensor NormalInit(const Shape& shape, Rng& rng, float stddev,
+                  std::string label = "");
+
+/// Zero-initialized differentiable leaf (biases).
+Tensor ZeroParam(const Shape& shape, std::string label = "");
+
+}  // namespace widen::tensor
+
+#endif  // WIDEN_TENSOR_INIT_H_

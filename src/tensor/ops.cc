@@ -1,0 +1,928 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace widen::tensor {
+namespace {
+
+using internal::TensorImpl;
+
+// True when the tape must record this op.
+bool NeedsGrad(const Tensor& a) {
+  return !NoGradScope::Active() && a.impl_ptr()->requires_grad;
+}
+bool NeedsGrad(const Tensor& a, const Tensor& b) {
+  return NeedsGrad(a) || NeedsGrad(b);
+}
+
+// Registers `out` as a tape node computed from `parents` with `backward`.
+// `backward` must capture raw TensorImpl pointers only (the parents vector
+// keeps them alive; capturing shared_ptrs would create reference cycles
+// through the closure).
+void Attach(Tensor& out, std::vector<Tensor> parents,
+            std::function<void()> backward) {
+  TensorImpl* impl = out.impl_ptr().get();
+  impl->requires_grad = true;
+  impl->parents.reserve(parents.size());
+  for (auto& p : parents) impl->parents.push_back(p.impl_ptr());
+  impl->backward_fn = std::move(backward);
+}
+
+// Shapes for the narrow broadcast contract of Add/Sub/Mul.
+enum class BroadcastKind { kSameShape, kRowVector };
+
+BroadcastKind CheckBroadcast(const Tensor& a, const Tensor& b,
+                             const char* op) {
+  if (a.shape() == b.shape()) return BroadcastKind::kSameShape;
+  WIDEN_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2 &&
+              b.rows() == 1 && b.cols() == a.cols())
+      << op << ": incompatible shapes " << a.shape().ToString() << " vs "
+      << b.shape().ToString();
+  return BroadcastKind::kRowVector;
+}
+
+}  // namespace
+
+// ---- Linear algebra --------------------------------------------------------
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  WIDEN_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2)
+      << "MatMul requires matrices";
+  WIDEN_CHECK_EQ(a.cols(), b.rows());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor out(Shape::Matrix(m, n));
+  {
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.mutable_data();
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = pa + i * k;
+      float* orow = po + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  }
+  if (NeedsGrad(a, b)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* bi = b.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a, b}, [ai, bi, oi, m, k, n] {
+      oi->EnsureGrad();
+      const float* g = oi->grad.data();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        // dA += dC * B^T  (m x n) * (n x k)
+        float* da = ai->grad.data();
+        const float* pb = bi->data.data();
+        for (int64_t i = 0; i < m; ++i) {
+          const float* grow = g + i * n;
+          float* darow = da + i * k;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float* brow = pb + kk * n;
+            float acc = 0.0f;
+            for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+            darow[kk] += acc;
+          }
+        }
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        // dB += A^T * dC  (k x m) * (m x n)
+        float* db = bi->grad.data();
+        const float* pa = ai->data.data();
+        for (int64_t i = 0; i < m; ++i) {
+          const float* arow = pa + i * k;
+          const float* grow = g + i * n;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f) continue;
+            float* dbrow = db + kk * n;
+            for (int64_t j = 0; j < n; ++j) dbrow[j] += av * grow[j];
+          }
+        }
+      }
+    });
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  WIDEN_CHECK_EQ(a.shape().rank(), 2);
+  const int64_t m = a.rows(), n = a.cols();
+  Tensor out(Shape::Matrix(n, m));
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  }
+  if (NeedsGrad(a)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a}, [ai, oi, m, n] {
+      oi->EnsureGrad();
+      if (!ai->requires_grad) return;
+      ai->EnsureGrad();
+      const float* g = oi->grad.data();
+      float* da = ai->grad.data();
+      for (int64_t j = 0; j < n; ++j) {
+        for (int64_t i = 0; i < m; ++i) da[i * n + j] += g[j * m + i];
+      }
+    });
+  }
+  return out;
+}
+
+// ---- Elementwise arithmetic --------------------------------------------------
+
+namespace {
+
+// Shared implementation for Add/Sub (sign = +1/-1 on b).
+Tensor AddLike(const Tensor& a, const Tensor& b, float sign, const char* op) {
+  BroadcastKind kind = CheckBroadcast(a, b, op);
+  Tensor out(a.shape());
+  const int64_t total = a.size();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.mutable_data();
+  if (kind == BroadcastKind::kSameShape) {
+    for (int64_t i = 0; i < total; ++i) po[i] = pa[i] + sign * pb[i];
+  } else {
+    const int64_t n = a.cols();
+    for (int64_t i = 0; i < total; ++i) po[i] = pa[i] + sign * pb[i % n];
+  }
+  if (NeedsGrad(a, b)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* bi = b.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    const int64_t n = a.shape().rank() == 2 ? a.cols() : total;
+    Attach(out, {a, b}, [ai, bi, oi, total, n, sign, kind] {
+      oi->EnsureGrad();
+      const float* g = oi->grad.data();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        float* da = ai->grad.data();
+        for (int64_t i = 0; i < total; ++i) da[i] += g[i];
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        float* db = bi->grad.data();
+        if (kind == BroadcastKind::kSameShape) {
+          for (int64_t i = 0; i < total; ++i) db[i] += sign * g[i];
+        } else {
+          for (int64_t i = 0; i < total; ++i) db[i % n] += sign * g[i];
+        }
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) { return AddLike(a, b, 1.0f, "Add"); }
+Tensor Sub(const Tensor& a, const Tensor& b) { return AddLike(a, b, -1.0f, "Sub"); }
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  BroadcastKind kind = CheckBroadcast(a, b, "Mul");
+  Tensor out(a.shape());
+  const int64_t total = a.size();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.mutable_data();
+  const int64_t n = a.shape().rank() == 2 ? a.cols() : total;
+  if (kind == BroadcastKind::kSameShape) {
+    for (int64_t i = 0; i < total; ++i) po[i] = pa[i] * pb[i];
+  } else {
+    for (int64_t i = 0; i < total; ++i) po[i] = pa[i] * pb[i % n];
+  }
+  if (NeedsGrad(a, b)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* bi = b.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a, b}, [ai, bi, oi, total, n, kind] {
+      oi->EnsureGrad();
+      const float* g = oi->grad.data();
+      const float* pa = ai->data.data();
+      const float* pb = bi->data.data();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        float* da = ai->grad.data();
+        if (kind == BroadcastKind::kSameShape) {
+          for (int64_t i = 0; i < total; ++i) da[i] += g[i] * pb[i];
+        } else {
+          for (int64_t i = 0; i < total; ++i) da[i] += g[i] * pb[i % n];
+        }
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        float* db = bi->grad.data();
+        if (kind == BroadcastKind::kSameShape) {
+          for (int64_t i = 0; i < total; ++i) db[i] += g[i] * pa[i];
+        } else {
+          for (int64_t i = 0; i < total; ++i) db[i % n] += g[i] * pa[i];
+        }
+      }
+    });
+  }
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float c) {
+  Tensor out(a.shape());
+  const int64_t total = a.size();
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  for (int64_t i = 0; i < total; ++i) po[i] = pa[i] * c;
+  if (NeedsGrad(a)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a}, [ai, oi, total, c] {
+      oi->EnsureGrad();
+      if (!ai->requires_grad) return;
+      ai->EnsureGrad();
+      const float* g = oi->grad.data();
+      float* da = ai->grad.data();
+      for (int64_t i = 0; i < total; ++i) da[i] += g[i] * c;
+    });
+  }
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float c) {
+  Tensor out(a.shape());
+  const int64_t total = a.size();
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  for (int64_t i = 0; i < total; ++i) po[i] = pa[i] + c;
+  if (NeedsGrad(a)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a}, [ai, oi, total] {
+      oi->EnsureGrad();
+      if (!ai->requires_grad) return;
+      ai->EnsureGrad();
+      const float* g = oi->grad.data();
+      float* da = ai->grad.data();
+      for (int64_t i = 0; i < total; ++i) da[i] += g[i];
+    });
+  }
+  return out;
+}
+
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  WIDEN_CHECK(a.shape() == b.shape())
+      << "Maximum: shapes " << a.shape().ToString() << " vs "
+      << b.shape().ToString();
+  Tensor out(a.shape());
+  const int64_t total = a.size();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.mutable_data();
+  for (int64_t i = 0; i < total; ++i) po[i] = std::max(pa[i], pb[i]);
+  if (NeedsGrad(a, b)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* bi = b.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a, b}, [ai, bi, oi, total] {
+      oi->EnsureGrad();
+      const float* g = oi->grad.data();
+      const float* pa = ai->data.data();
+      const float* pb = bi->data.data();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        float* da = ai->grad.data();
+        for (int64_t i = 0; i < total; ++i) {
+          if (pa[i] >= pb[i]) da[i] += g[i];
+        }
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        float* db = bi->grad.data();
+        for (int64_t i = 0; i < total; ++i) {
+          if (pb[i] > pa[i]) db[i] += g[i];
+        }
+      }
+    });
+  }
+  return out;
+}
+
+// ---- Nonlinearities ----------------------------------------------------------
+
+namespace {
+
+// Generic unary op: forward(x) and dydx computed from (x, y).
+template <typename Fwd, typename Grad>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, Grad dydx) {
+  Tensor out(a.shape());
+  const int64_t total = a.size();
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  for (int64_t i = 0; i < total; ++i) po[i] = fwd(pa[i]);
+  if (NeedsGrad(a)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a}, [ai, oi, total, dydx] {
+      oi->EnsureGrad();
+      if (!ai->requires_grad) return;
+      ai->EnsureGrad();
+      const float* g = oi->grad.data();
+      const float* x = ai->data.data();
+      const float* y = oi->data.data();
+      float* da = ai->grad.data();
+      for (int64_t i = 0; i < total; ++i) da[i] += g[i] * dydx(x[i], y[i]);
+    });
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float slope) {
+  return UnaryOp(
+      a, [slope](float x) { return x > 0.0f ? x : slope * x; },
+      [slope](float x, float) { return x > 0.0f ? 1.0f : slope; });
+}
+
+Tensor Elu(const Tensor& a, float alpha) {
+  return UnaryOp(
+      a,
+      [alpha](float x) { return x >= 0.0f ? x : alpha * (std::exp(x) - 1.0f); },
+      [alpha](float x, float y) { return x >= 0.0f ? 1.0f : y + alpha; });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(std::max(x, 1e-12f)); },
+      [](float x, float) { return 1.0f / std::max(x, 1e-12f); });
+}
+
+// ---- Softmax / losses ---------------------------------------------------------
+
+Tensor SoftmaxRows(const Tensor& a) {
+  WIDEN_CHECK_EQ(a.shape().rank(), 2);
+  const int64_t m = a.rows(), n = a.cols();
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pa + i * n;
+    float* orow = po + i * n;
+    float max_v = row[0];
+    for (int64_t j = 1; j < n; ++j) max_v = std::max(max_v, row[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      orow[j] = std::exp(row[j] - max_v);
+      denom += orow[j];
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
+  }
+  if (NeedsGrad(a)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a}, [ai, oi, m, n] {
+      oi->EnsureGrad();
+      if (!ai->requires_grad) return;
+      ai->EnsureGrad();
+      const float* g = oi->grad.data();
+      const float* y = oi->data.data();
+      float* da = ai->grad.data();
+      for (int64_t i = 0; i < m; ++i) {
+        const float* grow = g + i * n;
+        const float* yrow = y + i * n;
+        float dot = 0.0f;
+        for (int64_t j = 0; j < n; ++j) dot += grow[j] * yrow[j];
+        float* darow = da + i * n;
+        for (int64_t j = 0; j < n; ++j) {
+          darow[j] += yrow[j] * (grow[j] - dot);
+        }
+      }
+    });
+  }
+  return out;
+}
+
+Tensor SoftmaxCrossEntropy(const Tensor& logits,
+                           const std::vector<int32_t>& labels,
+                           const std::vector<float>* sample_weights) {
+  WIDEN_CHECK_EQ(logits.shape().rank(), 2);
+  const int64_t m = logits.rows(), c = logits.cols();
+  WIDEN_CHECK_EQ(static_cast<int64_t>(labels.size()), m);
+  if (sample_weights != nullptr) {
+    WIDEN_CHECK_EQ(static_cast<int64_t>(sample_weights->size()), m);
+  }
+
+  // Forward: stable log-softmax; store probabilities for the backward pass.
+  auto probs = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(m * c), 0.0f);
+  const float* pl = logits.data();
+  double loss_sum = 0.0;
+  double weight_sum = 0.0;
+  for (int64_t i = 0; i < m; ++i) {
+    const float w =
+        sample_weights != nullptr ? (*sample_weights)[static_cast<size_t>(i)]
+                                  : 1.0f;
+    const float* row = pl + i * c;
+    float* prow = probs->data() + i * c;
+    float max_v = row[0];
+    for (int64_t j = 1; j < c; ++j) max_v = std::max(max_v, row[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < c; ++j) {
+      prow[j] = std::exp(row[j] - max_v);
+      denom += prow[j];
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t j = 0; j < c; ++j) prow[j] *= inv;
+    if (w != 0.0f) {
+      const int32_t y = labels[static_cast<size_t>(i)];
+      WIDEN_CHECK(y >= 0 && y < c) << "label out of range: " << y;
+      loss_sum -= static_cast<double>(w) *
+                  std::log(std::max(prow[y], 1e-12f));
+      weight_sum += w;
+    }
+  }
+  const float norm =
+      weight_sum > 0.0 ? static_cast<float>(1.0 / weight_sum) : 0.0f;
+  Tensor out = Tensor::Scalar(static_cast<float>(loss_sum) * norm);
+
+  if (NeedsGrad(logits)) {
+    TensorImpl* li = logits.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    auto labels_copy = std::make_shared<std::vector<int32_t>>(labels);
+    std::shared_ptr<std::vector<float>> weights_copy;
+    if (sample_weights != nullptr) {
+      weights_copy = std::make_shared<std::vector<float>>(*sample_weights);
+    }
+    Attach(out, {logits},
+           [li, oi, probs, labels_copy, weights_copy, m, c, norm] {
+             oi->EnsureGrad();
+             if (!li->requires_grad) return;
+             li->EnsureGrad();
+             const float upstream = oi->grad[0];
+             float* dl = li->grad.data();
+             for (int64_t i = 0; i < m; ++i) {
+               const float w =
+                   weights_copy ? (*weights_copy)[static_cast<size_t>(i)]
+                                : 1.0f;
+               if (w == 0.0f) continue;
+               const float scale = upstream * norm * w;
+               const float* prow = probs->data() + i * c;
+               float* drow = dl + i * c;
+               const int32_t y = (*labels_copy)[static_cast<size_t>(i)];
+               for (int64_t j = 0; j < c; ++j) drow[j] += scale * prow[j];
+               drow[y] -= scale;
+             }
+           });
+  }
+  return out;
+}
+
+Tensor SumSquares(const Tensor& a) {
+  const int64_t total = a.size();
+  const float* pa = a.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < total; ++i) {
+    acc += static_cast<double>(pa[i]) * pa[i];
+  }
+  Tensor out = Tensor::Scalar(static_cast<float>(acc));
+  if (NeedsGrad(a)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a}, [ai, oi, total] {
+      oi->EnsureGrad();
+      if (!ai->requires_grad) return;
+      ai->EnsureGrad();
+      const float upstream = oi->grad[0];
+      const float* x = ai->data.data();
+      float* da = ai->grad.data();
+      for (int64_t i = 0; i < total; ++i) da[i] += 2.0f * upstream * x[i];
+    });
+  }
+  return out;
+}
+
+// ---- Shape surgery -------------------------------------------------------------
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  WIDEN_CHECK(!parts.empty());
+  const int64_t n = parts[0].cols();
+  int64_t total_rows = 0;
+  bool needs = false;
+  for (const Tensor& p : parts) {
+    WIDEN_CHECK_EQ(p.shape().rank(), 2);
+    WIDEN_CHECK_EQ(p.cols(), n);
+    total_rows += p.rows();
+    needs = needs || NeedsGrad(p);
+  }
+  needs = needs && !NoGradScope::Active();
+  Tensor out(Shape::Matrix(total_rows, n));
+  float* po = out.mutable_data();
+  int64_t row = 0;
+  for (const Tensor& p : parts) {
+    std::memcpy(po + row * n, p.data(),
+                static_cast<size_t>(p.size()) * sizeof(float));
+    row += p.rows();
+  }
+  if (needs) {
+    std::vector<TensorImpl*> impls;
+    std::vector<int64_t> offsets;
+    int64_t off = 0;
+    for (const Tensor& p : parts) {
+      impls.push_back(p.impl_ptr().get());
+      offsets.push_back(off);
+      off += p.rows();
+    }
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, parts, [impls, offsets, oi, n] {
+      oi->EnsureGrad();
+      const float* g = oi->grad.data();
+      for (size_t k = 0; k < impls.size(); ++k) {
+        TensorImpl* pi = impls[k];
+        if (!pi->requires_grad) continue;
+        pi->EnsureGrad();
+        const int64_t rows_k = pi->shape.rows();
+        const float* src = g + offsets[k] * n;
+        float* dst = pi->grad.data();
+        for (int64_t i = 0; i < rows_k * n; ++i) dst[i] += src[i];
+      }
+    });
+  }
+  return out;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  WIDEN_CHECK(!parts.empty());
+  const int64_t m = parts[0].rows();
+  int64_t total_cols = 0;
+  bool needs = false;
+  for (const Tensor& p : parts) {
+    WIDEN_CHECK_EQ(p.shape().rank(), 2);
+    WIDEN_CHECK_EQ(p.rows(), m);
+    total_cols += p.cols();
+    needs = needs || NeedsGrad(p);
+  }
+  Tensor out(Shape::Matrix(m, total_cols));
+  float* po = out.mutable_data();
+  int64_t col = 0;
+  for (const Tensor& p : parts) {
+    const int64_t pc = p.cols();
+    const float* src = p.data();
+    for (int64_t i = 0; i < m; ++i) {
+      std::memcpy(po + i * total_cols + col, src + i * pc,
+                  static_cast<size_t>(pc) * sizeof(float));
+    }
+    col += pc;
+  }
+  if (needs) {
+    std::vector<TensorImpl*> impls;
+    std::vector<int64_t> offsets;
+    int64_t off = 0;
+    for (const Tensor& p : parts) {
+      impls.push_back(p.impl_ptr().get());
+      offsets.push_back(off);
+      off += p.cols();
+    }
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, parts, [impls, offsets, oi, m, total_cols] {
+      oi->EnsureGrad();
+      const float* g = oi->grad.data();
+      for (size_t k = 0; k < impls.size(); ++k) {
+        TensorImpl* pi = impls[k];
+        if (!pi->requires_grad) continue;
+        pi->EnsureGrad();
+        const int64_t pc = pi->shape.cols();
+        float* dst = pi->grad.data();
+        for (int64_t i = 0; i < m; ++i) {
+          const float* src = g + i * total_cols + offsets[k];
+          for (int64_t j = 0; j < pc; ++j) dst[i * pc + j] += src[j];
+        }
+      }
+    });
+  }
+  return out;
+}
+
+Tensor SliceRows(const Tensor& a, int64_t start, int64_t count) {
+  WIDEN_CHECK_EQ(a.shape().rank(), 2);
+  WIDEN_CHECK(start >= 0 && count >= 0 && start + count <= a.rows())
+      << "SliceRows [" << start << ", " << start + count << ") of "
+      << a.rows() << " rows";
+  const int64_t n = a.cols();
+  Tensor out(Shape::Matrix(count, n));
+  std::memcpy(out.mutable_data(), a.data() + start * n,
+              static_cast<size_t>(count * n) * sizeof(float));
+  if (NeedsGrad(a)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a}, [ai, oi, start, count, n] {
+      oi->EnsureGrad();
+      if (!ai->requires_grad) return;
+      ai->EnsureGrad();
+      const float* g = oi->grad.data();
+      float* da = ai->grad.data() + start * n;
+      for (int64_t i = 0; i < count * n; ++i) da[i] += g[i];
+    });
+  }
+  return out;
+}
+
+Tensor SliceCols(const Tensor& a, int64_t start, int64_t count) {
+  WIDEN_CHECK_EQ(a.shape().rank(), 2);
+  WIDEN_CHECK(start >= 0 && count >= 0 && start + count <= a.cols())
+      << "SliceCols [" << start << ", " << start + count << ") of "
+      << a.cols() << " cols";
+  const int64_t m = a.rows(), n = a.cols();
+  Tensor out(Shape::Matrix(m, count));
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  for (int64_t i = 0; i < m; ++i) {
+    std::memcpy(po + i * count, pa + i * n + start,
+                static_cast<size_t>(count) * sizeof(float));
+  }
+  if (NeedsGrad(a)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a}, [ai, oi, start, count, m, n] {
+      oi->EnsureGrad();
+      if (!ai->requires_grad) return;
+      ai->EnsureGrad();
+      const float* g = oi->grad.data();
+      float* da = ai->grad.data();
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < count; ++j) {
+          da[i * n + start + j] += g[i * count + j];
+        }
+      }
+    });
+  }
+  return out;
+}
+
+Tensor ScaleBy(const Tensor& a, const Tensor& scalar) {
+  WIDEN_CHECK_EQ(scalar.size(), 1) << "ScaleBy expects a scalar tensor";
+  const float s = scalar.data()[0];
+  Tensor out(a.shape());
+  const int64_t total = a.size();
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  for (int64_t i = 0; i < total; ++i) po[i] = pa[i] * s;
+  if (NeedsGrad(a, scalar)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* si = scalar.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a, scalar}, [ai, si, oi, total] {
+      oi->EnsureGrad();
+      const float* g = oi->grad.data();
+      const float s_val = si->data[0];
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        float* da = ai->grad.data();
+        for (int64_t i = 0; i < total; ++i) da[i] += g[i] * s_val;
+      }
+      if (si->requires_grad) {
+        si->EnsureGrad();
+        const float* x = ai->data.data();
+        double acc = 0.0;
+        for (int64_t i = 0; i < total; ++i) {
+          acc += static_cast<double>(g[i]) * x[i];
+        }
+        si->grad[0] += static_cast<float>(acc);
+      }
+    });
+  }
+  return out;
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int32_t>& indices) {
+  WIDEN_CHECK_EQ(a.shape().rank(), 2);
+  const int64_t n = a.cols();
+  const int64_t k = static_cast<int64_t>(indices.size());
+  Tensor out(Shape::Matrix(k, n));
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  for (int64_t i = 0; i < k; ++i) {
+    const int32_t idx = indices[static_cast<size_t>(i)];
+    WIDEN_CHECK(idx >= 0 && idx < a.rows())
+        << "GatherRows index " << idx << " out of [0, " << a.rows() << ")";
+    std::memcpy(po + i * n, pa + static_cast<int64_t>(idx) * n,
+                static_cast<size_t>(n) * sizeof(float));
+  }
+  if (NeedsGrad(a)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    auto idx_copy = std::make_shared<std::vector<int32_t>>(indices);
+    Attach(out, {a}, [ai, oi, idx_copy, k, n] {
+      oi->EnsureGrad();
+      if (!ai->requires_grad) return;
+      ai->EnsureGrad();
+      const float* g = oi->grad.data();
+      float* da = ai->grad.data();
+      for (int64_t i = 0; i < k; ++i) {
+        float* dst = da + static_cast<int64_t>((*idx_copy)[i]) * n;
+        const float* src = g + i * n;
+        for (int64_t j = 0; j < n; ++j) dst[j] += src[j];
+      }
+    });
+  }
+  return out;
+}
+
+// ---- Reductions ------------------------------------------------------------------
+
+Tensor SumRows(const Tensor& a) {
+  WIDEN_CHECK_EQ(a.shape().rank(), 2);
+  const int64_t m = a.rows(), n = a.cols();
+  Tensor out(Shape::Matrix(1, n));
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[j] += pa[i * n + j];
+  }
+  if (NeedsGrad(a)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a}, [ai, oi, m, n] {
+      oi->EnsureGrad();
+      if (!ai->requires_grad) return;
+      ai->EnsureGrad();
+      const float* g = oi->grad.data();
+      float* da = ai->grad.data();
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) da[i * n + j] += g[j];
+      }
+    });
+  }
+  return out;
+}
+
+Tensor MeanRows(const Tensor& a) {
+  WIDEN_CHECK_GT(a.rows(), 0);
+  return Scale(SumRows(a), 1.0f / static_cast<float>(a.rows()));
+}
+
+Tensor SumAll(const Tensor& a) {
+  const int64_t total = a.size();
+  const float* pa = a.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < total; ++i) acc += pa[i];
+  Tensor out = Tensor::Scalar(static_cast<float>(acc));
+  if (NeedsGrad(a)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a}, [ai, oi, total] {
+      oi->EnsureGrad();
+      if (!ai->requires_grad) return;
+      ai->EnsureGrad();
+      const float g = oi->grad[0];
+      float* da = ai->grad.data();
+      for (int64_t i = 0; i < total; ++i) da[i] += g;
+    });
+  }
+  return out;
+}
+
+Tensor MeanAll(const Tensor& a) {
+  WIDEN_CHECK_GT(a.size(), 0);
+  return Scale(SumAll(a), 1.0f / static_cast<float>(a.size()));
+}
+
+// ---- Normalization / regularization ------------------------------------------------
+
+Tensor RowL2Normalize(const Tensor& a) {
+  WIDEN_CHECK_EQ(a.shape().rank(), 2);
+  const int64_t m = a.rows(), n = a.cols();
+  Tensor out(a.shape());
+  auto norms = std::make_shared<std::vector<float>>(static_cast<size_t>(m));
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pa + i * n;
+    double sq = 0.0;
+    for (int64_t j = 0; j < n; ++j) sq += static_cast<double>(row[j]) * row[j];
+    const float norm = std::max(static_cast<float>(std::sqrt(sq)), 1e-12f);
+    (*norms)[static_cast<size_t>(i)] = norm;
+    const float inv = 1.0f / norm;
+    for (int64_t j = 0; j < n; ++j) po[i * n + j] = row[j] * inv;
+  }
+  if (NeedsGrad(a)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a}, [ai, oi, norms, m, n] {
+      oi->EnsureGrad();
+      if (!ai->requires_grad) return;
+      ai->EnsureGrad();
+      const float* g = oi->grad.data();
+      const float* y = oi->data.data();
+      float* da = ai->grad.data();
+      for (int64_t i = 0; i < m; ++i) {
+        const float* grow = g + i * n;
+        const float* yrow = y + i * n;
+        float dot = 0.0f;
+        for (int64_t j = 0; j < n; ++j) dot += grow[j] * yrow[j];
+        const float inv = 1.0f / (*norms)[static_cast<size_t>(i)];
+        float* darow = da + i * n;
+        for (int64_t j = 0; j < n; ++j) {
+          darow[j] += (grow[j] - dot * yrow[j]) * inv;
+        }
+      }
+    });
+  }
+  return out;
+}
+
+Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training) {
+  WIDEN_CHECK(p >= 0.0f && p < 1.0f) << "dropout p = " << p;
+  if (!training || p == 0.0f) return a;
+  const int64_t total = a.size();
+  const float keep = 1.0f - p;
+  const float inv_keep = 1.0f / keep;
+  auto mask = std::make_shared<std::vector<float>>(static_cast<size_t>(total));
+  for (int64_t i = 0; i < total; ++i) {
+    (*mask)[static_cast<size_t>(i)] =
+        rng.Bernoulli(keep) ? inv_keep : 0.0f;
+  }
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  for (int64_t i = 0; i < total; ++i) {
+    po[i] = pa[i] * (*mask)[static_cast<size_t>(i)];
+  }
+  if (NeedsGrad(a)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a}, [ai, oi, mask, total] {
+      oi->EnsureGrad();
+      if (!ai->requires_grad) return;
+      ai->EnsureGrad();
+      const float* g = oi->grad.data();
+      float* da = ai->grad.data();
+      for (int64_t i = 0; i < total; ++i) {
+        da[i] += g[i] * (*mask)[static_cast<size_t>(i)];
+      }
+    });
+  }
+  return out;
+}
+
+// ---- Non-differentiable helpers --------------------------------------------------
+
+std::vector<int32_t> ArgMaxRows(const Tensor& a) {
+  WIDEN_CHECK_EQ(a.shape().rank(), 2);
+  const int64_t m = a.rows(), n = a.cols();
+  WIDEN_CHECK_GT(n, 0);
+  std::vector<int32_t> out(static_cast<size_t>(m));
+  const float* pa = a.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pa + i * n;
+    int32_t best = 0;
+    for (int64_t j = 1; j < n; ++j) {
+      if (row[j] > row[best]) best = static_cast<int32_t>(j);
+    }
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+Tensor CausalAttentionMask(int64_t rows, float fill) {
+  Tensor mask(Shape::Matrix(rows, rows));
+  float* pm = mask.mutable_data();
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < rows; ++c) {
+      pm[r * rows + c] = (r <= c) ? 0.0f : fill;
+    }
+  }
+  return mask;
+}
+
+}  // namespace widen::tensor

@@ -1,0 +1,90 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace widen::tensor {
+
+void Optimizer::AddParameter(const Tensor& parameter) {
+  WIDEN_CHECK(parameter.defined());
+  WIDEN_CHECK(parameter.requires_grad())
+      << "optimizer parameter must require grad: " << parameter.label();
+  parameters_.push_back(parameter);
+}
+
+void Optimizer::AddParameters(const std::vector<Tensor>& parameters) {
+  for (const Tensor& p : parameters) AddParameter(p);
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : parameters_) p.ZeroGrad();
+}
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  WIDEN_CHECK_GT(max_norm, 0.0);
+  double sum_sq = 0.0;
+  for (Tensor& p : parameters_) {
+    const float* g = p.mutable_grad();
+    for (int64_t i = 0; i < p.size(); ++i) {
+      sum_sq += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const double norm = std::sqrt(sum_sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Tensor& p : parameters_) {
+      float* g = p.mutable_grad();
+      for (int64_t i = 0; i < p.size(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+int64_t Optimizer::TotalParameterCount() const {
+  int64_t total = 0;
+  for (const Tensor& p : parameters_) total += p.size();
+  return total;
+}
+
+void Sgd::Step() {
+  for (Tensor& p : parameters_) {
+    float* x = p.mutable_data();
+    const float* g = p.mutable_grad();
+    for (int64_t i = 0; i < p.size(); ++i) {
+      float update = g[i] + weight_decay_ * x[i];
+      x[i] -= learning_rate_ * update;
+    }
+  }
+}
+
+void Adam::Step() {
+  if (m_.size() != parameters_.size()) {
+    m_.resize(parameters_.size());
+    v_.resize(parameters_.size());
+    for (size_t k = 0; k < parameters_.size(); ++k) {
+      m_[k].assign(static_cast<size_t>(parameters_[k].size()), 0.0f);
+      v_[k].assign(static_cast<size_t>(parameters_[k].size()), 0.0f);
+    }
+  }
+  ++step_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
+  for (size_t k = 0; k < parameters_.size(); ++k) {
+    Tensor& p = parameters_[k];
+    float* x = p.mutable_data();
+    const float* g = p.mutable_grad();
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    for (int64_t i = 0; i < p.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      x[i] -= learning_rate_ *
+              (m_hat / (std::sqrt(v_hat) + epsilon_) + weight_decay_ * x[i]);
+    }
+  }
+}
+
+}  // namespace widen::tensor

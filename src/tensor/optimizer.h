@@ -1,0 +1,88 @@
+// First-order optimizers over a set of parameter tensors.
+
+#ifndef WIDEN_TENSOR_OPTIMIZER_H_
+#define WIDEN_TENSOR_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace widen::tensor {
+
+/// Base optimizer: owns handles to the parameters it updates. Parameters may
+/// be registered once and stepped repeatedly; ZeroGrad() between iterations.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Registers a differentiable leaf for updates.
+  void AddParameter(const Tensor& parameter);
+  void AddParameters(const std::vector<Tensor>& parameters);
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears gradients on all registered parameters.
+  void ZeroGrad();
+
+  /// Rescales all gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  double ClipGradNorm(double max_norm);
+
+  size_t num_parameters() const { return parameters_.size(); }
+  int64_t TotalParameterCount() const;
+
+ protected:
+  std::vector<Tensor> parameters_;
+};
+
+/// Stochastic gradient descent with optional decoupled L2 weight decay.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float learning_rate, float weight_decay = 0.0f)
+      : learning_rate_(learning_rate), weight_decay_(weight_decay) {}
+
+  void Step() override;
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+
+ private:
+  float learning_rate_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction and optional decoupled
+/// weight decay (AdamW-style).
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float learning_rate, float beta1 = 0.9f, float beta2 = 0.999f,
+                float epsilon = 1e-8f, float weight_decay = 0.0f)
+      : learning_rate_(learning_rate),
+        beta1_(beta1),
+        beta2_(beta2),
+        epsilon_(epsilon),
+        weight_decay_(weight_decay) {}
+
+  void Step() override;
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+  int64_t step_count() const { return step_; }
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  int64_t step_ = 0;
+  // Lazily sized to match parameters_ on first Step().
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace widen::tensor
+
+#endif  // WIDEN_TENSOR_OPTIMIZER_H_

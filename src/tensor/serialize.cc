@@ -1,0 +1,171 @@
+#include "tensor/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace widen::tensor {
+namespace {
+
+constexpr char kMagic[4] = {'W', 'D', 'N', 'T'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* file) const {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WriteScalar(std::FILE* file, T value) {
+  return std::fwrite(&value, sizeof(T), 1, file) == 1;
+}
+
+template <typename T>
+bool ReadScalar(std::FILE* file, T* value) {
+  return std::fread(value, sizeof(T), 1, file) == 1;
+}
+
+}  // namespace
+
+Status SaveTensors(const std::string& path, const NamedTensors& tensors) {
+  std::set<std::string> names;
+  for (const auto& [name, tensor] : tensors) {
+    if (name.empty()) {
+      return Status::InvalidArgument("tensor name must not be empty");
+    }
+    if (!names.insert(name).second) {
+      return Status::InvalidArgument(StrCat("duplicate tensor name '", name,
+                                            "'"));
+    }
+    if (!tensor.defined()) {
+      return Status::InvalidArgument(StrCat("tensor '", name, "' is null"));
+    }
+  }
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IOError(StrCat("cannot open '", path, "' for writing"));
+  }
+  if (std::fwrite(kMagic, 1, 4, file.get()) != 4 ||
+      !WriteScalar(file.get(), kVersion) ||
+      !WriteScalar(file.get(), static_cast<uint64_t>(tensors.size()))) {
+    return Status::IOError("write failed (header)");
+  }
+  for (const auto& [name, tensor] : tensors) {
+    if (!WriteScalar(file.get(), static_cast<uint32_t>(name.size())) ||
+        std::fwrite(name.data(), 1, name.size(), file.get()) != name.size() ||
+        !WriteScalar(file.get(),
+                     static_cast<uint32_t>(tensor.shape().rank()))) {
+      return Status::IOError(StrCat("write failed ('", name, "' header)"));
+    }
+    for (int i = 0; i < tensor.shape().rank(); ++i) {
+      if (!WriteScalar(file.get(),
+                       static_cast<uint64_t>(tensor.shape().dim(i)))) {
+        return Status::IOError(StrCat("write failed ('", name, "' dims)"));
+      }
+    }
+    const size_t count = static_cast<size_t>(tensor.size());
+    if (std::fwrite(tensor.data(), sizeof(float), count, file.get()) !=
+        count) {
+      return Status::IOError(StrCat("write failed ('", name, "' data)"));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<NamedTensors> LoadTensors(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IOError(StrCat("cannot open '", path, "'"));
+  }
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (std::fread(magic, 1, 4, file.get()) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument(StrCat("'", path, "' is not a WIDEN "
+                                          "tensor bundle"));
+  }
+  if (!ReadScalar(file.get(), &version) || version != kVersion) {
+    return Status::InvalidArgument(
+        StrCat("unsupported bundle version ", version));
+  }
+  if (!ReadScalar(file.get(), &count) || count > (1ull << 20)) {
+    return Status::InvalidArgument("corrupt bundle (tensor count)");
+  }
+  NamedTensors out;
+  out.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t name_length = 0;
+    if (!ReadScalar(file.get(), &name_length) || name_length > 4096) {
+      return Status::InvalidArgument("corrupt bundle (name length)");
+    }
+    std::string name(name_length, '\0');
+    if (std::fread(name.data(), 1, name_length, file.get()) != name_length) {
+      return Status::IOError("truncated bundle (name)");
+    }
+    uint32_t rank = 0;
+    if (!ReadScalar(file.get(), &rank) ||
+        rank > static_cast<uint32_t>(Shape::kMaxRank)) {
+      return Status::InvalidArgument("corrupt bundle (rank)");
+    }
+    std::vector<int64_t> dims(rank);
+    int64_t total = 1;
+    for (uint32_t d = 0; d < rank; ++d) {
+      uint64_t dim = 0;
+      if (!ReadScalar(file.get(), &dim) || dim > (1ull << 32)) {
+        return Status::InvalidArgument("corrupt bundle (dimension)");
+      }
+      dims[d] = static_cast<int64_t>(dim);
+      total *= dims[d];
+    }
+    Shape shape;
+    if (rank == 0) {
+      shape = Shape{};
+    } else if (rank == 1) {
+      shape = Shape{dims[0]};
+    } else if (rank == 2) {
+      shape = Shape{dims[0], dims[1]};
+    } else if (rank == 3) {
+      shape = Shape{dims[0], dims[1], dims[2]};
+    } else {
+      shape = Shape{dims[0], dims[1], dims[2], dims[3]};
+    }
+    std::vector<float> data(static_cast<size_t>(total));
+    if (std::fread(data.data(), sizeof(float), data.size(), file.get()) !=
+        data.size()) {
+      return Status::IOError(StrCat("truncated bundle ('", name, "' data)"));
+    }
+    out.emplace_back(std::move(name),
+                     Tensor::FromVector(shape, std::move(data)));
+  }
+  return out;
+}
+
+Status CopyInto(const Tensor& source, Tensor& target) {
+  if (!source.defined() || !target.defined()) {
+    return Status::InvalidArgument("CopyInto on null tensor");
+  }
+  if (source.shape() != target.shape()) {
+    return Status::InvalidArgument(
+        StrCat("shape mismatch: ", source.shape().ToString(), " vs ",
+               target.shape().ToString()));
+  }
+  std::memcpy(target.mutable_data(), source.data(),
+              static_cast<size_t>(source.size()) * sizeof(float));
+  return Status::OK();
+}
+
+StatusOr<Tensor> FindTensor(const NamedTensors& tensors,
+                            const std::string& name) {
+  for (const auto& [candidate, tensor] : tensors) {
+    if (candidate == name) return tensor;
+  }
+  return Status::NotFound(StrCat("tensor '", name, "' not in bundle"));
+}
+
+}  // namespace widen::tensor

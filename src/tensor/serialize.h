@@ -1,0 +1,45 @@
+// Binary serialization of tensors and named parameter bundles.
+//
+// Format (little-endian, versioned):
+//   file   := MAGIC("WDNT") u32-version u64-count entry*
+//   entry  := u32-name-length name-bytes u32-rank u64-dim* f32-data*
+//
+// Used to checkpoint trained models (core::SaveWidenModel) and to export
+// embeddings. Floats are written raw; the format is not portable to
+// big-endian machines (none are targeted).
+
+#ifndef WIDEN_TENSOR_SERIALIZE_H_
+#define WIDEN_TENSOR_SERIALIZE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace widen::tensor {
+
+/// An ordered list of (name, tensor) pairs.
+using NamedTensors = std::vector<std::pair<std::string, Tensor>>;
+
+/// Writes `tensors` to `path`, overwriting. Names must be unique and
+/// non-empty.
+Status SaveTensors(const std::string& path, const NamedTensors& tensors);
+
+/// Reads a bundle previously written by SaveTensors. Loaded tensors do not
+/// require grad.
+StatusOr<NamedTensors> LoadTensors(const std::string& path);
+
+/// Copies values from `source` into `target` IN PLACE (shapes must match).
+/// Used to restore checkpoints into live parameter tensors without
+/// re-wiring optimizers.
+Status CopyInto(const Tensor& source, Tensor& target);
+
+/// Convenience: finds `name` in a loaded bundle; NotFound otherwise.
+StatusOr<Tensor> FindTensor(const NamedTensors& tensors,
+                            const std::string& name);
+
+}  // namespace widen::tensor
+
+#endif  // WIDEN_TENSOR_SERIALIZE_H_

@@ -1,0 +1,18 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+namespace widen::tensor {
+
+std::string Shape::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (int i = 0; i < rank_; ++i) {
+    if (i > 0) out << ", ";
+    out << dims_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace widen::tensor

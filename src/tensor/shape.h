@@ -1,0 +1,81 @@
+// Tensor shapes. The library operates on rank-1/rank-2 tensors (row vectors
+// and matrices); Shape is a small fixed-capacity dimension list with the
+// usual helpers.
+
+#ifndef WIDEN_TENSOR_SHAPE_H_
+#define WIDEN_TENSOR_SHAPE_H_
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "util/logging.h"
+
+namespace widen::tensor {
+
+/// Dimensions of a tensor. Rank 0 (scalar) through 2 (matrix) are used by the
+/// library; capacity allows up to rank 4 for forward compatibility.
+class Shape {
+ public:
+  static constexpr int kMaxRank = 4;
+
+  Shape() : rank_(0) {}
+
+  Shape(std::initializer_list<int64_t> dims) : rank_(0) {
+    WIDEN_CHECK_LE(dims.size(), static_cast<size_t>(kMaxRank));
+    for (int64_t d : dims) {
+      WIDEN_CHECK_GE(d, 0);
+      dims_[rank_++] = d;
+    }
+  }
+
+  /// Convenience factory for the ubiquitous matrix case.
+  static Shape Matrix(int64_t rows, int64_t cols) { return Shape{rows, cols}; }
+
+  int rank() const { return rank_; }
+
+  int64_t dim(int i) const {
+    WIDEN_CHECK_GE(i, 0);
+    WIDEN_CHECK_LT(i, rank_);
+    return dims_[i];
+  }
+
+  /// Rows of a matrix (rank-2 only).
+  int64_t rows() const {
+    WIDEN_CHECK_EQ(rank_, 2);
+    return dims_[0];
+  }
+
+  /// Columns of a matrix (rank-2 only).
+  int64_t cols() const {
+    WIDEN_CHECK_EQ(rank_, 2);
+    return dims_[1];
+  }
+
+  int64_t NumElements() const {
+    int64_t n = 1;
+    for (int i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    if (a.rank_ != b.rank_) return false;
+    for (int i = 0; i < a.rank_; ++i) {
+      if (a.dims_[i] != b.dims_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+
+  /// "[3, 128]".
+  std::string ToString() const;
+
+ private:
+  std::array<int64_t, kMaxRank> dims_{};
+  int rank_;
+};
+
+}  // namespace widen::tensor
+
+#endif  // WIDEN_TENSOR_SHAPE_H_

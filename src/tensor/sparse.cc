@@ -1,0 +1,96 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace widen::tensor {
+
+SparseCsr SparseCsr::FromTriplets(
+    int64_t rows, int64_t cols,
+    const std::vector<std::tuple<int64_t, int64_t, float>>& triplets) {
+  WIDEN_CHECK_GE(rows, 0);
+  WIDEN_CHECK_GE(cols, 0);
+  // Sum duplicates via an ordered map keyed by (row, col).
+  std::map<std::pair<int64_t, int64_t>, float> accumulated;
+  for (const auto& [r, c, v] : triplets) {
+    WIDEN_CHECK(r >= 0 && r < rows) << "row " << r;
+    WIDEN_CHECK(c >= 0 && c < cols) << "col " << c;
+    accumulated[{r, c}] += v;
+  }
+  SparseCsr out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.offsets_.assign(static_cast<size_t>(rows) + 1, 0);
+  for (const auto& [key, value] : accumulated) {
+    ++out.offsets_[static_cast<size_t>(key.first) + 1];
+  }
+  for (size_t i = 1; i < out.offsets_.size(); ++i) {
+    out.offsets_[i] += out.offsets_[i - 1];
+  }
+  out.col_indices_.reserve(accumulated.size());
+  out.values_.reserve(accumulated.size());
+  for (const auto& [key, value] : accumulated) {
+    out.col_indices_.push_back(static_cast<int32_t>(key.second));
+    out.values_.push_back(value);
+  }
+  return out;
+}
+
+SparseCsr SparseCsr::Transposed() const {
+  std::vector<std::tuple<int64_t, int64_t, float>> triplets;
+  triplets.reserve(static_cast<size_t>(nnz()));
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t i = offsets_[static_cast<size_t>(r)];
+         i < offsets_[static_cast<size_t>(r) + 1]; ++i) {
+      triplets.emplace_back(col_indices_[static_cast<size_t>(i)], r,
+                            values_[static_cast<size_t>(i)]);
+    }
+  }
+  return FromTriplets(cols_, rows_, triplets);
+}
+
+namespace {
+
+// dst[m, n] += A[m, k] * src[k, n]
+void SpmmInto(const SparseCsr& a, const float* src, int64_t n, float* dst) {
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    float* drow = dst + r * n;
+    for (int64_t i = a.offsets()[static_cast<size_t>(r)];
+         i < a.offsets()[static_cast<size_t>(r) + 1]; ++i) {
+      const float v = a.values()[static_cast<size_t>(i)];
+      const float* srow =
+          src + static_cast<int64_t>(a.col_indices()[static_cast<size_t>(i)]) * n;
+      for (int64_t j = 0; j < n; ++j) drow[j] += v * srow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor SparseMatMul(const SparseCsr& a, const Tensor& x) {
+  WIDEN_CHECK_EQ(x.shape().rank(), 2);
+  WIDEN_CHECK_EQ(a.cols(), x.rows());
+  const int64_t n = x.cols();
+  Tensor out(Shape::Matrix(a.rows(), n));
+  SpmmInto(a, x.data(), n, out.mutable_data());
+  if (x.requires_grad() && !NoGradScope::Active()) {
+    internal::TensorImpl* xi = x.impl_ptr().get();
+    internal::TensorImpl* oi = out.impl_ptr().get();
+    // The transpose is materialized once per op call; fits cache better than
+    // scatter-style accumulation in the backward loop.
+    auto at = std::make_shared<SparseCsr>(a.Transposed());
+    oi->requires_grad = true;
+    oi->parents = {x.impl_ptr()};
+    oi->backward_fn = [xi, oi, at, n] {
+      oi->EnsureGrad();
+      if (!xi->requires_grad) return;
+      xi->EnsureGrad();
+      SpmmInto(*at, oi->grad.data(), n, xi->grad.data());
+    };
+  }
+  return out;
+}
+
+}  // namespace widen::tensor

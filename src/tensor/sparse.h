@@ -1,0 +1,52 @@
+// Constant sparse matrices and differentiable sparse-dense products, used by
+// the full-graph propagation baselines (GCN, FastGCN, GTN).
+
+#ifndef WIDEN_TENSOR_SPARSE_H_
+#define WIDEN_TENSOR_SPARSE_H_
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace widen::tensor {
+
+/// Immutable CSR float matrix. Not differentiable — graph structure, not
+/// parameters.
+class SparseCsr {
+ public:
+  SparseCsr() = default;
+
+  /// Builds from COO triplets (row, col, value); duplicates are summed.
+  static SparseCsr FromTriplets(
+      int64_t rows, int64_t cols,
+      const std::vector<std::tuple<int64_t, int64_t, float>>& triplets);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  const std::vector<int64_t>& offsets() const { return offsets_; }
+  const std::vector<int32_t>& col_indices() const { return col_indices_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// Explicit transpose (used once when a backward pass needs A^T repeatedly).
+  SparseCsr Transposed() const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> offsets_;
+  std::vector<int32_t> col_indices_;
+  std::vector<float> values_;
+};
+
+/// y = A x with constant sparse A [m, k] and dense differentiable x [k, n].
+/// Backward: dx += A^T dy. `a` must outlive the backward pass (harnesses keep
+/// the adjacency alive for the whole fit; the op copies nothing).
+Tensor SparseMatMul(const SparseCsr& a, const Tensor& x);
+
+}  // namespace widen::tensor
+
+#endif  // WIDEN_TENSOR_SPARSE_H_

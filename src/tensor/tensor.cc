@@ -1,0 +1,68 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+namespace widen::tensor {
+
+namespace {
+thread_local bool no_grad_active = false;
+}  // namespace
+
+NoGradScope::NoGradScope() : previous_(no_grad_active) {
+  no_grad_active = true;
+}
+
+NoGradScope::~NoGradScope() { no_grad_active = previous_; }
+
+bool NoGradScope::Active() { return no_grad_active; }
+
+Tensor::Tensor(const Shape& shape) {
+  impl_ = std::make_shared<internal::TensorImpl>();
+  impl_->shape = shape;
+  impl_->data.assign(static_cast<size_t>(shape.NumElements()), 0.0f);
+}
+
+Tensor Tensor::Full(const Shape& shape, float value) {
+  Tensor t(shape);
+  std::fill(t.impl_->data.begin(), t.impl_->data.end(), value);
+  return t;
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values) {
+  WIDEN_CHECK_EQ(static_cast<int64_t>(values.size()), shape.NumElements());
+  Tensor t;
+  t.impl_ = std::make_shared<internal::TensorImpl>();
+  t.impl_->shape = shape;
+  t.impl_->data = std::move(values);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  return FromVector(Shape{}, {value});
+}
+
+Tensor Tensor::DetachedCopy() const {
+  Tensor t;
+  t.impl_ = std::make_shared<internal::TensorImpl>();
+  t.impl_->shape = impl()->shape;
+  t.impl_->data = impl()->data;
+  return t;
+}
+
+std::string Tensor::ToString() const {
+  if (!defined()) return "Tensor(null)";
+  std::ostringstream out;
+  out << "Tensor" << shape().ToString();
+  if (!label().empty()) out << " '" << label() << "'";
+  if (size() <= 64) {
+    out << " {";
+    for (int64_t i = 0; i < size(); ++i) {
+      if (i > 0) out << ", ";
+      out << impl()->data[static_cast<size_t>(i)];
+    }
+    out << "}";
+  }
+  return out.str();
+}
+
+}  // namespace widen::tensor

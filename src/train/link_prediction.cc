@@ -1,0 +1,91 @@
+#include "train/link_prediction.h"
+
+#include <unordered_map>
+
+#include "train/metrics.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace widen::train {
+
+StatusOr<LinkPredictionResult> EvaluateLinkPrediction(
+    Model& model, const graph::HeteroGraph& graph, int64_t num_pairs,
+    uint64_t seed) {
+  if (num_pairs <= 0) {
+    return Status::InvalidArgument("num_pairs must be positive");
+  }
+  if (graph.num_edges() == 0 || graph.num_nodes() < 4) {
+    return Status::FailedPrecondition("graph too small for link prediction");
+  }
+  Rng rng(seed);
+
+  // Positive pairs: sample edges by drawing endpoints of random half-edges.
+  // Each positive is immediately corrupted into a typed negative so the
+  // positive/negative type distributions match exactly.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  std::vector<int32_t> labels;
+  for (int64_t i = 0; i < num_pairs; ++i) {
+    graph::NodeId u;
+    do {
+      u = static_cast<graph::NodeId>(
+          rng.UniformInt(static_cast<uint64_t>(graph.num_nodes())));
+    } while (graph.degree(u) == 0);
+    graph::Csr::NeighborSpan span = graph.neighbors(u);
+    const graph::NodeId v = span.neighbors[static_cast<size_t>(
+        rng.UniformInt(static_cast<uint64_t>(span.size)))];
+    pairs.emplace_back(u, v);
+    labels.push_back(1);
+    // Typed corruption: replace v with a non-adjacent node of v's type.
+    const std::vector<graph::NodeId>& candidates =
+        graph.nodes_of_type(graph.node_type(v));
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const graph::NodeId corrupted = candidates[static_cast<size_t>(
+          rng.UniformInt(static_cast<uint64_t>(candidates.size())))];
+      if (corrupted == u || corrupted == v ||
+          graph.EdgeTypeBetween(u, corrupted) != -1) {
+        continue;
+      }
+      pairs.emplace_back(u, corrupted);
+      labels.push_back(0);
+      break;
+    }
+  }
+  int64_t negatives = 0;
+  for (int32_t label : labels) negatives += (label == 0) ? 1 : 0;
+  if (negatives < num_pairs / 2) {
+    return Status::Internal("failed to sample enough negative pairs");
+  }
+
+  // Embed each distinct endpoint once.
+  std::unordered_map<graph::NodeId, int64_t> row_of;
+  std::vector<graph::NodeId> distinct;
+  for (const auto& [u, v] : pairs) {
+    for (graph::NodeId node : {u, v}) {
+      if (row_of.emplace(node, static_cast<int64_t>(distinct.size())).second) {
+        distinct.push_back(node);
+      }
+    }
+  }
+  WIDEN_ASSIGN_OR_RETURN(tensor::Tensor embeddings,
+                         model.Embed(graph, distinct));
+
+  std::vector<float> scores;
+  scores.reserve(pairs.size());
+  const int64_t d = embeddings.cols();
+  for (const auto& [u, v] : pairs) {
+    const float* a = embeddings.data() + row_of.at(u) * d;
+    const float* b = embeddings.data() + row_of.at(v) * d;
+    double dot = 0.0;
+    for (int64_t j = 0; j < d; ++j) dot += static_cast<double>(a[j]) * b[j];
+    scores.push_back(static_cast<float>(dot));
+  }
+
+  LinkPredictionResult result;
+  result.auc = AucRoc(scores, labels);
+  result.num_positive_pairs = num_pairs;
+  result.num_negative_pairs =
+      static_cast<int64_t>(labels.size()) - num_pairs;
+  return result;
+}
+
+}  // namespace widen::train

@@ -1,0 +1,35 @@
+// Link prediction evaluation (the second downstream task named in the
+// paper's introduction): score node pairs by embedding dot product and
+// report ROC-AUC against held-out edges vs random non-edges.
+
+#ifndef WIDEN_TRAIN_LINK_PREDICTION_H_
+#define WIDEN_TRAIN_LINK_PREDICTION_H_
+
+#include <cstdint>
+
+#include "graph/hetero_graph.h"
+#include "train/model.h"
+#include "util/status.h"
+
+namespace widen::train {
+
+struct LinkPredictionResult {
+  double auc = 0.0;
+  int64_t num_positive_pairs = 0;
+  int64_t num_negative_pairs = 0;
+};
+
+/// Samples `num_pairs` existing edges (positives); each positive (u, v) is
+/// corrupted into a negative (u, v') with v' a random non-adjacent node of
+/// v's node type (TransE-style typed corruption — plain random pairs would
+/// be type-confounded on heterogeneous graphs, where true edges connect
+/// DIFFERENT types but random pairs are mostly same-type). All endpoints are
+/// embedded with `model` (already fitted), pairs are scored by endpoint
+/// dot product, and ROC-AUC is reported.
+StatusOr<LinkPredictionResult> EvaluateLinkPrediction(
+    Model& model, const graph::HeteroGraph& graph, int64_t num_pairs,
+    uint64_t seed);
+
+}  // namespace widen::train
+
+#endif  // WIDEN_TRAIN_LINK_PREDICTION_H_

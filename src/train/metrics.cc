@@ -1,0 +1,112 @@
+#include "train/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace widen::train {
+
+double MicroF1(const std::vector<int32_t>& predictions,
+               const std::vector<int32_t>& gold) {
+  // Single-label multiclass: micro-precision == micro-recall == accuracy,
+  // hence micro-F1 == accuracy. Computed via global TP counting to keep the
+  // definition explicit.
+  WIDEN_CHECK_EQ(predictions.size(), gold.size());
+  WIDEN_CHECK(!gold.empty());
+  int64_t true_positives = 0;
+  for (size_t i = 0; i < gold.size(); ++i) {
+    if (predictions[i] == gold[i]) ++true_positives;
+  }
+  return static_cast<double>(true_positives) /
+         static_cast<double>(gold.size());
+}
+
+double Accuracy(const std::vector<int32_t>& predictions,
+                const std::vector<int32_t>& gold) {
+  return MicroF1(predictions, gold);
+}
+
+std::vector<int64_t> ConfusionMatrix(const std::vector<int32_t>& predictions,
+                                     const std::vector<int32_t>& gold,
+                                     int32_t num_classes) {
+  WIDEN_CHECK_EQ(predictions.size(), gold.size());
+  WIDEN_CHECK_GT(num_classes, 0);
+  std::vector<int64_t> matrix(
+      static_cast<size_t>(num_classes) * static_cast<size_t>(num_classes), 0);
+  for (size_t i = 0; i < gold.size(); ++i) {
+    WIDEN_CHECK(gold[i] >= 0 && gold[i] < num_classes);
+    WIDEN_CHECK(predictions[i] >= 0 && predictions[i] < num_classes);
+    ++matrix[static_cast<size_t>(gold[i]) * static_cast<size_t>(num_classes) +
+             static_cast<size_t>(predictions[i])];
+  }
+  return matrix;
+}
+
+double MacroF1(const std::vector<int32_t>& predictions,
+               const std::vector<int32_t>& gold, int32_t num_classes) {
+  const std::vector<int64_t> cm =
+      ConfusionMatrix(predictions, gold, num_classes);
+  double f1_sum = 0.0;
+  int32_t counted = 0;
+  for (int32_t c = 0; c < num_classes; ++c) {
+    int64_t tp = cm[static_cast<size_t>(c) * num_classes + c];
+    int64_t gold_c = 0, pred_c = 0;
+    for (int32_t j = 0; j < num_classes; ++j) {
+      gold_c += cm[static_cast<size_t>(c) * num_classes + j];
+      pred_c += cm[static_cast<size_t>(j) * num_classes + c];
+    }
+    if (gold_c == 0 && pred_c == 0) continue;
+    const double precision =
+        pred_c > 0 ? static_cast<double>(tp) / static_cast<double>(pred_c)
+                   : 0.0;
+    const double recall =
+        gold_c > 0 ? static_cast<double>(tp) / static_cast<double>(gold_c)
+                   : 0.0;
+    const double f1 = (precision + recall) > 0.0
+                          ? 2.0 * precision * recall / (precision + recall)
+                          : 0.0;
+    f1_sum += f1;
+    ++counted;
+  }
+  return counted > 0 ? f1_sum / static_cast<double>(counted) : 0.0;
+}
+
+double AucRoc(const std::vector<float>& scores,
+              const std::vector<int32_t>& labels) {
+  WIDEN_CHECK_EQ(scores.size(), labels.size());
+  int64_t positives = 0, negatives = 0;
+  for (int32_t y : labels) {
+    WIDEN_CHECK(y == 0 || y == 1) << "AUC labels must be 0/1, got " << y;
+    (y == 1 ? positives : negatives) += 1;
+  }
+  WIDEN_CHECK_GT(positives, 0);
+  WIDEN_CHECK_GT(negatives, 0);
+  // Rank scores ascending; tied groups share their mean rank.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<double> ranks(scores.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double mean_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = mean_rank;
+    i = j + 1;
+  }
+  double positive_rank_sum = 0.0;
+  for (size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] == 1) positive_rank_sum += ranks[k];
+  }
+  const double p = static_cast<double>(positives);
+  const double n = static_cast<double>(negatives);
+  return (positive_rank_sum - p * (p + 1.0) / 2.0) / (p * n);
+}
+
+}  // namespace widen::train

@@ -1,0 +1,39 @@
+// Classification metrics. The paper reports micro-averaged F1 (§4.3); macro
+// F1 and accuracy are provided for completeness and tests.
+
+#ifndef WIDEN_TRAIN_METRICS_H_
+#define WIDEN_TRAIN_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace widen::train {
+
+/// Micro-averaged F1 over single-label multiclass predictions. With exactly
+/// one label per sample this equals accuracy; both are kept for clarity and
+/// cross-checking in tests. Inputs must be equal-length and non-empty.
+double MicroF1(const std::vector<int32_t>& predictions,
+               const std::vector<int32_t>& gold);
+
+/// Unweighted mean of per-class F1 scores. Classes absent from both
+/// predictions and gold are skipped.
+double MacroF1(const std::vector<int32_t>& predictions,
+               const std::vector<int32_t>& gold, int32_t num_classes);
+
+double Accuracy(const std::vector<int32_t>& predictions,
+                const std::vector<int32_t>& gold);
+
+/// Row-major confusion matrix, gold on rows.
+std::vector<int64_t> ConfusionMatrix(const std::vector<int32_t>& predictions,
+                                     const std::vector<int32_t>& gold,
+                                     int32_t num_classes);
+
+/// Area under the ROC curve for binary labels (1 = positive) given
+/// real-valued scores; ties contribute 1/2 (rank-based Mann-Whitney
+/// estimator). Requires at least one positive and one negative.
+double AucRoc(const std::vector<float>& scores,
+              const std::vector<int32_t>& labels);
+
+}  // namespace widen::train
+
+#endif  // WIDEN_TRAIN_METRICS_H_

@@ -1,0 +1,8 @@
+#include "train/model.h"
+
+namespace widen::train {
+
+// Out-of-line key function anchors the vtable in this translation unit.
+Model::~Model() = default;
+
+}  // namespace widen::train

@@ -1,0 +1,72 @@
+// The common interface every node-classification model in this repository
+// implements (WIDEN and all eight baselines), so benchmark harnesses can
+// sweep them uniformly.
+
+#ifndef WIDEN_TRAIN_MODEL_H_
+#define WIDEN_TRAIN_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace widen::train {
+
+/// Per-epoch telemetry callback: (epoch index, mean loss, wall seconds).
+using EpochObserver =
+    std::function<void(int64_t epoch, double loss, double seconds)>;
+
+/// Knobs shared across model families. Family-specific settings live in the
+/// concrete model constructors; the registry maps these common knobs onto
+/// each family's sensible defaults.
+struct ModelHyperparams {
+  int64_t embedding_dim = 64;
+  int64_t hidden_dim = 64;
+  float learning_rate = 1e-2f;
+  int64_t epochs = 30;
+  int64_t batch_size = 64;
+  float dropout = 0.1f;
+  float weight_decay = 5e-4f;
+  uint64_t seed = 42;
+  EpochObserver epoch_observer;
+};
+
+/// A trainable node-classification model over heterogeneous graphs.
+///
+/// Transductive protocol: Fit(g, train) then Predict(g, test).
+/// Inductive protocol: Fit(training_subgraph, train) then
+/// Predict(full_graph, heldout) — legal only if supports_inductive().
+class Model {
+ public:
+  virtual ~Model();
+
+  virtual std::string name() const = 0;
+
+  /// True if the model can embed nodes absent from the Fit() graph. Models
+  /// returning false (Node2Vec) must only be evaluated transductively;
+  /// GCN-family models return true in the "feature masking" approximation
+  /// sense used by §4.6.
+  virtual bool supports_inductive() const { return true; }
+
+  /// Trains on `graph` using the given labeled node ids.
+  virtual Status Fit(const graph::HeteroGraph& graph,
+                     const std::vector<graph::NodeId>& train_nodes) = 0;
+
+  /// Class predictions for `nodes` of `graph`.
+  virtual StatusOr<std::vector<int32_t>> Predict(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) = 0;
+
+  /// Node embeddings [nodes.size(), d] (for the Fig. 3 t-SNE study).
+  virtual StatusOr<tensor::Tensor> Embed(
+      const graph::HeteroGraph& graph,
+      const std::vector<graph::NodeId>& nodes) = 0;
+};
+
+}  // namespace widen::train
+
+#endif  // WIDEN_TRAIN_MODEL_H_

@@ -1,0 +1,49 @@
+#include "train/trainer.h"
+
+#include "train/metrics.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace widen::train {
+
+std::vector<int32_t> GoldLabels(const graph::HeteroGraph& graph,
+                                const std::vector<graph::NodeId>& nodes) {
+  std::vector<int32_t> gold;
+  gold.reserve(nodes.size());
+  for (graph::NodeId v : nodes) {
+    const int32_t y = graph.label(v);
+    WIDEN_CHECK_GE(y, 0) << "node " << v << " is unlabeled";
+    gold.push_back(y);
+  }
+  return gold;
+}
+
+StatusOr<EvalResult> Score(Model& model, const graph::HeteroGraph& graph,
+                           const std::vector<graph::NodeId>& eval_nodes) {
+  if (eval_nodes.empty()) {
+    return Status::InvalidArgument("empty evaluation set");
+  }
+  WIDEN_ASSIGN_OR_RETURN(std::vector<int32_t> predictions,
+                         model.Predict(graph, eval_nodes));
+  const std::vector<int32_t> gold = GoldLabels(graph, eval_nodes);
+  EvalResult result;
+  result.micro_f1 = MicroF1(predictions, gold);
+  result.macro_f1 = MacroF1(predictions, gold, graph.num_classes());
+  return result;
+}
+
+StatusOr<EvalResult> FitAndScore(
+    Model& model, const graph::HeteroGraph& fit_graph,
+    const std::vector<graph::NodeId>& train_nodes,
+    const graph::HeteroGraph& eval_graph,
+    const std::vector<graph::NodeId>& eval_nodes) {
+  StopWatch watch;
+  WIDEN_RETURN_IF_ERROR(model.Fit(fit_graph, train_nodes));
+  const double fit_seconds = watch.ElapsedSeconds();
+  WIDEN_ASSIGN_OR_RETURN(EvalResult result,
+                         Score(model, eval_graph, eval_nodes));
+  result.fit_seconds = fit_seconds;
+  return result;
+}
+
+}  // namespace widen::train

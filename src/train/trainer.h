@@ -1,0 +1,42 @@
+// Evaluation drivers shared by the benchmark harnesses: fit a model, time
+// it, score micro-F1 on a node set.
+
+#ifndef WIDEN_TRAIN_TRAINER_H_
+#define WIDEN_TRAIN_TRAINER_H_
+
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "train/model.h"
+#include "util/status.h"
+
+namespace widen::train {
+
+/// Outcome of one (model, dataset, split) benchmark cell.
+struct EvalResult {
+  double micro_f1 = 0.0;
+  double macro_f1 = 0.0;
+  double fit_seconds = 0.0;
+};
+
+/// Scores an already-fitted model on `eval_nodes` of `graph`.
+StatusOr<EvalResult> Score(Model& model, const graph::HeteroGraph& graph,
+                           const std::vector<graph::NodeId>& eval_nodes);
+
+/// Fits on `fit_graph` + `train_nodes`, then scores on `eval_graph` +
+/// `eval_nodes`. For the transductive protocol both graphs are the same
+/// object; for the inductive protocol `fit_graph` is the training subgraph
+/// and `eval_graph` the full graph.
+StatusOr<EvalResult> FitAndScore(Model& model,
+                                 const graph::HeteroGraph& fit_graph,
+                                 const std::vector<graph::NodeId>& train_nodes,
+                                 const graph::HeteroGraph& eval_graph,
+                                 const std::vector<graph::NodeId>& eval_nodes);
+
+/// Gold labels of `nodes` (all must be labeled).
+std::vector<int32_t> GoldLabels(const graph::HeteroGraph& graph,
+                                const std::vector<graph::NodeId>& nodes);
+
+}  // namespace widen::train
+
+#endif  // WIDEN_TRAIN_TRAINER_H_

@@ -1,0 +1,82 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/status.h"
+
+namespace widen {
+namespace {
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("WIDEN_LOG_LEVEL");
+  if (env != nullptr && std::strlen(env) == 1 && env[0] >= '0' &&
+      env[0] <= '3') {
+    return static_cast<LogLevel>(env[0] - '0');
+  }
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& MinLevelStorage() {
+  static std::atomic<int> level{static_cast<int>(InitialLevel())};
+  return level;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetMinLogLevel(LogLevel level) {
+  MinLevelStorage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(
+      MinLevelStorage().load(std::memory_order_relaxed));
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) < static_cast<int>(MinLogLevel())) return;
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line) {
+  stream_ << "[F " << Basename(file) << ":" << line << "] ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace widen

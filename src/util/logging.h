@@ -1,0 +1,97 @@
+// Minimal leveled logging and invariant-check macros.
+//
+// WIDEN_CHECK* abort on failure and are always on (they guard data-structure
+// invariants whose violation would make further execution meaningless).
+// WIDEN_DCHECK* compile out in NDEBUG builds.
+
+#ifndef WIDEN_UTIL_LOGGING_H_
+#define WIDEN_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace widen {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level below which log statements are dropped.
+/// Defaults to kInfo; override with the WIDEN_LOG_LEVEL env var (0-3) or
+/// SetMinLogLevel.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it to stderr on destruction (if the
+/// level passes the process-wide filter; the formatting cost is still paid,
+/// which is acceptable for this library's logging volume).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process after emitting.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace widen
+
+#define WIDEN_LOG(severity)                                      \
+  ::widen::internal_logging::LogMessage(                         \
+      ::widen::LogLevel::k##severity, __FILE__, __LINE__)        \
+      .stream()
+
+#define WIDEN_CHECK(cond)                                                   \
+  if (cond) {                                                               \
+  } else /* NOLINT */                                                       \
+    ::widen::internal_logging::FatalLogMessage(__FILE__, __LINE__).stream() \
+        << "Check failed: " #cond " "
+
+#define WIDEN_CHECK_EQ(a, b) \
+  WIDEN_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define WIDEN_CHECK_NE(a, b) \
+  WIDEN_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define WIDEN_CHECK_LT(a, b) \
+  WIDEN_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define WIDEN_CHECK_LE(a, b) \
+  WIDEN_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define WIDEN_CHECK_GT(a, b) \
+  WIDEN_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define WIDEN_CHECK_GE(a, b) \
+  WIDEN_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define WIDEN_CHECK_OK(expr)               \
+  do {                                     \
+    ::widen::Status _s = (expr);           \
+    WIDEN_CHECK(_s.ok()) << _s.ToString(); \
+  } while (0)
+
+#ifdef NDEBUG
+#define WIDEN_DCHECK(cond) \
+  while (false) WIDEN_CHECK(cond)
+#else
+#define WIDEN_DCHECK(cond) WIDEN_CHECK(cond)
+#endif
+
+#endif  // WIDEN_UTIL_LOGGING_H_

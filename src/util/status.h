@@ -1,0 +1,158 @@
+// Status and StatusOr: exception-free error propagation (RocksDB/Arrow idiom).
+//
+// Recoverable failures (bad input, malformed graph construction, I/O) return a
+// `widen::Status` or `widen::StatusOr<T>`. Programmer errors (broken
+// invariants) abort through the WIDEN_CHECK macros in util/logging.h.
+
+#ifndef WIDEN_UTIL_STATUS_H_
+#define WIDEN_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace widen {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+  kIOError = 7,
+};
+
+/// Returns the canonical lowercase name of a status code ("ok",
+/// "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail without a payload.
+///
+/// Cheap to copy in the OK case (no allocation); error states carry a
+/// human-readable message. Follows the "check or propagate" discipline:
+/// callers either test `ok()` or pass the status upward.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result of an operation that yields a T on success.
+///
+/// Minimal analogue of absl::StatusOr. Access to `value()` on an error state
+/// aborts (checked), so callers must test `ok()` first unless failure is a
+/// programmer error.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value: `return my_t;` inside functions returning
+  /// StatusOr<T> (mirrors absl).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from non-OK status: `return Status::InvalidArgument(...)`.
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal_status {
+[[noreturn]] void DieBadStatusAccess(const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+void StatusOr<T>::AbortIfError() const {
+  if (!ok()) internal_status::DieBadStatusAccess(status_);
+}
+
+}  // namespace widen
+
+/// Propagates a non-OK Status out of the current function.
+#define WIDEN_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::widen::Status _widen_status = (expr);           \
+    if (!_widen_status.ok()) return _widen_status;    \
+  } while (0)
+
+/// Evaluates a StatusOr expression; on success binds the value, on failure
+/// returns the error. `lhs` may declare a new variable.
+#define WIDEN_ASSIGN_OR_RETURN(lhs, expr)                        \
+  WIDEN_ASSIGN_OR_RETURN_IMPL_(                                  \
+      WIDEN_STATUS_CONCAT_(_widen_statusor, __LINE__), lhs, expr)
+
+#define WIDEN_STATUS_CONCAT_INNER_(a, b) a##b
+#define WIDEN_STATUS_CONCAT_(a, b) WIDEN_STATUS_CONCAT_INNER_(a, b)
+#define WIDEN_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#endif  // WIDEN_UTIL_STATUS_H_

@@ -1,0 +1,46 @@
+// Small string formatting helpers used across the library (table printing in
+// benchmark harnesses, status messages).
+
+#ifndef WIDEN_UTIL_STRING_UTIL_H_
+#define WIDEN_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace widen {
+
+/// Concatenates the string representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(const std::string& text, char sep);
+
+/// Fixed-precision decimal rendering, e.g. FormatDouble(0.91728, 4) ==
+/// "0.9173".
+std::string FormatDouble(double value, int precision);
+
+/// Left-pads (or truncates never) `text` with spaces to at least `width`.
+std::string PadLeft(const std::string& text, size_t width);
+
+/// Right-pads `text` with spaces to at least `width`.
+std::string PadRight(const std::string& text, size_t width);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(const std::string& text, const std::string& prefix);
+
+/// Renders a count with thousands separators: 2179470 -> "2,179,470".
+std::string WithThousandsSeparators(int64_t value);
+
+}  // namespace widen
+
+#endif  // WIDEN_UTIL_STRING_UTIL_H_

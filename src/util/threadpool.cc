@@ -1,0 +1,81 @@
+#include "util/threadpool.h"
+
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace widen {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  WIDEN_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    WIDEN_CHECK(!shutting_down_) << "Schedule() after shutdown";
+    queue_.push(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& body) {
+  if (begin >= end) return;
+  if (pool.num_threads() == 1 || end - begin == 1) {
+    for (size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  for (size_t i = begin; i < end; ++i) {
+    pool.Schedule([i, &body] { body(i); });
+  }
+  pool.WaitIdle();
+}
+
+}  // namespace widen

@@ -1,0 +1,60 @@
+// A small fixed-size thread pool with a ParallelFor convenience wrapper.
+//
+// The heavy tensor kernels are written single-threaded (the reference
+// hardware for the reproduction has one core), but the pool lets callers
+// parallelize embarrassingly parallel sweeps (per-dataset benchmark cells)
+// on larger machines without changing call sites.
+
+#ifndef WIDEN_UTIL_THREADPOOL_H_
+#define WIDEN_UTIL_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace widen {
+
+/// Fixed-size worker pool. Tasks are plain std::function<void()>; completion
+/// is observed via WaitIdle(). Destruction waits for queued work.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 means std::thread::hardware_concurrency,
+  /// min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Schedule(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  size_t active_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs body(i) for i in [begin, end) across `pool`, blocking until done.
+/// With a single-thread pool this degrades to a serial loop.
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace widen
+
+#endif  // WIDEN_UTIL_THREADPOOL_H_

@@ -1,0 +1,35 @@
+#include "util/timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace widen {
+
+double DurationStats::Total() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double DurationStats::Mean() const {
+  return samples_.empty() ? 0.0 : Total() / static_cast<double>(count());
+}
+
+double DurationStats::Min() const {
+  return samples_.empty() ? 0.0
+                          : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double DurationStats::Max() const {
+  return samples_.empty() ? 0.0
+                          : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double DurationStats::StdDev() const {
+  if (samples_.size() < 2) return 0.0;
+  double mean = Mean();
+  double sum_sq = 0.0;
+  for (double s : samples_) sum_sq += (s - mean) * (s - mean);
+  return std::sqrt(sum_sq / static_cast<double>(samples_.size() - 1));
+}
+
+}  // namespace widen

@@ -1,0 +1,54 @@
+// Wall-clock timing utilities for the training-efficiency experiments
+// (Figures 4 and 5 of the paper).
+
+#ifndef WIDEN_UTIL_TIMER_H_
+#define WIDEN_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace widen {
+
+/// Monotonic stopwatch. Starts running on construction.
+class StopWatch {
+ public:
+  StopWatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates repeated measurements of a named phase (e.g. seconds per
+/// training epoch) and reports summary statistics.
+class DurationStats {
+ public:
+  void Add(double seconds) { samples_.push_back(seconds); }
+
+  size_t count() const { return samples_.size(); }
+  double Total() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double StdDev() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace widen
+
+#endif  // WIDEN_UTIL_TIMER_H_

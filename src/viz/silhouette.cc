@@ -1,0 +1,69 @@
+#include "viz/silhouette.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace widen::viz {
+
+StatusOr<double> SilhouetteScore(const tensor::Tensor& points,
+                                 const std::vector<int32_t>& labels) {
+  if (!points.defined() || points.shape().rank() != 2) {
+    return Status::InvalidArgument("points must be [n, d]");
+  }
+  const int64_t n = points.rows(), d = points.cols();
+  if (static_cast<int64_t>(labels.size()) != n) {
+    return Status::InvalidArgument("labels size mismatch");
+  }
+  int32_t num_labels = 0;
+  for (int32_t label : labels) {
+    if (label < 0) return Status::InvalidArgument("negative label");
+    num_labels = std::max(num_labels, label + 1);
+  }
+  if (num_labels < 2) {
+    return Status::InvalidArgument("need at least 2 clusters");
+  }
+  std::vector<int64_t> cluster_size(static_cast<size_t>(num_labels), 0);
+  for (int32_t label : labels) ++cluster_size[static_cast<size_t>(label)];
+
+  const float* p = points.data();
+  auto distance = [&](int64_t i, int64_t j) {
+    double acc = 0.0;
+    for (int64_t k = 0; k < d; ++k) {
+      const double diff =
+          static_cast<double>(p[i * d + k]) - p[j * d + k];
+      acc += diff * diff;
+    }
+    return std::sqrt(acc);
+  };
+
+  double total = 0.0;
+  std::vector<double> mean_dist(static_cast<size_t>(num_labels));
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t own = labels[static_cast<size_t>(i)];
+    if (cluster_size[static_cast<size_t>(own)] <= 1) continue;  // s(i) = 0
+    std::fill(mean_dist.begin(), mean_dist.end(), 0.0);
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      mean_dist[static_cast<size_t>(labels[static_cast<size_t>(j)])] +=
+          distance(i, j);
+    }
+    double a = 0.0;
+    double b = std::numeric_limits<double>::infinity();
+    for (int32_t c = 0; c < num_labels; ++c) {
+      const int64_t size = cluster_size[static_cast<size_t>(c)];
+      if (size == 0) continue;
+      if (c == own) {
+        a = mean_dist[static_cast<size_t>(c)] / static_cast<double>(size - 1);
+      } else {
+        b = std::min(b, mean_dist[static_cast<size_t>(c)] /
+                            static_cast<double>(size));
+      }
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace widen::viz

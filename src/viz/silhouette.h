@@ -1,0 +1,24 @@
+// Silhouette score: the quantitative stand-in for "classes form separated
+// clusters" in the Fig. 3 t-SNE study (no display in this environment).
+
+#ifndef WIDEN_VIZ_SILHOUETTE_H_
+#define WIDEN_VIZ_SILHOUETTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace widen::viz {
+
+/// Mean silhouette coefficient of `points` ([n, d]) under `labels`
+/// (size n, values in [0, num_labels)). Range [-1, 1]; higher = better
+/// separated clusters. Requires >= 2 distinct labels, each with >= 1 point;
+/// singleton-cluster points contribute 0 per the standard convention.
+StatusOr<double> SilhouetteScore(const tensor::Tensor& points,
+                                 const std::vector<int32_t>& labels);
+
+}  // namespace widen::viz
+
+#endif  // WIDEN_VIZ_SILHOUETTE_H_

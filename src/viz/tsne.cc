@@ -1,0 +1,174 @@
+#include "viz/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace widen::viz {
+namespace {
+
+// Squared Euclidean distances between all row pairs.
+std::vector<double> PairwiseSquaredDistances(const tensor::Tensor& points) {
+  const int64_t n = points.rows(), d = points.cols();
+  std::vector<double> dist(static_cast<size_t>(n * n), 0.0);
+  const float* p = points.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      const float* pi = p + i * d;
+      const float* pj = p + j * d;
+      for (int64_t k = 0; k < d; ++k) {
+        const double diff = static_cast<double>(pi[k]) - pj[k];
+        acc += diff * diff;
+      }
+      dist[static_cast<size_t>(i * n + j)] = acc;
+      dist[static_cast<size_t>(j * n + i)] = acc;
+    }
+  }
+  return dist;
+}
+
+// Conditional distribution P_{j|i} via binary search on the Gaussian
+// precision beta_i so that the row entropy matches log(perplexity).
+void ComputeConditionalP(const std::vector<double>& dist, int64_t n,
+                         double perplexity, std::vector<double>& p) {
+  const double target_entropy = std::log(perplexity);
+  for (int64_t i = 0; i < n; ++i) {
+    double beta = 1.0, beta_min = 0.0, beta_max = 1e30;
+    double* row = p.data() + i * n;
+    const double* drow = dist.data() + i * n;
+    for (int iter = 0; iter < 64; ++iter) {
+      double sum = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        row[j] = (j == i) ? 0.0 : std::exp(-beta * drow[j]);
+        sum += row[j];
+      }
+      sum = std::max(sum, 1e-300);
+      double entropy = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        if (row[j] > 0.0) {
+          const double prob = row[j] / sum;
+          entropy -= prob * std::log(prob);
+        }
+        row[j] /= sum;
+      }
+      const double diff = entropy - target_entropy;
+      if (std::abs(diff) < 1e-5) break;
+      if (diff > 0.0) {  // too flat -> increase precision
+        beta_min = beta;
+        beta = (beta_max >= 1e30) ? beta * 2.0 : (beta + beta_max) / 2.0;
+      } else {
+        beta_max = beta;
+        beta = (beta + beta_min) / 2.0;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<tensor::Tensor> RunTsne(const tensor::Tensor& points,
+                                 const TsneOptions& options) {
+  if (!points.defined() || points.shape().rank() != 2) {
+    return Status::InvalidArgument("points must be an [n, d] tensor");
+  }
+  const int64_t n = points.rows();
+  if (n < 4) return Status::InvalidArgument("need at least 4 points");
+  if (options.perplexity * 3.0 >= static_cast<double>(n)) {
+    return Status::InvalidArgument(
+        StrCat("perplexity ", options.perplexity, " infeasible for n=", n));
+  }
+  const int64_t out_dim = options.output_dim;
+
+  // High-dimensional affinities.
+  std::vector<double> dist = PairwiseSquaredDistances(points);
+  std::vector<double> p_cond(static_cast<size_t>(n * n), 0.0);
+  ComputeConditionalP(dist, n, options.perplexity, p_cond);
+  std::vector<double> p(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      p[static_cast<size_t>(i * n + j)] = std::max(
+          (p_cond[static_cast<size_t>(i * n + j)] +
+           p_cond[static_cast<size_t>(j * n + i)]) /
+              (2.0 * static_cast<double>(n)),
+          1e-12);
+    }
+  }
+
+  // Low-dimensional map.
+  Rng rng(options.seed);
+  std::vector<double> y(static_cast<size_t>(n * out_dim));
+  for (auto& v : y) v = rng.Normal(0.0, 1e-2);
+  std::vector<double> velocity(y.size(), 0.0);
+  std::vector<double> gradient(y.size(), 0.0);
+  std::vector<double> q(static_cast<size_t>(n * n), 0.0);
+
+  for (int64_t iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.exaggeration_iters ? options.early_exaggeration : 1.0;
+    // Student-t affinities.
+    double q_sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        double acc = 0.0;
+        for (int64_t k = 0; k < out_dim; ++k) {
+          const double diff = y[static_cast<size_t>(i * out_dim + k)] -
+                              y[static_cast<size_t>(j * out_dim + k)];
+          acc += diff * diff;
+        }
+        const double value = 1.0 / (1.0 + acc);
+        q[static_cast<size_t>(i * n + j)] = value;
+        q[static_cast<size_t>(j * n + i)] = value;
+        q_sum += 2.0 * value;
+      }
+    }
+    q_sum = std::max(q_sum, 1e-300);
+
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double kernel = q[static_cast<size_t>(i * n + j)];
+        const double coeff =
+            4.0 *
+            (exaggeration * p[static_cast<size_t>(i * n + j)] -
+             kernel / q_sum) *
+            kernel;
+        for (int64_t k = 0; k < out_dim; ++k) {
+          gradient[static_cast<size_t>(i * out_dim + k)] +=
+              coeff * (y[static_cast<size_t>(i * out_dim + k)] -
+                       y[static_cast<size_t>(j * out_dim + k)]);
+        }
+      }
+    }
+    const double momentum = iter < options.momentum_switch_iter
+                                ? options.momentum_initial
+                                : options.momentum_final;
+    for (size_t idx = 0; idx < y.size(); ++idx) {
+      velocity[idx] =
+          momentum * velocity[idx] - options.learning_rate * gradient[idx];
+      y[idx] += velocity[idx];
+    }
+    // Re-center to remove drift.
+    for (int64_t k = 0; k < out_dim; ++k) {
+      double mean = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        mean += y[static_cast<size_t>(i * out_dim + k)];
+      }
+      mean /= static_cast<double>(n);
+      for (int64_t i = 0; i < n; ++i) {
+        y[static_cast<size_t>(i * out_dim + k)] -= mean;
+      }
+    }
+  }
+
+  tensor::Tensor out(tensor::Shape::Matrix(n, out_dim));
+  float* dst = out.mutable_data();
+  for (size_t idx = 0; idx < y.size(); ++idx) {
+    dst[idx] = static_cast<float>(y[idx]);
+  }
+  return out;
+}
+
+}  // namespace widen::viz

@@ -1,0 +1,37 @@
+// Exact t-SNE (van der Maaten & Hinton, 2008) for the Fig. 3 embedding
+// visualization. Exact (O(n²)) rather than Barnes-Hut: the figure uses at
+// most ~1000 points (the paper subsamples Yelp to 1000 for clarity too).
+
+#ifndef WIDEN_VIZ_TSNE_H_
+#define WIDEN_VIZ_TSNE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace widen::viz {
+
+struct TsneOptions {
+  int64_t output_dim = 2;
+  double perplexity = 30.0;
+  int64_t iterations = 500;
+  double learning_rate = 200.0;
+  double early_exaggeration = 12.0;
+  int64_t exaggeration_iters = 100;
+  double momentum_initial = 0.5;
+  double momentum_final = 0.8;
+  int64_t momentum_switch_iter = 250;
+  uint64_t seed = 1;
+};
+
+/// Embeds the rows of `points` ([n, d]) into `output_dim` dimensions.
+/// Returns an [n, output_dim] tensor. Fails if n < 4 or the perplexity is
+/// infeasible (needs perplexity * 3 < n).
+StatusOr<tensor::Tensor> RunTsne(const tensor::Tensor& points,
+                                 const TsneOptions& options = {});
+
+}  // namespace widen::viz
+
+#endif  // WIDEN_VIZ_TSNE_H_

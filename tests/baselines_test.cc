@@ -1,0 +1,169 @@
+// Every baseline must fit on a small planted-signal graph, beat chance on a
+// held-out set, and expose sane embeddings. Parameterized over the registry.
+
+#include <memory>
+
+#include "baselines/han.h"
+#include "baselines/registry.h"
+#include "datasets/splits.h"
+#include "datasets/synthetic.h"
+#include "gtest/gtest.h"
+#include "train/metrics.h"
+#include "train/trainer.h"
+
+namespace widen::baselines {
+namespace {
+
+datasets::SyntheticGraphSpec TestSpec() {
+  datasets::SyntheticGraphSpec spec;
+  spec.name = "baselines-test";
+  spec.node_types = {{"doc", 180, true}, {"tag", 36, false}};
+  spec.edge_types = {{"doc-tag", "doc", "tag", 3.0, 0.9},
+                     {"doc-doc", "doc", "doc", 2.0, 0.85}};
+  spec.num_classes = 3;
+  spec.feature_dim = 32;
+  spec.feature_noise = 0.3;
+  spec.seed = 31;
+  return spec;
+}
+
+struct Fixture {
+  graph::HeteroGraph graph;
+  datasets::TransductiveSplit split;
+};
+
+const Fixture& SharedFixture() {
+  static const Fixture* fixture = [] {
+    auto graph = datasets::GenerateSyntheticGraph(TestSpec());
+    WIDEN_CHECK(graph.ok());
+    auto* f = new Fixture{std::move(graph).value(), {}};
+    auto split = datasets::MakeTransductiveSplit(f->graph, 0.4, 0.1, 6);
+    WIDEN_CHECK(split.ok());
+    f->split = std::move(split).value();
+    return f;
+  }();
+  return *fixture;
+}
+
+train::ModelHyperparams FastHyperparams() {
+  train::ModelHyperparams hp;
+  hp.embedding_dim = 16;
+  hp.hidden_dim = 16;
+  hp.epochs = 12;
+  hp.batch_size = 32;
+  hp.learning_rate = 1e-2f;
+  hp.dropout = 0.0f;
+  hp.seed = 11;
+  return hp;
+}
+
+class BaselineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineTest, BeatsChanceTransductively) {
+  const Fixture& fixture = SharedFixture();
+  train::ModelHyperparams hp = FastHyperparams();
+  if (GetParam() == "WIDEN") hp.epochs = 6;
+  auto model = CreateModel(GetParam(), hp);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  auto result = train::FitAndScore(**model, fixture.graph,
+                                   fixture.split.train, fixture.graph,
+                                   fixture.split.test);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // 3 balanced classes -> chance ~ 0.33.
+  EXPECT_GT(result->micro_f1, 0.45) << GetParam();
+  EXPECT_GT(result->fit_seconds, 0.0);
+}
+
+TEST_P(BaselineTest, EmbedShapesMatch) {
+  const Fixture& fixture = SharedFixture();
+  train::ModelHyperparams hp = FastHyperparams();
+  hp.epochs = 2;
+  auto model = CreateModel(GetParam(), hp);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Fit(fixture.graph, fixture.split.train).ok());
+  std::vector<graph::NodeId> nodes(fixture.split.test.begin(),
+                                   fixture.split.test.begin() + 5);
+  auto embeddings = (*model)->Embed(fixture.graph, nodes);
+  ASSERT_TRUE(embeddings.ok()) << embeddings.status().ToString();
+  EXPECT_EQ(embeddings->rows(), 5);
+  EXPECT_GT(embeddings->cols(), 0);
+}
+
+TEST_P(BaselineTest, PredictBeforeFitFails) {
+  auto model = CreateModel(GetParam(), FastHyperparams());
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE((*model)->Predict(SharedFixture().graph, {0}).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, BaselineTest,
+                         ::testing::ValuesIn(AvailableModels()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(RegistryTest, RejectsUnknownModel) {
+  EXPECT_FALSE(CreateModel("NotAModel", FastHyperparams()).ok());
+}
+
+TEST(RegistryTest, ListsNineModels) {
+  EXPECT_EQ(AvailableModels().size(), 9u);
+}
+
+TEST(InductiveProtocolTest, InductiveModelsEmbedUnseenNodes) {
+  const Fixture& fixture = SharedFixture();
+  auto inductive = datasets::MakeInductiveSplit(fixture.graph, 0.2, 17);
+  ASSERT_TRUE(inductive.ok());
+  for (const std::string& name : AvailableModels()) {
+    train::ModelHyperparams hp = FastHyperparams();
+    hp.epochs = 6;
+    auto model = CreateModel(name, hp);
+    ASSERT_TRUE(model.ok());
+    if (!(*model)->supports_inductive()) {
+      EXPECT_EQ(name, "Node2Vec");
+      continue;
+    }
+    auto result = train::FitAndScore(
+        **model, inductive->training.graph, inductive->train_labeled,
+        fixture.graph, inductive->heldout);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    EXPECT_GT(result->micro_f1, 0.34) << name;
+  }
+}
+
+TEST(Node2VecTest, RefusesInductiveEvaluation) {
+  const Fixture& fixture = SharedFixture();
+  auto inductive = datasets::MakeInductiveSplit(fixture.graph, 0.2, 18);
+  ASSERT_TRUE(inductive.ok());
+  train::ModelHyperparams hp = FastHyperparams();
+  auto model = CreateModel("Node2Vec", hp);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(
+      (*model)->Fit(inductive->training.graph, inductive->train_labeled).ok());
+  EXPECT_FALSE((*model)->supports_inductive());
+  // Different node count -> must refuse rather than silently mis-index.
+  EXPECT_FALSE((*model)->Predict(fixture.graph, inductive->heldout).ok());
+}
+
+TEST(HanTest, DerivesSchemaMetaPaths) {
+  const Fixture& fixture = SharedFixture();
+  std::vector<graph::MetaPath> paths =
+      HanModel::DeriveMetaPaths(fixture.graph);
+  ASSERT_FALSE(paths.empty());
+  // doc-tag-doc must be among them (edge type 0 twice).
+  bool found = false;
+  for (const graph::MetaPath& path : paths) {
+    if (path.edge_types == std::vector<graph::EdgeTypeId>{0, 0}) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TrainerTest, ScoreRejectsEmptyEvalSet) {
+  const Fixture& fixture = SharedFixture();
+  auto model = CreateModel("GCN", FastHyperparams());
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Fit(fixture.graph, fixture.split.train).ok());
+  EXPECT_FALSE(train::Score(**model, fixture.graph, {}).ok());
+}
+
+}  // namespace
+}  // namespace widen::baselines

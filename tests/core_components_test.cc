@@ -1,0 +1,306 @@
+// Unit tests for the WIDEN building blocks: message packaging (Eq. 1-2),
+// downsampling (Algorithms 1-2, Eq. 8), and the KL trigger (Eq. 9).
+
+#include <cmath>
+
+#include "core/downsampling.h"
+#include "core/kl_trigger.h"
+#include "core/message_pack.h"
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+
+namespace widen::core {
+namespace {
+
+namespace T = widen::tensor;
+
+TEST(MessagePackTest, MakeDeepStateCopiesWalk) {
+  sampling::DeepNeighborSequence walk;
+  walk.target = 7;
+  walk.nodes = {1, 2, 3};
+  walk.edge_types = {0, 1, 0};
+  DeepNeighborState state = MakeDeepState(walk);
+  EXPECT_EQ(state.target, 7);
+  EXPECT_EQ(state.size(), 3u);
+  EXPECT_EQ(state.edges[1].edge_type, 1);
+  EXPECT_FALSE(state.edges[1].is_relay());
+}
+
+TEST(EdgeEmbeddingsTest, TablesHaveRequestedShapes) {
+  Rng rng(1);
+  EdgeEmbeddings tables(/*num_edge_types=*/3, /*num_node_types=*/2,
+                        /*embedding_dim=*/8, rng);
+  EXPECT_EQ(tables.edge_table().rows(), 3);
+  EXPECT_EQ(tables.edge_table().cols(), 8);
+  EXPECT_EQ(tables.self_loop_table().rows(), 2);
+  EXPECT_TRUE(tables.edge_table().requires_grad());
+  T::Tensor self = tables.SelfLoopEmbedding(1);
+  EXPECT_EQ(self.rows(), 1);
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_FLOAT_EQ(self.at(0, j), tables.self_loop_table().at(1, j));
+  }
+}
+
+TEST(EdgeEmbeddingsTest, EdgeVectorValueResolvesRelayAndTable) {
+  Rng rng(2);
+  EdgeEmbeddings tables(2, 1, 4, rng);
+  DeepEdgeSlot table_slot;
+  table_slot.edge_type = 1;
+  std::vector<float> from_table = tables.EdgeVectorValue(table_slot);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(from_table[static_cast<size_t>(j)],
+                    tables.edge_table().at(1, j));
+  }
+  DeepEdgeSlot relay_slot;
+  relay_slot.relay = {9, 8, 7, 6};
+  EXPECT_EQ(tables.EdgeVectorValue(relay_slot), relay_slot.relay);
+}
+
+TEST(PackWideTest, PacksAreHadamardProducts) {
+  Rng rng(3);
+  EdgeEmbeddings tables(2, 2, 4, rng);
+  T::Tensor target = T::Tensor::FromVector(T::Shape::Matrix(1, 4),
+                                           {1, 2, 3, 4});
+  T::Tensor neighbors = T::Tensor::FromVector(
+      T::Shape::Matrix(2, 4), {1, 1, 1, 1, 2, 2, 2, 2});
+  sampling::WideNeighborSet wide;
+  wide.target = 0;
+  wide.nodes = {5, 6};
+  wide.edge_types = {0, 1};
+  T::Tensor packs = PackWide(target, neighbors, wide, /*target_type=*/1,
+                             tables);
+  ASSERT_EQ(packs.rows(), 3);
+  // Row 0: v_t ⊙ selfloop(type 1).
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(packs.at(0, j),
+                    target.at(0, j) * tables.self_loop_table().at(1, j));
+    EXPECT_FLOAT_EQ(packs.at(1, j),
+                    neighbors.at(0, j) * tables.edge_table().at(0, j));
+    EXPECT_FLOAT_EQ(packs.at(2, j),
+                    neighbors.at(1, j) * tables.edge_table().at(1, j));
+  }
+}
+
+TEST(PackWideTest, EmptyNeighborhoodYieldsSelfPackOnly) {
+  Rng rng(4);
+  EdgeEmbeddings tables(1, 1, 4, rng);
+  T::Tensor target = T::Tensor::Full(T::Shape::Matrix(1, 4), 2.0f);
+  sampling::WideNeighborSet wide;
+  wide.target = 0;
+  T::Tensor packs =
+      PackWide(target, T::Tensor(T::Shape::Matrix(0, 4)), wide, 0, tables);
+  EXPECT_EQ(packs.rows(), 1);
+}
+
+TEST(PackDeepTest, RelaySlotsUseFrozenVectors) {
+  Rng rng(5);
+  EdgeEmbeddings tables(2, 1, 4, rng);
+  T::Tensor target = T::Tensor::Full(T::Shape::Matrix(1, 4), 1.0f);
+  T::Tensor nodes = T::Tensor::FromVector(T::Shape::Matrix(2, 4),
+                                          {1, 1, 1, 1, 3, 3, 3, 3});
+  DeepNeighborState state;
+  state.target = 0;
+  state.nodes = {8, 9};
+  DeepEdgeSlot normal;
+  normal.edge_type = 0;
+  DeepEdgeSlot relay;
+  relay.relay = {2, 2, 2, 2};
+  state.edges = {normal, relay};
+  T::Tensor packs = PackDeep(target, nodes, state, 0, tables);
+  ASSERT_EQ(packs.rows(), 3);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(packs.at(1, j), 1.0f * tables.edge_table().at(0, j));
+    EXPECT_FLOAT_EQ(packs.at(2, j), 3.0f * 2.0f);
+  }
+}
+
+TEST(PackDeepTest, GradientsFlowToEdgeTable) {
+  Rng rng(6);
+  EdgeEmbeddings tables(2, 1, 3, rng);
+  T::Tensor target = T::Tensor::Full(T::Shape::Matrix(1, 3), 1.0f);
+  T::Tensor nodes = T::Tensor::Full(T::Shape::Matrix(2, 3), 2.0f);
+  DeepNeighborState state;
+  state.nodes = {1, 2};
+  DeepEdgeSlot e0, e1;
+  e0.edge_type = 0;
+  e1.edge_type = 1;
+  state.edges = {e0, e1};
+  T::Tensor packs = PackDeep(target, nodes, state, 0, tables);
+  T::Tensor loss = T::SumAll(packs);
+  T::Tensor edge_table = tables.edge_table();  // handle aliases storage
+  edge_table.ZeroGrad();
+  loss.Backward();
+  // d loss / d edge_table[0][j] = node value 2.
+  EXPECT_FLOAT_EQ(edge_table.grad_at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(edge_table.grad_at(1, 2), 2.0f);
+}
+
+// ---- Downsampling -----------------------------------------------------------
+
+TEST(ShrinkWideTest, RemovesSmallestAttentionNeighbor) {
+  sampling::WideNeighborSet wide;
+  wide.nodes = {10, 11, 12};
+  wide.edge_types = {0, 1, 0};
+  // attention[0] belongs to the target and must be ignored even if minimal.
+  std::vector<float> attention = {0.01f, 0.5f, 0.09f, 0.4f};
+  const size_t removed = ShrinkWideSet(wide, attention);
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(wide.nodes, (std::vector<graph::NodeId>{10, 12}));
+}
+
+TEST(ShrinkWideTest, RandomVariantRemovesOne) {
+  sampling::WideNeighborSet wide;
+  wide.nodes = {1, 2, 3, 4};
+  wide.edge_types = {0, 0, 0, 0};
+  Rng rng(7);
+  ShrinkWideSetRandom(wide, rng);
+  EXPECT_EQ(wide.size(), 3u);
+}
+
+DeepNeighborState ThreeNodeState() {
+  DeepNeighborState state;
+  state.nodes = {5, 6, 7};
+  for (graph::EdgeTypeId t : {0, 1, 0}) {
+    DeepEdgeSlot slot;
+    slot.edge_type = t;
+    state.edges.push_back(slot);
+  }
+  return state;
+}
+
+TEST(PruneDeepTest, VictimSuccessorGetsRelayEdge) {
+  Rng rng(8);
+  EdgeEmbeddings tables(2, 1, 4, rng);
+  DeepNeighborState state = ThreeNodeState();
+  // Pack values: row s+1 is m_s. Victim will be s'=0 (smallest weight).
+  T::Tensor packs = T::Tensor::FromVector(
+      T::Shape::Matrix(4, 4),
+      {0, 0, 0, 0,  // target pack
+       9, -9, 9, -9,  // m_0 (victim)
+       1, 1, 1, 1,    // m_1
+       2, 2, 2, 2});  // m_2
+  std::vector<float> attention = {0.4f, 0.05f, 0.3f, 0.25f};
+  const std::vector<float> edge1_before =
+      tables.EdgeVectorValue(state.edges[1]);
+  const size_t removed =
+      PruneDeepState(state, attention, packs, tables, /*use_relay=*/true);
+  EXPECT_EQ(removed, 0u);
+  ASSERT_EQ(state.size(), 2u);
+  EXPECT_EQ(state.nodes, (std::vector<graph::NodeId>{6, 7}));
+  // The old successor (previously index 1) now sits at index 0 and carries
+  // relay = maxpool(e_{1,0}, m_0).
+  ASSERT_TRUE(state.edges[0].is_relay());
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(state.edges[0].relay[j],
+                    std::max(edge1_before[j], packs.at(1, static_cast<int64_t>(j))));
+  }
+  // The final edge is untouched.
+  EXPECT_FALSE(state.edges[1].is_relay());
+  EXPECT_EQ(state.edges[1].edge_type, 0);
+}
+
+TEST(PruneDeepTest, LastElementNeedsNoRelay) {
+  Rng rng(9);
+  EdgeEmbeddings tables(2, 1, 4, rng);
+  DeepNeighborState state = ThreeNodeState();
+  T::Tensor packs = T::Tensor::Zeros(T::Shape::Matrix(4, 4));
+  std::vector<float> attention = {0.4f, 0.3f, 0.25f, 0.05f};  // victim s'=2
+  PruneDeepState(state, attention, packs, tables, /*use_relay=*/true);
+  ASSERT_EQ(state.size(), 2u);
+  EXPECT_FALSE(state.edges[0].is_relay());
+  EXPECT_FALSE(state.edges[1].is_relay());
+}
+
+TEST(PruneDeepTest, RelayDisabledKeepsTableEdges) {
+  Rng rng(10);
+  EdgeEmbeddings tables(2, 1, 4, rng);
+  DeepNeighborState state = ThreeNodeState();
+  T::Tensor packs = T::Tensor::Zeros(T::Shape::Matrix(4, 4));
+  std::vector<float> attention = {0.4f, 0.05f, 0.3f, 0.25f};
+  PruneDeepState(state, attention, packs, tables, /*use_relay=*/false);
+  ASSERT_EQ(state.size(), 2u);
+  EXPECT_FALSE(state.edges[0].is_relay());
+}
+
+TEST(PruneDeepTest, ChainedPrunesCascadeRelays) {
+  Rng rng(11);
+  EdgeEmbeddings tables(2, 1, 2, rng);
+  DeepNeighborState state = ThreeNodeState();
+  T::Tensor packs = T::Tensor::Full(T::Shape::Matrix(4, 2), 5.0f);
+  std::vector<float> attention = {0.4f, 0.05f, 0.3f, 0.25f};
+  PruneDeepState(state, attention, packs, tables, true);
+  ASSERT_TRUE(state.edges[0].is_relay());
+  // Second prune removes the (relayed) first pack; its successor's relay is
+  // built from the relay vector, exercising EdgeVectorValue's relay branch.
+  T::Tensor packs2 = T::Tensor::Full(T::Shape::Matrix(3, 2), 7.0f);
+  std::vector<float> attention2 = {0.5f, 0.1f, 0.4f};
+  PruneDeepState(state, attention2, packs2, tables, true);
+  ASSERT_EQ(state.size(), 1u);
+  ASSERT_TRUE(state.edges[0].is_relay());
+  EXPECT_FLOAT_EQ(state.edges[0].relay[0], 7.0f);  // maxpool picked the pack
+}
+
+// ---- KL trigger ----------------------------------------------------------------
+
+TEST(KlDivergenceTest, ZeroForIdenticalDistributions) {
+  std::vector<float> p = {0.2f, 0.3f, 0.5f};
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-9);
+}
+
+TEST(KlDivergenceTest, PositiveAndAsymmetric) {
+  std::vector<float> p = {0.9f, 0.1f};
+  std::vector<float> q = {0.5f, 0.5f};
+  const double pq = KlDivergence(p, q);
+  const double qp = KlDivergence(q, p);
+  EXPECT_GT(pq, 0.0);
+  EXPECT_GT(qp, 0.0);
+  EXPECT_NE(pq, qp);
+  // Closed form: Σ p ln(p/q).
+  EXPECT_NEAR(pq, 0.9 * std::log(0.9 / 0.5) + 0.1 * std::log(0.1 / 0.5),
+              1e-6);
+}
+
+TEST(KlDivergenceTest, InfiniteOnSizeMismatch) {
+  EXPECT_TRUE(std::isinf(KlDivergence({0.5f, 0.5f}, {1.0f})));
+  EXPECT_TRUE(std::isinf(KlDivergence({}, {})));
+}
+
+TEST(AttentionTrackerTest, FirstObservationIsInfinite) {
+  AttentionTracker tracker;
+  EXPECT_TRUE(std::isinf(tracker.UpdateAndComputeKl(1, 42, {0.5f, 0.5f})));
+}
+
+TEST(AttentionTrackerTest, StableSetYieldsFiniteKl) {
+  AttentionTracker tracker;
+  tracker.UpdateAndComputeKl(1, 42, {0.5f, 0.5f});
+  const double kl = tracker.UpdateAndComputeKl(1, 42, {0.6f, 0.4f});
+  EXPECT_FALSE(std::isinf(kl));
+  EXPECT_GT(kl, 0.0);
+  // Identical distribution -> (near) zero.
+  EXPECT_NEAR(tracker.UpdateAndComputeKl(1, 42, {0.6f, 0.4f}), 0.0, 1e-9);
+}
+
+TEST(AttentionTrackerTest, SignatureChangeResetsComparison) {
+  AttentionTracker tracker;
+  tracker.UpdateAndComputeKl(1, 42, {0.5f, 0.5f});
+  // Set changed (different signature): must report +inf (Eq. 9 otherwise
+  // branch), then re-baseline.
+  EXPECT_TRUE(std::isinf(tracker.UpdateAndComputeKl(1, 43, {0.5f, 0.5f})));
+  EXPECT_FALSE(std::isinf(tracker.UpdateAndComputeKl(1, 43, {0.5f, 0.5f})));
+}
+
+TEST(AttentionTrackerTest, ResetDropsHistory) {
+  AttentionTracker tracker;
+  tracker.UpdateAndComputeKl(5, 1, {1.0f});
+  tracker.Reset(5);
+  EXPECT_TRUE(std::isinf(tracker.UpdateAndComputeKl(5, 1, {1.0f})));
+}
+
+TEST(HashNodeSequenceTest, OrderSensitive) {
+  EXPECT_NE(HashNodeSequence({1, 2, 3}), HashNodeSequence({3, 2, 1}));
+  EXPECT_EQ(HashNodeSequence({1, 2, 3}), HashNodeSequence({1, 2, 3}));
+  EXPECT_NE(HashNodeSequence({}), HashNodeSequence({0}));
+}
+
+}  // namespace
+}  // namespace widen::core

@@ -1,0 +1,201 @@
+#include <algorithm>
+#include <set>
+
+#include "datasets/acm.h"
+#include "datasets/dblp.h"
+#include "datasets/splits.h"
+#include "datasets/synthetic.h"
+#include "datasets/yelp.h"
+#include "graph/graph_stats.h"
+#include "gtest/gtest.h"
+
+namespace widen::datasets {
+namespace {
+
+SyntheticGraphSpec TinySpec() {
+  SyntheticGraphSpec spec;
+  spec.name = "tiny";
+  spec.node_types = {{"doc", 120, true}, {"tag", 30, false}};
+  spec.edge_types = {{"doc-tag", "doc", "tag", 2.0, 0.9}};
+  spec.num_classes = 3;
+  spec.feature_dim = 24;
+  spec.seed = 5;
+  return spec;
+}
+
+TEST(SyntheticTest, GeneratesRequestedShape) {
+  auto graph = GenerateSyntheticGraph(TinySpec());
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->num_nodes(), 150);
+  EXPECT_EQ(graph->schema().num_node_types(), 2);
+  EXPECT_EQ(graph->schema().num_edge_types(), 1);
+  EXPECT_EQ(graph->feature_dim(), 24);
+  EXPECT_EQ(graph->num_classes(), 3);
+  EXPECT_EQ(graph->LabeledNodes().size(), 120u);
+  EXPECT_GT(graph->num_edges(), 100);
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  auto a = GenerateSyntheticGraph(TinySpec());
+  auto b = GenerateSyntheticGraph(TinySpec());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->num_edges(), b->num_edges());
+  EXPECT_EQ(a->labels(), b->labels());
+  for (int64_t i = 0; i < a->features().size(); ++i) {
+    ASSERT_EQ(a->features().data()[i], b->features().data()[i]) << i;
+  }
+  SyntheticGraphSpec other = TinySpec();
+  other.seed = 6;
+  auto c = GenerateSyntheticGraph(other);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->labels(), c->labels());
+}
+
+TEST(SyntheticTest, HomophilyPlantsStructureSignal) {
+  SyntheticGraphSpec spec = TinySpec();
+  spec.label_noise = 0.0;
+  auto graph = GenerateSyntheticGraph(spec);
+  ASSERT_TRUE(graph.ok());
+  const std::vector<int32_t> communities = RegenerateCommunities(spec);
+  // With homophily 0.9, far more than 1/3 of edges should connect nodes of
+  // the same community.
+  int64_t same = 0, total = 0;
+  for (graph::NodeId v = 0; v < graph->num_nodes(); ++v) {
+    graph::Csr::NeighborSpan span = graph->neighbors(v);
+    for (int64_t i = 0; i < span.size; ++i) {
+      if (span.neighbors[i] > v) {
+        ++total;
+        if (communities[static_cast<size_t>(v)] ==
+            communities[static_cast<size_t>(span.neighbors[i])]) {
+          ++same;
+        }
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(same) / static_cast<double>(total), 0.7);
+}
+
+TEST(SyntheticTest, LabelsAlignWithCommunitiesUpToNoise) {
+  SyntheticGraphSpec spec = TinySpec();
+  spec.label_noise = 0.0;
+  auto graph = GenerateSyntheticGraph(spec);
+  ASSERT_TRUE(graph.ok());
+  const std::vector<int32_t> communities = RegenerateCommunities(spec);
+  for (graph::NodeId v : graph->LabeledNodes()) {
+    EXPECT_EQ(graph->label(v), communities[static_cast<size_t>(v)]);
+  }
+}
+
+TEST(SyntheticTest, RejectsMalformedSpecs) {
+  SyntheticGraphSpec spec = TinySpec();
+  spec.node_types[0].labeled = false;
+  EXPECT_FALSE(GenerateSyntheticGraph(spec).ok());
+
+  spec = TinySpec();
+  spec.edge_types[0].src_type = "nope";
+  EXPECT_FALSE(GenerateSyntheticGraph(spec).ok());
+
+  spec = TinySpec();
+  spec.edge_types[0].homophily = 1.5;
+  EXPECT_FALSE(GenerateSyntheticGraph(spec).ok());
+
+  spec = TinySpec();
+  spec.num_classes = 1;
+  EXPECT_FALSE(GenerateSyntheticGraph(spec).ok());
+}
+
+TEST(PresetTest, SchemasMatchTable1) {
+  DatasetOptions options;
+  options.scale = 0.1;
+  auto acm = MakeAcm(options);
+  ASSERT_TRUE(acm.ok()) << acm.status().ToString();
+  EXPECT_EQ(acm->graph.schema().num_node_types(), 3);
+  EXPECT_EQ(acm->graph.schema().num_edge_types(), 2);
+  EXPECT_EQ(acm->graph.num_classes(), 3);
+  EXPECT_EQ(acm->graph.schema().node_type_name(
+                acm->graph.labeled_node_type()),
+            "paper");
+
+  auto dblp = MakeDblp(options);
+  ASSERT_TRUE(dblp.ok());
+  EXPECT_EQ(dblp->graph.schema().num_node_types(), 4);
+  EXPECT_EQ(dblp->graph.schema().num_edge_types(), 3);
+  EXPECT_EQ(dblp->graph.num_classes(), 4);
+  EXPECT_EQ(dblp->graph.schema().node_type_name(
+                dblp->graph.labeled_node_type()),
+            "author");
+
+  auto yelp = MakeYelp(options);
+  ASSERT_TRUE(yelp.ok());
+  EXPECT_EQ(yelp->graph.schema().num_node_types(), 4);
+  // The paper's Yelp has 4 edge types; this preset splits user-business
+  // reviews into positive/negative polarity types (see DESIGN.md), so 5.
+  EXPECT_EQ(yelp->graph.schema().num_edge_types(), 5);
+  EXPECT_EQ(yelp->graph.num_classes(), 3);
+  EXPECT_EQ(yelp->graph.schema().node_type_name(
+                yelp->graph.labeled_node_type()),
+            "business");
+}
+
+TEST(PresetTest, SplitsArePartitions) {
+  DatasetOptions options;
+  options.scale = 0.1;
+  auto acm = MakeAcm(options);
+  ASSERT_TRUE(acm.ok());
+  const TransductiveSplit& split = acm->split;
+  EXPECT_FALSE(split.train.empty());
+  EXPECT_FALSE(split.validation.empty());
+  EXPECT_FALSE(split.test.empty());
+  std::set<graph::NodeId> all;
+  for (const auto* part : {&split.train, &split.validation, &split.test}) {
+    for (graph::NodeId v : *part) {
+      EXPECT_TRUE(all.insert(v).second) << "overlap at " << v;
+      EXPECT_GE(acm->graph.label(v), 0);
+    }
+  }
+  EXPECT_EQ(all.size(), acm->graph.LabeledNodes().size());
+}
+
+TEST(SplitsTest, SubsetTrainLabelsFractions) {
+  std::vector<graph::NodeId> train(100);
+  for (int i = 0; i < 100; ++i) train[static_cast<size_t>(i)] = i;
+  EXPECT_EQ(SubsetTrainLabels(train, 1.0, 3).size(), 100u);
+  std::vector<graph::NodeId> half = SubsetTrainLabels(train, 0.5, 3);
+  EXPECT_EQ(half.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(half.begin(), half.end()));
+  // Subsets are drawn from the original ids.
+  for (graph::NodeId v : half) EXPECT_LT(v, 100);
+  // Deterministic.
+  EXPECT_EQ(SubsetTrainLabels(train, 0.5, 3), half);
+}
+
+TEST(SplitsTest, InductiveSplitRemovesHeldoutFromGraph) {
+  auto graph = GenerateSyntheticGraph(TinySpec());
+  ASSERT_TRUE(graph.ok());
+  auto split = MakeInductiveSplit(*graph, 0.2, 9);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_EQ(split->heldout.size(), 24u);  // 20% of 120 labeled
+  EXPECT_EQ(split->training.graph.num_nodes(),
+            graph->num_nodes() - 24);
+  for (graph::NodeId v : split->heldout) {
+    EXPECT_EQ(split->training.from_parent[static_cast<size_t>(v)], -1);
+    EXPECT_GE(graph->label(v), 0);
+  }
+  // Training-labeled ids refer to the SUBGRAPH and are labeled there.
+  for (graph::NodeId v : split->train_labeled) {
+    EXPECT_GE(split->training.graph.label(v), 0);
+  }
+  EXPECT_EQ(split->train_labeled.size(), 96u);
+}
+
+TEST(SplitsTest, RejectsBadFractions) {
+  auto graph = GenerateSyntheticGraph(TinySpec());
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(MakeTransductiveSplit(*graph, 0.0, 0.1, 1).ok());
+  EXPECT_FALSE(MakeTransductiveSplit(*graph, 0.8, 0.3, 1).ok());
+  EXPECT_FALSE(MakeInductiveSplit(*graph, 0.0, 1).ok());
+  EXPECT_FALSE(MakeInductiveSplit(*graph, 1.0, 1).ok());
+}
+
+}  // namespace
+}  // namespace widen::datasets

@@ -1,0 +1,54 @@
+// Test-only numerical gradient checking for the autograd engine.
+
+#ifndef WIDEN_TESTS_GRADIENT_CHECK_H_
+#define WIDEN_TESTS_GRADIENT_CHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+
+namespace widen::testing {
+
+/// Checks analytic gradients of `loss_fn` (a scalar-valued function that
+/// rebuilds its tape on every call) against central differences for every
+/// entry of every parameter in `params`. `loss_fn` must read the parameters'
+/// current values each call.
+inline void ExpectGradientsMatch(
+    const std::function<tensor::Tensor()>& loss_fn,
+    std::vector<tensor::Tensor> params, double tolerance = 2e-2,
+    float epsilon = 1e-3f) {
+  // Analytic pass.
+  for (auto& p : params) p.ZeroGrad();
+  tensor::Tensor loss = loss_fn();
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(params.size());
+  for (auto& p : params) {
+    analytic.emplace_back(p.grad(), p.grad() + p.size());
+  }
+  // Numerical pass.
+  for (size_t k = 0; k < params.size(); ++k) {
+    tensor::Tensor& p = params[k];
+    for (int64_t i = 0; i < p.size(); ++i) {
+      const float original = p.mutable_data()[i];
+      p.mutable_data()[i] = original + epsilon;
+      const double plus = loss_fn().item();
+      p.mutable_data()[i] = original - epsilon;
+      const double minus = loss_fn().item();
+      p.mutable_data()[i] = original;
+      const double numeric = (plus - minus) / (2.0 * epsilon);
+      const double exact = analytic[k][static_cast<size_t>(i)];
+      const double scale = std::max({1.0, std::abs(numeric), std::abs(exact)});
+      EXPECT_NEAR(exact, numeric, tolerance * scale)
+          << "param '" << p.label() << "' [" << k << "] entry " << i;
+    }
+  }
+}
+
+}  // namespace widen::testing
+
+#endif  // WIDEN_TESTS_GRADIENT_CHECK_H_

@@ -1,0 +1,120 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <string>
+
+#include "datasets/acm.h"
+#include "gtest/gtest.h"
+
+namespace widen::graph {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  out << contents;
+}
+
+TEST(GraphIoTest, RoundTripsPresetGraph) {
+  datasets::DatasetOptions options;
+  options.scale = 0.05;
+  auto acm = datasets::MakeAcm(options);
+  ASSERT_TRUE(acm.ok());
+  const std::string path = TempPath("acm.graph");
+  ASSERT_TRUE(SaveGraphText(acm->graph, path).ok());
+  auto loaded = LoadGraphText(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->num_nodes(), acm->graph.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), acm->graph.num_edges());
+  EXPECT_EQ(loaded->schema().num_node_types(),
+            acm->graph.schema().num_node_types());
+  EXPECT_EQ(loaded->schema().num_edge_types(),
+            acm->graph.schema().num_edge_types());
+  EXPECT_EQ(loaded->num_classes(), acm->graph.num_classes());
+  EXPECT_EQ(loaded->labels(), acm->graph.labels());
+  EXPECT_EQ(loaded->feature_dim(), acm->graph.feature_dim());
+  for (NodeId v = 0; v < loaded->num_nodes(); ++v) {
+    ASSERT_EQ(loaded->node_type(v), acm->graph.node_type(v)) << v;
+    ASSERT_EQ(loaded->degree(v), acm->graph.degree(v)) << v;
+  }
+  for (int64_t i = 0; i < loaded->features().size(); ++i) {
+    ASSERT_NEAR(loaded->features().data()[i], acm->graph.features().data()[i],
+                1e-4f)
+        << i;
+  }
+}
+
+TEST(GraphIoTest, ParsesHandWrittenFile) {
+  const std::string path = TempPath("hand.graph");
+  WriteFile(path,
+            "widen-graph 1\n"
+            "# a tiny graph\n"
+            "node_type user\n"
+            "node_type item\n"
+            "edge_type bought user item\n"
+            "node user\n"
+            "node user\n"
+            "node item\n"
+            "edge 0 2 bought\n"
+            "edge 1 2 bought\n"
+            "features 2\n"
+            "f 0 1.0 0.0\n"
+            "f 2 0.5 0.5\n"
+            "labels 2 user\n"
+            "label 0 1\n");
+  auto graph = LoadGraphText(path);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->num_nodes(), 3);
+  EXPECT_EQ(graph->num_edges(), 2);
+  EXPECT_EQ(graph->label(0), 1);
+  EXPECT_EQ(graph->label(1), -1);
+  EXPECT_FLOAT_EQ(graph->features().at(2, 1), 0.5f);
+  EXPECT_FLOAT_EQ(graph->features().at(1, 0), 0.0f);  // omitted row = zeros
+  EXPECT_EQ(graph->EdgeTypeBetween(0, 2), 0);
+}
+
+TEST(GraphIoTest, ReportsLineNumbersOnErrors) {
+  const std::string path = TempPath("bad.graph");
+  WriteFile(path,
+            "widen-graph 1\n"
+            "node_type a\n"
+            "node a\n"
+            "frobnicate 1 2\n");
+  auto graph = LoadGraphText(path);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().message().find("line 4"), std::string::npos)
+      << graph.status().ToString();
+}
+
+TEST(GraphIoTest, RejectsMissingHeaderAndBadEdges) {
+  const std::string no_header = TempPath("nohdr.graph");
+  WriteFile(no_header, "node_type a\n");
+  EXPECT_FALSE(LoadGraphText(no_header).ok());
+
+  const std::string bad_edge = TempPath("badedge.graph");
+  WriteFile(bad_edge,
+            "widen-graph 1\n"
+            "node_type a\n"
+            "edge_type e a a\n"
+            "node a\n"
+            "edge 0 5 e\n");
+  auto graph = LoadGraphText(bad_edge);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().message().find("line 5"), std::string::npos);
+}
+
+TEST(GraphIoTest, RejectsUnknownTypes) {
+  const std::string path = TempPath("unknown.graph");
+  WriteFile(path,
+            "widen-graph 1\n"
+            "node_type a\n"
+            "node b\n");
+  EXPECT_FALSE(LoadGraphText(path).ok());
+}
+
+}  // namespace
+}  // namespace widen::graph

@@ -1,0 +1,230 @@
+#include <algorithm>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_stats.h"
+#include "graph/hetero_graph.h"
+#include "graph/metapath.h"
+#include "graph/partitioner.h"
+#include "graph/schema.h"
+#include "graph/subgraph.h"
+#include "gtest/gtest.h"
+
+namespace widen::graph {
+namespace {
+
+// Tiny academic schema: paper/author/subject with two edge types.
+GraphSchema AcademicSchema() {
+  GraphSchema schema;
+  const NodeTypeId paper = schema.AddNodeType("paper");
+  const NodeTypeId author = schema.AddNodeType("author");
+  const NodeTypeId subject = schema.AddNodeType("subject");
+  schema.AddEdgeType("paper-author", paper, author);
+  schema.AddEdgeType("paper-subject", paper, subject);
+  return schema;
+}
+
+TEST(SchemaTest, RegistersAndLooksUpTypes) {
+  GraphSchema schema = AcademicSchema();
+  EXPECT_EQ(schema.num_node_types(), 3);
+  EXPECT_EQ(schema.num_edge_types(), 2);
+  EXPECT_EQ(schema.node_type_name(0), "paper");
+  ASSERT_TRUE(schema.FindNodeType("author").ok());
+  EXPECT_EQ(schema.FindNodeType("author").value(), 1);
+  EXPECT_FALSE(schema.FindNodeType("venue").ok());
+  ASSERT_TRUE(schema.FindEdgeType("paper-subject").ok());
+  EXPECT_EQ(schema.FindEdgeType("paper-subject").value(), 1);
+}
+
+TEST(SchemaTest, EdgeTypeCompatibilityIsSymmetric) {
+  GraphSchema schema = AcademicSchema();
+  EXPECT_TRUE(schema.EdgeTypeCompatible(0, 0, 1));
+  EXPECT_TRUE(schema.EdgeTypeCompatible(0, 1, 0));
+  EXPECT_FALSE(schema.EdgeTypeCompatible(0, 0, 2));
+}
+
+TEST(GraphBuilderTest, BuildsValidGraph) {
+  GraphBuilder builder(AcademicSchema());
+  const NodeId p0 = builder.AddNode(0);
+  const NodeId p1 = builder.AddNode(0);
+  const NodeId a0 = builder.AddNode(1);
+  const NodeId s0 = builder.AddNode(2);
+  ASSERT_TRUE(builder.AddEdge(p0, a0, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(p1, a0, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(p0, s0, 1).ok());
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 4);
+  EXPECT_EQ(graph->num_edges(), 3);
+  EXPECT_EQ(graph->degree(a0), 2);
+  EXPECT_EQ(graph->node_type(s0), 2);
+  EXPECT_EQ(graph->EdgeTypeBetween(p0, s0), 1);
+  EXPECT_EQ(graph->EdgeTypeBetween(p1, s0), -1);
+  EXPECT_EQ(graph->nodes_of_type(0).size(), 2u);
+}
+
+TEST(GraphBuilderTest, RejectsIncompatibleEdge) {
+  GraphBuilder builder(AcademicSchema());
+  const NodeId a0 = builder.AddNode(1);
+  const NodeId s0 = builder.AddNode(2);
+  Status status = builder.AddEdge(a0, s0, 0);  // paper-author between a/s
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoopAndBadIds) {
+  GraphBuilder builder(AcademicSchema());
+  const NodeId p0 = builder.AddNode(0);
+  EXPECT_FALSE(builder.AddEdge(p0, p0, 0).ok());
+  EXPECT_FALSE(builder.AddEdge(p0, 99, 0).ok());
+  EXPECT_FALSE(builder.AddEdge(p0, p0 + 1, 7).ok());
+}
+
+TEST(GraphBuilderTest, ValidatesLabels) {
+  GraphBuilder builder(AcademicSchema());
+  builder.AddNode(0);
+  builder.AddNode(1);
+  // Label on the wrong node type.
+  EXPECT_FALSE(builder.SetLabels({0, 1}, 2, /*labeled_type=*/0).ok());
+  EXPECT_TRUE(builder.SetLabels({1, -1}, 2, /*labeled_type=*/0).ok());
+  // Out-of-range class.
+  EXPECT_FALSE(builder.SetLabels({5, -1}, 2, /*labeled_type=*/0).ok());
+}
+
+TEST(GraphBuilderTest, ValidatesFeatureShape) {
+  GraphBuilder builder(AcademicSchema());
+  builder.AddNode(0);
+  builder.AddNode(0);
+  builder.SetFeatures(tensor::Tensor(tensor::Shape::Matrix(3, 4)));
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+HeteroGraph ChainGraph(int64_t papers) {
+  // p0 - a0 - p1 - a1 - p2 ... alternating chain.
+  GraphBuilder builder(AcademicSchema());
+  std::vector<NodeId> ids;
+  for (int64_t i = 0; i < papers; ++i) {
+    ids.push_back(builder.AddNode(0));
+    ids.push_back(builder.AddNode(1));
+  }
+  for (size_t i = 0; i + 1 < ids.size(); ++i) {
+    WIDEN_CHECK_OK(builder.AddEdge(ids[i], ids[i + 1], 0));
+  }
+  auto graph = builder.Build();
+  WIDEN_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(SubgraphTest, InducedKeepsInternalEdgesOnly) {
+  HeteroGraph graph = ChainGraph(3);  // 6 nodes in a path
+  auto subgraph = SubgraphExtractor::Induced(graph, {0, 1, 2, 4});
+  ASSERT_TRUE(subgraph.ok());
+  EXPECT_EQ(subgraph->graph.num_nodes(), 4);
+  // Chain edges 0-1, 1-2 survive; 2-3, 3-4, 4-5 lose an endpoint or both.
+  EXPECT_EQ(subgraph->graph.num_edges(), 2);
+  EXPECT_EQ(subgraph->to_parent[3], 4);
+  EXPECT_EQ(subgraph->from_parent[3], -1);
+  EXPECT_EQ(subgraph->from_parent[4], 3);
+}
+
+TEST(SubgraphTest, SlicesFeaturesAndLabels) {
+  GraphBuilder builder(AcademicSchema());
+  builder.AddNodes(0, 4);
+  tensor::Tensor feats(tensor::Shape::Matrix(4, 2));
+  for (int64_t i = 0; i < 4; ++i) feats.set(i, 0, static_cast<float>(i));
+  builder.SetFeatures(feats);
+  WIDEN_CHECK_OK(builder.SetLabels({0, 1, 2, 0}, 3, 0));
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  auto subgraph = SubgraphExtractor::Induced(*graph, {3, 1});
+  ASSERT_TRUE(subgraph.ok());
+  EXPECT_EQ(subgraph->graph.num_nodes(), 2);
+  // Sorted keep order: old 1 -> new 0, old 3 -> new 1.
+  EXPECT_FLOAT_EQ(subgraph->graph.features().at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(subgraph->graph.features().at(1, 0), 3.0f);
+  EXPECT_EQ(subgraph->graph.label(0), 1);
+  EXPECT_EQ(subgraph->graph.label(1), 0);
+}
+
+TEST(SubgraphTest, RejectsDuplicatesAndOutOfRange) {
+  HeteroGraph graph = ChainGraph(2);
+  EXPECT_FALSE(SubgraphExtractor::Induced(graph, {0, 0}).ok());
+  EXPECT_FALSE(SubgraphExtractor::Induced(graph, {99}).ok());
+}
+
+TEST(GraphStatsTest, CountsMatch) {
+  HeteroGraph graph = ChainGraph(3);
+  GraphStats stats = ComputeStats(graph);
+  EXPECT_EQ(stats.num_nodes, 6);
+  EXPECT_EQ(stats.num_edges, 5);
+  EXPECT_EQ(stats.nodes_per_type[0], 3);
+  EXPECT_EQ(stats.nodes_per_type[1], 3);
+  EXPECT_EQ(stats.edges_per_type[0], 5);
+  EXPECT_NEAR(stats.mean_degree, 10.0 / 6.0, 1e-9);
+  EXPECT_EQ(stats.max_degree, 2);
+  EXPECT_FALSE(FormatStats(graph, stats).empty());
+}
+
+TEST(MetaPathTest, TwoHopComposition) {
+  // p0 and p1 share author a0 -> PAP neighbors of p0 = {p1}.
+  GraphBuilder builder(AcademicSchema());
+  const NodeId p0 = builder.AddNode(0);
+  const NodeId p1 = builder.AddNode(0);
+  const NodeId a0 = builder.AddNode(1);
+  const NodeId s0 = builder.AddNode(2);
+  WIDEN_CHECK_OK(builder.AddEdge(p0, a0, 0));
+  WIDEN_CHECK_OK(builder.AddEdge(p1, a0, 0));
+  WIDEN_CHECK_OK(builder.AddEdge(p0, s0, 1));
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  auto pap = ComposeMetaPath(*graph, MetaPath{"PAP", {0, 0}});
+  ASSERT_TRUE(pap.ok());
+  EXPECT_EQ(pap->neighbors[static_cast<size_t>(p0)],
+            std::vector<NodeId>{p1});
+  EXPECT_EQ(pap->neighbors[static_cast<size_t>(p1)],
+            std::vector<NodeId>{p0});
+  // Subject s0 has no PAP context.
+  EXPECT_TRUE(pap->neighbors[static_cast<size_t>(s0)].empty());
+}
+
+TEST(MetaPathTest, RejectsUnknownEdgeType) {
+  HeteroGraph graph = ChainGraph(2);
+  EXPECT_FALSE(ComposeMetaPath(graph, MetaPath{"bad", {7}}).ok());
+  EXPECT_FALSE(ComposeMetaPath(graph, MetaPath{"empty", {}}).ok());
+}
+
+TEST(MetaPathTest, DefaultSymmetricPathsSkipHomogeneousEdges) {
+  GraphSchema schema;
+  const NodeTypeId user = schema.AddNodeType("user");
+  const NodeTypeId item = schema.AddNodeType("item");
+  schema.AddEdgeType("user-user", user, user);
+  schema.AddEdgeType("user-item", user, item);
+  std::vector<MetaPath> paths = DefaultSymmetricMetaPaths(schema);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].edge_types, (std::vector<EdgeTypeId>{1, 1}));
+}
+
+TEST(PartitionerTest, BalancedPartsCoverAllNodes) {
+  HeteroGraph graph = ChainGraph(20);  // 40-node path
+  auto partition = GreedyPartition(graph, 4);
+  ASSERT_TRUE(partition.ok());
+  EXPECT_EQ(partition->assignment.size(), 40u);
+  int64_t total = 0;
+  for (int64_t size : partition->part_sizes) {
+    EXPECT_GE(size, 1);
+    EXPECT_LE(size, 12);  // capacity 10 + refinement slack
+    total += size;
+  }
+  EXPECT_EQ(total, 40);
+  // A path cut into 4 parts needs at least 3 cut edges; greedy should stay
+  // well below the 39-edge maximum.
+  EXPECT_GE(partition->cut_edges, 3);
+  EXPECT_LE(partition->cut_edges, 12);
+}
+
+TEST(PartitionerTest, RejectsBadPartCounts) {
+  HeteroGraph graph = ChainGraph(2);
+  EXPECT_FALSE(GreedyPartition(graph, 0).ok());
+  EXPECT_FALSE(GreedyPartition(graph, 100).ok());
+}
+
+}  // namespace
+}  // namespace widen::graph

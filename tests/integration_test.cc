@@ -1,0 +1,152 @@
+// End-to-end pipeline tests: dataset generation -> training -> evaluation,
+// determinism across runs, and cross-module consistency that unit tests
+// cannot see.
+
+#include "baselines/registry.h"
+#include "baselines/widen_adapter.h"
+#include "datasets/acm.h"
+#include "datasets/splits.h"
+#include "graph/graph_stats.h"
+#include "gtest/gtest.h"
+#include "train/trainer.h"
+#include "viz/silhouette.h"
+#include "viz/tsne.h"
+
+namespace widen {
+namespace {
+
+datasets::Dataset SmallAcm() {
+  datasets::DatasetOptions options;
+  options.scale = 0.15;
+  auto acm = datasets::MakeAcm(options);
+  WIDEN_CHECK(acm.ok());
+  return std::move(acm).value();
+}
+
+TEST(IntegrationTest, FullPipelineIsDeterministic) {
+  // Same seeds end to end -> bit-identical predictions.
+  std::vector<int32_t> first, second;
+  for (int run = 0; run < 2; ++run) {
+    datasets::Dataset acm = SmallAcm();
+    core::WidenConfig config;
+    config.embedding_dim = 8;
+    config.num_wide_neighbors = 4;
+    config.num_deep_neighbors = 4;
+    config.num_deep_walks = 2;
+    config.max_epochs = 4;
+    config.seed = 7;
+    baselines::WidenAdapter model(config);
+    WIDEN_CHECK_OK(model.Fit(acm.graph, acm.split.train));
+    auto predictions = model.Predict(acm.graph, acm.split.test);
+    ASSERT_TRUE(predictions.ok());
+    (run == 0 ? first : second) = *predictions;
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(IntegrationTest, DifferentSeedsChangeTraining) {
+  datasets::Dataset acm = SmallAcm();
+  std::vector<double> losses;
+  for (uint64_t seed : {1ull, 2ull}) {
+    core::WidenConfig config;
+    config.embedding_dim = 8;
+    config.max_epochs = 2;
+    config.seed = seed;
+    baselines::WidenAdapter model(config);
+    WIDEN_CHECK_OK(model.Fit(acm.graph, acm.split.train));
+    losses.push_back(model.last_report().epochs.back().mean_loss);
+  }
+  EXPECT_NE(losses[0], losses[1]);
+}
+
+TEST(IntegrationTest, TransductiveBeatsMajorityClassOnAcm) {
+  datasets::Dataset acm = SmallAcm();
+  // Majority-class baseline on the test split.
+  std::vector<int32_t> gold = train::GoldLabels(acm.graph, acm.split.test);
+  std::vector<int64_t> counts(static_cast<size_t>(acm.graph.num_classes()),
+                              0);
+  for (int32_t y : gold) ++counts[static_cast<size_t>(y)];
+  const double majority =
+      static_cast<double>(*std::max_element(counts.begin(), counts.end())) /
+      static_cast<double>(gold.size());
+
+  core::WidenConfig config;
+  config.embedding_dim = 16;
+  config.max_epochs = 15;
+  config.learning_rate = 1e-2f;
+  config.l2_regularization = 0.2f;
+  baselines::WidenAdapter model(config);
+  auto result = train::FitAndScore(model, acm.graph, acm.split.train,
+                                   acm.graph, acm.split.test);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->micro_f1, majority) << "majority = " << majority;
+}
+
+TEST(IntegrationTest, EmbeddingsFeedTsnePipeline) {
+  datasets::Dataset acm = SmallAcm();
+  core::WidenConfig config;
+  config.embedding_dim = 16;
+  config.max_epochs = 15;
+  config.learning_rate = 1e-2f;
+  config.l2_regularization = 0.2f;
+  baselines::WidenAdapter model(config);
+  WIDEN_CHECK_OK(model.Fit(acm.graph, acm.split.train));
+  std::vector<graph::NodeId> nodes = acm.split.test;
+  auto embeddings = model.Embed(acm.graph, nodes);
+  ASSERT_TRUE(embeddings.ok());
+  viz::TsneOptions tsne;
+  tsne.perplexity = 8.0;
+  tsne.iterations = 120;
+  auto coords = viz::RunTsne(*embeddings, tsne);
+  ASSERT_TRUE(coords.ok()) << coords.status().ToString();
+  std::vector<int32_t> labels = train::GoldLabels(acm.graph, nodes);
+  auto silhouette = viz::SilhouetteScore(*coords, labels);
+  ASSERT_TRUE(silhouette.ok());
+  // Trained embeddings should separate classes better than chance.
+  EXPECT_GT(*silhouette, 0.0);
+}
+
+TEST(IntegrationTest, StatsSurviveSubgraphAndSplitRoundTrip) {
+  datasets::Dataset acm = SmallAcm();
+  graph::GraphStats before = graph::ComputeStats(acm.graph);
+  auto inductive = datasets::MakeInductiveSplit(acm.graph, 0.2, 3);
+  ASSERT_TRUE(inductive.ok());
+  graph::GraphStats after =
+      graph::ComputeStats(inductive->training.graph);
+  EXPECT_EQ(after.num_nodes,
+            before.num_nodes -
+                static_cast<int64_t>(inductive->heldout.size()));
+  EXPECT_LE(after.num_edges, before.num_edges);
+  EXPECT_EQ(after.num_node_types, before.num_node_types);
+  // Labeled count shrinks by exactly the holdout.
+  EXPECT_EQ(after.num_labeled,
+            before.num_labeled -
+                static_cast<int64_t>(inductive->heldout.size()));
+}
+
+TEST(IntegrationTest, AllRegistryModelsShareTheEvalContract) {
+  datasets::Dataset acm = SmallAcm();
+  for (const std::string& name : baselines::AvailableModels()) {
+    train::ModelHyperparams hp;
+    hp.embedding_dim = 8;
+    hp.hidden_dim = 8;
+    hp.epochs = 2;
+    auto model = baselines::CreateModel(name, hp);
+    ASSERT_TRUE(model.ok()) << name;
+    ASSERT_TRUE((*model)->Fit(acm.graph, acm.split.train).ok()) << name;
+    auto result = train::Score(**model, acm.graph, acm.split.test);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    EXPECT_GE(result->micro_f1, 0.0);
+    EXPECT_LE(result->micro_f1, 1.0);
+    // Predictions are valid class ids.
+    auto predictions = (*model)->Predict(acm.graph, acm.split.test);
+    ASSERT_TRUE(predictions.ok()) << name;
+    for (int32_t p : *predictions) {
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, acm.graph.num_classes());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace widen

@@ -1,0 +1,49 @@
+#include "train/metrics.h"
+
+#include "gtest/gtest.h"
+
+namespace widen::train {
+namespace {
+
+TEST(MicroF1Test, PerfectAndChance) {
+  EXPECT_DOUBLE_EQ(MicroF1({0, 1, 2}, {0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(MicroF1({0, 0, 0, 0}, {0, 1, 2, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(MicroF1({1}, {0}), 0.0);
+}
+
+TEST(MicroF1Test, EqualsAccuracyForSingleLabel) {
+  std::vector<int32_t> pred = {0, 1, 1, 2, 0, 2, 1};
+  std::vector<int32_t> gold = {0, 1, 2, 2, 1, 2, 1};
+  EXPECT_DOUBLE_EQ(MicroF1(pred, gold), Accuracy(pred, gold));
+}
+
+TEST(ConfusionMatrixTest, CountsByGoldRow) {
+  std::vector<int64_t> cm = ConfusionMatrix({0, 1, 1}, {0, 0, 1}, 2);
+  EXPECT_EQ(cm[0 * 2 + 0], 1);  // gold 0 pred 0
+  EXPECT_EQ(cm[0 * 2 + 1], 1);  // gold 0 pred 1
+  EXPECT_EQ(cm[1 * 2 + 1], 1);  // gold 1 pred 1
+  EXPECT_EQ(cm[1 * 2 + 0], 0);
+}
+
+TEST(MacroF1Test, KnownValue) {
+  // Class 0: P=1, R=0.5 -> F1 = 2/3. Class 1: P=0.5, R=1 -> F1 = 2/3.
+  const double macro = MacroF1({0, 1, 1}, {0, 0, 1}, 2);
+  EXPECT_NEAR(macro, 2.0 / 3.0, 1e-9);
+}
+
+TEST(MacroF1Test, SkipsAbsentClasses) {
+  // Class 2 never appears: macro over classes 0 and 1 only.
+  const double macro = MacroF1({0, 1}, {0, 1}, 3);
+  EXPECT_DOUBLE_EQ(macro, 1.0);
+}
+
+TEST(MacroF1Test, PenalizesMajorityVoting) {
+  // Gold is imbalanced; constant prediction has high micro but low macro.
+  std::vector<int32_t> gold = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1};
+  std::vector<int32_t> pred(10, 0);
+  EXPECT_DOUBLE_EQ(MicroF1(pred, gold), 0.8);
+  EXPECT_LT(MacroF1(pred, gold, 2), 0.5);
+}
+
+}  // namespace
+}  // namespace widen::train

@@ -1,0 +1,149 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/autograd.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/random.h"
+
+namespace widen::tensor {
+namespace {
+
+// Minimize ||x - target||^2 with each optimizer.
+template <typename Opt>
+double MinimizeQuadratic(Opt& optimizer, Tensor& x, const Tensor& target,
+                         int steps) {
+  double final_loss = 0.0;
+  for (int s = 0; s < steps; ++s) {
+    Tensor loss = SumSquares(Sub(x, target));
+    optimizer.ZeroGrad();
+    loss.Backward();
+    optimizer.Step();
+    final_loss = loss.item();
+  }
+  return final_loss;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Rng rng(1);
+  Tensor x = NormalInit(Shape::Matrix(2, 3), rng, 1.0f, "x");
+  Tensor target = Tensor::Full(Shape::Matrix(2, 3), 0.7f);
+  Sgd sgd(0.1f);
+  sgd.AddParameter(x);
+  const double loss = MinimizeQuadratic(sgd, x, target, 100);
+  EXPECT_LT(loss, 1e-6);
+  EXPECT_NEAR(x.at(1, 2), 0.7f, 1e-3f);
+}
+
+TEST(SgdTest, WeightDecayShrinksParameters) {
+  Tensor x = Tensor::Full(Shape::Matrix(1, 1), 1.0f);
+  x.set_requires_grad(true);
+  Sgd sgd(0.1f, /*weight_decay=*/1.0f);
+  sgd.AddParameter(x);
+  // Zero gradient, pure decay: x <- x - lr * wd * x.
+  x.ZeroGrad();
+  sgd.Step();
+  EXPECT_NEAR(x.item(), 0.9f, 1e-6f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Rng rng(2);
+  Tensor x = NormalInit(Shape::Matrix(3, 3), rng, 2.0f, "x");
+  Tensor target = Tensor::Full(Shape::Matrix(3, 3), -1.3f);
+  Adam adam(0.1f);
+  adam.AddParameter(x);
+  const double loss = MinimizeQuadratic(adam, x, target, 300);
+  EXPECT_LT(loss, 1e-4);
+  EXPECT_EQ(adam.step_count(), 300);
+}
+
+TEST(AdamTest, HandlesMultipleParameters) {
+  Rng rng(3);
+  Tensor a = NormalInit(Shape::Matrix(1, 4), rng, 1.0f, "a");
+  Tensor b = NormalInit(Shape::Matrix(1, 4), rng, 1.0f, "b");
+  Adam adam(0.05f);
+  adam.AddParameters({a, b});
+  EXPECT_EQ(adam.num_parameters(), 2u);
+  EXPECT_EQ(adam.TotalParameterCount(), 8);
+  for (int s = 0; s < 600; ++s) {
+    // loss = ||a + b||^2 + ||a - 1||^2: optimum a = 1, b = -1.
+    Tensor loss =
+        Add(SumSquares(Add(a, b)), SumSquares(AddScalar(a, -1.0f)));
+    adam.ZeroGrad();
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(a.at(0, 0), 1.0f, 0.02f);
+  EXPECT_NEAR(b.at(0, 0), -1.0f, 0.02f);
+}
+
+TEST(OptimizerTest, ClipGradNormRescales) {
+  Tensor x = Tensor::Full(Shape::Matrix(1, 4), 1.0f);
+  x.set_requires_grad(true);
+  Sgd sgd(1.0f);
+  sgd.AddParameter(x);
+  float* g = x.mutable_grad();
+  for (int i = 0; i < 4; ++i) g[i] = 3.0f;  // norm = 6
+  const double before = sgd.ClipGradNorm(3.0);
+  EXPECT_NEAR(before, 6.0, 1e-5);
+  double norm_sq = 0.0;
+  for (int i = 0; i < 4; ++i) norm_sq += x.grad()[i] * x.grad()[i];
+  EXPECT_NEAR(std::sqrt(norm_sq), 3.0, 1e-5);
+  // Below the limit: untouched.
+  const double second = sgd.ClipGradNorm(100.0);
+  EXPECT_NEAR(second, 3.0, 1e-5);
+}
+
+TEST(NoGradScopeTest, SuppressesTapeConstruction) {
+  Rng rng(4);
+  Tensor a = NormalInit(Shape::Matrix(2, 2), rng, 1.0f, "a");
+  Tensor b = NormalInit(Shape::Matrix(2, 2), rng, 1.0f, "b");
+  {
+    NoGradScope guard;
+    EXPECT_TRUE(NoGradScope::Active());
+    Tensor c = MatMul(a, b);
+    EXPECT_FALSE(c.requires_grad());
+    EXPECT_EQ(CountTapeNodes(SumAll(c)), 1u);  // just the root
+  }
+  EXPECT_FALSE(NoGradScope::Active());
+  Tensor c = MatMul(a, b);
+  EXPECT_TRUE(c.requires_grad());
+  EXPECT_GT(CountTapeNodes(SumAll(c)), 1u);
+}
+
+TEST(NoGradScopeTest, Nests) {
+  NoGradScope outer;
+  {
+    NoGradScope inner;
+    EXPECT_TRUE(NoGradScope::Active());
+  }
+  EXPECT_TRUE(NoGradScope::Active());
+}
+
+TEST(AutogradTest, GradientAccumulatesAcrossBackwardCalls) {
+  Tensor x = Tensor::Full(Shape::Matrix(1, 1), 2.0f);
+  x.set_requires_grad(true);
+  Tensor loss1 = SumSquares(x);  // d/dx = 4
+  loss1.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);
+  Tensor loss2 = SumSquares(x);
+  loss2.Backward();  // accumulates
+  EXPECT_FLOAT_EQ(x.grad()[0], 8.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(AutogradTest, DiamondGraphSumsBothPaths) {
+  // y = x*x + x*x (two Mul nodes sharing x): dy/dx = 4x.
+  Tensor x = Tensor::Full(Shape::Matrix(1, 1), 3.0f);
+  x.set_requires_grad(true);
+  Tensor y = Add(Mul(x, x), Mul(x, x));
+  Tensor loss = SumAll(y);
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 12.0f);
+}
+
+}  // namespace
+}  // namespace widen::tensor

@@ -1,0 +1,239 @@
+// Parameterized property sweeps: invariants that must hold across shapes,
+// seeds, and sizes (TEST_P style, per the repository testing conventions).
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "datasets/synthetic.h"
+#include "graph/partitioner.h"
+#include "gradient_check.h"
+#include "gtest/gtest.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/random_walk.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/random.h"
+
+namespace widen {
+namespace {
+
+namespace T = widen::tensor;
+
+// ---- Tensor-shape sweeps ---------------------------------------------------
+
+struct MatrixShapeCase {
+  int64_t rows;
+  int64_t cols;
+};
+
+class TensorShapeProperty : public ::testing::TestWithParam<MatrixShapeCase> {
+};
+
+TEST_P(TensorShapeProperty, SoftmaxRowsAreDistributions) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(rows * 131 + cols);
+  T::Tensor a = T::NormalInit(T::Shape::Matrix(rows, cols), rng, 3.0f);
+  T::Tensor s = T::SoftmaxRows(a);
+  for (int64_t i = 0; i < rows; ++i) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) {
+      EXPECT_GE(s.at(i, j), 0.0f);
+      sum += s.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+}
+
+TEST_P(TensorShapeProperty, TransposeIsInvolution) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(rows * 7 + cols);
+  T::Tensor a = T::NormalInit(T::Shape::Matrix(rows, cols), rng, 1.0f);
+  T::Tensor round_trip = T::Transpose(T::Transpose(a));
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      ASSERT_FLOAT_EQ(round_trip.at(i, j), a.at(i, j));
+    }
+  }
+}
+
+TEST_P(TensorShapeProperty, ConcatThenSliceIsIdentity) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(rows * 17 + cols);
+  T::Tensor a = T::NormalInit(T::Shape::Matrix(rows, cols), rng, 1.0f);
+  T::Tensor b = T::NormalInit(T::Shape::Matrix(rows + 1, cols), rng, 1.0f);
+  T::Tensor back = T::SliceRows(T::ConcatRows({a, b}), rows, rows + 1);
+  for (int64_t i = 0; i < rows + 1; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      ASSERT_FLOAT_EQ(back.at(i, j), b.at(i, j));
+    }
+  }
+}
+
+TEST_P(TensorShapeProperty, MatMulGradientsCheckNumerically) {
+  const auto [rows, cols] = GetParam();
+  if (rows * cols > 24) GTEST_SKIP() << "numeric check kept small";
+  Rng rng(rows * 31 + cols);
+  T::Tensor a = T::NormalInit(T::Shape::Matrix(rows, cols), rng, 0.7f, "a");
+  T::Tensor b = T::NormalInit(T::Shape::Matrix(cols, rows), rng, 0.7f, "b");
+  testing::ExpectGradientsMatch(
+      [&] { return T::SumSquares(T::MatMul(a, b)); }, {a, b});
+}
+
+TEST_P(TensorShapeProperty, RowL2NormalizePreservesDirection) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(rows * 41 + cols);
+  T::Tensor a = T::NormalInit(T::Shape::Matrix(rows, cols), rng, 2.0f);
+  T::Tensor n = T::RowL2Normalize(a);
+  for (int64_t i = 0; i < rows; ++i) {
+    // Cosine between row and its normalization is 1.
+    double dot = 0.0, norm_a = 0.0;
+    for (int64_t j = 0; j < cols; ++j) {
+      dot += static_cast<double>(a.at(i, j)) * n.at(i, j);
+      norm_a += static_cast<double>(a.at(i, j)) * a.at(i, j);
+    }
+    EXPECT_NEAR(dot, std::sqrt(norm_a), 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TensorShapeProperty,
+    ::testing::Values(MatrixShapeCase{1, 1}, MatrixShapeCase{1, 7},
+                      MatrixShapeCase{3, 4}, MatrixShapeCase{5, 2},
+                      MatrixShapeCase{8, 8}, MatrixShapeCase{16, 3}),
+    [](const ::testing::TestParamInfo<MatrixShapeCase>& info) {
+      return std::to_string(info.param.rows) + "x" +
+             std::to_string(info.param.cols);
+    });
+
+// ---- Sampling sweeps --------------------------------------------------------
+
+class SamplingSeedProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static graph::HeteroGraph MakeGraph() {
+    datasets::SyntheticGraphSpec spec;
+    spec.name = "prop";
+    spec.node_types = {{"a", 60, true}, {"b", 30, false}};
+    spec.edge_types = {{"ab", "a", "b", 3.0, 0.7},
+                       {"aa", "a", "a", 2.0, 0.6}};
+    spec.num_classes = 2;
+    spec.feature_dim = 8;
+    spec.seed = 99;
+    auto graph = datasets::GenerateSyntheticGraph(spec);
+    WIDEN_CHECK(graph.ok());
+    return std::move(graph).value();
+  }
+};
+
+TEST_P(SamplingSeedProperty, WideSamplerIsDeterministicPerSeed) {
+  graph::HeteroGraph graph = MakeGraph();
+  Rng rng1(GetParam()), rng2(GetParam());
+  for (graph::NodeId v = 0; v < 20; ++v) {
+    auto s1 = sampling::SampleWideNeighbors(graph, v, 5, rng1);
+    auto s2 = sampling::SampleWideNeighbors(graph, v, 5, rng2);
+    ASSERT_EQ(s1.nodes, s2.nodes);
+    ASSERT_EQ(s1.edge_types, s2.edge_types);
+  }
+}
+
+TEST_P(SamplingSeedProperty, WideSampleIsSubsetOfNeighborhood) {
+  graph::HeteroGraph graph = MakeGraph();
+  Rng rng(GetParam());
+  for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    auto sample = sampling::SampleWideNeighbors(graph, v, 4, rng);
+    EXPECT_LE(sample.size(), 4u);
+    for (size_t i = 0; i < sample.size(); ++i) {
+      // Every sampled neighbor really is adjacent with a compatible type.
+      EXPECT_NE(graph.EdgeTypeBetween(v, sample.nodes[i]), -1);
+    }
+  }
+}
+
+TEST_P(SamplingSeedProperty, WalkEdgesExistAndTypesMatch) {
+  graph::HeteroGraph graph = MakeGraph();
+  Rng rng(GetParam() ^ 0xABCDULL);
+  for (graph::NodeId v = 0; v < 20; ++v) {
+    auto walk = sampling::SampleDeepWalk(graph, v, 10, rng);
+    graph::NodeId previous = v;
+    for (size_t s = 0; s < walk.size(); ++s) {
+      ASSERT_NE(graph.EdgeTypeBetween(previous, walk.nodes[s]), -1)
+          << "walk step " << s << " is not an edge";
+      previous = walk.nodes[s];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplingSeedProperty,
+                         ::testing::Values(1ull, 42ull, 1234ull, 99999ull));
+
+// ---- Partitioner sweep ------------------------------------------------------
+
+class PartitionProperty : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(PartitionProperty, CoversAllNodesWithBoundedImbalance) {
+  datasets::SyntheticGraphSpec spec;
+  spec.name = "part";
+  spec.node_types = {{"a", 120, true}, {"b", 60, false}};
+  spec.edge_types = {{"ab", "a", "b", 3.0, 0.7}};
+  spec.num_classes = 2;
+  spec.feature_dim = 8;
+  spec.seed = 5;
+  auto graph = datasets::GenerateSyntheticGraph(spec);
+  ASSERT_TRUE(graph.ok());
+  const int32_t parts = GetParam();
+  auto partition = graph::GreedyPartition(*graph, parts);
+  ASSERT_TRUE(partition.ok());
+  int64_t total = 0;
+  const int64_t capacity =
+      (graph->num_nodes() + parts - 1) / static_cast<int64_t>(parts);
+  for (int64_t size : partition->part_sizes) {
+    EXPECT_LE(size, capacity + 1);
+    total += size;
+  }
+  EXPECT_EQ(total, graph->num_nodes());
+  for (int32_t assignment : partition->assignment) {
+    EXPECT_GE(assignment, 0);
+    EXPECT_LT(assignment, parts);
+  }
+  EXPECT_LE(partition->cut_edges, graph->num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, PartitionProperty,
+                         ::testing::Values(2, 3, 5, 8));
+
+// ---- Dataset scale sweep ----------------------------------------------------
+
+class DatasetScaleProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(DatasetScaleProperty, NodeCountsScaleApproximatelyLinearly) {
+  datasets::SyntheticGraphSpec base;
+  base.name = "scale";
+  base.node_types = {{"a", 200, true}, {"b", 100, false}};
+  base.edge_types = {{"ab", "a", "b", 2.0, 0.7}};
+  base.num_classes = 2;
+  base.feature_dim = 8;
+  base.seed = 6;
+
+  datasets::SyntheticGraphSpec scaled = base;
+  const double factor = GetParam();
+  for (auto& nt : scaled.node_types) {
+    nt.count = std::max<int64_t>(
+        4, static_cast<int64_t>(nt.count * factor));
+  }
+  auto small = datasets::GenerateSyntheticGraph(base);
+  auto big = datasets::GenerateSyntheticGraph(scaled);
+  ASSERT_TRUE(small.ok() && big.ok());
+  const double node_ratio = static_cast<double>(big->num_nodes()) /
+                            static_cast<double>(small->num_nodes());
+  EXPECT_NEAR(node_ratio, factor, factor * 0.1 + 0.05);
+  // Edge counts scale with src-node counts.
+  const double edge_ratio = static_cast<double>(big->num_edges()) /
+                            static_cast<double>(small->num_edges());
+  EXPECT_NEAR(edge_ratio, factor, factor * 0.25 + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, DatasetScaleProperty,
+                         ::testing::Values(0.5, 2.0, 4.0));
+
+}  // namespace
+}  // namespace widen

@@ -1,0 +1,193 @@
+#include <set>
+
+#include "graph/graph_builder.h"
+#include "gtest/gtest.h"
+#include "sampling/layer_sampler.h"
+#include "sampling/negative_sampler.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/random_walk.h"
+
+namespace widen::sampling {
+namespace {
+
+// A star: hub node 0 (type 0) connected to k leaves (type 1), plus one
+// isolated node at the end.
+graph::HeteroGraph StarGraph(int64_t leaves) {
+  graph::GraphSchema schema;
+  const graph::NodeTypeId hub_type = schema.AddNodeType("hub");
+  const graph::NodeTypeId leaf_type = schema.AddNodeType("leaf");
+  schema.AddEdgeType("spoke", hub_type, leaf_type);
+  graph::GraphBuilder builder(schema);
+  const graph::NodeId hub = builder.AddNode(hub_type);
+  for (int64_t i = 0; i < leaves; ++i) {
+    const graph::NodeId leaf = builder.AddNode(leaf_type);
+    WIDEN_CHECK_OK(builder.AddEdge(hub, leaf, 0));
+  }
+  builder.AddNode(leaf_type);  // isolated
+  auto graph = builder.Build();
+  WIDEN_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(WideNeighborSamplerTest, TakesAllWhenDegreeSmall) {
+  graph::HeteroGraph graph = StarGraph(4);
+  Rng rng(1);
+  WideNeighborSet set = SampleWideNeighbors(graph, 0, 10, rng);
+  EXPECT_EQ(set.size(), 4u);
+  std::set<graph::NodeId> unique(set.nodes.begin(), set.nodes.end());
+  EXPECT_EQ(unique.size(), 4u);
+  for (graph::EdgeTypeId t : set.edge_types) EXPECT_EQ(t, 0);
+}
+
+TEST(WideNeighborSamplerTest, SamplesDistinctWhenDegreeLarge) {
+  graph::HeteroGraph graph = StarGraph(30);
+  Rng rng(2);
+  WideNeighborSet set = SampleWideNeighbors(graph, 0, 10, rng);
+  EXPECT_EQ(set.size(), 10u);
+  std::set<graph::NodeId> unique(set.nodes.begin(), set.nodes.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(WideNeighborSamplerTest, IsolatedNodeYieldsEmptySet) {
+  graph::HeteroGraph graph = StarGraph(3);
+  Rng rng(3);
+  WideNeighborSet set =
+      SampleWideNeighbors(graph, static_cast<graph::NodeId>(4), 10, rng);
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(WideNeighborSamplerTest, RemoveLocalIndexShiftsTail) {
+  WideNeighborSet set;
+  set.nodes = {10, 11, 12, 13};
+  set.edge_types = {0, 1, 0, 1};
+  set.RemoveLocalIndex(1);
+  EXPECT_EQ(set.nodes, (std::vector<graph::NodeId>{10, 12, 13}));
+  EXPECT_EQ(set.edge_types, (std::vector<graph::EdgeTypeId>{0, 0, 1}));
+}
+
+TEST(WideNeighborSamplerTest, WithReplacementAlwaysFills) {
+  graph::HeteroGraph graph = StarGraph(2);
+  Rng rng(4);
+  WideNeighborSet set =
+      SampleWideNeighborsWithReplacement(graph, 0, 10, rng);
+  EXPECT_EQ(set.size(), 10u);
+}
+
+TEST(DeepWalkTest, WalkFollowsEdgesAndRecordsTypes) {
+  graph::HeteroGraph graph = StarGraph(3);
+  Rng rng(5);
+  DeepNeighborSequence walk = SampleDeepWalk(graph, 0, 6, rng);
+  EXPECT_EQ(walk.size(), 6u);
+  // Star: walk alternates hub -> leaf -> hub -> leaf...
+  for (size_t s = 0; s < walk.size(); ++s) {
+    if (s % 2 == 0) {
+      EXPECT_NE(walk.nodes[s], 0);
+    } else {
+      EXPECT_EQ(walk.nodes[s], 0);
+    }
+    EXPECT_EQ(walk.edge_types[s], 0);
+  }
+}
+
+TEST(DeepWalkTest, StopsAtSinkAndHandlesIsolated) {
+  graph::HeteroGraph graph = StarGraph(2);
+  Rng rng(6);
+  DeepNeighborSequence isolated =
+      SampleDeepWalk(graph, static_cast<graph::NodeId>(3), 5, rng);
+  EXPECT_EQ(isolated.size(), 0u);
+}
+
+TEST(Node2VecWalkTest, IncludesStartAndStaysOnGraph) {
+  graph::HeteroGraph graph = StarGraph(5);
+  Rng rng(7);
+  std::vector<graph::NodeId> walk =
+      SampleNode2VecWalk(graph, 0, 8, 1.0, 1.0, rng);
+  ASSERT_GE(walk.size(), 2u);
+  EXPECT_EQ(walk[0], 0);
+  for (size_t i = 1; i < walk.size(); ++i) {
+    EXPECT_NE(graph.EdgeTypeBetween(walk[i - 1], walk[i]), -1)
+        << "non-edge step at " << i;
+  }
+}
+
+TEST(Node2VecWalkTest, LargePDiscouragesBacktracking) {
+  // On a star every second step MUST return to the hub, so inspect leaf
+  // revisits instead: with huge q (DFS-discouraging) on a path graph,
+  // backtracking probability changes; here we just check determinism and
+  // bounds on a star (structural assertions above) plus that p is honored
+  // on a triangle graph.
+  graph::GraphSchema schema;
+  const graph::NodeTypeId t = schema.AddNodeType("n");
+  schema.AddEdgeType("e", t, t);
+  graph::GraphBuilder builder(schema);
+  const graph::NodeId a = builder.AddNode(t);
+  const graph::NodeId b = builder.AddNode(t);
+  const graph::NodeId c = builder.AddNode(t);
+  WIDEN_CHECK_OK(builder.AddEdge(a, b, 0));
+  WIDEN_CHECK_OK(builder.AddEdge(b, c, 0));
+  WIDEN_CHECK_OK(builder.AddEdge(c, a, 0));
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  // With p -> 0 the walk almost always backtracks; count revisits.
+  Rng rng(8);
+  int backtracks = 0, steps = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<graph::NodeId> walk =
+        SampleNode2VecWalk(*graph, a, 3, /*p=*/1e-3, /*q=*/1.0, rng);
+    if (walk.size() >= 3 && walk[2] == walk[0]) ++backtracks;
+    ++steps;
+  }
+  EXPECT_GT(backtracks, steps * 0.9);
+}
+
+TEST(NegativeSamplerTest, FavorsHighDegreeNodes) {
+  graph::HeteroGraph graph = StarGraph(10);
+  NegativeSampler sampler(graph);
+  Rng rng(9);
+  int hub_hits = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    if (sampler.Sample(rng) == 0) ++hub_hits;
+  }
+  // Hub degree 10 vs leaves' 1: hub should be sampled far above uniform
+  // (uniform would be draws / 12).
+  EXPECT_GT(hub_hits, draws / 12 * 2);
+}
+
+TEST(NegativeSamplerTest, SampleExcludingAvoidsForbidden) {
+  graph::HeteroGraph graph = StarGraph(10);
+  NegativeSampler sampler(graph);
+  Rng rng(10);
+  std::vector<graph::NodeId> negatives = sampler.SampleExcluding(0, 100, rng);
+  EXPECT_EQ(negatives.size(), 100u);
+  int forbidden = 0;
+  for (graph::NodeId v : negatives) {
+    if (v == 0) ++forbidden;
+  }
+  // The hub dominates the distribution, so rare collisions may survive the
+  // bounded retries, but the vast majority must be excluded.
+  EXPECT_LT(forbidden, 5);
+}
+
+TEST(LayerSamplerTest, ProbabilitiesProportionalToDegree) {
+  graph::HeteroGraph graph = StarGraph(4);  // hub degree 4, leaves 1
+  LayerSampler sampler(graph);
+  EXPECT_NEAR(sampler.probability(0) / sampler.probability(1), 2.5, 1e-9);
+}
+
+TEST(LayerSamplerTest, WeightsFormUnbiasedEstimator) {
+  graph::HeteroGraph graph = StarGraph(6);
+  LayerSampler sampler(graph);
+  Rng rng(11);
+  // E[ Σ_{u in sample} w_u * f(u) ] = Σ_u f(u); take f = 1.
+  double total = 0.0;
+  const int trials = 3000;
+  for (int i = 0; i < trials; ++i) {
+    LayerSample sample = sampler.Sample(4, rng);
+    for (float w : sample.weights) total += w;
+  }
+  EXPECT_NEAR(total / trials, static_cast<double>(graph.num_nodes()), 0.5);
+}
+
+}  // namespace
+}  // namespace widen::sampling

@@ -1,0 +1,144 @@
+// Semantic checks of paper-critical behaviors that span multiple ops:
+// the one-directional flow of the successive self-attention mask (Eq. 4-6),
+// KL-gated downsampling dynamics, and Status propagation macros.
+
+#include <cmath>
+
+#include "core/widen_model.h"
+#include "datasets/splits.h"
+#include "datasets/synthetic.h"
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace widen {
+namespace {
+
+namespace T = widen::tensor;
+
+// Eq. (4) with identity projections: output row r must depend only on input
+// rows with index >= r (information flows from the walk tail toward the
+// target at row 0, never backwards).
+T::Tensor MaskedSelfAttention(const T::Tensor& packs) {
+  const int64_t d = packs.cols();
+  T::Tensor scores = T::Scale(
+      T::MatMul(packs, T::Transpose(packs)),
+      1.0f / std::sqrt(static_cast<float>(d)));
+  T::Tensor masked = T::Add(scores, T::CausalAttentionMask(packs.rows()));
+  return T::MatMul(T::SoftmaxRows(masked), packs);
+}
+
+TEST(SuccessiveAttentionTest, InformationFlowsOneDirection) {
+  Rng rng(3);
+  T::Tensor packs = T::NormalInit(T::Shape::Matrix(5, 8), rng, 1.0f);
+  packs.set_requires_grad(false);
+  T::Tensor base = MaskedSelfAttention(packs);
+
+  // Perturb the LAST row: every output row may change (all rows attend to
+  // later positions).
+  T::Tensor perturbed_tail = packs.DetachedCopy();
+  perturbed_tail.set(4, 0, perturbed_tail.at(4, 0) + 10.0f);
+  T::Tensor out_tail = MaskedSelfAttention(perturbed_tail);
+  EXPECT_NE(out_tail.at(0, 0), base.at(0, 0));
+
+  // Perturb the FIRST row: rows 1..4 must be unchanged (row 0 is "earlier"
+  // in the propagation order and must not influence them).
+  T::Tensor perturbed_head = packs.DetachedCopy();
+  perturbed_head.set(0, 0, perturbed_head.at(0, 0) + 10.0f);
+  T::Tensor out_head = MaskedSelfAttention(perturbed_head);
+  for (int64_t r = 1; r < 5; ++r) {
+    for (int64_t c = 0; c < 8; ++c) {
+      ASSERT_FLOAT_EQ(out_head.at(r, c), base.at(r, c))
+          << "row " << r << " leaked information from row 0";
+    }
+  }
+  // Row 0 itself does change.
+  EXPECT_NE(out_head.at(0, 0), base.at(0, 0));
+}
+
+TEST(SuccessiveAttentionTest, MaskedRowsGetNearZeroWeight) {
+  T::Tensor packs = T::Tensor::FromVector(
+      T::Shape::Matrix(3, 2), {1, 0, 0, 1, 1, 1});
+  T::Tensor scores = T::MatMul(packs, T::Transpose(packs));
+  T::Tensor masked = T::Add(scores, T::CausalAttentionMask(3));
+  T::Tensor weights = T::SoftmaxRows(masked);
+  // Row 2 (last) attends only to itself.
+  EXPECT_NEAR(weights.at(2, 2), 1.0f, 1e-5f);
+  EXPECT_NEAR(weights.at(2, 0), 0.0f, 1e-6f);
+  EXPECT_NEAR(weights.at(2, 1), 0.0f, 1e-6f);
+  // Row 0 attends to everything; its weights sum to 1 over all columns.
+  float sum = weights.at(0, 0) + weights.at(0, 1) + weights.at(0, 2);
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+// KL-gated downsampling: a zero threshold can never trigger (KL >= 0 with
+// equality only at bit-identical distributions, which dropout noise
+// prevents), so neighbor sets must stay at their initial sizes.
+TEST(DownsamplingDynamicsTest, ZeroThresholdNeverTriggers) {
+  datasets::SyntheticGraphSpec spec;
+  spec.name = "klgate";
+  spec.node_types = {{"doc", 100, true}, {"tag", 25, false}};
+  spec.edge_types = {{"doc-tag", "doc", "tag", 4.0, 0.9}};
+  spec.num_classes = 2;
+  spec.feature_dim = 8;
+  spec.seed = 8;
+  auto graph = datasets::GenerateSyntheticGraph(spec);
+  ASSERT_TRUE(graph.ok());
+  auto split = datasets::MakeTransductiveSplit(*graph, 0.5, 0.1, 3);
+  ASSERT_TRUE(split.ok());
+
+  core::WidenConfig config;
+  config.embedding_dim = 8;
+  config.num_wide_neighbors = 4;
+  config.num_deep_neighbors = 4;
+  config.num_deep_walks = 2;
+  config.max_epochs = 6;
+  config.wide_kl_threshold = 0.0f;
+  config.deep_kl_threshold = 0.0f;
+  config.wide_lower_bound = 1;
+  config.deep_lower_bound = 1;
+  auto model = core::WidenModel::Create(&*graph, config);
+  ASSERT_TRUE(model.ok());
+  auto report = (*model)->Train(split->train);
+  ASSERT_TRUE(report.ok());
+  for (const core::WidenEpochLog& log : report->epochs) {
+    EXPECT_EQ(log.wide_drops, 0) << "epoch " << log.epoch;
+    EXPECT_EQ(log.deep_drops, 0) << "epoch " << log.epoch;
+  }
+}
+
+// Status macro behavior.
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status Caller(int x) {
+  WIDEN_RETURN_IF_ERROR(FailsWhenNegative(x));
+  return Status::InvalidArgument("reached after check");
+}
+
+TEST(StatusMacroTest, ReturnIfErrorShortCircuits) {
+  EXPECT_EQ(Caller(-1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Caller(1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UnaryOpValueTest, KnownValues) {
+  T::Tensor x = T::Tensor::FromVector(T::Shape::Matrix(1, 3),
+                                      {0.0f, 1.0f, -1.0f});
+  T::Tensor sig = T::Sigmoid(x);
+  EXPECT_NEAR(sig.at(0, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(sig.at(0, 1), 1.0f / (1.0f + std::exp(-1.0f)), 1e-6f);
+  T::Tensor e = T::Exp(x);
+  EXPECT_NEAR(e.at(0, 1), std::exp(1.0f), 1e-5f);
+  T::Tensor lg = T::Log(T::Exp(x));
+  EXPECT_NEAR(lg.at(0, 2), -1.0f, 1e-5f);
+  // Log clamps below at 1e-12 instead of returning -inf.
+  T::Tensor zero = T::Tensor::Zeros(T::Shape::Matrix(1, 1));
+  EXPECT_FALSE(std::isinf(T::Log(zero).item()));
+}
+
+}  // namespace
+}  // namespace widen

@@ -1,0 +1,133 @@
+#include "tensor/serialize.h"
+
+#include <cstdio>
+#include <string>
+
+#include "core/checkpoint.h"
+#include "core/widen_model.h"
+#include "datasets/splits.h"
+#include "datasets/synthetic.h"
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+#include "util/random.h"
+
+namespace widen::tensor {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripsBundle) {
+  Rng rng(1);
+  NamedTensors bundle = {
+      {"weights", NormalInit(Shape::Matrix(3, 4), rng, 1.0f)},
+      {"bias", Tensor::FromVector(Shape::Matrix(1, 4), {1, 2, 3, 4})},
+      {"scalar", Tensor::Scalar(42.0f)},
+  };
+  const std::string path = TempPath("bundle.wdnt");
+  ASSERT_TRUE(SaveTensors(path, bundle).ok());
+  auto loaded = LoadTensors(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 3u);
+  for (size_t i = 0; i < bundle.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].first, bundle[i].first);
+    ASSERT_TRUE((*loaded)[i].second.shape() == bundle[i].second.shape());
+    for (int64_t j = 0; j < bundle[i].second.size(); ++j) {
+      EXPECT_FLOAT_EQ((*loaded)[i].second.data()[j],
+                      bundle[i].second.data()[j]);
+    }
+    EXPECT_FALSE((*loaded)[i].second.requires_grad());
+  }
+}
+
+TEST(SerializeTest, RejectsBadBundles) {
+  Rng rng(2);
+  Tensor t = NormalInit(Shape::Matrix(2, 2), rng, 1.0f);
+  EXPECT_FALSE(SaveTensors(TempPath("dup.wdnt"), {{"a", t}, {"a", t}}).ok());
+  EXPECT_FALSE(SaveTensors(TempPath("noname.wdnt"), {{"", t}}).ok());
+  EXPECT_FALSE(SaveTensors("/nonexistent-dir/x.wdnt", {{"a", t}}).ok());
+  EXPECT_FALSE(LoadTensors(TempPath("missing.wdnt")).ok());
+  // Not a bundle.
+  const std::string garbage = TempPath("garbage.wdnt");
+  std::FILE* f = std::fopen(garbage.c_str(), "wb");
+  std::fputs("hello world", f);
+  std::fclose(f);
+  auto loaded = LoadTensors(garbage);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, FindTensorAndCopyInto) {
+  NamedTensors bundle = {
+      {"x", Tensor::FromVector(Shape::Matrix(1, 2), {5, 6})}};
+  ASSERT_TRUE(FindTensor(bundle, "x").ok());
+  EXPECT_FALSE(FindTensor(bundle, "y").ok());
+  Tensor target(Shape::Matrix(1, 2));
+  ASSERT_TRUE(CopyInto(bundle[0].second, target).ok());
+  EXPECT_FLOAT_EQ(target.at(0, 1), 6.0f);
+  Tensor wrong(Shape::Matrix(2, 1));
+  EXPECT_FALSE(CopyInto(bundle[0].second, wrong).ok());
+}
+
+TEST(CheckpointTest, RestoredModelPredictsIdentically) {
+  datasets::SyntheticGraphSpec spec;
+  spec.name = "ckpt";
+  spec.node_types = {{"doc", 100, true}, {"tag", 20, false}};
+  spec.edge_types = {{"doc-tag", "doc", "tag", 2.0, 0.9}};
+  spec.num_classes = 3;
+  spec.feature_dim = 16;
+  spec.seed = 4;
+  auto graph = datasets::GenerateSyntheticGraph(spec);
+  ASSERT_TRUE(graph.ok());
+  auto split = datasets::MakeTransductiveSplit(*graph, 0.4, 0.1, 3);
+  ASSERT_TRUE(split.ok());
+
+  core::WidenConfig config;
+  config.embedding_dim = 8;
+  config.num_wide_neighbors = 4;
+  config.num_deep_neighbors = 4;
+  config.num_deep_walks = 2;
+  config.max_epochs = 4;
+  config.learning_rate = 1e-2f;
+  auto trained = core::WidenModel::Create(&*graph, config);
+  ASSERT_TRUE(trained.ok());
+  ASSERT_TRUE((*trained)->Train(split->train).ok());
+  const std::string path = TempPath("widen.ckpt");
+  ASSERT_TRUE(core::SaveWidenModel(**trained, path).ok());
+  std::vector<int32_t> before = (*trained)->Predict(*graph, split->test);
+
+  // Fresh model with DIFFERENT seed: parameters differ until restore.
+  core::WidenConfig config2 = config;
+  config2.seed = 999;
+  auto restored = core::WidenModel::Create(&*graph, config2);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE(core::LoadWidenModel(**restored, path).ok());
+  std::vector<int32_t> after = (*restored)->Predict(*graph, split->test);
+  EXPECT_EQ(before, after);
+}
+
+TEST(CheckpointTest, RejectsMismatchedConfig) {
+  datasets::SyntheticGraphSpec spec;
+  spec.name = "ckpt2";
+  spec.node_types = {{"doc", 60, true}, {"tag", 12, false}};
+  spec.edge_types = {{"doc-tag", "doc", "tag", 2.0, 0.9}};
+  spec.num_classes = 2;
+  spec.feature_dim = 8;
+  spec.seed = 5;
+  auto graph = datasets::GenerateSyntheticGraph(spec);
+  ASSERT_TRUE(graph.ok());
+  core::WidenConfig config;
+  config.embedding_dim = 8;
+  auto a = core::WidenModel::Create(&*graph, config);
+  ASSERT_TRUE(a.ok());
+  const std::string path = TempPath("mismatch.ckpt");
+  ASSERT_TRUE(core::SaveWidenModel(**a, path).ok());
+  config.embedding_dim = 16;  // different shapes
+  auto b = core::WidenModel::Create(&*graph, config);
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(core::LoadWidenModel(**b, path).ok());
+}
+
+}  // namespace
+}  // namespace widen::tensor

@@ -1,0 +1,172 @@
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/threadpool.h"
+#include "util/timer.h"
+
+namespace widen {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "invalid_argument: bad input");
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x * 2;
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  auto good = ParsePositive(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  auto bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+}
+
+StatusOr<int> UsesAssignOrReturn(int x) {
+  WIDEN_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  return doubled + 1;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(UsesAssignOrReturn(5).value(), 11);
+  EXPECT_FALSE(UsesAssignOrReturn(0).ok());
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  EXPECT_NE(a.NextUint64(), c.NextUint64());
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntRoughlyUniform) {
+  Rng rng(8);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.UniformInt(10)];
+  for (int count : counts) {
+    EXPECT_NEAR(count, draws / 10, draws / 10 * 0.15);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(9);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(10);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(11);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(100, 30);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(sample.size(), 30u);
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+  // k >= n returns a permutation.
+  std::vector<size_t> all = rng.SampleWithoutReplacement(5, 99);
+  std::set<size_t> unique_all(all.begin(), all.end());
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_EQ(unique_all.size(), 5u);
+}
+
+TEST(RngTest, ShuffleKeepsMultiset) {
+  Rng rng(12);
+  std::vector<int> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, items);  // astronomically unlikely to match
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(StringUtilTest, Formatting) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(FormatDouble(0.91728, 4), "0.9173");
+  EXPECT_EQ(PadLeft("7", 3), "  7");
+  EXPECT_EQ(PadRight("7", 3), "7  ");
+  EXPECT_TRUE(StartsWith("widen_model", "widen"));
+  EXPECT_FALSE(StartsWith("widen", "widen_model"));
+  EXPECT_EQ(WithThousandsSeparators(2179470), "2,179,470");
+  EXPECT_EQ(WithThousandsSeparators(-42), "-42");
+  EXPECT_EQ(WithThousandsSeparators(999), "999");
+}
+
+TEST(TimerTest, DurationStatsSummaries) {
+  DurationStats stats;
+  stats.Add(1.0);
+  stats.Add(3.0);
+  stats.Add(2.0);
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.Total(), 6.0);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 3.0);
+  EXPECT_NEAR(stats.StdDev(), 1.0, 1e-9);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(20);
+  ParallelFor(pool, 5, 20, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), i >= 5 ? 1 : 0) << i;
+  }
+}
+
+}  // namespace
+}  // namespace widen

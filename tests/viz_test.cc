@@ -1,0 +1,100 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+#include "viz/silhouette.h"
+#include "viz/tsne.h"
+
+namespace widen::viz {
+namespace {
+
+// Two well-separated Gaussian blobs in 10-D.
+tensor::Tensor TwoBlobs(int64_t per_cluster, std::vector<int32_t>* labels,
+                        double separation = 8.0) {
+  Rng rng(3);
+  const int64_t d = 10;
+  tensor::Tensor points(tensor::Shape::Matrix(2 * per_cluster, d));
+  labels->clear();
+  for (int64_t i = 0; i < 2 * per_cluster; ++i) {
+    const int32_t c = i < per_cluster ? 0 : 1;
+    labels->push_back(c);
+    for (int64_t j = 0; j < d; ++j) {
+      const double mean = (j == 0) ? (c == 0 ? 0.0 : separation) : 0.0;
+      points.set(i, j, static_cast<float>(rng.Normal(mean, 1.0)));
+    }
+  }
+  return points;
+}
+
+TEST(SilhouetteTest, SeparatedBlobsScoreHigh) {
+  std::vector<int32_t> labels;
+  tensor::Tensor points = TwoBlobs(30, &labels);
+  auto score = SilhouetteScore(points, labels);
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(*score, 0.5);
+}
+
+TEST(SilhouetteTest, RandomLabelsScoreNearZero) {
+  std::vector<int32_t> labels;
+  tensor::Tensor points = TwoBlobs(30, &labels);
+  Rng rng(4);
+  for (auto& label : labels) {
+    label = static_cast<int32_t>(rng.UniformInt(2));
+  }
+  auto score = SilhouetteScore(points, labels);
+  ASSERT_TRUE(score.ok());
+  EXPECT_LT(std::abs(*score), 0.25);
+}
+
+TEST(SilhouetteTest, RejectsBadInputs) {
+  std::vector<int32_t> labels = {0, 0, 0};
+  tensor::Tensor points(tensor::Shape::Matrix(3, 2));
+  EXPECT_FALSE(SilhouetteScore(points, labels).ok());  // one cluster
+  labels = {0, 1};
+  EXPECT_FALSE(SilhouetteScore(points, labels).ok());  // size mismatch
+}
+
+TEST(TsneTest, PreservesClusterStructure) {
+  std::vector<int32_t> labels;
+  tensor::Tensor points = TwoBlobs(40, &labels);
+  TsneOptions options;
+  options.perplexity = 10.0;
+  options.iterations = 250;
+  auto embedded = RunTsne(points, options);
+  ASSERT_TRUE(embedded.ok()) << embedded.status().ToString();
+  EXPECT_EQ(embedded->rows(), 80);
+  EXPECT_EQ(embedded->cols(), 2);
+  // Clusters that were separated in 10-D stay separated in 2-D.
+  auto score = SilhouetteScore(*embedded, labels);
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(*score, 0.3) << "silhouette after t-SNE: " << *score;
+}
+
+TEST(TsneTest, OutputIsCentered) {
+  std::vector<int32_t> labels;
+  tensor::Tensor points = TwoBlobs(20, &labels);
+  TsneOptions options;
+  options.perplexity = 5.0;
+  options.iterations = 50;
+  auto embedded = RunTsne(points, options);
+  ASSERT_TRUE(embedded.ok());
+  for (int64_t k = 0; k < 2; ++k) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < embedded->rows(); ++i) {
+      mean += embedded->at(i, k);
+    }
+    EXPECT_NEAR(mean / static_cast<double>(embedded->rows()), 0.0, 1e-3);
+  }
+}
+
+TEST(TsneTest, RejectsInfeasibleSettings) {
+  std::vector<int32_t> labels;
+  tensor::Tensor points = TwoBlobs(3, &labels);  // n = 6
+  TsneOptions options;
+  options.perplexity = 30.0;  // needs n > 90
+  EXPECT_FALSE(RunTsne(points, options).ok());
+  EXPECT_FALSE(RunTsne(tensor::Tensor(tensor::Shape::Matrix(2, 2))).ok());
+}
+
+}  // namespace
+}  // namespace widen::viz

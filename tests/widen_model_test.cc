@@ -1,0 +1,288 @@
+// Integration tests for the full WIDEN model: Algorithm 3 training,
+// downsampling dynamics, inductive inference, and the ablation switches.
+
+#include <memory>
+
+#include "core/widen_model.h"
+#include "datasets/splits.h"
+#include "datasets/synthetic.h"
+#include "gtest/gtest.h"
+#include "train/metrics.h"
+
+namespace widen::core {
+namespace {
+
+datasets::SyntheticGraphSpec TestSpec() {
+  datasets::SyntheticGraphSpec spec;
+  spec.name = "widen-test";
+  spec.node_types = {{"doc", 160, true}, {"tag", 40, false}};
+  spec.edge_types = {{"doc-tag", "doc", "tag", 3.0, 0.9},
+                     {"doc-doc", "doc", "doc", 2.0, 0.85}};
+  spec.num_classes = 3;
+  spec.feature_dim = 32;
+  spec.feature_noise = 0.3;
+  spec.seed = 21;
+  return spec;
+}
+
+graph::HeteroGraph TestGraph() {
+  auto graph = datasets::GenerateSyntheticGraph(TestSpec());
+  WIDEN_CHECK(graph.ok()) << graph.status().ToString();
+  return std::move(graph).value();
+}
+
+WidenConfig FastConfig() {
+  WidenConfig config;
+  config.embedding_dim = 16;
+  config.num_wide_neighbors = 6;
+  config.num_deep_neighbors = 6;
+  config.num_deep_walks = 2;
+  config.max_epochs = 12;
+  config.batch_size = 32;
+  config.learning_rate = 1e-2f;
+  config.wide_lower_bound = 2;
+  config.deep_lower_bound = 2;
+  config.seed = 3;
+  return config;
+}
+
+double TrainAndScore(const graph::HeteroGraph& graph,
+                     const WidenConfig& config,
+                     const std::vector<graph::NodeId>& train,
+                     const std::vector<graph::NodeId>& test,
+                     const graph::HeteroGraph* eval_graph = nullptr) {
+  auto model = WidenModel::Create(&graph, config);
+  WIDEN_CHECK(model.ok()) << model.status().ToString();
+  auto report = (*model)->Train(train);
+  WIDEN_CHECK(report.ok()) << report.status().ToString();
+  const graph::HeteroGraph& eg = eval_graph != nullptr ? *eval_graph : graph;
+  std::vector<int32_t> predictions = (*model)->Predict(eg, test);
+  std::vector<int32_t> gold;
+  for (graph::NodeId v : test) gold.push_back(eg.label(v));
+  return train::MicroF1(predictions, gold);
+}
+
+TEST(WidenModelTest, CreateValidatesInputs) {
+  graph::HeteroGraph graph = TestGraph();
+  EXPECT_FALSE(WidenModel::Create(nullptr, FastConfig()).ok());
+  WidenConfig bad = FastConfig();
+  bad.disable_wide = true;
+  bad.disable_deep = true;
+  EXPECT_FALSE(WidenModel::Create(&graph, bad).ok());
+  EXPECT_TRUE(WidenModel::Create(&graph, FastConfig()).ok());
+}
+
+TEST(WidenModelTest, TrainRejectsBadNodes) {
+  graph::HeteroGraph graph = TestGraph();
+  auto model = WidenModel::Create(&graph, FastConfig());
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE((*model)->Train({}).ok());
+  EXPECT_FALSE((*model)->Train({99999}).ok());
+  // Unlabeled node (a tag).
+  const graph::NodeId tag = graph.nodes_of_type(1).front();
+  EXPECT_FALSE((*model)->Train({tag}).ok());
+}
+
+TEST(WidenModelTest, LearnsBetterThanChanceTransductive) {
+  graph::HeteroGraph graph = TestGraph();
+  auto split = datasets::MakeTransductiveSplit(graph, 0.4, 0.1, 5);
+  ASSERT_TRUE(split.ok());
+  const double f1 =
+      TrainAndScore(graph, FastConfig(), split->train, split->test);
+  // 3 balanced classes -> chance ~0.33. The planted signal is strong.
+  EXPECT_GT(f1, 0.55) << "micro-F1 " << f1;
+}
+
+TEST(WidenModelTest, LossDecreasesAcrossEpochs) {
+  graph::HeteroGraph graph = TestGraph();
+  auto split = datasets::MakeTransductiveSplit(graph, 0.4, 0.1, 5);
+  ASSERT_TRUE(split.ok());
+  auto model = WidenModel::Create(&graph, FastConfig());
+  ASSERT_TRUE(model.ok());
+  auto report = (*model)->Train(split->train);
+  ASSERT_TRUE(report.ok());
+  ASSERT_GE(report->epochs.size(), 4u);
+  EXPECT_LT(report->epochs.back().mean_loss,
+            report->epochs.front().mean_loss);
+}
+
+TEST(WidenModelTest, DownsamplingShrinksNeighborSets) {
+  graph::HeteroGraph graph = TestGraph();
+  auto split = datasets::MakeTransductiveSplit(graph, 0.4, 0.1, 5);
+  ASSERT_TRUE(split.ok());
+  WidenConfig config = FastConfig();
+  config.max_epochs = 10;
+  // Huge thresholds: any finite KL triggers a drop, so sizes must fall to
+  // the lower bounds.
+  config.wide_kl_threshold = 1e9f;
+  config.deep_kl_threshold = 1e9f;
+  auto model = WidenModel::Create(&graph, config);
+  ASSERT_TRUE(model.ok());
+  auto report = (*model)->Train(split->train);
+  ASSERT_TRUE(report.ok());
+  int64_t total_drops = 0;
+  for (const WidenEpochLog& log : report->epochs) {
+    total_drops += log.wide_drops + log.deep_drops;
+  }
+  EXPECT_GT(total_drops, 0);
+  EXPECT_LT(report->epochs.back().mean_wide_size,
+            report->epochs.front().mean_wide_size);
+  // Lower bounds are respected.
+  for (graph::NodeId v : split->train) {
+    auto [wide, deep] = (*model)->NeighborSetSizes(v);
+    if (wide > 0) EXPECT_GE(wide, 0);  // never negative
+    EXPECT_LE(deep, static_cast<double>(config.num_deep_neighbors));
+  }
+}
+
+TEST(WidenModelTest, LowerBoundsRespected) {
+  graph::HeteroGraph graph = TestGraph();
+  auto split = datasets::MakeTransductiveSplit(graph, 0.3, 0.1, 5);
+  ASSERT_TRUE(split.ok());
+  WidenConfig config = FastConfig();
+  config.max_epochs = 16;
+  config.wide_kl_threshold = 1e9f;
+  config.deep_kl_threshold = 1e9f;
+  config.wide_lower_bound = 3;
+  config.deep_lower_bound = 3;
+  auto model = WidenModel::Create(&graph, config);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Train(split->train).ok());
+  for (graph::NodeId v : split->train) {
+    auto [wide, deep] = (*model)->NeighborSetSizes(v);
+    // Sets that started above the bound must not fall below it (sets that
+    // started smaller stay as they are).
+    if (graph.degree(v) >= 3) EXPECT_GE(wide, 3) << "node " << v;
+  }
+}
+
+TEST(WidenModelTest, DisableDownsamplingKeepsSetsIntact) {
+  graph::HeteroGraph graph = TestGraph();
+  auto split = datasets::MakeTransductiveSplit(graph, 0.3, 0.1, 5);
+  ASSERT_TRUE(split.ok());
+  WidenConfig config = FastConfig();
+  config.disable_downsampling = true;
+  auto model = WidenModel::Create(&graph, config);
+  ASSERT_TRUE(model.ok());
+  auto report = (*model)->Train(split->train);
+  ASSERT_TRUE(report.ok());
+  for (const WidenEpochLog& log : report->epochs) {
+    EXPECT_EQ(log.wide_drops, 0);
+    EXPECT_EQ(log.deep_drops, 0);
+  }
+}
+
+TEST(WidenModelTest, InductiveEmbedsUnseenNodes) {
+  graph::HeteroGraph graph = TestGraph();
+  auto inductive = datasets::MakeInductiveSplit(graph, 0.2, 13);
+  ASSERT_TRUE(inductive.ok());
+  // Train on the subgraph; predict held-out nodes against the FULL graph.
+  const double f1 =
+      TrainAndScore(inductive->training.graph, FastConfig(),
+                    inductive->train_labeled, inductive->heldout, &graph);
+  EXPECT_GT(f1, 0.5) << "inductive micro-F1 " << f1;
+}
+
+TEST(WidenModelTest, EmbeddingsAreUnitNormRows) {
+  graph::HeteroGraph graph = TestGraph();
+  auto model = WidenModel::Create(&graph, FastConfig());
+  ASSERT_TRUE(model.ok());
+  std::vector<graph::NodeId> nodes = {0, 1, 2, 3};
+  tensor::Tensor embeddings = (*model)->EmbedNodes(graph, nodes);
+  ASSERT_EQ(embeddings.rows(), 4);
+  EXPECT_EQ(embeddings.cols(), FastConfig().embedding_dim);
+  for (int64_t i = 0; i < 4; ++i) {
+    double norm = 0.0;
+    for (int64_t j = 0; j < embeddings.cols(); ++j) {
+      norm += static_cast<double>(embeddings.at(i, j)) * embeddings.at(i, j);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-4);
+  }
+}
+
+// Every Table 4 ablation variant must train and predict without error.
+struct AblationCase {
+  const char* name;
+  void (*apply)(WidenConfig&);
+};
+
+class WidenAblationTest : public ::testing::TestWithParam<AblationCase> {};
+
+TEST_P(WidenAblationTest, VariantTrainsAndPredicts) {
+  graph::HeteroGraph graph = TestGraph();
+  auto split = datasets::MakeTransductiveSplit(graph, 0.3, 0.1, 5);
+  ASSERT_TRUE(split.ok());
+  WidenConfig config = FastConfig();
+  config.max_epochs = 8;
+  GetParam().apply(config);
+  ASSERT_TRUE(config.Validate().ok()) << GetParam().name;
+  const double f1 = TrainAndScore(graph, config, split->train, split->test);
+  EXPECT_GT(f1, 0.3) << GetParam().name << " F1 " << f1;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4Variants, WidenAblationTest,
+    ::testing::Values(
+        AblationCase{"default", [](WidenConfig&) {}},
+        AblationCase{"no_downsampling",
+                     [](WidenConfig& c) { c.disable_downsampling = true; }},
+        AblationCase{"no_wide",
+                     [](WidenConfig& c) { c.disable_wide = true; }},
+        AblationCase{"no_deep",
+                     [](WidenConfig& c) { c.disable_deep = true; }},
+        AblationCase{"no_successive_attention",
+                     [](WidenConfig& c) {
+                       c.disable_successive_attention = true;
+                     }},
+        AblationCase{"no_relay_edges",
+                     [](WidenConfig& c) { c.disable_relay_edges = true; }},
+        AblationCase{"random_wide",
+                     [](WidenConfig& c) {
+                       c.random_wide_downsampling = true;
+                     }},
+        AblationCase{"random_deep",
+                     [](WidenConfig& c) {
+                       c.random_deep_downsampling = true;
+                     }}),
+    [](const ::testing::TestParamInfo<AblationCase>& info) {
+      return info.param.name;
+    });
+
+TEST(WidenConfigTest, VariantNames) {
+  WidenConfig config;
+  EXPECT_EQ(config.VariantName(), "default");
+  config.disable_relay_edges = true;
+  config.random_deep_downsampling = true;
+  EXPECT_EQ(config.VariantName(), "no-relay-edges+random-deep-ds");
+}
+
+TEST(WidenConfigTest, ValidateCatchesBadSettings) {
+  WidenConfig config;
+  config.embedding_dim = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = WidenConfig();
+  config.num_deep_walks = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = WidenConfig();
+  config.wide_lower_bound = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = WidenConfig();
+  config.disable_downsampling = true;
+  config.random_wide_downsampling = true;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(WidenModelTest, ParameterCountIsStable) {
+  graph::HeteroGraph graph = TestGraph();
+  auto model = WidenModel::Create(&graph, FastConfig());
+  ASSERT_TRUE(model.ok());
+  const int64_t d = FastConfig().embedding_dim;
+  // G_node + G_edge + selfloop + 9 attention mats + fuse W/b + classifier.
+  const int64_t expected = graph.feature_dim() * d + 2 * d /*edge types*/ +
+                           2 * d /*node types*/ + 9 * d * d + 2 * d * d + d +
+                           d * graph.num_classes();
+  EXPECT_EQ((*model)->TotalParameterCount(), expected);
+}
+
+}  // namespace
+}  // namespace widen::core
