@@ -1,6 +1,14 @@
 // Google-benchmark microbenchmarks for the kernels behind Fig. 4's
 // efficiency argument: message packaging, single-query attention, masked
 // successive attention, sampling, and the dense/sparse matmuls they ride on.
+//
+// The dense-kernel benchmarks (BM_MatMul, BM_MatMulGrad, BM_SoftmaxRowsGrad)
+// sweep the kernel thread count as their second argument; run
+//
+//   micro_kernels --benchmark_filter='BM_(MatMul|SoftmaxRows)'
+//                 --benchmark_out=BENCH_kernels.json --benchmark_out_format=json
+//
+// to regenerate the BENCH_kernels.json scaling record at the repo root.
 
 #include <benchmark/benchmark.h>
 
@@ -9,6 +17,7 @@
 #include "sampling/neighbor_sampler.h"
 #include "sampling/random_walk.h"
 #include "tensor/init.h"
+#include "tensor/kernel_context.h"
 #include "tensor/ops.h"
 #include "tensor/sparse.h"
 #include "util/random.h"
@@ -26,6 +35,7 @@ T::Tensor RandomTensor(int64_t rows, int64_t cols, bool grad, Rng& rng) {
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
+  T::KernelContext::Get().SetNumThreads(static_cast<int>(state.range(1)));
   Rng rng(1);
   T::Tensor a = RandomTensor(n, n, false, rng);
   T::Tensor b = RandomTensor(n, n, false, rng);
@@ -33,8 +43,45 @@ void BM_MatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(T::MatMul(a, b).data());
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
+  T::KernelContext::Get().SetNumThreads(1);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)->ArgsProduct({{32, 64, 128, 256}, {1, 2, 4, 8}});
+
+// Forward + full backward (dA and dB) of one square MatMul — roughly 2/3 of
+// an epoch's dense-kernel time lives in the backward accumulations.
+void BM_MatMulGrad(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  T::KernelContext::Get().SetNumThreads(static_cast<int>(state.range(1)));
+  Rng rng(1);
+  T::Tensor a = RandomTensor(n, n, true, rng);
+  T::Tensor b = RandomTensor(n, n, true, rng);
+  for (auto _ : state) {
+    T::Tensor loss = T::SumAll(T::MatMul(a, b));
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+    a.ZeroGrad();
+    b.ZeroGrad();
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * n * n * n);
+  T::KernelContext::Get().SetNumThreads(1);
+}
+BENCHMARK(BM_MatMulGrad)->ArgsProduct({{64, 128, 256}, {1, 2, 4, 8}});
+
+void BM_SoftmaxRowsGrad(benchmark::State& state) {
+  const int64_t rows = state.range(0), cols = 256;
+  T::KernelContext::Get().SetNumThreads(static_cast<int>(state.range(1)));
+  Rng rng(2);
+  T::Tensor a = RandomTensor(rows, cols, true, rng);
+  for (auto _ : state) {
+    T::Tensor loss = T::SumSquares(T::SoftmaxRows(a));
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+    a.ZeroGrad();
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+  T::KernelContext::Get().SetNumThreads(1);
+}
+BENCHMARK(BM_SoftmaxRowsGrad)->ArgsProduct({{1024}, {1, 2, 4, 8}});
 
 void BM_AttentionSingleQuery(benchmark::State& state) {
   const int64_t packs = state.range(0), d = 64;

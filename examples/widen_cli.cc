@@ -6,13 +6,19 @@
 //   ./build/examples/widen_cli embed  <graph.txt> <model.ckpt> <out.csv>
 //   ./build/examples/widen_cli stats  <graph.txt>
 //
+// All commands accept --num_threads N to size the kernel thread pool
+// (default: the WIDEN_NUM_THREADS env var, then hardware concurrency;
+// results are bitwise identical for any value).
+//
 // Graph files use the text format documented in graph/io.h. With no
 // arguments the tool writes a demo graph to ./demo.graph, trains on it, and
 // embeds it — a self-contained smoke run.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/checkpoint.h"
 #include "core/widen_model.h"
@@ -20,6 +26,7 @@
 #include "datasets/splits.h"
 #include "graph/graph_stats.h"
 #include "graph/io.h"
+#include "tensor/kernel_context.h"
 #include "train/metrics.h"
 
 namespace {
@@ -129,6 +136,30 @@ int RunDemo() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --num_threads N / --num_threads=N anywhere on the command line and
+  // apply it to the process-wide kernel context before any work runs.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    long threads = -1;
+    if (std::strcmp(arg, "--num_threads") == 0 && i + 1 < argc) {
+      threads = std::atol(argv[++i]);
+    } else if (std::strncmp(arg, "--num_threads=", 14) == 0) {
+      threads = std::atol(arg + 14);
+    } else {
+      args.push_back(argv[i]);
+      continue;
+    }
+    if (threads < 1) {
+      std::fprintf(stderr, "error: --num_threads wants a positive integer\n");
+      return 2;
+    }
+    widen::tensor::KernelContext::Get().SetNumThreads(
+        static_cast<int>(threads));
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   if (argc == 1) return RunDemo();
   const std::string command = argv[1];
   if (command == "stats" && argc == 3) return RunStats(argv[2]);
@@ -143,7 +174,9 @@ int main(int argc, char** argv) {
                "  %s                                   # demo\n"
                "  %s stats <graph.txt>\n"
                "  %s train <graph.txt> <model.ckpt> [epochs]\n"
-               "  %s embed <graph.txt> <model.ckpt> <out.csv>\n",
+               "  %s embed <graph.txt> <model.ckpt> <out.csv>\n"
+               "options: --num_threads N   kernel threads (default: "
+               "WIDEN_NUM_THREADS or hardware)\n",
                argv[0], argv[0], argv[0], argv[0]);
   return 2;
 }

@@ -33,6 +33,9 @@ Status WidenConfig::Validate() const {
   if (batch_size <= 0 || max_epochs <= 0) {
     return Status::InvalidArgument("batch_size and max_epochs must be positive");
   }
+  if (num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0 (0 = auto)");
+  }
   if (wide_lower_bound < 1 || deep_lower_bound < 1) {
     return Status::InvalidArgument("downsampling lower bounds must be >= 1");
   }

@@ -50,6 +50,13 @@ struct WidenConfig {
   int64_t wide_lower_bound = 5;     // k°
   int64_t deep_lower_bound = 5;     // k▷
 
+  /// Kernel threads for the parallel tensor ops. 0 = resolve from the
+  /// WIDEN_NUM_THREADS env var, falling back to hardware concurrency; any
+  /// value >= 1 pins the process-wide KernelContext pool to that size when
+  /// the model is created. Results are bitwise identical for every setting
+  /// (see DESIGN.md §8).
+  int64_t num_threads = 0;
+
   // Ablation switches (Table 4). All false = the default architecture.
   bool disable_downsampling = false;
   bool disable_wide = false;              // "Removing Wide Neighbors"

@@ -5,6 +5,7 @@
 
 #include "tensor/autograd.h"
 #include "tensor/init.h"
+#include "tensor/kernel_context.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -44,6 +45,10 @@ StatusOr<std::unique_ptr<WidenModel>> WidenModel::Create(
     return Status::InvalidArgument("graph must not be null");
   }
   WIDEN_RETURN_IF_ERROR(config.Validate());
+  if (config.num_threads > 0) {
+    T::KernelContext::Get().SetNumThreads(
+        static_cast<int>(config.num_threads));
+  }
   if (!graph->features().defined()) {
     return Status::FailedPrecondition("graph has no node features");
   }
@@ -249,9 +254,9 @@ WidenModel::ForwardResult WidenModel::Forward(const graph::HeteroGraph& graph,
             T::MatMul(T::MatMul(packs, wq_deep_),
                       T::Transpose(T::MatMul(packs, wk_deep_))),
             1.0f / std::sqrt(static_cast<float>(d)));
-        T::Tensor masked =
-            T::Add(scores, T::CausalAttentionMask(packs.rows()));
-        refined = T::MatMul(T::SoftmaxRows(masked), T::MatMul(packs, wv_deep_));
+        T::Tensor attn_rows = T::MaskedSoftmaxRows(
+            scores, T::CausalAttentionMask(packs.rows()));
+        refined = T::MatMul(attn_rows, T::MatMul(packs, wv_deep_));
       } else {
         refined = packs;
       }

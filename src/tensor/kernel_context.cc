@@ -1,0 +1,73 @@
+#include "tensor/kernel_context.h"
+
+#include <cstdlib>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace widen::tensor {
+namespace {
+
+int ResolveDefaultThreads() {
+  if (const char* env = std::getenv("WIDEN_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+    WIDEN_LOG(Warning) << "ignoring invalid WIDEN_NUM_THREADS='" << env
+                       << "'";
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+KernelContext& KernelContext::Get() {
+  static KernelContext* context = new KernelContext();  // leaked: lives
+  return *context;  // until process exit so worker threads never outlive it
+}
+
+KernelContext::KernelContext() { SetNumThreads(0); }
+
+int KernelContext::num_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_threads_;
+}
+
+void KernelContext::SetNumThreads(int n) {
+  WIDEN_CHECK_GE(n, 0) << "thread count must be >= 0 (0 = auto)";
+  if (n == 0) n = ResolveDefaultThreads();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (n == num_threads_ && (n == 1 || pool_ != nullptr)) return;
+  pool_.reset();  // join old workers before spawning the new pool
+  num_threads_ = n;
+  if (n > 1) pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(n));
+}
+
+void ParallelForGrid(int64_t n, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  WIDEN_DCHECK(grain > 0);
+  if (n <= grain) {  // single chunk: run inline, skip the pool entirely
+    body(0, n);
+    return;
+  }
+  const int64_t num_chunks = (n + grain - 1) / grain;
+  ThreadPool* pool = KernelContext::Get().pool();
+  if (pool == nullptr) {
+    // Same grid formula as ParallelForChunked (ceil(n / num_chunks), which
+    // can be slightly below `grain`), executed in ascending order.
+    const int64_t chunk_size = (n + num_chunks - 1) / num_chunks;
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      body(c * chunk_size, std::min(n, (c + 1) * chunk_size));
+    }
+    return;
+  }
+  ParallelForChunked(*pool, 0, static_cast<size_t>(n),
+                     static_cast<size_t>(num_chunks),
+                     [&body](size_t lo, size_t hi) {
+                       body(static_cast<int64_t>(lo),
+                            static_cast<int64_t>(hi));
+                     });
+}
+
+}  // namespace widen::tensor

@@ -1,0 +1,76 @@
+// Process-wide execution context for the parallel tensor kernels.
+//
+// Every hot op in tensor/ops.cc routes its loops through ParallelForGrid,
+// which partitions the iteration space into a FIXED chunk grid that depends
+// only on the problem size — never on the thread count. Each chunk owns a
+// disjoint slice of the output, so the kernels produce bitwise-identical
+// results for any WIDEN_NUM_THREADS (the full contract is documented in
+// DESIGN.md §8 "Parallel kernel execution").
+//
+// Thread count resolution, in priority order:
+//   1. KernelContext::Get().SetNumThreads(n) with n >= 1 (config / CLI knob);
+//   2. the WIDEN_NUM_THREADS environment variable;
+//   3. std::thread::hardware_concurrency().
+// A count of 1 runs every kernel serially on the calling thread (no pool is
+// created at all), preserving the legacy single-threaded execution exactly.
+
+#ifndef WIDEN_TENSOR_KERNEL_CONTEXT_H_
+#define WIDEN_TENSOR_KERNEL_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "util/threadpool.h"
+
+namespace widen::tensor {
+
+/// Lazily-initialized singleton owning the kernel thread pool.
+class KernelContext {
+ public:
+  /// The process-wide context; the first call resolves the thread count.
+  static KernelContext& Get();
+
+  /// Current kernel thread count (>= 1).
+  int num_threads() const;
+
+  /// Resizes the pool. n >= 1 sets the count directly; n == 0 re-resolves
+  /// from WIDEN_NUM_THREADS / hardware concurrency. Not safe to call while
+  /// kernels are in flight on other threads — call it between training
+  /// steps (the trainer and CLI do this once at startup).
+  void SetNumThreads(int n);
+
+  /// The pool, or nullptr when running serially (num_threads() == 1).
+  ThreadPool* pool() const { return pool_.get(); }
+
+  KernelContext(const KernelContext&) = delete;
+  KernelContext& operator=(const KernelContext&) = delete;
+
+ private:
+  KernelContext();
+
+  mutable std::mutex mu_;
+  int num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+// Fixed chunk sizes of the determinism grid. Kernels pick the unit that
+// matches their iteration space; the values balance scheduling overhead
+// against load balance and are part of the determinism contract (changing
+// them changes which rows share a chunk, though results stay bitwise
+// identical anyway because chunks never share output elements).
+inline constexpr int64_t kRowGrain = 16;      // matrix rows per chunk
+inline constexpr int64_t kElementGrain = 4096;  // flat elements per chunk
+
+/// Runs body(lo, hi) over a fixed partition of [0, n) into ceil(n / grain)
+/// chunks. The grid depends only on (n, grain); with one thread (or one
+/// chunk) the chunks execute in ascending order on the calling thread, so
+/// results are bitwise identical for every thread count provided chunks
+/// write disjoint outputs.
+void ParallelForGrid(int64_t n, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& body);
+
+}  // namespace widen::tensor
+
+#endif  // WIDEN_TENSOR_KERNEL_CONTEXT_H_

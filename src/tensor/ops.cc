@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/kernel_context.h"
+
 namespace widen::tensor {
 namespace {
 
@@ -43,6 +45,11 @@ BroadcastKind CheckBroadcast(const Tensor& a, const Tensor& b,
   return BroadcastKind::kRowVector;
 }
 
+// Columns per j-tile of the blocked MatMul loops: the active B tile
+// (k rows x 128 columns is revisited once per output row) plus one output
+// tile stay cache-resident while A is streamed.
+constexpr int64_t kMatMulJTile = 128;
+
 }  // namespace
 
 // ---- Linear algebra --------------------------------------------------------
@@ -57,16 +64,24 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.mutable_data();
-    for (int64_t i = 0; i < m; ++i) {
-      const float* arow = pa + i * k;
-      float* orow = po + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = pb + kk * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    // i-k-j order with j-tiling; each chunk owns a disjoint range of output
+    // rows, and each out[i][j] accumulates its k terms in ascending order
+    // regardless of the chunk grid, so results are bitwise identical for any
+    // thread count. The dense inner loop is branchless so it vectorizes.
+    ParallelForGrid(m, kRowGrain, [=](int64_t r0, int64_t r1) {
+      for (int64_t i = r0; i < r1; ++i) {
+        const float* arow = pa + i * k;
+        float* orow = po + i * n;
+        for (int64_t j0 = 0; j0 < n; j0 += kMatMulJTile) {
+          const int64_t j1 = std::min(n, j0 + kMatMulJTile);
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            const float* brow = pb + kk * n;
+            for (int64_t j = j0; j < j1; ++j) orow[j] += av * brow[j];
+          }
+        }
       }
-    }
+    });
   }
   if (NeedsGrad(a, b)) {
     TensorImpl* ai = a.impl_ptr().get();
@@ -77,35 +92,42 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       const float* g = oi->grad.data();
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        // dA += dC * B^T  (m x n) * (n x k)
+        // dA += dC * B^T  (m x n) * (n x k); dA rows are disjoint per chunk.
         float* da = ai->grad.data();
         const float* pb = bi->data.data();
-        for (int64_t i = 0; i < m; ++i) {
-          const float* grow = g + i * n;
-          float* darow = da + i * k;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const float* brow = pb + kk * n;
-            float acc = 0.0f;
-            for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
-            darow[kk] += acc;
+        ParallelForGrid(m, kRowGrain, [=](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            const float* grow = g + i * n;
+            float* darow = da + i * k;
+            for (int64_t kk = 0; kk < k; ++kk) {
+              const float* brow = pb + kk * n;
+              float acc = 0.0f;
+              for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+              darow[kk] += acc;
+            }
           }
-        }
+        });
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        // dB += A^T * dC  (k x m) * (m x n)
+        // dB += A^T * dC  (k x m) * (m x n), parallelized over dB's own
+        // rows: each chunk owns dB rows [k0, k1) outright and accumulates
+        // every db[kk][j]'s i-terms in ascending order — the serial kernel's
+        // exact scalar sum order, with no cross-chunk reduction needed.
         float* db = bi->grad.data();
         const float* pa = ai->data.data();
-        for (int64_t i = 0; i < m; ++i) {
-          const float* arow = pa + i * k;
-          const float* grow = g + i * n;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const float av = arow[kk];
-            if (av == 0.0f) continue;
-            float* dbrow = db + kk * n;
-            for (int64_t j = 0; j < n; ++j) dbrow[j] += av * grow[j];
+        ParallelForGrid(k, kRowGrain, [=](int64_t k0, int64_t k1) {
+          for (int64_t i = 0; i < m; ++i) {
+            const float* arow = pa + i * k;
+            const float* grow = g + i * n;
+            for (int64_t kk = k0; kk < k1; ++kk) {
+              const float av = arow[kk];
+              if (av == 0.0f) continue;
+              float* dbrow = db + kk * n;
+              for (int64_t j = 0; j < n; ++j) dbrow[j] += av * grow[j];
+            }
           }
-        }
+        });
       }
     });
   }
@@ -151,10 +173,14 @@ Tensor AddLike(const Tensor& a, const Tensor& b, float sign, const char* op) {
   const float* pb = b.data();
   float* po = out.mutable_data();
   if (kind == BroadcastKind::kSameShape) {
-    for (int64_t i = 0; i < total; ++i) po[i] = pa[i] + sign * pb[i];
+    ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + sign * pb[i];
+    });
   } else {
     const int64_t n = a.cols();
-    for (int64_t i = 0; i < total; ++i) po[i] = pa[i] + sign * pb[i % n];
+    ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + sign * pb[i % n];
+    });
   }
   if (NeedsGrad(a, b)) {
     TensorImpl* ai = a.impl_ptr().get();
@@ -167,14 +193,20 @@ Tensor AddLike(const Tensor& a, const Tensor& b, float sign, const char* op) {
       if (ai->requires_grad) {
         ai->EnsureGrad();
         float* da = ai->grad.data();
-        for (int64_t i = 0; i < total; ++i) da[i] += g[i];
+        ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) da[i] += g[i];
+        });
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
         float* db = bi->grad.data();
         if (kind == BroadcastKind::kSameShape) {
-          for (int64_t i = 0; i < total; ++i) db[i] += sign * g[i];
+          ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) db[i] += sign * g[i];
+          });
         } else {
+          // Row-vector grad is a reduction over rows into n slots; kept
+          // serial in row-ascending order (it is O(total) adds either way).
           for (int64_t i = 0; i < total; ++i) db[i % n] += sign * g[i];
         }
       }
@@ -197,9 +229,13 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   float* po = out.mutable_data();
   const int64_t n = a.shape().rank() == 2 ? a.cols() : total;
   if (kind == BroadcastKind::kSameShape) {
-    for (int64_t i = 0; i < total; ++i) po[i] = pa[i] * pb[i];
+    ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+    });
   } else {
-    for (int64_t i = 0; i < total; ++i) po[i] = pa[i] * pb[i % n];
+    ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i % n];
+    });
   }
   if (NeedsGrad(a, b)) {
     TensorImpl* ai = a.impl_ptr().get();
@@ -214,17 +250,24 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
         ai->EnsureGrad();
         float* da = ai->grad.data();
         if (kind == BroadcastKind::kSameShape) {
-          for (int64_t i = 0; i < total; ++i) da[i] += g[i] * pb[i];
+          ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) da[i] += g[i] * pb[i];
+          });
         } else {
-          for (int64_t i = 0; i < total; ++i) da[i] += g[i] * pb[i % n];
+          ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) da[i] += g[i] * pb[i % n];
+          });
         }
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
         float* db = bi->grad.data();
         if (kind == BroadcastKind::kSameShape) {
-          for (int64_t i = 0; i < total; ++i) db[i] += g[i] * pa[i];
+          ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) db[i] += g[i] * pa[i];
+          });
         } else {
+          // Reduction over rows into n slots; serial, row-ascending.
           for (int64_t i = 0; i < total; ++i) db[i % n] += g[i] * pa[i];
         }
       }
@@ -317,14 +360,17 @@ Tensor Maximum(const Tensor& a, const Tensor& b) {
 
 namespace {
 
-// Generic unary op: forward(x) and dydx computed from (x, y).
+// Generic unary op: forward(x) and dydx computed from (x, y). Both passes
+// are chunk-parallel (each element is independent).
 template <typename Fwd, typename Grad>
 Tensor UnaryOp(const Tensor& a, Fwd fwd, Grad dydx) {
   Tensor out(a.shape());
   const int64_t total = a.size();
   const float* pa = a.data();
   float* po = out.mutable_data();
-  for (int64_t i = 0; i < total; ++i) po[i] = fwd(pa[i]);
+  ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = fwd(pa[i]);
+  });
   if (NeedsGrad(a)) {
     TensorImpl* ai = a.impl_ptr().get();
     TensorImpl* oi = out.impl_ptr().get();
@@ -336,7 +382,9 @@ Tensor UnaryOp(const Tensor& a, Fwd fwd, Grad dydx) {
       const float* x = ai->data.data();
       const float* y = oi->data.data();
       float* da = ai->grad.data();
-      for (int64_t i = 0; i < total; ++i) da[i] += g[i] * dydx(x[i], y[i]);
+      ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) da[i] += g[i] * dydx(x[i], y[i]);
+      });
     });
   }
   return out;
@@ -389,25 +437,60 @@ Tensor Log(const Tensor& a) {
 
 // ---- Softmax / losses ---------------------------------------------------------
 
+namespace {
+
+// Row-parallel softmax forward shared by SoftmaxRows and MaskedSoftmaxRows;
+// `pm` is an optional additive mask with a's layout (nullptr = no mask).
+void SoftmaxRowsForward(const float* pa, const float* pm, float* po,
+                        int64_t m, int64_t n) {
+  ParallelForGrid(m, kRowGrain, [=](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = pa + i * n;
+      const float* mrow = pm == nullptr ? nullptr : pm + i * n;
+      float* orow = po + i * n;
+      float max_v = mrow == nullptr ? row[0] : row[0] + mrow[0];
+      for (int64_t j = 1; j < n; ++j) {
+        const float z = mrow == nullptr ? row[j] : row[j] + mrow[j];
+        max_v = std::max(max_v, z);
+      }
+      float denom = 0.0f;
+      for (int64_t j = 0; j < n; ++j) {
+        const float z = mrow == nullptr ? row[j] : row[j] + mrow[j];
+        orow[j] = std::exp(z - max_v);
+        denom += orow[j];
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
+    }
+  });
+}
+
+// Row-parallel softmax backward: da += y * (g - <g, y>) per row. Shared by
+// SoftmaxRows and MaskedSoftmaxRows (an additive mask has unit Jacobian
+// toward the logits, so the backward is identical).
+void SoftmaxRowsBackward(const float* g, const float* y, float* da,
+                         int64_t m, int64_t n) {
+  ParallelForGrid(m, kRowGrain, [=](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* grow = g + i * n;
+      const float* yrow = y + i * n;
+      float dot = 0.0f;
+      for (int64_t j = 0; j < n; ++j) dot += grow[j] * yrow[j];
+      float* darow = da + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        darow[j] += yrow[j] * (grow[j] - dot);
+      }
+    }
+  });
+}
+
+}  // namespace
+
 Tensor SoftmaxRows(const Tensor& a) {
   WIDEN_CHECK_EQ(a.shape().rank(), 2);
   const int64_t m = a.rows(), n = a.cols();
   Tensor out(a.shape());
-  const float* pa = a.data();
-  float* po = out.mutable_data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = pa + i * n;
-    float* orow = po + i * n;
-    float max_v = row[0];
-    for (int64_t j = 1; j < n; ++j) max_v = std::max(max_v, row[j]);
-    float denom = 0.0f;
-    for (int64_t j = 0; j < n; ++j) {
-      orow[j] = std::exp(row[j] - max_v);
-      denom += orow[j];
-    }
-    const float inv = 1.0f / denom;
-    for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
-  }
+  SoftmaxRowsForward(a.data(), nullptr, out.mutable_data(), m, n);
   if (NeedsGrad(a)) {
     TensorImpl* ai = a.impl_ptr().get();
     TensorImpl* oi = out.impl_ptr().get();
@@ -415,19 +498,32 @@ Tensor SoftmaxRows(const Tensor& a) {
       oi->EnsureGrad();
       if (!ai->requires_grad) return;
       ai->EnsureGrad();
-      const float* g = oi->grad.data();
-      const float* y = oi->data.data();
-      float* da = ai->grad.data();
-      for (int64_t i = 0; i < m; ++i) {
-        const float* grow = g + i * n;
-        const float* yrow = y + i * n;
-        float dot = 0.0f;
-        for (int64_t j = 0; j < n; ++j) dot += grow[j] * yrow[j];
-        float* darow = da + i * n;
-        for (int64_t j = 0; j < n; ++j) {
-          darow[j] += yrow[j] * (grow[j] - dot);
-        }
-      }
+      SoftmaxRowsBackward(oi->grad.data(), oi->data.data(), ai->grad.data(),
+                          m, n);
+    });
+  }
+  return out;
+}
+
+Tensor MaskedSoftmaxRows(const Tensor& a, const Tensor& mask) {
+  WIDEN_CHECK_EQ(a.shape().rank(), 2);
+  WIDEN_CHECK(a.shape() == mask.shape())
+      << "MaskedSoftmaxRows: shapes " << a.shape().ToString() << " vs "
+      << mask.shape().ToString();
+  WIDEN_CHECK(!mask.requires_grad())
+      << "MaskedSoftmaxRows: the mask is a constant; no gradient flows to it";
+  const int64_t m = a.rows(), n = a.cols();
+  Tensor out(a.shape());
+  SoftmaxRowsForward(a.data(), mask.data(), out.mutable_data(), m, n);
+  if (NeedsGrad(a)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a}, [ai, oi, m, n] {
+      oi->EnsureGrad();
+      if (!ai->requires_grad) return;
+      ai->EnsureGrad();
+      SoftmaxRowsBackward(oi->grad.data(), oi->data.data(), ai->grad.data(),
+                          m, n);
     });
   }
   return out;
@@ -444,29 +540,26 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
   }
 
   // Forward: stable log-softmax; store probabilities for the backward pass.
+  // The per-row softmax is chunk-parallel; the loss reduction then runs
+  // serially in row-ascending order (same scalar sum order as the serial
+  // kernel, so the loss is bitwise identical for every thread count).
+  for (int64_t i = 0; i < m; ++i) {
+    const int32_t y = labels[static_cast<size_t>(i)];
+    WIDEN_CHECK(y >= 0 && y < c) << "label out of range: " << y;
+  }
   auto probs = std::make_shared<std::vector<float>>(
       static_cast<size_t>(m * c), 0.0f);
   const float* pl = logits.data();
+  SoftmaxRowsForward(pl, nullptr, probs->data(), m, c);
   double loss_sum = 0.0;
   double weight_sum = 0.0;
   for (int64_t i = 0; i < m; ++i) {
     const float w =
         sample_weights != nullptr ? (*sample_weights)[static_cast<size_t>(i)]
                                   : 1.0f;
-    const float* row = pl + i * c;
-    float* prow = probs->data() + i * c;
-    float max_v = row[0];
-    for (int64_t j = 1; j < c; ++j) max_v = std::max(max_v, row[j]);
-    float denom = 0.0f;
-    for (int64_t j = 0; j < c; ++j) {
-      prow[j] = std::exp(row[j] - max_v);
-      denom += prow[j];
-    }
-    const float inv = 1.0f / denom;
-    for (int64_t j = 0; j < c; ++j) prow[j] *= inv;
     if (w != 0.0f) {
+      const float* prow = probs->data() + i * c;
       const int32_t y = labels[static_cast<size_t>(i)];
-      WIDEN_CHECK(y >= 0 && y < c) << "label out of range: " << y;
       loss_sum -= static_cast<double>(w) *
                   std::log(std::max(prow[y], 1e-12f));
       weight_sum += w;
@@ -491,18 +584,21 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
              li->EnsureGrad();
              const float upstream = oi->grad[0];
              float* dl = li->grad.data();
-             for (int64_t i = 0; i < m; ++i) {
-               const float w =
-                   weights_copy ? (*weights_copy)[static_cast<size_t>(i)]
-                                : 1.0f;
-               if (w == 0.0f) continue;
-               const float scale = upstream * norm * w;
-               const float* prow = probs->data() + i * c;
-               float* drow = dl + i * c;
-               const int32_t y = (*labels_copy)[static_cast<size_t>(i)];
-               for (int64_t j = 0; j < c; ++j) drow[j] += scale * prow[j];
-               drow[y] -= scale;
-             }
+             // Each logits row's gradient is independent: row-parallel.
+             ParallelForGrid(m, kRowGrain, [&](int64_t r0, int64_t r1) {
+               for (int64_t i = r0; i < r1; ++i) {
+                 const float w =
+                     weights_copy ? (*weights_copy)[static_cast<size_t>(i)]
+                                  : 1.0f;
+                 if (w == 0.0f) continue;
+                 const float scale = upstream * norm * w;
+                 const float* prow = probs->data() + i * c;
+                 float* drow = dl + i * c;
+                 const int32_t y = (*labels_copy)[static_cast<size_t>(i)];
+                 for (int64_t j = 0; j < c; ++j) drow[j] += scale * prow[j];
+                 drow[y] -= scale;
+               }
+             });
            });
   }
   return out;
@@ -735,24 +831,52 @@ Tensor GatherRows(const Tensor& a, const std::vector<int32_t>& indices) {
     const int32_t idx = indices[static_cast<size_t>(i)];
     WIDEN_CHECK(idx >= 0 && idx < a.rows())
         << "GatherRows index " << idx << " out of [0, " << a.rows() << ")";
-    std::memcpy(po + i * n, pa + static_cast<int64_t>(idx) * n,
-                static_cast<size_t>(n) * sizeof(float));
   }
+  const int32_t* pi = indices.data();
+  ParallelForGrid(k, kRowGrain, [=](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      std::memcpy(po + i * n, pa + static_cast<int64_t>(pi[i]) * n,
+                  static_cast<size_t>(n) * sizeof(float));
+    }
+  });
   if (NeedsGrad(a)) {
     TensorImpl* ai = a.impl_ptr().get();
     TensorImpl* oi = out.impl_ptr().get();
     auto idx_copy = std::make_shared<std::vector<int32_t>>(indices);
-    Attach(out, {a}, [ai, oi, idx_copy, k, n] {
+    const int64_t rows_a = a.rows();
+    Attach(out, {a}, [ai, oi, idx_copy, k, n, rows_a] {
       oi->EnsureGrad();
       if (!ai->requires_grad) return;
       ai->EnsureGrad();
       const float* g = oi->grad.data();
       float* da = ai->grad.data();
-      for (int64_t i = 0; i < k; ++i) {
-        float* dst = da + static_cast<int64_t>((*idx_copy)[i]) * n;
-        const float* src = g + i * n;
-        for (int64_t j = 0; j < n; ++j) dst[j] += src[j];
+      const int32_t* idx = idx_copy->data();
+      if (KernelContext::Get().pool() == nullptr) {
+        // Serial scatter-add, gather-ascending.
+        for (int64_t i = 0; i < k; ++i) {
+          float* dst = da + static_cast<int64_t>(idx[i]) * n;
+          const float* src = g + i * n;
+          for (int64_t j = 0; j < n; ++j) dst[j] += src[j];
+        }
+        return;
       }
+      // Parallel scatter with duplicate indices: chunk the DESTINATION rows
+      // so writes never conflict; each chunk scans the index list and takes
+      // the entries landing in its range, still in gather-ascending order —
+      // per destination element that is the serial kernel's exact sum order,
+      // so serial and parallel paths agree bitwise. The O(chunks * k) index
+      // scan is bounded by a coarse grid (at most 64 chunks).
+      const int64_t grain =
+          std::max<int64_t>(kRowGrain, (rows_a + 63) / 64);
+      ParallelForGrid(rows_a, grain, [=](int64_t r0, int64_t r1) {
+        for (int64_t i = 0; i < k; ++i) {
+          const int64_t row = idx[i];
+          if (row < r0 || row >= r1) continue;
+          float* dst = da + row * n;
+          const float* src = g + i * n;
+          for (int64_t j = 0; j < n; ++j) dst[j] += src[j];
+        }
+      });
     });
   }
   return out;
@@ -826,14 +950,21 @@ Tensor RowL2Normalize(const Tensor& a) {
   auto norms = std::make_shared<std::vector<float>>(static_cast<size_t>(m));
   const float* pa = a.data();
   float* po = out.mutable_data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = pa + i * n;
-    double sq = 0.0;
-    for (int64_t j = 0; j < n; ++j) sq += static_cast<double>(row[j]) * row[j];
-    const float norm = std::max(static_cast<float>(std::sqrt(sq)), 1e-12f);
-    (*norms)[static_cast<size_t>(i)] = norm;
-    const float inv = 1.0f / norm;
-    for (int64_t j = 0; j < n; ++j) po[i * n + j] = row[j] * inv;
+  {
+    float* pn = norms->data();
+    ParallelForGrid(m, kRowGrain, [=](int64_t r0, int64_t r1) {
+      for (int64_t i = r0; i < r1; ++i) {
+        const float* row = pa + i * n;
+        double sq = 0.0;
+        for (int64_t j = 0; j < n; ++j) {
+          sq += static_cast<double>(row[j]) * row[j];
+        }
+        const float norm = std::max(static_cast<float>(std::sqrt(sq)), 1e-12f);
+        pn[i] = norm;
+        const float inv = 1.0f / norm;
+        for (int64_t j = 0; j < n; ++j) po[i * n + j] = row[j] * inv;
+      }
+    });
   }
   if (NeedsGrad(a)) {
     TensorImpl* ai = a.impl_ptr().get();
@@ -844,18 +975,21 @@ Tensor RowL2Normalize(const Tensor& a) {
       ai->EnsureGrad();
       const float* g = oi->grad.data();
       const float* y = oi->data.data();
+      const float* pn = norms->data();
       float* da = ai->grad.data();
-      for (int64_t i = 0; i < m; ++i) {
-        const float* grow = g + i * n;
-        const float* yrow = y + i * n;
-        float dot = 0.0f;
-        for (int64_t j = 0; j < n; ++j) dot += grow[j] * yrow[j];
-        const float inv = 1.0f / (*norms)[static_cast<size_t>(i)];
-        float* darow = da + i * n;
-        for (int64_t j = 0; j < n; ++j) {
-          darow[j] += (grow[j] - dot * yrow[j]) * inv;
+      ParallelForGrid(m, kRowGrain, [=](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* grow = g + i * n;
+          const float* yrow = y + i * n;
+          float dot = 0.0f;
+          for (int64_t j = 0; j < n; ++j) dot += grow[j] * yrow[j];
+          const float inv = 1.0f / pn[i];
+          float* darow = da + i * n;
+          for (int64_t j = 0; j < n; ++j) {
+            darow[j] += (grow[j] - dot * yrow[j]) * inv;
+          }
         }
-      }
+      });
     });
   }
   return out;

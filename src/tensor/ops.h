@@ -65,6 +65,11 @@ Tensor Log(const Tensor& a);
 /// Row-wise numerically stable softmax of an [m,n] matrix.
 Tensor SoftmaxRows(const Tensor& a);
 
+/// Fused SoftmaxRows(a + mask) for a constant additive mask (e.g.
+/// CausalAttentionMask). Identical bits to the two-op composite without
+/// materializing the masked scores; no gradient flows to the mask.
+Tensor MaskedSoftmaxRows(const Tensor& a, const Tensor& mask);
+
 /// Mean cross-entropy of logits [m,c] against integer labels (size m).
 /// Optional per-sample weights (e.g. 0/1 label masks); mean is taken over the
 /// total weight. Returns a scalar.

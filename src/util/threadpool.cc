@@ -1,6 +1,8 @@
 #include "util/threadpool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 
 #include "util/logging.h"
 
@@ -65,17 +67,83 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+namespace {
+
+// Shared state of one ParallelForChunked call: chunks are claimed from
+// `next_chunk` by pool workers and the caller alike; the caller blocks on the
+// latch (`chunks_done` + condvar) rather than on the whole pool, so
+// concurrent calls over one pool never wait on each other's tasks.
+struct ChunkedCall {
+  size_t begin, end, num_chunks, chunk_size;
+  const std::function<void(size_t, size_t)>* body;
+
+  std::atomic<size_t> next_chunk{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t chunks_done = 0;
+
+  void RunChunks() {
+    for (;;) {
+      const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const size_t lo = begin + c * chunk_size;
+      const size_t hi = std::min(end, lo + chunk_size);
+      (*body)(lo, hi);
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        if (++chunks_done == num_chunks) done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelForChunked(ThreadPool& pool, size_t begin, size_t end,
+                        size_t num_chunks,
+                        const std::function<void(size_t, size_t)>& body) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  num_chunks = std::max<size_t>(1, std::min(num_chunks, n));
+  if (num_chunks == 1 || pool.num_threads() == 1) {
+    // Same chunk grid, executed in ascending order on the calling thread.
+    const size_t chunk_size = (n + num_chunks - 1) / num_chunks;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t lo = begin + c * chunk_size;
+      const size_t hi = std::min(end, lo + chunk_size);
+      body(lo, hi);
+    }
+    return;
+  }
+
+  // shared_ptr: helper tasks may still hold the state after the caller's
+  // wait returns (a worker that claimed no chunk but not yet dropped out).
+  auto call = std::make_shared<ChunkedCall>();
+  call->begin = begin;
+  call->end = end;
+  call->num_chunks = num_chunks;
+  call->chunk_size = (n + num_chunks - 1) / num_chunks;
+  call->body = &body;
+
+  const size_t helpers = std::min(pool.num_threads() - 1, num_chunks - 1);
+  for (size_t t = 0; t < helpers; ++t) {
+    pool.Schedule([call] { call->RunChunks(); });
+  }
+  call->RunChunks();
+  std::unique_lock<std::mutex> lock(call->mu);
+  call->done_cv.wait(lock,
+                     [&] { return call->chunks_done == call->num_chunks; });
+}
+
 void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& body) {
   if (begin >= end) return;
-  if (pool.num_threads() == 1 || end - begin == 1) {
-    for (size_t i = begin; i < end; ++i) body(i);
-    return;
-  }
-  for (size_t i = begin; i < end; ++i) {
-    pool.Schedule([i, &body] { body(i); });
-  }
-  pool.WaitIdle();
+  // A few chunks per worker balances load without per-index task overhead.
+  const size_t num_chunks = pool.num_threads() * 4;
+  ParallelForChunked(pool, begin, end, num_chunks,
+                     [&body](size_t lo, size_t hi) {
+                       for (size_t i = lo; i < hi; ++i) body(i);
+                     });
 }
 
 }  // namespace widen

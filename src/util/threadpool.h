@@ -1,9 +1,16 @@
-// A small fixed-size thread pool with a ParallelFor convenience wrapper.
+// A small fixed-size thread pool with chunked ParallelFor wrappers.
 //
-// The heavy tensor kernels are written single-threaded (the reference
-// hardware for the reproduction has one core), but the pool lets callers
-// parallelize embarrassingly parallel sweeps (per-dataset benchmark cells)
-// on larger machines without changing call sites.
+// This pool is the substrate for the parallel tensor kernels (see
+// src/tensor/kernel_context.h): MatMul, the row-wise softmax family, and the
+// elementwise ops all fan their fixed chunk grids out over one process-wide
+// pool. It also remains available for embarrassingly parallel sweeps
+// (per-dataset benchmark cells) on larger machines.
+//
+// Completion of a ParallelFor call is tracked per call (an atomic counter +
+// condvar latch shared by that call's tasks only), so concurrent callers
+// sharing the pool never block on each other's work. The calling thread
+// participates in chunk execution, which both saves a context switch and
+// makes nested/reentrant calls deadlock-free.
 
 #ifndef WIDEN_UTIL_THREADPOOL_H_
 #define WIDEN_UTIL_THREADPOOL_H_
@@ -33,7 +40,9 @@ class ThreadPool {
   /// Enqueues a task for asynchronous execution.
   void Schedule(std::function<void()> task);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Blocks until the queue is empty and all workers are idle. Note this
+  /// waits on the whole pool; ParallelFor callers do not use it (they wait
+  /// on a per-call latch instead).
   void WaitIdle();
 
   size_t num_threads() const { return workers_.size(); }
@@ -50,8 +59,19 @@ class ThreadPool {
   bool shutting_down_ = false;
 };
 
+/// Runs body(chunk_begin, chunk_end) once for each range of a fixed partition
+/// of [begin, end) into `num_chunks` contiguous chunks, blocking until all
+/// chunks complete. The partition depends only on the range and num_chunks —
+/// never on the pool size — so callers can rely on a stable chunk grid for
+/// determinism. Chunks are claimed from a shared counter by the pool workers
+/// and by the calling thread; completion is a per-call latch.
+void ParallelForChunked(ThreadPool& pool, size_t begin, size_t end,
+                        size_t num_chunks,
+                        const std::function<void(size_t, size_t)>& body);
+
 /// Runs body(i) for i in [begin, end) across `pool`, blocking until done.
-/// With a single-thread pool this degrades to a serial loop.
+/// Indices are dispatched in contiguous chunks (a few per worker), not one
+/// task per index. With a single-thread pool this degrades to a serial loop.
 void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& body);
 

@@ -1,10 +1,14 @@
 #include "tensor/ops.h"
 
 #include <cmath>
+#include <cstring>
+#include <functional>
+#include <vector>
 
 #include "gradient_check.h"
 #include "gtest/gtest.h"
 #include "tensor/init.h"
+#include "tensor/kernel_context.h"
 #include "tensor/tensor.h"
 #include "util/random.h"
 
@@ -271,6 +275,129 @@ TEST(CausalAttentionMaskTest, UpperTriangleOpen) {
   EXPECT_FLOAT_EQ(mask.at(1, 1), 0.0f);
   EXPECT_LT(mask.at(2, 0), -1e8f);
   EXPECT_LT(mask.at(1, 0), -1e8f);
+}
+
+TEST(MaskedSoftmaxRowsTest, MatchesAddThenSoftmaxBitwise) {
+  Rng rng(23);
+  Tensor a = NormalInit(Shape::Matrix(7, 7), rng, 1.0f, "a");
+  Tensor mask = CausalAttentionMask(7);
+  Tensor fused = MaskedSoftmaxRows(a, mask);
+  Tensor composite = SoftmaxRows(Add(a, mask));
+  ASSERT_EQ(fused.size(), composite.size());
+  for (int64_t i = 0; i < fused.size(); ++i) {
+    EXPECT_EQ(fused.data()[i], composite.data()[i]) << "entry " << i;
+  }
+}
+
+TEST(MaskedSoftmaxRowsTest, Gradients) {
+  Rng rng(24);
+  Tensor a = Param({5, 5}, rng, "a");
+  Tensor mask = CausalAttentionMask(5);
+  ExpectGradientsMatch(
+      [&] { return SumSquares(MaskedSoftmaxRows(a, mask)); }, {a});
+}
+
+// ---- Determinism across kernel thread counts --------------------------------
+//
+// The parallel kernels promise bitwise-identical forward values AND gradients
+// for every WIDEN_NUM_THREADS (DESIGN.md §8). Odd, non-grain-aligned shapes
+// make the chunk grid ragged on purpose.
+
+// Runs fn at each thread count and asserts the returned float buffers are
+// bit-for-bit identical across counts.
+void ExpectBitwiseIdenticalAcrossThreads(
+    const std::function<std::vector<float>()>& fn) {
+  KernelContext::Get().SetNumThreads(1);
+  const std::vector<float> baseline = fn();
+  for (int threads : {2, 7}) {
+    KernelContext::Get().SetNumThreads(threads);
+    const std::vector<float> got = fn();
+    ASSERT_EQ(got.size(), baseline.size());
+    for (size_t i = 0; i < baseline.size(); ++i) {
+      // Bit compare, not EXPECT_FLOAT_EQ: the contract is exact.
+      ASSERT_EQ(std::memcmp(&got[i], &baseline[i], sizeof(float)), 0)
+          << "entry " << i << " differs at " << threads << " threads";
+    }
+  }
+  KernelContext::Get().SetNumThreads(1);
+}
+
+std::vector<float> Concat(std::initializer_list<const Tensor*> tensors) {
+  std::vector<float> all;
+  for (const Tensor* t : tensors) {
+    all.insert(all.end(), t->data(), t->data() + t->size());
+  }
+  return all;
+}
+
+TEST(KernelDeterminismTest, MatMulForwardAndBackward) {
+  ExpectBitwiseIdenticalAcrossThreads([] {
+    Rng rng(31);
+    Tensor a = NormalInit(Shape::Matrix(37, 29), rng, 1.0f, "a");
+    Tensor b = NormalInit(Shape::Matrix(29, 23), rng, 1.0f, "b");
+    a.set_requires_grad(true);
+    b.set_requires_grad(true);
+    Tensor c = MatMul(a, b);
+    SumSquares(c).Backward();
+    Tensor ga = Tensor::FromVector(
+        a.shape(), std::vector<float>(a.grad(), a.grad() + a.size()));
+    Tensor gb = Tensor::FromVector(
+        b.shape(), std::vector<float>(b.grad(), b.grad() + b.size()));
+    return Concat({&c, &ga, &gb});
+  });
+}
+
+TEST(KernelDeterminismTest, SoftmaxForwardAndBackward) {
+  ExpectBitwiseIdenticalAcrossThreads([] {
+    Rng rng(32);
+    Tensor a = NormalInit(Shape::Matrix(53, 19), rng, 2.0f, "a");
+    a.set_requires_grad(true);
+    Tensor y = SoftmaxRows(a);
+    SumSquares(y).Backward();
+    Tensor ga = Tensor::FromVector(
+        a.shape(), std::vector<float>(a.grad(), a.grad() + a.size()));
+    return Concat({&y, &ga});
+  });
+}
+
+TEST(KernelDeterminismTest, RowOpsAndGatherBackward) {
+  ExpectBitwiseIdenticalAcrossThreads([] {
+    Rng rng(33);
+    Tensor table = NormalInit(Shape::Matrix(41, 17), rng, 1.0f, "table");
+    table.set_requires_grad(true);
+    // Duplicate indices exercise the scatter-add reduction.
+    std::vector<int32_t> idx;
+    for (int i = 0; i < 97; ++i) idx.push_back((i * 7) % 41);
+    Tensor gathered = GatherRows(table, idx);
+    Tensor normalized = RowL2Normalize(Relu(gathered));
+    SumSquares(normalized).Backward();
+    Tensor gt = Tensor::FromVector(
+        table.shape(),
+        std::vector<float>(table.grad(), table.grad() + table.size()));
+    return Concat({&normalized, &gt});
+  });
+}
+
+TEST(KernelDeterminismTest, CrossEntropyTrainingStep) {
+  ExpectBitwiseIdenticalAcrossThreads([] {
+    Rng rng(34);
+    Tensor x = NormalInit(Shape::Matrix(45, 13), rng, 1.0f, "x");
+    Tensor w = NormalInit(Shape::Matrix(13, 5), rng, 0.7f, "w");
+    Tensor bias = NormalInit(Shape::Matrix(1, 5), rng, 0.1f, "b");
+    w.set_requires_grad(true);
+    bias.set_requires_grad(true);
+    std::vector<int32_t> labels;
+    for (int i = 0; i < 45; ++i) labels.push_back(i % 5);
+    Tensor loss =
+        SoftmaxCrossEntropy(Add(MatMul(x, w), bias), labels);
+    loss.Backward();
+    Tensor gw = Tensor::FromVector(
+        w.shape(), std::vector<float>(w.grad(), w.grad() + w.size()));
+    Tensor gb = Tensor::FromVector(
+        bias.shape(),
+        std::vector<float>(bias.grad(), bias.grad() + bias.size()));
+    return Concat({&loss, &gw, &gb});
+  });
 }
 
 TEST(ChainTest, TwoLayerNetworkGradients) {
