@@ -10,6 +10,14 @@
 // (default: the WIDEN_NUM_THREADS env var, then hardware concurrency;
 // results are bitwise identical for any value).
 //
+// `train` additionally accepts:
+//   --checkpoint_dir DIR   save a crash-safe training checkpoint after every
+//                          epoch (checksummed, atomic-rename; DESIGN.md)
+//   --resume               restore the newest loadable checkpoint from
+//                          --checkpoint_dir and continue from there; at
+//                          --num_threads 1 the result is bitwise identical
+//                          to the uninterrupted run
+//
 // Graph files use the text format documented in graph/io.h. With no
 // arguments the tool writes a demo graph to ./demo.graph, trains on it, and
 // embeds it — a self-contained smoke run.
@@ -28,6 +36,7 @@
 #include "graph/io.h"
 #include "tensor/kernel_context.h"
 #include "train/metrics.h"
+#include "train/trainer.h"
 
 namespace {
 
@@ -48,7 +57,7 @@ int RunStats(const std::string& graph_path) {
 }
 
 int RunTrain(const std::string& graph_path, const std::string& ckpt_path,
-             int64_t epochs) {
+             int64_t epochs, const std::string& checkpoint_dir, bool resume) {
   auto graph = graph::LoadGraphText(graph_path);
   if (!graph.ok()) return Fail(graph.status());
   if (!graph->has_labels()) {
@@ -66,12 +75,20 @@ int RunTrain(const std::string& graph_path, const std::string& ckpt_path,
   std::printf("training WIDEN (%lld parameters) on %lld labeled nodes...\n",
               static_cast<long long>((*model)->TotalParameterCount()),
               static_cast<long long>(split->train.size()));
-  auto report =
-      (*model)->Train(split->train, [](const core::WidenEpochLog& log) {
-        std::printf("  epoch %3lld  loss %.4f  |W| %.1f  |D| %.1f\n",
-                    static_cast<long long>(log.epoch), log.mean_loss,
-                    log.mean_wide_size, log.mean_deep_size);
-      });
+  auto log_epoch = [](const core::WidenEpochLog& log) {
+    std::printf("  epoch %3lld  loss %.4f  |W| %.1f  |D| %.1f\n",
+                static_cast<long long>(log.epoch), log.mean_loss,
+                log.mean_wide_size, log.mean_deep_size);
+  };
+  StatusOr<core::WidenTrainReport> report = [&]() {
+    if (checkpoint_dir.empty()) {
+      return (*model)->Train(split->train, log_epoch);
+    }
+    train::CheckpointConfig ckpt;
+    ckpt.directory = checkpoint_dir;
+    return train::TrainWithCheckpoints(**model, split->train, epochs, ckpt,
+                                       resume, log_epoch);
+  }();
   if (!report.ok()) return Fail(report.status());
 
   std::vector<int32_t> predictions =
@@ -127,7 +144,9 @@ int RunDemo() {
   Status saved = graph::SaveGraphText(acm->graph, "demo.graph");
   if (!saved.ok()) return Fail(saved);
   std::puts("wrote demo.graph");
-  if (int code = RunTrain("demo.graph", "demo.ckpt", 8); code != 0) {
+  if (int code = RunTrain("demo.graph", "demo.ckpt", 8, /*checkpoint_dir=*/"",
+                          /*resume=*/false);
+      code != 0) {
     return code;
   }
   return RunEmbed("demo.graph", "demo.ckpt", "demo_embeddings.csv");
@@ -136,12 +155,27 @@ int RunDemo() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --num_threads N / --num_threads=N anywhere on the command line and
-  // apply it to the process-wide kernel context before any work runs.
+  // Strip option flags anywhere on the command line, leaving positional
+  // arguments. --num_threads applies to the process-wide kernel context
+  // before any work runs; --checkpoint_dir/--resume feed RunTrain.
+  std::string checkpoint_dir;
+  bool resume = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const char* arg = argv[i];
     long threads = -1;
+    if (std::strcmp(arg, "--resume") == 0) {
+      resume = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--checkpoint_dir") == 0 && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--checkpoint_dir=", 17) == 0) {
+      checkpoint_dir = arg + 17;
+      continue;
+    }
     if (std::strcmp(arg, "--num_threads") == 0 && i + 1 < argc) {
       threads = std::atol(argv[++i]);
     } else if (std::strncmp(arg, "--num_threads=", 14) == 0) {
@@ -159,12 +193,17 @@ int main(int argc, char** argv) {
   }
   argc = static_cast<int>(args.size());
   argv = args.data();
+  if (resume && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "error: --resume requires --checkpoint_dir\n");
+    return 2;
+  }
 
   if (argc == 1) return RunDemo();
   const std::string command = argv[1];
   if (command == "stats" && argc == 3) return RunStats(argv[2]);
   if (command == "train" && (argc == 4 || argc == 5)) {
-    return RunTrain(argv[2], argv[3], argc == 5 ? std::atol(argv[4]) : 20);
+    return RunTrain(argv[2], argv[3], argc == 5 ? std::atol(argv[4]) : 20,
+                    checkpoint_dir, resume);
   }
   if (command == "embed" && argc == 5) {
     return RunEmbed(argv[2], argv[3], argv[4]);
@@ -175,8 +214,12 @@ int main(int argc, char** argv) {
                "  %s stats <graph.txt>\n"
                "  %s train <graph.txt> <model.ckpt> [epochs]\n"
                "  %s embed <graph.txt> <model.ckpt> <out.csv>\n"
-               "options: --num_threads N   kernel threads (default: "
-               "WIDEN_NUM_THREADS or hardware)\n",
+               "options: --num_threads N       kernel threads (default: "
+               "WIDEN_NUM_THREADS or hardware)\n"
+               "         --checkpoint_dir DIR  (train) save a checksummed\n"
+               "                               checkpoint after every epoch\n"
+               "         --resume              (train) continue from the\n"
+               "                               newest checkpoint in DIR\n",
                argv[0], argv[0], argv[0], argv[0]);
   return 2;
 }

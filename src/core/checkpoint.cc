@@ -1,10 +1,16 @@
 #include "core/checkpoint.h"
 
+#include <utility>
+
 #include "tensor/serialize.h"
 #include "util/string_util.h"
 
 namespace widen::core {
 namespace {
+
+// Blob record carrying WidenModel::ExportResumeState inside training
+// checkpoints.
+constexpr char kResumeBlobName[] = "train_state";
 
 // Stable per-parameter names: index + label (labels alone may repeat across
 // attention matrices of the same kind).
@@ -18,25 +24,22 @@ tensor::NamedTensors NameParameters(const WidenModel& model) {
   return named;
 }
 
-}  // namespace
-
-Status SaveWidenModel(const WidenModel& model, const std::string& path) {
+// Parameters first, then the optional embedding store (Algorithm 3's output,
+// "vector representations for all v in V", is part of the trained state).
+tensor::NamedTensors CollectTensors(const WidenModel& model) {
   tensor::NamedTensors named = NameParameters(model);
-  // Algorithm 3's output ("vector representations for all v in V") is part
-  // of the trained state: persist the embedding store when it exists.
   tensor::Tensor reps, valid;
   if (model.ExportTrainingCache(&reps, &valid)) {
     named.emplace_back("cache:reps", reps);
     named.emplace_back("cache:valid", valid);
   }
-  return tensor::SaveTensors(path, named);
+  return named;
 }
 
-Status LoadWidenModel(WidenModel& model, const std::string& path) {
-  WIDEN_ASSIGN_OR_RETURN(tensor::NamedTensors loaded,
-                         tensor::LoadTensors(path));
+// Copies loaded tensors into the model: parameter records by position/name,
+// then the optional trailing cache pair. Consumes `loaded`.
+Status RestoreTensors(WidenModel& model, tensor::NamedTensors loaded) {
   tensor::NamedTensors expected = NameParameters(model);
-  // Optional embedding store rides at the end.
   tensor::Tensor cache_reps, cache_valid;
   if (loaded.size() >= 2 && loaded[loaded.size() - 2].first == "cache:reps" &&
       loaded.back().first == "cache:valid") {
@@ -64,6 +67,44 @@ Status LoadWidenModel(WidenModel& model, const std::string& path) {
     WIDEN_RETURN_IF_ERROR(model.ImportTrainingCache(cache_reps, cache_valid));
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status SaveWidenModel(const WidenModel& model, const std::string& path) {
+  return tensor::SaveTensors(path, CollectTensors(model));
+}
+
+Status LoadWidenModel(WidenModel& model, const std::string& path) {
+  // LoadTensors skips blob records, so training checkpoints load fine here.
+  WIDEN_ASSIGN_OR_RETURN(tensor::NamedTensors loaded,
+                         tensor::LoadTensors(path));
+  return RestoreTensors(model, std::move(loaded));
+}
+
+Status SaveTrainingState(const WidenModel& model, const std::string& path) {
+  tensor::Bundle bundle;
+  bundle.tensors = CollectTensors(model);
+  bundle.blobs.emplace_back(kResumeBlobName, model.ExportResumeState());
+  return tensor::SaveBundle(path, bundle);
+}
+
+Status LoadTrainingState(WidenModel& model, const std::string& path) {
+  WIDEN_ASSIGN_OR_RETURN(tensor::Bundle bundle, tensor::LoadBundle(path));
+  const std::string* resume_blob = nullptr;
+  for (const auto& [name, bytes] : bundle.blobs) {
+    if (name == kResumeBlobName) resume_blob = &bytes;
+  }
+  if (resume_blob == nullptr) {
+    return Status::InvalidArgument(
+        StrCat("'", path, "' has no '", kResumeBlobName,
+               "' record; use LoadWidenModel for parameter-only files"));
+  }
+  // The resume blob is validated (and the optimizer restored) before any
+  // parameter bytes are touched, so a mismatched blob leaves the model
+  // untouched.
+  WIDEN_RETURN_IF_ERROR(model.ImportResumeState(*resume_blob));
+  return RestoreTensors(model, std::move(bundle.tensors));
 }
 
 }  // namespace widen::core

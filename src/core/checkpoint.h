@@ -19,8 +19,25 @@ Status SaveWidenModel(const WidenModel& model, const std::string& path);
 /// Restores parameters saved by SaveWidenModel into `model`, which must
 /// have been created with a configuration producing identical parameter
 /// shapes. Embedding caches are not restored (they are recomputed by the
-/// next training/eval pass).
+/// next training/eval pass). Also accepts training checkpoints written by
+/// SaveTrainingState (the resume blob is simply ignored), so a serving
+/// process can load a mid-training snapshot.
 Status LoadWidenModel(WidenModel& model, const std::string& path);
+
+/// Full training checkpoint: parameters + embedding store (as in
+/// SaveWidenModel) plus an opaque resume blob carrying the epoch counter,
+/// RNG stream, Adam moments, neighbor sets, and KL attention histories
+/// (WidenModel::ExportResumeState). Written atomically with per-record
+/// checksums; a crash mid-save never clobbers an existing file.
+Status SaveTrainingState(const WidenModel& model, const std::string& path);
+
+/// Restores a checkpoint written by SaveTrainingState into `model` (created
+/// with the same config and graph). After this, TrainUntil() continues
+/// bitwise-identically to the run that wrote the checkpoint (num_threads=1).
+/// Corrupt files yield a non-OK Status and leave `model` unchanged except
+/// possibly the parameter values already copied before the corruption was
+/// detected (checksums make that practically unreachable).
+Status LoadTrainingState(WidenModel& model, const std::string& path);
 
 }  // namespace widen::core
 

@@ -35,6 +35,25 @@ double AttentionTracker::UpdateAndComputeKl(
 
 void AttentionTracker::Reset(int64_t key) { history_.erase(key); }
 
+std::vector<AttentionTracker::Snapshot> AttentionTracker::Export() const {
+  std::vector<Snapshot> entries;
+  entries.reserve(history_.size());
+  for (const auto& [key, entry] : history_) {
+    entries.push_back({key, entry.signature, entry.attention});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Snapshot& a, const Snapshot& b) { return a.key < b.key; });
+  return entries;
+}
+
+void AttentionTracker::Restore(const std::vector<Snapshot>& entries) {
+  history_.clear();
+  history_.reserve(entries.size());
+  for (const Snapshot& snapshot : entries) {
+    history_[snapshot.key] = {snapshot.signature, snapshot.attention};
+  }
+}
+
 uint64_t HashNodeSequence(const std::vector<int32_t>& nodes) {
   uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
   for (int32_t node : nodes) {

@@ -47,6 +47,18 @@ class AttentionTracker {
 
   size_t size() const { return history_.size(); }
 
+  /// One persisted history entry (exact-resume checkpoints).
+  struct Snapshot {
+    int64_t key = 0;
+    uint64_t signature = 0;
+    std::vector<float> attention;
+  };
+
+  /// Full history sorted by key (canonical bytes for checkpointing).
+  std::vector<Snapshot> Export() const;
+  /// Replaces the history with previously exported entries.
+  void Restore(const std::vector<Snapshot>& entries);
+
  private:
   struct Entry {
     uint64_t signature = 0;

@@ -7,6 +7,7 @@
 #include "tensor/init.h"
 #include "tensor/kernel_context.h"
 #include "tensor/ops.h"
+#include "util/byte_io.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -347,6 +348,13 @@ void WidenModel::MaybeDownsample(TargetState& state,
 StatusOr<WidenTrainReport> WidenModel::Train(
     const std::vector<graph::NodeId>& train_nodes,
     const std::function<void(const WidenEpochLog&)>& epoch_observer) {
+  return TrainUntil(current_epoch_ + config_.max_epochs, train_nodes,
+                    epoch_observer);
+}
+
+StatusOr<WidenTrainReport> WidenModel::TrainUntil(
+    int64_t target_epoch, const std::vector<graph::NodeId>& train_nodes,
+    const std::function<void(const WidenEpochLog&)>& epoch_observer) {
   if (train_nodes.empty()) {
     return Status::InvalidArgument("no training nodes");
   }
@@ -377,14 +385,20 @@ StatusOr<WidenTrainReport> WidenModel::Train(
 
   WidenTrainReport report;
   StopWatch total_watch;
-  std::vector<graph::NodeId> supervised_order = train_nodes;
-  std::vector<graph::NodeId> refresh_order;
-  refresh_order.reserve(static_cast<size_t>(graph_->num_nodes()) -
-                        train_nodes.size());
+  // Canonical visit orders, re-copied and shuffled from scratch each epoch:
+  // the permutation depends only on (train_nodes, current RNG state), so a
+  // run restored from a checkpoint at any epoch boundary replays the exact
+  // shuffles of the uninterrupted run.
+  const std::vector<graph::NodeId>& supervised_canonical = train_nodes;
+  std::vector<graph::NodeId> refresh_canonical;
+  refresh_canonical.reserve(static_cast<size_t>(graph_->num_nodes()) -
+                            train_nodes.size());
   for (graph::NodeId v = 0; v < graph_->num_nodes(); ++v) {
-    if (!in_train_set[static_cast<size_t>(v)]) refresh_order.push_back(v);
+    if (!in_train_set[static_cast<size_t>(v)]) refresh_canonical.push_back(v);
   }
-  for (int64_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+  std::vector<graph::NodeId> supervised_order;
+  std::vector<graph::NodeId> refresh_order;
+  while (current_epoch_ < target_epoch) {
     StopWatch epoch_watch;
     WidenEpochLog log;
     log.epoch = current_epoch_;
@@ -392,6 +406,7 @@ StatusOr<WidenTrainReport> WidenModel::Train(
     int64_t batches = 0;
 
     // Supervised mini-batches over the labeled training nodes (Eq. 10).
+    supervised_order = supervised_canonical;
     rng_.Shuffle(supervised_order);
     for (size_t begin = 0; begin < supervised_order.size();
          begin += static_cast<size_t>(config_.batch_size)) {
@@ -430,6 +445,7 @@ StatusOr<WidenTrainReport> WidenModel::Train(
     // sweep is what pushes information one hop further per epoch.
     {
       T::NoGradScope no_grad;
+      refresh_order = refresh_canonical;
       rng_.Shuffle(refresh_order);
       for (graph::NodeId v : refresh_order) {
         TargetState& state = target_states_.at(v);
@@ -456,8 +472,10 @@ StatusOr<WidenTrainReport> WidenModel::Train(
     log.mean_deep_size =
         deep_sets > 0 ? deep_total / static_cast<double>(deep_sets) : 0.0;
     report.epochs.push_back(log);
-    if (epoch_observer) epoch_observer(log);
+    // The counter advances BEFORE the observer so that a checkpoint taken
+    // inside it records this epoch as completed (train/trainer.h).
     ++current_epoch_;
+    if (epoch_observer) epoch_observer(log);
   }
   // One final coherent refresh: every cached representation is recomputed
   // with the fully trained parameters (mid-epoch rows were written under
@@ -625,6 +643,203 @@ Status WidenModel::ImportTrainingCache(const T::Tensor& reps,
   for (int64_t v = 0; v < n; ++v) {
     cache.valid[static_cast<size_t>(v)] = valid.at(v, 0) != 0.0f;
   }
+  return Status::OK();
+}
+
+namespace {
+
+constexpr uint32_t kResumeStateVersion = 1;
+// Upper bounds for blob parsing; generous relative to any real run but small
+// enough that a corrupted length cannot drive a huge allocation.
+constexpr uint64_t kMaxResumeVectorElements = uint64_t{1} << 28;
+constexpr uint64_t kMaxResumeEntries = uint64_t{1} << 24;
+
+void WriteTrackerSnapshots(
+    ByteWriter& writer,
+    const std::vector<AttentionTracker::Snapshot>& entries) {
+  writer.WriteScalar<uint64_t>(entries.size());
+  for (const AttentionTracker::Snapshot& entry : entries) {
+    writer.WriteScalar<int64_t>(entry.key);
+    writer.WriteScalar<uint64_t>(entry.signature);
+    writer.WriteVector(entry.attention);
+  }
+}
+
+bool ReadTrackerSnapshots(ByteReader& reader,
+                          std::vector<AttentionTracker::Snapshot>* entries) {
+  uint64_t count = 0;
+  if (!reader.ReadScalar(&count) || count > kMaxResumeEntries) return false;
+  entries->clear();
+  entries->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    AttentionTracker::Snapshot entry;
+    if (!reader.ReadScalar(&entry.key) ||
+        !reader.ReadScalar(&entry.signature) ||
+        !reader.ReadVector(&entry.attention, kMaxResumeVectorElements)) {
+      return false;
+    }
+    entries->push_back(std::move(entry));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string WidenModel::ExportResumeState() const {
+  std::string blob;
+  ByteWriter writer(&blob);
+  writer.WriteScalar<uint32_t>(kResumeStateVersion);
+  writer.WriteScalar<int64_t>(current_epoch_);
+
+  const Rng::State rng_state = rng_.SaveState();
+  for (uint64_t word : rng_state.words) writer.WriteScalar<uint64_t>(word);
+  writer.WriteScalar<uint8_t>(rng_state.have_cached_normal ? 1 : 0);
+  writer.WriteScalar<double>(rng_state.cached_normal);
+
+  writer.WriteScalar<int64_t>(optimizer_->step_count());
+  const auto& m = optimizer_->first_moments();
+  const auto& v = optimizer_->second_moments();
+  writer.WriteScalar<uint64_t>(m.size());
+  for (size_t k = 0; k < m.size(); ++k) {
+    writer.WriteVector(m[k]);
+    writer.WriteVector(v[k]);
+  }
+
+  // Target states in ascending node order so the bytes are canonical
+  // regardless of hash-map iteration order.
+  std::vector<graph::NodeId> targets;
+  targets.reserve(target_states_.size());
+  for (const auto& [node, state] : target_states_) targets.push_back(node);
+  std::sort(targets.begin(), targets.end());
+  writer.WriteScalar<uint64_t>(targets.size());
+  for (graph::NodeId node : targets) {
+    const TargetState& state = target_states_.at(node);
+    writer.WriteScalar<int32_t>(node);
+    writer.WriteVector(state.wide.nodes);
+    writer.WriteVector(state.wide.edge_types);
+    writer.WriteScalar<uint32_t>(static_cast<uint32_t>(state.deeps.size()));
+    for (const DeepNeighborState& deep : state.deeps) {
+      writer.WriteVector(deep.nodes);
+      writer.WriteScalar<uint32_t>(static_cast<uint32_t>(deep.edges.size()));
+      for (const DeepEdgeSlot& slot : deep.edges) {
+        writer.WriteScalar<int32_t>(slot.edge_type);
+        writer.WriteVector(slot.relay);
+      }
+    }
+  }
+
+  WriteTrackerSnapshots(writer, wide_tracker_.Export());
+  WriteTrackerSnapshots(writer, deep_tracker_.Export());
+  return blob;
+}
+
+Status WidenModel::ImportResumeState(const std::string& blob) {
+  const Status corrupt =
+      Status::InvalidArgument("resume state blob is corrupt or truncated");
+  ByteReader reader(blob);
+
+  uint32_t version = 0;
+  if (!reader.ReadScalar(&version)) return corrupt;
+  if (version != kResumeStateVersion) {
+    return Status::InvalidArgument(
+        StrCat("unsupported resume state version ", version));
+  }
+
+  int64_t epoch = 0;
+  if (!reader.ReadScalar(&epoch) || epoch < 0) return corrupt;
+
+  Rng::State rng_state;
+  for (uint64_t& word : rng_state.words) {
+    if (!reader.ReadScalar(&word)) return corrupt;
+  }
+  uint8_t have_cached = 0;
+  if (!reader.ReadScalar(&have_cached) || have_cached > 1 ||
+      !reader.ReadScalar(&rng_state.cached_normal)) {
+    return corrupt;
+  }
+  rng_state.have_cached_normal = have_cached == 1;
+
+  int64_t adam_step = 0;
+  uint64_t moment_count = 0;
+  if (!reader.ReadScalar(&adam_step) || !reader.ReadScalar(&moment_count) ||
+      moment_count > kMaxResumeEntries) {
+    return corrupt;
+  }
+  std::vector<std::vector<float>> m(static_cast<size_t>(moment_count));
+  std::vector<std::vector<float>> v(static_cast<size_t>(moment_count));
+  for (uint64_t k = 0; k < moment_count; ++k) {
+    if (!reader.ReadVector(&m[k], kMaxResumeVectorElements) ||
+        !reader.ReadVector(&v[k], kMaxResumeVectorElements)) {
+      return corrupt;
+    }
+  }
+
+  const int64_t num_nodes = graph_->num_nodes();
+  const uint64_t d = static_cast<uint64_t>(config_.embedding_dim);
+  uint64_t target_count = 0;
+  if (!reader.ReadScalar(&target_count) || target_count > kMaxResumeEntries) {
+    return corrupt;
+  }
+  std::unordered_map<graph::NodeId, TargetState> states;
+  states.reserve(static_cast<size_t>(target_count));
+  for (uint64_t i = 0; i < target_count; ++i) {
+    int32_t node = -1;
+    if (!reader.ReadScalar(&node) || node < 0 || node >= num_nodes ||
+        states.count(node) != 0) {
+      return corrupt;
+    }
+    TargetState state;
+    state.node = node;
+    state.wide.target = node;
+    uint32_t deep_count = 0;
+    if (!reader.ReadVector(&state.wide.nodes, kMaxResumeVectorElements) ||
+        !reader.ReadVector(&state.wide.edge_types, kMaxResumeVectorElements) ||
+        state.wide.edge_types.size() != state.wide.nodes.size() ||
+        !reader.ReadScalar(&deep_count) || deep_count > kMaxResumeEntries) {
+      return corrupt;
+    }
+    for (graph::NodeId neighbor : state.wide.nodes) {
+      if (neighbor < 0 || neighbor >= num_nodes) return corrupt;
+    }
+    state.deeps.resize(deep_count);
+    for (DeepNeighborState& deep : state.deeps) {
+      deep.target = node;
+      uint32_t edge_count = 0;
+      if (!reader.ReadVector(&deep.nodes, kMaxResumeVectorElements) ||
+          !reader.ReadScalar(&edge_count) ||
+          edge_count != deep.nodes.size()) {
+        return corrupt;
+      }
+      for (graph::NodeId neighbor : deep.nodes) {
+        if (neighbor < 0 || neighbor >= num_nodes) return corrupt;
+      }
+      deep.edges.resize(edge_count);
+      for (DeepEdgeSlot& slot : deep.edges) {
+        if (!reader.ReadScalar(&slot.edge_type) ||
+            !reader.ReadVector(&slot.relay, kMaxResumeVectorElements) ||
+            (!slot.relay.empty() && slot.relay.size() != d)) {
+          return corrupt;
+        }
+      }
+    }
+    states.emplace(node, std::move(state));
+  }
+
+  std::vector<AttentionTracker::Snapshot> wide_entries, deep_entries;
+  if (!ReadTrackerSnapshots(reader, &wide_entries) ||
+      !ReadTrackerSnapshots(reader, &deep_entries) || !reader.AtEnd()) {
+    return corrupt;
+  }
+
+  // Everything parsed and validated; the optimizer restore is the only
+  // remaining fallible step, so no member is touched until it succeeds.
+  WIDEN_RETURN_IF_ERROR(
+      optimizer_->RestoreState(adam_step, std::move(m), std::move(v)));
+  current_epoch_ = epoch;
+  rng_.RestoreState(rng_state);
+  target_states_ = std::move(states);
+  wide_tracker_.Restore(wide_entries);
+  deep_tracker_.Restore(deep_entries);
   return Status::OK();
 }
 

@@ -55,10 +55,23 @@ class WidenModel {
   /// Algorithm 3: semi-supervised training on `train_nodes` (must be labeled
   /// nodes of the training graph). Neighbor sets are sampled once up front
   /// (line 3) and then shrunk by the active downsampling machinery.
-  /// `epoch_observer`, if set, fires after every epoch.
+  /// `epoch_observer`, if set, fires after every epoch (the epoch counter
+  /// has already advanced when it runs, so a checkpoint taken inside the
+  /// observer records the completed-epoch count). Runs `max_epochs` MORE
+  /// epochs from the current counter.
   StatusOr<WidenTrainReport> Train(
       const std::vector<graph::NodeId>& train_nodes,
       const std::function<void(const WidenEpochLog&)>& epoch_observer = {});
+
+  /// Same loop, but trains until the completed-epoch counter reaches
+  /// `target_epoch` (no epochs if already there). This is the resume entry
+  /// point: restore a checkpoint, then TrainUntil the original target.
+  StatusOr<WidenTrainReport> TrainUntil(
+      int64_t target_epoch, const std::vector<graph::NodeId>& train_nodes,
+      const std::function<void(const WidenEpochLog&)>& epoch_observer = {});
+
+  /// Completed training epochs (across Train/TrainUntil calls).
+  int64_t current_epoch() const { return current_epoch_; }
 
   /// Unsupervised alternative to Train() (§3.4 notes WIDEN "can be
   /// optimized for different downstream tasks"): a skip-gram-with-negative-
@@ -97,6 +110,18 @@ class WidenModel {
   /// Current size of a training target's neighbor sets (tests/diagnostics).
   /// Returns {wide_size, mean_deep_size}; {-1, -1} if the node has no state.
   std::pair<int64_t, double> NeighborSetSizes(graph::NodeId node) const;
+
+  /// Opaque serialization of everything Train() mutates besides parameters
+  /// and the embedding store: epoch counter, RNG stream, Adam moments,
+  /// per-target neighbor sets (with relay edges), and the KL attention
+  /// histories. Together with the parameters and the exported cache this
+  /// makes a resumed run bitwise-identical to an uninterrupted one (at
+  /// num_threads=1; see DESIGN.md §8-9).
+  std::string ExportResumeState() const;
+  /// Restores a blob produced by ExportResumeState on a model created with
+  /// the same config and graph. Corrupt or mismatched blobs leave a
+  /// well-defined error, never partial UB (all bounds are checked).
+  Status ImportResumeState(const std::string& blob);
 
  private:
   WidenModel(const graph::HeteroGraph* graph, const WidenConfig& config);

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <unordered_set>
 
 #include "graph/graph_builder.h"
 #include "util/string_util.h"
@@ -38,6 +40,14 @@ Status SaveGraphText(const HeteroGraph& graph, const std::string& path) {
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     Csr::NeighborSpan span = graph.neighbors(v);
     for (int64_t i = 0; i < span.size; ++i) {
+      if (span.neighbors[i] == v) {
+        // GraphBuilder::AddEdge refuses self-loops, so no loadable graph
+        // contains one; refuse loudly instead of silently dropping the edge
+        // (which would make save->load lossy without any signal).
+        return Status::InvalidArgument(
+            StrCat("node ", v, " has a self-loop; the text format (and "
+                   "GraphBuilder) do not support self-loops"));
+      }
       if (span.neighbors[i] > v) {  // each undirected edge once
         out << "edge " << v << " " << span.neighbors[i] << " "
             << schema.edge_type_name(span.edge_types[i]) << "\n";
@@ -45,6 +55,9 @@ Status SaveGraphText(const HeteroGraph& graph, const std::string& path) {
     }
   }
   if (graph.features().defined()) {
+    // max_digits10 makes the decimal text round-trip to the exact same
+    // float bits on load (9 significant digits for IEEE binary32).
+    out.precision(std::numeric_limits<float>::max_digits10);
     const int64_t dim = graph.feature_dim();
     out << "features " << dim << "\n";
     for (NodeId v = 0; v < graph.num_nodes(); ++v) {
@@ -94,9 +107,11 @@ StatusOr<HeteroGraph> LoadGraphText(const std::string& path) {
   std::vector<PendingEdge> edges;
   int64_t feature_dim = -1;
   std::vector<std::pair<NodeId, std::vector<float>>> feature_rows;
+  std::unordered_set<NodeId> feature_nodes;
   int32_t num_classes = 0;
   std::string labeled_type_name;
   std::vector<std::pair<NodeId, int32_t>> labels;
+  std::unordered_set<NodeId> labeled_nodes;
 
   std::string line;
   int line_number = 0;
@@ -177,6 +192,10 @@ StatusOr<HeteroGraph> LoadGraphText(const std::string& path) {
       }
       NodeId v = -1;
       if (!(tokens >> v)) return ParseError(line_number, "f needs node id");
+      if (!feature_nodes.insert(v).second) {
+        return ParseError(line_number,
+                          StrCat("duplicate feature row for node ", v));
+      }
       std::vector<float> row(static_cast<size_t>(feature_dim));
       for (int64_t j = 0; j < feature_dim; ++j) {
         if (!(tokens >> row[static_cast<size_t>(j)])) {
@@ -195,6 +214,9 @@ StatusOr<HeteroGraph> LoadGraphText(const std::string& path) {
       int32_t y = -1;
       if (!(tokens >> v >> y)) {
         return ParseError(line_number, "label needs node id and class");
+      }
+      if (!labeled_nodes.insert(v).second) {
+        return ParseError(line_number, StrCat("duplicate label for node ", v));
       }
       labels.emplace_back(v, y);
     } else {

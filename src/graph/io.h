@@ -24,11 +24,14 @@
 namespace widen::graph {
 
 /// Writes `graph` in the format above (features and labels included when
-/// present).
+/// present). Feature values are printed with enough digits to round-trip
+/// bitwise through LoadGraphText. Self-loops are rejected (InvalidArgument)
+/// rather than silently dropped; GraphBuilder cannot produce them anyway.
 Status SaveGraphText(const HeteroGraph& graph, const std::string& path);
 
 /// Parses a file written by SaveGraphText (or by hand). All structural
-/// errors are reported with line numbers.
+/// errors are reported with line numbers; duplicate `f` or `label` lines for
+/// the same node are errors (a silent last-writer-wins would hide data bugs).
 StatusOr<HeteroGraph> LoadGraphText(const std::string& path);
 
 }  // namespace widen::graph

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace widen::tensor {
 
@@ -85,6 +86,35 @@ void Adam::Step() {
               (m_hat / (std::sqrt(v_hat) + epsilon_) + weight_decay_ * x[i]);
     }
   }
+}
+
+Status Adam::RestoreState(int64_t step, std::vector<std::vector<float>> m,
+                          std::vector<std::vector<float>> v) {
+  if (step < 0) {
+    return Status::InvalidArgument("Adam step count must be non-negative");
+  }
+  if (m.size() != v.size()) {
+    return Status::InvalidArgument("Adam moment lists differ in length");
+  }
+  if (!m.empty()) {
+    if (m.size() != parameters_.size()) {
+      return Status::InvalidArgument(
+          StrCat("Adam state has ", m.size(), " moment vectors, optimizer has ",
+                 parameters_.size(), " parameters"));
+    }
+    for (size_t k = 0; k < parameters_.size(); ++k) {
+      const size_t wanted = static_cast<size_t>(parameters_[k].size());
+      if (m[k].size() != wanted || v[k].size() != wanted) {
+        return Status::InvalidArgument(
+            StrCat("Adam moment ", k, " size mismatch (",
+                   parameters_[k].label(), ")"));
+      }
+    }
+  }
+  step_ = step;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::OK();
 }
 
 }  // namespace widen::tensor

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace widen::tensor {
 
@@ -70,6 +71,17 @@ class Adam final : public Optimizer {
   void set_learning_rate(float lr) { learning_rate_ = lr; }
   float learning_rate() const { return learning_rate_; }
   int64_t step_count() const { return step_; }
+
+  /// Checkpointing access to the moment estimates. Both lists are empty
+  /// until the first Step() (they are lazily sized).
+  const std::vector<std::vector<float>>& first_moments() const { return m_; }
+  const std::vector<std::vector<float>>& second_moments() const { return v_; }
+
+  /// Restores a state captured from an identically parameterized optimizer.
+  /// Empty moment lists reset to the pre-first-Step() state; otherwise both
+  /// lists must match the registered parameters element-for-element.
+  Status RestoreState(int64_t step, std::vector<std::vector<float>> m,
+                      std::vector<std::vector<float>> v);
 
  private:
   float learning_rate_;

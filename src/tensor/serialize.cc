@@ -5,13 +5,27 @@
 #include <memory>
 #include <set>
 
+#include "util/byte_io.h"
+#include "util/crc32.h"
+#include "util/file_util.h"
 #include "util/string_util.h"
 
 namespace widen::tensor {
 namespace {
 
 constexpr char kMagic[4] = {'W', 'D', 'N', 'T'};
-constexpr uint32_t kVersion = 1;
+constexpr char kFooterMagic[4] = {'W', 'D', 'N', 'F'};
+constexpr uint32_t kVersionLegacy = 1;
+constexpr uint32_t kVersion = 2;
+
+enum RecordKind : uint8_t { kTensorRecord = 0, kBlobRecord = 1 };
+
+// Structural sanity bounds: far above anything the library produces, low
+// enough that corrupt length fields cannot drive multi-gigabyte allocations.
+constexpr uint64_t kMaxRecords = 1ull << 20;
+constexpr uint32_t kMaxNameLength = 4096;
+constexpr int64_t kMaxTensorElements = int64_t{1} << 28;  // 1 GiB of floats
+constexpr uint64_t kMaxBlobBytes = 1ull << 30;
 
 struct FileCloser {
   void operator()(std::FILE* file) const {
@@ -21,129 +35,376 @@ struct FileCloser {
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 template <typename T>
-bool WriteScalar(std::FILE* file, T value) {
-  return std::fwrite(&value, sizeof(T), 1, file) == 1;
-}
-
-template <typename T>
 bool ReadScalar(std::FILE* file, T* value) {
   return std::fread(value, sizeof(T), 1, file) == 1;
 }
 
-}  // namespace
-
-Status SaveTensors(const std::string& path, const NamedTensors& tensors) {
-  std::set<std::string> names;
-  for (const auto& [name, tensor] : tensors) {
-    if (name.empty()) {
-      return Status::InvalidArgument("tensor name must not be empty");
+/// dims product with overflow checking; corrupt dimension fields must fail
+/// cleanly rather than overflow int64 and size a std::vector negatively.
+StatusOr<int64_t> CheckedElementCount(const std::vector<int64_t>& dims) {
+  int64_t total = 1;
+  for (int64_t dim : dims) {
+    if (dim < 0) return Status::InvalidArgument("corrupt bundle (dimension)");
+    if (dim == 0) {
+      total = 0;
+      continue;
     }
-    if (!names.insert(name).second) {
-      return Status::InvalidArgument(StrCat("duplicate tensor name '", name,
+    if (total > kMaxTensorElements / dim) {
+      return Status::InvalidArgument(
+          "corrupt bundle (element count overflow)");
+    }
+    total *= dim;
+  }
+  if (total > kMaxTensorElements) {
+    return Status::InvalidArgument("corrupt bundle (element count overflow)");
+  }
+  return total;
+}
+
+Shape ShapeFromDims(const std::vector<int64_t>& dims) {
+  switch (dims.size()) {
+    case 0:
+      return Shape{};
+    case 1:
+      return Shape{dims[0]};
+    case 2:
+      return Shape{dims[0], dims[1]};
+    case 3:
+      return Shape{dims[0], dims[1], dims[2]};
+    default:
+      return Shape{dims[0], dims[1], dims[2], dims[3]};
+  }
+}
+
+Status ValidateNames(const Bundle& bundle) {
+  std::set<std::string> names;
+  auto check = [&names](const std::string& name) {
+    if (name.empty()) {
+      return Status::InvalidArgument("record name must not be empty");
+    }
+    if (name.size() > kMaxNameLength) {
+      return Status::InvalidArgument(StrCat("record name too long: '", name,
                                             "'"));
     }
+    if (!names.insert(name).second) {
+      return Status::InvalidArgument(StrCat("duplicate record name '", name,
+                                            "'"));
+    }
+    return Status::OK();
+  };
+  for (const auto& [name, tensor] : bundle.tensors) {
+    WIDEN_RETURN_IF_ERROR(check(name));
     if (!tensor.defined()) {
       return Status::InvalidArgument(StrCat("tensor '", name, "' is null"));
     }
   }
-  FilePtr file(std::fopen(path.c_str(), "wb"));
-  if (file == nullptr) {
-    return Status::IOError(StrCat("cannot open '", path, "' for writing"));
-  }
-  if (std::fwrite(kMagic, 1, 4, file.get()) != 4 ||
-      !WriteScalar(file.get(), kVersion) ||
-      !WriteScalar(file.get(), static_cast<uint64_t>(tensors.size()))) {
-    return Status::IOError("write failed (header)");
-  }
-  for (const auto& [name, tensor] : tensors) {
-    if (!WriteScalar(file.get(), static_cast<uint32_t>(name.size())) ||
-        std::fwrite(name.data(), 1, name.size(), file.get()) != name.size() ||
-        !WriteScalar(file.get(),
-                     static_cast<uint32_t>(tensor.shape().rank()))) {
-      return Status::IOError(StrCat("write failed ('", name, "' header)"));
-    }
-    for (int i = 0; i < tensor.shape().rank(); ++i) {
-      if (!WriteScalar(file.get(),
-                       static_cast<uint64_t>(tensor.shape().dim(i)))) {
-        return Status::IOError(StrCat("write failed ('", name, "' dims)"));
-      }
-    }
-    const size_t count = static_cast<size_t>(tensor.size());
-    if (std::fwrite(tensor.data(), sizeof(float), count, file.get()) !=
-        count) {
-      return Status::IOError(StrCat("write failed ('", name, "' data)"));
+  for (const auto& [name, bytes] : bundle.blobs) {
+    WIDEN_RETURN_IF_ERROR(check(name));
+    if (bytes.size() > kMaxBlobBytes) {
+      return Status::InvalidArgument(StrCat("blob '", name, "' too large"));
     }
   }
   return Status::OK();
 }
 
-StatusOr<NamedTensors> LoadTensors(const std::string& path) {
+/// Streams bytes to a FILE while maintaining the running whole-file CRC.
+struct CrcFileWriter {
+  std::FILE* file;
+  uint32_t file_crc = 0;
+  bool ok = true;
+
+  void Write(const void* data, size_t size) {
+    if (!ok) return;
+    if (std::fwrite(data, 1, size, file) != size) {
+      ok = false;
+      return;
+    }
+    file_crc = Crc32cExtend(file_crc, data, size);
+  }
+
+  template <typename T>
+  void WriteScalar(T value) {
+    Write(&value, sizeof(T));
+  }
+};
+
+void EncodeRecordHeader(ByteWriter& writer, RecordKind kind,
+                        const std::string& name) {
+  writer.WriteScalar<uint8_t>(kind);
+  writer.WriteScalar<uint32_t>(static_cast<uint32_t>(name.size()));
+  writer.WriteBytes(name.data(), name.size());
+}
+
+/// Reads record fields while maintaining both the per-record and whole-file
+/// CRCs, with explicit remaining-byte accounting so corrupt length fields
+/// cannot trigger oversized reads.
+struct CrcFileReader {
+  std::FILE* file;
+  int64_t remaining;  // bytes left in the file from the current position
+  uint32_t file_crc = 0;
+  uint32_t record_crc = 0;
+
+  bool Read(void* data, size_t size) {
+    if (remaining < static_cast<int64_t>(size)) return false;
+    if (std::fread(data, 1, size, file) != size) return false;
+    remaining -= static_cast<int64_t>(size);
+    file_crc = Crc32cExtend(file_crc, data, size);
+    record_crc = Crc32cExtend(record_crc, data, size);
+    return true;
+  }
+
+  template <typename T>
+  bool ReadScalar(T* value) {
+    return Read(value, sizeof(T));
+  }
+
+  /// Reads bytes that are covered by the file CRC but not the record CRC
+  /// (the stored per-record checksum itself).
+  bool ReadOutsideRecord(void* data, size_t size) {
+    if (remaining < static_cast<int64_t>(size)) return false;
+    if (std::fread(data, 1, size, file) != size) return false;
+    remaining -= static_cast<int64_t>(size);
+    file_crc = Crc32cExtend(file_crc, data, size);
+    return true;
+  }
+};
+
+StatusOr<Bundle> LoadV2Body(CrcFileReader& reader, const std::string& path) {
+  uint64_t count = 0;
+  if (!reader.ReadScalar(&count) || count > kMaxRecords) {
+    return Status::InvalidArgument("corrupt bundle (record count)");
+  }
+  Bundle out;
+  for (uint64_t i = 0; i < count; ++i) {
+    reader.record_crc = 0;
+    uint8_t kind = 0;
+    uint32_t name_length = 0;
+    if (!reader.ReadScalar(&kind) ||
+        (kind != kTensorRecord && kind != kBlobRecord)) {
+      return Status::InvalidArgument("corrupt bundle (record kind)");
+    }
+    if (!reader.ReadScalar(&name_length) || name_length > kMaxNameLength) {
+      return Status::InvalidArgument("corrupt bundle (name length)");
+    }
+    std::string name(name_length, '\0');
+    if (!reader.Read(name.data(), name_length)) {
+      return Status::IOError("truncated bundle (name)");
+    }
+    if (kind == kTensorRecord) {
+      uint32_t rank = 0;
+      if (!reader.ReadScalar(&rank) ||
+          rank > static_cast<uint32_t>(Shape::kMaxRank)) {
+        return Status::InvalidArgument("corrupt bundle (rank)");
+      }
+      std::vector<int64_t> dims(rank);
+      for (uint32_t d = 0; d < rank; ++d) {
+        uint64_t dim = 0;
+        if (!reader.ReadScalar(&dim) || dim > (1ull << 32)) {
+          return Status::InvalidArgument("corrupt bundle (dimension)");
+        }
+        dims[d] = static_cast<int64_t>(dim);
+      }
+      WIDEN_ASSIGN_OR_RETURN(const int64_t total, CheckedElementCount(dims));
+      if (total * static_cast<int64_t>(sizeof(float)) > reader.remaining) {
+        return Status::InvalidArgument(
+            StrCat("truncated bundle ('", name, "' data)"));
+      }
+      std::vector<float> data(static_cast<size_t>(total));
+      if (!reader.Read(data.data(), data.size() * sizeof(float))) {
+        return Status::IOError(StrCat("truncated bundle ('", name,
+                                      "' data)"));
+      }
+      out.tensors.emplace_back(
+          std::move(name),
+          Tensor::FromVector(ShapeFromDims(dims), std::move(data)));
+    } else {
+      uint64_t size = 0;
+      if (!reader.ReadScalar(&size) || size > kMaxBlobBytes ||
+          static_cast<int64_t>(size) > reader.remaining) {
+        return Status::InvalidArgument("corrupt bundle (blob size)");
+      }
+      std::string bytes(static_cast<size_t>(size), '\0');
+      if (!reader.Read(bytes.data(), bytes.size())) {
+        return Status::IOError(StrCat("truncated bundle ('", name, "')"));
+      }
+      out.blobs.emplace_back(std::move(name), std::move(bytes));
+    }
+    const uint32_t computed_crc = reader.record_crc;
+    uint32_t stored_crc = 0;
+    if (!reader.ReadOutsideRecord(&stored_crc, sizeof(stored_crc))) {
+      return Status::IOError("truncated bundle (record checksum)");
+    }
+    if (stored_crc != computed_crc) {
+      return Status::InvalidArgument(
+          StrCat("checksum mismatch in record ", i, " of '", path, "'"));
+    }
+  }
+  // Footer: magic + record count + CRC of every byte before the footer.
+  const uint32_t file_crc = reader.file_crc;
+  char footer_magic[4];
+  uint64_t footer_count = 0;
+  uint32_t stored_file_crc = 0;
+  if (!reader.ReadOutsideRecord(footer_magic, 4) ||
+      std::memcmp(footer_magic, kFooterMagic, 4) != 0) {
+    return Status::InvalidArgument("truncated bundle (missing footer)");
+  }
+  if (!reader.ReadOutsideRecord(&footer_count, sizeof(footer_count)) ||
+      footer_count != count) {
+    return Status::InvalidArgument("corrupt bundle (footer record count)");
+  }
+  if (!reader.ReadOutsideRecord(&stored_file_crc, sizeof(stored_file_crc)) ||
+      stored_file_crc != file_crc) {
+    return Status::InvalidArgument(
+        StrCat("whole-file checksum mismatch in '", path, "'"));
+  }
+  if (reader.remaining != 0 || std::fgetc(reader.file) != EOF) {
+    return Status::InvalidArgument("corrupt bundle (trailing bytes)");
+  }
+  return out;
+}
+
+StatusOr<Bundle> LoadV1Body(std::FILE* file, int64_t remaining) {
+  uint64_t count = 0;
+  if (!ReadScalar(file, &count) || count > kMaxRecords) {
+    return Status::InvalidArgument("corrupt bundle (tensor count)");
+  }
+  remaining -= static_cast<int64_t>(sizeof(count));
+  Bundle out;
+  out.tensors.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t name_length = 0;
+    if (!ReadScalar(file, &name_length) || name_length > kMaxNameLength) {
+      return Status::InvalidArgument("corrupt bundle (name length)");
+    }
+    std::string name(name_length, '\0');
+    if (std::fread(name.data(), 1, name_length, file) != name_length) {
+      return Status::IOError("truncated bundle (name)");
+    }
+    uint32_t rank = 0;
+    if (!ReadScalar(file, &rank) ||
+        rank > static_cast<uint32_t>(Shape::kMaxRank)) {
+      return Status::InvalidArgument("corrupt bundle (rank)");
+    }
+    remaining -= static_cast<int64_t>(sizeof(name_length)) + name_length +
+                 static_cast<int64_t>(sizeof(rank));
+    std::vector<int64_t> dims(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      uint64_t dim = 0;
+      if (!ReadScalar(file, &dim) || dim > (1ull << 32)) {
+        return Status::InvalidArgument("corrupt bundle (dimension)");
+      }
+      dims[d] = static_cast<int64_t>(dim);
+      remaining -= static_cast<int64_t>(sizeof(dim));
+    }
+    WIDEN_ASSIGN_OR_RETURN(const int64_t total, CheckedElementCount(dims));
+    if (total * static_cast<int64_t>(sizeof(float)) > remaining) {
+      return Status::InvalidArgument(
+          StrCat("truncated bundle ('", name, "' data)"));
+    }
+    std::vector<float> data(static_cast<size_t>(total));
+    if (std::fread(data.data(), sizeof(float), data.size(), file) !=
+        data.size()) {
+      return Status::IOError(StrCat("truncated bundle ('", name, "' data)"));
+    }
+    remaining -= total * static_cast<int64_t>(sizeof(float));
+    out.tensors.emplace_back(
+        std::move(name),
+        Tensor::FromVector(ShapeFromDims(dims), std::move(data)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status SaveBundle(const std::string& path, const Bundle& bundle) {
+  WIDEN_RETURN_IF_ERROR(ValidateNames(bundle));
+  WIDEN_ASSIGN_OR_RETURN(AtomicFile file, AtomicFile::Open(path));
+  CrcFileWriter writer{file.stream()};
+  writer.Write(kMagic, 4);
+  writer.WriteScalar<uint32_t>(kVersion);
+  writer.WriteScalar<uint64_t>(bundle.tensors.size() + bundle.blobs.size());
+
+  std::string record;
+  auto flush_record = [&writer, &record]() {
+    writer.Write(record.data(), record.size());
+    writer.WriteScalar<uint32_t>(Crc32c(record.data(), record.size()));
+  };
+  for (const auto& [name, tensor] : bundle.tensors) {
+    record.clear();
+    ByteWriter encoder(&record);
+    EncodeRecordHeader(encoder, kTensorRecord, name);
+    encoder.WriteScalar<uint32_t>(static_cast<uint32_t>(tensor.shape().rank()));
+    for (int i = 0; i < tensor.shape().rank(); ++i) {
+      encoder.WriteScalar<uint64_t>(
+          static_cast<uint64_t>(tensor.shape().dim(i)));
+    }
+    encoder.WriteBytes(tensor.data(),
+                       static_cast<size_t>(tensor.size()) * sizeof(float));
+    flush_record();
+  }
+  for (const auto& [name, bytes] : bundle.blobs) {
+    record.clear();
+    ByteWriter encoder(&record);
+    EncodeRecordHeader(encoder, kBlobRecord, name);
+    encoder.WriteScalar<uint64_t>(bytes.size());
+    encoder.WriteBytes(bytes.data(), bytes.size());
+    flush_record();
+  }
+
+  const uint32_t file_crc = writer.file_crc;  // footer excludes itself
+  writer.Write(kFooterMagic, 4);
+  writer.WriteScalar<uint64_t>(bundle.tensors.size() + bundle.blobs.size());
+  writer.WriteScalar<uint32_t>(file_crc);
+  if (!writer.ok) {
+    return Status::IOError(StrCat("write to '", path, "' failed"));
+  }
+  return file.Commit();
+}
+
+StatusOr<Bundle> LoadBundle(const std::string& path) {
   FilePtr file(std::fopen(path.c_str(), "rb"));
   if (file == nullptr) {
     return Status::IOError(StrCat("cannot open '", path, "'"));
   }
+  // Total size up front: length fields are validated against the bytes that
+  // are actually present before anything is allocated.
+  if (std::fseek(file.get(), 0, SEEK_END) != 0) {
+    return Status::IOError(StrCat("cannot seek '", path, "'"));
+  }
+  const int64_t file_size = static_cast<int64_t>(std::ftell(file.get()));
+  if (file_size < 0 || std::fseek(file.get(), 0, SEEK_SET) != 0) {
+    return Status::IOError(StrCat("cannot seek '", path, "'"));
+  }
+
+  CrcFileReader reader{file.get(), file_size};
   char magic[4];
   uint32_t version = 0;
-  uint64_t count = 0;
-  if (std::fread(magic, 1, 4, file.get()) != 4 ||
-      std::memcmp(magic, kMagic, 4) != 0) {
+  if (!reader.Read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
     return Status::InvalidArgument(StrCat("'", path, "' is not a WIDEN "
                                           "tensor bundle"));
   }
-  if (!ReadScalar(file.get(), &version) || version != kVersion) {
+  if (!reader.ReadScalar(&version)) {
+    return Status::InvalidArgument("truncated bundle (version)");
+  }
+  if (version == kVersionLegacy) {
+    return LoadV1Body(file.get(), reader.remaining);
+  }
+  if (version != kVersion) {
     return Status::InvalidArgument(
         StrCat("unsupported bundle version ", version));
   }
-  if (!ReadScalar(file.get(), &count) || count > (1ull << 20)) {
-    return Status::InvalidArgument("corrupt bundle (tensor count)");
-  }
-  NamedTensors out;
-  out.reserve(static_cast<size_t>(count));
-  for (uint64_t i = 0; i < count; ++i) {
-    uint32_t name_length = 0;
-    if (!ReadScalar(file.get(), &name_length) || name_length > 4096) {
-      return Status::InvalidArgument("corrupt bundle (name length)");
-    }
-    std::string name(name_length, '\0');
-    if (std::fread(name.data(), 1, name_length, file.get()) != name_length) {
-      return Status::IOError("truncated bundle (name)");
-    }
-    uint32_t rank = 0;
-    if (!ReadScalar(file.get(), &rank) ||
-        rank > static_cast<uint32_t>(Shape::kMaxRank)) {
-      return Status::InvalidArgument("corrupt bundle (rank)");
-    }
-    std::vector<int64_t> dims(rank);
-    int64_t total = 1;
-    for (uint32_t d = 0; d < rank; ++d) {
-      uint64_t dim = 0;
-      if (!ReadScalar(file.get(), &dim) || dim > (1ull << 32)) {
-        return Status::InvalidArgument("corrupt bundle (dimension)");
-      }
-      dims[d] = static_cast<int64_t>(dim);
-      total *= dims[d];
-    }
-    Shape shape;
-    if (rank == 0) {
-      shape = Shape{};
-    } else if (rank == 1) {
-      shape = Shape{dims[0]};
-    } else if (rank == 2) {
-      shape = Shape{dims[0], dims[1]};
-    } else if (rank == 3) {
-      shape = Shape{dims[0], dims[1], dims[2]};
-    } else {
-      shape = Shape{dims[0], dims[1], dims[2], dims[3]};
-    }
-    std::vector<float> data(static_cast<size_t>(total));
-    if (std::fread(data.data(), sizeof(float), data.size(), file.get()) !=
-        data.size()) {
-      return Status::IOError(StrCat("truncated bundle ('", name, "' data)"));
-    }
-    out.emplace_back(std::move(name),
-                     Tensor::FromVector(shape, std::move(data)));
-  }
-  return out;
+  return LoadV2Body(reader, path);
+}
+
+Status SaveTensors(const std::string& path, const NamedTensors& tensors) {
+  Bundle bundle;
+  bundle.tensors = tensors;
+  return SaveBundle(path, bundle);
+}
+
+StatusOr<NamedTensors> LoadTensors(const std::string& path) {
+  WIDEN_ASSIGN_OR_RETURN(Bundle bundle, LoadBundle(path));
+  return std::move(bundle.tensors);
 }
 
 Status CopyInto(const Tensor& source, Tensor& target) {

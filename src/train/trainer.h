@@ -1,11 +1,15 @@
 // Evaluation drivers shared by the benchmark harnesses: fit a model, time
-// it, score micro-F1 on a node set.
+// it, score micro-F1 on a node set. Also the crash-safe training driver:
+// periodic checkpoints plus exact resume (DESIGN.md "Checkpoint format v2").
 
 #ifndef WIDEN_TRAIN_TRAINER_H_
 #define WIDEN_TRAIN_TRAINER_H_
 
+#include <functional>
+#include <string>
 #include <vector>
 
+#include "core/widen_model.h"
 #include "graph/hetero_graph.h"
 #include "train/model.h"
 #include "util/status.h"
@@ -36,6 +40,40 @@ StatusOr<EvalResult> FitAndScore(Model& model,
 /// Gold labels of `nodes` (all must be labeled).
 std::vector<int32_t> GoldLabels(const graph::HeteroGraph& graph,
                                 const std::vector<graph::NodeId>& nodes);
+
+/// Periodic-checkpoint policy for TrainWithCheckpoints.
+struct CheckpointConfig {
+  std::string directory;      // created if missing
+  int64_t every_epochs = 1;   // save after every k-th completed epoch
+  int64_t keep_last = 3;      // older checkpoints are pruned; <= 0 keeps all
+};
+
+/// Checkpoint file names under `directory`, oldest first (names embed the
+/// completed-epoch count, zero-padded so lexicographic == numeric order).
+/// Stray `.tmp` files from interrupted saves are ignored.
+StatusOr<std::vector<std::string>> ListCheckpoints(
+    const std::string& directory);
+
+/// Restores `model` from the newest loadable checkpoint in `directory`.
+/// A corrupt or partially written newest file (e.g. the process died inside
+/// a save) is skipped and the next-newest is tried, so a crash never strands
+/// the run. Returns the restored completed-epoch count, or 0 when the
+/// directory is empty/missing (fresh start).
+StatusOr<int64_t> ResumeFromLatest(core::WidenModel& model,
+                                   const std::string& directory);
+
+/// Trains `model` until `target_epochs` completed epochs, saving a training
+/// checkpoint (core/checkpoint.h SaveTrainingState) every
+/// `checkpoint.every_epochs` epochs and after the final epoch, pruning to
+/// `checkpoint.keep_last` files. When `resume` is true the newest loadable
+/// checkpoint is restored first and training continues from there —
+/// bitwise-identical to an uninterrupted run at num_threads=1. A failed save
+/// aborts training with its Status (crash-safety beats progress).
+StatusOr<core::WidenTrainReport> TrainWithCheckpoints(
+    core::WidenModel& model, const std::vector<graph::NodeId>& train_nodes,
+    int64_t target_epochs, const CheckpointConfig& checkpoint,
+    bool resume = false,
+    const std::function<void(const core::WidenEpochLog&)>& epoch_observer = {});
 
 }  // namespace widen::train
 

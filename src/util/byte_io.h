@@ -1,0 +1,96 @@
+// Bounds-checked binary encoding into / decoding out of byte strings.
+//
+// Used for the opaque training-state blob inside checkpoint bundles
+// (core/checkpoint.h). Scalars are written little-endian via memcpy (the
+// same non-portability tradeoff as tensor/serialize.h). ByteReader never
+// reads past the end: every accessor returns false on exhaustion, so a
+// corrupted blob surfaces as a recoverable error instead of UB.
+
+#ifndef WIDEN_UTIL_BYTE_IO_H_
+#define WIDEN_UTIL_BYTE_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace widen {
+
+/// Appends little-endian scalars and length-prefixed arrays to a string.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string* out) : out_(out) {}
+
+  template <typename T>
+  void WriteScalar(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t offset = out_->size();
+    out_->resize(offset + sizeof(T));
+    std::memcpy(out_->data() + offset, &value, sizeof(T));
+  }
+
+  void WriteBytes(const void* data, size_t size) {
+    if (size == 0) return;  // empty vectors have a null data()
+    out_->append(static_cast<const char*>(data), size);
+  }
+
+  /// u64 element count followed by the raw payload.
+  template <typename T>
+  void WriteVector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteScalar<uint64_t>(values.size());
+    WriteBytes(values.data(), values.size() * sizeof(T));
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// Sequential reader over a byte span; all reads are bounds-checked.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::string& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  template <typename T>
+  bool ReadScalar(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (size_ - pos_ < sizeof(T)) return false;
+    std::memcpy(value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  /// Reads a u64 count (validated against `max_elements` AND the remaining
+  /// bytes) followed by the payload.
+  template <typename T>
+  bool ReadVector(std::vector<T>* values, uint64_t max_elements) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    if (!ReadScalar(&count) || count > max_elements ||
+        count > (size_ - pos_) / sizeof(T)) {
+      return false;
+    }
+    values->resize(static_cast<size_t>(count));
+    if (count > 0) {  // an empty vector's data() may be null
+      std::memcpy(values->data(), data_ + pos_,
+                  static_cast<size_t>(count) * sizeof(T));
+      pos_ += static_cast<size_t>(count) * sizeof(T);
+    }
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace widen
+
+#endif  // WIDEN_UTIL_BYTE_IO_H_

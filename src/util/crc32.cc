@@ -1,0 +1,42 @@
+#include "util/crc32.h"
+
+namespace widen {
+namespace {
+
+// Table for the reflected CRC32C polynomial 0x82F63B78, built on first use.
+struct Crc32cTable {
+  uint32_t entries[256];
+
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  const Crc32cTable& table = Table();
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t size) {
+  return Crc32cExtend(0, data, size);
+}
+
+}  // namespace widen

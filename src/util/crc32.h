@@ -1,0 +1,28 @@
+// CRC32C (Castagnoli) checksums for durable on-disk formats.
+//
+// The checkpoint bundle (tensor/serialize.h) stamps every record and the
+// whole file with a CRC32C so that silent payload corruption is detected at
+// load time instead of being trained on. Software table-driven
+// implementation; the polynomial (0x1EDC6F41, reflected 0x82F63B78) matches
+// the one used by RocksDB, LevelDB, and iSCSI, so external tools can verify
+// the files.
+
+#ifndef WIDEN_UTIL_CRC32_H_
+#define WIDEN_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace widen {
+
+/// CRC32C of `size` bytes at `data`.
+uint32_t Crc32c(const void* data, size_t size);
+
+/// Extends a running CRC32C with `size` more bytes, so a checksum can be
+/// computed over data that arrives in pieces:
+///   crc = Crc32cExtend(Crc32cExtend(0, a, na), b, nb) == Crc32c(a+b).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size);
+
+}  // namespace widen
+
+#endif  // WIDEN_UTIL_CRC32_H_

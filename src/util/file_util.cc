@@ -1,0 +1,152 @@
+#include "util/file_util.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/string_util.h"
+
+namespace widen {
+namespace {
+
+std::string ErrnoMessage(const char* action, const std::string& path) {
+  return StrCat(action, " '", path, "': ", std::strerror(errno));
+}
+
+std::string ParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+StatusOr<AtomicFile> AtomicFile::Open(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("AtomicFile path must not be empty");
+  }
+  std::string temp_path = path + ".tmp";
+  std::FILE* file = std::fopen(temp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError(ErrnoMessage("cannot open", temp_path));
+  }
+  return AtomicFile(path, std::move(temp_path), file);
+}
+
+AtomicFile::AtomicFile(AtomicFile&& other) noexcept
+    : final_path_(std::move(other.final_path_)),
+      temp_path_(std::move(other.temp_path_)),
+      file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+AtomicFile& AtomicFile::operator=(AtomicFile&& other) noexcept {
+  if (this != &other) {
+    Abandon();
+    final_path_ = std::move(other.final_path_);
+    temp_path_ = std::move(other.temp_path_);
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+AtomicFile::~AtomicFile() { Abandon(); }
+
+void AtomicFile::Abandon() {
+  if (file_ == nullptr) return;
+  std::fclose(file_);
+  file_ = nullptr;
+  ::unlink(temp_path_.c_str());
+}
+
+Status AtomicFile::Commit() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("AtomicFile already committed");
+  }
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    const Status status = Status::IOError(ErrnoMessage("flush", temp_path_));
+    Abandon();
+    return status;
+  }
+  if (std::fclose(file_) != 0) {
+    file_ = nullptr;
+    ::unlink(temp_path_.c_str());
+    return Status::IOError(ErrnoMessage("close", temp_path_));
+  }
+  file_ = nullptr;
+  if (std::rename(temp_path_.c_str(), final_path_.c_str()) != 0) {
+    const Status status = Status::IOError(ErrnoMessage("rename", temp_path_));
+    ::unlink(temp_path_.c_str());
+    return status;
+  }
+  return SyncParentDirectory(final_path_);
+}
+
+Status SyncParentDirectory(const std::string& path) {
+  const std::string directory = ParentDirectory(path);
+  const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("open directory", directory));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError(ErrnoMessage("fsync directory", directory));
+  }
+  return Status::OK();
+}
+
+Status EnsureDirectory(const std::string& path) {
+  std::error_code error;
+  std::filesystem::create_directories(path, error);
+  if (error) {
+    return Status::IOError(
+        StrCat("cannot create directory '", path, "': ", error.message()));
+  }
+  if (!std::filesystem::is_directory(path, error)) {
+    return Status::IOError(StrCat("'", path, "' is not a directory"));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> ListDirectoryFiles(
+    const std::string& directory) {
+  std::error_code error;
+  std::filesystem::directory_iterator it(directory, error);
+  if (error) {
+    return Status::IOError(
+        StrCat("cannot list '", directory, "': ", error.message()));
+  }
+  std::vector<std::string> names;
+  for (const auto& entry : it) {
+    if (entry.is_regular_file(error) && !error) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code error;
+  return std::filesystem::exists(path, error) && !error;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  std::error_code error;
+  std::filesystem::remove(path, error);
+  if (error) {
+    return Status::IOError(
+        StrCat("cannot remove '", path, "': ", error.message()));
+  }
+  return Status::OK();
+}
+
+}  // namespace widen

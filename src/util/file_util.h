@@ -1,0 +1,74 @@
+// Crash-safe file writing and small filesystem helpers.
+//
+// AtomicFile implements the temp-file + fsync + rename protocol: the payload
+// is streamed to `<path>.tmp`, flushed and fsync'd, and only then renamed
+// over the final path (followed by an fsync of the parent directory so the
+// rename itself is durable). A crash at any point leaves either the previous
+// file or a stray `.tmp` — never a torn final file.
+
+#ifndef WIDEN_UTIL_FILE_UTIL_H_
+#define WIDEN_UTIL_FILE_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace widen {
+
+/// Streams a file that only becomes visible at `path` on a successful
+/// Commit(). Destruction without Commit() deletes the temporary file.
+class AtomicFile {
+ public:
+  /// Opens `<path>.tmp` for writing (truncating any stale leftover).
+  static StatusOr<AtomicFile> Open(const std::string& path);
+
+  AtomicFile(AtomicFile&& other) noexcept;
+  AtomicFile& operator=(AtomicFile&& other) noexcept;
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+  ~AtomicFile();
+
+  /// The underlying stream; valid until Commit() or destruction.
+  std::FILE* stream() { return file_; }
+
+  const std::string& temp_path() const { return temp_path_; }
+
+  /// Flush + fsync + close + rename over the final path + fsync the parent
+  /// directory. After an OK return the file is durably visible at `path`.
+  Status Commit();
+
+ private:
+  AtomicFile(std::string final_path, std::string temp_path, std::FILE* file)
+      : final_path_(std::move(final_path)),
+        temp_path_(std::move(temp_path)),
+        file_(file) {}
+
+  void Abandon();
+
+  std::string final_path_;
+  std::string temp_path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// fsyncs the directory containing `path` so a completed rename into it
+/// survives power loss.
+Status SyncParentDirectory(const std::string& path);
+
+/// Creates `path` (and missing ancestors) as a directory; OK if it already
+/// exists as one.
+Status EnsureDirectory(const std::string& path);
+
+/// Names (not paths) of regular files directly inside `directory`, sorted.
+StatusOr<std::vector<std::string>> ListDirectoryFiles(
+    const std::string& directory);
+
+bool FileExists(const std::string& path);
+
+/// Deletes `path` if present; missing files are not an error.
+Status RemoveFileIfExists(const std::string& path);
+
+}  // namespace widen
+
+#endif  // WIDEN_UTIL_FILE_UTIL_H_

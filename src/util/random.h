@@ -68,6 +68,18 @@ class Rng {
   /// Derives an independent engine; the parent stream advances by one draw.
   Rng Fork();
 
+  /// Complete engine state, exposed for exact-resume checkpoints: restoring
+  /// it reproduces the stream bit-for-bit, including a cached Box-Muller
+  /// deviate that would otherwise be silently dropped.
+  struct State {
+    uint64_t words[4] = {0, 0, 0, 0};
+    bool have_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
+  State SaveState() const;
+  void RestoreState(const State& state);
+
  private:
   uint64_t state_[4];
   bool have_cached_normal_ = false;

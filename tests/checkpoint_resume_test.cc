@@ -1,0 +1,260 @@
+// Crash-safe checkpointing and exact training resume (DESIGN.md
+// "Checkpoint format v2").
+//
+// The headline scenario: a run killed at epoch k and resumed from its last
+// checkpoint must be indistinguishable — bitwise, not approximately — from a
+// run that was never interrupted. This requires the checkpoint to capture
+// every piece of state Train() consults: parameters, Adam moments, epoch
+// counter, RNG stream, neighbor sets (with relay edges), KL histories, and
+// the stateful embedding store. All comparisons run at num_threads = 1.
+
+#include "train/trainer.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/widen_model.h"
+#include "datasets/splits.h"
+#include "datasets/synthetic.h"
+#include "gtest/gtest.h"
+#include "util/file_util.h"
+
+namespace widen::train {
+namespace {
+
+std::string TempDir(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// gtest's TempDir persists across test runs; resume semantics make stale
+// checkpoints from an earlier invocation an actual hazard, so start clean.
+std::string FreshDir(const char* name) {
+  const std::string dir = TempDir(name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+StatusOr<graph::HeteroGraph> MakeGraph() {
+  datasets::SyntheticGraphSpec spec;
+  spec.name = "resume";
+  spec.node_types = {{"doc", 70, true}, {"tag", 18, false}};
+  spec.edge_types = {{"doc-tag", "doc", "tag", 2.0, 0.9},
+                     {"doc-doc", "doc", "doc", 1.5, 0.8}};
+  spec.num_classes = 3;
+  spec.feature_dim = 12;
+  spec.seed = 11;
+  return datasets::GenerateSyntheticGraph(spec);
+}
+
+core::WidenConfig MakeConfig(int64_t max_epochs) {
+  core::WidenConfig config;
+  config.embedding_dim = 8;
+  config.num_wide_neighbors = 4;
+  config.num_deep_neighbors = 3;
+  config.num_deep_walks = 2;
+  config.max_epochs = max_epochs;
+  config.learning_rate = 1e-2f;
+  config.num_threads = 1;  // bitwise reproducibility is guaranteed at 1
+  config.seed = 1234;
+  return config;
+}
+
+// Bitwise equality of every parameter tensor of two models.
+void ExpectParametersIdentical(const core::WidenModel& a,
+                               const core::WidenModel& b) {
+  std::vector<tensor::Tensor> pa = a.Parameters();
+  std::vector<tensor::Tensor> pb = b.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].size(), pb[i].size()) << pa[i].label();
+    EXPECT_EQ(std::memcmp(pa[i].data(), pb[i].data(),
+                          static_cast<size_t>(pa[i].size()) * sizeof(float)),
+              0)
+        << "parameter '" << pa[i].label() << "' differs bitwise";
+  }
+}
+
+void CorruptOneByte(const std::string& path, size_t offset) {
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.good()) << path;
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.get(byte);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.put(static_cast<char>(byte ^ 0x40));
+  ASSERT_TRUE(file.good());
+}
+
+TEST(CheckpointResumeTest, KillAndResumeIsBitwiseIdenticalToStraightRun) {
+  auto graph = MakeGraph();
+  ASSERT_TRUE(graph.ok());
+  auto split = datasets::MakeTransductiveSplit(*graph, 0.5, 0.2, 3);
+  ASSERT_TRUE(split.ok());
+  constexpr int64_t kTotalEpochs = 6;
+  constexpr int64_t kKillAfter = 3;
+
+  // Reference: one uninterrupted run.
+  CheckpointConfig ckpt_a;
+  ckpt_a.directory = FreshDir("resume_a");
+  ckpt_a.keep_last = 0;  // keep everything
+  auto model_a = core::WidenModel::Create(&*graph, MakeConfig(kTotalEpochs));
+  ASSERT_TRUE(model_a.ok());
+  auto report_a = TrainWithCheckpoints(**model_a, split->train, kTotalEpochs,
+                                       ckpt_a);
+  ASSERT_TRUE(report_a.ok()) << report_a.status().ToString();
+  ASSERT_EQ(report_a->epochs.size(), static_cast<size_t>(kTotalEpochs));
+
+  // Interrupted: train to epoch k, then throw the model away ("kill").
+  CheckpointConfig ckpt_b;
+  ckpt_b.directory = FreshDir("resume_b");
+  ckpt_b.keep_last = 0;
+  {
+    auto doomed = core::WidenModel::Create(&*graph, MakeConfig(kTotalEpochs));
+    ASSERT_TRUE(doomed.ok());
+    auto partial = TrainWithCheckpoints(**doomed, split->train, kKillAfter,
+                                        ckpt_b);
+    ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  }
+
+  // Resume in a FRESH process stand-in: new model, same config, restore from
+  // the directory, continue to the original target.
+  auto model_b = core::WidenModel::Create(&*graph, MakeConfig(kTotalEpochs));
+  ASSERT_TRUE(model_b.ok());
+  auto report_b = TrainWithCheckpoints(**model_b, split->train, kTotalEpochs,
+                                       ckpt_b, /*resume=*/true);
+  ASSERT_TRUE(report_b.ok()) << report_b.status().ToString();
+  // Only the post-kill epochs ran again.
+  ASSERT_EQ(report_b->epochs.size(),
+            static_cast<size_t>(kTotalEpochs - kKillAfter));
+  EXPECT_EQ(report_b->epochs.front().epoch, kKillAfter);
+  EXPECT_EQ((*model_b)->current_epoch(), kTotalEpochs);
+
+  // Parameters bitwise identical.
+  ExpectParametersIdentical(**model_a, **model_b);
+  // Per-epoch losses of the replayed epochs match to the last bit.
+  for (int64_t e = kKillAfter; e < kTotalEpochs; ++e) {
+    EXPECT_EQ(report_a->epochs[static_cast<size_t>(e)].mean_loss,
+              report_b->epochs[static_cast<size_t>(e - kKillAfter)].mean_loss)
+        << "epoch " << e;
+    EXPECT_EQ(report_a->epochs[static_cast<size_t>(e)].wide_drops,
+              report_b->epochs[static_cast<size_t>(e - kKillAfter)].wide_drops)
+        << "epoch " << e;
+  }
+  // Downstream behavior identical: embeddings and predictions.
+  std::vector<graph::NodeId> all_nodes;
+  for (graph::NodeId v = 0; v < graph->num_nodes(); ++v) {
+    all_nodes.push_back(v);
+  }
+  tensor::Tensor emb_a = (*model_a)->EmbedNodes(*graph, all_nodes);
+  tensor::Tensor emb_b = (*model_b)->EmbedNodes(*graph, all_nodes);
+  ASSERT_EQ(emb_a.size(), emb_b.size());
+  EXPECT_EQ(std::memcmp(emb_a.data(), emb_b.data(),
+                        static_cast<size_t>(emb_a.size()) * sizeof(float)),
+            0);
+  EXPECT_EQ((*model_a)->Predict(*graph, split->test),
+            (*model_b)->Predict(*graph, split->test));
+}
+
+TEST(CheckpointResumeTest, ResumeSkipsCorruptNewestAndStrayTempFiles) {
+  auto graph = MakeGraph();
+  ASSERT_TRUE(graph.ok());
+  auto split = datasets::MakeTransductiveSplit(*graph, 0.5, 0.2, 3);
+  ASSERT_TRUE(split.ok());
+
+  CheckpointConfig ckpt;
+  ckpt.directory = FreshDir("resume_fallback");
+  ckpt.keep_last = 0;
+  auto model = core::WidenModel::Create(&*graph, MakeConfig(3));
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(TrainWithCheckpoints(**model, split->train, 3, ckpt).ok());
+  auto names = ListCheckpoints(ckpt.directory);
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 3u);
+
+  // Simulate a crash inside a later save: a half-written temp file plus a
+  // newest checkpoint whose payload took a hit.
+  {
+    std::ofstream stray(ckpt.directory + "/ckpt-00000099.wdnt.tmp",
+                        std::ios::binary);
+    stray << "half-written";
+  }
+  CorruptOneByte(ckpt.directory + "/" + names->back(), 60);
+
+  auto fresh = core::WidenModel::Create(&*graph, MakeConfig(3));
+  ASSERT_TRUE(fresh.ok());
+  auto resumed = ResumeFromLatest(**fresh, ckpt.directory);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  // Newest (epoch 3) is corrupt; epoch 2 must win.
+  EXPECT_EQ(*resumed, 2);
+  EXPECT_EQ((*fresh)->current_epoch(), 2);
+
+  // An empty/missing directory is a fresh start, not an error.
+  auto blank = core::WidenModel::Create(&*graph, MakeConfig(3));
+  ASSERT_TRUE(blank.ok());
+  auto none = ResumeFromLatest(**blank, FreshDir("resume_nowhere"));
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(*none, 0);
+}
+
+TEST(CheckpointResumeTest, PrunesToKeepLastAndSavesAtInterval) {
+  auto graph = MakeGraph();
+  ASSERT_TRUE(graph.ok());
+  auto split = datasets::MakeTransductiveSplit(*graph, 0.5, 0.2, 3);
+  ASSERT_TRUE(split.ok());
+
+  CheckpointConfig ckpt;
+  ckpt.directory = FreshDir("resume_prune");
+  ckpt.every_epochs = 2;
+  ckpt.keep_last = 2;
+  auto model = core::WidenModel::Create(&*graph, MakeConfig(5));
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(TrainWithCheckpoints(**model, split->train, 5, ckpt).ok());
+  auto names = ListCheckpoints(ckpt.directory);
+  ASSERT_TRUE(names.ok());
+  // Saves land at epochs 2, 4 (interval) and 5 (final); keep_last drops 2.
+  EXPECT_EQ(*names, (std::vector<std::string>{"ckpt-00000004.wdnt",
+                                              "ckpt-00000005.wdnt"}));
+}
+
+TEST(CheckpointResumeTest, TrainingCheckpointAlsoServesAsModelCheckpoint) {
+  auto graph = MakeGraph();
+  ASSERT_TRUE(graph.ok());
+  auto split = datasets::MakeTransductiveSplit(*graph, 0.5, 0.2, 3);
+  ASSERT_TRUE(split.ok());
+
+  auto model = core::WidenModel::Create(&*graph, MakeConfig(2));
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Train(split->train).ok());
+  const std::string path = TempDir("train_state.wdnt");
+  ASSERT_TRUE(core::SaveTrainingState(**model, path).ok());
+
+  // LoadWidenModel (the serving path) ignores the resume blob.
+  auto serving = core::WidenModel::Create(&*graph, MakeConfig(2));
+  ASSERT_TRUE(serving.ok());
+  ASSERT_TRUE(core::LoadWidenModel(**serving, path).ok());
+  EXPECT_EQ((*model)->Predict(*graph, split->test),
+            (*serving)->Predict(*graph, split->test));
+
+  // A parameter-only checkpoint is not resumable — explicit error, so a
+  // caller cannot silently "resume" without optimizer/RNG state.
+  const std::string params_only = TempDir("params_only.wdnt");
+  ASSERT_TRUE(core::SaveWidenModel(**model, params_only).ok());
+  auto resume_target = core::WidenModel::Create(&*graph, MakeConfig(2));
+  ASSERT_TRUE(resume_target.ok());
+  EXPECT_FALSE(core::LoadTrainingState(**resume_target, params_only).ok());
+
+  // Mismatched config (different embedding dim) is rejected cleanly.
+  core::WidenConfig other = MakeConfig(2);
+  other.embedding_dim = 16;
+  auto mismatched = core::WidenModel::Create(&*graph, other);
+  ASSERT_TRUE(mismatched.ok());
+  EXPECT_FALSE(core::LoadTrainingState(**mismatched, path).ok());
+}
+
+}  // namespace
+}  // namespace widen::train

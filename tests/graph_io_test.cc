@@ -2,8 +2,10 @@
 
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "datasets/acm.h"
+#include "graph/graph_builder.h"
 #include "gtest/gtest.h"
 
 namespace widen::graph {
@@ -105,6 +107,97 @@ TEST(GraphIoTest, RejectsMissingHeaderAndBadEdges) {
   auto graph = LoadGraphText(bad_edge);
   ASSERT_FALSE(graph.ok());
   EXPECT_NE(graph.status().message().find("line 5"), std::string::npos);
+}
+
+TEST(GraphIoTest, FeatureValuesRoundTripBitwise) {
+  // Values chosen to be lossy at the default 6-digit stream precision:
+  // save must emit max_digits10 so the loaded floats are bit-identical.
+  const std::vector<float> values = {0.1f,
+                                     1.0f / 3.0f,
+                                     3.14159274f,
+                                     1.0000001f,
+                                     -2.7182818e-5f,
+                                     16777217.0f,  // 2^24 + 1, not exact
+                                     1.17549435e-38f};
+  GraphSchema schema;
+  const NodeTypeId doc = schema.AddNodeType("doc");
+  schema.AddEdgeType("link", doc, doc);
+  GraphBuilder builder(schema);
+  const int64_t dim = static_cast<int64_t>(values.size());
+  builder.AddNode(doc);
+  builder.AddNode(doc);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0).ok());
+  tensor::Tensor features(tensor::Shape::Matrix(2, dim));
+  for (int64_t j = 0; j < dim; ++j) {
+    features.set(0, j, values[static_cast<size_t>(j)]);
+    features.set(1, j, -values[static_cast<size_t>(j)]);
+  }
+  builder.SetFeatures(std::move(features));
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+
+  const std::string path = TempPath("bitwise.graph");
+  ASSERT_TRUE(SaveGraphText(*graph, path).ok());
+  auto loaded = LoadGraphText(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (int64_t i = 0; i < graph->features().size(); ++i) {
+    EXPECT_EQ(loaded->features().data()[i], graph->features().data()[i])
+        << "feature " << i << " did not round-trip exactly";
+  }
+}
+
+TEST(GraphIoTest, RejectsDuplicateFeatureRows) {
+  const std::string path = TempPath("dupf.graph");
+  WriteFile(path,
+            "widen-graph 1\n"
+            "node_type a\n"
+            "node a\n"
+            "features 1\n"
+            "f 0 1.0\n"
+            "f 0 2.0\n");
+  auto graph = LoadGraphText(path);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().message().find("line 6"), std::string::npos)
+      << graph.status().ToString();
+  EXPECT_NE(graph.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(GraphIoTest, RejectsDuplicateLabels) {
+  const std::string path = TempPath("duplabel.graph");
+  WriteFile(path,
+            "widen-graph 1\n"
+            "node_type a\n"
+            "node a\n"
+            "labels 2 a\n"
+            "label 0 0\n"
+            "label 0 1\n");
+  auto graph = LoadGraphText(path);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().message().find("line 6"), std::string::npos)
+      << graph.status().ToString();
+}
+
+TEST(GraphIoTest, SelfLoopEdgesAreRejectedNotSilentlyDropped) {
+  // GraphBuilder refuses self-loops at build time...
+  GraphSchema schema;
+  const NodeTypeId doc = schema.AddNodeType("doc");
+  schema.AddEdgeType("link", doc, doc);
+  GraphBuilder builder(schema);
+  builder.AddNode(doc);
+  EXPECT_FALSE(builder.AddEdge(0, 0, 0).ok());
+  // ...and the text loader surfaces the same error with a line number
+  // instead of writing a graph that silently lost the edge.
+  const std::string path = TempPath("selfloop.graph");
+  WriteFile(path,
+            "widen-graph 1\n"
+            "node_type a\n"
+            "edge_type e a a\n"
+            "node a\n"
+            "edge 0 0 e\n");
+  auto graph = LoadGraphText(path);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().message().find("line 5"), std::string::npos)
+      << graph.status().ToString();
 }
 
 TEST(GraphIoTest, RejectsUnknownTypes) {

@@ -1,7 +1,11 @@
 #include "tensor/serialize.h"
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/checkpoint.h"
 #include "core/widen_model.h"
@@ -9,6 +13,7 @@
 #include "datasets/synthetic.h"
 #include "gtest/gtest.h"
 #include "tensor/init.h"
+#include "util/file_util.h"
 #include "util/random.h"
 
 namespace widen::tensor {
@@ -16,6 +21,27 @@ namespace {
 
 std::string TempPath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// Appends a little-endian scalar; for hand-building legacy v1 files.
+template <typename T>
+void Append(std::string* out, T value) {
+  const size_t offset = out->size();
+  out->resize(offset + sizeof(T));
+  std::memcpy(out->data() + offset, &value, sizeof(T));
 }
 
 TEST(SerializeTest, RoundTripsBundle) {
@@ -56,6 +82,158 @@ TEST(SerializeTest, RejectsBadBundles) {
   auto loaded = LoadTensors(garbage);
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, RoundTripsBlobsAlongsideTensors) {
+  Bundle bundle;
+  bundle.tensors = {{"w", Tensor::FromVector(Shape::Matrix(2, 2),
+                                             {1, 2, 3, 4})}};
+  std::string binary("\x00\x01\xff payload\n\twith\0 bytes", 24);
+  bundle.blobs = {{"state", binary}, {"empty", ""}};
+  const std::string path = TempPath("blobs.wdnt");
+  ASSERT_TRUE(SaveBundle(path, bundle).ok());
+
+  auto loaded = LoadBundle(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->tensors.size(), 1u);
+  ASSERT_EQ(loaded->blobs.size(), 2u);
+  EXPECT_EQ(loaded->blobs[0].first, "state");
+  EXPECT_EQ(loaded->blobs[0].second, binary);
+  EXPECT_EQ(loaded->blobs[1].second, "");
+
+  // LoadTensors on the same file skips blob records.
+  auto tensors_only = LoadTensors(path);
+  ASSERT_TRUE(tensors_only.ok());
+  ASSERT_EQ(tensors_only->size(), 1u);
+  EXPECT_EQ((*tensors_only)[0].first, "w");
+
+  // Duplicate names across the tensor/blob namespaces are rejected.
+  Bundle clash;
+  clash.tensors = {{"x", Tensor::Scalar(1.0f)}};
+  clash.blobs = {{"x", "bytes"}};
+  EXPECT_FALSE(SaveBundle(TempPath("clash.wdnt"), clash).ok());
+}
+
+TEST(SerializeTest, LoadsLegacyV1Files) {
+  // Byte-for-byte the pre-checksum format: magic, version 1, count, then
+  // name-length/name/rank/dims/data per tensor — no CRCs, no footer.
+  std::string bytes;
+  bytes.append("WDNT", 4);
+  Append<uint32_t>(&bytes, 1);  // version
+  Append<uint64_t>(&bytes, 1);  // tensor count
+  Append<uint32_t>(&bytes, 3);  // name length
+  bytes.append("abc", 3);
+  Append<uint32_t>(&bytes, 2);  // rank
+  Append<uint64_t>(&bytes, 1);
+  Append<uint64_t>(&bytes, 2);
+  Append<float>(&bytes, 5.0f);
+  Append<float>(&bytes, -6.5f);
+  const std::string path = TempPath("legacy.wdnt");
+  WriteFileBytes(path, bytes);
+
+  auto loaded = LoadTensors(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].first, "abc");
+  ASSERT_TRUE((*loaded)[0].second.shape() == Shape::Matrix(1, 2));
+  EXPECT_FLOAT_EQ((*loaded)[0].second.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ((*loaded)[0].second.at(0, 1), -6.5f);
+}
+
+TEST(SerializeTest, RejectsOverflowingElementCounts) {
+  // Dimensions whose product overflows int64 (and far exceeds the element
+  // cap). The legacy loader used to multiply unchecked, so a corrupt file
+  // could size a vector with a wrapped-around count.
+  std::string bytes;
+  bytes.append("WDNT", 4);
+  Append<uint32_t>(&bytes, 1);
+  Append<uint64_t>(&bytes, 1);
+  Append<uint32_t>(&bytes, 1);
+  bytes.append("x", 1);
+  Append<uint32_t>(&bytes, 3);  // rank
+  Append<uint64_t>(&bytes, 1ull << 31);
+  Append<uint64_t>(&bytes, 1ull << 31);
+  Append<uint64_t>(&bytes, 1ull << 31);
+  const std::string path = TempPath("overflow.wdnt");
+  WriteFileBytes(path, bytes);
+
+  auto loaded = LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+
+  // A single huge dimension within u64 range but above the cap also fails.
+  std::string big;
+  big.append("WDNT", 4);
+  Append<uint32_t>(&big, 1);
+  Append<uint64_t>(&big, 1);
+  Append<uint32_t>(&big, 1);
+  big.append("y", 1);
+  Append<uint32_t>(&big, 1);
+  Append<uint64_t>(&big, 1ull << 30);  // > element cap, < dim cap
+  const std::string big_path = TempPath("bigdim.wdnt");
+  WriteFileBytes(big_path, big);
+  EXPECT_FALSE(LoadTensors(big_path).ok());
+}
+
+// The headline corruption matrix: an intact v2 bundle is taken apart byte by
+// byte — every possible truncation and every single-byte flip must yield a
+// non-OK Status (never an abort, never silently wrong data).
+TEST(SerializeTest, EveryTruncationAndByteFlipIsDetected) {
+  Rng rng(7);
+  Bundle bundle;
+  bundle.tensors = {
+      {"weights", NormalInit(Shape::Matrix(3, 4), rng, 1.0f)},
+      {"scalar", Tensor::Scalar(-1.5f)},
+  };
+  bundle.blobs = {{"blob", std::string("opaque\x00state", 12)}};
+  const std::string path = TempPath("matrix.wdnt");
+  ASSERT_TRUE(SaveBundle(path, bundle).ok());
+  const std::string intact = ReadFileBytes(path);
+  ASSERT_GT(intact.size(), 40u);
+  ASSERT_TRUE(LoadBundle(path).ok());
+
+  const std::string mutated = TempPath("mutated.wdnt");
+  for (size_t cut = 0; cut < intact.size(); ++cut) {
+    WriteFileBytes(mutated, intact.substr(0, cut));
+    auto loaded = LoadBundle(mutated);
+    EXPECT_FALSE(loaded.ok()) << "truncation to " << cut << " bytes (of "
+                              << intact.size() << ") loaded successfully";
+  }
+  for (size_t pos = 0; pos < intact.size(); ++pos) {
+    for (uint8_t flip : {uint8_t{0x01}, uint8_t{0xff}}) {
+      std::string corrupt = intact;
+      corrupt[pos] = static_cast<char>(corrupt[pos] ^ flip);
+      WriteFileBytes(mutated, corrupt);
+      auto loaded = LoadBundle(mutated);
+      EXPECT_FALSE(loaded.ok())
+          << "flipping byte " << pos << " with mask 0x" << std::hex
+          << static_cast<int>(flip) << " loaded successfully";
+    }
+  }
+  // Trailing garbage after a valid footer is also rejected.
+  WriteFileBytes(mutated, intact + "x");
+  EXPECT_FALSE(LoadBundle(mutated).ok());
+}
+
+TEST(SerializeTest, SaveIsAtomicUnderCrashWindow) {
+  Bundle bundle;
+  bundle.tensors = {{"w", Tensor::FromVector(Shape::Matrix(1, 2), {7, 8})}};
+  const std::string path = TempPath("atomic.wdnt");
+  ASSERT_TRUE(SaveBundle(path, bundle).ok());
+  // No temp file survives a successful save.
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+
+  // Simulate a crash between temp-write and rename: a half-written .tmp is
+  // lying around. The committed file must still load, and the next save must
+  // clobber the stale temp and succeed.
+  WriteFileBytes(path + ".tmp", "partial garbage");
+  ASSERT_TRUE(LoadBundle(path).ok());
+  bundle.tensors[0].second.set(0, 0, 9.0f);
+  ASSERT_TRUE(SaveBundle(path, bundle).ok());
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  auto reloaded = LoadBundle(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_FLOAT_EQ(reloaded->tensors[0].second.at(0, 0), 9.0f);
 }
 
 TEST(SerializeTest, FindTensorAndCopyInto) {

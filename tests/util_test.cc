@@ -1,8 +1,11 @@
 #include <cmath>
+#include <cstdio>
 #include <numeric>
 #include <set>
 
 #include "gtest/gtest.h"
+#include "util/crc32.h"
+#include "util/file_util.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -119,6 +122,104 @@ TEST(RngTest, ShuffleKeepsMultiset) {
   std::multiset<int> a(items.begin(), items.end());
   std::multiset<int> b(shuffled.begin(), shuffled.end());
   EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SaveRestoreStateReproducesStream) {
+  Rng rng(77);
+  // Consume a mixed prefix, including an odd number of Normal() draws so the
+  // Box-Muller cache is live when the state is captured.
+  for (int i = 0; i < 13; ++i) rng.UniformInt(1000);
+  rng.Normal();
+  const Rng::State state = rng.SaveState();
+
+  std::vector<double> expected;
+  for (int i = 0; i < 8; ++i) expected.push_back(rng.Normal());
+  std::vector<uint64_t> expected_ints;
+  for (int i = 0; i < 8; ++i) expected_ints.push_back(rng.UniformInt(1u << 20));
+
+  Rng other(1);  // different seed, different position
+  other.Normal();
+  other.RestoreState(state);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(other.Normal(), expected[i]) << i;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(other.UniformInt(1u << 20), expected_ints[i]) << i;
+  }
+}
+
+TEST(Crc32Test, KnownAnswers) {
+  // Castagnoli check value: CRC-32C("123456789") = 0xE3069283.
+  const char digits[] = "123456789";
+  EXPECT_EQ(Crc32c(digits, 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+  // iSCSI test vector: 32 zero bytes.
+  const char zeros[32] = {0};
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+}
+
+TEST(Crc32Test, ExtendComposesLikeOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32cExtend(0, data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+  EXPECT_NE(Crc32c(data.data(), data.size() - 1), whole);
+}
+
+TEST(FileUtilTest, AtomicFileCommitAndAbandon) {
+  const std::string dir = std::string(::testing::TempDir()) + "/atomic_util";
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  const std::string path = dir + "/out.bin";
+  // TempDir persists across runs; start from a clean slate.
+  ASSERT_TRUE(RemoveFileIfExists(path).ok());
+  ASSERT_TRUE(RemoveFileIfExists(path + ".tmp").ok());
+
+  {
+    auto file = AtomicFile::Open(path);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    std::fputs("first", file->stream());
+    // Abandoned (no Commit): nothing becomes visible, temp is cleaned up.
+  }
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+
+  {
+    auto file = AtomicFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    EXPECT_TRUE(FileExists(file->temp_path()));
+    std::fputs("second", file->stream());
+    ASSERT_TRUE(file->Commit().ok());
+  }
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(in, nullptr);
+  char buffer[16] = {0};
+  const size_t read = std::fread(buffer, 1, sizeof(buffer), in);
+  std::fclose(in);
+  EXPECT_EQ(std::string(buffer, read), "second");
+}
+
+TEST(FileUtilTest, DirectoryHelpers) {
+  const std::string dir = std::string(::testing::TempDir()) + "/fu/nested";
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  ASSERT_TRUE(EnsureDirectory(dir).ok());  // idempotent
+
+  for (const char* name : {"b.txt", "a.txt", "c.txt"}) {
+    std::FILE* f = std::fopen((dir + "/" + name).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  }
+  ASSERT_TRUE(EnsureDirectory(dir + "/subdir").ok());  // excluded from files
+  auto files = ListDirectoryFiles(dir);
+  ASSERT_TRUE(files.ok()) << files.status().ToString();
+  EXPECT_EQ(*files, (std::vector<std::string>{"a.txt", "b.txt", "c.txt"}));
+
+  ASSERT_TRUE(RemoveFileIfExists(dir + "/b.txt").ok());
+  ASSERT_TRUE(RemoveFileIfExists(dir + "/b.txt").ok());  // missing is OK
+  EXPECT_FALSE(FileExists(dir + "/b.txt"));
+  EXPECT_FALSE(ListDirectoryFiles(dir + "/does-not-exist").ok());
 }
 
 TEST(StringUtilTest, Formatting) {
