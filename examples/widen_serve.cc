@@ -1,0 +1,249 @@
+// widen_serve: turn a trained checkpoint into a query-able embedding service
+// (src/serve/) — load frozen weights, grow the graph with deltas, and serve
+// batched embedding/prediction requests from concurrent clients.
+//
+//   ./build/examples/widen_serve                                  # smoke run
+//   ./build/examples/widen_serve --smoke [--clients N] [--queries M]
+//   ./build/examples/widen_serve embed <graph.txt> <model.ckpt> <out.csv>
+//
+// The smoke run is self-contained: synthesize a graph, train two epochs,
+// write a checkpoint, "kill" the trainer, load the checkpoint into an
+// InferenceSession, verify BITWISE parity with the model's own embeddings,
+// ingest a graph delta, and hammer the RequestBatcher from N client threads
+// while another delta lands mid-flight. CI runs it under ThreadSanitizer.
+//
+// `embed` serves a graph/checkpoint pair produced by widen_cli without ever
+// constructing a model (no labels required): every node's embedding goes to
+// a CSV via the session path.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/widen_model.h"
+#include "datasets/splits.h"
+#include "datasets/synthetic.h"
+#include "graph/io.h"
+#include "serve/inference_session.h"
+#include "serve/request_batcher.h"
+
+namespace {
+
+using namespace widen;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+core::WidenConfig SmokeConfig() {
+  core::WidenConfig config;
+  config.embedding_dim = 16;
+  config.num_wide_neighbors = 6;
+  config.num_deep_neighbors = 4;
+  config.num_deep_walks = 2;
+  config.max_epochs = 2;
+  config.eval_samples = 2;
+  config.num_threads = 1;
+  config.seed = 7;
+  return config;
+}
+
+int RunSmoke(int64_t clients, int64_t queries) {
+  // 1. Synthesize and train (two epochs — enough to populate the embedding
+  //    store the checkpoint carries).
+  datasets::SyntheticGraphSpec spec;
+  spec.name = "serve_smoke";
+  spec.node_types = {{"doc", 90, true}, {"tag", 24, false}};
+  spec.edge_types = {{"doc-tag", "doc", "tag", 2.5, 0.9},
+                     {"doc-doc", "doc", "doc", 2.0, 0.8}};
+  spec.num_classes = 3;
+  spec.feature_dim = 16;
+  spec.seed = 13;
+  auto graph = datasets::GenerateSyntheticGraph(spec);
+  if (!graph.ok()) return Fail(graph.status());
+  auto split = datasets::MakeTransductiveSplit(*graph, 0.6, 0.2, 3);
+  if (!split.ok()) return Fail(split.status());
+  const core::WidenConfig config = SmokeConfig();
+  const std::string ckpt = "serve_smoke.wdnt";
+
+  std::vector<graph::NodeId> probe = {0, 5, 17, 42};
+  tensor::Tensor trained_rows;
+  {
+    auto model = core::WidenModel::Create(&*graph, config);
+    if (!model.ok()) return Fail(model.status());
+    auto report = (*model)->Train(split->train);
+    if (!report.ok()) return Fail(report.status());
+    Status saved = core::SaveTrainingState(**model, ckpt);
+    if (!saved.ok()) return Fail(saved);
+    trained_rows = (*model)->EmbedNodes(*graph, probe);
+    std::printf("trained 2 epochs, checkpoint written to %s\n", ckpt.c_str());
+  }  // trainer "killed" — from here on only the file and the graph exist
+
+  // 2. Load the checkpoint into a serving session.
+  auto session_or = serve::InferenceSession::Load(ckpt, &*graph, config);
+  if (!session_or.ok()) return Fail(session_or.status());
+  serve::InferenceSession& session = **session_or;
+
+  auto served = session.Embed(probe);
+  if (!served.ok()) return Fail(served.status());
+  if (std::memcmp(served->data(), trained_rows.data(),
+                  static_cast<size_t>(served->size()) * sizeof(float)) != 0) {
+    return Fail(Status::Internal(
+        "served embeddings are not bitwise equal to the trained model's"));
+  }
+  std::printf("bitwise parity with the trained model: OK (%lld probe rows)\n",
+              static_cast<long long>(served->rows()));
+
+  // 3. Grow the graph after training: unseen nodes, embedded inductively.
+  serve::GraphDelta delta = session.NewDelta();
+  std::vector<float> features(static_cast<size_t>(graph->feature_dim()));
+  for (size_t j = 0; j < features.size(); ++j) {
+    features[j] = 0.05f * static_cast<float>(j % 7);
+  }
+  const graph::NodeId new_doc = delta.AddNode(0, features);
+  const graph::NodeId new_tag = delta.AddNode(1, features);
+  delta.AddEdge(new_doc, 0, 1);        // doc-doc
+  delta.AddEdge(new_doc, new_tag, 0);  // doc-tag
+  auto version = session.Ingest(delta);
+  if (!version.ok()) return Fail(version.status());
+  std::printf("ingested delta: %lld nodes now, graph version %llu\n",
+              static_cast<long long>(session.num_nodes()),
+              static_cast<unsigned long long>(*version));
+
+  // 4. Concurrent clients against the batcher, with one more delta landing
+  //    mid-flight. Node ids stay below the pre-grown count so every request
+  //    is valid throughout.
+  const int64_t base_n = graph->num_nodes();
+  serve::RequestBatcher batcher(&session);
+  std::atomic<long> failures{0};
+  std::vector<std::thread> workers;
+  for (int64_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      for (int64_t q = 0; q < queries; ++q) {
+        const graph::NodeId a =
+            static_cast<graph::NodeId>((c * 131 + q * 17) % base_n);
+        const graph::NodeId b = (q % 4 == 0)
+                                    ? new_doc
+                                    : static_cast<graph::NodeId>(
+                                          (c + q * 31) % base_n);
+        auto rows = batcher.SubmitEmbed({a, b}).get();
+        if (!rows.ok() || rows->rows() != 2) ++failures;
+        if (q % 3 == 0) {
+          auto labels = batcher.SubmitPredict({a}).get();
+          if (!labels.ok() || labels->size() != 1) ++failures;
+        }
+      }
+    });
+  }
+  serve::GraphDelta midflight = session.NewDelta();
+  const graph::NodeId extra = midflight.AddNode(0, features);
+  midflight.AddEdge(extra, 3, 1);
+  if (auto v2 = session.Ingest(midflight); !v2.ok()) return Fail(v2.status());
+  for (std::thread& t : workers) t.join();
+  if (failures.load() != 0) {
+    return Fail(Status::Internal(
+        std::to_string(failures.load()) + " client requests failed"));
+  }
+
+  const auto bstats = batcher.stats();
+  const auto sstats = session.stats();
+  std::printf(
+      "served %lld requests in %lld batches (max batch %lld nodes)\n"
+      "  base-rep hits %lld, store hits %lld, cold encodes %lld\n"
+      "  store: %lld insertions, %lld invalidations, %lld evictions\n"
+      "smoke: OK\n",
+      static_cast<long long>(bstats.requests),
+      static_cast<long long>(bstats.batches),
+      static_cast<long long>(bstats.max_batch),
+      static_cast<long long>(sstats.base_hits),
+      static_cast<long long>(sstats.store_hits),
+      static_cast<long long>(sstats.cold_encodes),
+      static_cast<long long>(sstats.store.insertions),
+      static_cast<long long>(sstats.store.invalidations),
+      static_cast<long long>(sstats.store.evictions));
+  return 0;
+}
+
+int RunEmbed(const std::string& graph_path, const std::string& ckpt_path,
+             const std::string& csv_path) {
+  auto graph = graph::LoadGraphText(graph_path);
+  if (!graph.ok()) return Fail(graph.status());
+  // Serving needs no labels and no training config: recover the embedding
+  // dimension from the checkpoint itself.
+  auto weights = core::LoadServingWeights(ckpt_path);
+  if (!weights.ok()) return Fail(weights.status());
+  core::WidenConfig config;
+  config.embedding_dim = weights->params.embedding_dim();
+  auto session_or =
+      serve::InferenceSession::Load(ckpt_path, &*graph, config);
+  if (!session_or.ok()) return Fail(session_or.status());
+
+  std::vector<graph::NodeId> nodes;
+  for (graph::NodeId v = 0; v < graph->num_nodes(); ++v) nodes.push_back(v);
+  auto embeddings = (*session_or)->Embed(nodes);
+  if (!embeddings.ok()) return Fail(embeddings.status());
+  std::FILE* out = std::fopen(csv_path.c_str(), "w");
+  if (out == nullptr) return Fail(Status::IOError("cannot open " + csv_path));
+  for (int64_t i = 0; i < embeddings->rows(); ++i) {
+    std::fprintf(out, "%lld", static_cast<long long>(nodes[i]));
+    for (int64_t j = 0; j < embeddings->cols(); ++j) {
+      std::fprintf(out, ",%.6f", embeddings->at(i, j));
+    }
+    std::fprintf(out, "\n");
+  }
+  std::fclose(out);
+  std::printf("served %lld embeddings (%lld dims) to %s\n",
+              static_cast<long long>(embeddings->rows()),
+              static_cast<long long>(embeddings->cols()), csv_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  long clients = 4;
+  long queries = 25;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--smoke") == 0) {
+      smoke = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--clients") == 0 && i + 1 < argc) {
+      clients = std::atol(argv[++i]);
+      continue;
+    }
+    if (std::strcmp(arg, "--queries") == 0 && i + 1 < argc) {
+      queries = std::atol(argv[++i]);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (clients < 1 || queries < 1) {
+    std::fprintf(stderr, "error: --clients/--queries want positive integers\n");
+    return 2;
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
+  if (smoke || argc == 1) return RunSmoke(clients, queries);
+  const std::string command = argv[1];
+  if (command == "embed" && argc == 5) {
+    return RunEmbed(argv[2], argv[3], argv[4]);
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s --smoke [--clients N] [--queries M]   # self-contained\n"
+               "  %s embed <graph.txt> <model.ckpt> <out.csv>\n",
+               argv[0], argv[0]);
+  return 2;
+}

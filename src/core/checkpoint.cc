@@ -89,6 +89,47 @@ Status SaveTrainingState(const WidenModel& model, const std::string& path) {
   return tensor::SaveBundle(path, bundle);
 }
 
+StatusOr<ServingWeights> LoadServingWeights(const std::string& path) {
+  WIDEN_ASSIGN_OR_RETURN(tensor::NamedTensors loaded,
+                         tensor::LoadTensors(path));
+  ServingWeights weights;
+  if (loaded.size() >= 2 && loaded[loaded.size() - 2].first == "cache:reps" &&
+      loaded.back().first == "cache:valid") {
+    weights.cache_reps = loaded[loaded.size() - 2].second;
+    weights.cache_valid = loaded.back().second;
+    loaded.pop_back();
+    loaded.pop_back();
+  }
+  const auto& labels = EncoderParams::CanonicalLabels();
+  if (loaded.size() != labels.size()) {
+    return Status::InvalidArgument(
+        StrCat("checkpoint has ", loaded.size(), " parameter tensors, ",
+               "expected ", labels.size()));
+  }
+  std::vector<tensor::Tensor> tensors;
+  tensors.reserve(loaded.size());
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    const std::string expected = StrCat("p", i, ":", labels[i]);
+    if (loaded[i].first != expected) {
+      return Status::InvalidArgument(
+          StrCat("checkpoint tensor ", i, " is '", loaded[i].first,
+                 "', expected '", expected, "' (not a WIDEN checkpoint?)"));
+    }
+    tensors.push_back(std::move(loaded[i].second));
+  }
+  WIDEN_ASSIGN_OR_RETURN(weights.params,
+                         EncoderParams::FromTensors(std::move(tensors)));
+  if (weights.cache_reps.defined()) {
+    const int64_t n = weights.cache_reps.rows();
+    if (weights.cache_reps.shape() !=
+            tensor::Shape::Matrix(n, weights.params.embedding_dim()) ||
+        weights.cache_valid.shape() != tensor::Shape::Matrix(n, 1)) {
+      return Status::InvalidArgument("embedding store shape mismatch");
+    }
+  }
+  return weights;
+}
+
 Status LoadTrainingState(WidenModel& model, const std::string& path) {
   WIDEN_ASSIGN_OR_RETURN(tensor::Bundle bundle, tensor::LoadBundle(path));
   const std::string* resume_blob = nullptr;

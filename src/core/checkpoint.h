@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "core/encoder.h"
 #include "core/widen_model.h"
 #include "util/status.h"
 
@@ -38,6 +39,21 @@ Status SaveTrainingState(const WidenModel& model, const std::string& path);
 /// possibly the parameter values already copied before the corruption was
 /// detected (checksums make that practically unreachable).
 Status LoadTrainingState(WidenModel& model, const std::string& path);
+
+/// A checkpoint's trained weights plus the training-time embedding store,
+/// loaded WITHOUT constructing a WidenModel. Serving needs neither labels
+/// nor the training graph, which WidenModel::Create requires; dimensions
+/// are recovered from the stored tensor shapes instead of a config.
+struct ServingWeights {
+  EncoderParams params;           // frozen: no gradient buffers, no tape
+  tensor::Tensor cache_reps;      // [N, d]; undefined if the file had none
+  tensor::Tensor cache_valid;     // [N, 1] 0/1; defined iff cache_reps is
+};
+
+/// Loads serving weights from a file written by SaveWidenModel or
+/// SaveTrainingState (the resume blob is ignored). Record names and shapes
+/// are validated; corrupt or foreign files yield a non-OK status.
+StatusOr<ServingWeights> LoadServingWeights(const std::string& path);
 
 }  // namespace widen::core
 

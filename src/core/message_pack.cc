@@ -38,6 +38,14 @@ EdgeEmbeddings::EdgeEmbeddings(int32_t num_edge_types, int32_t num_node_types,
   }
 }
 
+EdgeEmbeddings::EdgeEmbeddings(tensor::Tensor edge_table,
+                               tensor::Tensor self_loop_table)
+    : edge_table_(std::move(edge_table)),
+      self_loop_table_(std::move(self_loop_table)) {
+  WIDEN_CHECK(edge_table_.defined() && self_loop_table_.defined());
+  WIDEN_CHECK_EQ(edge_table_.cols(), self_loop_table_.cols());
+}
+
 tensor::Tensor EdgeEmbeddings::SelfLoopEmbedding(
     graph::NodeTypeId node_type) const {
   return tensor::GatherRows(self_loop_table_, {node_type});

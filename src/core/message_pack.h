@@ -54,6 +54,11 @@ class EdgeEmbeddings {
   EdgeEmbeddings(int32_t num_edge_types, int32_t num_node_types,
                  int64_t embedding_dim, Rng& rng);
 
+  /// Wraps existing tables (checkpoint loading for serving). The tensors
+  /// keep their gradient state — pass gradient-free tensors for a frozen
+  /// serving parameter set.
+  EdgeEmbeddings(tensor::Tensor edge_table, tensor::Tensor self_loop_table);
+
   const tensor::Tensor& edge_table() const { return edge_table_; }
   const tensor::Tensor& self_loop_table() const { return self_loop_table_; }
 

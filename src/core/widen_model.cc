@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "tensor/autograd.h"
+#include "tensor/inference.h"
 #include "tensor/init.h"
 #include "tensor/kernel_context.h"
 #include "tensor/ops.h"
@@ -17,26 +18,23 @@ namespace {
 
 namespace T = widen::tensor;
 
-// Scaled dot-product attention with a single query row (Eq. 3 / Eq. 5).
-// Returns {context [1, d_v], attention weights as floats}.
-struct SingleQueryAttention {
-  T::Tensor context;
-  std::vector<float> weights;
-};
+// Presents one EmbeddingCache to the shared encode path.
+class CacheRepSource final : public RepSource {
+ public:
+  CacheRepSource(const std::vector<float>& data,
+                 const std::vector<bool>& valid, int64_t embedding_dim)
+      : data_(data), valid_(valid), embedding_dim_(embedding_dim) {}
 
-SingleQueryAttention AttendSingleQuery(const T::Tensor& query_row,
-                                       const T::Tensor& keys,
-                                       const T::Tensor& values,
-                                       int64_t model_dim) {
-  T::Tensor scores = T::Scale(
-      T::MatMul(query_row, T::Transpose(keys)),
-      1.0f / std::sqrt(static_cast<float>(model_dim)));
-  T::Tensor attention = T::SoftmaxRows(scores);
-  SingleQueryAttention out;
-  out.context = T::MatMul(attention, values);
-  out.weights.assign(attention.data(), attention.data() + attention.size());
-  return out;
-}
+  const float* Lookup(graph::NodeId v) const override {
+    if (!valid_[static_cast<size_t>(v)]) return nullptr;
+    return data_.data() + static_cast<int64_t>(v) * embedding_dim_;
+  }
+
+ private:
+  const std::vector<float>& data_;
+  const std::vector<bool>& valid_;
+  int64_t embedding_dim_;
+};
 
 }  // namespace
 
@@ -62,29 +60,13 @@ StatusOr<std::unique_ptr<WidenModel>> WidenModel::Create(
 WidenModel::WidenModel(const graph::HeteroGraph* graph,
                        const WidenConfig& config)
     : graph_(graph), config_(config), rng_(config.seed) {
-  const int64_t d = config_.embedding_dim;
-  const int64_t d0 = graph_->feature_dim();
-  const int32_t c = graph_->num_classes();
-
-  g_node_ = T::XavierUniform(T::Shape::Matrix(d0, d), rng_, "G_node");
-  edges_ = std::make_unique<EdgeEmbeddings>(
-      graph_->schema().num_edge_types(), graph_->schema().num_node_types(), d,
-      rng_);
-  auto attn = [&](const char* name) {
-    return T::XavierUniform(T::Shape::Matrix(d, d), rng_, name);
-  };
-  wq_wide_ = attn("Wq_wide");
-  wk_wide_ = attn("Wk_wide");
-  wv_wide_ = attn("Wv_wide");
-  wq_deep_ = attn("Wq_deep");
-  wk_deep_ = attn("Wk_deep");
-  wv_deep_ = attn("Wv_deep");
-  wq_deep2_ = attn("Wq_deep2");
-  wk_deep2_ = attn("Wk_deep2");
-  wv_deep2_ = attn("Wv_deep2");
-  fuse_w_ = T::XavierUniform(T::Shape::Matrix(2 * d, d), rng_, "W_fuse");
-  fuse_b_ = T::ZeroParam(T::Shape::Matrix(1, d), "b_fuse");
-  classifier_ = T::XavierUniform(T::Shape::Matrix(d, c), rng_, "C");
+  EncoderDims dims;
+  dims.feature_dim = graph_->feature_dim();
+  dims.num_edge_types = graph_->schema().num_edge_types();
+  dims.num_node_types = graph_->schema().num_node_types();
+  dims.embedding_dim = config_.embedding_dim;
+  dims.num_classes = graph_->num_classes();
+  params_ = EncoderParams::CreateInitialized(dims, rng_);
 
   optimizer_ = std::make_unique<T::Adam>(config_.learning_rate,
                                          /*beta1=*/0.9f, /*beta2=*/0.999f,
@@ -94,14 +76,7 @@ WidenModel::WidenModel(const graph::HeteroGraph* graph,
 }
 
 std::vector<T::Tensor> WidenModel::Parameters() const {
-  std::vector<T::Tensor> params = {g_node_};
-  for (const T::Tensor& p : edges_->Parameters()) params.push_back(p);
-  for (const T::Tensor& p :
-       {wq_wide_, wk_wide_, wv_wide_, wq_deep_, wk_deep_, wv_deep_, wq_deep2_,
-        wk_deep2_, wv_deep2_, fuse_w_, fuse_b_, classifier_}) {
-    params.push_back(p);
-  }
-  return params;
+  return params_.All();
 }
 
 int64_t WidenModel::TotalParameterCount() const {
@@ -113,16 +88,13 @@ int64_t WidenModel::TotalParameterCount() const {
 T::Tensor WidenModel::ProjectNodes(
     const graph::HeteroGraph& graph,
     const std::vector<graph::NodeId>& nodes) const {
-  WIDEN_CHECK_EQ(graph.feature_dim(), g_node_.rows())
-      << "feature dimension mismatch between graphs";
-  std::vector<int32_t> indices(nodes.begin(), nodes.end());
-  T::Tensor features = T::GatherRows(graph.features(), indices);
-  return T::MatMul(features, g_node_);
+  return core::ProjectNodes(graph::HeteroGraphView(graph), params_.g_node,
+                            nodes);
 }
 
 WidenModel::EmbeddingCache& WidenModel::CacheFor(
     const graph::HeteroGraph& graph) {
-  EmbeddingCache& cache = caches_[&graph];
+  EmbeddingCache& cache = caches_[graph.uid()];
   const size_t wanted =
       static_cast<size_t>(graph.num_nodes() * config_.embedding_dim);
   if (cache.data.size() != wanted) {
@@ -134,28 +106,10 @@ WidenModel::EmbeddingCache& WidenModel::CacheFor(
 
 T::Tensor WidenModel::LookupReps(const graph::HeteroGraph& graph,
                                  const std::vector<graph::NodeId>& nodes) {
-  const int64_t d = config_.embedding_dim;
-  // Differentiable projection x G^node for every neighbor...
-  T::Tensor projected = ProjectNodes(graph, nodes);
   EmbeddingCache& cache = CacheFor(graph);
-  // ...plus a constant residual that shifts each cached node's VALUE to its
-  // stored multi-hop representation. Straight-through: values come from the
-  // cache, gradients still reach G^node through the projection term.
-  T::Tensor residual(projected.shape());
-  float* rp = residual.mutable_data();
-  const float* pp = projected.data();
-  bool any_cached = false;
-  for (size_t i = 0; i < nodes.size(); ++i) {
-    const graph::NodeId v = nodes[i];
-    if (!cache.valid[static_cast<size_t>(v)]) continue;
-    any_cached = true;
-    const float* src = cache.data.data() + static_cast<int64_t>(v) * d;
-    float* row = rp + static_cast<int64_t>(i) * d;
-    const float* prow = pp + static_cast<int64_t>(i) * d;
-    for (int64_t j = 0; j < d; ++j) row[j] = src[j] - prow[j];
-  }
-  if (!any_cached) return projected;
-  return T::Add(projected, residual);
+  CacheRepSource reps(cache.data, cache.valid, config_.embedding_dim);
+  return core::LookupReps(graph::HeteroGraphView(graph), params_, nodes,
+                          &reps);
 }
 
 void WidenModel::StoreRep(const graph::HeteroGraph& graph,
@@ -171,7 +125,7 @@ void WidenModel::StoreRep(const graph::HeteroGraph& graph,
 
 void WidenModel::RefreshCache(const graph::HeteroGraph& graph,
                               int64_t passes) {
-  T::NoGradScope no_grad;
+  T::InferenceScope inference;
   Rng refresh_rng(config_.seed ^ 0x2EF2E54ULL);
   for (int64_t pass = 0; pass < passes; ++pass) {
     for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) {
@@ -184,113 +138,17 @@ void WidenModel::RefreshCache(const graph::HeteroGraph& graph,
 
 WidenModel::TargetState WidenModel::SampleTargetState(
     const graph::HeteroGraph& graph, graph::NodeId node, Rng& rng) const {
-  TargetState state;
-  state.node = node;
-  if (!config_.disable_wide) {
-    state.wide = sampling::SampleWideNeighbors(graph, node,
-                                               config_.num_wide_neighbors, rng);
-  } else {
-    state.wide.target = node;
-  }
-  if (!config_.disable_deep) {
-    state.deeps.reserve(static_cast<size_t>(config_.num_deep_walks));
-    for (int64_t phi = 0; phi < config_.num_deep_walks; ++phi) {
-      state.deeps.push_back(MakeDeepState(
-          sampling::SampleDeepWalk(graph, node, config_.num_deep_neighbors,
-                                   rng)));
-    }
-  }
-  return state;
+  return core::SampleTargetState(graph::HeteroGraphView(graph), node, config_,
+                                 rng);
 }
 
 WidenModel::ForwardResult WidenModel::Forward(const graph::HeteroGraph& graph,
                                               TargetState& state,
                                               bool keep_artifacts) {
-  const int64_t d = config_.embedding_dim;
-  const graph::NodeTypeId target_type = graph.node_type(state.node);
-  // Dropout only perturbs gradient-carrying (supervised) forwards; cache
-  // refreshes and inference run clean. The tape itself is controlled by
-  // NoGradScope at the call sites.
-  const bool training = keep_artifacts && !T::NoGradScope::Active();
-  T::Tensor target_embedding = ProjectNodes(graph, {state.node});
-
-  ForwardResult result;
-
-  // ---- Wide attentive message passing (Eq. 1 + Eq. 3) ----
-  T::Tensor h_wide;
-  if (!config_.disable_wide) {
-    T::Tensor neighbor_embeddings =
-        state.wide.size() > 0 ? LookupReps(graph, state.wide.nodes)
-                              : T::Tensor(T::Shape::Matrix(0, d));
-    T::Tensor packs = PackWide(target_embedding, neighbor_embeddings,
-                               state.wide, target_type, *edges_);
-    T::Tensor query = T::SliceRows(packs, 0, 1);  // m_t°
-    packs = T::Dropout(packs, config_.dropout, rng_, training);
-    SingleQueryAttention attn = AttendSingleQuery(
-        T::MatMul(query, wq_wide_), T::MatMul(packs, wk_wide_),
-        T::MatMul(packs, wv_wide_), d);
-    h_wide = attn.context;
-    if (keep_artifacts) result.wide_attention = std::move(attn.weights);
-  } else {
-    h_wide = T::Tensor(T::Shape::Matrix(1, d));  // zero contribution
-  }
-
-  // ---- Deep successive self-attention (Eq. 2 + Eq. 4-6) ----
-  T::Tensor h_deep;
-  if (!config_.disable_deep) {
-    std::vector<T::Tensor> deep_contexts;
-    deep_contexts.reserve(state.deeps.size());
-    for (DeepNeighborState& deep : state.deeps) {
-      T::Tensor node_embeddings =
-          deep.size() > 0 ? LookupReps(graph, deep.nodes)
-                          : T::Tensor(T::Shape::Matrix(0, d));
-      T::Tensor raw_packs = PackDeep(target_embedding, node_embeddings, deep,
-                                     target_type, *edges_);
-      T::Tensor packs = T::Dropout(raw_packs, config_.dropout, rng_, training);
-      // Eq. (4): refine the pack sequence with a masked self-attention so
-      // information flows from the walk tail toward the target only.
-      T::Tensor refined;
-      if (!config_.disable_successive_attention) {
-        T::Tensor scores = T::Scale(
-            T::MatMul(T::MatMul(packs, wq_deep_),
-                      T::Transpose(T::MatMul(packs, wk_deep_))),
-            1.0f / std::sqrt(static_cast<float>(d)));
-        T::Tensor attn_rows = T::MaskedSoftmaxRows(
-            scores, T::CausalAttentionMask(packs.rows()));
-        refined = T::MatMul(attn_rows, T::MatMul(packs, wv_deep_));
-      } else {
-        refined = packs;
-      }
-      // Eq. (5): target pack queries the refined sequence; values come from
-      // the raw packs (M▷ W_V▷'), exactly as printed.
-      T::Tensor query = T::SliceRows(packs, 0, 1);  // m_t▷
-      SingleQueryAttention attn = AttendSingleQuery(
-          T::MatMul(query, wq_deep2_), T::MatMul(refined, wk_deep2_),
-          T::MatMul(packs, wv_deep2_), d);
-      deep_contexts.push_back(attn.context);
-      if (keep_artifacts) {
-        result.deep_attention.push_back(std::move(attn.weights));
-        // Relay edges (Eq. 8) must read the true pack values, not the
-        // dropout-perturbed ones.
-        result.deep_pack_values.push_back(raw_packs.DetachedCopy());
-      }
-    }
-    // Average pooling over the Φ walks (Eq. 7).
-    if (deep_contexts.size() == 1) {
-      h_deep = deep_contexts[0];
-    } else {
-      h_deep = T::MeanRows(T::ConcatRows(deep_contexts));
-    }
-  } else {
-    h_deep = T::Tensor(T::Shape::Matrix(1, d));
-  }
-
-  // ---- Fuse (Eq. 7) ----
-  T::Tensor fused = T::ConcatCols({h_wide, h_deep});
-  T::Tensor hidden =
-      T::Relu(T::Add(T::MatMul(fused, fuse_w_), fuse_b_));
-  result.embedding = T::RowL2Normalize(hidden);
-  return result;
+  EmbeddingCache& cache = CacheFor(graph);
+  CacheRepSource reps(cache.data, cache.valid, config_.embedding_dim);
+  return EncodeTarget(graph::HeteroGraphView(graph), params_, config_, state,
+                      &reps, keep_artifacts, rng_);
 }
 
 void WidenModel::MaybeDownsample(TargetState& state,
@@ -325,7 +183,7 @@ void WidenModel::MaybeDownsample(TargetState& state,
       }
       const bool use_relay = !config_.disable_relay_edges;
       if (config_.random_deep_downsampling) {
-        PruneDeepStateRandom(deep, result.deep_pack_values[phi], *edges_,
+        PruneDeepStateRandom(deep, result.deep_pack_values[phi], *params_.edges,
                              use_relay, rng_);
         ++log.deep_drops;
       } else {
@@ -337,7 +195,7 @@ void WidenModel::MaybeDownsample(TargetState& state,
             key, signature, result.deep_attention[phi]);
         if (kl < static_cast<double>(config_.deep_kl_threshold)) {
           PruneDeepState(deep, result.deep_attention[phi],
-                         result.deep_pack_values[phi], *edges_, use_relay);
+                         result.deep_pack_values[phi], *params_.edges, use_relay);
           ++log.deep_drops;
         }
       }
@@ -431,7 +289,7 @@ StatusOr<WidenTrainReport> WidenModel::TrainUntil(
         StoreRep(*graph_, v, result.embedding.DetachedCopy());
       }
       T::Tensor batch = T::ConcatRows(embeddings);
-      T::Tensor logits = T::MatMul(batch, classifier_);
+      T::Tensor logits = T::MatMul(batch, params_.classifier);
       T::Tensor loss = T::SoftmaxCrossEntropy(logits, labels);
       optimizer_->ZeroGrad();
       loss.Backward();
@@ -568,19 +426,19 @@ StatusOr<WidenTrainReport> WidenModel::TrainUnsupervised(
 
 T::Tensor WidenModel::EmbedNodes(const graph::HeteroGraph& graph,
                                  const std::vector<graph::NodeId>& nodes) {
-  T::NoGradScope no_grad;
+  T::InferenceScope inference;
   // Algorithm 3's output IS the embedding store ("vector representations
   // v_t for all v_t in V"), so nodes of the training graph are read from
   // the cache directly. A graph never seen before (inductive evaluation)
   // first gets warm-up refresh passes so every node — including the unseen
   // ones — carries the same multi-hop representation training produced.
-  if (caches_.find(&graph) == caches_.end()) {
+  if (caches_.find(graph.uid()) == caches_.end()) {
     RefreshCache(graph, config_.eval_refresh_passes);
   }
   EmbeddingCache& cache = CacheFor(graph);
   const int64_t d = config_.embedding_dim;
-  const int64_t samples = std::max<int64_t>(1, config_.eval_samples);
-  Rng eval_rng(config_.seed ^ 0xE7A1ULL);
+  graph::HeteroGraphView view(graph);
+  CacheRepSource reps(cache.data, cache.valid, d);
   T::Tensor out(T::Shape::Matrix(static_cast<int64_t>(nodes.size()), d));
   float* dst = out.mutable_data();
   for (size_t i = 0; i < nodes.size(); ++i) {
@@ -591,16 +449,11 @@ T::Tensor WidenModel::EmbedNodes(const graph::HeteroGraph& graph,
       std::copy(src, src + d, row);
       continue;
     }
-    // Cold node (e.g. EmbedNodes before Train): average over independent
-    // neighborhood samples to reduce sampling variance.
-    T::Tensor mean;
-    for (int64_t s = 0; s < samples; ++s) {
-      TargetState state = SampleTargetState(graph, v, eval_rng);
-      ForwardResult result = Forward(graph, state, /*keep_artifacts=*/false);
-      mean = mean.defined() ? T::Add(mean, result.embedding)
-                            : result.embedding;
-    }
-    mean = T::RowL2Normalize(T::Scale(mean, 1.0f / static_cast<float>(samples)));
+    // Cold node (e.g. EmbedNodes before Train, or a row seeded invalid via
+    // SeedCache): averaged over independent neighborhood samples drawn from
+    // a per-node RNG stream, so the result does not depend on which other
+    // nodes share the batch (core/encoder.h, EvalSeedForNode).
+    T::Tensor mean = EncodeColdMean(view, params_, config_, v, &reps);
     std::copy(mean.data(), mean.data() + d, row);
   }
   return out;
@@ -609,13 +462,13 @@ T::Tensor WidenModel::EmbedNodes(const graph::HeteroGraph& graph,
 std::vector<int32_t> WidenModel::Predict(
     const graph::HeteroGraph& graph, const std::vector<graph::NodeId>& nodes) {
   T::Tensor embeddings = EmbedNodes(graph, nodes);
-  T::Tensor logits = T::MatMul(embeddings, classifier_);
+  T::Tensor logits = T::MatMul(embeddings, params_.classifier);
   return T::ArgMaxRows(logits);
 }
 
 bool WidenModel::ExportTrainingCache(T::Tensor* reps,
                                      T::Tensor* valid) const {
-  auto it = caches_.find(graph_);
+  auto it = caches_.find(graph_->uid());
   if (it == caches_.end() || it->second.data.empty()) return false;
   const EmbeddingCache& cache = it->second;
   const int64_t n = graph_->num_nodes();
@@ -630,7 +483,12 @@ bool WidenModel::ExportTrainingCache(T::Tensor* reps,
 
 Status WidenModel::ImportTrainingCache(const T::Tensor& reps,
                                        const T::Tensor& valid) {
-  const int64_t n = graph_->num_nodes();
+  return SeedCache(*graph_, reps, valid);
+}
+
+Status WidenModel::SeedCache(const graph::HeteroGraph& graph,
+                             const T::Tensor& reps, const T::Tensor& valid) {
+  const int64_t n = graph.num_nodes();
   const int64_t d = config_.embedding_dim;
   if (!reps.defined() || reps.shape() != T::Shape::Matrix(n, d)) {
     return Status::InvalidArgument("cache reps shape mismatch");
@@ -638,7 +496,7 @@ Status WidenModel::ImportTrainingCache(const T::Tensor& reps,
   if (!valid.defined() || valid.shape() != T::Shape::Matrix(n, 1)) {
     return Status::InvalidArgument("cache valid shape mismatch");
   }
-  EmbeddingCache& cache = CacheFor(*graph_);
+  EmbeddingCache& cache = CacheFor(graph);
   cache.data.assign(reps.data(), reps.data() + reps.size());
   for (int64_t v = 0; v < n; ++v) {
     cache.valid[static_cast<size_t>(v)] = valid.at(v, 0) != 0.0f;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/downsampling.h"
+#include "core/encoder.h"
 #include "core/kl_trigger.h"
 #include "core/message_pack.h"
 #include "core/widen_config.h"
@@ -107,6 +108,14 @@ class WidenModel {
   Status ImportTrainingCache(const tensor::Tensor& reps,
                              const tensor::Tensor& valid);
 
+  /// Seeds `graph`'s embedding store with explicit rows: `reps` is [N, d],
+  /// `valid` is [N, 1] with nonzero marking rows to serve. EmbedNodes on
+  /// `graph` then reads valid rows directly (no warm-up refresh) and treats
+  /// the rest as cold. This is how serving parity is tested: seed the model
+  /// with the exact store a serving session carries and compare outputs.
+  Status SeedCache(const graph::HeteroGraph& graph, const tensor::Tensor& reps,
+                   const tensor::Tensor& valid);
+
   /// Current size of a training target's neighbor sets (tests/diagnostics).
   /// Returns {wide_size, mean_deep_size}; {-1, -1} if the node has no state.
   std::pair<int64_t, double> NeighborSetSizes(graph::NodeId node) const;
@@ -126,20 +135,10 @@ class WidenModel {
  private:
   WidenModel(const graph::HeteroGraph* graph, const WidenConfig& config);
 
-  /// Mutable per-target neighbor state, persisted across epochs.
-  struct TargetState {
-    graph::NodeId node = -1;
-    sampling::WideNeighborSet wide;
-    std::vector<DeepNeighborState> deeps;  // Φ sequences
-  };
-
-  /// One forward pass' artifacts for a single target.
-  struct ForwardResult {
-    tensor::Tensor embedding;  // [1, d], on the tape when training
-    std::vector<float> wide_attention;               // |W|+1 (Eq. 3)
-    std::vector<std::vector<float>> deep_attention;  // Φ x (|D_φ|+1) (Eq. 5)
-    std::vector<tensor::Tensor> deep_pack_values;    // Φ detached M▷ copies
-  };
+  // The per-target neighbor state and forward artifacts live in
+  // core/encoder.h, shared with the serving path.
+  using TargetState = core::TargetState;
+  using ForwardResult = core::EncodeResult;
 
   /// Stateful node representations: each message passing step "replaces the
   /// original node embedding" (§3), so information propagates one hop
@@ -176,20 +175,16 @@ class WidenModel {
   WidenConfig config_;
   Rng rng_;
 
-  // Parameters.
-  tensor::Tensor g_node_;  // [d0, d]
-  std::unique_ptr<EdgeEmbeddings> edges_;
-  tensor::Tensor wq_wide_, wk_wide_, wv_wide_;        // Eq. (3)
-  tensor::Tensor wq_deep_, wk_deep_, wv_deep_;        // Eq. (4)
-  tensor::Tensor wq_deep2_, wk_deep2_, wv_deep2_;     // Eq. (5)
-  tensor::Tensor fuse_w_, fuse_b_;                    // Eq. (7)
-  tensor::Tensor classifier_;                         // C of Eq. (10)
+  // Parameters (shared encode path, core/encoder.h).
+  EncoderParams params_;
 
   std::unique_ptr<tensor::Adam> optimizer_;
 
-  // Training state.
+  // Training state. Embedding stores are keyed by HeteroGraph::uid(), a
+  // process-unique identity — never by address, which the allocator can
+  // reuse for a different graph after the first one dies.
   std::unordered_map<graph::NodeId, TargetState> target_states_;
-  std::unordered_map<const graph::HeteroGraph*, EmbeddingCache> caches_;
+  std::unordered_map<uint64_t, EmbeddingCache> caches_;
   AttentionTracker wide_tracker_;
   AttentionTracker deep_tracker_;
   int64_t current_epoch_ = 0;

@@ -1,0 +1,65 @@
+// Read-only topology/feature interface shared by the immutable HeteroGraph
+// and the serving-time delta overlays (serve/graph_delta.h).
+//
+// The samplers and the shared encode path (core/encoder.h) are written
+// against this interface so that a graph grown by post-training deltas is
+// traversed with the exact same code — and therefore the exact same bits —
+// as a fully materialized HeteroGraph. Implementations must present each
+// node's neighbors sorted by (neighbor, edge_type), matching the CSR
+// ordering, so sampling draws are identical across backings.
+
+#ifndef WIDEN_GRAPH_GRAPH_VIEW_H_
+#define WIDEN_GRAPH_GRAPH_VIEW_H_
+
+#include "graph/csr.h"
+#include "graph/hetero_graph.h"
+#include "graph/schema.h"
+
+namespace widen::graph {
+
+/// Abstract read-only heterogeneous graph. All accessors must be safe for
+/// concurrent readers as long as no writer is mutating the backing store.
+class GraphView {
+ public:
+  virtual ~GraphView() = default;
+
+  virtual const GraphSchema& schema() const = 0;
+  virtual int64_t num_nodes() const = 0;
+  virtual NodeTypeId node_type(NodeId v) const = 0;
+  virtual int64_t degree(NodeId v) const = 0;
+  /// Contiguous neighbor slice of v, sorted by (neighbor, edge_type).
+  /// Pointers are valid while the view's backing storage is unmodified.
+  virtual Csr::NeighborSpan neighbors(NodeId v) const = 0;
+  virtual int64_t feature_dim() const = 0;
+  /// Pointer to v's `feature_dim()` raw features (never differentiable).
+  virtual const float* feature_row(NodeId v) const = 0;
+};
+
+/// Zero-copy adapter presenting a HeteroGraph as a GraphView. The graph must
+/// outlive the view. Cheap to construct on the stack.
+class HeteroGraphView final : public GraphView {
+ public:
+  explicit HeteroGraphView(const HeteroGraph& graph) : graph_(&graph) {}
+
+  const GraphSchema& schema() const override { return graph_->schema(); }
+  int64_t num_nodes() const override { return graph_->num_nodes(); }
+  NodeTypeId node_type(NodeId v) const override { return graph_->node_type(v); }
+  int64_t degree(NodeId v) const override { return graph_->degree(v); }
+  Csr::NeighborSpan neighbors(NodeId v) const override {
+    return graph_->neighbors(v);
+  }
+  int64_t feature_dim() const override { return graph_->feature_dim(); }
+  const float* feature_row(NodeId v) const override {
+    WIDEN_DCHECK(v >= 0 && v < graph_->num_nodes());
+    return graph_->features().data() + v * graph_->feature_dim();
+  }
+
+  const HeteroGraph& graph() const { return *graph_; }
+
+ private:
+  const HeteroGraph* graph_;
+};
+
+}  // namespace widen::graph
+
+#endif  // WIDEN_GRAPH_GRAPH_VIEW_H_

@@ -1,8 +1,75 @@
 #include "graph/hetero_graph.h"
 
+#include <atomic>
 #include <sstream>
 
 namespace widen::graph {
+namespace {
+
+uint64_t NextGraphUid() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+HeteroGraph::HeteroGraph() : uid_(NextGraphUid()) {}
+
+HeteroGraph::HeteroGraph(const HeteroGraph& other)
+    : uid_(NextGraphUid()),
+      schema_(other.schema_),
+      node_types_(other.node_types_),
+      nodes_by_type_(other.nodes_by_type_),
+      csr_(other.csr_),
+      features_(other.features_),
+      labels_(other.labels_),
+      num_classes_(other.num_classes_),
+      labeled_node_type_(other.labeled_node_type_) {}
+
+HeteroGraph& HeteroGraph::operator=(const HeteroGraph& other) {
+  if (this == &other) return *this;
+  // Assignment replaces this instance's contents with a new graph; the
+  // identity changes so uid-keyed caches built against the old contents
+  // cannot be served for the new ones.
+  uid_ = NextGraphUid();
+  schema_ = other.schema_;
+  node_types_ = other.node_types_;
+  nodes_by_type_ = other.nodes_by_type_;
+  csr_ = other.csr_;
+  features_ = other.features_;
+  labels_ = other.labels_;
+  num_classes_ = other.num_classes_;
+  labeled_node_type_ = other.labeled_node_type_;
+  return *this;
+}
+
+HeteroGraph::HeteroGraph(HeteroGraph&& other) noexcept
+    : uid_(other.uid_),
+      schema_(std::move(other.schema_)),
+      node_types_(std::move(other.node_types_)),
+      nodes_by_type_(std::move(other.nodes_by_type_)),
+      csr_(std::move(other.csr_)),
+      features_(std::move(other.features_)),
+      labels_(std::move(other.labels_)),
+      num_classes_(other.num_classes_),
+      labeled_node_type_(other.labeled_node_type_) {
+  other.uid_ = NextGraphUid();
+}
+
+HeteroGraph& HeteroGraph::operator=(HeteroGraph&& other) noexcept {
+  if (this == &other) return *this;
+  uid_ = other.uid_;
+  schema_ = std::move(other.schema_);
+  node_types_ = std::move(other.node_types_);
+  nodes_by_type_ = std::move(other.nodes_by_type_);
+  csr_ = std::move(other.csr_);
+  features_ = std::move(other.features_);
+  labels_ = std::move(other.labels_);
+  num_classes_ = other.num_classes_;
+  labeled_node_type_ = other.labeled_node_type_;
+  other.uid_ = NextGraphUid();
+  return *this;
+}
 
 const std::vector<NodeId>& HeteroGraph::nodes_of_type(NodeTypeId type) const {
   WIDEN_CHECK(type >= 0 && type < schema_.num_node_types());

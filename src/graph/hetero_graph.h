@@ -22,7 +22,21 @@ namespace widen::graph {
 /// matrix; labels are -1 for unlabeled nodes.
 class HeteroGraph {
  public:
-  HeteroGraph() = default;
+  HeteroGraph();
+
+  // Identity semantics: `uid()` names this graph *instance*. Copies are new
+  // graphs (fresh uid); moves transfer the identity (the moved-from shell
+  // gets a fresh uid). Anything caching per-graph state must key on uid(),
+  // never on the object's address — a destroyed graph followed by an
+  // allocation at the same address would otherwise silently serve stale
+  // state (see WidenModel's embedding caches).
+  HeteroGraph(const HeteroGraph& other);
+  HeteroGraph& operator=(const HeteroGraph& other);
+  HeteroGraph(HeteroGraph&& other) noexcept;
+  HeteroGraph& operator=(HeteroGraph&& other) noexcept;
+
+  /// Process-unique identity of this graph instance (never 0, never reused).
+  uint64_t uid() const { return uid_; }
 
   const GraphSchema& schema() const { return schema_; }
 
@@ -71,6 +85,7 @@ class HeteroGraph {
   friend class GraphBuilder;
   friend class SubgraphExtractor;
 
+  uint64_t uid_;
   GraphSchema schema_;
   std::vector<NodeTypeId> node_types_;
   std::vector<std::vector<NodeId>> nodes_by_type_;

@@ -10,7 +10,7 @@ void WideNeighborSet::RemoveLocalIndex(size_t n) {
   edge_types.erase(edge_types.begin() + static_cast<std::ptrdiff_t>(n));
 }
 
-WideNeighborSet SampleWideNeighbors(const graph::HeteroGraph& graph,
+WideNeighborSet SampleWideNeighbors(const graph::GraphView& graph,
                                     graph::NodeId target, int64_t sample_size,
                                     Rng& rng) {
   WIDEN_CHECK_GE(sample_size, 0);
@@ -41,7 +41,7 @@ WideNeighborSet SampleWideNeighbors(const graph::HeteroGraph& graph,
 }
 
 WideNeighborSet SampleWideNeighborsWithReplacement(
-    const graph::HeteroGraph& graph, graph::NodeId target,
+    const graph::GraphView& graph, graph::NodeId target,
     int64_t sample_size, Rng& rng) {
   WIDEN_CHECK_GE(sample_size, 0);
   WideNeighborSet set;

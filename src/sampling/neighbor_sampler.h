@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "graph/graph_view.h"
 #include "graph/hetero_graph.h"
 #include "util/random.h"
 
@@ -28,16 +29,30 @@ struct WideNeighborSet {
 };
 
 /// Uniformly samples min(N_w, degree) distinct neighbors of `target`.
-/// Isolated targets yield an empty set. Deterministic given `rng` state.
-WideNeighborSet SampleWideNeighbors(const graph::HeteroGraph& graph,
+/// Isolated targets yield an empty set. Deterministic given `rng` state, and
+/// bitwise-identical across GraphView backings that present the same
+/// neighbor ordering (graph/graph_view.h).
+WideNeighborSet SampleWideNeighbors(const graph::GraphView& graph,
                                     graph::NodeId target, int64_t sample_size,
                                     Rng& rng);
+inline WideNeighborSet SampleWideNeighbors(const graph::HeteroGraph& graph,
+                                           graph::NodeId target,
+                                           int64_t sample_size, Rng& rng) {
+  return SampleWideNeighbors(graph::HeteroGraphView(graph), target,
+                             sample_size, rng);
+}
 
 /// GraphSAGE-style sampling: exactly `sample_size` draws, with replacement
 /// when the degree is smaller (unless the target is isolated).
 WideNeighborSet SampleWideNeighborsWithReplacement(
-    const graph::HeteroGraph& graph, graph::NodeId target,
+    const graph::GraphView& graph, graph::NodeId target,
     int64_t sample_size, Rng& rng);
+inline WideNeighborSet SampleWideNeighborsWithReplacement(
+    const graph::HeteroGraph& graph, graph::NodeId target,
+    int64_t sample_size, Rng& rng) {
+  return SampleWideNeighborsWithReplacement(graph::HeteroGraphView(graph),
+                                            target, sample_size, rng);
+}
 
 }  // namespace widen::sampling
 

@@ -6,7 +6,7 @@
 
 namespace widen::sampling {
 
-DeepNeighborSequence SampleDeepWalk(const graph::HeteroGraph& graph,
+DeepNeighborSequence SampleDeepWalk(const graph::GraphView& graph,
                                     graph::NodeId target, int64_t length,
                                     Rng& rng) {
   WIDEN_CHECK_GE(length, 0);

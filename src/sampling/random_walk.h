@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "graph/graph_view.h"
 #include "graph/hetero_graph.h"
 #include "util/random.h"
 
@@ -28,9 +29,14 @@ struct DeepNeighborSequence {
 /// Uniform random walk of (up to) `length` steps starting from `target`.
 /// Revisits are allowed (standard DeepWalk behaviour); immediate backtracking
 /// is permitted as well. Isolated targets yield an empty sequence.
-DeepNeighborSequence SampleDeepWalk(const graph::HeteroGraph& graph,
+DeepNeighborSequence SampleDeepWalk(const graph::GraphView& graph,
                                     graph::NodeId target, int64_t length,
                                     Rng& rng);
+inline DeepNeighborSequence SampleDeepWalk(const graph::HeteroGraph& graph,
+                                           graph::NodeId target,
+                                           int64_t length, Rng& rng) {
+  return SampleDeepWalk(graph::HeteroGraphView(graph), target, length, rng);
+}
 
 /// Node2Vec second-order biased walk: return parameter `p` and in-out
 /// parameter `q` reweight the step distribution as in Grover & Leskovec

@@ -1,0 +1,67 @@
+#include "serve/embedding_store.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace widen::serve {
+
+EmbeddingStore::EmbeddingStore(int64_t capacity, int64_t embedding_dim)
+    : capacity_(capacity), embedding_dim_(embedding_dim) {
+  WIDEN_CHECK_GE(capacity, 0);
+  WIDEN_CHECK_GT(embedding_dim, 0);
+}
+
+bool EmbeddingStore::Lookup(uint64_t version, graph::NodeId node,
+                            std::vector<float>* out) {
+  auto it = entries_.find(Key(version, node));
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  out->assign(it->second->row.begin(), it->second->row.end());
+  ++stats_.hits;
+  return true;
+}
+
+void EmbeddingStore::Insert(uint64_t version, graph::NodeId node,
+                            const float* row) {
+  if (capacity_ == 0) return;
+  const uint64_t key = Key(version, node);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second->row.assign(row, row + embedding_dim_);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (static_cast<int64_t>(entries_.size()) >= capacity_) {
+    const Entry& victim = lru_.back();
+    entries_.erase(Key(victim.version, victim.node));
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{version, node,
+                        std::vector<float>(row, row + embedding_dim_)});
+  entries_.emplace(key, lru_.begin());
+  ++stats_.insertions;
+}
+
+void EmbeddingStore::BeginVersion(
+    uint64_t new_version, const std::vector<graph::NodeId>& invalidated) {
+  const std::unordered_set<graph::NodeId> dropped(invalidated.begin(),
+                                                  invalidated.end());
+  entries_.clear();
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (dropped.count(it->node) != 0) {
+      it = lru_.erase(it);
+      ++stats_.invalidations;
+      continue;
+    }
+    it->version = new_version;
+    entries_.emplace(Key(new_version, it->node), it);
+    ++it;
+  }
+}
+
+}  // namespace widen::serve

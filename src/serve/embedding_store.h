@@ -1,0 +1,78 @@
+// Bounded LRU cache of served embeddings, keyed (graph_version, node_id).
+//
+// The store holds rows the session had to COMPUTE (delta-added nodes and
+// base nodes without a trained representation); rows frozen at training time
+// are served from the checkpoint's rep table and never enter the store. On
+// delta ingest the session derives the k-hop set of nodes whose inputs may
+// have changed and calls BeginVersion: those entries are dropped, all other
+// surviving entries are re-keyed to the new version (their inputs are
+// provably unchanged, so re-serving them is exact, not approximate).
+//
+// Not internally synchronized — the owning session guards it with a mutex.
+
+#ifndef WIDEN_SERVE_EMBEDDING_STORE_H_
+#define WIDEN_SERVE_EMBEDDING_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace widen::serve {
+
+class EmbeddingStore {
+ public:
+  /// `capacity` is the maximum number of cached rows; 0 disables caching.
+  /// `embedding_dim` is the row width.
+  EmbeddingStore(int64_t capacity, int64_t embedding_dim);
+
+  /// Copies the cached row for (version, node) into `out` (resized to the
+  /// embedding dim) and marks it most-recently-used. False on miss.
+  bool Lookup(uint64_t version, graph::NodeId node, std::vector<float>* out);
+
+  /// Inserts/overwrites the row for (version, node), evicting the least
+  /// recently used entry when full.
+  void Insert(uint64_t version, graph::NodeId node, const float* row);
+
+  /// Transition to `new_version`: entries whose node is in `invalidated`
+  /// are dropped; every other entry is re-keyed from its old version to
+  /// `new_version` and keeps its LRU position.
+  void BeginVersion(uint64_t new_version,
+                    const std::vector<graph::NodeId>& invalidated);
+
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t capacity() const { return capacity_; }
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t insertions = 0;
+    int64_t invalidations = 0;  // entries dropped by BeginVersion
+    int64_t evictions = 0;      // entries dropped by capacity pressure
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    uint64_t version;
+    graph::NodeId node;
+    std::vector<float> row;
+  };
+
+  static uint64_t Key(uint64_t version, graph::NodeId node) {
+    return (version << 32) | static_cast<uint32_t>(node);
+  }
+
+  int64_t capacity_;
+  int64_t embedding_dim_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> entries_;
+  Stats stats_;
+};
+
+}  // namespace widen::serve
+
+#endif  // WIDEN_SERVE_EMBEDDING_STORE_H_

@@ -1,0 +1,260 @@
+#include "serve/inference_session.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+#include <utility>
+
+#include "core/encoder.h"
+#include "tensor/inference.h"
+#include "tensor/ops.h"
+#include "util/string_util.h"
+
+namespace widen::serve {
+namespace {
+
+namespace T = widen::tensor;
+
+/// RepSource over the checkpoint's frozen embedding store: valid base rows
+/// are served, everything else (invalid base rows, delta-added nodes) falls
+/// back to the fresh projection — exactly the CacheRepSource the model uses
+/// over a cache whose base rows are valid and whose new rows are not, which
+/// is what makes session cold encodes bitwise-equal to EmbedNodes.
+class BaseRepSource final : public core::RepSource {
+ public:
+  BaseRepSource(const T::Tensor* reps, const std::vector<bool>* valid,
+                int64_t embedding_dim)
+      : reps_(reps), valid_(valid), embedding_dim_(embedding_dim) {}
+
+  const float* Lookup(graph::NodeId v) const override {
+    if (v < 0 || v >= static_cast<graph::NodeId>(valid_->size()) ||
+        !(*valid_)[static_cast<size_t>(v)]) {
+      return nullptr;
+    }
+    return reps_->data() + static_cast<int64_t>(v) * embedding_dim_;
+  }
+
+ private:
+  const T::Tensor* reps_;
+  const std::vector<bool>* valid_;
+  int64_t embedding_dim_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<InferenceSession>> InferenceSession::Load(
+    const std::string& checkpoint_path, const graph::HeteroGraph* base_graph,
+    const core::WidenConfig& config, const SessionOptions& options) {
+  if (base_graph == nullptr) {
+    return Status::InvalidArgument("base_graph must not be null");
+  }
+  if (!base_graph->features().defined()) {
+    return Status::InvalidArgument("base graph has no node features");
+  }
+  WIDEN_RETURN_IF_ERROR(config.Validate());
+  WIDEN_ASSIGN_OR_RETURN(core::ServingWeights weights,
+                         core::LoadServingWeights(checkpoint_path));
+  if (weights.params.feature_dim() != base_graph->feature_dim()) {
+    return Status::InvalidArgument(
+        StrCat("checkpoint expects ", weights.params.feature_dim(),
+               "-dim features, graph has ", base_graph->feature_dim()));
+  }
+  if (weights.params.embedding_dim() != config.embedding_dim) {
+    return Status::InvalidArgument(
+        StrCat("checkpoint embedding_dim ", weights.params.embedding_dim(),
+               " != config embedding_dim ", config.embedding_dim));
+  }
+  const graph::GraphSchema& schema = base_graph->schema();
+  if (weights.params.edges->edge_table().rows() != schema.num_edge_types() ||
+      weights.params.edges->self_loop_table().rows() !=
+          schema.num_node_types()) {
+    return Status::InvalidArgument(
+        StrCat("checkpoint was trained on a schema with ",
+               weights.params.edges->edge_table().rows(), " edge types / ",
+               weights.params.edges->self_loop_table().rows(),
+               " node types; graph schema has ", schema.num_edge_types(),
+               " / ", schema.num_node_types()));
+  }
+  if (weights.cache_reps.defined() &&
+      weights.cache_reps.rows() != base_graph->num_nodes()) {
+    return Status::InvalidArgument(
+        StrCat("checkpoint embedding store covers ", weights.cache_reps.rows(),
+               " nodes, base graph has ", base_graph->num_nodes()));
+  }
+  if (options.store_capacity < 0) {
+    return Status::InvalidArgument("store_capacity must be >= 0");
+  }
+  return std::unique_ptr<InferenceSession>(
+      new InferenceSession(std::move(weights), base_graph, config, options));
+}
+
+InferenceSession::InferenceSession(core::ServingWeights weights,
+                                   const graph::HeteroGraph* base_graph,
+                                   const core::WidenConfig& config,
+                                   const SessionOptions& options)
+    : weights_(std::move(weights)),
+      config_(config),
+      options_(options),
+      view_(base_graph),
+      store_(options.store_capacity, weights_.params.embedding_dim()),
+      pool_(options.num_threads > 1
+                ? std::make_unique<ThreadPool>(
+                      static_cast<size_t>(options.num_threads))
+                : nullptr) {
+  if (weights_.cache_valid.defined()) {
+    const int64_t n = weights_.cache_valid.rows();
+    base_valid_.resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      base_valid_[static_cast<size_t>(i)] =
+          weights_.cache_valid.data()[i] != 0.0f;
+    }
+  }
+}
+
+int64_t InferenceSession::num_nodes() const {
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  return view_.num_nodes();
+}
+
+int64_t InferenceSession::InvalidationHops() const {
+  if (options_.invalidation_hops >= 0) return options_.invalidation_hops;
+  return std::max<int64_t>(1, config_.num_deep_neighbors);
+}
+
+GraphDelta InferenceSession::NewDelta() const {
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  return GraphDelta(view_.num_nodes());
+}
+
+StatusOr<tensor::Tensor> InferenceSession::Embed(
+    const std::vector<graph::NodeId>& nodes) {
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  const int64_t n = view_.num_nodes();
+  for (graph::NodeId v : nodes) {
+    if (v < 0 || v >= n) {
+      return Status::InvalidArgument(
+          StrCat("node ", v, " out of range [0, ", n, ")"));
+    }
+  }
+  const uint64_t version = version_.load();
+  const int64_t d = weights_.params.embedding_dim();
+  T::Tensor out(T::Shape::Matrix(static_cast<int64_t>(nodes.size()), d));
+
+  std::vector<size_t> cold;  // request positions needing a fresh encode
+  {
+    std::vector<float> row;
+    int64_t base_hits = 0;
+    int64_t store_hits = 0;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      const graph::NodeId v = nodes[i];
+      if (HasBaseRep(v)) {
+        std::memcpy(out.mutable_data() + static_cast<int64_t>(i) * d,
+                    BaseRepRow(v), static_cast<size_t>(d) * sizeof(float));
+        ++base_hits;
+        continue;
+      }
+      bool hit;
+      {
+        std::lock_guard<std::mutex> store_lock(store_mu_);
+        hit = store_.Lookup(version, v, &row);
+      }
+      if (hit) {
+        std::memcpy(out.mutable_data() + static_cast<int64_t>(i) * d,
+                    row.data(), static_cast<size_t>(d) * sizeof(float));
+        ++store_hits;
+      } else {
+        cold.push_back(i);
+      }
+    }
+    base_hits_ += base_hits;
+    store_hits_ += store_hits;
+  }
+
+  if (!cold.empty()) {
+    const BaseRepSource reps(&weights_.cache_reps, &base_valid_, d);
+    // Rows are disjoint and every cold node draws from its own RNG stream
+    // (EvalSeedForNode), so fan-out order cannot change any bit.
+    auto encode_one = [&](size_t k) {
+      T::InferenceScope inference;
+      const graph::NodeId v = nodes[cold[k]];
+      T::Tensor mean =
+          core::EncodeColdMean(view_, weights_.params, config_, v, &reps);
+      std::memcpy(out.mutable_data() + static_cast<int64_t>(cold[k]) * d,
+                  mean.data(), static_cast<size_t>(d) * sizeof(float));
+    };
+    if (pool_ != nullptr && cold.size() > 1) {
+      ParallelFor(*pool_, 0, cold.size(), encode_one);
+    } else {
+      for (size_t k = 0; k < cold.size(); ++k) encode_one(k);
+    }
+    cold_encodes_ += static_cast<int64_t>(cold.size());
+    std::lock_guard<std::mutex> store_lock(store_mu_);
+    for (size_t k : cold) {
+      store_.Insert(version, nodes[k],
+                    out.data() + static_cast<int64_t>(k) * d);
+    }
+  }
+  return out;
+}
+
+tensor::Tensor InferenceSession::ClassifyRows(
+    const tensor::Tensor& embeddings) const {
+  T::InferenceScope inference;
+  return T::MatMul(embeddings, weights_.params.classifier);
+}
+
+StatusOr<std::vector<int32_t>> InferenceSession::Predict(
+    const std::vector<graph::NodeId>& nodes) {
+  WIDEN_ASSIGN_OR_RETURN(T::Tensor embeddings, Embed(nodes));
+  return T::ArgMaxRows(ClassifyRows(embeddings));
+}
+
+StatusOr<uint64_t> InferenceSession::Ingest(const GraphDelta& delta) {
+  std::unique_lock<std::shared_mutex> graph_lock(graph_mu_);
+  WIDEN_ASSIGN_OR_RETURN(std::vector<graph::NodeId> touched,
+                         view_.Apply(delta));
+  const uint64_t new_version = version_.load() + 1;
+
+  // Everything within k hops of a changed node may sample through the new
+  // structure; everything farther provably cannot (walks are length-bounded),
+  // so its cached row survives the version bump.
+  std::unordered_set<graph::NodeId> affected(touched.begin(), touched.end());
+  std::vector<graph::NodeId> frontier = touched;
+  const int64_t hops = InvalidationHops();
+  for (int64_t hop = 0; hop < hops && !frontier.empty(); ++hop) {
+    std::vector<graph::NodeId> next;
+    for (graph::NodeId v : frontier) {
+      const graph::Csr::NeighborSpan span = view_.neighbors(v);
+      for (int64_t i = 0; i < span.size; ++i) {
+        if (affected.insert(span.neighbors[i]).second) {
+          next.push_back(span.neighbors[i]);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::vector<graph::NodeId> invalidated(affected.begin(), affected.end());
+  std::sort(invalidated.begin(), invalidated.end());
+  {
+    std::lock_guard<std::mutex> store_lock(store_mu_);
+    store_.BeginVersion(new_version, invalidated);
+  }
+  version_.store(new_version);
+  ++ingests_;
+  return new_version;
+}
+
+InferenceSession::Stats InferenceSession::stats() const {
+  Stats s;
+  s.base_hits = base_hits_.load();
+  s.store_hits = store_hits_.load();
+  s.cold_encodes = cold_encodes_.load();
+  s.ingests = ingests_.load();
+  {
+    std::lock_guard<std::mutex> store_lock(store_mu_);
+    s.store = store_.stats();
+  }
+  return s;
+}
+
+}  // namespace widen::serve

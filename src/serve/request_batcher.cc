@@ -1,0 +1,185 @@
+#include "serve/request_batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace widen::serve {
+
+namespace T = widen::tensor;
+
+RequestBatcher::RequestBatcher(InferenceSession* session,
+                               const BatcherOptions& options)
+    : session_(session), options_(options) {
+  WIDEN_CHECK(session != nullptr);
+  WIDEN_CHECK_GT(options.max_batch_nodes, 0);
+  WIDEN_CHECK_GE(options.max_linger_micros, 0);
+  worker_ = std::thread(&RequestBatcher::WorkerLoop, this);
+}
+
+RequestBatcher::~RequestBatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  worker_.join();
+}
+
+std::future<StatusOr<tensor::Tensor>> RequestBatcher::SubmitEmbed(
+    std::vector<graph::NodeId> nodes) {
+  Pending pending;
+  pending.nodes = std::move(nodes);
+  pending.predict = false;
+  std::future<StatusOr<tensor::Tensor>> future =
+      pending.embed_promise.get_future();
+  Enqueue(std::move(pending));
+  return future;
+}
+
+std::future<StatusOr<std::vector<int32_t>>> RequestBatcher::SubmitPredict(
+    std::vector<graph::NodeId> nodes) {
+  Pending pending;
+  pending.nodes = std::move(nodes);
+  pending.predict = true;
+  std::future<StatusOr<std::vector<int32_t>>> future =
+      pending.predict_promise.get_future();
+  Enqueue(std::move(pending));
+  return future;
+}
+
+void RequestBatcher::Enqueue(Pending pending) {
+  // Validate up front so one bad request cannot poison the batch it would
+  // have shared. The node count only grows (ingests never remove nodes), so
+  // a node valid here is still valid when the batch runs.
+  Status invalid = Status::OK();
+  if (pending.nodes.empty()) {
+    invalid = Status::InvalidArgument("empty node list");
+  } else {
+    const int64_t n = session_->num_nodes();
+    for (graph::NodeId v : pending.nodes) {
+      if (v < 0 || v >= n) {
+        invalid = Status::InvalidArgument(
+            StrCat("node ", v, " out of range [0, ", n, ")"));
+        break;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+    if (invalid.ok() && !shutting_down_) {
+      pending_nodes_ += static_cast<int64_t>(pending.nodes.size());
+      pending_.push_back(std::move(pending));
+      work_available_.notify_all();
+      return;
+    }
+    if (invalid.ok()) {
+      invalid = Status::FailedPrecondition("batcher is shutting down");
+    }
+  }
+  if (pending.predict) {
+    pending.predict_promise.set_value(invalid);
+  } else {
+    pending.embed_promise.set_value(invalid);
+  }
+}
+
+void RequestBatcher::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_available_.wait(lock,
+                         [&] { return shutting_down_ || !pending_.empty(); });
+    if (shutting_down_) break;
+
+    // Linger: give concurrent clients a moment to pile on before running a
+    // partial batch.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(options_.max_linger_micros);
+    while (!shutting_down_ && pending_nodes_ < options_.max_batch_nodes) {
+      if (work_available_.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
+    if (shutting_down_) break;
+
+    std::vector<Pending> batch;
+    int64_t batch_nodes = 0;
+    while (!pending_.empty()) {
+      const int64_t next = static_cast<int64_t>(pending_.front().nodes.size());
+      if (!batch.empty() && batch_nodes + next > options_.max_batch_nodes) {
+        break;
+      }
+      batch_nodes += next;
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    pending_nodes_ -= batch_nodes;
+    ++stats_.batches;
+    stats_.batched_nodes += batch_nodes;
+    stats_.max_batch = std::max(stats_.max_batch, batch_nodes);
+
+    lock.unlock();
+    RunBatch(std::move(batch));
+    lock.lock();
+  }
+  // Shutdown with the lock held: fail anything still queued.
+  while (!pending_.empty()) {
+    Pending pending = std::move(pending_.front());
+    pending_.pop_front();
+    const Status gone = Status::FailedPrecondition("batcher is shutting down");
+    if (pending.predict) {
+      pending.predict_promise.set_value(gone);
+    } else {
+      pending.embed_promise.set_value(gone);
+    }
+  }
+}
+
+void RequestBatcher::RunBatch(std::vector<Pending> batch) {
+  std::vector<graph::NodeId> all;
+  for (const Pending& p : batch) {
+    all.insert(all.end(), p.nodes.begin(), p.nodes.end());
+  }
+  StatusOr<T::Tensor> result = session_->Embed(all);
+  if (!result.ok()) {
+    for (Pending& p : batch) {
+      if (p.predict) {
+        p.predict_promise.set_value(result.status());
+      } else {
+        p.embed_promise.set_value(result.status());
+      }
+    }
+    return;
+  }
+  const T::Tensor& embeddings = result.value();
+  const int64_t d = session_->embedding_dim();
+  int64_t offset = 0;
+  for (Pending& p : batch) {
+    const int64_t rows = static_cast<int64_t>(p.nodes.size());
+    T::Tensor slice(T::Shape::Matrix(rows, d));
+    std::memcpy(slice.mutable_data(), embeddings.data() + offset * d,
+                static_cast<size_t>(rows * d) * sizeof(float));
+    offset += rows;
+    if (p.predict) {
+      p.predict_promise.set_value(
+          T::ArgMaxRows(session_->ClassifyRows(slice)));
+    } else {
+      p.embed_promise.set_value(std::move(slice));
+    }
+  }
+}
+
+RequestBatcher::Stats RequestBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace widen::serve

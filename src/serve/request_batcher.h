@@ -1,0 +1,90 @@
+// Micro-batching front end for InferenceSession.
+//
+// Many client threads submit small Embed/Predict requests; a single worker
+// thread coalesces whatever is pending — up to `max_batch_nodes` nodes, or
+// whatever arrived within `max_linger_micros` of the first waiting request —
+// into ONE session->Embed call and fans the result rows back out through
+// futures. Batching changes throughput, never bits: cold encodes draw from
+// per-node RNG streams (core::EvalSeedForNode) and the classifier head is
+// row-independent, so a batched answer is identical to the same request
+// served alone.
+
+#ifndef WIDEN_SERVE_REQUEST_BATCHER_H_
+#define WIDEN_SERVE_REQUEST_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/inference_session.h"
+
+namespace widen::serve {
+
+struct BatcherOptions {
+  /// Close a batch once this many nodes are pending (a single oversized
+  /// request still runs whole — requests are never split).
+  int64_t max_batch_nodes = 32;
+  /// How long the worker waits after the first pending request for more
+  /// requests to coalesce before running a partial batch.
+  int64_t max_linger_micros = 1000;
+};
+
+class RequestBatcher {
+ public:
+  /// `session` must outlive the batcher.
+  RequestBatcher(InferenceSession* session, const BatcherOptions& options = {});
+  /// Stops the worker; still-pending requests fail with FailedPrecondition.
+  ~RequestBatcher();
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  /// Embeddings for `nodes`, [nodes.size(), d]. Thread-safe; blocks only in
+  /// the returned future.
+  std::future<StatusOr<tensor::Tensor>> SubmitEmbed(
+      std::vector<graph::NodeId> nodes);
+
+  /// Class predictions for `nodes`. Thread-safe.
+  std::future<StatusOr<std::vector<int32_t>>> SubmitPredict(
+      std::vector<graph::NodeId> nodes);
+
+  struct Stats {
+    int64_t requests = 0;
+    int64_t batches = 0;        // session->Embed calls issued
+    int64_t batched_nodes = 0;  // total nodes across those calls
+    int64_t max_batch = 0;      // largest single batch, in nodes
+  };
+  Stats stats() const;
+
+ private:
+  struct Pending {
+    std::vector<graph::NodeId> nodes;
+    bool predict = false;
+    std::promise<StatusOr<tensor::Tensor>> embed_promise;
+    std::promise<StatusOr<std::vector<int32_t>>> predict_promise;
+  };
+
+  void Enqueue(Pending pending);
+  void WorkerLoop();
+  void RunBatch(std::vector<Pending> batch);
+
+  InferenceSession* session_;
+  BatcherOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<Pending> pending_;
+  int64_t pending_nodes_ = 0;
+  bool shutting_down_ = false;
+  Stats stats_;
+
+  std::thread worker_;  // last member: starts in the ctor body
+};
+
+}  // namespace widen::serve
+
+#endif  // WIDEN_SERVE_REQUEST_BATCHER_H_

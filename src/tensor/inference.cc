@@ -1,0 +1,88 @@
+#include "tensor/inference.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace widen::tensor {
+namespace {
+
+// Bounds on the per-thread pool so a pathological shape mix cannot pin
+// unbounded memory: pool at most this many buffers / this many bytes.
+constexpr size_t kMaxPooledBuffers = 256;
+constexpr size_t kMaxPooledBytes = size_t{32} << 20;  // 32 MiB per thread
+
+struct BufferPool {
+  std::vector<std::vector<float>> buffers;
+  size_t pooled_bytes = 0;
+  int scope_depth = 0;
+  InferenceScope::Stats stats;
+};
+
+BufferPool& Pool() {
+  thread_local BufferPool pool;
+  return pool;
+}
+
+}  // namespace
+
+namespace internal {
+
+void AcquireBuffer(std::vector<float>& out, size_t num_elements) {
+  BufferPool& pool = Pool();
+  if (pool.scope_depth == 0) {
+    out.assign(num_elements, 0.0f);
+    return;
+  }
+  ++pool.stats.buffers_acquired;
+  // Last-in-first-out scan: the most recently reclaimed buffer is the most
+  // likely to have the right capacity (inference forwards repeat shapes in
+  // reverse order of destruction).
+  for (size_t i = pool.buffers.size(); i-- > 0;) {
+    if (pool.buffers[i].capacity() >= num_elements) {
+      out = std::move(pool.buffers[i]);
+      pool.pooled_bytes -= out.capacity() * sizeof(float);
+      pool.buffers.erase(pool.buffers.begin() + static_cast<ptrdiff_t>(i));
+      out.assign(num_elements, 0.0f);
+      ++pool.stats.buffers_reused;
+      return;
+    }
+  }
+  out.assign(num_elements, 0.0f);
+}
+
+void MaybeReclaimBuffer(std::vector<float>& buffer) noexcept {
+  if (buffer.capacity() == 0) return;
+  BufferPool& pool = Pool();
+  if (pool.scope_depth == 0) return;
+  if (pool.buffers.size() >= kMaxPooledBuffers) return;
+  const size_t bytes = buffer.capacity() * sizeof(float);
+  if (pool.pooled_bytes + bytes > kMaxPooledBytes) return;
+  // buffers was reserved to kMaxPooledBuffers at scope entry, so this
+  // push_back never reallocates (and thus never throws) in a destructor.
+  pool.pooled_bytes += bytes;
+  pool.buffers.push_back(std::move(buffer));
+}
+
+void NoteGradAllocation() {
+  BufferPool& pool = Pool();
+  if (pool.scope_depth > 0) ++pool.stats.grad_allocations;
+}
+
+}  // namespace internal
+
+InferenceScope::InferenceScope() {
+  BufferPool& pool = Pool();
+  if (pool.scope_depth == 0) pool.buffers.reserve(kMaxPooledBuffers);
+  ++pool.scope_depth;
+}
+
+InferenceScope::~InferenceScope() { --Pool().scope_depth; }
+
+bool InferenceScope::Active() { return Pool().scope_depth > 0; }
+
+InferenceScope::Stats InferenceScope::ThreadStats() { return Pool().stats; }
+
+void InferenceScope::ResetThreadStats() { Pool().stats = Stats{}; }
+
+}  // namespace widen::tensor

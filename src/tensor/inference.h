@@ -1,0 +1,55 @@
+// Inference-mode execution for the tensor layer.
+//
+// InferenceScope is the serving-path entry point: while one is active on a
+// thread it (a) disables autograd tape construction (it owns a NoGradScope),
+// (b) routes tensor storage through a thread-local buffer pool so the
+// fixed-shape forwards of a long-lived inference session stop hitting the
+// allocator after the first pass, and (c) counts any gradient-buffer
+// allocation that happens anyway, so tests can assert the serving path is
+// genuinely tape- and gradient-free.
+//
+// The pool is per thread and survives between scopes on the same thread
+// (that is where the reuse comes from — query N+1 recycles query N's
+// buffers). Buffers are only *reclaimed* while a scope is active, so
+// training allocations never flood the pool. Tensors may be handed to and
+// destroyed on other threads freely: a buffer is simply freed normally when
+// its destroying thread has no active scope.
+
+#ifndef WIDEN_TENSOR_INFERENCE_H_
+#define WIDEN_TENSOR_INFERENCE_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace widen::tensor {
+
+/// RAII inference region (see file comment). Nestable; the pool and the
+/// no-grad flag stay active until the outermost scope exits.
+class InferenceScope {
+ public:
+  InferenceScope();
+  ~InferenceScope();
+
+  InferenceScope(const InferenceScope&) = delete;
+  InferenceScope& operator=(const InferenceScope&) = delete;
+
+  /// True while any InferenceScope is alive on this thread.
+  static bool Active();
+
+  /// Cumulative counters for the calling thread.
+  struct Stats {
+    int64_t buffers_acquired = 0;  // tensor storage requests inside scopes
+    int64_t buffers_reused = 0;    // ... of which were served from the pool
+    int64_t grad_allocations = 0;  // gradient buffers sized inside scopes
+  };
+  static Stats ThreadStats();
+  static void ResetThreadStats();
+
+ private:
+  NoGradScope no_grad_;
+};
+
+}  // namespace widen::tensor
+
+#endif  // WIDEN_TENSOR_INFERENCE_H_

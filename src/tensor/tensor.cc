@@ -19,7 +19,8 @@ bool NoGradScope::Active() { return no_grad_active; }
 Tensor::Tensor(const Shape& shape) {
   impl_ = std::make_shared<internal::TensorImpl>();
   impl_->shape = shape;
-  impl_->data.assign(static_cast<size_t>(shape.NumElements()), 0.0f);
+  internal::AcquireBuffer(impl_->data,
+                          static_cast<size_t>(shape.NumElements()));
 }
 
 Tensor Tensor::Full(const Shape& shape, float value) {

@@ -48,6 +48,12 @@ class NoGradScope {
 
 namespace internal {
 
+// Inference buffer-pool hooks (tensor/inference.cc). All three are cheap
+// no-ops unless an InferenceScope is active on the calling thread.
+void AcquireBuffer(std::vector<float>& out, size_t num_elements);
+void MaybeReclaimBuffer(std::vector<float>& buffer) noexcept;
+void NoteGradAllocation();
+
 /// Shared state behind a Tensor handle. Public only to the ops layer.
 struct TensorImpl {
   Shape shape;
@@ -62,8 +68,13 @@ struct TensorImpl {
   // Debug label (parameter name, op name); empty for intermediates.
   std::string label;
 
+  ~TensorImpl() { MaybeReclaimBuffer(data); }
+
   void EnsureGrad() {
-    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+    if (grad.size() != data.size()) {
+      NoteGradAllocation();
+      grad.assign(data.size(), 0.0f);
+    }
   }
 };
 

@@ -226,5 +226,28 @@ TEST(PartitionerTest, RejectsBadPartCounts) {
   EXPECT_FALSE(GreedyPartition(graph, 100).ok());
 }
 
+TEST(HeteroGraphTest, UidNamesTheInstanceNotTheContents) {
+  HeteroGraph graph = ChainGraph(2);
+  const uint64_t original = graph.uid();
+
+  // A copy is a new instance: same contents, distinct identity.
+  HeteroGraph copy = graph;
+  EXPECT_NE(copy.uid(), original);
+  EXPECT_EQ(graph.uid(), original);
+
+  // A move transfers identity; the moved-from shell becomes a new instance
+  // (so per-uid caches can never alias it with the moved-to graph).
+  const uint64_t copied_uid = copy.uid();
+  HeteroGraph moved = std::move(copy);
+  EXPECT_EQ(moved.uid(), copied_uid);
+  EXPECT_NE(copy.uid(), copied_uid);  // NOLINT(bugprone-use-after-move)
+  EXPECT_NE(moved.uid(), original);
+
+  // Fresh graphs never repeat a uid, even after earlier instances die.
+  HeteroGraph another = ChainGraph(2);
+  EXPECT_NE(another.uid(), original);
+  EXPECT_NE(another.uid(), copied_uid);
+}
+
 }  // namespace
 }  // namespace widen::graph

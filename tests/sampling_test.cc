@@ -175,6 +175,40 @@ TEST(LayerSamplerTest, ProbabilitiesProportionalToDegree) {
   EXPECT_NEAR(sampler.probability(0) / sampler.probability(1), 2.5, 1e-9);
 }
 
+TEST(SamplingGraphViewTest, ZeroDegreeAndIsolatedTypeNodesYieldEmptySamples) {
+  // A two-node component plus a node whose TYPE has no other members and no
+  // compatible edge type — the degenerate shapes serving deltas produce.
+  graph::GraphSchema schema;
+  const graph::NodeTypeId at = schema.AddNodeType("a");
+  const graph::NodeTypeId ghost = schema.AddNodeType("ghost");
+  schema.AddEdgeType("aa", at, at);
+  graph::GraphBuilder builder(schema);
+  const graph::NodeId n0 = builder.AddNode(at);
+  const graph::NodeId n1 = builder.AddNode(at);
+  WIDEN_CHECK_OK(builder.AddEdge(n0, n1, 0));
+  const graph::NodeId lonely = builder.AddNode(ghost);
+  auto built = builder.Build();
+  WIDEN_CHECK(built.ok());
+  const graph::HeteroGraph graph = std::move(built).value();
+  const graph::HeteroGraphView view(graph);
+
+  Rng rng(5);
+  EXPECT_EQ(SampleWideNeighbors(view, lonely, 8, rng).size(), 0u);
+  EXPECT_EQ(SampleWideNeighborsWithReplacement(view, lonely, 8, rng).size(),
+            0u);
+  const DeepNeighborSequence walk = SampleDeepWalk(view, lonely, 8, rng);
+  EXPECT_EQ(walk.size(), 0u);
+  EXPECT_EQ(walk.target, lonely);
+
+  // The isolated node's presence must not perturb sampling elsewhere.
+  const WideNeighborSet wide = SampleWideNeighbors(view, n0, 8, rng);
+  ASSERT_EQ(wide.size(), 1u);
+  EXPECT_EQ(wide.nodes[0], n1);
+  const DeepNeighborSequence bounce = SampleDeepWalk(view, n0, 3, rng);
+  EXPECT_EQ(bounce.size(), 3u);  // degree-1 chain: n1, n0, n1
+  EXPECT_EQ(bounce.nodes[0], n1);
+}
+
 TEST(LayerSamplerTest, WeightsFormUnbiasedEstimator) {
   graph::HeteroGraph graph = StarGraph(6);
   LayerSampler sampler(graph);

@@ -1,0 +1,579 @@
+// The serving subsystem's acceptance bar (DESIGN.md §10): a checkpoint
+// loaded into an InferenceSession must reproduce WidenModel::EmbedNodes
+// BITWISE — including nodes that exist only as post-training graph deltas —
+// and batching/caching/parallelism must never change a single bit, only
+// latency. Every equality in this file is memcmp, not EXPECT_NEAR.
+
+#include "serve/inference_session.h"
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/widen_model.h"
+#include "datasets/splits.h"
+#include "datasets/synthetic.h"
+#include "graph/graph_builder.h"
+#include "gtest/gtest.h"
+#include "serve/embedding_store.h"
+#include "serve/graph_delta.h"
+#include "serve/request_batcher.h"
+#include "tensor/inference.h"
+
+namespace widen::serve {
+namespace {
+
+namespace T = widen::tensor;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+core::WidenConfig SmallConfig() {
+  core::WidenConfig config;
+  config.embedding_dim = 8;
+  config.num_wide_neighbors = 4;
+  config.num_deep_neighbors = 3;
+  config.num_deep_walks = 2;
+  config.max_epochs = 2;
+  config.eval_samples = 2;
+  config.num_threads = 1;
+  config.seed = 77;
+  return config;
+}
+
+StatusOr<graph::HeteroGraph> MakeBaseGraph() {
+  datasets::SyntheticGraphSpec spec;
+  spec.name = "serve_base";
+  spec.node_types = {{"doc", 60, true}, {"tag", 16, false}};
+  spec.edge_types = {{"doc-tag", "doc", "tag", 2.0, 0.9},
+                     {"doc-doc", "doc", "doc", 1.5, 0.8}};
+  spec.num_classes = 3;
+  spec.feature_dim = 12;
+  spec.seed = 5;
+  return datasets::GenerateSyntheticGraph(spec);
+}
+
+// An unweighted path 0-1-...-(n-1) with deterministic features and labels —
+// full control over topology for the invalidation-exactness tests.
+graph::HeteroGraph ChainGraph(int64_t n, int64_t feature_dim) {
+  graph::GraphSchema schema;
+  const graph::NodeTypeId vt = schema.AddNodeType("v");
+  schema.AddEdgeType("link", vt, vt);
+  graph::GraphBuilder builder(schema);
+  for (int64_t i = 0; i < n; ++i) builder.AddNode(vt);
+  for (int64_t i = 0; i + 1 < n; ++i) {
+    WIDEN_CHECK_OK(builder.AddEdge(static_cast<graph::NodeId>(i),
+                                   static_cast<graph::NodeId>(i + 1), 0));
+  }
+  T::Tensor features(T::Shape::Matrix(n, feature_dim));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < feature_dim; ++j) {
+      features.mutable_data()[i * feature_dim + j] =
+          0.1f * static_cast<float>((i * 31 + j * 7) % 11) - 0.5f;
+    }
+  }
+  builder.SetFeatures(features);
+  std::vector<int32_t> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) labels[static_cast<size_t>(i)] = i % 2;
+  WIDEN_CHECK_OK(builder.SetLabels(std::move(labels), 2, vt));
+  auto graph = builder.Build();
+  WIDEN_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+// Writes an (untrained) parameter-only checkpoint for `graph`; since the
+// model never trained, the file carries no embedding store and every node is
+// cold for the session.
+std::string WriteColdCheckpoint(const graph::HeteroGraph& graph,
+                                const core::WidenConfig& config,
+                                const char* name) {
+  auto model = core::WidenModel::Create(&graph, config);
+  WIDEN_CHECK(model.ok());
+  const std::string path = TempPath(name);
+  WIDEN_CHECK_OK(core::SaveWidenModel(**model, path));
+  return path;
+}
+
+void ExpectRowsEqual(const T::Tensor& a, const T::Tensor& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<size_t>(a.size()) * sizeof(float)),
+            0);
+}
+
+// Every undirected edge of `g` exactly once (u < v).
+std::vector<std::tuple<graph::NodeId, graph::NodeId, graph::EdgeTypeId>>
+AllEdges(const graph::HeteroGraph& g) {
+  std::vector<std::tuple<graph::NodeId, graph::NodeId, graph::EdgeTypeId>>
+      edges;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const graph::Csr::NeighborSpan span = g.neighbors(v);
+    for (int64_t i = 0; i < span.size; ++i) {
+      if (span.neighbors[i] > v) {
+        edges.emplace_back(v, span.neighbors[i], span.edge_types[i]);
+      }
+    }
+  }
+  return edges;
+}
+
+TEST(InferenceSessionTest, RoundTripBitwiseEqualIncludingDeltaOnlyNodes) {
+  auto base_or = MakeBaseGraph();
+  ASSERT_TRUE(base_or.ok());
+  graph::HeteroGraph base = std::move(base_or).value();
+  auto split = datasets::MakeTransductiveSplit(base, 0.6, 0.2, 3);
+  ASSERT_TRUE(split.ok());
+  const core::WidenConfig config = SmallConfig();
+  const std::string path = TempPath("serve_roundtrip.wdnt");
+  {
+    // Train, checkpoint, and "kill" the trainer: the session below sees only
+    // the file.
+    auto doomed = core::WidenModel::Create(&base, config);
+    ASSERT_TRUE(doomed.ok());
+    ASSERT_TRUE((*doomed)->Train(split->train).ok());
+    ASSERT_TRUE(core::SaveTrainingState(**doomed, path).ok());
+  }
+
+  auto session_or = InferenceSession::Load(path, &base, config);
+  ASSERT_TRUE(session_or.ok()) << session_or.status().ToString();
+  InferenceSession& session = **session_or;
+  EXPECT_EQ(session.embedding_dim(), config.embedding_dim);
+  EXPECT_EQ(session.num_nodes(), base.num_nodes());
+
+  // Reference: a model restored from the SAME file (cache included).
+  auto model_or = core::WidenModel::Create(&base, config);
+  ASSERT_TRUE(model_or.ok());
+  core::WidenModel& model = **model_or;
+  ASSERT_TRUE(core::LoadWidenModel(model, path).ok());
+
+  std::vector<graph::NodeId> all_base;
+  for (graph::NodeId v = 0; v < base.num_nodes(); ++v) all_base.push_back(v);
+  auto served = session.Embed(all_base);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  ExpectRowsEqual(*served, model.EmbedNodes(base, all_base));
+  EXPECT_EQ(session.Predict(all_base).value(),
+            model.Predict(base, all_base));
+
+  // Grow the graph AFTER training: two connected nodes plus one isolated.
+  const graph::NodeTypeId doc = base.schema().FindNodeType("doc").value();
+  const graph::NodeTypeId tag = base.schema().FindNodeType("tag").value();
+  const graph::EdgeTypeId doc_tag =
+      base.schema().FindEdgeType("doc-tag").value();
+  const graph::EdgeTypeId doc_doc =
+      base.schema().FindEdgeType("doc-doc").value();
+  graph::NodeId a_doc = -1;
+  for (graph::NodeId v = 0; v < base.num_nodes(); ++v) {
+    if (base.node_type(v) == doc) {
+      a_doc = v;
+      break;
+    }
+  }
+  ASSERT_GE(a_doc, 0);
+  const int64_t d0 = base.feature_dim();
+  auto feat = [&](float scale) {
+    std::vector<float> f(static_cast<size_t>(d0));
+    for (int64_t j = 0; j < d0; ++j) {
+      f[static_cast<size_t>(j)] = scale * static_cast<float>(j % 5) - 0.3f;
+    }
+    return f;
+  };
+  GraphDelta delta = session.NewDelta();
+  const graph::NodeId n1 = delta.AddNode(doc, feat(0.2f));
+  const graph::NodeId n2 = delta.AddNode(tag, feat(0.4f));
+  const graph::NodeId iso = delta.AddNode(doc, feat(0.6f));
+  delta.AddEdge(n1, a_doc, doc_doc);
+  delta.AddEdge(n1, n2, doc_tag);
+  auto version = session.Ingest(delta);
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_EQ(*version, 1u);
+  EXPECT_EQ(session.num_nodes(), base.num_nodes() + 3);
+
+  // Reference for the grown graph: materialize base + delta as a plain
+  // HeteroGraph and seed the model with exactly the store the session holds
+  // (base rows valid, new rows cold).
+  graph::GraphBuilder builder(base.schema());
+  for (graph::NodeId v = 0; v < base.num_nodes(); ++v) {
+    builder.AddNode(base.node_type(v));
+  }
+  builder.AddNode(doc);  // n1
+  builder.AddNode(tag);  // n2
+  builder.AddNode(doc);  // iso
+  for (const auto& [u, v, t] : AllEdges(base)) {
+    ASSERT_TRUE(builder.AddEdge(u, v, t).ok());
+  }
+  ASSERT_TRUE(builder.AddEdge(n1, a_doc, doc_doc).ok());
+  ASSERT_TRUE(builder.AddEdge(n1, n2, doc_tag).ok());
+  const int64_t n_after = base.num_nodes() + 3;
+  T::Tensor merged_features(T::Shape::Matrix(n_after, d0));
+  std::memcpy(merged_features.mutable_data(), base.features().data(),
+              static_cast<size_t>(base.num_nodes() * d0) * sizeof(float));
+  const std::vector<std::vector<float>> new_feats = {feat(0.2f), feat(0.4f),
+                                                     feat(0.6f)};
+  for (int64_t i = 0; i < 3; ++i) {
+    std::memcpy(
+        merged_features.mutable_data() + (base.num_nodes() + i) * d0,
+        new_feats[static_cast<size_t>(i)].data(),
+        static_cast<size_t>(d0) * sizeof(float));
+  }
+  builder.SetFeatures(merged_features);
+  auto merged_or = builder.Build();
+  ASSERT_TRUE(merged_or.ok()) << merged_or.status().ToString();
+  graph::HeteroGraph merged = std::move(merged_or).value();
+
+  auto weights = core::LoadServingWeights(path);
+  ASSERT_TRUE(weights.ok());
+  ASSERT_TRUE(weights->cache_reps.defined());
+  T::Tensor ext_reps(T::Shape::Matrix(n_after, config.embedding_dim));
+  T::Tensor ext_valid(T::Shape::Matrix(n_after, 1));
+  std::memcpy(ext_reps.mutable_data(), weights->cache_reps.data(),
+              static_cast<size_t>(base.num_nodes() * config.embedding_dim) *
+                  sizeof(float));
+  std::memcpy(ext_valid.mutable_data(), weights->cache_valid.data(),
+              static_cast<size_t>(base.num_nodes()) * sizeof(float));
+  ASSERT_TRUE(model.SeedCache(merged, ext_reps, ext_valid).ok());
+
+  std::vector<graph::NodeId> queries = {
+      n1, n2, iso, a_doc, 0,
+      static_cast<graph::NodeId>(base.num_nodes() - 1)};
+  auto served_delta = session.Embed(queries);
+  ASSERT_TRUE(served_delta.ok());
+  ExpectRowsEqual(*served_delta, model.EmbedNodes(merged, queries));
+  EXPECT_EQ(session.Predict(queries).value(), model.Predict(merged, queries));
+
+  // Warm pass: same bits, served from the store this time.
+  const auto before = session.stats();
+  auto warm = session.Embed(queries);
+  ASSERT_TRUE(warm.ok());
+  ExpectRowsEqual(*warm, *served_delta);
+  const auto after = session.stats();
+  EXPECT_EQ(after.cold_encodes, before.cold_encodes);
+  EXPECT_GT(after.store_hits, before.store_hits);
+}
+
+TEST(InferenceSessionTest, IngestInvalidatesExactlyTheKHopNeighborhood) {
+  const int64_t n = 12;
+  graph::HeteroGraph chain = ChainGraph(n, 6);
+  core::WidenConfig config = SmallConfig();
+  const std::string path = WriteColdCheckpoint(chain, config, "serve_chain.wdnt");
+
+  SessionOptions options;
+  options.invalidation_hops = 2;
+  auto session_or = InferenceSession::Load(path, &chain, config, options);
+  ASSERT_TRUE(session_or.ok()) << session_or.status().ToString();
+  InferenceSession& session = **session_or;
+
+  std::vector<graph::NodeId> all;
+  for (graph::NodeId v = 0; v < n; ++v) all.push_back(v);
+  auto cold = session.Embed(all);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(session.stats().cold_encodes, n);
+
+  // Attach a new node to node 0. Touched = {new, 0}; with 2 hops the
+  // affected set is {new, 0, 1, 2} — nodes 3..11 must keep their rows.
+  GraphDelta delta = session.NewDelta();
+  std::vector<float> f(6, 0.25f);
+  const graph::NodeId fresh = delta.AddNode(0, f);
+  delta.AddEdge(fresh, 0, 0);
+  ASSERT_TRUE(session.Ingest(delta).ok());
+  EXPECT_EQ(session.stats().store.invalidations, 3);  // rows 0, 1, 2
+
+  // Survivors: warm hits, bitwise identical to the pre-ingest rows.
+  std::vector<graph::NodeId> far;
+  for (graph::NodeId v = 3; v < n; ++v) far.push_back(v);
+  const auto s0 = session.stats();
+  auto far_rows = session.Embed(far);
+  ASSERT_TRUE(far_rows.ok());
+  const auto s1 = session.stats();
+  EXPECT_EQ(s1.cold_encodes, s0.cold_encodes);
+  EXPECT_EQ(s1.store_hits - s0.store_hits, static_cast<int64_t>(far.size()));
+  for (size_t i = 0; i < far.size(); ++i) {
+    EXPECT_EQ(std::memcmp(far_rows->data() + i * session.embedding_dim(),
+                          cold->data() + static_cast<size_t>(far[i]) *
+                                             session.embedding_dim(),
+                          static_cast<size_t>(session.embedding_dim()) *
+                              sizeof(float)),
+              0)
+        << "node " << far[i] << " should have survived the ingest untouched";
+  }
+
+  // The affected nodes are recomputed against the grown graph; node 0 now
+  // has a second neighbor, so its row must actually change.
+  auto near = session.Embed({0, 1, 2, fresh});
+  ASSERT_TRUE(near.ok());
+  const auto s2 = session.stats();
+  EXPECT_EQ(s2.cold_encodes - s1.cold_encodes, 4);
+  EXPECT_NE(std::memcmp(near->data(), cold->data(),
+                        static_cast<size_t>(session.embedding_dim()) *
+                            sizeof(float)),
+            0);
+}
+
+TEST(InferenceSessionTest, RejectsBadLoadsDeltasAndQueries) {
+  graph::HeteroGraph chain = ChainGraph(8, 6);
+  core::WidenConfig config = SmallConfig();
+  const std::string path = WriteColdCheckpoint(chain, config, "serve_rej.wdnt");
+
+  // Load-time validation.
+  EXPECT_FALSE(InferenceSession::Load(path, nullptr, config).ok());
+  EXPECT_FALSE(InferenceSession::Load(TempPath("no_such.wdnt"), &chain,
+                                      config).ok());
+  core::WidenConfig wrong_d = config;
+  wrong_d.embedding_dim = 16;
+  EXPECT_FALSE(InferenceSession::Load(path, &chain, wrong_d).ok());
+  graph::HeteroGraph wrong_features = ChainGraph(8, 9);
+  EXPECT_FALSE(InferenceSession::Load(path, &wrong_features, config).ok());
+
+  auto session_or = InferenceSession::Load(path, &chain, config);
+  ASSERT_TRUE(session_or.ok());
+  InferenceSession& session = **session_or;
+
+  // Query validation.
+  EXPECT_EQ(session.Embed({-1}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.Embed({99}).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Delta validation: every rejection leaves the view untouched.
+  std::vector<float> good_feat(6, 0.1f);
+  {
+    GraphDelta bad_type = session.NewDelta();
+    bad_type.AddNode(7, good_feat);
+    EXPECT_EQ(session.Ingest(bad_type).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    GraphDelta bad_width = session.NewDelta();
+    bad_width.AddNode(0, std::vector<float>(3, 0.1f));
+    EXPECT_EQ(session.Ingest(bad_width).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    GraphDelta self_loop = session.NewDelta();
+    const graph::NodeId v = self_loop.AddNode(0, good_feat);
+    self_loop.AddEdge(v, v, 0);
+    EXPECT_EQ(session.Ingest(self_loop).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    GraphDelta dangling = session.NewDelta();
+    dangling.AddEdge(0, 42, 0);
+    EXPECT_EQ(session.Ingest(dangling).status().code(),
+              StatusCode::kOutOfRange);
+  }
+  EXPECT_EQ(session.num_nodes(), 8);
+  EXPECT_EQ(session.graph_version(), 0u);
+
+  // A delta built against a stale snapshot is refused even if well-formed.
+  GraphDelta stale = session.NewDelta();
+  stale.AddNode(0, good_feat);
+  GraphDelta current = session.NewDelta();
+  current.AddNode(0, good_feat);
+  ASSERT_TRUE(session.Ingest(current).ok());
+  EXPECT_EQ(session.Ingest(stale).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(InferenceSessionTest, ColdEncodesAreTapeFreeAndReuseBuffers) {
+  graph::HeteroGraph chain = ChainGraph(10, 6);
+  core::WidenConfig config = SmallConfig();
+  const std::string path = WriteColdCheckpoint(chain, config, "serve_scope.wdnt");
+  auto session_or = InferenceSession::Load(path, &chain, config);
+  ASSERT_TRUE(session_or.ok());
+  InferenceSession& session = **session_or;
+
+  T::InferenceScope::ResetThreadStats();
+  ASSERT_TRUE(session.Embed({0, 1, 2}).ok());
+  EXPECT_EQ(T::InferenceScope::ThreadStats().grad_allocations, 0);
+  ASSERT_TRUE(session.Embed({3, 4, 5}).ok());
+  const auto stats = T::InferenceScope::ThreadStats();
+  EXPECT_EQ(stats.grad_allocations, 0);
+  EXPECT_GT(stats.buffers_reused, 0);  // second call recycles the first's
+}
+
+TEST(InferenceSessionTest, ParallelColdFanOutMatchesSerial) {
+  graph::HeteroGraph chain = ChainGraph(16, 6);
+  core::WidenConfig config = SmallConfig();
+  const std::string path = WriteColdCheckpoint(chain, config, "serve_par.wdnt");
+
+  auto serial_or = InferenceSession::Load(path, &chain, config);
+  ASSERT_TRUE(serial_or.ok());
+  SessionOptions par;
+  par.num_threads = 4;
+  auto parallel_or = InferenceSession::Load(path, &chain, config, par);
+  ASSERT_TRUE(parallel_or.ok());
+
+  std::vector<graph::NodeId> all;
+  for (graph::NodeId v = 0; v < 16; ++v) all.push_back(v);
+  auto a = (*serial_or)->Embed(all);
+  auto b = (*parallel_or)->Embed(all);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectRowsEqual(*a, *b);
+}
+
+TEST(RequestBatcherTest, BatchedResultsAreIdenticalToUnbatched) {
+  graph::HeteroGraph chain = ChainGraph(10, 6);
+  core::WidenConfig config = SmallConfig();
+  const std::string path = WriteColdCheckpoint(chain, config, "serve_bat.wdnt");
+  auto direct_or = InferenceSession::Load(path, &chain, config);
+  auto batched_or = InferenceSession::Load(path, &chain, config);
+  ASSERT_TRUE(direct_or.ok());
+  ASSERT_TRUE(batched_or.ok());
+
+  BatcherOptions options;
+  options.max_batch_nodes = 8;
+  options.max_linger_micros = 2000;
+  RequestBatcher batcher(batched_or->get(), options);
+
+  const std::vector<std::vector<graph::NodeId>> requests = {
+      {0}, {1, 2}, {3, 4, 5}, {6}, {7, 8}, {9, 0, 5}};
+  std::vector<std::future<StatusOr<T::Tensor>>> futures;
+  for (const auto& r : requests) {
+    futures.push_back(batcher.SubmitEmbed(r));
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto got = futures[i].get();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    auto want = (*direct_or)->Embed(requests[i]);
+    ASSERT_TRUE(want.ok());
+    ExpectRowsEqual(*got, *want);
+  }
+  auto predicted = batcher.SubmitPredict({1, 4, 7}).get();
+  ASSERT_TRUE(predicted.ok());
+  EXPECT_EQ(*predicted, (*direct_or)->Predict({1, 4, 7}).value());
+
+  // Empty and out-of-range requests fail alone, poisoning no batch.
+  EXPECT_FALSE(batcher.SubmitEmbed({}).get().ok());
+  EXPECT_FALSE(batcher.SubmitEmbed({123}).get().ok());
+
+  const auto stats = batcher.stats();
+  EXPECT_EQ(stats.requests, static_cast<int64_t>(requests.size()) + 3);
+  EXPECT_GT(stats.batches, 0);
+  EXPECT_LE(stats.batches, static_cast<int64_t>(requests.size()) + 1);
+}
+
+TEST(RequestBatcherTest, ConcurrentClientsWithInterleavedIngests) {
+  graph::HeteroGraph chain = ChainGraph(12, 6);
+  core::WidenConfig config = SmallConfig();
+  const std::string path = WriteColdCheckpoint(chain, config, "serve_conc.wdnt");
+  SessionOptions options;
+  options.store_capacity = 64;
+  auto session_or = InferenceSession::Load(path, &chain, config, options);
+  ASSERT_TRUE(session_or.ok());
+  InferenceSession& session = **session_or;
+  RequestBatcher batcher(&session);
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 24;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        // Only ids < 12 — valid before, during, and after every ingest.
+        const graph::NodeId a = static_cast<graph::NodeId>((c * 7 + q) % 12);
+        const graph::NodeId b = static_cast<graph::NodeId>((c + q * 5) % 12);
+        auto embedding = batcher.SubmitEmbed({a, b}).get();
+        auto prediction = batcher.SubmitPredict({b}).get();
+        if (!embedding.ok() || embedding->rows() != 2 || !prediction.ok() ||
+            prediction->size() != 1) {
+          ++failures;
+        }
+      }
+    });
+  }
+  // Grow the graph while the clients hammer the batcher.
+  for (int i = 0; i < 3; ++i) {
+    GraphDelta delta = session.NewDelta();
+    const graph::NodeId fresh =
+        delta.AddNode(0, std::vector<float>(6, 0.1f * static_cast<float>(i)));
+    delta.AddEdge(fresh, static_cast<graph::NodeId>(i * 4), 0);
+    ASSERT_TRUE(session.Ingest(delta).ok());
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(batcher.stats().requests, kClients * kQueriesPerClient * 2);
+  EXPECT_EQ(session.graph_version(), 3u);
+  EXPECT_EQ(session.num_nodes(), 15);
+}
+
+TEST(EmbeddingStoreTest, LruEvictionAndVersionRekeying) {
+  EmbeddingStore store(2, 2);
+  const float ra[] = {1.0f, 2.0f};
+  const float rb[] = {3.0f, 4.0f};
+  const float rc[] = {5.0f, 6.0f};
+  store.Insert(0, 10, ra);
+  store.Insert(0, 11, rb);
+  store.Insert(0, 12, rc);  // evicts node 10 (LRU)
+  std::vector<float> out;
+  EXPECT_FALSE(store.Lookup(0, 10, &out));
+  EXPECT_TRUE(store.Lookup(0, 11, &out));
+  EXPECT_EQ(out, std::vector<float>({3.0f, 4.0f}));
+  EXPECT_EQ(store.stats().evictions, 1);
+
+  // Touching 11 made it MRU; the next eviction takes 12.
+  const float rd[] = {7.0f, 8.0f};
+  store.Insert(0, 13, rd);
+  EXPECT_FALSE(store.Lookup(0, 12, &out));
+  EXPECT_TRUE(store.Lookup(0, 11, &out));
+
+  // Version bump: 11 invalidated, 13 re-keyed to the new version.
+  store.BeginVersion(1, {11});
+  EXPECT_FALSE(store.Lookup(1, 11, &out));
+  EXPECT_TRUE(store.Lookup(1, 13, &out));
+  EXPECT_EQ(out, std::vector<float>({7.0f, 8.0f}));
+  EXPECT_FALSE(store.Lookup(0, 13, &out));  // old version is gone
+  EXPECT_EQ(store.stats().invalidations, 1);
+  EXPECT_EQ(store.size(), 1);
+
+  // Overwrite keeps size stable.
+  store.Insert(1, 13, ra);
+  EXPECT_EQ(store.size(), 1);
+  EXPECT_TRUE(store.Lookup(1, 13, &out));
+  EXPECT_EQ(out, std::vector<float>({1.0f, 2.0f}));
+
+  // Zero capacity disables caching entirely.
+  EmbeddingStore disabled(0, 2);
+  disabled.Insert(0, 1, ra);
+  EXPECT_FALSE(disabled.Lookup(0, 1, &out));
+  EXPECT_EQ(disabled.size(), 0);
+}
+
+TEST(GraphDeltaTest, OverlayMatchesMaterializedGraphAdjacency) {
+  graph::HeteroGraph chain = ChainGraph(6, 4);
+  DeltaGraphView view(&chain);
+  GraphDelta delta(6);
+  const graph::NodeId fresh = delta.AddNode(0, std::vector<float>(4, 0.5f));
+  delta.AddEdge(fresh, 2, 0);
+  delta.AddEdge(fresh, 4, 0);
+  auto touched = view.Apply(delta);
+  ASSERT_TRUE(touched.ok());
+  EXPECT_EQ(*touched, (std::vector<graph::NodeId>{2, 4, 6}));
+  EXPECT_EQ(view.num_nodes(), 7);
+  EXPECT_EQ(view.degree(fresh), 2);
+  EXPECT_EQ(view.degree(2), 3);  // 1, 3, fresh
+  EXPECT_EQ(view.degree(5), 1);  // untouched base node
+
+  // Merged lists stay sorted by (neighbor, edge_type) — the CSR invariant
+  // sampling determinism rests on.
+  const graph::Csr::NeighborSpan two = view.neighbors(2);
+  ASSERT_EQ(two.size, 3);
+  EXPECT_EQ(two.neighbors[0], 1);
+  EXPECT_EQ(two.neighbors[1], 3);
+  EXPECT_EQ(two.neighbors[2], fresh);
+  const graph::Csr::NeighborSpan nf = view.neighbors(fresh);
+  ASSERT_EQ(nf.size, 2);
+  EXPECT_EQ(nf.neighbors[0], 2);
+  EXPECT_EQ(nf.neighbors[1], 4);
+  EXPECT_EQ(view.feature_row(fresh)[0], 0.5f);
+  EXPECT_EQ(view.node_type(fresh), 0);
+}
+
+}  // namespace
+}  // namespace widen::serve

@@ -1,9 +1,11 @@
 // Integration tests for the full WIDEN model: Algorithm 3 training,
 // downsampling dynamics, inductive inference, and the ablation switches.
 
+#include <cstring>
 #include <memory>
 
 #include "core/widen_model.h"
+#include "tensor/inference.h"
 #include "datasets/splits.h"
 #include "datasets/synthetic.h"
 #include "gtest/gtest.h"
@@ -181,6 +183,56 @@ TEST(WidenModelTest, InductiveEmbedsUnseenNodes) {
       TrainAndScore(inductive->training.graph, FastConfig(),
                     inductive->train_labeled, inductive->heldout, &graph);
   EXPECT_GT(f1, 0.5) << "inductive micro-F1 " << f1;
+}
+
+TEST(WidenModelTest, EmbeddingCachesKeyOnGraphIdentityNotAddress) {
+  graph::HeteroGraph graph = TestGraph();
+  const WidenConfig config = FastConfig();
+  auto model = WidenModel::Create(&graph, config);
+  ASSERT_TRUE(model.ok());
+  const std::vector<graph::NodeId> nodes = {0, 1, 2, 3};
+
+  // Embed against aux graph A, then destroy it — the allocator may hand its
+  // address to the next graph.
+  auto a = std::make_unique<graph::HeteroGraph>(TestGraph());
+  const tensor::Tensor on_a = (*model)->EmbedNodes(*a, nodes);
+  a.reset();
+
+  // Graph B has different edges and features; a cache keyed on the raw
+  // pointer could serve it A's stale rows.
+  datasets::SyntheticGraphSpec spec_b = TestSpec();
+  spec_b.seed = 99;
+  auto generated = datasets::GenerateSyntheticGraph(spec_b);
+  ASSERT_TRUE(generated.ok());
+  auto b = std::make_unique<graph::HeteroGraph>(std::move(generated).value());
+  const tensor::Tensor on_b = (*model)->EmbedNodes(*b, nodes);
+
+  // Ground truth from a model that never saw A.
+  auto fresh = WidenModel::Create(&graph, config);
+  ASSERT_TRUE(fresh.ok());
+  const tensor::Tensor expected = (*fresh)->EmbedNodes(*b, nodes);
+  ASSERT_EQ(on_b.size(), expected.size());
+  EXPECT_EQ(std::memcmp(on_b.data(), expected.data(),
+                        static_cast<size_t>(on_b.size()) * sizeof(float)),
+            0);
+  // And B's rows genuinely differ from A's, so the equality above is not
+  // vacuous.
+  EXPECT_NE(std::memcmp(on_a.data(), on_b.data(),
+                        static_cast<size_t>(on_a.size()) * sizeof(float)),
+            0);
+}
+
+TEST(WidenModelTest, EmbedNodesAllocatesNoGradientBuffers) {
+  graph::HeteroGraph graph = TestGraph();
+  auto model = WidenModel::Create(&graph, FastConfig());
+  ASSERT_TRUE(model.ok());
+  tensor::InferenceScope::ResetThreadStats();
+  (*model)->EmbedNodes(graph, {0, 1, 2, 3});
+  EXPECT_EQ(tensor::InferenceScope::ThreadStats().grad_allocations, 0);
+  (*model)->EmbedNodes(graph, {4, 5});
+  const auto stats = tensor::InferenceScope::ThreadStats();
+  EXPECT_EQ(stats.grad_allocations, 0);
+  EXPECT_GT(stats.buffers_reused, 0);
 }
 
 TEST(WidenModelTest, EmbeddingsAreUnitNormRows) {
