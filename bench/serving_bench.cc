@@ -24,6 +24,7 @@
 #include "core/widen_model.h"
 #include "datasets/synthetic.h"
 #include "serve/inference_session.h"
+#include "util/timer.h"
 
 namespace widen {
 namespace {
@@ -39,28 +40,16 @@ struct PhaseResult {
   double nodes_per_sec = 0.0;
 };
 
-double Percentile(std::vector<double> samples, double p) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  const double pos = p * static_cast<double>(samples.size() - 1);
-  const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, samples.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return samples[lo] + (samples[hi] - samples[lo]) * frac;
-}
-
 PhaseResult Summarize(const std::string& cache,
-                      const std::vector<double>& latencies_us,
-                      int64_t batch_size, double total_seconds) {
+                      const DurationStats& latencies_us, int64_t batch_size,
+                      double total_seconds) {
   PhaseResult r;
   r.cache = cache;
-  r.requests = static_cast<int64_t>(latencies_us.size());
+  r.requests = static_cast<int64_t>(latencies_us.count());
   r.nodes = r.requests * batch_size;
-  double sum = 0.0;
-  for (double v : latencies_us) sum += v;
-  r.mean_us = r.requests > 0 ? sum / static_cast<double>(r.requests) : 0.0;
-  r.p50_us = Percentile(latencies_us, 0.50);
-  r.p99_us = Percentile(latencies_us, 0.99);
+  r.mean_us = latencies_us.Mean();
+  r.p50_us = latencies_us.Percentile(0.50);
+  r.p99_us = latencies_us.Percentile(0.99);
   if (total_seconds > 0.0) {
     r.qps = static_cast<double>(r.requests) / total_seconds;
     r.nodes_per_sec = static_cast<double>(r.nodes) / total_seconds;
@@ -68,12 +57,11 @@ PhaseResult Summarize(const std::string& cache,
   return r;
 }
 
-// One sweep over every node in batches of `batch_size`; returns per-request
-// latency in microseconds.
-std::vector<double> Sweep(serve::InferenceSession& session,
-                          int64_t batch_size) {
+// One sweep over every node in batches of `batch_size`; appends per-request
+// latency in microseconds to `latencies`.
+void Sweep(serve::InferenceSession& session, int64_t batch_size,
+           DurationStats& latencies) {
   using Clock = std::chrono::steady_clock;
-  std::vector<double> latencies;
   const int64_t n = session.num_nodes();
   std::vector<graph::NodeId> batch;
   for (int64_t start = 0; start < n; start += batch_size) {
@@ -87,10 +75,8 @@ std::vector<double> Sweep(serve::InferenceSession& session,
     auto rows = session.Embed(batch);
     const Clock::time_point t1 = Clock::now();
     WIDEN_CHECK(rows.ok()) << rows.status().ToString();
-    latencies.push_back(
-        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    latencies.Add(std::chrono::duration<double, std::micro>(t1 - t0).count());
   }
-  return latencies;
 }
 
 void WriteJson(const std::string& path, int64_t num_nodes,
@@ -169,17 +155,17 @@ int Run(const std::string& out_path) {
     WIDEN_CHECK(session_or.ok()) << session_or.status().ToString();
     serve::InferenceSession& session = **session_or;
 
+    DurationStats cold;
     const Clock::time_point cold0 = Clock::now();
-    const std::vector<double> cold = Sweep(session, batch_size);
+    Sweep(session, batch_size, cold);
     const double cold_s =
         std::chrono::duration<double>(Clock::now() - cold0).count();
     WIDEN_CHECK(session.stats().cold_encodes > 0);
 
-    std::vector<double> warm;
+    DurationStats warm;
     const Clock::time_point warm0 = Clock::now();
     for (int s = 0; s < warm_sweeps; ++s) {
-      const std::vector<double> sweep = Sweep(session, batch_size);
-      warm.insert(warm.end(), sweep.begin(), sweep.end());
+      Sweep(session, batch_size, warm);
     }
     const double warm_s =
         std::chrono::duration<double>(Clock::now() - warm0).count();

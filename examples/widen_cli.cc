@@ -8,7 +8,14 @@
 //
 // All commands accept --num_threads N to size the kernel thread pool
 // (default: the WIDEN_NUM_THREADS env var, then hardware concurrency;
-// results are bitwise identical for any value).
+// results are bitwise identical for any value), plus the observability
+// flags:
+//   --metrics_out PATH     write process metrics on exit: Prometheus text at
+//                          PATH and JSON at PATH.json (one JSON file if PATH
+//                          already ends in .json)
+//   --trace_out PATH       record Chrome trace_event JSON of the run; load
+//                          it in chrome://tracing or Perfetto (the
+//                          WIDEN_TRACE env var does the same)
 //
 // `train` additionally accepts:
 //   --checkpoint_dir DIR   save a crash-safe training checkpoint after every
@@ -30,6 +37,8 @@
 
 #include "core/checkpoint.h"
 #include "core/widen_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "datasets/acm.h"
 #include "datasets/splits.h"
 #include "graph/graph_stats.h"
@@ -159,6 +168,8 @@ int main(int argc, char** argv) {
   // arguments. --num_threads applies to the process-wide kernel context
   // before any work runs; --checkpoint_dir/--resume feed RunTrain.
   std::string checkpoint_dir;
+  std::string metrics_out;
+  std::string trace_out;
   bool resume = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
@@ -174,6 +185,22 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(arg, "--checkpoint_dir=", 17) == 0) {
       checkpoint_dir = arg + 17;
+      continue;
+    }
+    if (std::strcmp(arg, "--metrics_out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--metrics_out=", 14) == 0) {
+      metrics_out = arg + 14;
+      continue;
+    }
+    if (std::strcmp(arg, "--trace_out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--trace_out=", 12) == 0) {
+      trace_out = arg + 12;
       continue;
     }
     if (std::strcmp(arg, "--num_threads") == 0 && i + 1 < argc) {
@@ -197,29 +224,49 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --resume requires --checkpoint_dir\n");
     return 2;
   }
+  widen::obs::InstallTraceExportOnExit(trace_out);
 
-  if (argc == 1) return RunDemo();
-  const std::string command = argv[1];
-  if (command == "stats" && argc == 3) return RunStats(argv[2]);
-  if (command == "train" && (argc == 4 || argc == 5)) {
-    return RunTrain(argv[2], argv[3], argc == 5 ? std::atol(argv[4]) : 20,
-                    checkpoint_dir, resume);
+  // Dispatch through a lambda so every exit path reaches the metrics write.
+  const int code = [&]() -> int {
+    if (argc == 1) return RunDemo();
+    const std::string command = argv[1];
+    if (command == "stats" && argc == 3) return RunStats(argv[2]);
+    if (command == "train" && (argc == 4 || argc == 5)) {
+      return RunTrain(argv[2], argv[3], argc == 5 ? std::atol(argv[4]) : 20,
+                      checkpoint_dir, resume);
+    }
+    if (command == "embed" && argc == 5) {
+      return RunEmbed(argv[2], argv[3], argv[4]);
+    }
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  %s                                   # demo\n"
+                 "  %s stats <graph.txt>\n"
+                 "  %s train <graph.txt> <model.ckpt> [epochs]\n"
+                 "  %s embed <graph.txt> <model.ckpt> <out.csv>\n"
+                 "options: --num_threads N       kernel threads (default: "
+                 "WIDEN_NUM_THREADS or hardware)\n"
+                 "         --checkpoint_dir DIR  (train) save a checksummed\n"
+                 "                               checkpoint after every epoch\n"
+                 "         --resume              (train) continue from the\n"
+                 "                               newest checkpoint in DIR\n"
+                 "         --metrics_out PATH    write Prometheus + JSON "
+                 "metrics on exit\n"
+                 "         --trace_out PATH      write a Chrome trace of the "
+                 "run on exit\n",
+                 argv[0], argv[0], argv[0], argv[0]);
+    return 2;
+  }();
+
+  if (!metrics_out.empty()) {
+    widen::Status written =
+        widen::obs::MetricsRegistry::Get().WriteMetrics(metrics_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error writing metrics: %s\n",
+                   written.ToString().c_str());
+      return code != 0 ? code : 1;
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
   }
-  if (command == "embed" && argc == 5) {
-    return RunEmbed(argv[2], argv[3], argv[4]);
-  }
-  std::fprintf(stderr,
-               "usage:\n"
-               "  %s                                   # demo\n"
-               "  %s stats <graph.txt>\n"
-               "  %s train <graph.txt> <model.ckpt> [epochs]\n"
-               "  %s embed <graph.txt> <model.ckpt> <out.csv>\n"
-               "options: --num_threads N       kernel threads (default: "
-               "WIDEN_NUM_THREADS or hardware)\n"
-               "         --checkpoint_dir DIR  (train) save a checksummed\n"
-               "                               checkpoint after every epoch\n"
-               "         --resume              (train) continue from the\n"
-               "                               newest checkpoint in DIR\n",
-               argv[0], argv[0], argv[0], argv[0]);
-  return 2;
+  return code;
 }

@@ -15,12 +15,20 @@
 // `embed` serves a graph/checkpoint pair produced by widen_cli without ever
 // constructing a model (no labels required): every node's embedding goes to
 // a CSV via the session path.
+//
+// Observability: --metrics_out PATH dumps process metrics every second while
+// the command runs and once more on exit (Prometheus text at PATH, JSON at
+// PATH.json); --trace_out PATH records a Chrome trace of the run. A final
+// summary line reports serve-side Embed p50/p99 from the live histogram.
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +38,8 @@
 #include "datasets/splits.h"
 #include "datasets/synthetic.h"
 #include "graph/io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/inference_session.h"
 #include "serve/request_batcher.h"
 
@@ -40,6 +50,52 @@ using namespace widen;
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+// Re-exports the metrics registry to `path` once a second until stopped, so a
+// scrape of the file sees live queue depth / hit counters while the service
+// runs. The final authoritative write happens after the command returns.
+class PeriodicMetricsDumper {
+ public:
+  explicit PeriodicMetricsDumper(std::string path) : path_(std::move(path)) {
+    worker_ = std::thread([this] { Loop(); });
+  }
+  ~PeriodicMetricsDumper() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, std::chrono::seconds(1),
+                       [this] { return stop_; })) {
+        break;
+      }
+      (void)obs::MetricsRegistry::Get().WriteMetrics(path_);
+    }
+  }
+
+  const std::string path_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+void PrintEmbedLatencySummary() {
+  obs::Histogram* embed_us = obs::MetricsRegistry::Get().GetHistogram(
+      "widen_serve_embed_us",
+      "Wall time per InferenceSession::Embed call (microseconds)");
+  if (embed_us->TotalCount() == 0) return;
+  std::printf("embed latency: p50 %.2f us, p99 %.2f us over %lld calls\n",
+              embed_us->Percentile(0.50), embed_us->Percentile(0.99),
+              static_cast<long long>(embed_us->TotalCount()));
 }
 
 core::WidenConfig SmokeConfig() {
@@ -211,6 +267,8 @@ int main(int argc, char** argv) {
   bool smoke = false;
   long clients = 4;
   long queries = 25;
+  std::string metrics_out;
+  std::string trace_out;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const char* arg = argv[i];
@@ -226,6 +284,22 @@ int main(int argc, char** argv) {
       queries = std::atol(argv[++i]);
       continue;
     }
+    if (std::strcmp(arg, "--metrics_out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--metrics_out=", 14) == 0) {
+      metrics_out = arg + 14;
+      continue;
+    }
+    if (std::strcmp(arg, "--trace_out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--trace_out=", 12) == 0) {
+      trace_out = arg + 12;
+      continue;
+    }
     args.push_back(argv[i]);
   }
   if (clients < 1 || queries < 1) {
@@ -234,16 +308,39 @@ int main(int argc, char** argv) {
   }
   argc = static_cast<int>(args.size());
   argv = args.data();
+  widen::obs::InstallTraceExportOnExit(trace_out);
 
-  if (smoke || argc == 1) return RunSmoke(clients, queries);
-  const std::string command = argv[1];
-  if (command == "embed" && argc == 5) {
-    return RunEmbed(argv[2], argv[3], argv[4]);
+  const int code = [&]() -> int {
+    std::unique_ptr<PeriodicMetricsDumper> dumper;
+    if (!metrics_out.empty()) {
+      dumper = std::make_unique<PeriodicMetricsDumper>(metrics_out);
+    }
+    if (smoke || argc == 1) return RunSmoke(clients, queries);
+    const std::string command = argv[1];
+    if (command == "embed" && argc == 5) {
+      return RunEmbed(argv[2], argv[3], argv[4]);
+    }
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  %s --smoke [--clients N] [--queries M]   # self-contained\n"
+                 "  %s embed <graph.txt> <model.ckpt> <out.csv>\n"
+                 "options: --metrics_out PATH  dump metrics every second and "
+                 "on exit\n"
+                 "         --trace_out PATH    write a Chrome trace on exit\n",
+                 argv[0], argv[0]);
+    return 2;
+  }();
+
+  PrintEmbedLatencySummary();
+  if (!metrics_out.empty()) {
+    widen::Status written =
+        widen::obs::MetricsRegistry::Get().WriteMetrics(metrics_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error writing metrics: %s\n",
+                   written.ToString().c_str());
+      return code != 0 ? code : 1;
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
   }
-  std::fprintf(stderr,
-               "usage:\n"
-               "  %s --smoke [--clients N] [--queries M]   # self-contained\n"
-               "  %s embed <graph.txt> <model.ckpt> <out.csv>\n",
-               argv[0], argv[0]);
-  return 2;
+  return code;
 }

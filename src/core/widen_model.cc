@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/autograd.h"
 #include "tensor/inference.h"
 #include "tensor/init.h"
@@ -229,9 +231,12 @@ StatusOr<WidenTrainReport> WidenModel::TrainUntil(
   // every epoch refreshes every node's stateful embedding (Eq. 10 masks the
   // unlabeled ones out of the loss), which is how information reaches
   // farther than one hop as epochs accumulate.
-  for (graph::NodeId v = 0; v < graph_->num_nodes(); ++v) {
-    if (target_states_.find(v) == target_states_.end()) {
-      target_states_.emplace(v, SampleTargetState(*graph_, v, rng_));
+  {
+    WIDEN_TRACE_SPAN("sample_target_states", "train");
+    for (graph::NodeId v = 0; v < graph_->num_nodes(); ++v) {
+      if (target_states_.find(v) == target_states_.end()) {
+        target_states_.emplace(v, SampleTargetState(*graph_, v, rng_));
+      }
     }
   }
   std::vector<bool> in_train_set(static_cast<size_t>(graph_->num_nodes()),
@@ -256,52 +261,77 @@ StatusOr<WidenTrainReport> WidenModel::TrainUntil(
   }
   std::vector<graph::NodeId> supervised_order;
   std::vector<graph::NodeId> refresh_order;
+  WIDEN_METRIC_HISTOGRAM(epoch_seconds, "widen_train_epoch_seconds",
+                         "Wall time per training epoch (seconds)");
+  WIDEN_METRIC_GAUGE(loss_gauge, "widen_train_loss",
+                     "Mean supervised loss of the most recent epoch");
+  WIDEN_METRIC_GAUGE(grad_norm_gauge, "widen_train_grad_norm",
+                     "Global gradient L2 norm of the last batch of the most "
+                     "recent epoch");
+  WIDEN_METRIC_COUNTER(epochs_total, "widen_train_epochs_total",
+                       "Completed training epochs");
+  WIDEN_METRIC_COUNTER(wide_drops_total, "widen_train_kl_wide_drops_total",
+                       "Wide neighbors pruned by the KL trigger (Eq. 9)");
+  WIDEN_METRIC_COUNTER(deep_drops_total, "widen_train_kl_deep_drops_total",
+                       "Deep walk nodes pruned by the KL trigger (Eq. 9)");
   while (current_epoch_ < target_epoch) {
+    WIDEN_TRACE_SPAN("train_epoch", "train");
     StopWatch epoch_watch;
     WidenEpochLog log;
     log.epoch = current_epoch_;
     double loss_sum = 0.0;
+    double last_grad_norm = 0.0;
     int64_t batches = 0;
 
     // Supervised mini-batches over the labeled training nodes (Eq. 10).
     supervised_order = supervised_canonical;
     rng_.Shuffle(supervised_order);
-    for (size_t begin = 0; begin < supervised_order.size();
-         begin += static_cast<size_t>(config_.batch_size)) {
-      const size_t end =
-          std::min(supervised_order.size(),
-                   begin + static_cast<size_t>(config_.batch_size));
-      std::vector<T::Tensor> embeddings;
-      std::vector<int32_t> labels;
-      embeddings.reserve(end - begin);
-      labels.reserve(end - begin);
-      for (size_t i = begin; i < end; ++i) {
-        const graph::NodeId v = supervised_order[i];
-        TargetState& state = target_states_.at(v);
-        ForwardResult result = Forward(*graph_, state, /*keep_artifacts=*/true);
-        embeddings.push_back(result.embedding);
-        labels.push_back(graph_->label(v));
-        // Algorithm 3 lines 9-13: downsampling needs at least one full prior
-        // epoch over the same sets (the KL gate enforces it; the epoch guard
-        // below mirrors the printed "z > 1" condition).
-        if (current_epoch_ >= 1) MaybeDownsample(state, result, log);
-        // "v_t' replaces the original node embedding."
-        StoreRep(*graph_, v, result.embedding.DetachedCopy());
+    {
+      WIDEN_TRACE_SPAN("supervised_batches", "train");
+      for (size_t begin = 0; begin < supervised_order.size();
+           begin += static_cast<size_t>(config_.batch_size)) {
+        const size_t end =
+            std::min(supervised_order.size(),
+                     begin + static_cast<size_t>(config_.batch_size));
+        std::vector<T::Tensor> embeddings;
+        std::vector<int32_t> labels;
+        embeddings.reserve(end - begin);
+        labels.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          const graph::NodeId v = supervised_order[i];
+          TargetState& state = target_states_.at(v);
+          ForwardResult result =
+              Forward(*graph_, state, /*keep_artifacts=*/true);
+          embeddings.push_back(result.embedding);
+          labels.push_back(graph_->label(v));
+          // Algorithm 3 lines 9-13: downsampling needs at least one full
+          // prior epoch over the same sets (the KL gate enforces it; the
+          // epoch guard below mirrors the printed "z > 1" condition).
+          if (current_epoch_ >= 1) MaybeDownsample(state, result, log);
+          // "v_t' replaces the original node embedding."
+          StoreRep(*graph_, v, result.embedding.DetachedCopy());
+        }
+        T::Tensor batch = T::ConcatRows(embeddings);
+        T::Tensor logits = T::MatMul(batch, params_.classifier);
+        T::Tensor loss = T::SoftmaxCrossEntropy(logits, labels);
+        optimizer_->ZeroGrad();
+        loss.Backward();
+        // Pre-step gradient norm for the dashboard; the huge max_norm means
+        // no gradient is actually rescaled, so numerics are untouched.
+        if (obs::MetricsEnabled()) {
+          last_grad_norm = optimizer_->ClipGradNorm(1e30);
+        }
+        optimizer_->Step();
+        loss_sum += loss.item();
+        ++batches;
       }
-      T::Tensor batch = T::ConcatRows(embeddings);
-      T::Tensor logits = T::MatMul(batch, params_.classifier);
-      T::Tensor loss = T::SoftmaxCrossEntropy(logits, labels);
-      optimizer_->ZeroGrad();
-      loss.Backward();
-      optimizer_->Step();
-      loss_sum += loss.item();
-      ++batches;
     }
 
     // Stateful-embedding refresh for every other node of V (Algorithm 3
     // iterates all of V; unlabeled nodes contribute no loss, Eq. 10). This
     // sweep is what pushes information one hop further per epoch.
     {
+      WIDEN_TRACE_SPAN("refresh_sweep", "train");
       T::NoGradScope no_grad;
       refresh_order = refresh_canonical;
       rng_.Shuffle(refresh_order);
@@ -330,6 +360,12 @@ StatusOr<WidenTrainReport> WidenModel::TrainUntil(
     log.mean_deep_size =
         deep_sets > 0 ? deep_total / static_cast<double>(deep_sets) : 0.0;
     report.epochs.push_back(log);
+    epoch_seconds->Record(log.seconds);
+    loss_gauge->Set(log.mean_loss);
+    grad_norm_gauge->Set(last_grad_norm);
+    epochs_total->Increment();
+    wide_drops_total->Add(log.wide_drops);
+    deep_drops_total->Add(log.deep_drops);
     // The counter advances BEFORE the observer so that a checkpoint taken
     // inside it records this epoch as completed (train/trainer.h).
     ++current_epoch_;

@@ -1,0 +1,361 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/file_util.h"
+#include "util/logging.h"
+
+namespace widen::obs {
+
+namespace internal_metrics {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+int CurrentShardHint() {
+  static std::atomic<int> next_id{0};
+  thread_local const int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void AtomicAddDouble(std::atomic<double>* lhs, double rhs) {
+  double observed = lhs->load(std::memory_order_relaxed);
+  while (!lhs->compare_exchange_weak(observed, observed + rhs,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal_metrics
+
+void SetMetricsEnabled(bool enabled) {
+  internal_metrics::g_metrics_enabled.store(enabled,
+                                            std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+int Histogram::BucketIndex(double value) {
+  if (!(value > std::exp2(kMinExp))) return 0;  // also catches NaN, <= 0
+  // value = 2^e with e > kMinExp; bin index grows kSubBuckets per octave.
+  const double e = std::log2(value);
+  // ceil without landing exact powers in the next-higher bin: bucket b > 0
+  // covers (2^(kMinExp + (b-1)/kSub), 2^(kMinExp + b/kSub)].
+  const int b =
+      static_cast<int>(std::ceil((e - kMinExp) * kSubBuckets - 1e-9));
+  if (b >= kNumBuckets - 1) return kNumBuckets - 1;  // overflow bin
+  return b < 1 ? 1 : b;
+}
+
+double Histogram::BucketUpperBound(int b) {
+  if (b <= 0) return std::exp2(kMinExp);
+  if (b >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::exp2(kMinExp + static_cast<double>(b) / kSubBuckets);
+}
+
+void Histogram::Record(double value) {
+  if (!MetricsEnabled()) return;
+  Shard& s =
+      shards_[internal_metrics::CurrentShardHint() & (kShards - 1)];
+  s.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  internal_metrics::AtomicAddDouble(&s.sum, value);
+}
+
+int64_t Histogram::TotalCount() const {
+  int64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const Shard& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Mean() const {
+  const int64_t n = TotalCount();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+int64_t Histogram::BucketCount(int b) const {
+  WIDEN_CHECK(b >= 0 && b < kNumBuckets) << "bucket out of range: " << b;
+  int64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.buckets[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Percentile(double p) const {
+  const int64_t n = TotalCount();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the sample we want (1-based), then walk cumulative bin counts.
+  const int64_t rank =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(p * n)));
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const int64_t in_bin = BucketCount(b);
+    if (in_bin == 0) continue;
+    if (seen + in_bin >= rank) {
+      const double hi = BucketUpperBound(b);
+      if (b == 0) return hi;
+      if (b == kNumBuckets - 1) return BucketUpperBound(b - 1);
+      const double lo = BucketUpperBound(b - 1);
+      // Linear interpolation by rank within the bin.
+      const double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(in_bin);
+      return lo + (hi - lo) * frac;
+    }
+    seen += in_bin;
+  }
+  return BucketUpperBound(kNumBuckets - 2);
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // std::map keeps export output sorted by name; pointers to mapped values
+  // are stable because the nodes never move.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Impl* MetricsRegistry::impl() const {
+  static Impl* const impl = new Impl();
+  return impl;
+}
+
+namespace {
+
+// One registered name must stay one metric kind across the process.
+template <typename OwnMap, typename OtherMapA, typename OtherMapB>
+void CheckKindUnique(const std::string& name, const OwnMap&,
+                     const OtherMapA& other_a, const OtherMapB& other_b) {
+  WIDEN_CHECK(other_a.find(name) == other_a.end() &&
+              other_b.find(name) == other_b.end())
+      << "metric '" << name << "' already registered with a different kind";
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  auto it = im->counters.find(name);
+  if (it == im->counters.end()) {
+    CheckKindUnique(name, im->counters, im->gauges, im->histograms);
+    it = im->counters
+             .emplace(name, std::unique_ptr<Counter>(new Counter(name, help)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  auto it = im->gauges.find(name);
+  if (it == im->gauges.end()) {
+    CheckKindUnique(name, im->gauges, im->counters, im->histograms);
+    it = im->gauges
+             .emplace(name, std::unique_ptr<Gauge>(new Gauge(name, help)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  auto it = im->histograms.find(name);
+  if (it == im->histograms.end()) {
+    CheckKindUnique(name, im->histograms, im->counters, im->gauges);
+    it = im->histograms
+             .emplace(name,
+                      std::unique_ptr<Histogram>(new Histogram(name, help)))
+             .first;
+  }
+  return it->second.get();
+}
+
+namespace {
+
+// %g loses no monitoring-relevant precision and avoids locale surprises.
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return std::string(buf);
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no Inf/NaN literals
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return std::string(buf);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::DumpPrometheus() const {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  std::ostringstream out;
+  for (const auto& [name, c] : im->counters) {
+    out << "# HELP " << name << " " << c->help() << "\n";
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << c->Value() << "\n";
+  }
+  for (const auto& [name, g] : im->gauges) {
+    out << "# HELP " << name << " " << g->help() << "\n";
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << FormatDouble(g->Value()) << "\n";
+  }
+  for (const auto& [name, h] : im->histograms) {
+    out << "# HELP " << name << " " << h->help() << "\n";
+    out << "# TYPE " << name << " histogram\n";
+    // Prometheus buckets are cumulative; emit only bins that gained counts
+    // (plus +Inf, which is mandatory) to keep dumps readable.
+    int64_t cumulative = 0;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      const int64_t in_bin = h->BucketCount(b);
+      if (in_bin == 0) continue;
+      cumulative += in_bin;
+      const double ub = Histogram::BucketUpperBound(b);
+      if (std::isinf(ub)) continue;  // folded into +Inf below
+      out << name << "_bucket{le=\"" << FormatDouble(ub) << "\"} "
+          << cumulative << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h->TotalCount() << "\n";
+    out << name << "_sum " << FormatDouble(h->Sum()) << "\n";
+    out << name << "_count " << h->TotalCount() << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : im->counters) {
+    out << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+        << "\": " << c->Value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : im->gauges) {
+    out << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+        << "\": " << JsonDouble(g->Value());
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : im->histograms) {
+    out << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": {"
+        << "\"count\": " << h->TotalCount()
+        << ", \"sum\": " << JsonDouble(h->Sum())
+        << ", \"mean\": " << JsonDouble(h->Mean())
+        << ", \"p50\": " << JsonDouble(h->Percentile(0.50))
+        << ", \"p95\": " << JsonDouble(h->Percentile(0.95))
+        << ", \"p99\": " << JsonDouble(h->Percentile(0.99)) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+Status MetricsRegistry::WriteMetrics(const std::string& path) const {
+  const bool json_only =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (json_only) {
+    return WriteStringToFile(path, DumpJson());
+  }
+  WIDEN_RETURN_IF_ERROR(WriteStringToFile(path, DumpPrometheus()));
+  return WriteStringToFile(path + ".json", DumpJson());
+}
+
+void MetricsRegistry::ResetAll() {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  for (auto& [name, c] : im->counters) c->Reset();
+  for (auto& [name, g] : im->gauges) g->Reset();
+  for (auto& [name, h] : im->histograms) h->Reset();
+}
+
+}  // namespace widen::obs

@@ -1,8 +1,23 @@
 #include "sampling/neighbor_sampler.h"
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace widen::sampling {
+namespace {
+
+// One aggregated Add per sampling call (not per neighbor) so the counters
+// stay invisible next to the RNG + copy work they meter.
+void CountWideSample(const WideNeighborSet& set) {
+  WIDEN_METRIC_COUNTER(calls, "widen_sampling_wide_calls_total",
+                       "Wide neighbor sampling invocations");
+  WIDEN_METRIC_COUNTER(drawn, "widen_sampling_wide_neighbors_total",
+                       "Neighbors drawn by wide sampling");
+  calls->Increment();
+  drawn->Add(static_cast<int64_t>(set.nodes.size()));
+}
+
+}  // namespace
 
 void WideNeighborSet::RemoveLocalIndex(size_t n) {
   WIDEN_CHECK_LT(n, nodes.size());
@@ -17,7 +32,10 @@ WideNeighborSet SampleWideNeighbors(const graph::GraphView& graph,
   WideNeighborSet set;
   set.target = target;
   graph::Csr::NeighborSpan span = graph.neighbors(target);
-  if (span.size == 0 || sample_size == 0) return set;
+  if (span.size == 0 || sample_size == 0) {
+    CountWideSample(set);
+    return set;
+  }
   if (span.size <= sample_size) {
     set.nodes.assign(span.neighbors, span.neighbors + span.size);
     set.edge_types.assign(span.edge_types, span.edge_types + span.size);
@@ -27,6 +45,7 @@ WideNeighborSet SampleWideNeighbors(const graph::GraphView& graph,
       std::swap(set.nodes[i - 1], set.nodes[j]);
       std::swap(set.edge_types[i - 1], set.edge_types[j]);
     }
+    CountWideSample(set);
     return set;
   }
   std::vector<size_t> picks = rng.SampleWithoutReplacement(
@@ -37,6 +56,7 @@ WideNeighborSet SampleWideNeighbors(const graph::GraphView& graph,
     set.nodes.push_back(span.neighbors[p]);
     set.edge_types.push_back(span.edge_types[p]);
   }
+  CountWideSample(set);
   return set;
 }
 
@@ -47,7 +67,10 @@ WideNeighborSet SampleWideNeighborsWithReplacement(
   WideNeighborSet set;
   set.target = target;
   graph::Csr::NeighborSpan span = graph.neighbors(target);
-  if (span.size == 0 || sample_size == 0) return set;
+  if (span.size == 0 || sample_size == 0) {
+    CountWideSample(set);
+    return set;
+  }
   set.nodes.reserve(static_cast<size_t>(sample_size));
   set.edge_types.reserve(static_cast<size_t>(sample_size));
   for (int64_t i = 0; i < sample_size; ++i) {
@@ -56,6 +79,7 @@ WideNeighborSet SampleWideNeighborsWithReplacement(
     set.nodes.push_back(span.neighbors[p]);
     set.edge_types.push_back(span.edge_types[p]);
   }
+  CountWideSample(set);
   return set;
 }
 

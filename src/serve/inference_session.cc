@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "core/encoder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/inference.h"
 #include "tensor/ops.h"
 #include "util/string_util.h"
@@ -14,6 +16,49 @@ namespace widen::serve {
 namespace {
 
 namespace T = widen::tensor;
+
+// Serving metrics, resolved once. Histograms back the p50/p99 the serve CLI
+// prints; the hit/miss counters mirror the session's internal atomics so the
+// store's behaviour shows up in --metrics_out dumps.
+struct ServeMetrics {
+  obs::Histogram* embed_us;
+  obs::Histogram* embed_batch_nodes;
+  obs::Counter* base_hits;
+  obs::Counter* store_hits;
+  obs::Counter* store_misses;
+  obs::Counter* ingests;
+  obs::Counter* invalidations;
+  obs::Histogram* invalidated_nodes;
+
+  static const ServeMetrics& Get() {
+    static const ServeMetrics m = {
+        obs::MetricsRegistry::Get().GetHistogram(
+            "widen_serve_embed_us",
+            "Wall time per InferenceSession::Embed call (microseconds)"),
+        obs::MetricsRegistry::Get().GetHistogram(
+            "widen_serve_embed_batch_nodes",
+            "Nodes requested per Embed call"),
+        obs::MetricsRegistry::Get().GetCounter(
+            "widen_serve_base_hits_total",
+            "Embed rows served from the checkpoint's frozen base reps"),
+        obs::MetricsRegistry::Get().GetCounter(
+            "widen_serve_store_hits_total",
+            "Embed rows served from the versioned embedding store"),
+        obs::MetricsRegistry::Get().GetCounter(
+            "widen_serve_store_misses_total",
+            "Embed rows that required a cold encode"),
+        obs::MetricsRegistry::Get().GetCounter(
+            "widen_serve_ingests_total", "Graph deltas ingested"),
+        obs::MetricsRegistry::Get().GetCounter(
+            "widen_serve_store_invalidations_total",
+            "Nodes invalidated in the embedding store across all ingests"),
+        obs::MetricsRegistry::Get().GetHistogram(
+            "widen_serve_invalidated_nodes",
+            "Store rows invalidated per ingest (k-hop BFS size)"),
+    };
+    return m;
+  }
+};
 
 /// RepSource over the checkpoint's frozen embedding store: valid base rows
 /// are served, everything else (invalid base rows, delta-added nodes) falls
@@ -128,6 +173,10 @@ GraphDelta InferenceSession::NewDelta() const {
 
 StatusOr<tensor::Tensor> InferenceSession::Embed(
     const std::vector<graph::NodeId>& nodes) {
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  WIDEN_TRACE_SPAN("embed", "serve");
+  obs::ScopedLatencyTimer embed_timer(metrics.embed_us);
+  metrics.embed_batch_nodes->Record(static_cast<double>(nodes.size()));
   std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
   const int64_t n = view_.num_nodes();
   for (graph::NodeId v : nodes) {
@@ -168,9 +217,13 @@ StatusOr<tensor::Tensor> InferenceSession::Embed(
     }
     base_hits_ += base_hits;
     store_hits_ += store_hits;
+    metrics.base_hits->Add(base_hits);
+    metrics.store_hits->Add(store_hits);
   }
 
   if (!cold.empty()) {
+    WIDEN_TRACE_SPAN("cold_encode", "serve");
+    metrics.store_misses->Add(static_cast<int64_t>(cold.size()));
     const BaseRepSource reps(&weights_.cache_reps, &base_valid_, d);
     // Rows are disjoint and every cold node draws from its own RNG stream
     // (EvalSeedForNode), so fan-out order cannot change any bit.
@@ -210,6 +263,8 @@ StatusOr<std::vector<int32_t>> InferenceSession::Predict(
 }
 
 StatusOr<uint64_t> InferenceSession::Ingest(const GraphDelta& delta) {
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  WIDEN_TRACE_SPAN("ingest", "serve");
   std::unique_lock<std::shared_mutex> graph_lock(graph_mu_);
   WIDEN_ASSIGN_OR_RETURN(std::vector<graph::NodeId> touched,
                          view_.Apply(delta));
@@ -241,6 +296,9 @@ StatusOr<uint64_t> InferenceSession::Ingest(const GraphDelta& delta) {
   }
   version_.store(new_version);
   ++ingests_;
+  metrics.ingests->Increment();
+  metrics.invalidations->Add(static_cast<int64_t>(invalidated.size()));
+  metrics.invalidated_nodes->Record(static_cast<double>(invalidated.size()));
   return new_version;
 }
 

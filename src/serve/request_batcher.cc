@@ -5,6 +5,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -12,6 +14,32 @@
 namespace widen::serve {
 
 namespace T = widen::tensor;
+
+namespace {
+
+struct BatcherMetrics {
+  obs::Gauge* queue_depth;
+  obs::Histogram* batch_nodes;
+  obs::Histogram* linger_us;
+
+  static const BatcherMetrics& Get() {
+    static const BatcherMetrics m = {
+        obs::MetricsRegistry::Get().GetGauge(
+            "widen_serve_batcher_queue_nodes",
+            "Nodes currently waiting in the batcher queue"),
+        obs::MetricsRegistry::Get().GetHistogram(
+            "widen_serve_batcher_batch_nodes",
+            "Nodes per batch handed to the session"),
+        obs::MetricsRegistry::Get().GetHistogram(
+            "widen_serve_batcher_linger_us",
+            "Queue wait per request, enqueue to batch formation "
+            "(microseconds)"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 RequestBatcher::RequestBatcher(InferenceSession* session,
                                const BatcherOptions& options)
@@ -74,7 +102,10 @@ void RequestBatcher::Enqueue(Pending pending) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.requests;
     if (invalid.ok() && !shutting_down_) {
+      pending.enqueued_at = std::chrono::steady_clock::now();
       pending_nodes_ += static_cast<int64_t>(pending.nodes.size());
+      BatcherMetrics::Get().queue_depth->Set(
+          static_cast<double>(pending_nodes_));
       pending_.push_back(std::move(pending));
       work_available_.notify_all();
       return;
@@ -125,6 +156,17 @@ void RequestBatcher::WorkerLoop() {
     ++stats_.batches;
     stats_.batched_nodes += batch_nodes;
     stats_.max_batch = std::max(stats_.max_batch, batch_nodes);
+    const BatcherMetrics& metrics = BatcherMetrics::Get();
+    metrics.queue_depth->Set(static_cast<double>(pending_nodes_));
+    metrics.batch_nodes->Record(static_cast<double>(batch_nodes));
+    if (obs::MetricsEnabled()) {
+      const auto now = std::chrono::steady_clock::now();
+      for (const Pending& p : batch) {
+        metrics.linger_us->Record(
+            std::chrono::duration<double, std::micro>(now - p.enqueued_at)
+                .count());
+      }
+    }
 
     lock.unlock();
     RunBatch(std::move(batch));
@@ -144,6 +186,7 @@ void RequestBatcher::WorkerLoop() {
 }
 
 void RequestBatcher::RunBatch(std::vector<Pending> batch) {
+  WIDEN_TRACE_SPAN("run_batch", "serve");
   std::vector<graph::NodeId> all;
   for (const Pending& p : batch) {
     all.insert(all.end(), p.nodes.begin(), p.nodes.end());

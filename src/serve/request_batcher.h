@@ -12,6 +12,7 @@
 #ifndef WIDEN_SERVE_REQUEST_BATCHER_H_
 #define WIDEN_SERVE_REQUEST_BATCHER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -64,6 +65,8 @@ class RequestBatcher {
   struct Pending {
     std::vector<graph::NodeId> nodes;
     bool predict = false;
+    // When the request entered the queue, for the linger-time histogram.
+    std::chrono::steady_clock::time_point enqueued_at;
     std::promise<StatusOr<tensor::Tensor>> embed_promise;
     std::promise<StatusOr<std::vector<int32_t>>> predict_promise;
   };

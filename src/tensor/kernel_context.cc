@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace widen::tensor {
@@ -47,11 +48,33 @@ void ParallelForGrid(int64_t n, int64_t grain,
                      const std::function<void(int64_t, int64_t)>& body) {
   if (n <= 0) return;
   WIDEN_DCHECK(grain > 0);
+  // Chunk-utilization counters: inline_total counts single-chunk calls that
+  // never touch the pool; chunks_total / calls_total give the mean fan-out
+  // of the calls that do hit the grid.
+  WIDEN_METRIC_COUNTER(calls_total, "widen_tensor_parallel_calls_total",
+                       "ParallelForGrid invocations that used the chunk grid");
+  WIDEN_METRIC_COUNTER(chunks_total, "widen_tensor_parallel_chunks_total",
+                       "Chunks dispatched across all ParallelForGrid calls");
+  WIDEN_METRIC_COUNTER(
+      inline_total, "widen_tensor_parallel_inline_total",
+      "ParallelForGrid invocations small enough to run inline (one chunk; "
+      "flushed in blocks of 256 per thread)");
   if (n <= grain) {  // single chunk: run inline, skip the pool entirely
+    // This path fires tens of thousands of times per second on tiny kernels,
+    // so even an uncontended fetch_add is measurable next to the kernel
+    // itself. Batch through a plain thread-local and flush in blocks; the
+    // exported value trails the truth by at most 255 per thread.
+    thread_local int64_t inline_pending = 0;
+    if (++inline_pending >= 256) {
+      inline_total->Add(inline_pending);
+      inline_pending = 0;
+    }
     body(0, n);
     return;
   }
   const int64_t num_chunks = (n + grain - 1) / grain;
+  calls_total->Increment();
+  chunks_total->Add(num_chunks);
   ThreadPool* pool = KernelContext::Get().pool();
   if (pool == nullptr) {
     // Same grid formula as ParallelForChunked (ceil(n / num_chunks), which

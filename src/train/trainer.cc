@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "core/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "train/metrics.h"
 #include "util/file_util.h"
 #include "util/logging.h"
@@ -108,10 +110,21 @@ StatusOr<int64_t> ResumeFromLatest(core::WidenModel& model,
   // Newest first; the first file that loads cleanly wins. A checkpoint that
   // fails its checksums (e.g. the save was interrupted between fsync and
   // rename, or the disk flipped a bit) is skipped, not fatal.
+  WIDEN_METRIC_COUNTER(resumes, "widen_ckpt_resume_total",
+                       "Training runs resumed from a checkpoint");
+  WIDEN_METRIC_HISTOGRAM(restore_us, "widen_ckpt_restore_us",
+                         "Wall time per successful training-state restore "
+                         "(microseconds)");
   for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
     const std::string path = JoinPath(directory, *it);
+    WIDEN_TRACE_SPAN("ckpt_restore", "ckpt");
+    StopWatch watch;
     const Status status = core::LoadTrainingState(model, path);
-    if (status.ok()) return model.current_epoch();
+    if (status.ok()) {
+      resumes->Increment();
+      restore_us->Record(watch.ElapsedSeconds() * 1e6);
+      return model.current_epoch();
+    }
     WIDEN_LOG(Warning) << "skipping unloadable checkpoint " << path << ": "
                        << status.message();
   }
@@ -146,8 +159,18 @@ StatusOr<core::WidenTrainReport> TrainWithCheckpoints(
     }
     const std::string path =
         JoinPath(checkpoint.directory, CheckpointName(completed));
-    save_status = core::SaveTrainingState(model, path);
+    WIDEN_METRIC_HISTOGRAM(ckpt_save_us, "widen_ckpt_train_save_us",
+                           "Wall time per training-state checkpoint save "
+                           "(microseconds)");
+    WIDEN_METRIC_COUNTER(ckpts_written, "widen_ckpt_written_total",
+                         "Training-state checkpoints written");
+    {
+      WIDEN_TRACE_SPAN("ckpt_save", "ckpt");
+      obs::ScopedLatencyTimer timer(ckpt_save_us);
+      save_status = core::SaveTrainingState(model, path);
+    }
     if (!save_status.ok()) return;
+    ckpts_written->Increment();
     if (checkpoint.keep_last > 0) {
       StatusOr<std::vector<std::string>> names =
           ListCheckpoints(checkpoint.directory);

@@ -149,4 +149,50 @@ Status RemoveFileIfExists(const std::string& path) {
   return Status::OK();
 }
 
+StatusOr<int64_t> FileSize(const std::string& path) {
+  std::error_code error;
+  const auto size = std::filesystem::file_size(path, error);
+  if (error) {
+    return Status::IOError(
+        StrCat("cannot stat '", path, "': ", error.message()));
+  }
+  return static_cast<int64_t>(size);
+}
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& contents) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError(ErrnoMessage("cannot open", path));
+  }
+  const size_t written =
+      contents.empty()
+          ? 0
+          : std::fwrite(contents.data(), 1, contents.size(), file);
+  const bool ok = written == contents.size() && std::fclose(file) == 0;
+  if (!ok) {
+    return Status::IOError(ErrnoMessage("write", path));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IOError(ErrnoMessage("cannot open", path));
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  size_t read;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, read);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) {
+    return Status::IOError(ErrnoMessage("read", path));
+  }
+  return contents;
+}
+
 }  // namespace widen

@@ -69,6 +69,16 @@ bool FileExists(const std::string& path);
 /// Deletes `path` if present; missing files are not an error.
 Status RemoveFileIfExists(const std::string& path);
 
+/// Size in bytes of the regular file at `path`.
+StatusOr<int64_t> FileSize(const std::string& path);
+
+/// Replaces `path` with `contents` (plain truncate-and-write; use AtomicFile
+/// when the file must never be observed torn).
+Status WriteStringToFile(const std::string& path, const std::string& contents);
+
+/// Reads the whole regular file at `path` into a string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
 }  // namespace widen
 
 #endif  // WIDEN_UTIL_FILE_UTIL_H_

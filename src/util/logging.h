@@ -20,11 +20,16 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetMinLogLevel(LogLevel level);
 LogLevel MinLogLevel();
 
+/// Small sequential id for the calling thread (1 = first thread to log).
+/// Log lines and trace events carry the same id, so a stderr line can be
+/// matched to its span in a Chrome trace.
+int CurrentThreadLogId();
+
 namespace internal_logging {
 
-/// Accumulates one log line and emits it to stderr on destruction (if the
-/// level passes the process-wide filter; the formatting cost is still paid,
-/// which is acceptable for this library's logging volume).
+/// Accumulates one log line and emits it to stderr on destruction. The
+/// WIDEN_LOG macro checks the level *before* constructing one of these, so
+/// filtered statements never pay for formatting their operands.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -58,10 +63,16 @@ class FatalLogMessage {
 }  // namespace internal_logging
 }  // namespace widen
 
+// Level is checked before the LogMessage (and every streamed operand) is
+// constructed, so a filtered-out statement costs one atomic load and a
+// branch. Same dangling-else-safe shape as WIDEN_CHECK.
 #define WIDEN_LOG(severity)                                      \
-  ::widen::internal_logging::LogMessage(                         \
-      ::widen::LogLevel::k##severity, __FILE__, __LINE__)        \
-      .stream()
+  if (static_cast<int>(::widen::LogLevel::k##severity) <         \
+      static_cast<int>(::widen::MinLogLevel())) {                \
+  } else /* NOLINT */                                            \
+    ::widen::internal_logging::LogMessage(                       \
+        ::widen::LogLevel::k##severity, __FILE__, __LINE__)      \
+        .stream()
 
 #define WIDEN_CHECK(cond)                                                   \
   if (cond) {                                                               \

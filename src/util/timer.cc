@@ -32,4 +32,16 @@ double DurationStats::StdDev() const {
   return std::sqrt(sum_sq / static_cast<double>(samples_.size() - 1));
 }
 
+double DurationStats::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[lo + 1] - sorted[lo]) * frac;
+}
+
 }  // namespace widen

@@ -42,6 +42,11 @@ class DurationStats {
   double Min() const;
   double Max() const;
   double StdDev() const;
+  /// Exact percentile (nearest-rank with linear interpolation) over the
+  /// retained samples; `p` in [0, 1]. 0 when empty. O(n log n) — this class
+  /// keeps every sample; for unbounded streams use obs::Histogram, which is
+  /// O(1) per record at ~4% resolution.
+  double Percentile(double p) const;
 
   const std::vector<double>& samples() const { return samples_; }
 

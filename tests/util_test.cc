@@ -250,6 +250,35 @@ TEST(TimerTest, DurationStatsSummaries) {
   EXPECT_NEAR(stats.StdDev(), 1.0, 1e-9);
 }
 
+TEST(TimerTest, DurationStatsEmptyIsAllZeros) {
+  DurationStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.Total(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.StdDev(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(0.5), 0.0);
+}
+
+TEST(TimerTest, DurationStatsPercentile) {
+  DurationStats one;
+  one.Add(7.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(1.0), 7.0);
+
+  DurationStats stats;
+  for (int i = 100; i >= 1; --i) stats.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(stats.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(1.0), 100.0);
+  EXPECT_NEAR(stats.Percentile(0.5), 50.5, 1e-9);    // interpolated midpoint
+  EXPECT_NEAR(stats.Percentile(0.99), 99.01, 1e-9);  // 99 + 0.01 * (100 - 99)
+  // Out-of-range p clamps rather than indexing out of bounds.
+  EXPECT_DOUBLE_EQ(stats.Percentile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(1.5), 100.0);
+}
+
 TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};
