@@ -1,0 +1,97 @@
+// Common BENCH_*.json schema shared by every harness that records a
+// performance trajectory (micro_kernels, serving_bench, obs_bench), consumed
+// by tools/bench_diff and the CI bench step:
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "kernels",                  // harness id
+//     "host": {"hostname": "...", "num_cpus": 4},
+//     "profile": "fast" | "full",          // WIDEN_BENCH_FULL
+//     "config": {"...": ...},              // harness-specific knobs
+//     "metrics": [
+//       {"name": "BM_MatMul/256/1", "value": 1234.5,
+//        "unit": "ns", "better": "lower"},
+//       ...
+//     ]
+//   }
+//
+// Metric names are the stable join key across runs: bench_diff matches rows
+// by (bench, name) and interprets "better" to decide which direction is a
+// regression. Keep names append-only — renaming one orphans its history.
+
+#ifndef WIDEN_BENCH_BENCH_JSON_H_
+#define WIDEN_BENCH_BENCH_JSON_H_
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "util/file_util.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace widen::bench {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+class BenchReport {
+ public:
+  /// `bench` is the harness id ("kernels", "serving", "obs"); `full` selects
+  /// the profile tag.
+  BenchReport(std::string bench, bool full)
+      : bench_(std::move(bench)), full_(full) {}
+
+  /// Harness-specific configuration (graph size, batch sizes, budgets...).
+  void SetConfig(const std::string& key, double value) {
+    config_.Set(key, Json::Number(value));
+  }
+  void SetConfig(const std::string& key, const std::string& value) {
+    config_.Set(key, Json::String(value));
+  }
+
+  /// One measured scalar. `better` is "lower" (latency) or "higher"
+  /// (throughput) and tells bench_diff which direction regresses.
+  void AddMetric(const std::string& name, double value,
+                 const std::string& unit, const std::string& better) {
+    Json m = Json::Object();
+    m.Set("name", Json::String(name));
+    m.Set("value", Json::Number(value));
+    m.Set("unit", Json::String(unit));
+    m.Set("better", Json::String(better));
+    metrics_.Append(std::move(m));
+  }
+
+  std::string ToJson() const {
+    Json root = Json::Object();
+    root.Set("schema_version", Json::Number(kBenchSchemaVersion));
+    root.Set("bench", Json::String(bench_));
+    char hostname[256] = "unknown";
+    (void)gethostname(hostname, sizeof(hostname) - 1);
+    Json host = Json::Object();
+    host.Set("hostname", Json::String(hostname));
+    host.Set("num_cpus",
+             Json::Number(static_cast<double>(
+                 std::thread::hardware_concurrency())));
+    root.Set("host", std::move(host));
+    root.Set("profile", Json::String(full_ ? "full" : "fast"));
+    root.Set("config", config_);
+    root.Set("metrics", metrics_);
+    return root.Dump() + "\n";
+  }
+
+  Status Write(const std::string& path) const {
+    return WriteStringToFile(path, ToJson());
+  }
+
+ private:
+  std::string bench_;
+  bool full_;
+  Json config_ = Json::Object();
+  Json metrics_ = Json::Array();
+};
+
+}  // namespace widen::bench
+
+#endif  // WIDEN_BENCH_BENCH_JSON_H_

@@ -5,13 +5,19 @@
 // The dense-kernel benchmarks (BM_MatMul, BM_MatMulGrad, BM_SoftmaxRowsGrad)
 // sweep the kernel thread count as their second argument; run
 //
-//   micro_kernels --benchmark_filter='BM_(MatMul|SoftmaxRows)'
-//                 --benchmark_out=BENCH_kernels.json --benchmark_out_format=json
+//   micro_kernels --widen_out BENCH_kernels.json \
+//                 --benchmark_filter='BM_(MatMul|SoftmaxRows)'
 //
-// to regenerate the BENCH_kernels.json scaling record at the repo root.
+// to regenerate the BENCH_kernels.json record at the repo root in the common
+// schema of bench_json.h (per-iteration ns + items/s per benchmark, keyed by
+// the google-benchmark name). All other --benchmark_* flags pass through.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
+#include "bench_common.h"
+#include "bench_json.h"
 #include "core/message_pack.h"
 #include "datasets/synthetic.h"
 #include "sampling/neighbor_sampler.h"
@@ -210,7 +216,65 @@ void BM_BackwardTape(benchmark::State& state) {
 }
 BENCHMARK(BM_BackwardTape);
 
+// Mirrors every finished run into a BenchReport while still printing the
+// normal console table. Per-iteration real time is the primary metric;
+// benchmarks that call SetItemsProcessed also get a throughput row.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(bench::BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      report_->AddMetric(run.benchmark_name(), run.GetAdjustedRealTime(),
+                         "ns", "lower");
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        report_->AddMetric(run.benchmark_name() + "/items_per_s",
+                           it->second, "items/s", "higher");
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchReport* report_;
+};
+
 }  // namespace
 }  // namespace widen
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string widen_out;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--widen_out") == 0 && i + 1 < argc) {
+      widen_out = argv[++i];
+      continue;
+    }
+    if (std::strncmp(argv[i], "--widen_out=", 12) == 0) {
+      widen_out = argv[i] + 12;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  widen::bench::BenchReport report("kernels", widen::bench::FullMode());
+  widen::CapturingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!widen_out.empty()) {
+    const widen::Status written = report.Write(widen_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n", widen_out.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", widen_out.c_str());
+  }
+  return 0;
+}

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/checkpoint.h"
 #include "core/widen_model.h"
 #include "datasets/synthetic.h"
@@ -161,25 +162,17 @@ WorkloadResult Measure(const std::string& name, int pairs,
 void WriteJson(const std::string& path,
                const std::vector<WorkloadResult>& results, double budget_pct,
                double worst_pct) {
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  WIDEN_CHECK(out != nullptr) << "cannot open " << path;
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"obs\",\n"
-               "  \"budget_pct\": %.2f,\n"
-               "  \"overhead_pct\": %.3f,\n"
-               "  \"workloads\": [\n",
-               budget_pct, worst_pct);
-  for (size_t i = 0; i < results.size(); ++i) {
-    const WorkloadResult& r = results[i];
-    std::fprintf(out,
-                 "    {\"name\": \"%s\", \"enabled_ms\": %.3f, "
-                 "\"disabled_ms\": %.3f, \"overhead_pct\": %.3f}%s\n",
-                 r.name.c_str(), r.enabled_ms, r.disabled_ms, r.overhead_pct,
-                 i + 1 < results.size() ? "," : "");
+  bench::BenchReport report("obs", bench::FullMode());
+  report.SetConfig("budget_pct", budget_pct);
+  // overhead_pct metrics are percentage points of slowdown with the
+  // observability layer on — lower is better, 0 is a free layer.
+  report.AddMetric("worst_overhead_pct", worst_pct, "pct", "lower");
+  for (const WorkloadResult& r : results) {
+    report.AddMetric(r.name + "_overhead_pct", r.overhead_pct, "pct", "lower");
+    report.AddMetric(r.name + "_enabled_ms", r.enabled_ms, "ms", "lower");
+    report.AddMetric(r.name + "_disabled_ms", r.disabled_ms, "ms", "lower");
   }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
+  WIDEN_CHECK_OK(report.Write(path));
 }
 
 int Run(const std::string& out_path) {

@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# Runs every harness that records a bench trajectory and collects their
+# BENCH_*.json records (common schema: bench/bench_json.h) in one directory.
+#
+#   bench/run_all.sh [BUILD_DIR] [OUT_DIR]
+#
+# Defaults: BUILD_DIR=build, OUT_DIR=. (the repo root, where the committed
+# baselines live). WIDEN_BENCH_FULL=1 switches every harness to its full
+# profile; the default fast profile finishes in a few minutes on one core.
+# Compare two runs with:
+#
+#   ./build/tools/bench_diff baseline/BENCH_kernels.json BENCH_kernels.json
+#
+# Exits non-zero if any harness fails (obs_bench only fails under
+# WIDEN_OBS_ENFORCE=1 when the <2% observability budget is exceeded).
+
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-.}"
+
+if [ ! -x "$BUILD_DIR/bench/micro_kernels" ]; then
+  echo "error: $BUILD_DIR/bench/micro_kernels not built;" \
+       "run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 2
+fi
+mkdir -p "$OUT_DIR"
+
+# A trimmed filter keeps the fast profile fast: the full micro_kernels sweep
+# (every shape x thread-count) is minutes of pure benchmark repetition. The
+# filtered set still covers the dense kernels, both sampling paths, and the
+# serving-attention path that the roofline profiler prices.
+KERNEL_FILTER='BM_(MatMul|MatMulGrad|SoftmaxRowsGrad|AttentionSingleQuery|WideSampling|DeepWalkSampling)'
+if [ "${WIDEN_BENCH_FULL:-0}" = "1" ]; then
+  KERNEL_FILTER='.'
+fi
+
+echo "== micro_kernels =="
+"$BUILD_DIR/bench/micro_kernels" \
+  --widen_out "$OUT_DIR/BENCH_kernels.json" \
+  --benchmark_filter="$KERNEL_FILTER" \
+  --benchmark_min_time=0.05
+
+echo "== serving_bench =="
+"$BUILD_DIR/bench/serving_bench" "$OUT_DIR/BENCH_serving.json"
+
+echo "== obs_bench =="
+"$BUILD_DIR/bench/obs_bench" "$OUT_DIR/BENCH_obs.json"
+
+echo "bench records in $OUT_DIR: BENCH_kernels.json BENCH_serving.json" \
+     "BENCH_obs.json"

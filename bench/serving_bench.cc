@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/checkpoint.h"
 #include "core/widen_model.h"
 #include "datasets/synthetic.h"
@@ -83,31 +84,22 @@ void WriteJson(const std::string& path, int64_t num_nodes,
                const core::WidenConfig& config,
                const std::vector<std::pair<int64_t, std::vector<PhaseResult>>>&
                    by_batch) {
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  WIDEN_CHECK(out != nullptr) << "cannot open " << path;
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"serving\",\n"
-               "  \"graph\": {\"nodes\": %lld, \"embedding_dim\": %lld},\n"
-               "  \"results\": [\n",
-               static_cast<long long>(num_nodes),
-               static_cast<long long>(config.embedding_dim));
-  bool first = true;
+  bench::BenchReport report("serving", bench::FullMode());
+  report.SetConfig("nodes", static_cast<double>(num_nodes));
+  report.SetConfig("embedding_dim", static_cast<double>(config.embedding_dim));
   for (const auto& [batch_size, phases] : by_batch) {
     for (const PhaseResult& r : phases) {
-      std::fprintf(
-          out,
-          "%s    {\"batch_size\": %lld, \"cache\": \"%s\", "
-          "\"requests\": %lld, \"p50_us\": %.2f, \"p99_us\": %.2f, "
-          "\"mean_us\": %.2f, \"qps\": %.1f, \"nodes_per_sec\": %.1f}",
-          first ? "" : ",\n", static_cast<long long>(batch_size),
-          r.cache.c_str(), static_cast<long long>(r.requests), r.p50_us,
-          r.p99_us, r.mean_us, r.qps, r.nodes_per_sec);
-      first = false;
+      const std::string prefix =
+          "b" + std::to_string(batch_size) + "_" + r.cache + "_";
+      report.AddMetric(prefix + "p50_us", r.p50_us, "us", "lower");
+      report.AddMetric(prefix + "p99_us", r.p99_us, "us", "lower");
+      report.AddMetric(prefix + "mean_us", r.mean_us, "us", "lower");
+      report.AddMetric(prefix + "qps", r.qps, "req/s", "higher");
+      report.AddMetric(prefix + "nodes_per_sec", r.nodes_per_sec, "nodes/s",
+                       "higher");
     }
   }
-  std::fprintf(out, "\n  ]\n}\n");
-  std::fclose(out);
+  WIDEN_CHECK_OK(report.Write(path));
 }
 
 int Run(const std::string& out_path) {

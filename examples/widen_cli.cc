@@ -16,6 +16,10 @@
 //   --trace_out PATH       record Chrome trace_event JSON of the run; load
 //                          it in chrome://tracing or Perfetto (the
 //                          WIDEN_TRACE env var does the same)
+//   --profile_out PATH     enable the op-level roofline profiler for the run
+//                          and write its JSON report there on exit, printing
+//                          the top-ops table to stderr (the WIDEN_PROFILE
+//                          env var does the same)
 //
 // `train` additionally accepts:
 //   --checkpoint_dir DIR   save a crash-safe training checkpoint after every
@@ -38,6 +42,7 @@
 #include "core/checkpoint.h"
 #include "core/widen_model.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "datasets/acm.h"
 #include "datasets/splits.h"
@@ -170,6 +175,7 @@ int main(int argc, char** argv) {
   std::string checkpoint_dir;
   std::string metrics_out;
   std::string trace_out;
+  std::string profile_out;
   bool resume = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
@@ -203,6 +209,14 @@ int main(int argc, char** argv) {
       trace_out = arg + 12;
       continue;
     }
+    if (std::strcmp(arg, "--profile_out") == 0 && i + 1 < argc) {
+      profile_out = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--profile_out=", 14) == 0) {
+      profile_out = arg + 14;
+      continue;
+    }
     if (std::strcmp(arg, "--num_threads") == 0 && i + 1 < argc) {
       threads = std::atol(argv[++i]);
     } else if (std::strncmp(arg, "--num_threads=", 14) == 0) {
@@ -225,6 +239,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   widen::obs::InstallTraceExportOnExit(trace_out);
+  widen::obs::InstallProfileReportOnExit(profile_out);
 
   // Dispatch through a lambda so every exit path reaches the metrics write.
   const int code = [&]() -> int {
@@ -253,7 +268,10 @@ int main(int argc, char** argv) {
                  "         --metrics_out PATH    write Prometheus + JSON "
                  "metrics on exit\n"
                  "         --trace_out PATH      write a Chrome trace of the "
-                 "run on exit\n",
+                 "run on exit\n"
+                 "         --profile_out PATH    profile every tensor op and "
+                 "write the\n"
+                 "                               roofline report on exit\n",
                  argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }();

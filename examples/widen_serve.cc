@@ -18,9 +18,13 @@
 //
 // Observability: --metrics_out PATH dumps process metrics every second while
 // the command runs and once more on exit (Prometheus text at PATH, JSON at
-// PATH.json); --trace_out PATH records a Chrome trace of the run. A final
-// summary line reports serve-side Embed p50/p99 from the live histogram.
+// PATH.json); --trace_out PATH records a Chrome trace of the run;
+// --profile_out PATH enables the op-level roofline profiler and writes its
+// JSON report on exit. A final summary line reports serve-side Embed p50/p99
+// from the live histogram. SIGINT/SIGTERM flush all requested outputs before
+// the process dies, so killing a long-running service loses no telemetry.
 
+#include <csignal>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -33,12 +37,15 @@
 #include <thread>
 #include <vector>
 
+#include <pthread.h>
+
 #include "core/checkpoint.h"
 #include "core/widen_model.h"
 #include "datasets/splits.h"
 #include "datasets/synthetic.h"
 #include "graph/io.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "serve/inference_session.h"
 #include "serve/request_batcher.h"
@@ -86,6 +93,60 @@ class PeriodicMetricsDumper {
   std::condition_variable cv_;
   bool stop_ = false;
   std::thread worker_;
+};
+
+// Flushes the requested observability outputs when SIGINT/SIGTERM lands.
+// Both signals are BLOCKED on every thread (the mask set here is inherited
+// by threads spawned later), and a dedicated watcher thread sigwait()s for
+// them — so the flush runs ordinary, non-async-signal-safe code (mutexes,
+// allocation, file I/O) off any signal handler, then exits with the
+// conventional 128+signo status. _Exit skips atexit, which is the point:
+// the atexit exporters would re-write the same files the watcher just wrote.
+class SignalFlusher {
+ public:
+  SignalFlusher(std::string metrics_out, std::string trace_out,
+                std::string profile_out) {
+    sigemptyset(&set_);
+    sigaddset(&set_, SIGINT);
+    sigaddset(&set_, SIGTERM);
+    sigaddset(&set_, SIGUSR1);  // shutdown nudge from the destructor
+    pthread_sigmask(SIG_BLOCK, &set_, nullptr);
+    watcher_ = std::thread([this, metrics_out = std::move(metrics_out),
+                            trace_out = std::move(trace_out),
+                            profile_out = std::move(profile_out)] {
+      int sig = 0;
+      if (sigwait(&set_, &sig) != 0) return;
+      if (stopping_.load() || (sig != SIGINT && sig != SIGTERM)) return;
+      std::fprintf(stderr, "\n[%s] flushing observability outputs\n",
+                   sig == SIGINT ? "SIGINT" : "SIGTERM");
+      if (!metrics_out.empty()) {
+        (void)obs::MetricsRegistry::Get().WriteMetrics(metrics_out);
+      }
+      if (!trace_out.empty()) {
+        (void)obs::TraceRecorder::Get().WriteChromeJson(trace_out);
+      }
+      if (!profile_out.empty()) {
+        (void)obs::Profiler::Get().WriteReport(profile_out);
+        std::fprintf(stderr, "%s",
+                     obs::Profiler::Get().FormatTopOps().c_str());
+      }
+      std::_Exit(128 + sig);
+    });
+  }
+
+  ~SignalFlusher() {
+    stopping_.store(true);
+    pthread_kill(watcher_.native_handle(), SIGUSR1);
+    watcher_.join();
+  }
+
+  SignalFlusher(const SignalFlusher&) = delete;
+  SignalFlusher& operator=(const SignalFlusher&) = delete;
+
+ private:
+  sigset_t set_;
+  std::atomic<bool> stopping_{false};
+  std::thread watcher_;
 };
 
 void PrintEmbedLatencySummary() {
@@ -269,6 +330,7 @@ int main(int argc, char** argv) {
   long queries = 25;
   std::string metrics_out;
   std::string trace_out;
+  std::string profile_out;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const char* arg = argv[i];
@@ -300,6 +362,14 @@ int main(int argc, char** argv) {
       trace_out = arg + 12;
       continue;
     }
+    if (std::strcmp(arg, "--profile_out") == 0 && i + 1 < argc) {
+      profile_out = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--profile_out=", 14) == 0) {
+      profile_out = arg + 14;
+      continue;
+    }
     args.push_back(argv[i]);
   }
   if (clients < 1 || queries < 1) {
@@ -309,6 +379,17 @@ int main(int argc, char** argv) {
   argc = static_cast<int>(args.size());
   argv = args.data();
   widen::obs::InstallTraceExportOnExit(trace_out);
+  widen::obs::InstallProfileReportOnExit(profile_out);
+
+  // Resolve the same env fallbacks the installers honor, so the signal path
+  // flushes to the same files the atexit path would have.
+  if (trace_out.empty()) {
+    if (const char* env = std::getenv("WIDEN_TRACE")) trace_out = env;
+  }
+  if (profile_out.empty()) {
+    if (const char* env = std::getenv("WIDEN_PROFILE")) profile_out = env;
+  }
+  SignalFlusher signal_flusher(metrics_out, trace_out, profile_out);
 
   const int code = [&]() -> int {
     std::unique_ptr<PeriodicMetricsDumper> dumper;
@@ -326,7 +407,9 @@ int main(int argc, char** argv) {
                  "  %s embed <graph.txt> <model.ckpt> <out.csv>\n"
                  "options: --metrics_out PATH  dump metrics every second and "
                  "on exit\n"
-                 "         --trace_out PATH    write a Chrome trace on exit\n",
+                 "         --trace_out PATH    write a Chrome trace on exit\n"
+                 "         --profile_out PATH  profile tensor ops and write "
+                 "the roofline report on exit\n",
                  argv[0], argv[0]);
     return 2;
   }();

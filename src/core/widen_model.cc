@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "tensor/autograd.h"
 #include "tensor/inference.h"
@@ -140,6 +141,7 @@ void WidenModel::RefreshCache(const graph::HeteroGraph& graph,
 
 WidenModel::TargetState WidenModel::SampleTargetState(
     const graph::HeteroGraph& graph, graph::NodeId node, Rng& rng) const {
+  obs::ScopedProfPhase phase_scope(obs::ProfPhase::kSampling);
   return core::SampleTargetState(graph::HeteroGraphView(graph), node, config_,
                                  rng);
 }
@@ -147,6 +149,7 @@ WidenModel::TargetState WidenModel::SampleTargetState(
 WidenModel::ForwardResult WidenModel::Forward(const graph::HeteroGraph& graph,
                                               TargetState& state,
                                               bool keep_artifacts) {
+  obs::ScopedProfPhase phase_scope(obs::ProfPhase::kForward);
   EmbeddingCache& cache = CacheFor(graph);
   CacheRepSource reps(cache.data, cache.valid, config_.embedding_dim);
   return EncodeTarget(graph::HeteroGraphView(graph), params_, config_, state,
@@ -321,7 +324,10 @@ StatusOr<WidenTrainReport> WidenModel::TrainUntil(
         if (obs::MetricsEnabled()) {
           last_grad_norm = optimizer_->ClipGradNorm(1e30);
         }
-        optimizer_->Step();
+        {
+          obs::ScopedProfPhase opt_scope(obs::ProfPhase::kOptimizer);
+          optimizer_->Step();
+        }
         loss_sum += loss.item();
         ++batches;
       }
@@ -440,8 +446,11 @@ StatusOr<WidenTrainReport> WidenModel::TrainUnsupervised(
         optimizer_->ZeroGrad();
         context_optimizer.ZeroGrad();
         loss.Backward();
-        optimizer_->Step();
-        context_optimizer.Step();
+        {
+          obs::ScopedProfPhase opt_scope(obs::ProfPhase::kOptimizer);
+          optimizer_->Step();
+          context_optimizer.Step();
+        }
         loss_sum += loss.item();
         ++steps;
       }

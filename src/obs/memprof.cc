@@ -1,0 +1,140 @@
+#include "obs/memprof.h"
+
+#include <mutex>
+#include <vector>
+
+#if defined(__linux__)
+#include <cstdio>
+#include <cstring>
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace widen::obs {
+
+namespace internal_memprof {
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::vector<ThreadAllocTable*> tables;  // leaked at exit, like the trace
+};                                        // buffers: workers never outlive it
+
+Registry& GetRegistry() {
+  static Registry* const registry = new Registry();
+  return *registry;
+}
+
+}  // namespace
+
+ThreadAllocTable& GetThreadTable() {
+  thread_local ThreadAllocTable* const table = [] {
+    auto* t = new ThreadAllocTable();
+    Registry& reg = GetRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.tables.push_back(t);
+    return t;
+  }();
+  return *table;
+}
+
+}  // namespace internal_memprof
+
+MemProfPhaseStats MemProfSnapshot::Total() const {
+  MemProfPhaseStats total;
+  for (const MemProfPhaseStats& p : phases) {
+    total.tensor_allocs += p.tensor_allocs;
+    total.tensor_bytes += p.tensor_bytes;
+    total.grad_allocs += p.grad_allocs;
+    total.grad_bytes += p.grad_bytes;
+    total.tape_nodes += p.tape_nodes;
+  }
+  return total;
+}
+
+MemProfSnapshot TakeMemProfSnapshot() {
+  MemProfSnapshot snap;
+  auto& reg = internal_memprof::GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const internal_memprof::ThreadAllocTable* table : reg.tables) {
+    for (int p = 0; p < kNumProfPhases; ++p) {
+      const internal_memprof::AllocCell& c = table->phases[p];
+      MemProfPhaseStats& out = snap.phases[p];
+      out.tensor_allocs += c.tensor_allocs.load(std::memory_order_relaxed);
+      out.tensor_bytes += c.tensor_bytes.load(std::memory_order_relaxed);
+      out.grad_allocs += c.grad_allocs.load(std::memory_order_relaxed);
+      out.grad_bytes += c.grad_bytes.load(std::memory_order_relaxed);
+      out.tape_nodes += c.tape_nodes.load(std::memory_order_relaxed);
+    }
+  }
+  snap.peak_rss_bytes = ReadPeakRssBytes();
+  snap.current_rss_bytes = ReadCurrentRssBytes();
+  return snap;
+}
+
+void ResetMemProf() {
+  auto& reg = internal_memprof::GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (internal_memprof::ThreadAllocTable* table : reg.tables) {
+    for (internal_memprof::AllocCell& c : table->phases) {
+      c.tensor_allocs.store(0, std::memory_order_relaxed);
+      c.tensor_bytes.store(0, std::memory_order_relaxed);
+      c.grad_allocs.store(0, std::memory_order_relaxed);
+      c.grad_bytes.store(0, std::memory_order_relaxed);
+      c.tape_nodes.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+namespace {
+
+#if defined(__linux__)
+// Reads a "Vm...:  <kB> kB" field from /proc/self/status; -1 when absent.
+int64_t ReadProcStatusKb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  const size_t field_len = std::strlen(field);
+  int64_t kb = -1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      long long value = 0;
+      if (std::sscanf(line + field_len + 1, "%lld", &value) == 1) kb = value;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+#endif
+
+}  // namespace
+
+int64_t ReadPeakRssBytes() {
+#if defined(__linux__)
+  const int64_t kb = ReadProcStatusKb("VmHWM");
+  if (kb >= 0) return kb * 1024;
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<int64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // kB elsewhere
+#endif
+  }
+#endif
+  return 0;
+}
+
+int64_t ReadCurrentRssBytes() {
+#if defined(__linux__)
+  const int64_t kb = ReadProcStatusKb("VmRSS");
+  if (kb >= 0) return kb * 1024;
+#endif
+  return 0;
+}
+
+}  // namespace widen::obs

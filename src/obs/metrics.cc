@@ -86,6 +86,18 @@ void Histogram::Record(double value) {
   internal_metrics::AtomicAddDouble(&s.sum, value);
 }
 
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  for (const Shard& s : shards_) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  for (int b = 0; b < kNumBuckets; ++b) snap.count += snap.buckets[b];
+  return snap;
+}
+
 int64_t Histogram::TotalCount() const {
   int64_t total = 0;
   for (const Shard& s : shards_) {
@@ -287,11 +299,14 @@ std::string MetricsRegistry::DumpPrometheus() const {
   for (const auto& [name, h] : im->histograms) {
     out << "# HELP " << name << " " << h->help() << "\n";
     out << "# TYPE " << name << " histogram\n";
-    // Prometheus buckets are cumulative; emit only bins that gained counts
-    // (plus +Inf, which is mandatory) to keep dumps readable.
+    // All series for one histogram come from ONE snapshot: per-bucket reads
+    // interleaved with live Record() calls can produce a +Inf bucket smaller
+    // than a finite one, which scrapers reject. Buckets are cumulative; only
+    // bins that gained counts are emitted (plus +Inf, which is mandatory).
+    const Histogram::Snapshot snap = h->TakeSnapshot();
     int64_t cumulative = 0;
     for (int b = 0; b < Histogram::kNumBuckets; ++b) {
-      const int64_t in_bin = h->BucketCount(b);
+      const int64_t in_bin = snap.buckets[b];
       if (in_bin == 0) continue;
       cumulative += in_bin;
       const double ub = Histogram::BucketUpperBound(b);
@@ -299,9 +314,9 @@ std::string MetricsRegistry::DumpPrometheus() const {
       out << name << "_bucket{le=\"" << FormatDouble(ub) << "\"} "
           << cumulative << "\n";
     }
-    out << name << "_bucket{le=\"+Inf\"} " << h->TotalCount() << "\n";
-    out << name << "_sum " << FormatDouble(h->Sum()) << "\n";
-    out << name << "_count " << h->TotalCount() << "\n";
+    out << name << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
+    out << name << "_sum " << FormatDouble(snap.sum) << "\n";
+    out << name << "_count " << snap.count << "\n";
   }
   return out.str();
 }

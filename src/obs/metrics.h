@@ -140,6 +140,20 @@ class Histogram {
 
   void Record(double value);
 
+  /// One self-consistent view of the distribution, read shard-by-shard in a
+  /// single pass. `count` is defined as the sum of `buckets`, so cumulative
+  /// bucket totals derived from a snapshot are monotone and end exactly at
+  /// `count` — the invariant Prometheus exposition requires — even while
+  /// writers keep recording. (Reading BucketCount/TotalCount separately has
+  /// no such guarantee: a Record() between the two passes can make +Inf
+  /// smaller than the last finite bucket.)
+  struct Snapshot {
+    int64_t buckets[kNumBuckets] = {};
+    int64_t count = 0;  // sum of buckets, by construction
+    double sum = 0.0;
+  };
+  Snapshot TakeSnapshot() const;
+
   int64_t TotalCount() const;
   double Sum() const;
   double Mean() const;

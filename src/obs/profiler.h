@@ -1,0 +1,282 @@
+// Op-level roofline profiler (DESIGN.md §12).
+//
+// When enabled, every tensor op records (calls, FLOPs, bytes moved, wall
+// time) into a per-thread table indexed by (op, phase). Phases — sampling,
+// forward, backward, optimizer, serve-cold, serve-warm — are set by RAII
+// ScopedProfPhase scopes in the training loop and the serving path; the
+// autograd engine forces the backward phase while it runs tape closures, so
+// backward kernels are attributed correctly no matter where Backward() is
+// called from.
+//
+// FLOP and byte counts are ANALYTIC, not measured: each op site passes the
+// closed-form operation count for its shapes (e.g. 2mnk per MatMul pass) and
+// the algorithmic minimum traffic in bytes — 4 x (elements read + elements
+// written), counting a read-modify-write accumulation as one read plus one
+// write. They are exact for the executed shapes; only wall time is measured.
+// Achieved GFLOP/s, GB/s, and arithmetic intensity (FLOPs/byte) are derived
+// at report time, and each op is classified compute- vs memory-bound against
+// a roofline ridge point (WIDEN_ROOFLINE_GFLOPS / WIDEN_ROOFLINE_GBS
+// override the documented scalar-CPU defaults).
+//
+// Cost model: with the profiler disabled (the default) every hook is one
+// relaxed atomic load and a branch — no clock read, no allocation, no TLS
+// write. Enabled hooks read the steady clock twice and bump plain
+// single-writer cells in a thread-local table (registered once per thread,
+// same pattern as the trace buffers), so recording threads never contend.
+
+#ifndef WIDEN_OBS_PROFILER_H_
+#define WIDEN_OBS_PROFILER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace widen::obs {
+
+/// Execution phase a profiled op is attributed to.
+enum class ProfPhase : uint8_t {
+  kOther = 0,    // anything outside an explicit phase scope
+  kSampling,     // neighbor / walk / state sampling
+  kForward,      // training forward passes (incl. refresh sweeps)
+  kBackward,     // tape closure execution (set by Backward() itself)
+  kOptimizer,    // optimizer step
+  kServeCold,    // serving-path cold encodes (store miss fan-out)
+  kServeWarm,    // serving-path warm work (store hits, assembly)
+};
+inline constexpr int kNumProfPhases = 7;
+const char* ProfPhaseName(ProfPhase phase);
+
+/// Profiled tensor ops (one enumerator per instrumented kernel family).
+enum class ProfOp : uint8_t {
+  kMatMul = 0,
+  kTranspose,
+  kAdd,
+  kSub,
+  kMul,
+  kScale,
+  kAddScalar,
+  kMaximum,
+  kRelu,
+  kLeakyRelu,
+  kElu,
+  kTanh,
+  kSigmoid,
+  kExp,
+  kLog,
+  kSoftmaxRows,
+  kMaskedSoftmaxRows,
+  kSoftmaxCrossEntropy,
+  kSumSquares,
+  kConcatRows,
+  kConcatCols,
+  kSliceRows,
+  kSliceCols,
+  kScaleBy,
+  kGatherRows,
+  kSumRows,
+  kSumAll,
+  kRowL2Normalize,
+  kDropout,
+};
+inline constexpr int kNumProfOps = 29;
+const char* ProfOpName(ProfOp op);
+
+namespace internal_prof {
+
+extern std::atomic<bool> g_profiler_enabled;  // default: false
+
+// One (op, phase) accumulator. Written by its owning thread only, with
+// relaxed stores (no RMW, so no lock prefix on the hot path); readers sum
+// tables across threads with relaxed loads — monitoring-grade, exact once
+// writers are quiescent.
+struct OpCell {
+  std::atomic<int64_t> calls{0};
+  std::atomic<int64_t> flops{0};
+  std::atomic<int64_t> bytes{0};
+  std::atomic<int64_t> wall_ns{0};
+};
+
+// Per-phase accumulators that are not tied to one op: phase self wall time
+// (nested scopes subtract their children) and ParallelForGrid fan-out.
+struct PhaseCell {
+  std::atomic<int64_t> wall_ns{0};
+  std::atomic<int64_t> parallel_calls{0};
+  std::atomic<int64_t> parallel_chunks{0};
+  std::atomic<int64_t> parallel_inline{0};
+};
+
+struct ThreadProfTable {
+  OpCell ops[kNumProfOps][kNumProfPhases];
+  PhaseCell phases[kNumProfPhases];
+};
+
+// This thread's table; registers it with the global profiler on first use.
+ThreadProfTable& GetThreadTable();
+
+// Single-writer add: load + store, both relaxed (the owner is the only
+// writer; readers tolerate monitoring-grade staleness).
+inline void CellAdd(std::atomic<int64_t>& cell, int64_t delta) {
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+ProfPhase& CurrentPhaseRef();
+
+inline int64_t ProfNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace internal_prof
+
+/// True while op hooks are recording.
+inline bool ProfilerEnabled() {
+  return internal_prof::g_profiler_enabled.load(std::memory_order_relaxed);
+}
+
+/// The phase ops on this thread are currently attributed to.
+inline ProfPhase CurrentProfPhase() {
+  return internal_prof::CurrentPhaseRef();
+}
+
+/// RAII phase scope. Sets the calling thread's phase; on destruction records
+/// the scope's SELF wall time (elapsed minus enclosed child scopes) to the
+/// phase, so nested scopes (serve-warm around serve-cold) never double-count.
+/// A no-op (no TLS touch, no clock read) while the profiler is disabled.
+class ScopedProfPhase {
+ public:
+  explicit ScopedProfPhase(ProfPhase phase);
+  ~ScopedProfPhase();
+
+  ScopedProfPhase(const ScopedProfPhase&) = delete;
+  ScopedProfPhase& operator=(const ScopedProfPhase&) = delete;
+
+ private:
+  bool active_;
+  ProfPhase phase_ = ProfPhase::kOther;
+  ProfPhase prev_phase_ = ProfPhase::kOther;
+  ScopedProfPhase* parent_ = nullptr;
+  int64_t start_ns_ = 0;
+  int64_t child_ns_ = 0;
+};
+
+/// RAII op hook, constructed at the top of each instrumented kernel with the
+/// analytic FLOP/byte counts for its shapes. Counts are credited on
+/// construction, wall time on destruction.
+class ScopedOpProfile {
+ public:
+  ScopedOpProfile(ProfOp op, int64_t flops, int64_t bytes) {
+    if (!ProfilerEnabled()) {
+      cell_ = nullptr;
+      return;
+    }
+    using internal_prof::CellAdd;
+    cell_ = &internal_prof::GetThreadTable()
+                 .ops[static_cast<int>(op)]
+                     [static_cast<int>(CurrentProfPhase())];
+    CellAdd(cell_->calls, 1);
+    CellAdd(cell_->flops, flops);
+    CellAdd(cell_->bytes, bytes);
+    start_ns_ = internal_prof::ProfNowNs();
+  }
+  ~ScopedOpProfile() {
+    if (cell_ != nullptr) {
+      internal_prof::CellAdd(cell_->wall_ns,
+                             internal_prof::ProfNowNs() - start_ns_);
+    }
+  }
+
+  ScopedOpProfile(const ScopedOpProfile&) = delete;
+  ScopedOpProfile& operator=(const ScopedOpProfile&) = delete;
+
+ private:
+  internal_prof::OpCell* cell_;
+  int64_t start_ns_ = 0;
+};
+
+/// Records one ParallelForGrid dispatch against the current phase
+/// (chunks == 0 means the call ran inline as a single chunk).
+inline void ProfileParallelDispatch(int64_t chunks) {
+  if (!ProfilerEnabled()) return;
+  using internal_prof::CellAdd;
+  internal_prof::PhaseCell& cell =
+      internal_prof::GetThreadTable()
+          .phases[static_cast<int>(CurrentProfPhase())];
+  if (chunks == 0) {
+    CellAdd(cell.parallel_inline, 1);
+  } else {
+    CellAdd(cell.parallel_calls, 1);
+    CellAdd(cell.parallel_chunks, chunks);
+  }
+}
+
+/// Process-wide profiler: enable switch, cross-thread aggregation, reports.
+class Profiler {
+ public:
+  static Profiler& Get();
+
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Begins recording (also enables the memprof hooks — one switch governs
+  /// the whole deep-profiling layer).
+  void Start();
+  /// Stops recording; accumulated tables remain available for export.
+  void Stop();
+  /// Zeroes every table on every registered thread.
+  void Reset();
+
+  struct OpTotals {
+    int64_t calls = 0;
+    int64_t flops = 0;
+    int64_t bytes = 0;
+    int64_t wall_ns = 0;
+  };
+
+  /// Totals for one op summed over phases and threads (tests, reports).
+  OpTotals Totals(ProfOp op) const;
+  /// Totals for one (op, phase) summed over threads.
+  OpTotals Totals(ProfOp op, ProfPhase phase) const;
+  /// Phase self wall time summed over threads, in nanoseconds.
+  int64_t PhaseWallNs(ProfPhase phase) const;
+
+  /// Roofline ridge point in FLOPs/byte: ops with a higher arithmetic
+  /// intensity are compute-bound, lower memory-bound. Defaults to
+  /// kDefaultPeakGflops / kDefaultPeakGbs; override either peak with the
+  /// WIDEN_ROOFLINE_GFLOPS / WIDEN_ROOFLINE_GBS environment variables.
+  double RidgeFlopsPerByte() const;
+
+  // Documented scalar-CPU roofline defaults (no SIMD yet — ROADMAP item):
+  // ~2 FLOPs/cycle at ~4 GHz against ~10 GB/s sustained single-core DRAM
+  // bandwidth. Deliberately round numbers; the classification only needs
+  // the right order of magnitude.
+  static constexpr double kDefaultPeakGflops = 8.0;
+  static constexpr double kDefaultPeakGbs = 10.0;
+
+  /// Full JSON report: per-(op, phase) rows with derived GFLOP/s, GB/s,
+  /// arithmetic intensity and roofline class, per-phase wall/fan-out/alloc
+  /// stats, and the memprof memory section.
+  std::string DumpJson() const;
+
+  /// Human-readable table of the heaviest (op, phase) rows by wall time.
+  std::string FormatTopOps(int max_rows = 12) const;
+
+  /// Writes DumpJson() to `path`.
+  Status WriteReport(const std::string& path) const;
+};
+
+/// Installs --profile_out handling for a CLI: if `profile_out` (from the
+/// flag) is non-empty, or the WIDEN_PROFILE environment variable names a
+/// path, starts the profiler now and at process exit writes the JSON report
+/// there and prints the top-ops table to stderr. Safe to call once per
+/// process.
+void InstallProfileReportOnExit(const std::string& profile_out);
+
+}  // namespace widen::obs
+
+#endif  // WIDEN_OBS_PROFILER_H_

@@ -47,6 +47,23 @@ void EmbeddingStore::Insert(uint64_t version, graph::NodeId node,
   ++stats_.insertions;
 }
 
+int64_t EmbeddingStore::ResidentBytes() const {
+  int64_t bytes = 0;
+  for (const Entry& e : lru_) {
+    bytes += static_cast<int64_t>(e.row.capacity() * sizeof(float));
+  }
+  // std::list node = Entry + prev/next pointers; unordered_map node = the
+  // key/iterator pair + one chaining pointer, plus one bucket pointer.
+  bytes += static_cast<int64_t>(lru_.size()) *
+           static_cast<int64_t>(sizeof(Entry) + 2 * sizeof(void*));
+  bytes += static_cast<int64_t>(entries_.size()) *
+           static_cast<int64_t>(
+               sizeof(std::pair<const uint64_t,
+                                std::list<Entry>::iterator>) +
+               2 * sizeof(void*));
+  return bytes;
+}
+
 void EmbeddingStore::BeginVersion(
     uint64_t new_version, const std::vector<graph::NodeId>& invalidated) {
   const std::unordered_set<graph::NodeId> dropped(invalidated.begin(),

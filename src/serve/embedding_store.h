@@ -46,6 +46,11 @@ class EmbeddingStore {
   int64_t size() const { return static_cast<int64_t>(entries_.size()); }
   int64_t capacity() const { return capacity_; }
 
+  /// Heap bytes held by cached rows plus per-entry bookkeeping (list node +
+  /// hash-map slot); excludes allocator slack. Feeds the
+  /// `widen_serve_store_resident_bytes` gauge and the profiler memory report.
+  int64_t ResidentBytes() const;
+
   struct Stats {
     int64_t hits = 0;
     int64_t misses = 0;

@@ -7,6 +7,7 @@
 
 #include "core/encoder.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "tensor/inference.h"
 #include "tensor/ops.h"
@@ -29,6 +30,7 @@ struct ServeMetrics {
   obs::Counter* ingests;
   obs::Counter* invalidations;
   obs::Histogram* invalidated_nodes;
+  obs::Gauge* store_resident_bytes;
 
   static const ServeMetrics& Get() {
     static const ServeMetrics m = {
@@ -55,6 +57,9 @@ struct ServeMetrics {
         obs::MetricsRegistry::Get().GetHistogram(
             "widen_serve_invalidated_nodes",
             "Store rows invalidated per ingest (k-hop BFS size)"),
+        obs::MetricsRegistry::Get().GetGauge(
+            "widen_serve_store_resident_bytes",
+            "Approximate heap bytes held by the versioned embedding store"),
     };
     return m;
   }
@@ -175,6 +180,9 @@ StatusOr<tensor::Tensor> InferenceSession::Embed(
     const std::vector<graph::NodeId>& nodes) {
   const ServeMetrics& metrics = ServeMetrics::Get();
   WIDEN_TRACE_SPAN("embed", "serve");
+  // Warm phase covers the whole call; cold encodes re-scope themselves below
+  // (including on pool threads, which carry no inherited phase).
+  obs::ScopedProfPhase phase_scope(obs::ProfPhase::kServeWarm);
   obs::ScopedLatencyTimer embed_timer(metrics.embed_us);
   metrics.embed_batch_nodes->Record(static_cast<double>(nodes.size()));
   std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
@@ -228,6 +236,7 @@ StatusOr<tensor::Tensor> InferenceSession::Embed(
     // Rows are disjoint and every cold node draws from its own RNG stream
     // (EvalSeedForNode), so fan-out order cannot change any bit.
     auto encode_one = [&](size_t k) {
+      obs::ScopedProfPhase cold_scope(obs::ProfPhase::kServeCold);
       T::InferenceScope inference;
       const graph::NodeId v = nodes[cold[k]];
       T::Tensor mean =
@@ -246,6 +255,8 @@ StatusOr<tensor::Tensor> InferenceSession::Embed(
       store_.Insert(version, nodes[k],
                     out.data() + static_cast<int64_t>(k) * d);
     }
+    metrics.store_resident_bytes->Set(
+        static_cast<double>(store_.ResidentBytes()));
   }
   return out;
 }
@@ -293,6 +304,8 @@ StatusOr<uint64_t> InferenceSession::Ingest(const GraphDelta& delta) {
   {
     std::lock_guard<std::mutex> store_lock(store_mu_);
     store_.BeginVersion(new_version, invalidated);
+    metrics.store_resident_bytes->Set(
+        static_cast<double>(store_.ResidentBytes()));
   }
   version_.store(new_version);
   ++ingests_;

@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/memprof.h"
+
 namespace widen::tensor {
 namespace {
 
@@ -29,6 +31,10 @@ BufferPool& Pool() {
 namespace internal {
 
 void AcquireBuffer(std::vector<float>& out, size_t num_elements) {
+  // Pool reuse still counts as a tensor allocation for memprof: it is a
+  // buffer the planned arena must account for even when the malloc is elided.
+  obs::MemProfRecordTensorAlloc(
+      static_cast<int64_t>(num_elements * sizeof(float)));
   BufferPool& pool = Pool();
   if (pool.scope_depth == 0) {
     out.assign(num_elements, 0.0f);
@@ -64,7 +70,9 @@ void MaybeReclaimBuffer(std::vector<float>& buffer) noexcept {
   pool.buffers.push_back(std::move(buffer));
 }
 
-void NoteGradAllocation() {
+void NoteGradAllocation(size_t num_elements) {
+  obs::MemProfRecordGradAlloc(
+      static_cast<int64_t>(num_elements * sizeof(float)));
   BufferPool& pool = Pool();
   if (pool.scope_depth > 0) ++pool.stats.grad_allocations;
 }

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/logging.h"
 
 namespace widen::tensor {
@@ -69,12 +70,14 @@ void ParallelForGrid(int64_t n, int64_t grain,
       inline_total->Add(inline_pending);
       inline_pending = 0;
     }
+    obs::ProfileParallelDispatch(0);
     body(0, n);
     return;
   }
   const int64_t num_chunks = (n + grain - 1) / grain;
   calls_total->Increment();
   chunks_total->Add(num_chunks);
+  obs::ProfileParallelDispatch(num_chunks);
   ThreadPool* pool = KernelContext::Get().pool();
   if (pool == nullptr) {
     // Same grid formula as ParallelForChunked (ceil(n / num_chunks), which

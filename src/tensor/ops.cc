@@ -4,13 +4,17 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/memprof.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "tensor/kernel_context.h"
 
 namespace widen::tensor {
 namespace {
 
 using internal::TensorImpl;
+using obs::ProfOp;
+using obs::ScopedOpProfile;
 
 // True when the tape must record this op.
 bool NeedsGrad(const Tensor& a) {
@@ -26,6 +30,7 @@ bool NeedsGrad(const Tensor& a, const Tensor& b) {
 // through the closure).
 void Attach(Tensor& out, std::vector<Tensor> parents,
             std::function<void()> backward) {
+  obs::MemProfRecordTapeNode();
   TensorImpl* impl = out.impl_ptr().get();
   impl->requires_grad = true;
   impl->parents.reserve(parents.size());
@@ -81,6 +86,12 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   WIDEN_CHECK_EQ(a.cols(), b.rows());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   Tensor out(Shape::Matrix(m, n));
+  // Profiler FLOP/byte counts throughout this file are analytic per-shape
+  // closed forms: FLOPs count elementary float ops (a transcendental is one),
+  // bytes are 4 x (elements read + elements written) with a read-modify-write
+  // accumulation counted as one read plus one write (DESIGN.md §12).
+  ScopedOpProfile prof(ProfOp::kMatMul, 2 * m * n * k,
+                       4 * (m * k + k * n + m * n));
   AddMatMulFlops(2 * m * n * k);
   {
     const float* pa = a.data();
@@ -111,6 +122,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     TensorImpl* oi = out.impl_ptr().get();
     Attach(out, {a, b}, [ai, bi, oi, m, k, n] {
       oi->EnsureGrad();
+      const int64_t passes =
+          (ai->requires_grad ? 1 : 0) + (bi->requires_grad ? 1 : 0);
+      // dA reads dC and B and accumulates dA; dB reads A and dC and
+      // accumulates dB; 2mnk FLOPs each.
+      ScopedOpProfile prof(
+          ProfOp::kMatMul, 2 * m * n * k * passes,
+          4 * (passes * m * n + (ai->requires_grad ? k * n + 2 * m * k : 0) +
+               (bi->requires_grad ? m * k + 2 * k * n : 0)));
       const float* g = oi->grad.data();
       if (ai->requires_grad) {
         ai->EnsureGrad();
@@ -162,6 +181,7 @@ Tensor Transpose(const Tensor& a) {
   WIDEN_CHECK_EQ(a.shape().rank(), 2);
   const int64_t m = a.rows(), n = a.cols();
   Tensor out(Shape::Matrix(n, m));
+  ScopedOpProfile prof(ProfOp::kTranspose, 0, 4 * 2 * m * n);
   const float* pa = a.data();
   float* po = out.mutable_data();
   for (int64_t i = 0; i < m; ++i) {
@@ -174,6 +194,7 @@ Tensor Transpose(const Tensor& a) {
       oi->EnsureGrad();
       if (!ai->requires_grad) return;
       ai->EnsureGrad();
+      ScopedOpProfile prof(ProfOp::kTranspose, m * n, 4 * 3 * m * n);
       const float* g = oi->grad.data();
       float* da = ai->grad.data();
       for (int64_t j = 0; j < n; ++j) {
@@ -193,6 +214,11 @@ Tensor AddLike(const Tensor& a, const Tensor& b, float sign, const char* op) {
   BroadcastKind kind = CheckBroadcast(a, b, op);
   Tensor out(a.shape());
   const int64_t total = a.size();
+  const ProfOp prof_op = sign > 0.0f ? ProfOp::kAdd : ProfOp::kSub;
+  ScopedOpProfile prof(
+      prof_op, total,
+      4 * (kind == BroadcastKind::kSameShape ? 3 * total
+                                             : 2 * total + a.cols()));
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.mutable_data();
@@ -211,8 +237,11 @@ Tensor AddLike(const Tensor& a, const Tensor& b, float sign, const char* op) {
     TensorImpl* bi = b.impl_ptr().get();
     TensorImpl* oi = out.impl_ptr().get();
     const int64_t n = a.shape().rank() == 2 ? a.cols() : total;
-    Attach(out, {a, b}, [ai, bi, oi, total, n, sign, kind] {
+    Attach(out, {a, b}, [ai, bi, oi, total, n, sign, kind, prof_op] {
       oi->EnsureGrad();
+      const int64_t active =
+          (ai->requires_grad ? 1 : 0) + (bi->requires_grad ? 1 : 0);
+      ScopedOpProfile prof(prof_op, active * total, 4 * active * 3 * total);
       const float* g = oi->grad.data();
       if (ai->requires_grad) {
         ai->EnsureGrad();
@@ -248,6 +277,10 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   BroadcastKind kind = CheckBroadcast(a, b, "Mul");
   Tensor out(a.shape());
   const int64_t total = a.size();
+  ScopedOpProfile prof(
+      ProfOp::kMul, total,
+      4 * (kind == BroadcastKind::kSameShape ? 3 * total
+                                             : 2 * total + a.cols()));
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.mutable_data();
@@ -267,6 +300,10 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
     TensorImpl* oi = out.impl_ptr().get();
     Attach(out, {a, b}, [ai, bi, oi, total, n, kind] {
       oi->EnsureGrad();
+      const int64_t active =
+          (ai->requires_grad ? 1 : 0) + (bi->requires_grad ? 1 : 0);
+      ScopedOpProfile prof(ProfOp::kMul, active * 2 * total,
+                           4 * active * 4 * total);
       const float* g = oi->grad.data();
       const float* pa = ai->data.data();
       const float* pb = bi->data.data();
@@ -303,6 +340,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 Tensor Scale(const Tensor& a, float c) {
   Tensor out(a.shape());
   const int64_t total = a.size();
+  ScopedOpProfile prof(ProfOp::kScale, total, 4 * 2 * total);
   const float* pa = a.data();
   float* po = out.mutable_data();
   for (int64_t i = 0; i < total; ++i) po[i] = pa[i] * c;
@@ -313,6 +351,7 @@ Tensor Scale(const Tensor& a, float c) {
       oi->EnsureGrad();
       if (!ai->requires_grad) return;
       ai->EnsureGrad();
+      ScopedOpProfile prof(ProfOp::kScale, 2 * total, 4 * 3 * total);
       const float* g = oi->grad.data();
       float* da = ai->grad.data();
       for (int64_t i = 0; i < total; ++i) da[i] += g[i] * c;
@@ -324,6 +363,7 @@ Tensor Scale(const Tensor& a, float c) {
 Tensor AddScalar(const Tensor& a, float c) {
   Tensor out(a.shape());
   const int64_t total = a.size();
+  ScopedOpProfile prof(ProfOp::kAddScalar, total, 4 * 2 * total);
   const float* pa = a.data();
   float* po = out.mutable_data();
   for (int64_t i = 0; i < total; ++i) po[i] = pa[i] + c;
@@ -334,6 +374,7 @@ Tensor AddScalar(const Tensor& a, float c) {
       oi->EnsureGrad();
       if (!ai->requires_grad) return;
       ai->EnsureGrad();
+      ScopedOpProfile prof(ProfOp::kAddScalar, total, 4 * 3 * total);
       const float* g = oi->grad.data();
       float* da = ai->grad.data();
       for (int64_t i = 0; i < total; ++i) da[i] += g[i];
@@ -348,6 +389,7 @@ Tensor Maximum(const Tensor& a, const Tensor& b) {
       << b.shape().ToString();
   Tensor out(a.shape());
   const int64_t total = a.size();
+  ScopedOpProfile prof(ProfOp::kMaximum, total, 4 * 3 * total);
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.mutable_data();
@@ -358,6 +400,10 @@ Tensor Maximum(const Tensor& a, const Tensor& b) {
     TensorImpl* oi = out.impl_ptr().get();
     Attach(out, {a, b}, [ai, bi, oi, total] {
       oi->EnsureGrad();
+      const int64_t active =
+          (ai->requires_grad ? 1 : 0) + (bi->requires_grad ? 1 : 0);
+      ScopedOpProfile prof(ProfOp::kMaximum, active * total,
+                           4 * (3 * total + active * 2 * total));
       const float* g = oi->grad.data();
       const float* pa = ai->data.data();
       const float* pb = bi->data.data();
@@ -385,11 +431,14 @@ Tensor Maximum(const Tensor& a, const Tensor& b) {
 namespace {
 
 // Generic unary op: forward(x) and dydx computed from (x, y). Both passes
-// are chunk-parallel (each element is independent).
+// are chunk-parallel (each element is independent). Profiler counts are the
+// family-wide nominal forms: 1 FLOP/element forward (a transcendental counts
+// as one), 3 backward (dydx + multiply + accumulate).
 template <typename Fwd, typename Grad>
-Tensor UnaryOp(const Tensor& a, Fwd fwd, Grad dydx) {
+Tensor UnaryOp(const Tensor& a, ProfOp prof_op, Fwd fwd, Grad dydx) {
   Tensor out(a.shape());
   const int64_t total = a.size();
+  ScopedOpProfile prof(prof_op, total, 4 * 2 * total);
   const float* pa = a.data();
   float* po = out.mutable_data();
   ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
@@ -398,10 +447,11 @@ Tensor UnaryOp(const Tensor& a, Fwd fwd, Grad dydx) {
   if (NeedsGrad(a)) {
     TensorImpl* ai = a.impl_ptr().get();
     TensorImpl* oi = out.impl_ptr().get();
-    Attach(out, {a}, [ai, oi, total, dydx] {
+    Attach(out, {a}, [ai, oi, total, dydx, prof_op] {
       oi->EnsureGrad();
       if (!ai->requires_grad) return;
       ai->EnsureGrad();
+      ScopedOpProfile prof(prof_op, 3 * total, 4 * 5 * total);
       const float* g = oi->grad.data();
       const float* x = ai->data.data();
       const float* y = oi->data.data();
@@ -418,44 +468,46 @@ Tensor UnaryOp(const Tensor& a, Fwd fwd, Grad dydx) {
 
 Tensor Relu(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      a, ProfOp::kRelu, [](float x) { return x > 0.0f ? x : 0.0f; },
       [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
 Tensor LeakyRelu(const Tensor& a, float slope) {
   return UnaryOp(
-      a, [slope](float x) { return x > 0.0f ? x : slope * x; },
+      a, ProfOp::kLeakyRelu,
+      [slope](float x) { return x > 0.0f ? x : slope * x; },
       [slope](float x, float) { return x > 0.0f ? 1.0f : slope; });
 }
 
 Tensor Elu(const Tensor& a, float alpha) {
   return UnaryOp(
-      a,
+      a, ProfOp::kElu,
       [alpha](float x) { return x >= 0.0f ? x : alpha * (std::exp(x) - 1.0f); },
       [alpha](float x, float y) { return x >= 0.0f ? 1.0f : y + alpha; });
 }
 
 Tensor Tanh(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::tanh(x); },
+      a, ProfOp::kTanh, [](float x) { return std::tanh(x); },
       [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor Sigmoid(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      a, ProfOp::kSigmoid,
+      [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
       [](float, float y) { return y * (1.0f - y); });
 }
 
 Tensor Exp(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::exp(x); },
+      a, ProfOp::kExp, [](float x) { return std::exp(x); },
       [](float, float y) { return y; });
 }
 
 Tensor Log(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::log(std::max(x, 1e-12f)); },
+      a, ProfOp::kLog, [](float x) { return std::log(std::max(x, 1e-12f)); },
       [](float x, float) { return 1.0f / std::max(x, 1e-12f); });
 }
 
@@ -514,6 +566,9 @@ Tensor SoftmaxRows(const Tensor& a) {
   WIDEN_CHECK_EQ(a.shape().rank(), 2);
   const int64_t m = a.rows(), n = a.cols();
   Tensor out(a.shape());
+  // Per row: n-1 max comparisons, then n x (subtract, exp, sum-add) and n
+  // normalizing multiplies — 5 FLOPs/element nominal.
+  ScopedOpProfile prof(ProfOp::kSoftmaxRows, 5 * m * n, 4 * 2 * m * n);
   SoftmaxRowsForward(a.data(), nullptr, out.mutable_data(), m, n);
   if (NeedsGrad(a)) {
     TensorImpl* ai = a.impl_ptr().get();
@@ -522,6 +577,8 @@ Tensor SoftmaxRows(const Tensor& a) {
       oi->EnsureGrad();
       if (!ai->requires_grad) return;
       ai->EnsureGrad();
+      // Per element: 2 for the <g, y> dot, then subtract/multiply/accumulate.
+      ScopedOpProfile prof(ProfOp::kSoftmaxRows, 5 * m * n, 4 * 4 * m * n);
       SoftmaxRowsBackward(oi->grad.data(), oi->data.data(), ai->grad.data(),
                           m, n);
     });
@@ -538,6 +595,8 @@ Tensor MaskedSoftmaxRows(const Tensor& a, const Tensor& mask) {
       << "MaskedSoftmaxRows: the mask is a constant; no gradient flows to it";
   const int64_t m = a.rows(), n = a.cols();
   Tensor out(a.shape());
+  // SoftmaxRows plus one mask add per element (the mask is also read).
+  ScopedOpProfile prof(ProfOp::kMaskedSoftmaxRows, 6 * m * n, 4 * 3 * m * n);
   SoftmaxRowsForward(a.data(), mask.data(), out.mutable_data(), m, n);
   if (NeedsGrad(a)) {
     TensorImpl* ai = a.impl_ptr().get();
@@ -546,6 +605,8 @@ Tensor MaskedSoftmaxRows(const Tensor& a, const Tensor& mask) {
       oi->EnsureGrad();
       if (!ai->requires_grad) return;
       ai->EnsureGrad();
+      ScopedOpProfile prof(ProfOp::kMaskedSoftmaxRows, 5 * m * n,
+                           4 * 4 * m * n);
       SoftmaxRowsBackward(oi->grad.data(), oi->data.data(), ai->grad.data(),
                           m, n);
     });
@@ -562,6 +623,9 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
   if (sample_weights != nullptr) {
     WIDEN_CHECK_EQ(static_cast<int64_t>(sample_weights->size()), m);
   }
+  // Softmax (5 FLOPs/element) plus log + multiply + accumulate per row.
+  ScopedOpProfile prof(ProfOp::kSoftmaxCrossEntropy, 5 * m * c + 3 * m,
+                       4 * (2 * m * c + m));
 
   // Forward: stable log-softmax; store probabilities for the backward pass.
   // The per-row softmax is chunk-parallel; the loss reduction then runs
@@ -606,6 +670,8 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
              oi->EnsureGrad();
              if (!li->requires_grad) return;
              li->EnsureGrad();
+             ScopedOpProfile prof(ProfOp::kSoftmaxCrossEntropy, 3 * m * c,
+                                  4 * 3 * m * c);
              const float upstream = oi->grad[0];
              float* dl = li->grad.data();
              // Each logits row's gradient is independent: row-parallel.
@@ -630,6 +696,7 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
 
 Tensor SumSquares(const Tensor& a) {
   const int64_t total = a.size();
+  ScopedOpProfile prof(ProfOp::kSumSquares, 2 * total, 4 * total);
   const float* pa = a.data();
   double acc = 0.0;
   for (int64_t i = 0; i < total; ++i) {
@@ -643,6 +710,7 @@ Tensor SumSquares(const Tensor& a) {
       oi->EnsureGrad();
       if (!ai->requires_grad) return;
       ai->EnsureGrad();
+      ScopedOpProfile prof(ProfOp::kSumSquares, 3 * total, 4 * 3 * total);
       const float upstream = oi->grad[0];
       const float* x = ai->data.data();
       float* da = ai->grad.data();
@@ -667,6 +735,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
   }
   needs = needs && !NoGradScope::Active();
   Tensor out(Shape::Matrix(total_rows, n));
+  ScopedOpProfile prof(ProfOp::kConcatRows, 0, 4 * 2 * total_rows * n);
   float* po = out.mutable_data();
   int64_t row = 0;
   for (const Tensor& p : parts) {
@@ -686,6 +755,8 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     TensorImpl* oi = out.impl_ptr().get();
     Attach(out, parts, [impls, offsets, oi, n] {
       oi->EnsureGrad();
+      const int64_t total = oi->shape.NumElements();
+      ScopedOpProfile prof(ProfOp::kConcatRows, total, 4 * 3 * total);
       const float* g = oi->grad.data();
       for (size_t k = 0; k < impls.size(); ++k) {
         TensorImpl* pi = impls[k];
@@ -713,6 +784,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     needs = needs || NeedsGrad(p);
   }
   Tensor out(Shape::Matrix(m, total_cols));
+  ScopedOpProfile prof(ProfOp::kConcatCols, 0, 4 * 2 * m * total_cols);
   float* po = out.mutable_data();
   int64_t col = 0;
   for (const Tensor& p : parts) {
@@ -736,6 +808,8 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     TensorImpl* oi = out.impl_ptr().get();
     Attach(out, parts, [impls, offsets, oi, m, total_cols] {
       oi->EnsureGrad();
+      ScopedOpProfile prof(ProfOp::kConcatCols, m * total_cols,
+                           4 * 3 * m * total_cols);
       const float* g = oi->grad.data();
       for (size_t k = 0; k < impls.size(); ++k) {
         TensorImpl* pi = impls[k];
@@ -760,6 +834,7 @@ Tensor SliceRows(const Tensor& a, int64_t start, int64_t count) {
       << a.rows() << " rows";
   const int64_t n = a.cols();
   Tensor out(Shape::Matrix(count, n));
+  ScopedOpProfile prof(ProfOp::kSliceRows, 0, 4 * 2 * count * n);
   std::memcpy(out.mutable_data(), a.data() + start * n,
               static_cast<size_t>(count * n) * sizeof(float));
   if (NeedsGrad(a)) {
@@ -769,6 +844,7 @@ Tensor SliceRows(const Tensor& a, int64_t start, int64_t count) {
       oi->EnsureGrad();
       if (!ai->requires_grad) return;
       ai->EnsureGrad();
+      ScopedOpProfile prof(ProfOp::kSliceRows, count * n, 4 * 3 * count * n);
       const float* g = oi->grad.data();
       float* da = ai->grad.data() + start * n;
       for (int64_t i = 0; i < count * n; ++i) da[i] += g[i];
@@ -784,6 +860,7 @@ Tensor SliceCols(const Tensor& a, int64_t start, int64_t count) {
       << a.cols() << " cols";
   const int64_t m = a.rows(), n = a.cols();
   Tensor out(Shape::Matrix(m, count));
+  ScopedOpProfile prof(ProfOp::kSliceCols, 0, 4 * 2 * m * count);
   const float* pa = a.data();
   float* po = out.mutable_data();
   for (int64_t i = 0; i < m; ++i) {
@@ -797,6 +874,7 @@ Tensor SliceCols(const Tensor& a, int64_t start, int64_t count) {
       oi->EnsureGrad();
       if (!ai->requires_grad) return;
       ai->EnsureGrad();
+      ScopedOpProfile prof(ProfOp::kSliceCols, m * count, 4 * 3 * m * count);
       const float* g = oi->grad.data();
       float* da = ai->grad.data();
       for (int64_t i = 0; i < m; ++i) {
@@ -814,6 +892,7 @@ Tensor ScaleBy(const Tensor& a, const Tensor& scalar) {
   const float s = scalar.data()[0];
   Tensor out(a.shape());
   const int64_t total = a.size();
+  ScopedOpProfile prof(ProfOp::kScaleBy, total, 4 * 2 * total);
   const float* pa = a.data();
   float* po = out.mutable_data();
   for (int64_t i = 0; i < total; ++i) po[i] = pa[i] * s;
@@ -823,6 +902,10 @@ Tensor ScaleBy(const Tensor& a, const Tensor& scalar) {
     TensorImpl* oi = out.impl_ptr().get();
     Attach(out, {a, scalar}, [ai, si, oi, total] {
       oi->EnsureGrad();
+      const int64_t active =
+          (ai->requires_grad ? 1 : 0) + (si->requires_grad ? 1 : 0);
+      ScopedOpProfile prof(ProfOp::kScaleBy, active * 2 * total,
+                           4 * active * 3 * total);
       const float* g = oi->grad.data();
       const float s_val = si->data[0];
       if (ai->requires_grad) {
@@ -849,6 +932,7 @@ Tensor GatherRows(const Tensor& a, const std::vector<int32_t>& indices) {
   const int64_t n = a.cols();
   const int64_t k = static_cast<int64_t>(indices.size());
   Tensor out(Shape::Matrix(k, n));
+  ScopedOpProfile prof(ProfOp::kGatherRows, 0, 4 * 2 * k * n);
   const float* pa = a.data();
   float* po = out.mutable_data();
   for (int64_t i = 0; i < k; ++i) {
@@ -872,6 +956,9 @@ Tensor GatherRows(const Tensor& a, const std::vector<int32_t>& indices) {
       oi->EnsureGrad();
       if (!ai->requires_grad) return;
       ai->EnsureGrad();
+      // Algorithmic traffic of the scatter-add (the parallel destination
+      // scan re-reads the index list per chunk, which is not counted).
+      ScopedOpProfile prof(ProfOp::kGatherRows, k * n, 4 * 3 * k * n);
       const float* g = oi->grad.data();
       float* da = ai->grad.data();
       const int32_t* idx = idx_copy->data();
@@ -912,6 +999,7 @@ Tensor SumRows(const Tensor& a) {
   WIDEN_CHECK_EQ(a.shape().rank(), 2);
   const int64_t m = a.rows(), n = a.cols();
   Tensor out(Shape::Matrix(1, n));
+  ScopedOpProfile prof(ProfOp::kSumRows, m * n, 4 * (m * n + n));
   const float* pa = a.data();
   float* po = out.mutable_data();
   for (int64_t i = 0; i < m; ++i) {
@@ -924,6 +1012,7 @@ Tensor SumRows(const Tensor& a) {
       oi->EnsureGrad();
       if (!ai->requires_grad) return;
       ai->EnsureGrad();
+      ScopedOpProfile prof(ProfOp::kSumRows, m * n, 4 * (2 * m * n + n));
       const float* g = oi->grad.data();
       float* da = ai->grad.data();
       for (int64_t i = 0; i < m; ++i) {
@@ -941,6 +1030,7 @@ Tensor MeanRows(const Tensor& a) {
 
 Tensor SumAll(const Tensor& a) {
   const int64_t total = a.size();
+  ScopedOpProfile prof(ProfOp::kSumAll, total, 4 * total);
   const float* pa = a.data();
   double acc = 0.0;
   for (int64_t i = 0; i < total; ++i) acc += pa[i];
@@ -952,6 +1042,7 @@ Tensor SumAll(const Tensor& a) {
       oi->EnsureGrad();
       if (!ai->requires_grad) return;
       ai->EnsureGrad();
+      ScopedOpProfile prof(ProfOp::kSumAll, total, 4 * 2 * total);
       const float g = oi->grad[0];
       float* da = ai->grad.data();
       for (int64_t i = 0; i < total; ++i) da[i] += g;
@@ -971,6 +1062,7 @@ Tensor RowL2Normalize(const Tensor& a) {
   WIDEN_CHECK_EQ(a.shape().rank(), 2);
   const int64_t m = a.rows(), n = a.cols();
   Tensor out(a.shape());
+  ScopedOpProfile prof(ProfOp::kRowL2Normalize, 3 * m * n, 4 * 2 * m * n);
   auto norms = std::make_shared<std::vector<float>>(static_cast<size_t>(m));
   const float* pa = a.data();
   float* po = out.mutable_data();
@@ -997,6 +1089,8 @@ Tensor RowL2Normalize(const Tensor& a) {
       oi->EnsureGrad();
       if (!ai->requires_grad) return;
       ai->EnsureGrad();
+      ScopedOpProfile prof(ProfOp::kRowL2Normalize, 5 * m * n,
+                           4 * 4 * m * n);
       const float* g = oi->grad.data();
       const float* y = oi->data.data();
       const float* pn = norms->data();
@@ -1023,6 +1117,7 @@ Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training) {
   WIDEN_CHECK(p >= 0.0f && p < 1.0f) << "dropout p = " << p;
   if (!training || p == 0.0f) return a;
   const int64_t total = a.size();
+  ScopedOpProfile prof(ProfOp::kDropout, total, 4 * 3 * total);
   const float keep = 1.0f - p;
   const float inv_keep = 1.0f / keep;
   auto mask = std::make_shared<std::vector<float>>(static_cast<size_t>(total));
@@ -1043,6 +1138,7 @@ Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training) {
       oi->EnsureGrad();
       if (!ai->requires_grad) return;
       ai->EnsureGrad();
+      ScopedOpProfile prof(ProfOp::kDropout, 2 * total, 4 * 4 * total);
       const float* g = oi->grad.data();
       float* da = ai->grad.data();
       for (int64_t i = 0; i < total; ++i) {

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/memprof.h"
+
 namespace widen::tensor {
 
 namespace {
@@ -35,6 +37,8 @@ Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values) {
   t.impl_ = std::make_shared<internal::TensorImpl>();
   t.impl_->shape = shape;
   t.impl_->data = std::move(values);
+  obs::MemProfRecordTensorAlloc(
+      static_cast<int64_t>(t.impl_->data.size() * sizeof(float)));
   return t;
 }
 
@@ -47,6 +51,8 @@ Tensor Tensor::DetachedCopy() const {
   t.impl_ = std::make_shared<internal::TensorImpl>();
   t.impl_->shape = impl()->shape;
   t.impl_->data = impl()->data;
+  obs::MemProfRecordTensorAlloc(
+      static_cast<int64_t>(t.impl_->data.size() * sizeof(float)));
   return t;
 }
 

@@ -49,10 +49,11 @@ class NoGradScope {
 namespace internal {
 
 // Inference buffer-pool hooks (tensor/inference.cc). All three are cheap
-// no-ops unless an InferenceScope is active on the calling thread.
+// no-ops unless an InferenceScope is active on the calling thread or the
+// op-level profiler is enabled (memprof allocation accounting).
 void AcquireBuffer(std::vector<float>& out, size_t num_elements);
 void MaybeReclaimBuffer(std::vector<float>& buffer) noexcept;
-void NoteGradAllocation();
+void NoteGradAllocation(size_t num_elements);
 
 /// Shared state behind a Tensor handle. Public only to the ops layer.
 struct TensorImpl {
@@ -72,7 +73,7 @@ struct TensorImpl {
 
   void EnsureGrad() {
     if (grad.size() != data.size()) {
-      NoteGradAllocation();
+      NoteGradAllocation(data.size());
       grad.assign(data.size(), 0.0f);
     }
   }

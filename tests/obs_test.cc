@@ -1,23 +1,28 @@
 // Tests for src/obs/: metric correctness against serial references,
 // histogram percentile error bounds, concurrency (CI runs this binary under
 // ThreadSanitizer), Chrome trace JSON well-formedness via a real JSON
-// parse-back, and the contract that disabled paths never allocate.
+// parse-back (the shared util/json parser), roofline-profiler FLOP/byte
+// exactness against closed-form counts, and the contract that disabled
+// paths never allocate.
 
 #include <atomic>
-#include <cctype>
 #include <cstdint>
 #include <cstdlib>
-#include <cstring>
-#include <map>
 #include <new>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/memprof.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
 #include "util/file_util.h"
+#include "util/json.h"
+#include "util/logging.h"
 
 // ---------------------------------------------------------------------------
 // Allocation counting: every global operator new bumps a counter, so tests
@@ -63,167 +68,14 @@ void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
 namespace widen::obs {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal recursive-descent JSON parser — enough to round-trip the exporter
-// output and prove it is real JSON, not something that merely looks like it.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool Parse(JsonValue* out) {
-    pos_ = 0;
-    if (!ParseValue(out)) return false;
-    SkipWhitespace();
-    return pos_ == text_.size();  // no trailing garbage
-  }
-
- private:
-  void SkipWhitespace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipWhitespace();
-    if (pos_ >= text_.size() || text_[pos_] != c) return false;
-    ++pos_;
-    return true;
-  }
-
-  bool ParseValue(JsonValue* out) {
-    SkipWhitespace();
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{':
-        return ParseObject(out);
-      case '[':
-        return ParseArray(out);
-      case '"':
-        out->kind = JsonValue::kString;
-        return ParseString(&out->str);
-      case 't':
-        out->kind = JsonValue::kBool;
-        out->boolean = true;
-        return ConsumeLiteral("true");
-      case 'f':
-        out->kind = JsonValue::kBool;
-        out->boolean = false;
-        return ConsumeLiteral("false");
-      case 'n':
-        out->kind = JsonValue::kNull;
-        return ConsumeLiteral("null");
-      default:
-        return ParseNumber(out);
-    }
-  }
-
-  bool ConsumeLiteral(const char* literal) {
-    const std::size_t n = std::strlen(literal);
-    if (text_.compare(pos_, n, literal) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  bool ParseObject(JsonValue* out) {
-    out->kind = JsonValue::kObject;
-    if (!Consume('{')) return false;
-    SkipWhitespace();
-    if (Consume('}')) return true;
-    while (true) {
-      std::string key;
-      if (!ParseString(&key)) return false;
-      if (!Consume(':')) return false;
-      if (!ParseValue(&out->object[key])) return false;
-      if (Consume(',')) continue;
-      return Consume('}');
-    }
-  }
-
-  bool ParseArray(JsonValue* out) {
-    out->kind = JsonValue::kArray;
-    if (!Consume('[')) return false;
-    SkipWhitespace();
-    if (Consume(']')) return true;
-    while (true) {
-      JsonValue element;
-      if (!ParseValue(&element)) return false;
-      out->array.push_back(std::move(element));
-      if (Consume(',')) continue;
-      return Consume(']');
-    }
-  }
-
-  bool ParseString(std::string* out) {
-    if (!Consume('"')) return false;
-    out->clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c != '\\') {
-        out->push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) return false;
-      const char escape = text_[pos_++];
-      switch (escape) {
-        case '"': out->push_back('"'); break;
-        case '\\': out->push_back('\\'); break;
-        case '/': out->push_back('/'); break;
-        case 'b': out->push_back('\b'); break;
-        case 'f': out->push_back('\f'); break;
-        case 'n': out->push_back('\n'); break;
-        case 'r': out->push_back('\r'); break;
-        case 't': out->push_back('\t'); break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return false;
-          out->append(text_, pos_ - 2, 6);  // keep the raw \uXXXX
-          pos_ += 4;
-          break;
-        }
-        default:
-          return false;
-      }
-    }
-    return false;  // unterminated
-  }
-
-  bool ParseNumber(JsonValue* out) {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    out->kind = JsonValue::kNumber;
-    out->number = std::strtod(text_.c_str() + start, nullptr);
-    return true;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+// Exporter output must be real JSON, not something that merely looks like
+// it — parse it back with the shared util/json parser (obs_test used to
+// carry its own; util/json.h is now the single implementation).
+Json ParseJsonOrDie(const std::string& text) {
+  auto parsed = Json::Parse(text);
+  WIDEN_CHECK(parsed.ok()) << parsed.status().ToString() << "\nin: " << text;
+  return *std::move(parsed);
+}
 
 // ---------------------------------------------------------------------------
 // Counters and gauges.
@@ -424,26 +276,24 @@ TEST(ExportTest, JsonDumpParsesAndCarriesValues) {
   Histogram* h = registry.GetHistogram("test_json_us", "json histogram");
   for (int i = 1; i <= 100; ++i) h->Record(static_cast<double>(i));
 
-  const std::string text = registry.DumpJson();
-  JsonValue root;
-  ASSERT_TRUE(JsonParser(text).Parse(&root)) << text;
-  ASSERT_EQ(root.kind, JsonValue::kObject);
+  const Json root = ParseJsonOrDie(registry.DumpJson());
+  ASSERT_TRUE(root.is_object());
 
-  const JsonValue* counters = root.Find("counters");
+  const Json* counters = root.Find("counters");
   ASSERT_NE(counters, nullptr);
-  const JsonValue* counter = counters->Find("test_json_total");
+  const Json* counter = counters->Find("test_json_total");
   ASSERT_NE(counter, nullptr);
-  EXPECT_EQ(counter->kind, JsonValue::kNumber);
-  EXPECT_DOUBLE_EQ(counter->number, 42.0);
+  EXPECT_TRUE(counter->is_number());
+  EXPECT_DOUBLE_EQ(counter->number_value(), 42.0);
 
-  const JsonValue* histograms = root.Find("histograms");
+  const Json* histograms = root.Find("histograms");
   ASSERT_NE(histograms, nullptr);
-  const JsonValue* hist = histograms->Find("test_json_us");
+  const Json* hist = histograms->Find("test_json_us");
   ASSERT_NE(hist, nullptr);
   ASSERT_NE(hist->Find("count"), nullptr);
-  EXPECT_DOUBLE_EQ(hist->Find("count")->number, 100.0);
+  EXPECT_DOUBLE_EQ(hist->Find("count")->number_value(), 100.0);
   ASSERT_NE(hist->Find("p50"), nullptr);
-  EXPECT_NEAR(hist->Find("p50")->number, 50.0, 0.06 * 50.0);
+  EXPECT_NEAR(hist->Find("p50")->number_value(), 50.0, 0.06 * 50.0);
 }
 
 TEST(ExportTest, WriteMetricsProducesBothFormats) {
@@ -455,8 +305,7 @@ TEST(ExportTest, WriteMetricsProducesBothFormats) {
   EXPECT_NE(prom->find("test_write_total"), std::string::npos);
   auto json = ReadFileToString("obs_test_metrics.prom.json");
   ASSERT_TRUE(json.ok());
-  JsonValue root;
-  EXPECT_TRUE(JsonParser(*json).Parse(&root));
+  EXPECT_TRUE(Json::Parse(*json).ok());
   std::remove("obs_test_metrics.prom");
   std::remove("obs_test_metrics.prom.json");
 }
@@ -485,27 +334,25 @@ TEST(TraceTest, ChromeJsonRoundTripsThroughParser) {
   recorder.Stop();
   ASSERT_EQ(recorder.EventCount(), 4u);
 
-  const std::string text = recorder.ExportChromeJson();
-  JsonValue root;
-  ASSERT_TRUE(JsonParser(text).Parse(&root)) << text;
-  const JsonValue* events = root.Find("traceEvents");
+  const Json root = ParseJsonOrDie(recorder.ExportChromeJson());
+  const Json* events = root.Find("traceEvents");
   ASSERT_NE(events, nullptr);
-  ASSERT_EQ(events->kind, JsonValue::kArray);
-  ASSERT_EQ(events->array.size(), 4u);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array_items().size(), 4u);
 
   int workers = 0;
-  for (const JsonValue& e : events->array) {
-    ASSERT_EQ(e.kind, JsonValue::kObject);
+  for (const Json& e : events->array_items()) {
+    ASSERT_TRUE(e.is_object());
     ASSERT_NE(e.Find("name"), nullptr);
     ASSERT_NE(e.Find("ph"), nullptr);
-    EXPECT_EQ(e.Find("ph")->str, "X");
+    EXPECT_EQ(e.Find("ph")->string_value(), "X");
     ASSERT_NE(e.Find("pid"), nullptr);
     ASSERT_NE(e.Find("tid"), nullptr);
     ASSERT_NE(e.Find("ts"), nullptr);
     ASSERT_NE(e.Find("dur"), nullptr);
-    EXPECT_GE(e.Find("ts")->number, 0.0);
-    EXPECT_GE(e.Find("dur")->number, 0.0);
-    if (e.Find("name")->str == "worker") ++workers;
+    EXPECT_GE(e.Find("ts")->number_value(), 0.0);
+    EXPECT_GE(e.Find("dur")->number_value(), 0.0);
+    if (e.Find("name")->string_value() == "worker") ++workers;
   }
   EXPECT_EQ(workers, 2);
 
@@ -513,8 +360,7 @@ TEST(TraceTest, ChromeJsonRoundTripsThroughParser) {
   ASSERT_TRUE(recorder.WriteChromeJson("obs_test_trace.json").ok());
   auto from_file = ReadFileToString("obs_test_trace.json");
   ASSERT_TRUE(from_file.ok());
-  JsonValue file_root;
-  EXPECT_TRUE(JsonParser(*from_file).Parse(&file_root));
+  EXPECT_TRUE(Json::Parse(*from_file).ok());
   std::remove("obs_test_trace.json");
   recorder.Clear();
 }
@@ -567,6 +413,208 @@ TEST(DisabledPathTest, NoAllocationsAndNoRecording) {
   EXPECT_EQ(c->Value(), 1);            // frozen while disabled
   EXPECT_DOUBLE_EQ(g->Value(), 4.0);
   EXPECT_EQ(h->TotalCount(), 1);
+}
+
+TEST(DisabledPathTest, ProfilerHooksAreFreeAndRecordNothing) {
+  Profiler& profiler = Profiler::Get();
+  profiler.Stop();
+  profiler.Reset();
+  ResetMemProf();
+  ASSERT_FALSE(ProfilerEnabled());
+
+  const int64_t allocations_before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    ScopedProfPhase phase(ProfPhase::kForward);
+    ScopedOpProfile op(ProfOp::kMatMul, 1000, 4000);
+    ProfileParallelDispatch(4);
+    MemProfRecordTensorAlloc(64);
+    MemProfRecordGradAlloc(64);
+    MemProfRecordTapeNode();
+  }
+  const int64_t allocations_after =
+      g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(allocations_after - allocations_before, 0);
+  EXPECT_EQ(profiler.Totals(ProfOp::kMatMul).calls, 0);
+  EXPECT_EQ(profiler.PhaseWallNs(ProfPhase::kForward), 0);
+  const MemProfSnapshot mem = TakeMemProfSnapshot();
+  for (int p = 0; p < kNumProfPhases; ++p) {
+    EXPECT_EQ(mem.phases[p].tensor_allocs, 0) << "phase " << p;
+    EXPECT_EQ(mem.phases[p].tape_nodes, 0) << "phase " << p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Roofline profiler: FLOP/byte exactness against closed-form counts.
+//
+// These literals pin the analytic convention of DESIGN.md §12 (FLOPs count
+// elementary float ops; bytes are 4 x (elements read + elements written),
+// an accumulation counting as one read plus one write). If an op's formula
+// in tensor/ops.cc changes, the convention changed — update DESIGN.md too.
+// ---------------------------------------------------------------------------
+
+namespace T = widen::tensor;
+
+// Starts recording around each test body; other suites in this binary never
+// see an enabled profiler because gtest runs tests sequentially.
+class ProfilerExactnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::Get().Start();
+    Profiler::Get().Reset();
+  }
+  void TearDown() override {
+    Profiler::Get().Stop();
+    Profiler::Get().Reset();
+    ResetMemProf();
+  }
+
+  static T::Tensor Filled(int64_t rows, int64_t cols) {
+    std::vector<float> values(static_cast<size_t>(rows * cols));
+    for (size_t i = 0; i < values.size(); ++i) {
+      values[i] = 0.01f * static_cast<float>(i % 97) - 0.3f;
+    }
+    return T::Tensor::FromVector(T::Shape::Matrix(rows, cols), values);
+  }
+};
+
+TEST_F(ProfilerExactnessTest, MatMulForwardCountsAreExact) {
+  const int64_t m = 7, k = 5, n = 3;
+  T::Tensor a = Filled(m, k);
+  T::Tensor b = Filled(k, n);
+  T::Tensor c = T::MatMul(a, b);
+  const Profiler::OpTotals totals = Profiler::Get().Totals(ProfOp::kMatMul);
+  EXPECT_EQ(totals.calls, 1);
+  EXPECT_EQ(totals.flops, 2 * m * n * k);                // 210
+  EXPECT_EQ(totals.bytes, 4 * (m * k + k * n + m * n));  // 284
+  EXPECT_GE(totals.wall_ns, 0);
+}
+
+TEST_F(ProfilerExactnessTest, MatMulBackwardCountsAreExactAndPhased) {
+  const int64_t m = 4, k = 6, n = 2;
+  T::Tensor a = Filled(m, k).set_requires_grad(true);
+  T::Tensor b = Filled(k, n).set_requires_grad(true);
+  T::Tensor loss = T::SumAll(T::MatMul(a, b));
+  Profiler::Get().Reset();  // keep only the backward pass
+  loss.Backward();
+  // Both inputs need grads: two GEMM passes, dC read twice, each dX pass
+  // reads the other operand and accumulates into dX (one read + one write).
+  const int64_t passes = 2;
+  const Profiler::OpTotals totals = Profiler::Get().Totals(ProfOp::kMatMul);
+  EXPECT_EQ(totals.calls, 1);
+  EXPECT_EQ(totals.flops, 2 * m * n * k * passes);
+  EXPECT_EQ(totals.bytes,
+            4 * (passes * m * n + (k * n + 2 * m * k) + (m * k + 2 * k * n)));
+  // Backward() forces the backward phase on its own: the whole pass must be
+  // attributed there even though this test never opened a phase scope.
+  EXPECT_EQ(Profiler::Get().Totals(ProfOp::kMatMul, ProfPhase::kBackward).calls,
+            1);
+  EXPECT_EQ(Profiler::Get().Totals(ProfOp::kMatMul, ProfPhase::kOther).calls,
+            0);
+}
+
+TEST_F(ProfilerExactnessTest, SoftmaxRowsCountsAreExact) {
+  const int64_t m = 3, n = 8;
+  T::Tensor a = Filled(m, n).set_requires_grad(true);
+  T::Tensor loss = T::SumAll(T::SoftmaxRows(a));
+  const Profiler::OpTotals fwd = Profiler::Get().Totals(ProfOp::kSoftmaxRows);
+  EXPECT_EQ(fwd.calls, 1);
+  EXPECT_EQ(fwd.flops, 5 * m * n);      // max, sub, exp, sum, div per element
+  EXPECT_EQ(fwd.bytes, 4 * 2 * m * n);  // read x, write softmax(x)
+
+  Profiler::Get().Reset();
+  loss.Backward();
+  const Profiler::OpTotals bwd = Profiler::Get().Totals(ProfOp::kSoftmaxRows);
+  EXPECT_EQ(bwd.calls, 1);
+  EXPECT_EQ(bwd.flops, 5 * m * n);
+  EXPECT_EQ(bwd.bytes, 4 * 4 * m * n);  // read dy and y, accumulate dx
+}
+
+TEST_F(ProfilerExactnessTest, PhaseScopesAttributeOpsAndSelfTime) {
+  const int64_t m = 8, k = 8, n = 8;
+  T::Tensor a = Filled(m, k);
+  T::Tensor b = Filled(k, n);
+  {
+    ScopedProfPhase phase(ProfPhase::kSampling);
+    T::Tensor c = T::MatMul(a, b);
+  }
+  EXPECT_EQ(Profiler::Get().Totals(ProfOp::kMatMul, ProfPhase::kSampling).calls,
+            1);
+  EXPECT_EQ(Profiler::Get().Totals(ProfOp::kMatMul, ProfPhase::kOther).calls,
+            0);
+  EXPECT_GT(Profiler::Get().PhaseWallNs(ProfPhase::kSampling), 0);
+}
+
+TEST_F(ProfilerExactnessTest, DumpJsonParsesAndCarriesAnalyticFlops) {
+  const int64_t m = 5, k = 4, n = 6;
+  T::Tensor a = Filled(m, k);
+  T::Tensor b = Filled(k, n);
+  T::Tensor c = T::MatMul(a, b);
+
+  const Json root = ParseJsonOrDie(Profiler::Get().DumpJson());
+  const Json* ops = root.Find("ops");
+  ASSERT_NE(ops, nullptr);
+  ASSERT_TRUE(ops->is_array());
+  bool found = false;
+  for (const Json& row : ops->array_items()) {
+    const Json* op_name = row.Find("op");
+    if (op_name == nullptr || op_name->string_value() != "MatMul") continue;
+    found = true;
+    EXPECT_EQ(row.Find("flops")->int_value(), 2 * m * n * k);
+    EXPECT_EQ(row.Find("bytes")->int_value(), 4 * (m * k + k * n + m * n));
+  }
+  EXPECT_TRUE(found) << root.Dump();
+  ASSERT_NE(root.Find("roofline"), nullptr);
+  ASSERT_NE(root.Find("memory"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition stays self-consistent while writers are live.
+// ---------------------------------------------------------------------------
+
+TEST(ExportTest, PrometheusHistogramSeriesAreConsistentUnderWrites) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  Histogram* h = registry.GetHistogram("test_prom_race_us", "raced");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t state = 0x2545f4914f6cdd1dull;
+    while (!stop.load(std::memory_order_relaxed)) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      h->Record(static_cast<double>((state >> 33) % 100000));
+    }
+  });
+
+  // Every dump taken mid-stream must satisfy the exposition invariants:
+  // cumulative buckets nondecreasing and +Inf == _count. Before histograms
+  // were snapshotted once per dump, a Record() landing between per-bucket
+  // reads could violate both.
+  for (int round = 0; round < 25; ++round) {
+    const std::string text = registry.DumpPrometheus();
+    std::vector<double> cumulative;
+    double count = -1.0;
+    size_t pos = 0;
+    while ((pos = text.find("test_prom_race_us_", pos)) != std::string::npos) {
+      const size_t line_end = text.find('\n', pos);
+      const std::string line = text.substr(pos, line_end - pos);
+      const double value = std::atof(line.substr(line.rfind(' ')).c_str());
+      if (line.compare(0, 25, "test_prom_race_us_bucket{") == 0) {
+        cumulative.push_back(value);
+      } else if (line.compare(0, 24, "test_prom_race_us_count ") == 0) {
+        count = value;
+      }
+      pos = line_end;
+    }
+    ASSERT_FALSE(cumulative.empty());
+    ASSERT_GE(count, 0.0);
+    for (size_t i = 1; i < cumulative.size(); ++i) {
+      ASSERT_LE(cumulative[i - 1], cumulative[i]) << "round " << round;
+    }
+    // The last bucket line is the mandatory +Inf bucket.
+    ASSERT_EQ(cumulative.back(), count) << "round " << round;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
 }
 
 }  // namespace

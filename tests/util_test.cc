@@ -1,11 +1,14 @@
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <numeric>
 #include <set>
+#include <string>
 
 #include "gtest/gtest.h"
 #include "util/crc32.h"
 #include "util/file_util.h"
+#include "util/json.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -295,6 +298,90 @@ TEST(ThreadPoolTest, ParallelForCoversRange) {
   ParallelFor(pool, 5, 20, [&hits](size_t i) { hits[i].fetch_add(1); });
   for (size_t i = 0; i < hits.size(); ++i) {
     EXPECT_EQ(hits[i].load(), i >= 5 ? 1 : 0) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// util/json: the shared parser/serializer behind BENCH_*.json, bench_diff,
+// and the test-side parse-backs of every exporter.
+// ---------------------------------------------------------------------------
+
+TEST(JsonTest, ParsesScalarsAndStructures) {
+  auto parsed = Json::Parse(
+      R"({"a": 1.5, "b": [true, false, null], "c": {"nested": "x"},)"
+      R"( "neg": -2e3})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_object());
+  EXPECT_DOUBLE_EQ(parsed->Find("a")->number_value(), 1.5);
+  const Json* b = parsed->Find("b");
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->array_items().size(), 3u);
+  EXPECT_TRUE(b->array_items()[0].bool_value());
+  EXPECT_TRUE(b->array_items()[2].is_null());
+  EXPECT_EQ(parsed->FindPath({"c", "nested"})->string_value(), "x");
+  EXPECT_DOUBLE_EQ(parsed->Find("neg")->number_value(), -2000.0);
+}
+
+TEST(JsonTest, DecodesEscapesIncludingUnicode) {
+  auto parsed = Json::Parse(R"(["a\"b\\c\n", "Aé"])");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->array_items()[0].string_value(), "a\"b\\c\n");
+  EXPECT_EQ(parsed->array_items()[1].string_value(), "A\xc3\xa9");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("true false").ok());  // trailing garbage
+  EXPECT_FALSE(Json::Parse("nul").ok());
+  EXPECT_FALSE(Json::Parse("'single'").ok());
+  // Depth bomb: deeper than the parser's recursion cap must error cleanly,
+  // not overflow the stack.
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonTest, DumpIsCanonicalAndRoundTrips) {
+  Json obj = Json::Object();
+  obj.Set("zeta", Json::Number(1.0));
+  obj.Set("alpha", Json::String("hi \"there\""));
+  Json arr = Json::Array();
+  arr.Append(Json::Bool(true));
+  arr.Append(Json::Null());
+  obj.Set("list", std::move(arr));
+  const std::string text = obj.Dump();
+  // Keys are emitted sorted, so equal values always serialize identically.
+  EXPECT_LT(text.find("alpha"), text.find("list"));
+  EXPECT_LT(text.find("list"), text.find("zeta"));
+  auto reparsed = Json::Parse(text);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_EQ(reparsed->Dump(), text);
+  EXPECT_EQ(reparsed->Find("alpha")->string_value(), "hi \"there\"");
+}
+
+TEST(JsonTest, NonFiniteNumbersSerializeAsNull) {
+  Json arr = Json::Array();
+  arr.Append(Json::Number(std::nan("")));
+  arr.Append(Json::Number(std::numeric_limits<double>::infinity()));
+  arr.Append(Json::Number(3.0));
+  const std::string text = arr.Dump();
+  auto reparsed = Json::Parse(text);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_TRUE(reparsed->array_items()[0].is_null());
+  EXPECT_TRUE(reparsed->array_items()[1].is_null());
+  EXPECT_DOUBLE_EQ(reparsed->array_items()[2].number_value(), 3.0);
+}
+
+TEST(JsonTest, NumbersSurviveRoundTripExactly) {
+  // %.17g emission: doubles round-trip bit-exactly through text.
+  const double values[] = {0.1, 1e-300, 123456789.123456789, -0.0, 4.75};
+  for (double v : values) {
+    auto reparsed = Json::Parse(Json::Number(v).Dump());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(reparsed->number_value(), v);
   }
 }
 

@@ -1,0 +1,199 @@
+// bench_diff: compare two BENCH_*.json files in the common schema of
+// bench/bench_json.h and report per-metric deltas.
+//
+//   bench_diff <baseline.json> <current.json> [--threshold_pct N] [--strict]
+//
+// Metrics are matched by name; the delta sign is interpreted through each
+// metric's "better" direction ("lower" for latency, "higher" for
+// throughput), so a REGRESSION is always "got worse by more than the
+// threshold" regardless of direction. The default threshold is 10% — wide
+// enough that shared-runner noise doesn't page anyone, tight enough that a
+// real kernel regression trips it.
+//
+// Exit status: 0 normally (report-only, the CI default), 1 under --strict
+// when any metric regressed past the threshold, 2 on usage/parse errors.
+// Metrics present in only one file are listed but never count as
+// regressions — the bench trajectory is append-only by design.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/file_util.h"
+#include "util/json.h"
+
+namespace widen {
+namespace {
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+  bool higher_is_better = false;
+};
+
+struct BenchFile {
+  std::string bench;
+  std::string profile;
+  std::vector<Metric> metrics;
+};
+
+const Metric* Find(const std::vector<Metric>& metrics,
+                   const std::string& name) {
+  for (const Metric& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+bool LoadBenchFile(const std::string& path, BenchFile* out) {
+  auto text = ReadFileToString(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", path.c_str(),
+                 text.status().ToString().c_str());
+    return false;
+  }
+  auto parsed = Json::Parse(*text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  const Json* version = parsed->Find("schema_version");
+  if (version == nullptr || version->int_value() != 1) {
+    std::fprintf(stderr,
+                 "bench_diff: %s: missing or unsupported schema_version "
+                 "(want 1); regenerate with bench/run_all.sh\n",
+                 path.c_str());
+    return false;
+  }
+  if (const Json* bench = parsed->Find("bench")) {
+    out->bench = bench->string_value();
+  }
+  if (const Json* profile = parsed->Find("profile")) {
+    out->profile = profile->string_value();
+  }
+  const Json* metrics = parsed->Find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    std::fprintf(stderr, "bench_diff: %s: no metrics array\n", path.c_str());
+    return false;
+  }
+  for (const Json& row : metrics->array_items()) {
+    Metric m;
+    if (const Json* name = row.Find("name")) m.name = name->string_value();
+    if (const Json* value = row.Find("value")) {
+      m.value = value->number_value();
+    }
+    if (const Json* unit = row.Find("unit")) m.unit = unit->string_value();
+    if (const Json* better = row.Find("better")) {
+      m.higher_is_better = better->string_value() == "higher";
+    }
+    if (!m.name.empty()) out->metrics.push_back(std::move(m));
+  }
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <current.json> "
+               "[--threshold_pct N] [--strict]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+}  // namespace widen
+
+int main(int argc, char** argv) {
+  using widen::BenchFile;
+  using widen::Metric;
+
+  double threshold_pct = 10.0;
+  bool strict = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(arg, "--threshold_pct") == 0 && i + 1 < argc) {
+      threshold_pct = std::atof(argv[++i]);
+    } else if (std::strncmp(arg, "--threshold_pct=", 16) == 0) {
+      threshold_pct = std::atof(arg + 16);
+    } else if (arg[0] == '-') {
+      return widen::Usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2 || threshold_pct <= 0.0) return widen::Usage(argv[0]);
+
+  BenchFile baseline, current;
+  if (!widen::LoadBenchFile(paths[0], &baseline) ||
+      !widen::LoadBenchFile(paths[1], &current)) {
+    return 2;
+  }
+  if (!baseline.bench.empty() && !current.bench.empty() &&
+      baseline.bench != current.bench) {
+    std::fprintf(stderr,
+                 "bench_diff: comparing different benches ('%s' vs '%s')\n",
+                 baseline.bench.c_str(), current.bench.c_str());
+    return 2;
+  }
+  if (baseline.profile != current.profile) {
+    std::printf("note: profiles differ (%s vs %s); deltas are not "
+                "like-for-like\n",
+                baseline.profile.c_str(), current.profile.c_str());
+  }
+
+  std::printf("%-44s %14s %14s %9s\n", "metric", "baseline", "current",
+              "delta");
+  int regressions = 0;
+  int improvements = 0;
+  int only_one_side = 0;
+  for (const Metric& base : baseline.metrics) {
+    const Metric* cur = widen::Find(current.metrics, base.name);
+    if (cur == nullptr) {
+      std::printf("%-44s %14.4g %14s\n", base.name.c_str(), base.value,
+                  "(gone)");
+      ++only_one_side;
+      continue;
+    }
+    // Percent change in the metric, then flip sign for higher-is-better so
+    // positive change_pct always means "worse".
+    double change_pct = 0.0;
+    if (base.value != 0.0) {
+      change_pct = (cur->value - base.value) / std::fabs(base.value) * 100.0;
+    } else if (cur->value != 0.0) {
+      change_pct = cur->value > 0.0 ? 100.0 : -100.0;
+    }
+    if (base.higher_is_better) change_pct = -change_pct;
+    const char* tag = "";
+    if (change_pct > threshold_pct) {
+      tag = "  REGRESSION";
+      ++regressions;
+    } else if (change_pct < -threshold_pct) {
+      tag = "  improved";
+      ++improvements;
+    }
+    std::printf("%-44s %14.4g %14.4g %+8.1f%%%s\n", base.name.c_str(),
+                base.value, cur->value,
+                base.higher_is_better ? -change_pct : change_pct, tag);
+  }
+  for (const Metric& cur : current.metrics) {
+    if (widen::Find(baseline.metrics, cur.name) == nullptr) {
+      std::printf("%-44s %14s %14.4g   (new)\n", cur.name.c_str(), "-",
+                  cur.value);
+      ++only_one_side;
+    }
+  }
+
+  std::printf(
+      "\n%d regression(s), %d improvement(s) past %.1f%%; %d metric(s) "
+      "present on one side only\n",
+      regressions, improvements, threshold_pct, only_one_side);
+  if (strict && regressions > 0) return 1;
+  return 0;
+}
