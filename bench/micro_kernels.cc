@@ -25,8 +25,11 @@
 #include "tensor/init.h"
 #include "tensor/kernel_context.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
+#include "tensor/simd/simd.h"
 #include "tensor/sparse.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace widen {
 namespace {
@@ -52,6 +55,40 @@ void BM_MatMul(benchmark::State& state) {
   T::KernelContext::Get().SetNumThreads(1);
 }
 BENCHMARK(BM_MatMul)->ArgsProduct({{32, 64, 128, 256}, {1, 2, 4, 8}});
+
+// The same forward pinned to the scalar reference table — the SIMD-vs-scalar
+// pair behind the matmul_fwd_simd_speedup metric.
+void BM_MatMulScalar(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const T::simd::Isa previous = T::simd::ForceIsa(T::simd::Isa::kScalar);
+  Rng rng(1);
+  T::Tensor a = RandomTensor(n, n, false, rng);
+  T::Tensor b = RandomTensor(n, n, false, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(T::MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  T::simd::ForceIsa(previous);
+}
+BENCHMARK(BM_MatMulScalar)->ArgsProduct({{64, 256}, {1}});
+
+// Inference MatMul against a block-quantized B sidecar (the serving weight
+// path): arg 0 is the square size, arg 1 selects int8 (0) or fp16 (1).
+void BM_MatMulQuant(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const T::QuantFormat format = state.range(1) == 0
+                                    ? T::QuantFormat::kInt8Block32
+                                    : T::QuantFormat::kFp16;
+  Rng rng(1);
+  T::Tensor a = RandomTensor(n, n, false, rng);
+  T::Tensor b = RandomTensor(n, n, false, rng);
+  T::AttachQuant(b, T::QuantizeMatrix(b, format));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(T::MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulQuant)->ArgsProduct({{64, 256}, {0, 1}});
 
 // Forward + full backward (dA and dB) of one square MatMul — roughly 2/3 of
 // an epoch's dense-kernel time lives in the backward accumulations.
@@ -216,6 +253,41 @@ void BM_BackwardTape(benchmark::State& state) {
 }
 BENCHMARK(BM_BackwardTape);
 
+// Direct SIMD-vs-scalar timing of the MatMul forward (the acceptance metric
+// for the dispatched kernels): best-of-`reps` wall time per table at n=256,
+// single thread, identical operands. Recorded as matmul_fwd_simd_speedup
+// alongside the raw per-table timings.
+void MeasureMatMulSpeedup(bench::BenchReport* report) {
+  constexpr int64_t kN = 256;
+  constexpr int kReps = 20;
+  Rng rng(1);
+  T::Tensor a = RandomTensor(kN, kN, false, rng);
+  T::Tensor b = RandomTensor(kN, kN, false, rng);
+  auto best_seconds = [&](T::simd::Isa isa) {
+    const T::simd::Isa previous = T::simd::ForceIsa(isa);
+    double best = 0.0;
+    benchmark::DoNotOptimize(T::MatMul(a, b).data());  // warm-up
+    for (int r = 0; r < kReps; ++r) {
+      StopWatch watch;
+      benchmark::DoNotOptimize(T::MatMul(a, b).data());
+      const double elapsed = watch.ElapsedSeconds();
+      if (r == 0 || elapsed < best) best = elapsed;
+    }
+    T::simd::ForceIsa(previous);
+    return best;
+  };
+  const double scalar_s = best_seconds(T::simd::Isa::kScalar);
+  const double simd_s = best_seconds(T::simd::ActiveIsa());
+  const double speedup = simd_s > 0.0 ? scalar_s / simd_s : 1.0;
+  report->SetConfig("simd_isa", T::simd::IsaName(T::simd::ActiveIsa()));
+  report->AddMetric("matmul_fwd_scalar_ns", scalar_s * 1e9, "ns", "lower");
+  report->AddMetric("matmul_fwd_simd_ns", simd_s * 1e9, "ns", "lower");
+  report->AddMetric("matmul_fwd_simd_speedup", speedup, "x", "higher");
+  std::printf("matmul_fwd_simd_speedup (%s vs scalar, n=%lld): %.2fx\n",
+              T::simd::IsaName(T::simd::ActiveIsa()),
+              static_cast<long long>(kN), speedup);
+}
+
 // Mirrors every finished run into a BenchReport while still printing the
 // normal console table. Per-iteration real time is the primary metric;
 // benchmarks that call SetItemsProcessed also get a throughput row.
@@ -266,6 +338,7 @@ int main(int argc, char** argv) {
   widen::bench::BenchReport report("kernels", widen::bench::FullMode());
   widen::CapturingReporter reporter(&report);
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  widen::MeasureMatMulSpeedup(&report);
   benchmark::Shutdown();
   if (!widen_out.empty()) {
     const widen::Status written = report.Write(widen_out);

@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Runs every harness that records a bench trajectory and collects their
 # BENCH_*.json records (common schema: bench/bench_json.h) in one directory.
 #
@@ -14,7 +14,7 @@
 # Exits non-zero if any harness fails (obs_bench only fails under
 # WIDEN_OBS_ENFORCE=1 when the <2% observability budget is exceeded).
 
-set -eu
+set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
@@ -30,7 +30,7 @@ mkdir -p "$OUT_DIR"
 # (every shape x thread-count) is minutes of pure benchmark repetition. The
 # filtered set still covers the dense kernels, both sampling paths, and the
 # serving-attention path that the roofline profiler prices.
-KERNEL_FILTER='BM_(MatMul|MatMulGrad|SoftmaxRowsGrad|AttentionSingleQuery|WideSampling|DeepWalkSampling)'
+KERNEL_FILTER='BM_(MatMul|MatMulScalar|MatMulQuant|MatMulGrad|SoftmaxRowsGrad|AttentionSingleQuery|WideSampling|DeepWalkSampling)'
 if [ "${WIDEN_BENCH_FULL:-0}" = "1" ]; then
   KERNEL_FILTER='.'
 fi

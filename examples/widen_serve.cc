@@ -172,7 +172,8 @@ core::WidenConfig SmokeConfig() {
   return config;
 }
 
-int RunSmoke(int64_t clients, int64_t queries) {
+int RunSmoke(int64_t clients, int64_t queries,
+             tensor::QuantFormat weight_quant) {
   // 1. Synthesize and train (two epochs — enough to populate the embedding
   //    store the checkpoint carries).
   datasets::SyntheticGraphSpec spec;
@@ -204,9 +205,14 @@ int RunSmoke(int64_t clients, int64_t queries) {
   }  // trainer "killed" — from here on only the file and the graph exist
 
   // 2. Load the checkpoint into a serving session.
-  auto session_or = serve::InferenceSession::Load(ckpt, &*graph, config);
+  serve::SessionOptions session_options;
+  session_options.weight_quant = weight_quant;
+  auto session_or =
+      serve::InferenceSession::Load(ckpt, &*graph, config, session_options);
   if (!session_or.ok()) return Fail(session_or.status());
   serve::InferenceSession& session = **session_or;
+  std::printf("serving weights: %s\n",
+              tensor::QuantFormatName(weight_quant));
 
   auto served = session.Embed(probe);
   if (!served.ok()) return Fail(served.status());
@@ -289,7 +295,7 @@ int RunSmoke(int64_t clients, int64_t queries) {
 }
 
 int RunEmbed(const std::string& graph_path, const std::string& ckpt_path,
-             const std::string& csv_path) {
+             const std::string& csv_path, tensor::QuantFormat weight_quant) {
   auto graph = graph::LoadGraphText(graph_path);
   if (!graph.ok()) return Fail(graph.status());
   // Serving needs no labels and no training config: recover the embedding
@@ -298,8 +304,10 @@ int RunEmbed(const std::string& graph_path, const std::string& ckpt_path,
   if (!weights.ok()) return Fail(weights.status());
   core::WidenConfig config;
   config.embedding_dim = weights->params.embedding_dim();
-  auto session_or =
-      serve::InferenceSession::Load(ckpt_path, &*graph, config);
+  serve::SessionOptions session_options;
+  session_options.weight_quant = weight_quant;
+  auto session_or = serve::InferenceSession::Load(ckpt_path, &*graph, config,
+                                                  session_options);
   if (!session_or.ok()) return Fail(session_or.status());
 
   std::vector<graph::NodeId> nodes;
@@ -331,11 +339,20 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string profile_out;
+  std::string quant_name = "none";
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--smoke") == 0) {
       smoke = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--quant") == 0 && i + 1 < argc) {
+      quant_name = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--quant=", 8) == 0) {
+      quant_name = arg + 8;
       continue;
     }
     if (std::strcmp(arg, "--clients") == 0 && i + 1 < argc) {
@@ -376,6 +393,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --clients/--queries want positive integers\n");
     return 2;
   }
+  widen::tensor::QuantFormat weight_quant;
+  if (!widen::tensor::ParseQuantFormat(quant_name, &weight_quant)) {
+    std::fprintf(stderr, "error: --quant wants none|int8|fp16, got '%s'\n",
+                 quant_name.c_str());
+    return 2;
+  }
   argc = static_cast<int>(args.size());
   argv = args.data();
   widen::obs::InstallTraceExportOnExit(trace_out);
@@ -396,16 +419,20 @@ int main(int argc, char** argv) {
     if (!metrics_out.empty()) {
       dumper = std::make_unique<PeriodicMetricsDumper>(metrics_out);
     }
-    if (smoke || argc == 1) return RunSmoke(clients, queries);
+    if (smoke || argc == 1) {
+      return RunSmoke(clients, queries, weight_quant);
+    }
     const std::string command = argv[1];
     if (command == "embed" && argc == 5) {
-      return RunEmbed(argv[2], argv[3], argv[4]);
+      return RunEmbed(argv[2], argv[3], argv[4], weight_quant);
     }
     std::fprintf(stderr,
                  "usage:\n"
                  "  %s --smoke [--clients N] [--queries M]   # self-contained\n"
                  "  %s embed <graph.txt> <model.ckpt> <out.csv>\n"
-                 "options: --metrics_out PATH  dump metrics every second and "
+                 "options: --quant none|int8|fp16  serving weight storage "
+                 "(default exact fp32)\n"
+                 "         --metrics_out PATH  dump metrics every second and "
                  "on exit\n"
                  "         --trace_out PATH    write a Chrome trace on exit\n"
                  "         --profile_out PATH  profile tensor ops and write "

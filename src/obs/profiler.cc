@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <vector>
@@ -59,8 +60,38 @@ const char* ProfOpName(ProfOp op) {
     case ProfOp::kSumAll: return "SumAll";
     case ProfOp::kRowL2Normalize: return "RowL2Normalize";
     case ProfOp::kDropout: return "Dropout";
+    case ProfOp::kQuantMatMul: return "QuantMatMul";
   }
   return "unknown";
+}
+
+namespace {
+
+// Report annotations (SetProfileAnnotation). Ordered map so DumpJson output
+// is stable; leaked at exit like the thread-table registry.
+struct AnnotationMap {
+  std::mutex mu;
+  std::map<std::string, std::string> entries;
+};
+
+AnnotationMap& GetAnnotations() {
+  static AnnotationMap* const map = new AnnotationMap();
+  return *map;
+}
+
+}  // namespace
+
+void SetProfileAnnotation(const std::string& key, const std::string& value) {
+  AnnotationMap& map = GetAnnotations();
+  std::lock_guard<std::mutex> lock(map.mu);
+  map.entries[key] = value;
+}
+
+std::string GetProfileAnnotation(const std::string& key) {
+  AnnotationMap& map = GetAnnotations();
+  std::lock_guard<std::mutex> lock(map.mu);
+  const auto it = map.entries.find(key);
+  return it == map.entries.end() ? std::string() : it->second;
 }
 
 namespace internal_prof {
@@ -228,6 +259,17 @@ double PeakGbs() {
   return v;
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
 std::string JsonNum(double v) {
   if (!std::isfinite(v)) return "null";
   char buf[64];
@@ -290,6 +332,19 @@ std::string Profiler::DumpJson() const {
       << "\"peak_gflops\": " << JsonNum(PeakGflops())
       << ", \"peak_gbs\": " << JsonNum(PeakGbs())
       << ", \"ridge_flops_per_byte\": " << JsonNum(ridge) << "},\n";
+
+  {
+    AnnotationMap& map = GetAnnotations();
+    std::lock_guard<std::mutex> lock(map.mu);
+    out << "  \"annotations\": {";
+    bool first_ann = true;
+    for (const auto& [key, value] : map.entries) {
+      out << (first_ann ? "" : ", ") << "\"" << JsonEscape(key) << "\": \""
+          << JsonEscape(value) << "\"";
+      first_ann = false;
+    }
+    out << "},\n";
+  }
 
   out << "  \"phases\": [";
   bool first = true;

@@ -1,0 +1,71 @@
+// 64-byte-aligned storage for tensor data (DESIGN.md §13).
+//
+// Every Tensor data/grad buffer is allocated on a cache-line/AVX-512-friendly
+// 64-byte boundary so vector loads never split cache lines and aligned SIMD
+// stores are always legal on the buffer head. The SIMD kernels still issue
+// unaligned load/store instructions (loadu/storeu) because they also run on
+// interior row pointers (row stride is not forced to a multiple of 16
+// floats); on modern cores those are free when the address happens to be
+// aligned, so the allocator buys the alignment win without constraining the
+// kernels.
+//
+// AlignedAllocator is a minimal C++17 allocator over ::operator new with an
+// align_val_t, usable with std::vector. Rebinding preserves the alignment.
+
+#ifndef WIDEN_TENSOR_ALIGNED_BUFFER_H_
+#define WIDEN_TENSOR_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace widen::tensor {
+
+inline constexpr std::size_t kTensorAlignment = 64;
+
+template <typename T, std::size_t Alignment = kTensorAlignment>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T), "alignment below natural alignment");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+
+  using value_type = T;
+  using size_type = std::size_t;
+  using difference_type = std::ptrdiff_t;
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// The storage type behind every Tensor data and grad buffer.
+using FloatBuffer = std::vector<float, AlignedAllocator<float>>;
+
+static_assert(kTensorAlignment % alignof(float) == 0);
+
+}  // namespace widen::tensor
+
+#endif  // WIDEN_TENSOR_ALIGNED_BUFFER_H_

@@ -15,7 +15,7 @@ constexpr size_t kMaxPooledBuffers = 256;
 constexpr size_t kMaxPooledBytes = size_t{32} << 20;  // 32 MiB per thread
 
 struct BufferPool {
-  std::vector<std::vector<float>> buffers;
+  std::vector<FloatBuffer> buffers;
   size_t pooled_bytes = 0;
   int scope_depth = 0;
   InferenceScope::Stats stats;
@@ -30,7 +30,7 @@ BufferPool& Pool() {
 
 namespace internal {
 
-void AcquireBuffer(std::vector<float>& out, size_t num_elements) {
+void AcquireBuffer(FloatBuffer& out, size_t num_elements) {
   // Pool reuse still counts as a tensor allocation for memprof: it is a
   // buffer the planned arena must account for even when the malloc is elided.
   obs::MemProfRecordTensorAlloc(
@@ -57,7 +57,7 @@ void AcquireBuffer(std::vector<float>& out, size_t num_elements) {
   out.assign(num_elements, 0.0f);
 }
 
-void MaybeReclaimBuffer(std::vector<float>& buffer) noexcept {
+void MaybeReclaimBuffer(FloatBuffer& buffer) noexcept {
   if (buffer.capacity() == 0) return;
   BufferPool& pool = Pool();
   if (pool.scope_depth == 0) return;

@@ -8,6 +8,8 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "tensor/kernel_context.h"
+#include "tensor/quant.h"
+#include "tensor/simd/simd.h"
 
 namespace widen::tensor {
 namespace {
@@ -15,6 +17,11 @@ namespace {
 using internal::TensorImpl;
 using obs::ProfOp;
 using obs::ScopedOpProfile;
+
+// Vectorizable inner loops dispatch through the active SIMD kernel table
+// (tensor/simd/simd.h). The ParallelForGrid chunk structure — which rows or
+// element ranges share a chunk — is unchanged, so thread-count determinism
+// holds per ISA exactly as DESIGN.md §8 documents for the scalar kernels.
 
 // True when the tape must record this op.
 bool NeedsGrad(const Tensor& a) {
@@ -51,11 +58,6 @@ BroadcastKind CheckBroadcast(const Tensor& a, const Tensor& b,
   return BroadcastKind::kRowVector;
 }
 
-// Columns per j-tile of the blocked MatMul loops: the active B tile
-// (k rows x 128 columns is revisited once per output row) plus one output
-// tile stay cache-resident while A is streamed.
-constexpr int64_t kMatMulJTile = 128;
-
 // FLOPs are summed in a plain thread-local and flushed to the shared counter
 // every 64 passes: the embedding-dim matmuls in the serving path are small
 // enough that a per-pass fetch_add shows up in bench/obs_bench, while a
@@ -76,6 +78,47 @@ void AddMatMulFlops(int64_t flops) {
   }
 }
 
+// Fused dequant-dot MatMul over b's quant sidecar (inference mode only —
+// the caller guarantees no gradient is required). Streams the compressed
+// payload instead of fp32 B; byte counts reflect the quantized traffic.
+Tensor QuantMatMul(const Tensor& a, const Tensor& b, const QuantMatrix& qm) {
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  WIDEN_CHECK(qm.rows == k && qm.cols == n)
+      << "stale quant sidecar " << qm.rows << "x" << qm.cols << " for "
+      << b.shape().ToString();
+  Tensor out(Shape::Matrix(m, n));
+  const int64_t nb = qm.blocks_per_row();
+  const bool is_int8 = qm.format == QuantFormat::kInt8Block32;
+  // A fp32 + compressed B payload (int8 codes + fp32 block scales, or fp16
+  // halves) + output, in bytes.
+  const int64_t bytes = is_int8
+                            ? 4 * m * k + k * n + 4 * k * nb + 4 * m * n
+                            : 4 * m * k + 2 * k * n + 4 * m * n;
+  ScopedOpProfile prof(ProfOp::kQuantMatMul, 2 * m * n * k, bytes);
+  AddMatMulFlops(2 * m * n * k);
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  if (is_int8) {
+    const auto kern = simd::Active().matmul_row_q8;
+    const int8_t* q = qm.q.data();
+    const float* scales = qm.scales.data();
+    ParallelForGrid(m, kRowGrain, [=](int64_t r0, int64_t r1) {
+      for (int64_t i = r0; i < r1; ++i) {
+        kern(pa + i * k, q, scales, po + i * n, k, n);
+      }
+    });
+  } else {
+    const auto kern = simd::Active().matmul_row_f16;
+    const uint16_t* h = qm.half.data();
+    ParallelForGrid(m, kRowGrain, [=](int64_t r0, int64_t r1) {
+      for (int64_t i = r0; i < r1; ++i) {
+        kern(pa + i * k, h, po + i * n, k, n);
+      }
+    });
+  }
+  return out;
+}
+
 }  // namespace
 
 // ---- Linear algebra --------------------------------------------------------
@@ -85,6 +128,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       << "MatMul requires matrices";
   WIDEN_CHECK_EQ(a.cols(), b.rows());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  {
+    const QuantMatrix* qm = b.impl_ptr()->quant.get();
+    if (qm != nullptr && qm->format != QuantFormat::kNone &&
+        !NeedsGrad(a, b)) {
+      return QuantMatMul(a, b, *qm);
+    }
+  }
   Tensor out(Shape::Matrix(m, n));
   // Profiler FLOP/byte counts throughout this file are analytic per-shape
   // closed forms: FLOPs count elementary float ops (a transcendental is one),
@@ -97,22 +147,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.mutable_data();
-    // i-k-j order with j-tiling; each chunk owns a disjoint range of output
-    // rows, and each out[i][j] accumulates its k terms in ascending order
-    // regardless of the chunk grid, so results are bitwise identical for any
-    // thread count. The dense inner loop is branchless so it vectorizes.
+    // i-k-j order (j-tiled inside the row kernel); each chunk owns a
+    // disjoint range of output rows, and each out[i][j] accumulates its k
+    // terms in ascending order regardless of the chunk grid, so results are
+    // bitwise identical for any thread count within the active ISA.
+    const auto kern = simd::Active().matmul_row;
     ParallelForGrid(m, kRowGrain, [=](int64_t r0, int64_t r1) {
       for (int64_t i = r0; i < r1; ++i) {
-        const float* arow = pa + i * k;
-        float* orow = po + i * n;
-        for (int64_t j0 = 0; j0 < n; j0 += kMatMulJTile) {
-          const int64_t j1 = std::min(n, j0 + kMatMulJTile);
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const float av = arow[kk];
-            const float* brow = pb + kk * n;
-            for (int64_t j = j0; j < j1; ++j) orow[j] += av * brow[j];
-          }
-        }
+        kern(pa + i * k, pb, po + i * n, k, n);
       }
     });
   }
@@ -137,15 +179,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         // dA += dC * B^T  (m x n) * (n x k); dA rows are disjoint per chunk.
         float* da = ai->grad.data();
         const float* pb = bi->data.data();
+        const auto kdot = simd::Active().dot;
         ParallelForGrid(m, kRowGrain, [=](int64_t r0, int64_t r1) {
           for (int64_t i = r0; i < r1; ++i) {
             const float* grow = g + i * n;
             float* darow = da + i * k;
             for (int64_t kk = 0; kk < k; ++kk) {
-              const float* brow = pb + kk * n;
-              float acc = 0.0f;
-              for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
-              darow[kk] += acc;
+              darow[kk] += kdot(grow, pb + kk * n, n);
             }
           }
         });
@@ -159,6 +199,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         // exact scalar sum order, with no cross-chunk reduction needed.
         float* db = bi->grad.data();
         const float* pa = ai->data.data();
+        const auto kaxpy = simd::Active().axpy;
         ParallelForGrid(k, kRowGrain, [=](int64_t k0, int64_t k1) {
           for (int64_t i = 0; i < m; ++i) {
             const float* arow = pa + i * k;
@@ -166,8 +207,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
             for (int64_t kk = k0; kk < k1; ++kk) {
               const float av = arow[kk];
               if (av == 0.0f) continue;
-              float* dbrow = db + kk * n;
-              for (int64_t j = 0; j < n; ++j) dbrow[j] += av * grow[j];
+              kaxpy(av, grow, db + kk * n, n);
             }
           }
         });
@@ -223,10 +263,13 @@ Tensor AddLike(const Tensor& a, const Tensor& b, float sign, const char* op) {
   const float* pb = b.data();
   float* po = out.mutable_data();
   if (kind == BroadcastKind::kSameShape) {
+    const auto kern = sign > 0.0f ? simd::Active().add : simd::Active().sub;
     ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + sign * pb[i];
+      kern(pa + lo, pb + lo, po + lo, hi - lo);
     });
   } else {
+    // Row-vector broadcast stays scalar: the chunk grid is element-ranged,
+    // not row-aligned, so lanes would straddle the wrap point.
     const int64_t n = a.cols();
     ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
       for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + sign * pb[i % n];
@@ -246,16 +289,18 @@ Tensor AddLike(const Tensor& a, const Tensor& b, float sign, const char* op) {
       if (ai->requires_grad) {
         ai->EnsureGrad();
         float* da = ai->grad.data();
+        const auto kacc = simd::Active().acc;
         ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
-          for (int64_t i = lo; i < hi; ++i) da[i] += g[i];
+          kacc(g + lo, da + lo, hi - lo);
         });
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
         float* db = bi->grad.data();
         if (kind == BroadcastKind::kSameShape) {
+          const auto kacc_s = simd::Active().acc_scaled;
           ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
-            for (int64_t i = lo; i < hi; ++i) db[i] += sign * g[i];
+            kacc_s(g + lo, sign, db + lo, hi - lo);
           });
         } else {
           // Row-vector grad is a reduction over rows into n slots; kept
@@ -286,8 +331,9 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   float* po = out.mutable_data();
   const int64_t n = a.shape().rank() == 2 ? a.cols() : total;
   if (kind == BroadcastKind::kSameShape) {
+    const auto kern = simd::Active().mul;
     ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+      kern(pa + lo, pb + lo, po + lo, hi - lo);
     });
   } else {
     ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
@@ -311,8 +357,9 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
         ai->EnsureGrad();
         float* da = ai->grad.data();
         if (kind == BroadcastKind::kSameShape) {
+          const auto kmacc = simd::Active().mul_acc;
           ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
-            for (int64_t i = lo; i < hi; ++i) da[i] += g[i] * pb[i];
+            kmacc(g + lo, pb + lo, da + lo, hi - lo);
           });
         } else {
           ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
@@ -324,8 +371,9 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
         bi->EnsureGrad();
         float* db = bi->grad.data();
         if (kind == BroadcastKind::kSameShape) {
+          const auto kmacc = simd::Active().mul_acc;
           ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
-            for (int64_t i = lo; i < hi; ++i) db[i] += g[i] * pa[i];
+            kmacc(g + lo, pa + lo, db + lo, hi - lo);
           });
         } else {
           // Reduction over rows into n slots; serial, row-ascending.
@@ -343,7 +391,7 @@ Tensor Scale(const Tensor& a, float c) {
   ScopedOpProfile prof(ProfOp::kScale, total, 4 * 2 * total);
   const float* pa = a.data();
   float* po = out.mutable_data();
-  for (int64_t i = 0; i < total; ++i) po[i] = pa[i] * c;
+  simd::Active().scale(pa, c, po, total);
   if (NeedsGrad(a)) {
     TensorImpl* ai = a.impl_ptr().get();
     TensorImpl* oi = out.impl_ptr().get();
@@ -352,9 +400,7 @@ Tensor Scale(const Tensor& a, float c) {
       if (!ai->requires_grad) return;
       ai->EnsureGrad();
       ScopedOpProfile prof(ProfOp::kScale, 2 * total, 4 * 3 * total);
-      const float* g = oi->grad.data();
-      float* da = ai->grad.data();
-      for (int64_t i = 0; i < total; ++i) da[i] += g[i] * c;
+      simd::Active().acc_scaled(oi->grad.data(), c, ai->grad.data(), total);
     });
   }
   return out;
@@ -466,17 +512,68 @@ Tensor UnaryOp(const Tensor& a, ProfOp prof_op, Fwd fwd, Grad dydx) {
 
 }  // namespace
 
+// Relu and LeakyRelu go through the dispatched SIMD kernels rather than
+// UnaryOp — they are the hot encoder nonlinearities and their select-style
+// bodies vectorize losslessly (lanewise class: bitwise-identical to scalar
+// on every ISA). Profiler counts match UnaryOp's nominal forms.
 Tensor Relu(const Tensor& a) {
-  return UnaryOp(
-      a, ProfOp::kRelu, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+  Tensor out(a.shape());
+  const int64_t total = a.size();
+  ScopedOpProfile prof(ProfOp::kRelu, total, 4 * 2 * total);
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  const auto kern = simd::Active().relu;
+  ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
+    kern(pa + lo, po + lo, hi - lo);
+  });
+  if (NeedsGrad(a)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a}, [ai, oi, total] {
+      oi->EnsureGrad();
+      if (!ai->requires_grad) return;
+      ai->EnsureGrad();
+      ScopedOpProfile prof(ProfOp::kRelu, 3 * total, 4 * 5 * total);
+      const float* g = oi->grad.data();
+      const float* x = ai->data.data();
+      float* da = ai->grad.data();
+      const auto kern = simd::Active().relu_bwd;
+      ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
+        kern(g + lo, x + lo, da + lo, hi - lo);
+      });
+    });
+  }
+  return out;
 }
 
 Tensor LeakyRelu(const Tensor& a, float slope) {
-  return UnaryOp(
-      a, ProfOp::kLeakyRelu,
-      [slope](float x) { return x > 0.0f ? x : slope * x; },
-      [slope](float x, float) { return x > 0.0f ? 1.0f : slope; });
+  Tensor out(a.shape());
+  const int64_t total = a.size();
+  ScopedOpProfile prof(ProfOp::kLeakyRelu, total, 4 * 2 * total);
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  const auto kern = simd::Active().leaky_relu;
+  ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
+    kern(pa + lo, slope, po + lo, hi - lo);
+  });
+  if (NeedsGrad(a)) {
+    TensorImpl* ai = a.impl_ptr().get();
+    TensorImpl* oi = out.impl_ptr().get();
+    Attach(out, {a}, [ai, oi, total, slope] {
+      oi->EnsureGrad();
+      if (!ai->requires_grad) return;
+      ai->EnsureGrad();
+      ScopedOpProfile prof(ProfOp::kLeakyRelu, 3 * total, 4 * 5 * total);
+      const float* g = oi->grad.data();
+      const float* x = ai->data.data();
+      float* da = ai->grad.data();
+      const auto kern = simd::Active().leaky_relu_bwd;
+      ParallelForGrid(total, kElementGrain, [=](int64_t lo, int64_t hi) {
+        kern(g + lo, x + lo, slope, da + lo, hi - lo);
+      });
+    });
+  }
+  return out;
 }
 
 Tensor Elu(const Tensor& a, float alpha) {
@@ -519,24 +616,10 @@ namespace {
 // `pm` is an optional additive mask with a's layout (nullptr = no mask).
 void SoftmaxRowsForward(const float* pa, const float* pm, float* po,
                         int64_t m, int64_t n) {
+  const auto kern = simd::Active().softmax_row;
   ParallelForGrid(m, kRowGrain, [=](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
-      const float* row = pa + i * n;
-      const float* mrow = pm == nullptr ? nullptr : pm + i * n;
-      float* orow = po + i * n;
-      float max_v = mrow == nullptr ? row[0] : row[0] + mrow[0];
-      for (int64_t j = 1; j < n; ++j) {
-        const float z = mrow == nullptr ? row[j] : row[j] + mrow[j];
-        max_v = std::max(max_v, z);
-      }
-      float denom = 0.0f;
-      for (int64_t j = 0; j < n; ++j) {
-        const float z = mrow == nullptr ? row[j] : row[j] + mrow[j];
-        orow[j] = std::exp(z - max_v);
-        denom += orow[j];
-      }
-      const float inv = 1.0f / denom;
-      for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
+      kern(pa + i * n, pm == nullptr ? nullptr : pm + i * n, po + i * n, n);
     }
   });
 }
@@ -546,16 +629,10 @@ void SoftmaxRowsForward(const float* pa, const float* pm, float* po,
 // toward the logits, so the backward is identical).
 void SoftmaxRowsBackward(const float* g, const float* y, float* da,
                          int64_t m, int64_t n) {
+  const auto kern = simd::Active().softmax_row_bwd;
   ParallelForGrid(m, kRowGrain, [=](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
-      const float* grow = g + i * n;
-      const float* yrow = y + i * n;
-      float dot = 0.0f;
-      for (int64_t j = 0; j < n; ++j) dot += grow[j] * yrow[j];
-      float* darow = da + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        darow[j] += yrow[j] * (grow[j] - dot);
-      }
+      kern(g + i * n, y + i * n, da + i * n, n);
     }
   });
 }
@@ -1068,17 +1145,15 @@ Tensor RowL2Normalize(const Tensor& a) {
   float* po = out.mutable_data();
   {
     float* pn = norms->data();
+    const auto ksumsq = simd::Active().sumsq_row;
+    const auto kscale = simd::Active().scale;
     ParallelForGrid(m, kRowGrain, [=](int64_t r0, int64_t r1) {
       for (int64_t i = r0; i < r1; ++i) {
         const float* row = pa + i * n;
-        double sq = 0.0;
-        for (int64_t j = 0; j < n; ++j) {
-          sq += static_cast<double>(row[j]) * row[j];
-        }
+        const double sq = ksumsq(row, n);
         const float norm = std::max(static_cast<float>(std::sqrt(sq)), 1e-12f);
         pn[i] = norm;
-        const float inv = 1.0f / norm;
-        for (int64_t j = 0; j < n; ++j) po[i * n + j] = row[j] * inv;
+        kscale(row, 1.0f / norm, po + i * n, n);
       }
     });
   }
@@ -1095,17 +1170,14 @@ Tensor RowL2Normalize(const Tensor& a) {
       const float* y = oi->data.data();
       const float* pn = norms->data();
       float* da = ai->grad.data();
+      const auto kdot = simd::Active().dot;
+      const auto kl2bwd = simd::Active().l2norm_bwd_row;
       ParallelForGrid(m, kRowGrain, [=](int64_t r0, int64_t r1) {
         for (int64_t i = r0; i < r1; ++i) {
           const float* grow = g + i * n;
           const float* yrow = y + i * n;
-          float dot = 0.0f;
-          for (int64_t j = 0; j < n; ++j) dot += grow[j] * yrow[j];
-          const float inv = 1.0f / pn[i];
-          float* darow = da + i * n;
-          for (int64_t j = 0; j < n; ++j) {
-            darow[j] += (grow[j] - dot * yrow[j]) * inv;
-          }
+          const float dot = kdot(grow, yrow, n);
+          kl2bwd(grow, yrow, dot, 1.0f / pn[i], da + i * n, n);
         }
       });
     });

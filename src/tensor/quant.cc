@@ -1,0 +1,133 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/simd/half.h"
+#include "util/logging.h"
+
+namespace widen::tensor {
+
+const char* QuantFormatName(QuantFormat format) {
+  switch (format) {
+    case QuantFormat::kNone: return "none";
+    case QuantFormat::kInt8Block32: return "int8";
+    case QuantFormat::kFp16: return "fp16";
+  }
+  return "unknown";
+}
+
+bool ParseQuantFormat(const std::string& name, QuantFormat* format) {
+  if (name == "none" || name.empty()) {
+    *format = QuantFormat::kNone;
+  } else if (name == "int8") {
+    *format = QuantFormat::kInt8Block32;
+  } else if (name == "fp16") {
+    *format = QuantFormat::kFp16;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int64_t QuantMatrix::PayloadBytes() const {
+  switch (format) {
+    case QuantFormat::kNone:
+      return 0;
+    case QuantFormat::kInt8Block32:
+      return static_cast<int64_t>(q.size()) +
+             static_cast<int64_t>(scales.size() * sizeof(float));
+    case QuantFormat::kFp16:
+      return static_cast<int64_t>(half.size() * sizeof(uint16_t));
+  }
+  return 0;
+}
+
+QuantMatrix QuantizeMatrix(const Tensor& t, QuantFormat format) {
+  WIDEN_CHECK(format != QuantFormat::kNone) << "QuantizeMatrix(kNone)";
+  WIDEN_CHECK_EQ(t.shape().rank(), 2) << "quantization is matrix-only";
+  QuantMatrix qm;
+  qm.format = format;
+  qm.rows = t.rows();
+  qm.cols = t.cols();
+  const float* data = t.data();
+  const int64_t total = qm.rows * qm.cols;
+  if (format == QuantFormat::kFp16) {
+    qm.half.resize(static_cast<size_t>(total));
+    for (int64_t i = 0; i < total; ++i) {
+      qm.half[static_cast<size_t>(i)] = simd::FloatToHalf(data[i]);
+    }
+    return qm;
+  }
+  const int64_t nb = qm.blocks_per_row();
+  qm.q.resize(static_cast<size_t>(total));
+  qm.scales.resize(static_cast<size_t>(qm.rows * nb));
+  for (int64_t r = 0; r < qm.rows; ++r) {
+    const float* row = data + r * qm.cols;
+    int8_t* qrow = qm.q.data() + r * qm.cols;
+    float* srow = qm.scales.data() + r * nb;
+    for (int64_t b0 = 0; b0 < qm.cols; b0 += kQuantBlock) {
+      const int64_t b1 = std::min(qm.cols, b0 + kQuantBlock);
+      float amax = 0.0f;
+      for (int64_t j = b0; j < b1; ++j) {
+        amax = std::max(amax, std::fabs(row[j]));
+      }
+      // scale = max|w|/127 so codes span the full int8 range; an all-zero
+      // block stores scale 0 and decodes to exact zeros.
+      const float scale = amax / 127.0f;
+      srow[b0 / kQuantBlock] = scale;
+      const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+      for (int64_t j = b0; j < b1; ++j) {
+        const float v = std::nearbyint(row[j] * inv);
+        qrow[j] = static_cast<int8_t>(
+            std::clamp(v, -127.0f, 127.0f));
+      }
+    }
+  }
+  return qm;
+}
+
+Tensor DequantizeMatrix(const QuantMatrix& qm) {
+  WIDEN_CHECK(qm.format != QuantFormat::kNone);
+  Tensor out(Shape::Matrix(qm.rows, qm.cols));
+  float* po = out.mutable_data();
+  const int64_t total = qm.rows * qm.cols;
+  if (qm.format == QuantFormat::kFp16) {
+    WIDEN_CHECK_EQ(static_cast<int64_t>(qm.half.size()), total);
+    for (int64_t i = 0; i < total; ++i) {
+      po[i] = simd::HalfToFloat(qm.half[static_cast<size_t>(i)]);
+    }
+    return out;
+  }
+  WIDEN_CHECK_EQ(static_cast<int64_t>(qm.q.size()), total);
+  WIDEN_CHECK_EQ(static_cast<int64_t>(qm.scales.size()),
+                 qm.rows * qm.blocks_per_row());
+  const int64_t nb = qm.blocks_per_row();
+  for (int64_t r = 0; r < qm.rows; ++r) {
+    const int8_t* qrow = qm.q.data() + r * qm.cols;
+    const float* srow = qm.scales.data() + r * nb;
+    float* orow = po + r * qm.cols;
+    for (int64_t j = 0; j < qm.cols; ++j) {
+      orow[j] = srow[j / kQuantBlock] * static_cast<float>(qrow[j]);
+    }
+  }
+  return out;
+}
+
+void AttachQuant(Tensor& t, QuantMatrix qm) {
+  if (qm.format == QuantFormat::kNone) {
+    t.impl_ptr()->quant.reset();
+    return;
+  }
+  WIDEN_CHECK(t.shape().rank() == 2 && t.rows() == qm.rows &&
+              t.cols() == qm.cols)
+      << "quant sidecar shape " << qm.rows << "x" << qm.cols
+      << " vs tensor " << t.shape().ToString();
+  t.impl_ptr()->quant = std::make_shared<QuantMatrix>(std::move(qm));
+}
+
+const QuantMatrix* GetQuant(const Tensor& t) {
+  return t.impl_ptr()->quant.get();
+}
+
+}  // namespace widen::tensor

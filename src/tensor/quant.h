@@ -1,0 +1,85 @@
+// Block-quantized weight storage for serving (DESIGN.md §13).
+//
+// A QuantMatrix is a compressed, read-only mirror of one fp32 weight matrix,
+// attached to the Tensor as a sidecar (TensorImpl::quant). The fp32 data
+// stays in place — training, checkpoint saving, and any op other than the
+// inference-mode MatMul keep reading the exact weights — while the
+// inference-mode MatMul streams the compressed bytes through the fused
+// dequant-dot kernels in tensor/simd/.
+//
+// Formats (cols-direction layout, matching the MatMul B-operand access
+// pattern where row kk is streamed contiguously in j):
+//
+//   kInt8Block32 — ggml-Q8_0-style symmetric int8. Each weight row is split
+//     into ceil(cols/32) blocks of 32 consecutive columns; each block stores
+//     one fp32 scale = max|w|/127 and 32 int8 codes q = round(w/scale), so
+//     w' = q * scale. Byte layout: q[rows*cols] int8 row-major +
+//     scales[rows * ceil(cols/32)] fp32 row-major — 1.125 bytes/weight at
+//     block 32 vs 4 fp32.
+//   kFp16 — IEEE binary16, one uint16 per weight (round-to-nearest-even
+//     encode, exact decode) — 2 bytes/weight.
+//
+// Quantization happens once at checkpoint-load time (serve::InferenceSession
+// with SessionOptions::weight_quant set); the sidecar is only consulted by
+// MatMul when no gradient is required, so the serving default (kNone)
+// remains bitwise-identical to training-side forwards.
+
+#ifndef WIDEN_TENSOR_QUANT_H_
+#define WIDEN_TENSOR_QUANT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace widen::tensor {
+
+enum class QuantFormat : uint8_t {
+  kNone = 0,
+  kInt8Block32 = 1,
+  kFp16 = 2,
+};
+
+const char* QuantFormatName(QuantFormat format);
+/// Parses "none" | "int8" | "fp16" (the CLI/session spelling). Returns
+/// false on an unknown name.
+bool ParseQuantFormat(const std::string& name, QuantFormat* format);
+
+/// Columns per int8 scale block.
+inline constexpr int64_t kQuantBlock = 32;
+
+struct QuantMatrix {
+  QuantFormat format = QuantFormat::kNone;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  // kInt8Block32: rows*cols codes + rows*blocks_per_row() scales.
+  std::vector<int8_t> q;
+  std::vector<float> scales;
+  // kFp16: rows*cols halves.
+  std::vector<uint16_t> half;
+
+  int64_t blocks_per_row() const {
+    return (cols + kQuantBlock - 1) / kQuantBlock;
+  }
+  /// Compressed payload size (what a cold encode streams instead of
+  /// 4*rows*cols fp32 bytes).
+  int64_t PayloadBytes() const;
+};
+
+/// Compresses a rank-2 tensor. `format` must not be kNone.
+QuantMatrix QuantizeMatrix(const Tensor& t, QuantFormat format);
+
+/// Expands a QuantMatrix back to fp32 (w' values, not the original w).
+Tensor DequantizeMatrix(const QuantMatrix& qm);
+
+/// Attaches `qm` as `t`'s sidecar (shape must match). The inference-mode
+/// MatMul picks it up; detach by attaching a kNone-format default.
+void AttachQuant(Tensor& t, QuantMatrix qm);
+
+/// The sidecar attached to `t`, or nullptr.
+const QuantMatrix* GetQuant(const Tensor& t);
+
+}  // namespace widen::tensor
+
+#endif  // WIDEN_TENSOR_QUANT_H_

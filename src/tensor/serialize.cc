@@ -19,8 +19,16 @@ constexpr char kMagic[4] = {'W', 'D', 'N', 'T'};
 constexpr char kFooterMagic[4] = {'W', 'D', 'N', 'F'};
 constexpr uint32_t kVersionLegacy = 1;
 constexpr uint32_t kVersion = 2;
+// Written only when the bundle holds quant records; the record loop itself
+// is version-agnostic, so v3 is purely an early loud failure for old
+// readers that would otherwise reject the unknown record kind mid-file.
+constexpr uint32_t kVersionQuant = 3;
 
-enum RecordKind : uint8_t { kTensorRecord = 0, kBlobRecord = 1 };
+enum RecordKind : uint8_t {
+  kTensorRecord = 0,
+  kBlobRecord = 1,
+  kQuantRecord = 2,
+};
 
 // Structural sanity bounds: far above anything the library produces, low
 // enough that corrupt length fields cannot drive multi-gigabyte allocations.
@@ -104,6 +112,37 @@ Status ValidateNames(const Bundle& bundle) {
     WIDEN_RETURN_IF_ERROR(check(name));
     if (bytes.size() > kMaxBlobBytes) {
       return Status::InvalidArgument(StrCat("blob '", name, "' too large"));
+    }
+  }
+  // Quant names live in their own namespace (a quant may legitimately share
+  // its tensor's name as a sidecar) but must be unique among themselves and
+  // structurally consistent.
+  std::set<std::string> quant_names;
+  for (const auto& [name, qm] : bundle.quants) {
+    if (name.empty() || name.size() > kMaxNameLength) {
+      return Status::InvalidArgument(StrCat("bad quant record name '", name,
+                                            "'"));
+    }
+    if (!quant_names.insert(name).second) {
+      return Status::InvalidArgument(StrCat("duplicate quant record '", name,
+                                            "'"));
+    }
+    if (qm.format == QuantFormat::kNone || qm.rows < 0 || qm.cols < 0 ||
+        qm.rows * qm.cols > kMaxTensorElements) {
+      return Status::InvalidArgument(StrCat("invalid quant record '", name,
+                                            "'"));
+    }
+    const int64_t total = qm.rows * qm.cols;
+    const bool consistent =
+        qm.format == QuantFormat::kInt8Block32
+            ? static_cast<int64_t>(qm.q.size()) == total &&
+                  static_cast<int64_t>(qm.scales.size()) ==
+                      qm.rows * qm.blocks_per_row()
+            : static_cast<int64_t>(qm.half.size()) == total &&
+                  qm.scales.empty();
+    if (!consistent) {
+      return Status::InvalidArgument(
+          StrCat("quant record '", name, "' has inconsistent payload sizes"));
     }
   }
   return Status::OK();
@@ -196,7 +235,8 @@ StatusOr<Bundle> LoadV2Body(CrcFileReader& reader, const std::string& path) {
     uint8_t kind = 0;
     uint32_t name_length = 0;
     if (!reader.ReadScalar(&kind) ||
-        (kind != kTensorRecord && kind != kBlobRecord)) {
+        (kind != kTensorRecord && kind != kBlobRecord &&
+         kind != kQuantRecord)) {
       return Status::InvalidArgument("corrupt bundle (record kind)");
     }
     if (!reader.ReadScalar(&name_length) || name_length > kMaxNameLength) {
@@ -233,6 +273,60 @@ StatusOr<Bundle> LoadV2Body(CrcFileReader& reader, const std::string& path) {
       out.tensors.emplace_back(
           std::move(name),
           Tensor::FromVector(ShapeFromDims(dims), std::move(data)));
+    } else if (kind == kQuantRecord) {
+      uint8_t format = 0;
+      uint64_t rows = 0, cols = 0, nscales = 0, payload_bytes = 0;
+      if (!reader.ReadScalar(&format) ||
+          (format != static_cast<uint8_t>(QuantFormat::kInt8Block32) &&
+           format != static_cast<uint8_t>(QuantFormat::kFp16))) {
+        return Status::InvalidArgument("corrupt bundle (quant format)");
+      }
+      if (!reader.ReadScalar(&rows) || !reader.ReadScalar(&cols) ||
+          rows > (1ull << 32) || cols > (1ull << 32)) {
+        return Status::InvalidArgument("corrupt bundle (quant dims)");
+      }
+      QuantMatrix qm;
+      qm.format = static_cast<QuantFormat>(format);
+      qm.rows = static_cast<int64_t>(rows);
+      qm.cols = static_cast<int64_t>(cols);
+      WIDEN_ASSIGN_OR_RETURN(const int64_t total,
+                             CheckedElementCount({qm.rows, qm.cols}));
+      const uint64_t expected_scales =
+          qm.format == QuantFormat::kInt8Block32
+              ? static_cast<uint64_t>(qm.rows * qm.blocks_per_row())
+              : 0;
+      const uint64_t expected_payload =
+          qm.format == QuantFormat::kInt8Block32
+              ? static_cast<uint64_t>(total)
+              : static_cast<uint64_t>(total) * sizeof(uint16_t);
+      if (!reader.ReadScalar(&nscales) || nscales != expected_scales ||
+          static_cast<int64_t>(nscales * sizeof(float)) > reader.remaining) {
+        return Status::InvalidArgument("corrupt bundle (quant scale count)");
+      }
+      qm.scales.resize(static_cast<size_t>(nscales));
+      if (!reader.Read(qm.scales.data(), qm.scales.size() * sizeof(float))) {
+        return Status::IOError(StrCat("truncated bundle ('", name,
+                                      "' scales)"));
+      }
+      if (!reader.ReadScalar(&payload_bytes) ||
+          payload_bytes != expected_payload ||
+          static_cast<int64_t>(payload_bytes) > reader.remaining) {
+        return Status::InvalidArgument("corrupt bundle (quant payload size)");
+      }
+      if (qm.format == QuantFormat::kInt8Block32) {
+        qm.q.resize(static_cast<size_t>(payload_bytes));
+        if (!reader.Read(qm.q.data(), qm.q.size())) {
+          return Status::IOError(StrCat("truncated bundle ('", name,
+                                        "' codes)"));
+        }
+      } else {
+        qm.half.resize(static_cast<size_t>(total));
+        if (!reader.Read(qm.half.data(), qm.half.size() * sizeof(uint16_t))) {
+          return Status::IOError(StrCat("truncated bundle ('", name,
+                                        "' halves)"));
+        }
+      }
+      out.quants.emplace_back(std::move(name), std::move(qm));
     } else {
       uint64_t size = 0;
       if (!reader.ReadScalar(&size) || size > kMaxBlobBytes ||
@@ -341,9 +435,12 @@ Status SaveBundle(const std::string& path, const Bundle& bundle) {
   WIDEN_RETURN_IF_ERROR(ValidateNames(bundle));
   WIDEN_ASSIGN_OR_RETURN(AtomicFile file, AtomicFile::Open(path));
   CrcFileWriter writer{file.stream()};
+  const uint64_t record_count =
+      bundle.tensors.size() + bundle.blobs.size() + bundle.quants.size();
   writer.Write(kMagic, 4);
-  writer.WriteScalar<uint32_t>(kVersion);
-  writer.WriteScalar<uint64_t>(bundle.tensors.size() + bundle.blobs.size());
+  writer.WriteScalar<uint32_t>(bundle.quants.empty() ? kVersion
+                                                     : kVersionQuant);
+  writer.WriteScalar<uint64_t>(record_count);
 
   std::string record;
   auto flush_record = [&writer, &record]() {
@@ -371,10 +468,28 @@ Status SaveBundle(const std::string& path, const Bundle& bundle) {
     encoder.WriteBytes(bytes.data(), bytes.size());
     flush_record();
   }
+  for (const auto& [name, qm] : bundle.quants) {
+    record.clear();
+    ByteWriter encoder(&record);
+    EncodeRecordHeader(encoder, kQuantRecord, name);
+    encoder.WriteScalar<uint8_t>(static_cast<uint8_t>(qm.format));
+    encoder.WriteScalar<uint64_t>(static_cast<uint64_t>(qm.rows));
+    encoder.WriteScalar<uint64_t>(static_cast<uint64_t>(qm.cols));
+    encoder.WriteScalar<uint64_t>(qm.scales.size());
+    encoder.WriteBytes(qm.scales.data(), qm.scales.size() * sizeof(float));
+    if (qm.format == QuantFormat::kInt8Block32) {
+      encoder.WriteScalar<uint64_t>(qm.q.size());
+      encoder.WriteBytes(qm.q.data(), qm.q.size());
+    } else {
+      encoder.WriteScalar<uint64_t>(qm.half.size() * sizeof(uint16_t));
+      encoder.WriteBytes(qm.half.data(), qm.half.size() * sizeof(uint16_t));
+    }
+    flush_record();
+  }
 
   const uint32_t file_crc = writer.file_crc;  // footer excludes itself
   writer.Write(kFooterMagic, 4);
-  writer.WriteScalar<uint64_t>(bundle.tensors.size() + bundle.blobs.size());
+  writer.WriteScalar<uint64_t>(record_count);
   writer.WriteScalar<uint32_t>(file_crc);
   if (!writer.ok) {
     return Status::IOError(StrCat("write to '", path, "' failed"));
@@ -422,7 +537,7 @@ StatusOr<Bundle> LoadBundle(const std::string& path) {
     if (bundle.ok()) bytes_read->Add(file_size);
     return bundle;
   }
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionQuant) {
     return Status::InvalidArgument(
         StrCat("unsupported bundle version ", version));
   }
@@ -430,6 +545,15 @@ StatusOr<Bundle> LoadBundle(const std::string& path) {
   if (bundle.ok()) {
     bytes_read->Add(file_size);
     crc_verify_us->Add(reader.crc_ns / 1000);
+    // Re-attach quant sidecars to the tensors that share their name.
+    for (const auto& [qname, qm] : bundle->quants) {
+      for (auto& [tname, t] : bundle->tensors) {
+        if (tname == qname && t.shape().rank() == 2 &&
+            t.rows() == qm.rows && t.cols() == qm.cols) {
+          AttachQuant(t, qm);
+        }
+      }
+    }
   }
   return bundle;
 }

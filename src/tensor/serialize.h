@@ -1,10 +1,13 @@
 // Binary serialization of tensors and named parameter bundles.
 //
-// Format v2 (little-endian, checksummed, crash-safe):
-//   file   := MAGIC("WDNT") u32-version(2) u64-count record* footer
+// Format v2/v3 (little-endian, checksummed, crash-safe):
+//   file   := MAGIC("WDNT") u32-version u64-count record* footer
 //   record := u8-kind u32-name-length name-bytes body u32-crc32c
 //   body   := tensor: u32-rank u64-dim* f32-data*        (kind 0)
 //           | blob:   u64-size raw-bytes                 (kind 1)
+//           | quant:  u8-format u64-rows u64-cols        (kind 2)
+//                     u64-nscales f32-scale*
+//                     u64-payload-bytes raw-bytes
 //   footer := MAGIC("WDNF") u64-count u32-file-crc32c
 //
 // Each record's CRC32C covers its bytes from the kind tag through the body;
@@ -12,6 +15,14 @@
 // and any single flipped byte are detected at load time. Files are written
 // through the atomic temp-file + fsync + rename protocol (util/file_util.h):
 // a crash mid-save leaves the previous bundle intact.
+//
+// Quant records (tensor/quant.h) carry block-quantized serving weights: the
+// payload is the int8 code matrix (kInt8Block32, with the fp32 scales in the
+// scale array) or the raw binary16 matrix (kFp16, nscales = 0). A quant
+// record may share its name with a tensor record in the same bundle — it is
+// then a sidecar of that tensor and LoadBundle re-attaches it. Files are
+// written as version 3 only when at least one quant record is present, so
+// bundles without them remain readable by older releases.
 //
 // Version 1 files (no checksums, no footer) written by earlier releases
 // remain loadable. Floats are written raw; the format is not portable to
@@ -24,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
 
@@ -35,11 +47,18 @@ using NamedTensors = std::vector<std::pair<std::string, Tensor>>;
 /// An ordered list of (name, raw bytes) pairs for non-tensor state.
 using NamedBlobs = std::vector<std::pair<std::string, std::string>>;
 
+/// An ordered list of (name, quantized matrix) pairs.
+using NamedQuants = std::vector<std::pair<std::string, QuantMatrix>>;
+
 /// A checkpoint bundle: float tensors plus opaque byte records (optimizer /
-/// RNG / sampler state). Names must be unique across both lists.
+/// RNG / sampler state) plus optional block-quantized weight records. Names
+/// must be unique across tensors and blobs; a quant name must be unique
+/// among quants but MAY match a tensor name (sidecar of that tensor —
+/// LoadBundle re-attaches it via AttachQuant).
 struct Bundle {
   NamedTensors tensors;
   NamedBlobs blobs;
+  NamedQuants quants;
 };
 
 /// Atomically writes `bundle` to `path` in format v2. Names must be unique

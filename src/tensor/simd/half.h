@@ -1,0 +1,76 @@
+// Portable IEEE-754 binary16 <-> binary32 conversion.
+//
+// Every binary16 value is exactly representable in binary32, so decoding is
+// exact and must agree bit-for-bit with hardware F16C (vcvtph2ps) — the
+// scalar quant kernels and the AVX2 fused kernels both consume the same
+// stored halves. Encoding rounds to nearest-even (the F16C default mode),
+// handling subnormals, overflow-to-infinity, and NaN payload truncation.
+
+#ifndef WIDEN_TENSOR_SIMD_HALF_H_
+#define WIDEN_TENSOR_SIMD_HALF_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace widen::tensor::simd {
+
+inline float HalfToFloat(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1Fu;
+  uint32_t mant = h & 0x3FFu;
+  uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // +-0
+    } else {
+      // Subnormal half: normalize into a binary32 normal.
+      int e = -1;
+      do {
+        ++e;
+        mant <<= 1;
+      } while ((mant & 0x400u) == 0);
+      bits = sign | ((127 - 15 - e) << 23) | ((mant & 0x3FFu) << 13);
+    }
+  } else if (exp == 0x1Fu) {
+    bits = sign | 0x7F800000u | (mant << 13);  // inf / NaN
+  } else {
+    bits = sign | ((exp + (127 - 15)) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+inline uint16_t FloatToHalf(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  const uint16_t sign = static_cast<uint16_t>((bits >> 16) & 0x8000u);
+  const uint32_t abs = bits & 0x7FFFFFFFu;
+  if (abs >= 0x7F800000u) {  // inf / NaN
+    const uint16_t mant = abs > 0x7F800000u ? 0x200u : 0u;  // quiet NaN
+    return static_cast<uint16_t>(sign | 0x7C00u | mant);
+  }
+  if (abs >= 0x477FF000u) {  // rounds to >= 2^16: overflow to infinity
+    return static_cast<uint16_t>(sign | 0x7C00u);
+  }
+  if (abs < 0x38800000u) {  // below smallest normal half: subnormal or zero
+    if (abs < 0x33000000u) return sign;  // rounds to zero
+    const uint32_t shift = 125 - (abs >> 23);  // 13..23
+    const uint32_t mant = (abs & 0x7FFFFFu) | 0x800000u;
+    const uint32_t rounded = mant >> (shift + 1);
+    const uint32_t rem = mant & ((1u << (shift + 1)) - 1);
+    const uint32_t half_ulp = 1u << shift;
+    uint32_t out = rounded;
+    if (rem > half_ulp || (rem == half_ulp && (rounded & 1u))) ++out;
+    return static_cast<uint16_t>(sign | out);
+  }
+  // Normal range: drop 13 mantissa bits with round-to-nearest-even.
+  uint32_t out = ((abs >> 23) - (127 - 15)) << 10 | ((abs >> 13) & 0x3FFu);
+  const uint32_t rem = abs & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) ++out;  // may carry
+  return static_cast<uint16_t>(sign | out);  // carry into exponent is exact
+}
+
+}  // namespace widen::tensor::simd
+
+#endif  // WIDEN_TENSOR_SIMD_HALF_H_

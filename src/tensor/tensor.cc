@@ -36,7 +36,9 @@ Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values) {
   Tensor t;
   t.impl_ = std::make_shared<internal::TensorImpl>();
   t.impl_->shape = shape;
-  t.impl_->data = std::move(values);
+  // Copied (not moved): tensor storage is 64-byte aligned, the caller's
+  // default-allocated vector is not.
+  t.impl_->data.assign(values.begin(), values.end());
   obs::MemProfRecordTensorAlloc(
       static_cast<int64_t>(t.impl_->data.size() * sizeof(float)));
   return t;

@@ -20,12 +20,14 @@
 #include <string>
 #include <vector>
 
+#include "tensor/aligned_buffer.h"
 #include "tensor/shape.h"
 #include "util/logging.h"
 
 namespace widen::tensor {
 
 class Tensor;
+struct QuantMatrix;  // tensor/quant.h — block-quantized serving sidecar
 
 /// RAII guard that disables autograd tape construction on this thread
 /// (torch.no_grad analogue). Ops executed inside produce constant results
@@ -51,20 +53,25 @@ namespace internal {
 // Inference buffer-pool hooks (tensor/inference.cc). All three are cheap
 // no-ops unless an InferenceScope is active on the calling thread or the
 // op-level profiler is enabled (memprof allocation accounting).
-void AcquireBuffer(std::vector<float>& out, size_t num_elements);
-void MaybeReclaimBuffer(std::vector<float>& buffer) noexcept;
+void AcquireBuffer(FloatBuffer& out, size_t num_elements);
+void MaybeReclaimBuffer(FloatBuffer& buffer) noexcept;
 void NoteGradAllocation(size_t num_elements);
 
 /// Shared state behind a Tensor handle. Public only to the ops layer.
 struct TensorImpl {
   Shape shape;
-  std::vector<float> data;
+  FloatBuffer data;  // 64-byte-aligned head (tensor/aligned_buffer.h)
 
   // Autograd.
   bool requires_grad = false;
-  std::vector<float> grad;                 // lazily sized to data.size()
+  FloatBuffer grad;                        // lazily sized to data.size()
   std::vector<std::shared_ptr<TensorImpl>> parents;
   std::function<void()> backward_fn;       // accumulates into parents' grads
+
+  // Block-quantized serving sidecar (tensor/quant.h), attached at
+  // checkpoint-load time to frozen weights; consulted only by the
+  // inference-mode MatMul. Must be treated as stale if `data` is mutated.
+  std::shared_ptr<QuantMatrix> quant;
 
   // Debug label (parameter name, op name); empty for intermediates.
   std::string label;
@@ -104,10 +111,10 @@ class Tensor {
   int64_t cols() const { return shape().cols(); }
   int64_t size() const { return shape().NumElements(); }
 
-  /// Raw row-major storage.
+  /// Raw row-major storage (head is 64-byte aligned).
   const float* data() const { return impl()->data.data(); }
   float* mutable_data() { return impl()->data.data(); }
-  const std::vector<float>& values() const { return impl()->data; }
+  const FloatBuffer& values() const { return impl()->data; }
 
   /// Matrix element accessors (rank-2 only).
   float at(int64_t r, int64_t c) const {

@@ -114,6 +114,63 @@ TEST(SerializeTest, RoundTripsBlobsAlongsideTensors) {
   EXPECT_FALSE(SaveBundle(TempPath("clash.wdnt"), clash).ok());
 }
 
+TEST(SerializeTest, RoundTripsQuantRecordsAndReattachesSidecars) {
+  Rng rng(9);
+  Tensor w = NormalInit(Shape::Matrix(4, 40), rng, 1.0f);
+  Bundle bundle;
+  bundle.tensors = {{"w", w}};
+  // One sidecar (same name as "w") and one standalone quant record.
+  bundle.quants = {{"w", QuantizeMatrix(w, QuantFormat::kInt8Block32)},
+                   {"standalone", QuantizeMatrix(w, QuantFormat::kFp16)}};
+  const std::string path = TempPath("quant.wdnt");
+  ASSERT_TRUE(SaveBundle(path, bundle).ok());
+
+  auto loaded = LoadBundle(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->quants.size(), 2u);
+  const QuantMatrix& qi = loaded->quants[0].second;
+  EXPECT_EQ(loaded->quants[0].first, "w");
+  EXPECT_EQ(qi.format, QuantFormat::kInt8Block32);
+  EXPECT_EQ(qi.q, bundle.quants[0].second.q);
+  EXPECT_EQ(qi.scales, bundle.quants[0].second.scales);
+  const QuantMatrix& qh = loaded->quants[1].second;
+  EXPECT_EQ(qh.format, QuantFormat::kFp16);
+  EXPECT_EQ(qh.half, bundle.quants[1].second.half);
+
+  // The same-named record came back attached to its tensor as a sidecar.
+  ASSERT_EQ(loaded->tensors.size(), 1u);
+  const QuantMatrix* sidecar = GetQuant(loaded->tensors[0].second);
+  ASSERT_NE(sidecar, nullptr);
+  EXPECT_EQ(sidecar->format, QuantFormat::kInt8Block32);
+
+  // Files without quant records keep the pre-quant version and an empty
+  // quants list.
+  const std::string plain = TempPath("plain_noquant.wdnt");
+  Bundle no_quants;
+  no_quants.tensors = {{"w", w}};
+  ASSERT_TRUE(SaveBundle(plain, no_quants).ok());
+  auto plain_loaded = LoadBundle(plain);
+  ASSERT_TRUE(plain_loaded.ok());
+  EXPECT_TRUE(plain_loaded->quants.empty());
+
+  // Corruption inside the quant payload is caught by the record checksums.
+  const std::string bytes = ReadFileBytes(path);
+  std::string mutated_bytes = bytes;
+  mutated_bytes[bytes.size() * 2 / 3] ^= 0x20;
+  const std::string mutated = TempPath("quant_mutated.wdnt");
+  WriteFileBytes(mutated, mutated_bytes);
+  EXPECT_FALSE(LoadBundle(mutated).ok());
+
+  // Malformed quant metadata is rejected at save time.
+  Bundle bad;
+  bad.tensors = {{"w", w}};
+  QuantMatrix none;  // format == kNone
+  none.rows = 4;
+  none.cols = 40;
+  bad.quants = {{"w", none}};
+  EXPECT_FALSE(SaveBundle(TempPath("badquant.wdnt"), bad).ok());
+}
+
 TEST(SerializeTest, LoadsLegacyV1Files) {
   // Byte-for-byte the pre-checksum format: magic, version 1, count, then
   // name-length/name/rank/dims/data per tensor — no CRCs, no footer.

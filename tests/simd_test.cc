@@ -1,0 +1,347 @@
+// Tests for the runtime SIMD dispatch layer (tensor/simd/) and the
+// block-quantized weight storage (tensor/quant.h): ISA selection, the
+// per-ISA determinism contract, lanewise scalar-equivalence, fp16
+// conversion, quantization error bounds, and tensor allocation alignment.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/autograd.h"
+#include "tensor/init.h"
+#include "tensor/kernel_context.h"
+#include "tensor/ops.h"
+#include "tensor/quant.h"
+#include "tensor/simd/half.h"
+#include "tensor/simd/simd.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace widen::tensor {
+namespace {
+
+// Restores the process-default kernel table when a test body returns.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(simd::Isa isa) : previous_(simd::ForceIsa(isa)) {}
+  ~ScopedIsa() { simd::ForceIsa(previous_); }
+
+ private:
+  simd::Isa previous_;
+};
+
+std::vector<simd::Isa> SupportedIsas() {
+  std::vector<simd::Isa> isas = {simd::Isa::kScalar};
+  for (simd::Isa isa : {simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    if (simd::IsaSupported(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+std::vector<float> RandomValues(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.Normal(0.0, 1.0));
+  return v;
+}
+
+TEST(SimdDispatchTest, ScalarAlwaysSupported) {
+  EXPECT_TRUE(simd::IsaSupported(simd::Isa::kScalar));
+  EXPECT_STREQ(simd::IsaName(simd::Isa::kScalar), "scalar");
+}
+
+TEST(SimdDispatchTest, ActiveTableMatchesActiveIsa) {
+  EXPECT_EQ(simd::Active().isa, simd::ActiveIsa());
+}
+
+TEST(SimdDispatchTest, ForceIsaReturnsPrevious) {
+  const simd::Isa original = simd::ActiveIsa();
+  const simd::Isa reported = simd::ForceIsa(simd::Isa::kScalar);
+  EXPECT_EQ(reported, original);
+  EXPECT_EQ(simd::ActiveIsa(), simd::Isa::kScalar);
+  EXPECT_EQ(simd::ForceIsa(original), simd::Isa::kScalar);
+  EXPECT_EQ(simd::ActiveIsa(), original);
+}
+
+TEST(SimdDispatchTest, ForceUnsupportedIsaFallsBackToScalar) {
+  simd::Isa missing;
+#if defined(__x86_64__) || defined(_M_X64)
+  missing = simd::Isa::kNeon;
+#else
+  missing = simd::Isa::kAvx2;
+#endif
+  ASSERT_FALSE(simd::IsaSupported(missing));
+  const simd::Isa original = simd::ForceIsa(missing);
+  EXPECT_EQ(simd::ActiveIsa(), simd::Isa::kScalar);
+  simd::ForceIsa(original);
+}
+
+// Tensor buffers are 64-byte aligned so every vector kernel can use aligned
+// full-width loads on the dominant cacheline size.
+TEST(SimdDispatchTest, TensorAllocationsAre64ByteAligned) {
+  for (int64_t cols : {1, 3, 7, 16, 33, 257}) {
+    Tensor t = Tensor::Zeros(Shape::Matrix(5, cols));
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(t.data()) % 64, 0u)
+        << "cols=" << cols;
+  }
+}
+
+// Lanewise kernels promise bitwise-identical results to scalar on every ISA
+// (no reduction, no FMA): verify on lengths around the vector width.
+TEST(SimdKernelTest, LanewiseKernelsMatchScalarBitwise) {
+  for (simd::Isa isa : SupportedIsas()) {
+    if (isa == simd::Isa::kScalar) continue;
+    ScopedIsa forced(isa);
+    const simd::Kernels& vec = simd::Active();
+    const simd::Kernels& ref = simd::ScalarKernels();
+    for (int64_t n : {1, 7, 8, 9, 31, 64, 1000}) {
+      const std::vector<float> a = RandomValues(n, 100 + n);
+      const std::vector<float> b = RandomValues(n, 200 + n);
+      std::vector<float> got(n), want(n);
+
+      auto expect_same = [&](const char* kernel) {
+        EXPECT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(float)), 0)
+            << kernel << " isa=" << simd::IsaName(isa) << " n=" << n;
+      };
+      vec.add(a.data(), b.data(), got.data(), n);
+      ref.add(a.data(), b.data(), want.data(), n);
+      expect_same("add");
+      vec.sub(a.data(), b.data(), got.data(), n);
+      ref.sub(a.data(), b.data(), want.data(), n);
+      expect_same("sub");
+      vec.mul(a.data(), b.data(), got.data(), n);
+      ref.mul(a.data(), b.data(), want.data(), n);
+      expect_same("mul");
+      vec.scale(a.data(), 0.37f, got.data(), n);
+      ref.scale(a.data(), 0.37f, want.data(), n);
+      expect_same("scale");
+      vec.relu(a.data(), got.data(), n);
+      ref.relu(a.data(), want.data(), n);
+      expect_same("relu");
+      vec.leaky_relu(a.data(), 0.01f, got.data(), n);
+      ref.leaky_relu(a.data(), 0.01f, want.data(), n);
+      expect_same("leaky_relu");
+
+      got = b;
+      want = b;
+      vec.acc(a.data(), got.data(), n);
+      ref.acc(a.data(), want.data(), n);
+      expect_same("acc");
+      got = b;
+      want = b;
+      vec.acc_scaled(a.data(), -1.25f, got.data(), n);
+      ref.acc_scaled(a.data(), -1.25f, want.data(), n);
+      expect_same("acc_scaled");
+      got = a;
+      want = a;
+      vec.mul_acc(a.data(), b.data(), got.data(), n);
+      ref.mul_acc(a.data(), b.data(), want.data(), n);
+      expect_same("mul_acc");
+      got = b;
+      want = b;
+      vec.relu_bwd(a.data(), b.data(), got.data(), n);
+      ref.relu_bwd(a.data(), b.data(), want.data(), n);
+      expect_same("relu_bwd");
+      got = b;
+      want = b;
+      vec.leaky_relu_bwd(a.data(), b.data(), 0.01f, got.data(), n);
+      ref.leaky_relu_bwd(a.data(), b.data(), 0.01f, want.data(), n);
+      expect_same("leaky_relu_bwd");
+    }
+  }
+}
+
+// Scalar relu is `x > 0 ? x : 0`, which maps NaN to 0 (the comparison is
+// false). The vector kernels use compare+select rather than max() precisely
+// so they reproduce that choice bitwise — vmax/maxps would pass NaN through
+// on some ISAs and break scalar-equivalence.
+TEST(SimdKernelTest, ReluNanHandlingMatchesScalar) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> x = {-1.0f, nan, 2.0f, -0.0f, nan, 3.0f, 4.0f,
+                                5.0f, 6.0f};
+  const int64_t n = static_cast<int64_t>(x.size());
+  std::vector<float> want(x.size(), -9.0f);
+  simd::ScalarKernels().relu(x.data(), want.data(), n);
+  EXPECT_FLOAT_EQ(want[1], 0.0f);  // NaN -> 0 is the scalar contract
+  EXPECT_FLOAT_EQ(want[2], 2.0f);
+  for (simd::Isa isa : SupportedIsas()) {
+    ScopedIsa forced(isa);
+    std::vector<float> got(x.size(), -9.0f);
+    simd::Active().relu(x.data(), got.data(), n);
+    EXPECT_EQ(std::memcmp(got.data(), want.data(), x.size() * sizeof(float)),
+              0)
+        << simd::IsaName(isa);
+  }
+}
+
+// Reduction/fused kernels fix their tree per ISA, so cross-ISA agreement is
+// only approximate — but within one ISA, vector vs scalar must agree to
+// rounding slack and the vector result must be self-consistent.
+TEST(SimdKernelTest, ReductionKernelsMatchScalarApproximately) {
+  const int64_t k = 67, n = 45;
+  const std::vector<float> arow = RandomValues(k, 1);
+  const std::vector<float> b = RandomValues(k * n, 2);
+  for (simd::Isa isa : SupportedIsas()) {
+    ScopedIsa forced(isa);
+    const simd::Kernels& kern = simd::Active();
+    std::vector<float> got(n, 0.0f), want(n, 0.0f);
+    kern.matmul_row(arow.data(), b.data(), got.data(), k, n);
+    simd::ScalarKernels().matmul_row(arow.data(), b.data(), want.data(), k, n);
+    for (int64_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(got[j], want[j], 1e-4f)
+          << simd::IsaName(isa) << " j=" << j;
+    }
+    const float dv = kern.dot(arow.data(), arow.data(), k);
+    const float ds = simd::ScalarKernels().dot(arow.data(), arow.data(), k);
+    EXPECT_NEAR(dv, ds, 1e-4f) << simd::IsaName(isa);
+    const double sv = kern.sumsq_row(arow.data(), k);
+    EXPECT_NEAR(sv, static_cast<double>(ds), 1e-4) << simd::IsaName(isa);
+  }
+}
+
+// The §8 thread-count determinism contract survives vectorization: forward
+// and backward results are bitwise-identical for 1 vs 4 threads under every
+// compiled-in ISA.
+TEST(SimdKernelTest, OpsBitwiseDeterministicAcrossThreadCounts) {
+  for (simd::Isa isa : SupportedIsas()) {
+    ScopedIsa forced(isa);
+    auto run = [&](int threads) {
+      KernelContext::Get().SetNumThreads(threads);
+      Rng rng(11);
+      Tensor a = NormalInit(Shape::Matrix(37, 29), rng, 0.5f, "a");
+      Tensor b = NormalInit(Shape::Matrix(29, 23), rng, 0.5f, "b");
+      Tensor y = Relu(MatMul(a, b));
+      Tensor z = RowL2Normalize(SoftmaxRows(y));
+      Backward(SumAll(z));
+      std::vector<float> out(z.data(), z.data() + z.size());
+      out.insert(out.end(), a.grad(), a.grad() + a.size());
+      KernelContext::Get().SetNumThreads(1);
+      return out;
+    };
+    const std::vector<float> t1 = run(1);
+    const std::vector<float> t4 = run(4);
+    ASSERT_EQ(t1.size(), t4.size());
+    EXPECT_EQ(std::memcmp(t1.data(), t4.data(), t1.size() * sizeof(float)), 0)
+        << "isa=" << simd::IsaName(isa);
+  }
+}
+
+TEST(HalfConversionTest, RoundTripSpecialsExactly) {
+  using simd::FloatToHalf;
+  using simd::HalfToFloat;
+  EXPECT_EQ(HalfToFloat(FloatToHalf(0.0f)), 0.0f);
+  EXPECT_TRUE(std::signbit(HalfToFloat(FloatToHalf(-0.0f))));
+  EXPECT_EQ(HalfToFloat(FloatToHalf(1.0f)), 1.0f);
+  EXPECT_EQ(HalfToFloat(FloatToHalf(-2.5f)), -2.5f);
+  EXPECT_EQ(HalfToFloat(FloatToHalf(65504.0f)), 65504.0f);  // max finite half
+  EXPECT_TRUE(std::isinf(HalfToFloat(FloatToHalf(1e6f))));  // overflow -> inf
+  EXPECT_TRUE(std::isinf(HalfToFloat(
+      FloatToHalf(std::numeric_limits<float>::infinity()))));
+  EXPECT_TRUE(std::isnan(HalfToFloat(
+      FloatToHalf(std::numeric_limits<float>::quiet_NaN()))));
+  // Smallest half subnormal and below.
+  EXPECT_EQ(HalfToFloat(FloatToHalf(5.9604645e-8f)), 5.9604645e-8f);
+  EXPECT_EQ(HalfToFloat(FloatToHalf(1e-10f)), 0.0f);  // underflow -> zero
+}
+
+TEST(HalfConversionTest, RelativeErrorBounded) {
+  const std::vector<float> values = RandomValues(4096, 77);
+  for (float v : values) {
+    const float back = simd::HalfToFloat(simd::FloatToHalf(v));
+    // Half has 11 significand bits: RNE error <= 2^-11 relative.
+    EXPECT_LE(std::abs(back - v), std::abs(v) * (1.0f / 2048.0f) + 1e-7f);
+  }
+}
+
+TEST(QuantTest, Int8RoundTripErrorBoundedPerBlock) {
+  Rng rng(5);
+  Tensor w = NormalInit(Shape::Matrix(9, 70), rng, 1.0f, "w");
+  const QuantMatrix qm = QuantizeMatrix(w, QuantFormat::kInt8Block32);
+  EXPECT_EQ(qm.rows, 9);
+  EXPECT_EQ(qm.cols, 70);
+  EXPECT_EQ(qm.blocks_per_row(), 3);
+  EXPECT_EQ(static_cast<int64_t>(qm.scales.size()),
+            qm.rows * qm.blocks_per_row());
+  const Tensor back = DequantizeMatrix(qm);
+  for (int64_t i = 0; i < qm.rows; ++i) {
+    for (int64_t j = 0; j < qm.cols; ++j) {
+      const float scale = qm.scales[i * qm.blocks_per_row() + j / kQuantBlock];
+      // Symmetric rounding: |w - q*scale| <= scale/2.
+      EXPECT_LE(std::abs(w.at(i, j) - back.at(i, j)), scale * 0.5f + 1e-9f)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(QuantTest, Fp16RoundTripMatchesHalfConversion) {
+  Rng rng(6);
+  Tensor w = NormalInit(Shape::Matrix(4, 33), rng, 1.0f, "w");
+  const QuantMatrix qm = QuantizeMatrix(w, QuantFormat::kFp16);
+  EXPECT_EQ(static_cast<int64_t>(qm.half.size()), w.size());
+  const Tensor back = DequantizeMatrix(qm);
+  for (int64_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(back.data()[i],
+              simd::HalfToFloat(simd::FloatToHalf(w.data()[i])))
+        << i;
+  }
+}
+
+// The inference-mode MatMul reads the sidecar; training-mode (grad-tracked)
+// MatMul must keep reading the exact fp32 weights.
+TEST(QuantTest, MatMulUsesSidecarOnlyWithoutGrad) {
+  Rng rng(7);
+  // Frozen operands: NormalInit returns differentiable leaves, and the
+  // sidecar is only consulted when neither operand needs gradients.
+  Tensor a = NormalInit(Shape::Matrix(5, 64), rng, 0.7f, "a");
+  Tensor b = NormalInit(Shape::Matrix(64, 48), rng, 0.7f, "b");
+  a.set_requires_grad(false);
+  b.set_requires_grad(false);
+  const Tensor exact = MatMul(a, b);
+
+  AttachQuant(b, QuantizeMatrix(b, QuantFormat::kInt8Block32));
+  ASSERT_NE(GetQuant(b), nullptr);
+  const Tensor quant = MatMul(a, b);
+  double max_gap = 0.0, max_mag = 0.0;
+  bool any_diff = false;
+  for (int64_t i = 0; i < exact.size(); ++i) {
+    max_gap = std::max(max_gap,
+                       std::abs(static_cast<double>(exact.data()[i]) -
+                                quant.data()[i]));
+    max_mag = std::max(max_mag, std::abs(static_cast<double>(exact.data()[i])));
+    any_diff |= exact.data()[i] != quant.data()[i];
+  }
+  EXPECT_TRUE(any_diff);          // the int8 path really ran
+  EXPECT_LE(max_gap, 0.05 * std::max(max_mag, 1.0));  // ...and is close
+
+  // Grad-tracked operands bypass the sidecar entirely.
+  Tensor at = NormalInit(Shape::Matrix(5, 64), rng, 0.7f, "at");
+  at.set_requires_grad(true);
+  Tensor tracked = MatMul(at, b);
+  EXPECT_TRUE(tracked.requires_grad());
+
+  // Detach: kNone resets to the exact path.
+  b.impl_ptr()->quant.reset();
+  const Tensor again = MatMul(a, b);
+  EXPECT_EQ(std::memcmp(again.data(), exact.data(),
+                        exact.size() * sizeof(float)),
+            0);
+}
+
+TEST(QuantTest, ParseAndNameRoundTrip) {
+  QuantFormat f = QuantFormat::kNone;
+  EXPECT_TRUE(ParseQuantFormat("int8", &f));
+  EXPECT_EQ(f, QuantFormat::kInt8Block32);
+  EXPECT_TRUE(ParseQuantFormat("fp16", &f));
+  EXPECT_EQ(f, QuantFormat::kFp16);
+  EXPECT_TRUE(ParseQuantFormat("none", &f));
+  EXPECT_EQ(f, QuantFormat::kNone);
+  EXPECT_FALSE(ParseQuantFormat("int4", &f));
+  EXPECT_STREQ(QuantFormatName(QuantFormat::kInt8Block32), "int8");
+  EXPECT_STREQ(QuantFormatName(QuantFormat::kFp16), "fp16");
+}
+
+}  // namespace
+}  // namespace widen::tensor
