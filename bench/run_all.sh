@@ -47,5 +47,11 @@ echo "== serving_bench =="
 echo "== obs_bench =="
 "$BUILD_DIR/bench/obs_bench" "$OUT_DIR/BENCH_obs.json"
 
+# Spawns an in-process socket server and drives it with mixed Embed/Predict/
+# Ingest traffic (closed + open loop, hot reload, drain under load). Exits
+# non-zero if any admitted request goes unanswered.
+echo "== load_bench =="
+"$BUILD_DIR/bench/load_bench" --out "$OUT_DIR/BENCH_load.json"
+
 echo "bench records in $OUT_DIR: BENCH_kernels.json BENCH_serving.json" \
-     "BENCH_obs.json"
+     "BENCH_obs.json BENCH_load.json"

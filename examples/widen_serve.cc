@@ -5,6 +5,8 @@
 //   ./build/examples/widen_serve                                  # smoke run
 //   ./build/examples/widen_serve --smoke [--clients N] [--queries M]
 //   ./build/examples/widen_serve embed <graph.txt> <model.ckpt> <out.csv>
+//   ./build/examples/widen_serve serve <graph.txt> <model.ckpt> \
+//       --listen PORT [--reload]                     # network front-end
 //
 // The smoke run is self-contained: synthesize a graph, train two epochs,
 // write a checkpoint, "kill" the trainer, load the checkpoint into an
@@ -15,6 +17,13 @@
 // `embed` serves a graph/checkpoint pair produced by widen_cli without ever
 // constructing a model (no labels required): every node's embedding goes to
 // a CSV via the session path.
+//
+// `serve` (and `--smoke --listen PORT`) put the session behind the binary
+// wire protocol (serve/net/): an epoll front-end batches Embed/Predict
+// across connections, SIGTERM starts a graceful drain (everything admitted
+// is answered; clients see the draining flag and wind down), and with
+// --reload a SIGHUP or a Reload wire op hot-swaps a freshly loaded
+// checkpoint under live traffic. bench/load_bench is the matching client.
 //
 // Observability: --metrics_out PATH dumps process metrics every second while
 // the command runs and once more on exit (Prometheus text at PATH, JSON at
@@ -48,6 +57,7 @@
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "serve/inference_session.h"
+#include "serve/net/server.h"
 #include "serve/request_batcher.h"
 
 namespace {
@@ -95,57 +105,97 @@ class PeriodicMetricsDumper {
   std::thread worker_;
 };
 
-// Flushes the requested observability outputs when SIGINT/SIGTERM lands.
-// Both signals are BLOCKED on every thread (the mask set here is inherited
-// by threads spawned later), and a dedicated watcher thread sigwait()s for
-// them — so the flush runs ordinary, non-async-signal-safe code (mutexes,
-// allocation, file I/O) off any signal handler, then exits with the
-// conventional 128+signo status. _Exit skips atexit, which is the point:
-// the atexit exporters would re-write the same files the watcher just wrote.
-class SignalFlusher {
+// Owns the process's signal policy. SIGINT/SIGTERM/SIGHUP are BLOCKED on
+// every thread (the mask set here is inherited by threads spawned later) and
+// a dedicated watcher thread sigwait()s for them, so all handling runs
+// ordinary, non-async-signal-safe code off any signal handler.
+//
+// Without a live server, SIGINT/SIGTERM flush the requested observability
+// outputs and exit with the conventional 128+signo status (_Exit skips
+// atexit on purpose: the atexit exporters would re-write the same files).
+//
+// With a server installed via SetServer(), the first SIGINT/SIGTERM starts a
+// graceful drain instead — main() returns from Join() once everything
+// admitted is answered and flushes through the normal exit path — a second
+// signal force-flushes and exits. SIGHUP triggers a hot checkpoint reload
+// when the server allows one.
+class SignalWatcher {
  public:
-  SignalFlusher(std::string metrics_out, std::string trace_out,
+  SignalWatcher(std::string metrics_out, std::string trace_out,
                 std::string profile_out) {
     sigemptyset(&set_);
     sigaddset(&set_, SIGINT);
     sigaddset(&set_, SIGTERM);
+    sigaddset(&set_, SIGHUP);
     sigaddset(&set_, SIGUSR1);  // shutdown nudge from the destructor
     pthread_sigmask(SIG_BLOCK, &set_, nullptr);
     watcher_ = std::thread([this, metrics_out = std::move(metrics_out),
                             trace_out = std::move(trace_out),
                             profile_out = std::move(profile_out)] {
-      int sig = 0;
-      if (sigwait(&set_, &sig) != 0) return;
-      if (stopping_.load() || (sig != SIGINT && sig != SIGTERM)) return;
-      std::fprintf(stderr, "\n[%s] flushing observability outputs\n",
-                   sig == SIGINT ? "SIGINT" : "SIGTERM");
-      if (!metrics_out.empty()) {
-        (void)obs::MetricsRegistry::Get().WriteMetrics(metrics_out);
+      while (true) {
+        int sig = 0;
+        if (sigwait(&set_, &sig) != 0) return;
+        if (stopping_.load()) return;
+        if (sig == SIGHUP) {
+          if (serve::net::NetServer* server = server_.load()) {
+            auto generation = server->Reload();
+            if (generation.ok()) {
+              std::fprintf(stderr, "[SIGHUP] hot reload OK, generation %llu\n",
+                           static_cast<unsigned long long>(*generation));
+            } else {
+              std::fprintf(stderr, "[SIGHUP] hot reload failed: %s\n",
+                           generation.status().ToString().c_str());
+            }
+          }
+          continue;
+        }
+        if (sig != SIGINT && sig != SIGTERM) continue;
+        const char* name = sig == SIGINT ? "SIGINT" : "SIGTERM";
+        if (serve::net::NetServer* server = server_.load()) {
+          if (!server->draining()) {
+            std::fprintf(stderr,
+                         "\n[%s] draining: answering everything admitted, "
+                         "refusing new connections (again to force-quit)\n",
+                         name);
+            server->SignalDrain();
+            continue;  // main returns from Join() and flushes normally
+          }
+          std::fprintf(stderr, "\n[%s] second signal during drain\n", name);
+        }
+        std::fprintf(stderr, "\n[%s] flushing observability outputs\n", name);
+        if (!metrics_out.empty()) {
+          (void)obs::MetricsRegistry::Get().WriteMetrics(metrics_out);
+        }
+        if (!trace_out.empty()) {
+          (void)obs::TraceRecorder::Get().WriteChromeJson(trace_out);
+        }
+        if (!profile_out.empty()) {
+          (void)obs::Profiler::Get().WriteReport(profile_out);
+          std::fprintf(stderr, "%s",
+                       obs::Profiler::Get().FormatTopOps().c_str());
+        }
+        std::_Exit(128 + sig);
       }
-      if (!trace_out.empty()) {
-        (void)obs::TraceRecorder::Get().WriteChromeJson(trace_out);
-      }
-      if (!profile_out.empty()) {
-        (void)obs::Profiler::Get().WriteReport(profile_out);
-        std::fprintf(stderr, "%s",
-                     obs::Profiler::Get().FormatTopOps().c_str());
-      }
-      std::_Exit(128 + sig);
     });
   }
 
-  ~SignalFlusher() {
+  /// Points signal handling at a live server (nullptr to detach). The server
+  /// must outlive its registration.
+  void SetServer(serve::net::NetServer* server) { server_.store(server); }
+
+  ~SignalWatcher() {
     stopping_.store(true);
     pthread_kill(watcher_.native_handle(), SIGUSR1);
     watcher_.join();
   }
 
-  SignalFlusher(const SignalFlusher&) = delete;
-  SignalFlusher& operator=(const SignalFlusher&) = delete;
+  SignalWatcher(const SignalWatcher&) = delete;
+  SignalWatcher& operator=(const SignalWatcher&) = delete;
 
  private:
   sigset_t set_;
   std::atomic<bool> stopping_{false};
+  std::atomic<serve::net::NetServer*> server_{nullptr};
   std::thread watcher_;
 };
 
@@ -172,8 +222,32 @@ core::WidenConfig SmokeConfig() {
   return config;
 }
 
+// Runs `server` until it drains (SIGTERM/SIGINT via `watcher`, or every
+// client hung up after a wire-op-initiated drain), then reports front-end
+// stats. Blocks for the server's lifetime.
+int ServeUntilDrained(serve::net::NetServer* server, SignalWatcher& watcher) {
+  std::printf("listening on 127.0.0.1:%d (SIGTERM drains, SIGHUP reloads)\n",
+              server->port());
+  std::fflush(stdout);  // scripts behind a pipe need the port line NOW
+  watcher.SetServer(server);
+  server->Join();
+  watcher.SetServer(nullptr);
+  const auto stats = server->stats();
+  std::printf(
+      "drained: %lld connections, %lld requests, %lld responses\n"
+      "  overload rejections %lld, protocol errors %lld, reloads %lld\n",
+      static_cast<long long>(stats.connections_accepted),
+      static_cast<long long>(stats.requests),
+      static_cast<long long>(stats.responses),
+      static_cast<long long>(stats.overload_rejections),
+      static_cast<long long>(stats.protocol_errors),
+      static_cast<long long>(stats.reloads));
+  return 0;
+}
+
 int RunSmoke(int64_t clients, int64_t queries,
-             tensor::QuantFormat weight_quant) {
+             tensor::QuantFormat weight_quant, int listen_port,
+             SignalWatcher& watcher) {
   // 1. Synthesize and train (two epochs — enough to populate the embedding
   //    store the checkpoint carries).
   datasets::SyntheticGraphSpec spec;
@@ -291,7 +365,83 @@ int RunSmoke(int64_t clients, int64_t queries,
       static_cast<long long>(sstats.store.insertions),
       static_cast<long long>(sstats.store.invalidations),
       static_cast<long long>(sstats.store.evictions));
+
+  // 5. Optional network front-end over the same session: self-contained
+  //    server for socket smoke tests and load_bench without needing a
+  //    trained checkpoint on disk.
+  if (listen_port >= 0) {
+    serve::net::ServerOptions server_options;
+    server_options.port = listen_port;
+    server_options.reload_fn =
+        [&graph, ckpt, config,
+         weight_quant]() -> StatusOr<std::shared_ptr<serve::InferenceSession>> {
+      serve::SessionOptions session_options;
+      session_options.weight_quant = weight_quant;
+      auto fresh =
+          serve::InferenceSession::Load(ckpt, &*graph, config, session_options);
+      if (!fresh.ok()) return fresh.status();
+      return std::shared_ptr<serve::InferenceSession>(std::move(*fresh));
+    };
+    // Non-owning: `session` is this frame's local and outlives the server.
+    auto server_or = serve::net::NetServer::Start(
+        std::shared_ptr<serve::InferenceSession>(
+            std::shared_ptr<serve::InferenceSession>(), &session),
+        server_options);
+    if (!server_or.ok()) return Fail(server_or.status());
+    const int rc = ServeUntilDrained(server_or->get(), watcher);
+    return rc;
+  }
   return 0;
+}
+
+// Loads graph + checkpoint into a self-owning serving session: the returned
+// shared_ptr keeps the backing graph alive for exactly as long as anything
+// (including in-flight batches after a hot reload) references the session.
+StatusOr<std::shared_ptr<serve::InferenceSession>> LoadServingBundle(
+    const std::string& graph_path, const std::string& ckpt_path,
+    tensor::QuantFormat weight_quant) {
+  struct Bundle {
+    graph::HeteroGraph graph;
+    std::unique_ptr<serve::InferenceSession> session;
+  };
+  auto graph = graph::LoadGraphText(graph_path);
+  if (!graph.ok()) return graph.status();
+  auto weights = core::LoadServingWeights(ckpt_path);
+  if (!weights.ok()) return weights.status();
+  core::WidenConfig config;
+  config.embedding_dim = weights->params.embedding_dim();
+  serve::SessionOptions session_options;
+  session_options.weight_quant = weight_quant;
+  auto bundle = std::make_shared<Bundle>();
+  bundle->graph = std::move(*graph);
+  auto session = serve::InferenceSession::Load(ckpt_path, &bundle->graph,
+                                               config, session_options);
+  if (!session.ok()) return session.status();
+  bundle->session = std::move(*session);
+  return std::shared_ptr<serve::InferenceSession>(bundle,
+                                                  bundle->session.get());
+}
+
+int RunServe(const std::string& graph_path, const std::string& ckpt_path,
+             tensor::QuantFormat weight_quant, int listen_port,
+             bool allow_reload, SignalWatcher& watcher) {
+  auto session = LoadServingBundle(graph_path, ckpt_path, weight_quant);
+  if (!session.ok()) return Fail(session.status());
+  std::printf("loaded %s over %s: %lld nodes, %lld dims\n", ckpt_path.c_str(),
+              graph_path.c_str(), static_cast<long long>((*session)->num_nodes()),
+              static_cast<long long>((*session)->embedding_dim()));
+  serve::net::ServerOptions options;
+  options.port = listen_port;
+  if (allow_reload) {
+    // Re-reads BOTH files, so a checkpoint (or graph) replaced on disk goes
+    // live without dropping a request.
+    options.reload_fn = [graph_path, ckpt_path, weight_quant] {
+      return LoadServingBundle(graph_path, ckpt_path, weight_quant);
+    };
+  }
+  auto server = serve::net::NetServer::Start(std::move(*session), options);
+  if (!server.ok()) return Fail(server.status());
+  return ServeUntilDrained(server->get(), watcher);
 }
 
 int RunEmbed(const std::string& graph_path, const std::string& ckpt_path,
@@ -336,6 +486,8 @@ int main(int argc, char** argv) {
   bool smoke = false;
   long clients = 4;
   long queries = 25;
+  int listen_port = -1;  // -1 = no network front-end
+  bool allow_reload = false;
   std::string metrics_out;
   std::string trace_out;
   std::string profile_out;
@@ -353,6 +505,18 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(arg, "--quant=", 8) == 0) {
       quant_name = arg + 8;
+      continue;
+    }
+    if (std::strcmp(arg, "--listen") == 0 && i + 1 < argc) {
+      listen_port = static_cast<int>(std::atol(argv[++i]));
+      continue;
+    }
+    if (std::strncmp(arg, "--listen=", 9) == 0) {
+      listen_port = static_cast<int>(std::atol(arg + 9));
+      continue;
+    }
+    if (std::strcmp(arg, "--reload") == 0) {
+      allow_reload = true;
       continue;
     }
     if (std::strcmp(arg, "--clients") == 0 && i + 1 < argc) {
@@ -412,7 +576,7 @@ int main(int argc, char** argv) {
   if (profile_out.empty()) {
     if (const char* env = std::getenv("WIDEN_PROFILE")) profile_out = env;
   }
-  SignalFlusher signal_flusher(metrics_out, trace_out, profile_out);
+  SignalWatcher signal_watcher(metrics_out, trace_out, profile_out);
 
   const int code = [&]() -> int {
     std::unique_ptr<PeriodicMetricsDumper> dumper;
@@ -420,24 +584,36 @@ int main(int argc, char** argv) {
       dumper = std::make_unique<PeriodicMetricsDumper>(metrics_out);
     }
     if (smoke || argc == 1) {
-      return RunSmoke(clients, queries, weight_quant);
+      return RunSmoke(clients, queries, weight_quant, listen_port,
+                      signal_watcher);
     }
     const std::string command = argv[1];
     if (command == "embed" && argc == 5) {
       return RunEmbed(argv[2], argv[3], argv[4], weight_quant);
     }
+    if (command == "serve" && argc == 4) {
+      return RunServe(argv[2], argv[3], weight_quant,
+                      listen_port >= 0 ? listen_port : 0, allow_reload,
+                      signal_watcher);
+    }
     std::fprintf(stderr,
                  "usage:\n"
-                 "  %s --smoke [--clients N] [--queries M]   # self-contained\n"
+                 "  %s --smoke [--clients N] [--queries M] [--listen PORT]\n"
                  "  %s embed <graph.txt> <model.ckpt> <out.csv>\n"
+                 "  %s serve <graph.txt> <model.ckpt> --listen PORT "
+                 "[--reload]\n"
                  "options: --quant none|int8|fp16  serving weight storage "
                  "(default exact fp32)\n"
+                 "         --listen PORT  serve the wire protocol on "
+                 "127.0.0.1:PORT (0 = ephemeral)\n"
+                 "         --reload       allow hot checkpoint reload "
+                 "(SIGHUP or wire op)\n"
                  "         --metrics_out PATH  dump metrics every second and "
                  "on exit\n"
                  "         --trace_out PATH    write a Chrome trace on exit\n"
                  "         --profile_out PATH  profile tensor ops and write "
                  "the roofline report on exit\n",
-                 argv[0], argv[0]);
+                 argv[0], argv[0], argv[0]);
     return 2;
   }();
 

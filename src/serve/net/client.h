@@ -1,0 +1,61 @@
+// Minimal blocking client for the WIDEN wire protocol (serve/net/protocol.h).
+//
+// One TCP connection, used from one thread at a time (or externally
+// synchronized). Send() and Receive() are split so a caller can pipeline:
+// keep several requests outstanding and match responses by id — exactly what
+// the load generator does. Call() is the one-in-one-out convenience.
+//
+// The client surfaces the server's draining flag (last_draining()) so a
+// well-behaved caller can stop sending, collect what is still outstanding,
+// and Close() — the cooperative half of a zero-drop SIGTERM drain.
+
+#ifndef WIDEN_SERVE_NET_CLIENT_H_
+#define WIDEN_SERVE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/net/protocol.h"
+#include "util/status.h"
+
+namespace widen::serve::net {
+
+class NetClient {
+ public:
+  /// Connects (blocking) to an IPv4 host:port.
+  static StatusOr<std::unique_ptr<NetClient>> Connect(const std::string& host,
+                                                      int port);
+
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Writes one request frame; blocks until fully written.
+  Status Send(const NetRequest& request);
+
+  /// Blocks until one full response frame arrives and decodes it.
+  /// Returns kIOError on EOF / connection reset.
+  Status Receive(NetResponse* out);
+
+  /// Send + Receive. Only valid when nothing else is outstanding.
+  StatusOr<NetResponse> Call(const NetRequest& request);
+
+  /// True once any received response carried the draining flag.
+  bool last_draining() const { return last_draining_; }
+
+  void Close();
+
+ private:
+  explicit NetClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string in_;          // buffered bytes not yet consumed
+  size_t in_consumed_ = 0;  // parsed prefix of in_
+  bool last_draining_ = false;
+};
+
+}  // namespace widen::serve::net
+
+#endif  // WIDEN_SERVE_NET_CLIENT_H_

@@ -1,0 +1,275 @@
+#include "serve/net/protocol.h"
+
+#include <cstring>
+
+#include "util/byte_io.h"
+#include "util/string_util.h"
+
+namespace widen::serve::net {
+
+namespace {
+
+/// Node lists are bounded well below the frame cap; a count beyond this is
+/// garbage, not a real request.
+constexpr uint64_t kMaxElements = 8u << 20;
+
+bool ValidOp(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(NetOp::kEmbed) &&
+         raw <= static_cast<uint8_t>(NetOp::kReload);
+}
+
+bool ValidCode(uint8_t raw) {
+  return raw <= static_cast<uint8_t>(StatusCode::kUnavailable);
+}
+
+/// Prepends the length prefix once the payload is complete.
+std::string Frame(std::string payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  out.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  out.append(payload);
+  return out;
+}
+
+}  // namespace
+
+Status NetResponse::ToStatus() const {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(error);
+    case StatusCode::kNotFound:
+      return Status::NotFound(error);
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(error);
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(error);
+    case StatusCode::kInternal:
+      return Status::Internal(error);
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(error);
+    case StatusCode::kIOError:
+      return Status::IOError(error);
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(error);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(error);
+  }
+  return Status::Internal(error);
+}
+
+std::string EncodeRequest(const NetRequest& request) {
+  std::string payload;
+  ByteWriter writer(&payload);
+  writer.WriteScalar<uint64_t>(request.id);
+  writer.WriteScalar<uint8_t>(static_cast<uint8_t>(request.op));
+  switch (request.op) {
+    case NetOp::kEmbed:
+    case NetOp::kPredict:
+      writer.WriteScalar<uint32_t>(request.deadline_ms);
+      writer.WriteVector(request.nodes);
+      break;
+    case NetOp::kIngest: {
+      const IngestPayload& ingest = request.ingest;
+      writer.WriteScalar<int32_t>(ingest.feature_dim);
+      writer.WriteVector(ingest.node_types);
+      writer.WriteVector(ingest.features);
+      writer.WriteScalar<uint64_t>(ingest.edges.size());
+      for (const WireEdge& e : ingest.edges) {
+        writer.WriteScalar<int32_t>(e.u);
+        writer.WriteScalar<int32_t>(e.v);
+        writer.WriteScalar<int32_t>(e.type);
+      }
+      break;
+    }
+    case NetOp::kHealth:
+    case NetOp::kReload:
+      break;
+  }
+  return Frame(std::move(payload));
+}
+
+std::string EncodeResponse(const NetResponse& response) {
+  std::string payload;
+  ByteWriter writer(&payload);
+  writer.WriteScalar<uint64_t>(response.id);
+  writer.WriteScalar<uint8_t>(static_cast<uint8_t>(response.op));
+  writer.WriteScalar<uint8_t>(static_cast<uint8_t>(response.code));
+  writer.WriteScalar<uint8_t>(response.draining ? kFlagDraining : 0);
+  if (response.code != StatusCode::kOk) {
+    writer.WriteScalar<uint64_t>(response.error.size());
+    writer.WriteBytes(response.error.data(), response.error.size());
+    return Frame(std::move(payload));
+  }
+  switch (response.op) {
+    case NetOp::kEmbed:
+      writer.WriteScalar<int64_t>(response.rows);
+      writer.WriteScalar<int64_t>(response.cols);
+      writer.WriteVector(response.floats);
+      break;
+    case NetOp::kPredict:
+      writer.WriteVector(response.labels);
+      break;
+    case NetOp::kIngest:
+    case NetOp::kReload:
+      writer.WriteScalar<uint64_t>(response.value);
+      break;
+    case NetOp::kHealth:
+      writer.WriteScalar<uint64_t>(response.graph_version);
+      writer.WriteScalar<uint64_t>(response.generation);
+      writer.WriteScalar<int64_t>(response.num_nodes);
+      break;
+  }
+  return Frame(std::move(payload));
+}
+
+Status DecodeRequestPayload(const char* data, size_t size, NetRequest* out) {
+  ByteReader reader(data, size);
+  uint8_t raw_op = 0;
+  if (!reader.ReadScalar(&out->id) || !reader.ReadScalar(&raw_op)) {
+    return Status::InvalidArgument("request frame truncated in header");
+  }
+  if (!ValidOp(raw_op)) {
+    return Status::InvalidArgument(StrCat("unknown request op ", raw_op));
+  }
+  out->op = static_cast<NetOp>(raw_op);
+  switch (out->op) {
+    case NetOp::kEmbed:
+    case NetOp::kPredict:
+      if (!reader.ReadScalar(&out->deadline_ms) ||
+          !reader.ReadVector(&out->nodes, kMaxElements)) {
+        return Status::InvalidArgument("embed/predict request truncated");
+      }
+      break;
+    case NetOp::kIngest: {
+      IngestPayload& ingest = out->ingest;
+      uint64_t num_edges = 0;
+      if (!reader.ReadScalar(&ingest.feature_dim) ||
+          !reader.ReadVector(&ingest.node_types, kMaxElements) ||
+          !reader.ReadVector(&ingest.features, kMaxElements) ||
+          !reader.ReadScalar(&num_edges) || num_edges > kMaxElements) {
+        return Status::InvalidArgument("ingest request truncated");
+      }
+      if (ingest.feature_dim < 0 ||
+          ingest.features.size() !=
+              ingest.node_types.size() *
+                  static_cast<size_t>(ingest.feature_dim)) {
+        return Status::InvalidArgument(
+            "ingest feature payload does not match node count x feature_dim");
+      }
+      ingest.edges.resize(static_cast<size_t>(num_edges));
+      for (WireEdge& e : ingest.edges) {
+        if (!reader.ReadScalar(&e.u) || !reader.ReadScalar(&e.v) ||
+            !reader.ReadScalar(&e.type)) {
+          return Status::InvalidArgument("ingest edge list truncated");
+        }
+      }
+      break;
+    }
+    case NetOp::kHealth:
+    case NetOp::kReload:
+      break;
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after request payload");
+  }
+  return Status::OK();
+}
+
+Status DecodeResponsePayload(const char* data, size_t size, NetResponse* out) {
+  ByteReader reader(data, size);
+  uint8_t raw_op = 0;
+  uint8_t raw_code = 0;
+  uint8_t flags = 0;
+  if (!reader.ReadScalar(&out->id) || !reader.ReadScalar(&raw_op) ||
+      !reader.ReadScalar(&raw_code) || !reader.ReadScalar(&flags)) {
+    return Status::InvalidArgument("response frame truncated in header");
+  }
+  if (!ValidOp(raw_op)) {
+    return Status::InvalidArgument(StrCat("unknown response op ", raw_op));
+  }
+  if (!ValidCode(raw_code)) {
+    return Status::InvalidArgument(
+        StrCat("unknown response status code ", raw_code));
+  }
+  out->op = static_cast<NetOp>(raw_op);
+  out->code = static_cast<StatusCode>(raw_code);
+  out->draining = (flags & kFlagDraining) != 0;
+  if (out->code != StatusCode::kOk) {
+    uint64_t len = 0;
+    if (!reader.ReadScalar(&len) || len > reader.remaining()) {
+      return Status::InvalidArgument("response error message truncated");
+    }
+    out->error.assign(data + (size - reader.remaining()),
+                      static_cast<size_t>(len));
+    return Status::OK();
+  }
+  switch (out->op) {
+    case NetOp::kEmbed:
+      if (!reader.ReadScalar(&out->rows) || !reader.ReadScalar(&out->cols) ||
+          !reader.ReadVector(&out->floats, kMaxElements) || out->rows < 0 ||
+          out->cols < 0 ||
+          out->floats.size() != static_cast<size_t>(out->rows) *
+                                    static_cast<size_t>(out->cols)) {
+        return Status::InvalidArgument("embed response malformed");
+      }
+      break;
+    case NetOp::kPredict:
+      if (!reader.ReadVector(&out->labels, kMaxElements)) {
+        return Status::InvalidArgument("predict response truncated");
+      }
+      break;
+    case NetOp::kIngest:
+    case NetOp::kReload:
+      if (!reader.ReadScalar(&out->value)) {
+        return Status::InvalidArgument("ingest/reload response truncated");
+      }
+      break;
+    case NetOp::kHealth:
+      if (!reader.ReadScalar(&out->graph_version) ||
+          !reader.ReadScalar(&out->generation) ||
+          !reader.ReadScalar(&out->num_nodes)) {
+        return Status::InvalidArgument("health response truncated");
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+Status PeekFrame(const char* data, size_t size, size_t* frame_bytes) {
+  if (size < kFrameHeaderBytes) {
+    return Status::OutOfRange("incomplete frame header");
+  }
+  uint32_t payload_len = 0;
+  std::memcpy(&payload_len, data, sizeof(payload_len));
+  if (payload_len > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument(
+        StrCat("frame payload of ", payload_len, " bytes exceeds the ",
+               kMaxFramePayloadBytes, "-byte cap"));
+  }
+  if (size - kFrameHeaderBytes < payload_len) {
+    return Status::OutOfRange("incomplete frame payload");
+  }
+  *frame_bytes = kFrameHeaderBytes + payload_len;
+  return Status::OK();
+}
+
+const char* NetOpName(NetOp op) {
+  switch (op) {
+    case NetOp::kEmbed:
+      return "embed";
+    case NetOp::kPredict:
+      return "predict";
+    case NetOp::kIngest:
+      return "ingest";
+    case NetOp::kHealth:
+      return "health";
+    case NetOp::kReload:
+      return "reload";
+  }
+  return "unknown";
+}
+
+}  // namespace widen::serve::net

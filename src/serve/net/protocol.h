@@ -1,0 +1,124 @@
+// Wire protocol for the WIDEN serving front-end (DESIGN.md §14).
+//
+// A compact length-prefixed binary framing, symmetric for both directions:
+//
+//   frame    := u32 payload_len | payload              (little-endian)
+//   request  := u64 request_id | u8 op | body
+//   response := u64 request_id | u8 op | u8 status_code | u8 flags | body
+//
+// Ops: Embed and Predict carry a node list plus an optional relative
+// deadline; Ingest carries a self-contained GraphDelta (new nodes reference
+// each other through negative relative ids, so clients never need to know
+// the server's node count); Health and Reload are empty. Response bodies
+// mirror the op: embedding rows, predicted labels, the post-ingest graph
+// version, a health snapshot, or the post-reload generation. A non-OK
+// status_code replaces the body with a UTF-8 message.
+//
+// Flags bit 0 (kFlagDraining) is the server's wind-down signal: once set,
+// the server answers everything it has received but will accept no new
+// connections — well-behaved clients stop sending, collect their
+// outstanding responses, and close, which is what makes a SIGTERM drain
+// lose nothing.
+//
+// Scalars are little-endian via memcpy (the same non-portability tradeoff
+// as tensor/serialize.h). Every decode is bounds-checked; a malformed frame
+// surfaces as a Status, never UB.
+
+#ifndef WIDEN_SERVE_NET_PROTOCOL_H_
+#define WIDEN_SERVE_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/schema.h"
+#include "util/status.h"
+
+namespace widen::serve::net {
+
+/// Hard cap on a single frame's payload; a length prefix beyond this is a
+/// protocol error (likely garbage bytes), not an allocation request.
+inline constexpr uint32_t kMaxFramePayloadBytes = 64u << 20;
+
+/// Bytes of the length prefix that precedes every payload.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+enum class NetOp : uint8_t {
+  kEmbed = 1,
+  kPredict = 2,
+  kIngest = 3,
+  kHealth = 4,
+  kReload = 5,
+};
+
+/// Response flag bits.
+inline constexpr uint8_t kFlagDraining = 1u << 0;
+
+/// One edge in an ingest request. Endpoints >= 0 name existing server nodes;
+/// endpoint -1-k names the k-th new node of the SAME request, so a delta can
+/// wire its own nodes together without knowing the server's node count.
+struct WireEdge {
+  int32_t u = 0;
+  int32_t v = 0;
+  graph::EdgeTypeId type = 0;
+};
+
+struct IngestPayload {
+  int32_t feature_dim = 0;
+  std::vector<graph::NodeTypeId> node_types;  // one per new node
+  std::vector<float> features;  // [node_types.size(), feature_dim] row-major
+  std::vector<WireEdge> edges;
+};
+
+struct NetRequest {
+  uint64_t id = 0;
+  NetOp op = NetOp::kHealth;
+  /// Embed/Predict: relative deadline in milliseconds; 0 = none.
+  uint32_t deadline_ms = 0;
+  std::vector<graph::NodeId> nodes;  // Embed/Predict
+  IngestPayload ingest;              // Ingest
+};
+
+struct NetResponse {
+  uint64_t id = 0;
+  NetOp op = NetOp::kHealth;
+  StatusCode code = StatusCode::kOk;
+  bool draining = false;
+  std::string error;  // set when code != kOk
+
+  // Embed
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<float> floats;
+  // Predict
+  std::vector<int32_t> labels;
+  // Ingest (new graph version) / Reload (new generation)
+  uint64_t value = 0;
+  // Health
+  uint64_t graph_version = 0;
+  uint64_t generation = 0;
+  int64_t num_nodes = 0;
+
+  /// The response's status with its transported message.
+  Status ToStatus() const;
+};
+
+/// Serializes a full frame (length prefix included).
+std::string EncodeRequest(const NetRequest& request);
+std::string EncodeResponse(const NetResponse& response);
+
+/// Decodes a payload (frame contents AFTER the length prefix).
+Status DecodeRequestPayload(const char* data, size_t size, NetRequest* out);
+Status DecodeResponsePayload(const char* data, size_t size, NetResponse* out);
+
+/// Inspects the front of a receive buffer. Returns OK and sets *frame_bytes
+/// (prefix + payload) when a complete frame is buffered; OutOfRange when
+/// more bytes are needed; InvalidArgument when the prefix is malformed.
+Status PeekFrame(const char* data, size_t size, size_t* frame_bytes);
+
+const char* NetOpName(NetOp op);
+
+}  // namespace widen::serve::net
+
+#endif  // WIDEN_SERVE_NET_PROTOCOL_H_

@@ -21,6 +21,8 @@ struct BatcherMetrics {
   obs::Gauge* queue_depth;
   obs::Histogram* batch_nodes;
   obs::Histogram* linger_us;
+  obs::Counter* expired;
+  obs::Counter* stale;
 
   static const BatcherMetrics& Get() {
     static const BatcherMetrics m = {
@@ -34,6 +36,13 @@ struct BatcherMetrics {
             "widen_serve_batcher_linger_us",
             "Queue wait per request, enqueue to batch formation "
             "(microseconds)"),
+        obs::MetricsRegistry::Get().GetCounter(
+            "widen_serve_batcher_expired_total",
+            "Requests failed with deadline_exceeded at batch formation"),
+        obs::MetricsRegistry::Get().GetCounter(
+            "widen_serve_batcher_stale_total",
+            "Requests failed with failed_precondition because the session "
+            "changed between enqueue and batch formation"),
     };
     return m;
   }
@@ -43,53 +52,112 @@ struct BatcherMetrics {
 
 RequestBatcher::RequestBatcher(InferenceSession* session,
                                const BatcherOptions& options)
-    : session_(session), options_(options) {
+    : RequestBatcher(
+          // Non-owning: the fixed-session form documents that `session`
+          // outlives the batcher.
+          SessionProvider([session] {
+            return std::shared_ptr<InferenceSession>(
+                std::shared_ptr<InferenceSession>(), session);
+          }),
+          options) {
   WIDEN_CHECK(session != nullptr);
+}
+
+RequestBatcher::RequestBatcher(SessionProvider provider,
+                               const BatcherOptions& options)
+    : provider_(std::move(provider)), options_(options) {
+  WIDEN_CHECK(provider_ != nullptr);
   WIDEN_CHECK_GT(options.max_batch_nodes, 0);
   WIDEN_CHECK_GE(options.max_linger_micros, 0);
   worker_ = std::thread(&RequestBatcher::WorkerLoop, this);
 }
 
-RequestBatcher::~RequestBatcher() {
+RequestBatcher::~RequestBatcher() { Shutdown(); }
+
+void RequestBatcher::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutting_down_ = true;
   }
   work_available_.notify_all();
-  worker_.join();
+  // call_once so concurrent Shutdown() callers (destructor racing an
+  // explicit drain) serialize on a single join.
+  std::call_once(join_once_, [this] { worker_.join(); });
+}
+
+void RequestBatcher::Fail(Pending& pending, Status status) {
+  if (pending.predict) {
+    pending.predict_cb(std::move(status));
+  } else {
+    pending.embed_cb(std::move(status));
+  }
 }
 
 std::future<StatusOr<tensor::Tensor>> RequestBatcher::SubmitEmbed(
     std::vector<graph::NodeId> nodes) {
+  return SubmitEmbed(std::move(nodes), SubmitOptions());
+}
+
+std::future<StatusOr<tensor::Tensor>> RequestBatcher::SubmitEmbed(
+    std::vector<graph::NodeId> nodes, const SubmitOptions& options) {
+  auto promise = std::make_shared<std::promise<StatusOr<T::Tensor>>>();
+  std::future<StatusOr<T::Tensor>> future = promise->get_future();
+  SubmitEmbed(std::move(nodes), options,
+              [promise](StatusOr<T::Tensor> result) {
+                promise->set_value(std::move(result));
+              });
+  return future;
+}
+
+void RequestBatcher::SubmitEmbed(std::vector<graph::NodeId> nodes,
+                                 const SubmitOptions& options,
+                                 EmbedCallback done) {
   Pending pending;
   pending.nodes = std::move(nodes);
   pending.predict = false;
-  std::future<StatusOr<tensor::Tensor>> future =
-      pending.embed_promise.get_future();
+  pending.deadline = options.deadline;
+  pending.embed_cb = std::move(done);
   Enqueue(std::move(pending));
-  return future;
 }
 
 std::future<StatusOr<std::vector<int32_t>>> RequestBatcher::SubmitPredict(
     std::vector<graph::NodeId> nodes) {
-  Pending pending;
-  pending.nodes = std::move(nodes);
-  pending.predict = true;
-  std::future<StatusOr<std::vector<int32_t>>> future =
-      pending.predict_promise.get_future();
-  Enqueue(std::move(pending));
+  return SubmitPredict(std::move(nodes), SubmitOptions());
+}
+
+std::future<StatusOr<std::vector<int32_t>>> RequestBatcher::SubmitPredict(
+    std::vector<graph::NodeId> nodes, const SubmitOptions& options) {
+  auto promise =
+      std::make_shared<std::promise<StatusOr<std::vector<int32_t>>>>();
+  std::future<StatusOr<std::vector<int32_t>>> future = promise->get_future();
+  SubmitPredict(std::move(nodes), options,
+                [promise](StatusOr<std::vector<int32_t>> result) {
+                  promise->set_value(std::move(result));
+                });
   return future;
 }
 
+void RequestBatcher::SubmitPredict(std::vector<graph::NodeId> nodes,
+                                   const SubmitOptions& options,
+                                   PredictCallback done) {
+  Pending pending;
+  pending.nodes = std::move(nodes);
+  pending.predict = true;
+  pending.deadline = options.deadline;
+  pending.predict_cb = std::move(done);
+  Enqueue(std::move(pending));
+}
+
 void RequestBatcher::Enqueue(Pending pending) {
-  // Validate up front so one bad request cannot poison the batch it would
-  // have shared. The node count only grows (ingests never remove nodes), so
-  // a node valid here is still valid when the batch runs.
+  // Fast-fail validation against the CURRENT session so an obviously bad
+  // request never occupies a queue slot. This is a courtesy check only: the
+  // authoritative range check reruns at batch-formation time against the
+  // session the batch actually runs on (it may have changed by then).
   Status invalid = Status::OK();
   if (pending.nodes.empty()) {
     invalid = Status::InvalidArgument("empty node list");
-  } else {
-    const int64_t n = session_->num_nodes();
+  } else if (std::shared_ptr<InferenceSession> session = provider_()) {
+    const int64_t n = session->num_nodes();
     for (graph::NodeId v : pending.nodes) {
       if (v < 0 || v >= n) {
         invalid = Status::InvalidArgument(
@@ -97,6 +165,8 @@ void RequestBatcher::Enqueue(Pending pending) {
         break;
       }
     }
+  } else {
+    invalid = Status::Unavailable("no serving session installed");
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -114,11 +184,7 @@ void RequestBatcher::Enqueue(Pending pending) {
       invalid = Status::FailedPrecondition("batcher is shutting down");
     }
   }
-  if (pending.predict) {
-    pending.predict_promise.set_value(invalid);
-  } else {
-    pending.embed_promise.set_value(invalid);
-  }
+  Fail(pending, std::move(invalid));
 }
 
 void RequestBatcher::WorkerLoop() {
@@ -129,94 +195,176 @@ void RequestBatcher::WorkerLoop() {
     if (shutting_down_) break;
 
     // Linger: give concurrent clients a moment to pile on before running a
-    // partial batch.
-    const auto deadline =
-        std::chrono::steady_clock::now() +
+    // partial batch. Anchored at the FRONT request's enqueue time — the
+    // worker may be waking from a long RunBatch, and that wait already
+    // counts against the front request's linger budget. A pending deadline
+    // closer than the linger bound wakes the worker early so the batch forms
+    // while that request can still make it.
+    const auto linger_deadline =
+        pending_.front().enqueued_at +
         std::chrono::microseconds(options_.max_linger_micros);
     while (!shutting_down_ && pending_nodes_ < options_.max_batch_nodes) {
-      if (work_available_.wait_until(lock, deadline) ==
-          std::cv_status::timeout) {
+      auto wake = linger_deadline;
+      for (const Pending& p : pending_) wake = std::min(wake, p.deadline);
+      if (std::chrono::steady_clock::now() >= wake) break;
+      if (work_available_.wait_until(lock, wake) == std::cv_status::timeout) {
         break;
       }
     }
     if (shutting_down_) break;
 
+    // Form the batch against the session it will ACTUALLY run on. Requests
+    // validated at enqueue time may be out of range now (hot reload swapped
+    // in a session over a smaller graph) — they fail typed, outside the
+    // batch, poisoning nothing.
+    std::shared_ptr<InferenceSession> session = provider_();
+    const int64_t num_nodes = session != nullptr ? session->num_nodes() : 0;
+    const auto now = std::chrono::steady_clock::now();
     std::vector<Pending> batch;
+    std::vector<std::pair<Pending, Status>> rejected;
     int64_t batch_nodes = 0;
     while (!pending_.empty()) {
-      const int64_t next = static_cast<int64_t>(pending_.front().nodes.size());
+      Pending& front = pending_.front();
+      const int64_t next = static_cast<int64_t>(front.nodes.size());
+      Status reject = Status::OK();
+      if (session == nullptr) {
+        reject = Status::Unavailable("no serving session installed");
+      } else if (front.deadline <= now) {
+        reject = Status::DeadlineExceeded(
+            "request deadline expired in the batcher queue");
+        ++stats_.expired;
+      } else {
+        for (graph::NodeId v : front.nodes) {
+          if (v < 0 || v >= num_nodes) {
+            reject = Status::FailedPrecondition(
+                StrCat("node ", v, " out of range [0, ", num_nodes,
+                       ") for the session this batch runs on (graph changed "
+                       "since enqueue)"));
+            ++stats_.stale;
+            break;
+          }
+        }
+      }
+      if (!reject.ok()) {
+        pending_nodes_ -= next;
+        rejected.emplace_back(std::move(front), std::move(reject));
+        pending_.pop_front();
+        continue;
+      }
       if (!batch.empty() && batch_nodes + next > options_.max_batch_nodes) {
         break;
       }
       batch_nodes += next;
-      batch.push_back(std::move(pending_.front()));
+      pending_nodes_ -= next;
+      batch.push_back(std::move(front));
       pending_.pop_front();
     }
-    pending_nodes_ -= batch_nodes;
-    ++stats_.batches;
-    stats_.batched_nodes += batch_nodes;
-    stats_.max_batch = std::max(stats_.max_batch, batch_nodes);
     const BatcherMetrics& metrics = BatcherMetrics::Get();
     metrics.queue_depth->Set(static_cast<double>(pending_nodes_));
-    metrics.batch_nodes->Record(static_cast<double>(batch_nodes));
-    if (obs::MetricsEnabled()) {
-      const auto now = std::chrono::steady_clock::now();
-      for (const Pending& p : batch) {
-        metrics.linger_us->Record(
-            std::chrono::duration<double, std::micro>(now - p.enqueued_at)
-                .count());
+    metrics.expired->Add(static_cast<int64_t>(std::count_if(
+        rejected.begin(), rejected.end(), [](const auto& r) {
+          return r.second.code() == StatusCode::kDeadlineExceeded;
+        })));
+    metrics.stale->Add(static_cast<int64_t>(std::count_if(
+        rejected.begin(), rejected.end(), [](const auto& r) {
+          return r.second.code() == StatusCode::kFailedPrecondition;
+        })));
+    if (!batch.empty()) {
+      ++stats_.batches;
+      stats_.batched_nodes += batch_nodes;
+      stats_.max_batch = std::max(stats_.max_batch, batch_nodes);
+      metrics.batch_nodes->Record(static_cast<double>(batch_nodes));
+      if (obs::MetricsEnabled()) {
+        const auto formed = std::chrono::steady_clock::now();
+        for (const Pending& p : batch) {
+          metrics.linger_us->Record(
+              std::chrono::duration<double, std::micro>(formed - p.enqueued_at)
+                  .count());
+        }
       }
     }
 
     lock.unlock();
-    RunBatch(std::move(batch));
+    for (auto& [pending, status] : rejected) {
+      Fail(pending, std::move(status));
+    }
+    if (!batch.empty()) {
+      RunBatch(session, std::move(batch));
+    }
+    if (options_.post_batch_hook_for_test) options_.post_batch_hook_for_test();
     lock.lock();
   }
-  // Shutdown with the lock held: fail anything still queued.
+  // Shutdown: collect anything still queued, then fail it outside the lock
+  // so completion callbacks never run under mu_.
+  std::vector<Pending> leftovers;
   while (!pending_.empty()) {
-    Pending pending = std::move(pending_.front());
+    leftovers.push_back(std::move(pending_.front()));
     pending_.pop_front();
-    const Status gone = Status::FailedPrecondition("batcher is shutting down");
-    if (pending.predict) {
-      pending.predict_promise.set_value(gone);
-    } else {
-      pending.embed_promise.set_value(gone);
-    }
+  }
+  pending_nodes_ = 0;
+  lock.unlock();
+  for (Pending& pending : leftovers) {
+    Fail(pending, Status::FailedPrecondition("batcher is shutting down"));
   }
 }
 
-void RequestBatcher::RunBatch(std::vector<Pending> batch) {
+void RequestBatcher::RunBatch(const std::shared_ptr<InferenceSession>& session,
+                              std::vector<Pending> batch) {
   WIDEN_TRACE_SPAN("run_batch", "serve");
   std::vector<graph::NodeId> all;
   for (const Pending& p : batch) {
     all.insert(all.end(), p.nodes.begin(), p.nodes.end());
   }
-  StatusOr<T::Tensor> result = session_->Embed(all);
+  StatusOr<T::Tensor> result = [&]() -> StatusOr<T::Tensor> {
+    try {
+      return session->Embed(all);
+    } catch (const std::exception& e) {
+      return Status::Internal(StrCat("Embed threw: ", e.what()));
+    } catch (...) {
+      return Status::Internal("Embed threw a non-exception object");
+    }
+  }();
   if (!result.ok()) {
     for (Pending& p : batch) {
-      if (p.predict) {
-        p.predict_promise.set_value(result.status());
-      } else {
-        p.embed_promise.set_value(result.status());
-      }
+      Fail(p, result.status());
     }
     return;
   }
   const T::Tensor& embeddings = result.value();
-  const int64_t d = session_->embedding_dim();
+  const int64_t d = session->embedding_dim();
   int64_t offset = 0;
-  for (Pending& p : batch) {
+  // Exception-safe fan-out: a throw while producing one pending's value
+  // (ClassifyRows/ArgMaxRows, allocation) fails THAT pending with a Status
+  // and moves on — every Pending in the batch receives a value or a status,
+  // never a broken promise.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = batch[i];
     const int64_t rows = static_cast<int64_t>(p.nodes.size());
-    T::Tensor slice(T::Shape::Matrix(rows, d));
-    std::memcpy(slice.mutable_data(), embeddings.data() + offset * d,
-                static_cast<size_t>(rows * d) * sizeof(float));
-    offset += rows;
-    if (p.predict) {
-      p.predict_promise.set_value(
-          T::ArgMaxRows(session_->ClassifyRows(slice)));
-    } else {
-      p.embed_promise.set_value(std::move(slice));
+    bool delivered = false;
+    try {
+      if (options_.fan_out_hook_for_test) options_.fan_out_hook_for_test(i);
+      T::Tensor slice(T::Shape::Matrix(rows, d));
+      std::memcpy(slice.mutable_data(), embeddings.data() + offset * d,
+                  static_cast<size_t>(rows * d) * sizeof(float));
+      if (p.predict) {
+        std::vector<int32_t> labels =
+            T::ArgMaxRows(session->ClassifyRows(slice));
+        delivered = true;
+        p.predict_cb(std::move(labels));
+      } else {
+        delivered = true;
+        p.embed_cb(std::move(slice));
+      }
+    } catch (const std::exception& e) {
+      if (!delivered) {
+        Fail(p, Status::Internal(StrCat("batch fan-out failed: ", e.what())));
+      }
+    } catch (...) {
+      if (!delivered) {
+        Fail(p, Status::Internal("batch fan-out failed: unknown exception"));
+      }
     }
+    offset += rows;
   }
 }
 

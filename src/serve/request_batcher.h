@@ -2,12 +2,33 @@
 //
 // Many client threads submit small Embed/Predict requests; a single worker
 // thread coalesces whatever is pending — up to `max_batch_nodes` nodes, or
-// whatever arrived within `max_linger_micros` of the first waiting request —
-// into ONE session->Embed call and fans the result rows back out through
-// futures. Batching changes throughput, never bits: cold encodes draw from
-// per-node RNG streams (core::EvalSeedForNode) and the classifier head is
-// row-independent, so a batched answer is identical to the same request
-// served alone.
+// whatever arrived within `max_linger_micros` of the OLDEST pending
+// request's enqueue time — into ONE session->Embed call and fans the result
+// rows back out through callbacks or futures. Batching changes throughput,
+// never bits: cold encodes draw from per-node RNG streams
+// (core::EvalSeedForNode) and the classifier head is row-independent, so a
+// batched answer is identical to the same request served alone.
+//
+// Latency contract: a request never waits in the queue longer than
+// `max_linger_micros` past its enqueue time before its batch is formed,
+// plus the unavoidable residency of at most one in-flight batch ahead of
+// it. The linger deadline is anchored at the front request's `enqueued_at`,
+// NOT at worker wake-up — after a busy RunBatch the worker may wake long
+// after the front request arrived, and re-anchoring there would stretch the
+// bound toward 2x.
+//
+// Per-request deadlines: SubmitOptions.deadline propagates into the queue;
+// an expired request fails with kDeadlineExceeded at batch formation
+// instead of wasting a slot in the session call, and the worker wakes early
+// to form a batch when the earliest pending deadline is closer than the
+// linger bound.
+//
+// Hot reload: construct with a SessionProvider and every batch is formed
+// against — and runs on — the session the provider returns AT THAT MOMENT.
+// Node ranges are re-validated at batch-formation time; a request that was
+// valid at enqueue but out of range for the session the batch will actually
+// run on (the graph shrank across a checkpoint reload) fails with a typed
+// kFailedPrecondition instead of poisoning the shared batch.
 
 #ifndef WIDEN_SERVE_REQUEST_BATCHER_H_
 #define WIDEN_SERVE_REQUEST_BATCHER_H_
@@ -16,7 +37,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -29,35 +52,84 @@ struct BatcherOptions {
   /// Close a batch once this many nodes are pending (a single oversized
   /// request still runs whole — requests are never split).
   int64_t max_batch_nodes = 32;
-  /// How long the worker waits after the first pending request for more
-  /// requests to coalesce before running a partial batch.
+  /// How long the worker waits after the OLDEST pending request enqueued for
+  /// more requests to coalesce before running a partial batch.
   int64_t max_linger_micros = 1000;
+
+  /// Test-only: runs on the worker thread after each batch completes (outside
+  /// the queue lock). Lets tests widen the RunBatch window deterministically
+  /// to reproduce worker-busy interleavings.
+  std::function<void()> post_batch_hook_for_test;
+  /// Test-only: runs inside the fan-out loop before completing the pending at
+  /// `index` within its batch; a throw here lands on the same path as a
+  /// throwing ClassifyRows/ArgMaxRows.
+  std::function<void(size_t index)> fan_out_hook_for_test;
 };
 
 class RequestBatcher {
  public:
-  /// `session` must outlive the batcher.
-  RequestBatcher(InferenceSession* session, const BatcherOptions& options = {});
-  /// Stops the worker; still-pending requests fail with FailedPrecondition.
+  /// Resolves the session each batch runs on. Called at submit time (for
+  /// fast-fail validation) and once per batch at formation time. Must be
+  /// thread-safe; returning null fails requests with kUnavailable.
+  using SessionProvider = std::function<std::shared_ptr<InferenceSession>()>;
+
+  using EmbedCallback = std::function<void(StatusOr<tensor::Tensor>)>;
+  using PredictCallback = std::function<void(StatusOr<std::vector<int32_t>>)>;
+
+  struct SubmitOptions {
+    /// Absolute deadline; the request fails with kDeadlineExceeded if its
+    /// batch has not formed by then. max() = no deadline.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+  };
+
+  /// `session` must outlive the batcher. Fixed-session convenience wrapper
+  /// over the provider form.
+  explicit RequestBatcher(InferenceSession* session,
+                          const BatcherOptions& options = {});
+  /// Every batch runs on whatever `provider` returns when the batch forms —
+  /// the seam hot checkpoint reload swaps sessions through.
+  explicit RequestBatcher(SessionProvider provider,
+                          const BatcherOptions& options = {});
+  /// Calls Shutdown().
   ~RequestBatcher();
 
   RequestBatcher(const RequestBatcher&) = delete;
   RequestBatcher& operator=(const RequestBatcher&) = delete;
 
+  /// Stops the worker after its current batch; every still-queued request
+  /// fails with kFailedPrecondition, so every future/callback ever issued
+  /// resolves. Idempotent and safe to race with concurrent Submits (they
+  /// fail fast once shutdown begins).
+  void Shutdown();
+
   /// Embeddings for `nodes`, [nodes.size(), d]. Thread-safe; blocks only in
   /// the returned future.
   std::future<StatusOr<tensor::Tensor>> SubmitEmbed(
       std::vector<graph::NodeId> nodes);
+  std::future<StatusOr<tensor::Tensor>> SubmitEmbed(
+      std::vector<graph::NodeId> nodes, const SubmitOptions& options);
+  /// Callback form: `done` runs exactly once, on the worker thread (or the
+  /// calling thread for submit-time failures). It must not call back into
+  /// the batcher synchronously.
+  void SubmitEmbed(std::vector<graph::NodeId> nodes,
+                   const SubmitOptions& options, EmbedCallback done);
 
   /// Class predictions for `nodes`. Thread-safe.
   std::future<StatusOr<std::vector<int32_t>>> SubmitPredict(
       std::vector<graph::NodeId> nodes);
+  std::future<StatusOr<std::vector<int32_t>>> SubmitPredict(
+      std::vector<graph::NodeId> nodes, const SubmitOptions& options);
+  void SubmitPredict(std::vector<graph::NodeId> nodes,
+                     const SubmitOptions& options, PredictCallback done);
 
   struct Stats {
     int64_t requests = 0;
     int64_t batches = 0;        // session->Embed calls issued
     int64_t batched_nodes = 0;  // total nodes across those calls
     int64_t max_batch = 0;      // largest single batch, in nodes
+    int64_t expired = 0;        // failed kDeadlineExceeded at formation
+    int64_t stale = 0;          // failed kFailedPrecondition at formation
   };
   Stats stats() const;
 
@@ -65,17 +137,21 @@ class RequestBatcher {
   struct Pending {
     std::vector<graph::NodeId> nodes;
     bool predict = false;
-    // When the request entered the queue, for the linger-time histogram.
+    // When the request entered the queue: anchors the linger bound and the
+    // linger-time histogram.
     std::chrono::steady_clock::time_point enqueued_at;
-    std::promise<StatusOr<tensor::Tensor>> embed_promise;
-    std::promise<StatusOr<std::vector<int32_t>>> predict_promise;
+    std::chrono::steady_clock::time_point deadline;
+    EmbedCallback embed_cb;
+    PredictCallback predict_cb;
   };
 
   void Enqueue(Pending pending);
   void WorkerLoop();
-  void RunBatch(std::vector<Pending> batch);
+  void RunBatch(const std::shared_ptr<InferenceSession>& session,
+                std::vector<Pending> batch);
+  static void Fail(Pending& pending, Status status);
 
-  InferenceSession* session_;
+  SessionProvider provider_;
   BatcherOptions options_;
 
   mutable std::mutex mu_;
@@ -85,6 +161,7 @@ class RequestBatcher {
   bool shutting_down_ = false;
   Stats stats_;
 
+  std::once_flag join_once_;
   std::thread worker_;  // last member: starts in the ctor body
 };
 

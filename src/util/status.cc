@@ -23,6 +23,10 @@ const char* StatusCodeName(StatusCode code) {
       return "unimplemented";
     case StatusCode::kIOError:
       return "io_error";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

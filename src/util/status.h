@@ -24,6 +24,8 @@ enum class StatusCode : uint8_t {
   kInternal = 5,
   kUnimplemented = 6,
   kIOError = 7,
+  kDeadlineExceeded = 8,
+  kUnavailable = 9,
 };
 
 /// Returns the canonical lowercase name of a status code ("ok",
@@ -61,6 +63,12 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -8,8 +8,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <future>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -641,6 +644,197 @@ TEST(InferenceSessionTest, PreQuantizedCheckpointMatchesLoadTimeQuantization) {
   ASSERT_TRUE(rows_plain.ok());
   ASSERT_TRUE(rows_quant.ok());
   ExpectRowsEqual(*rows_plain, *rows_quant);
+}
+
+// Regression for the linger-anchoring bug: the worker used to re-anchor the
+// linger deadline at its own wake-up time, so a request that arrived while
+// the worker was busy in RunBatch waited busy-time + a FULL extra linger
+// (up to 2x the contract). The fix anchors at the front request's
+// enqueued_at, where the busy wait already counts against the budget.
+TEST(RequestBatcherTest, LingerAnchorsAtOldestEnqueueNotWorkerWakeup) {
+  graph::HeteroGraph chain = ChainGraph(10, 6);
+  core::WidenConfig config = SmallConfig();
+  const std::string path =
+      WriteColdCheckpoint(chain, config, "serve_linger.wdnt");
+  auto session_or = InferenceSession::Load(path, &chain, config);
+  ASSERT_TRUE(session_or.ok());
+
+  constexpr auto kBusy = std::chrono::milliseconds(400);
+  constexpr int64_t kLingerMicros = 300000;
+  std::atomic<bool> worker_busy{false};
+  std::atomic<int> batches_done{0};
+  BatcherOptions options;
+  options.max_batch_nodes = 4;
+  options.max_linger_micros = kLingerMicros;
+  options.post_batch_hook_for_test = [&] {
+    // Hold the worker "in RunBatch" past the linger bound, once.
+    if (batches_done.fetch_add(1) == 0) {
+      worker_busy.store(true);
+      std::this_thread::sleep_for(kBusy);
+    }
+  };
+  RequestBatcher batcher(session_or->get(), options);
+
+  // A full-size batch forms immediately (no linger), then the hook pins the
+  // worker.
+  auto first = batcher.SubmitEmbed({0, 1, 2, 3});
+  while (!worker_busy.load()) std::this_thread::yield();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto second = batcher.SubmitEmbed({5});
+  ASSERT_TRUE(second.get().ok());
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  ASSERT_TRUE(first.get().ok());
+
+  // The busy wait consumed the second request's linger budget, so its batch
+  // must form (nearly) as soon as the worker wakes: ~kBusy. The pre-fix
+  // re-anchoring held it for kBusy + linger.
+  EXPECT_LT(waited, kBusy + std::chrono::microseconds(kLingerMicros / 2))
+      << "linger re-anchored at worker wake-up instead of enqueue time";
+}
+
+TEST(RequestBatcherTest, ShutdownUnderLoadResolvesEveryFuture) {
+  graph::HeteroGraph chain = ChainGraph(10, 6);
+  core::WidenConfig config = SmallConfig();
+  const std::string path =
+      WriteColdCheckpoint(chain, config, "serve_shut.wdnt");
+  auto session_or = InferenceSession::Load(path, &chain, config);
+  ASSERT_TRUE(session_or.ok());
+
+  BatcherOptions options;
+  options.max_batch_nodes = 8;
+  options.max_linger_micros = 200;
+  RequestBatcher batcher(session_or->get(), options);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::vector<std::future<StatusOr<T::Tensor>>>> futures(kThreads);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    futures[t].reserve(kPerThread);
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        futures[t].push_back(
+            batcher.SubmitEmbed({static_cast<graph::NodeId>((t + i) % 10)}));
+      }
+    });
+  }
+  // Yank the batcher down while submissions are mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  batcher.Shutdown();
+  for (std::thread& t : submitters) t.join();
+
+  // Every future — served, queued at shutdown, or submitted after — must
+  // resolve with a value or a typed status, never a broken promise or hang.
+  int64_t served = 0;
+  int64_t refused = 0;
+  for (auto& per_thread : futures) {
+    for (auto& f : per_thread) {
+      StatusOr<T::Tensor> result = f.get();
+      if (result.ok()) {
+        ++served;
+      } else {
+        EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition)
+            << result.status().ToString();
+        ++refused;
+      }
+    }
+  }
+  EXPECT_EQ(served + refused, kThreads * kPerThread);
+}
+
+TEST(RequestBatcherTest, FanOutSurvivesThrowingPerRequestWork) {
+  graph::HeteroGraph chain = ChainGraph(10, 6);
+  core::WidenConfig config = SmallConfig();
+  const std::string path = WriteColdCheckpoint(chain, config, "serve_fan.wdnt");
+  auto session_or = InferenceSession::Load(path, &chain, config);
+  ASSERT_TRUE(session_or.ok());
+
+  BatcherOptions options;
+  options.max_batch_nodes = 32;
+  options.max_linger_micros = 200000;  // plenty for all three to coalesce
+  // Same failure path as a throwing ClassifyRows/ArgMaxRows: the middle
+  // request's per-pending work explodes after the batch ran.
+  options.fan_out_hook_for_test = [](size_t index) {
+    if (index == 1) throw std::runtime_error("injected fan-out failure");
+  };
+  RequestBatcher batcher(session_or->get(), options);
+
+  auto f0 = batcher.SubmitEmbed({0});
+  auto f1 = batcher.SubmitPredict({1});
+  auto f2 = batcher.SubmitEmbed({2});
+
+  StatusOr<T::Tensor> r0 = f0.get();
+  StatusOr<std::vector<int32_t>> r1 = f1.get();
+  StatusOr<T::Tensor> r2 = f2.get();
+  ASSERT_EQ(batcher.stats().batches, 1);  // all three coalesced
+  EXPECT_TRUE(r0.ok()) << r0.status().ToString();
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInternal);
+  EXPECT_NE(r1.status().message().find("injected"), std::string::npos);
+  // The neighbor AFTER the throwing pending still gets its rows.
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  auto want = (*session_or)->Embed({2});
+  ASSERT_TRUE(want.ok());
+  ExpectRowsEqual(*r2, *want);
+}
+
+TEST(RequestBatcherTest, BatchFormationRevalidatesAgainstTheLiveSession) {
+  graph::HeteroGraph big = ChainGraph(12, 6);
+  graph::HeteroGraph small = ChainGraph(8, 6);
+  core::WidenConfig config = SmallConfig();
+  const std::string big_path =
+      WriteColdCheckpoint(big, config, "serve_swap_big.wdnt");
+  const std::string small_path =
+      WriteColdCheckpoint(small, config, "serve_swap_small.wdnt");
+  auto big_or = InferenceSession::Load(big_path, &big, config);
+  auto small_or = InferenceSession::Load(small_path, &small, config);
+  ASSERT_TRUE(big_or.ok());
+  ASSERT_TRUE(small_or.ok());
+  std::shared_ptr<InferenceSession> big_session = std::move(big_or).value();
+  std::shared_ptr<InferenceSession> small_session =
+      std::move(small_or).value();
+
+  std::mutex live_mu;
+  std::shared_ptr<InferenceSession> live = big_session;
+  BatcherOptions options;
+  options.max_batch_nodes = 64;
+  options.max_linger_micros = 200000;
+  RequestBatcher batcher(RequestBatcher::SessionProvider([&] {
+                           std::lock_guard<std::mutex> lock(live_mu);
+                           return live;
+                         }),
+                         options);
+
+  // Both valid against the 12-node session at enqueue time...
+  auto stale = batcher.SubmitEmbed({10});
+  auto fine = batcher.SubmitEmbed({2});
+  {
+    // ...but the batch forms after a hot reload onto an 8-node graph.
+    std::lock_guard<std::mutex> lock(live_mu);
+    live = small_session;
+  }
+  StatusOr<T::Tensor> stale_result = stale.get();
+  ASSERT_FALSE(stale_result.ok());
+  EXPECT_EQ(stale_result.status().code(), StatusCode::kFailedPrecondition)
+      << stale_result.status().ToString();
+  // The enqueue-time validation was against the OLD session; the request
+  // must not reach (or poison) the batch that runs on the new one.
+  StatusOr<T::Tensor> fine_result = fine.get();
+  ASSERT_TRUE(fine_result.ok()) << fine_result.status().ToString();
+  auto want = small_session->Embed({2});
+  ASSERT_TRUE(want.ok());
+  ExpectRowsEqual(*fine_result, *want);
+  EXPECT_EQ(batcher.stats().stale, 1);
+
+  // A deadline that expires in the queue fails typed at formation, too.
+  RequestBatcher::SubmitOptions past;
+  past.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  StatusOr<T::Tensor> expired = batcher.SubmitEmbed({1}, past).get();
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(batcher.stats().expired, 1);
 }
 
 TEST(GraphDeltaTest, OverlayMatchesMaterializedGraphAdjacency) {
