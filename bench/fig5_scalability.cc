@@ -3,18 +3,60 @@
 // grows approximately linearly in the data size (the paper reports
 // 0.61e3 s -> 3.38e3 s across the sweep on full-size Yelp).
 
+// With WIDEN_BENCH_OOC=1 an extra section trains the same model with its
+// sampling routed through the mmap'd shard store (storage/sharded_graph.h)
+// and reports the out-of-core overhead next to the in-RAM time.
+
 #include <cstdio>
+#include <cstdlib>
 
 #include "baselines/registry.h"
 #include "baselines/widen_adapter.h"
 #include "bench_common.h"
+#include "core/widen_model.h"
 #include "datasets/splits.h"
 #include "datasets/yelp.h"
 #include "graph/subgraph.h"
+#include "storage/shard_writer.h"
+#include "storage/sharded_graph.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace widen {
 namespace {
+
+// Trains the full-ratio graph twice — neighborhoods read from the in-RAM
+// CSR, then from the mmap'd shard store — and prints both wall times. The
+// two runs consume RNG identically (the stores hand out byte-identical
+// neighbor spans), so the delta is pure storage overhead.
+void RunOutOfCore(const graph::HeteroGraph& graph,
+                  const std::vector<graph::NodeId>& train,
+                  const core::WidenConfig& config) {
+  std::puts("\n-- out-of-core: sampling through the mmap'd shard store --");
+  const std::string dir = "/tmp/widen_fig5_shards";
+  storage::WriteShardsOptions options;
+  options.num_shards = 8;
+  auto stats = storage::WriteShards(graph, dir, options);
+  WIDEN_CHECK_OK(stats.status());
+  auto store = storage::ShardedGraph::Open(dir);
+  WIDEN_CHECK_OK(store.status());
+  storage::ShardedGraphView view(*store);
+
+  auto fit_seconds = [&](const graph::GraphView* sampling_view) {
+    auto model = core::WidenModel::Create(&graph, config);
+    WIDEN_CHECK_OK(model.status());
+    (*model)->SetSamplingView(sampling_view);
+    StopWatch timer;
+    WIDEN_CHECK_OK((*model)->Train(train).status());
+    return timer.ElapsedSeconds();
+  };
+  const double ram_s = fit_seconds(nullptr);
+  const double ooc_s = fit_seconds(&view);
+  std::printf(
+      "  in-RAM sampler:      %ss\n  shard-store sampler: %ss (%.2fx)\n",
+      FormatDouble(ram_s, 3).c_str(), FormatDouble(ooc_s, 3).c_str(),
+      ram_s > 0.0 ? ooc_s / ram_s : 0.0);
+}
 
 void Run() {
   bench::PrintHeader("Figure 5: WIDEN training time on Yelp vs node ratio");
@@ -55,6 +97,9 @@ void Run() {
          FormatDouble(seconds / ratio, 3) + "s"},
         widths);
     std::fflush(stdout);
+    if (ratio == 1.0 && std::getenv("WIDEN_BENCH_OOC") != nullptr) {
+      RunOutOfCore(subgraph->graph, split->train, config);
+    }
   }
   std::puts(
       "\nPaper claim (Fig. 5): approximately linear dependence of training"

@@ -53,5 +53,15 @@ echo "== obs_bench =="
 echo "== load_bench =="
 "$BUILD_DIR/bench/load_bench" --out "$OUT_DIR/BENCH_load.json"
 
+# Streams a synthetic heterogeneous graph into a sharded store, sweeps it
+# shard-by-shard through the halo-cached sampler, and checks that training
+# through the mmap'd store is bitwise identical to the in-RAM sampler
+# (--enforce makes a parity break fail the run; it is deterministic, not a
+# timing judgment). RSS is recorded but only enforced in the full profile —
+# sanitizer and debug builds inflate it.
+echo "== scale_bench =="
+"$BUILD_DIR/bench/scale_bench" --train --enforce \
+  --json "$OUT_DIR/BENCH_scale.json"
+
 echo "bench records in $OUT_DIR: BENCH_kernels.json BENCH_serving.json" \
-     "BENCH_obs.json BENCH_load.json"
+     "BENCH_obs.json BENCH_load.json BENCH_scale.json"

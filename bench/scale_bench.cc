@@ -1,0 +1,330 @@
+// Out-of-core shard store at paper scale: build, verify, sample, and prove
+// the memory story.
+//
+// Two sections:
+//
+//   * Scale sweep (always): stream a synthetic heterogeneous graph of
+//     --nodes nodes straight to a sharded store (never materialized), open
+//     it with full checksum verification, then run a shard-ordered wide-
+//     neighbor sampling sweep with the halo cache on, evicting each finished
+//     shard. Reports build/open/sample throughput, halo hit rate, and peak
+//     RSS as a fraction of what the same graph would occupy materialized in
+//     RAM — the out-of-core claim, measured via obs/memprof (VmHWM).
+//     --enforce_rss fails the run when that fraction reaches 0.5 (only
+//     meaningful at large --nodes, where the process baseline is small
+//     against the graph; ASan also inflates RSS, so CI enforces parity but
+//     not RSS under sanitizers).
+//
+//   * Parity + training (--train): materialize a small graph, shard it with
+//     the greedy partitioner, and train two WIDEN models at the same seed —
+//     one sampling the in-RAM graph, one sampling through the mmap'd
+//     ShardedGraphView — then compare all embeddings bitwise. Also runs the
+//     training epoch over the shard-backed sampler that the CI scale smoke
+//     exercises under ASan. --enforce fails on any mismatch.
+//
+// Writes the BENCH_scale.json trajectory (schema v1) with --json.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_json.h"
+#include "core/widen_model.h"
+#include "datasets/synthetic.h"
+#include "datasets/synthetic_stream.h"
+#include "obs/memprof.h"
+#include "sampling/neighbor_sampler.h"
+#include "storage/shard_writer.h"
+#include "storage/sharded_graph.h"
+#include "util/file_util.h"
+#include "util/timer.h"
+
+namespace widen {
+namespace {
+
+struct Args {
+  int64_t nodes = 0;  // 0 = profile default
+  int32_t shards = 16;
+  std::string dir;
+  std::string json_path;
+  bool train = false;
+  bool enforce = false;
+  bool enforce_rss = false;
+};
+
+// The scale-sweep spec: three node types and three edge types, shaped like
+// the paper's Yelp setting (one big labeled type, smaller context types).
+datasets::SyntheticGraphSpec ScaleSpec(int64_t total_nodes) {
+  datasets::SyntheticGraphSpec spec;
+  spec.name = "scale";
+  const int64_t papers = total_nodes * 6 / 10;
+  const int64_t authors = total_nodes * 35 / 100;
+  const int64_t venues = std::max<int64_t>(total_nodes - papers - authors, 1);
+  spec.node_types = {{"paper", papers, /*labeled=*/true},
+                     {"author", authors, false},
+                     {"venue", venues, false}};
+  spec.edge_types = {{"cites", "paper", "paper", 3.0, 0.8, {}},
+                     {"writes", "author", "paper", 4.0, 0.7, {}},
+                     {"published_in", "paper", "venue", 1.0, 0.9, {}}};
+  spec.num_classes = 4;
+  spec.feature_dim = 64;
+  spec.feature_style = datasets::FeatureStyle::kBagOfWords;
+  spec.seed = 7;
+  return spec;
+}
+
+// Bytes the manifest's graph would occupy materialized in RAM: features +
+// CSR (neighbors, edge types, offsets) + node types + labels. The
+// denominator of the out-of-core claim.
+int64_t MaterializedBytes(const storage::Manifest& m) {
+  return m.num_nodes * m.feature_dim * 4    // features
+         + m.num_half_edges * (4 + 4)       // csr neighbors + edge types
+         + (m.num_nodes + 1) * 8            // csr offsets
+         + m.num_nodes * 4                  // node types
+         + (m.num_classes > 0 ? m.num_nodes * 4 : 0);  // labels
+}
+
+int RunScaleSweep(const Args& args, bench::BenchReport& report) {
+  const int64_t total_nodes =
+      args.nodes > 0 ? args.nodes : (bench::FullMode() ? 1'200'000 : 120'000);
+  const std::string dir =
+      !args.dir.empty() ? args.dir : "/tmp/widen_scale_store";
+  std::printf("building %lld-node store (%d shards) in %s ...\n",
+              static_cast<long long>(total_nodes), args.shards, dir.c_str());
+
+  const datasets::SyntheticGraphSpec spec = ScaleSpec(total_nodes);
+  datasets::StreamShardingOptions stream_options;
+  stream_options.num_shards = args.shards;
+  stream_options.num_threads = 1;  // lowest peak RSS; bits identical anyway
+  StopWatch build_watch;
+  auto stats = datasets::StreamSyntheticShards(spec, dir, stream_options);
+  WIDEN_CHECK(stats.ok()) << stats.status().ToString();
+  const double build_seconds = build_watch.ElapsedSeconds();
+  const int64_t rss_after_build = obs::ReadPeakRssBytes();
+
+  StopWatch open_watch;
+  auto store = storage::ShardedGraph::Open(dir, {/*verify_checksums=*/true});
+  WIDEN_CHECK(store.ok()) << store.status().ToString();
+  const double open_seconds = open_watch.ElapsedSeconds();
+
+  // Shard-ordered sampling sweep: home shard features come straight off the
+  // mapping, boundary features go through the halo cache (whose misses fill
+  // via pread, never faulting remote shards' pages — see sharded_graph.h),
+  // and each finished shard is evicted. Resident memory therefore stays
+  // near one shard + the halo arena. A process-RSS safety net backs that
+  // up: if VmRSS ever exceeds ~40% of the materialized size (floored at the
+  // pre-sweep baseline + 32 MB, so a small graph against the fixed process
+  // footprint doesn't trip it), every shard is evicted. With the pread fill
+  // path it should never fire — a nonzero full_evictions count is the
+  // regression signal.
+  storage::ShardedGraphView view(*store, /*halo_cache_rows=*/1 << 15);
+  Rng rng(123);
+  double feature_sink = 0.0;
+  int64_t sampled_neighbors = 0;
+  int64_t full_evictions = 0;
+  const int64_t block = store->manifest().block_size;
+  const int64_t resident_budget =
+      std::max(MaterializedBytes(store->manifest()) * 2 / 5,
+               obs::ReadCurrentRssBytes() + (int64_t{32} << 20));
+  StopWatch sweep_watch;
+  for (int32_t s = 0; s < store->num_shards(); ++s) {
+    view.SetHomeShard(s);
+    const int64_t begin = std::min<int64_t>(s * block, store->num_nodes());
+    const int64_t end = std::min<int64_t>(begin + block, store->num_nodes());
+    for (int64_t v = begin; v < end; ++v) {
+      sampling::WideNeighborSet wide = sampling::SampleWideNeighbors(
+          view, static_cast<graph::NodeId>(v), 8, rng);
+      for (graph::NodeId u : wide.nodes) {
+        feature_sink += view.feature_row(u)[0];  // touches halo rows
+      }
+      sampled_neighbors += static_cast<int64_t>(wide.size());
+      if ((v & 8191) == 0 &&
+          obs::ReadCurrentRssBytes() > resident_budget) {
+        for (int32_t t = 0; t < store->num_shards(); ++t) {
+          store->EvictShard(t);
+        }
+        ++full_evictions;
+      }
+    }
+    store->EvictShard(s);
+  }
+  const double sweep_seconds = sweep_watch.ElapsedSeconds();
+
+  const storage::HaloCacheStats* halo = view.halo_stats();
+  WIDEN_CHECK(halo != nullptr);
+  const int64_t materialized = MaterializedBytes(store->manifest());
+  const int64_t peak_rss = obs::ReadPeakRssBytes();
+  const double rss_fraction =
+      materialized > 0 ? static_cast<double>(peak_rss) /
+                             static_cast<double>(materialized)
+                       : 0.0;
+  const double cut_fraction =
+      static_cast<double>(stats->cut_half_edges) /
+      static_cast<double>(std::max<int64_t>(stats->TotalHalfEdges(), 1));
+
+  std::printf("  build: %.2fs   store: %.1f MB   cut: %.1f%%\n", build_seconds,
+              static_cast<double>(stats->total_bytes) / (1024.0 * 1024.0),
+              100.0 * cut_fraction);
+  std::printf("  open (checksummed): %.2fs\n", open_seconds);
+  std::printf(
+      "  sweep: %.2fs (%.0f nodes/s, %lld sampled neighbors, sink %.3f)\n",
+      sweep_seconds,
+      static_cast<double>(store->num_nodes()) / std::max(sweep_seconds, 1e-9),
+      static_cast<long long>(sampled_neighbors), feature_sink);
+  std::printf("  RSS safety net: %.1f MB, %lld full evictions\n",
+              static_cast<double>(resident_budget) / (1024.0 * 1024.0),
+              static_cast<long long>(full_evictions));
+  std::printf("  peak RSS after build: %.1f MB, after sweep: %.1f MB\n",
+              static_cast<double>(rss_after_build) / (1024.0 * 1024.0),
+              static_cast<double>(obs::ReadPeakRssBytes()) /
+                  (1024.0 * 1024.0));
+  std::printf("  halo cache: %.1f%% hit rate (%lld hits / %lld misses)\n",
+              100.0 * halo->HitRate(), static_cast<long long>(halo->hits),
+              static_cast<long long>(halo->misses));
+  std::printf("  peak RSS: %.1f MB = %.1f%% of the %.1f MB materialized size\n",
+              static_cast<double>(peak_rss) / (1024.0 * 1024.0),
+              100.0 * rss_fraction,
+              static_cast<double>(materialized) / (1024.0 * 1024.0));
+
+  report.SetConfig("nodes", static_cast<double>(store->num_nodes()));
+  report.SetConfig("shards", static_cast<double>(store->num_shards()));
+  report.SetConfig("feature_dim",
+                   static_cast<double>(store->feature_dim()));
+  report.AddMetric("build_seconds", build_seconds, "s", "lower");
+  report.AddMetric("open_seconds", open_seconds, "s", "lower");
+  report.AddMetric("sweep_nodes_per_sec",
+                   static_cast<double>(store->num_nodes()) /
+                       std::max(sweep_seconds, 1e-9),
+                   "nodes/s", "higher");
+  report.AddMetric("halo_hit_rate", halo->HitRate(), "ratio", "higher");
+  report.AddMetric("edge_cut_fraction", cut_fraction, "ratio", "lower");
+  report.AddMetric("store_bytes", static_cast<double>(stats->total_bytes),
+                   "B", "lower");
+  report.AddMetric("peak_rss_bytes", static_cast<double>(peak_rss), "B",
+                   "lower");
+  report.AddMetric("rss_fraction_of_materialized", rss_fraction, "ratio",
+                   "lower");
+
+  if (args.enforce_rss && rss_fraction >= 0.5) {
+    std::fprintf(stderr,
+                 "FAIL: peak RSS is %.1f%% of the materialized size "
+                 "(budget: < 50%%)\n",
+                 100.0 * rss_fraction);
+    return 1;
+  }
+  return 0;
+}
+
+int RunTrainParity(const Args& args, bench::BenchReport& report) {
+  std::printf("\ntraining parity: in-RAM sampler vs mmap'd shard store\n");
+  datasets::SyntheticGraphSpec spec = ScaleSpec(1'500);
+  auto graph = datasets::GenerateSyntheticGraph(spec);
+  WIDEN_CHECK(graph.ok()) << graph.status().ToString();
+
+  const std::string dir = (!args.dir.empty() ? args.dir : "/tmp/widen_scale_store") +
+                          std::string("_parity");
+  storage::WriteShardsOptions write_options;
+  write_options.num_shards = 4;
+  auto stats = storage::WriteShards(*graph, dir, write_options);
+  WIDEN_CHECK(stats.ok()) << stats.status().ToString();
+  auto store = storage::ShardedGraph::Open(dir);
+  WIDEN_CHECK(store.ok()) << store.status().ToString();
+  storage::ShardedGraphView view(*store);
+
+  core::WidenConfig config;
+  config.embedding_dim = 16;
+  config.max_epochs = 1;  // the CI scale smoke's "one training epoch"
+  config.num_threads = 1;
+  config.seed = 21;
+
+  std::vector<graph::NodeId> train_nodes = graph->LabeledNodes();
+  train_nodes.resize(std::min<size_t>(train_nodes.size(), 128));
+
+  auto run = [&](const graph::GraphView* sampling_view) {
+    auto model = core::WidenModel::Create(&graph.value(), config);
+    WIDEN_CHECK(model.ok()) << model.status().ToString();
+    (*model)->SetSamplingView(sampling_view);
+    auto train_report = (*model)->Train(train_nodes);
+    WIDEN_CHECK(train_report.ok()) << train_report.status().ToString();
+    return (*model)->EmbedNodes(*graph, graph->LabeledNodes());
+  };
+  StopWatch watch;
+  tensor::Tensor ram_embeddings = run(nullptr);
+  tensor::Tensor shard_embeddings = run(&view);
+  const double seconds = watch.ElapsedSeconds();
+
+  const bool identical =
+      ram_embeddings.size() == shard_embeddings.size() &&
+      std::memcmp(ram_embeddings.data(), shard_embeddings.data(),
+                  static_cast<size_t>(ram_embeddings.size()) *
+                      sizeof(float)) == 0;
+  std::printf("  %lld nodes embedded, bitwise %s (%.2fs)\n",
+              static_cast<long long>(ram_embeddings.rows()),
+              identical ? "IDENTICAL" : "DIFFERENT", seconds);
+  report.AddMetric("train_parity_identical", identical ? 1.0 : 0.0, "bool",
+                   "higher");
+
+  if (!identical && args.enforce) {
+    std::fprintf(stderr,
+                 "FAIL: shard-sampled training diverged from the in-RAM "
+                 "sampler\n");
+    return 1;
+  }
+  return 0;
+}
+
+int Run(const Args& args) {
+  bench::PrintHeader("Out-of-core shard store scale bench");
+  bench::BenchReport report("scale", bench::FullMode());
+  int rc = RunScaleSweep(args, report);
+  if (args.train) {
+    const int parity_rc = RunTrainParity(args, report);
+    if (rc == 0) rc = parity_rc;
+  }
+  if (!args.json_path.empty()) {
+    Status st = report.Write(args.json_path);
+    WIDEN_CHECK(st.ok()) << st.ToString();
+    std::printf("\nwrote %s\n", args.json_path.c_str());
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace widen
+
+int main(int argc, char** argv) {
+  widen::Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      WIDEN_CHECK(i + 1 < argc) << "missing value for " << arg;
+      return argv[++i];
+    };
+    if (arg == "--nodes") {
+      args.nodes = std::atoll(next());
+    } else if (arg == "--shards") {
+      args.shards = std::atoi(next());
+    } else if (arg == "--dir") {
+      args.dir = next();
+    } else if (arg == "--json") {
+      args.json_path = next();
+    } else if (arg == "--train") {
+      args.train = true;
+    } else if (arg == "--enforce") {
+      args.enforce = true;
+    } else if (arg == "--enforce_rss") {
+      args.enforce_rss = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: scale_bench [--nodes N] [--shards S] [--dir D]\n"
+                   "                   [--json PATH] [--train] [--enforce]\n"
+                   "                   [--enforce_rss]\n");
+      return 2;
+    }
+  }
+  return widen::Run(args);
+}

@@ -5,6 +5,7 @@
 //   ./build/examples/widen_cli train  <graph.txt> <model.ckpt> [epochs]
 //   ./build/examples/widen_cli embed  <graph.txt> <model.ckpt> <out.csv>
 //   ./build/examples/widen_cli stats  <graph.txt>
+//   ./build/examples/widen_cli shard  <graph.txt> <out_dir> [num_shards]
 //
 // All commands accept --num_threads N to size the kernel thread pool
 // (default: the WIDEN_NUM_THREADS env var, then hardware concurrency;
@@ -48,6 +49,7 @@
 #include "datasets/splits.h"
 #include "graph/graph_stats.h"
 #include "graph/io.h"
+#include "storage/shard_writer.h"
 #include "tensor/kernel_context.h"
 #include "train/metrics.h"
 #include "train/trainer.h"
@@ -67,6 +69,30 @@ int RunStats(const std::string& graph_path) {
   std::printf("%s\n%s",
               graph->DebugString().c_str(),
               graph::FormatStats(*graph, graph::ComputeStats(*graph)).c_str());
+  return 0;
+}
+
+int RunShard(const std::string& graph_path, const std::string& out_dir,
+             int32_t num_shards) {
+  auto graph = graph::LoadGraphText(graph_path);
+  if (!graph.ok()) return Fail(graph.status());
+  storage::WriteShardsOptions options;
+  options.num_shards = num_shards;
+  auto stats = storage::WriteShards(*graph, out_dir, options);
+  if (!stats.ok()) return Fail(stats.status());
+  const int64_t half_edges = stats->TotalHalfEdges();
+  std::printf(
+      "wrote %zu shards (%lld nodes, %lld half-edges, %.1f%% edge cut, "
+      "%.1f MB) to %s\n",
+      stats->shards.size(), static_cast<long long>(stats->TotalNodes()),
+      static_cast<long long>(half_edges),
+      half_edges > 0 ? 100.0 * static_cast<double>(stats->cut_half_edges) /
+                           static_cast<double>(half_edges)
+                     : 0.0,
+      static_cast<double>(stats->total_bytes) / (1024.0 * 1024.0),
+      out_dir.c_str());
+  std::printf("inspect it with: ./build/tools/shard_inspect %s\n",
+              out_dir.c_str());
   return 0;
 }
 
@@ -253,12 +279,21 @@ int main(int argc, char** argv) {
     if (command == "embed" && argc == 5) {
       return RunEmbed(argv[2], argv[3], argv[4]);
     }
+    if (command == "shard" && (argc == 4 || argc == 5)) {
+      const long shards = argc == 5 ? std::atol(argv[4]) : 4;
+      if (shards < 1) {
+        std::fprintf(stderr, "error: num_shards wants a positive integer\n");
+        return 2;
+      }
+      return RunShard(argv[2], argv[3], static_cast<int32_t>(shards));
+    }
     std::fprintf(stderr,
                  "usage:\n"
                  "  %s                                   # demo\n"
                  "  %s stats <graph.txt>\n"
                  "  %s train <graph.txt> <model.ckpt> [epochs]\n"
                  "  %s embed <graph.txt> <model.ckpt> <out.csv>\n"
+                 "  %s shard <graph.txt> <out_dir> [num_shards]\n"
                  "options: --num_threads N       kernel threads (default: "
                  "WIDEN_NUM_THREADS or hardware)\n"
                  "         --checkpoint_dir DIR  (train) save a checksummed\n"
@@ -272,7 +307,7 @@ int main(int argc, char** argv) {
                  "         --profile_out PATH    profile every tensor op and "
                  "write the\n"
                  "                               roofline report on exit\n",
-                 argv[0], argv[0], argv[0], argv[0]);
+                 argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }();
 

@@ -142,6 +142,9 @@ void WidenModel::RefreshCache(const graph::HeteroGraph& graph,
 WidenModel::TargetState WidenModel::SampleTargetState(
     const graph::HeteroGraph& graph, graph::NodeId node, Rng& rng) const {
   obs::ScopedProfPhase phase_scope(obs::ProfPhase::kSampling);
+  if (sampling_view_ != nullptr && &graph == graph_) {
+    return core::SampleTargetState(*sampling_view_, node, config_, rng);
+  }
   return core::SampleTargetState(graph::HeteroGraphView(graph), node, config_,
                                  rng);
 }

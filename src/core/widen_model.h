@@ -19,6 +19,7 @@
 #include "core/kl_trigger.h"
 #include "core/message_pack.h"
 #include "core/widen_config.h"
+#include "graph/graph_view.h"
 #include "graph/hetero_graph.h"
 #include "tensor/optimizer.h"
 #include "tensor/tensor.h"
@@ -116,6 +117,16 @@ class WidenModel {
   Status SeedCache(const graph::HeteroGraph& graph, const tensor::Tensor& reps,
                    const tensor::Tensor& valid);
 
+  /// Routes neighborhood sampling for the TRAINING graph through `view` —
+  /// e.g. a storage::ShardedGraphView over the mmap'd shard store — instead
+  /// of the in-RAM graph. Only topology traversal moves (features, labels,
+  /// and the embedding store still come from the training graph); since a
+  /// conforming view presents byte-identical (neighbor, edge_type) spans,
+  /// every RNG draw, and therefore training itself, is bitwise-unchanged.
+  /// `view` must cover the same node-id space and outlive the model (or the
+  /// next SetSamplingView call). nullptr restores the default.
+  void SetSamplingView(const graph::GraphView* view) { sampling_view_ = view; }
+
   /// Current size of a training target's neighbor sets (tests/diagnostics).
   /// Returns {wide_size, mean_deep_size}; {-1, -1} if the node has no state.
   std::pair<int64_t, double> NeighborSetSizes(graph::NodeId node) const;
@@ -174,6 +185,7 @@ class WidenModel {
   const graph::HeteroGraph* graph_;
   WidenConfig config_;
   Rng rng_;
+  const graph::GraphView* sampling_view_ = nullptr;  // not owned
 
   // Parameters (shared encode path, core/encoder.h).
   EncoderParams params_;

@@ -1,0 +1,471 @@
+#include "datasets/synthetic_stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "util/file_util.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/threadpool.h"
+
+namespace widen::datasets {
+namespace {
+
+// Stream ids for the derived per-node generators. Distinct from the
+// sequential-generator constants in synthetic.cc on purpose: the streaming
+// generator is a different graph distribution (rejection-based homophily),
+// not a bit-replay of the in-RAM one.
+constexpr uint64_t kStreamCommunity = 0x5C0117EC7ULL;
+constexpr uint64_t kStreamLabel = 0x51ABE1ULL;
+constexpr uint64_t kStreamEdge = 0x5ED6EULL;
+constexpr uint64_t kStreamFeature = 0x5FEA7ULL;
+constexpr uint64_t kStreamMeans = 0x5AEA25ULL;
+
+constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+uint64_t SplitMix(uint64_t z) {
+  z += kGolden;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Seed of the derived stream (seed, stream, a, b) — a pure mix, so any
+/// node's generator can be built in O(1) at any point of the pipeline.
+uint64_t DeriveSeed(uint64_t seed, uint64_t stream, uint64_t a,
+                    uint64_t b = 0) {
+  uint64_t s = SplitMix(seed ^ stream);
+  s = SplitMix(s + kGolden * (a + 1));
+  if (b != 0) s = SplitMix(s + kGolden * (b + 1));
+  return s;
+}
+
+struct Layout {
+  std::vector<int64_t> offsets;  // first global id of each node type
+  int64_t total = 0;
+  int32_t labeled_type = -1;
+
+  graph::NodeTypeId TypeOf(graph::NodeId v) const {
+    int32_t t = static_cast<int32_t>(offsets.size()) - 1;
+    while (t > 0 && v < offsets[static_cast<size_t>(t)]) --t;
+    return t;
+  }
+};
+
+StatusOr<Layout> ComputeLayout(const SyntheticGraphSpec& spec) {
+  Layout layout;
+  int labeled_count = 0;
+  for (size_t t = 0; t < spec.node_types.size(); ++t) {
+    const NodeTypeSpec& nt = spec.node_types[t];
+    if (nt.count <= 0) {
+      return Status::InvalidArgument(
+          StrCat("node type '", nt.name, "' has count ", nt.count));
+    }
+    if (nt.labeled) {
+      layout.labeled_type = static_cast<int32_t>(t);
+      ++labeled_count;
+    }
+    layout.offsets.push_back(layout.total);
+    layout.total += nt.count;
+  }
+  if (labeled_count != 1) {
+    return Status::InvalidArgument("exactly one node type must be labeled");
+  }
+  if (layout.total > std::numeric_limits<graph::NodeId>::max()) {
+    return Status::InvalidArgument(
+        StrCat("total node count ", layout.total, " exceeds NodeId range"));
+  }
+  return layout;
+}
+
+Status ValidateSpec(const SyntheticGraphSpec& spec) {
+  if (spec.num_classes < 2) {
+    return Status::InvalidArgument("num_classes must be at least 2");
+  }
+  if (spec.feature_dim < spec.num_classes) {
+    return Status::InvalidArgument("feature_dim must be >= num_classes");
+  }
+  for (const EdgeTypeSpec& et : spec.edge_types) {
+    if (et.mean_degree_per_src <= 0.0) {
+      return Status::InvalidArgument(
+          StrCat("edge type '", et.name, "' has non-positive mean degree"));
+    }
+    if (et.homophily < 0.0 || et.homophily > 1.0) {
+      return Status::InvalidArgument(
+          StrCat("edge type '", et.name, "' homophily out of [0, 1]"));
+    }
+    if (!et.dst_class_weights.empty()) {
+      if (static_cast<int32_t>(et.dst_class_weights.size()) !=
+          spec.num_classes) {
+        return Status::InvalidArgument(
+            StrCat("edge type '", et.name, "' dst_class_weights size != ",
+                   spec.num_classes));
+      }
+      double total = 0.0;
+      for (double w : et.dst_class_weights) {
+        if (w < 0.0) {
+          return Status::InvalidArgument(
+              StrCat("edge type '", et.name, "' has negative class weight"));
+        }
+        total += w;
+      }
+      if (total <= 0.0) {
+        return Status::InvalidArgument(
+            StrCat("edge type '", et.name, "' class weights are all zero"));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+int32_t LabelOf(const SyntheticGraphSpec& spec, graph::NodeId v) {
+  Rng rng(DeriveSeed(spec.seed, kStreamLabel, static_cast<uint64_t>(v)));
+  int32_t y = StreamCommunityOf(spec.seed, spec.num_classes, v);
+  if (rng.Bernoulli(spec.label_noise)) {
+    y = static_cast<int32_t>(
+        rng.UniformInt(static_cast<uint64_t>(spec.num_classes)));
+  }
+  return y;
+}
+
+// Fills v's feature row (pure in (spec, means, v)).
+void FeatureRowOf(const SyntheticGraphSpec& spec,
+                  const std::vector<std::vector<float>>& means,
+                  graph::NodeId v, float* row) {
+  Rng rng(DeriveSeed(spec.seed, kStreamFeature, static_cast<uint64_t>(v)));
+  const int32_t c = StreamCommunityOf(spec.seed, spec.num_classes, v);
+  std::memset(row, 0, static_cast<size_t>(spec.feature_dim) * sizeof(float));
+  if (spec.feature_style == FeatureStyle::kBagOfWords) {
+    const int64_t block = spec.feature_dim / spec.num_classes;
+    int64_t words = static_cast<int64_t>(spec.words_per_node);
+    if (rng.Bernoulli(spec.words_per_node - std::floor(spec.words_per_node))) {
+      ++words;
+    }
+    for (int64_t w = 0; w < words; ++w) {
+      int64_t idx;
+      if (!rng.Bernoulli(spec.feature_noise)) {
+        idx = static_cast<int64_t>(c) * block +
+              static_cast<int64_t>(
+                  rng.UniformInt(static_cast<uint64_t>(block)));
+      } else {
+        idx = static_cast<int64_t>(
+            rng.UniformInt(static_cast<uint64_t>(spec.feature_dim)));
+      }
+      row[idx] += 1.0f;
+    }
+    double norm_sq = 0.0;
+    for (int64_t j = 0; j < spec.feature_dim; ++j) {
+      norm_sq += static_cast<double>(row[j]) * row[j];
+    }
+    const float inv =
+        norm_sq > 0.0 ? static_cast<float>(1.0 / std::sqrt(norm_sq)) : 0.0f;
+    for (int64_t j = 0; j < spec.feature_dim; ++j) row[j] *= inv;
+  } else {
+    const auto& mean = means[static_cast<size_t>(c)];
+    const float noise = static_cast<float>(spec.feature_noise);
+    for (int64_t j = 0; j < spec.feature_dim; ++j) {
+      row[j] = mean[static_cast<size_t>(j)] +
+               noise * static_cast<float>(rng.Normal());
+    }
+  }
+}
+
+// Unit mean directions for kDenseEmbedding; pure in the seed.
+std::vector<std::vector<float>> ComputeMeans(const SyntheticGraphSpec& spec) {
+  std::vector<std::vector<float>> means;
+  if (spec.feature_style != FeatureStyle::kDenseEmbedding) return means;
+  Rng rng(DeriveSeed(spec.seed, kStreamMeans, 0));
+  means.assign(static_cast<size_t>(spec.num_classes),
+               std::vector<float>(static_cast<size_t>(spec.feature_dim)));
+  for (auto& mean : means) {
+    double norm_sq = 0.0;
+    for (auto& x : mean) {
+      x = static_cast<float>(rng.Normal());
+      norm_sq += static_cast<double>(x) * x;
+    }
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq + 1e-12));
+    for (auto& x : mean) x *= inv;
+  }
+  return means;
+}
+
+// One spilled half-edge: `owner` is the node whose adjacency row it joins.
+struct SpillRec {
+  int32_t owner;
+  int32_t neighbor;
+  int32_t etype;
+};
+static_assert(sizeof(SpillRec) == 12);
+
+struct SpillFile {
+  std::FILE* f = nullptr;
+  std::string path;
+  int64_t records = 0;
+};
+
+Status Append(SpillFile& spill, const SpillRec& rec) {
+  if (std::fwrite(&rec, sizeof(rec), 1, spill.f) != 1) {
+    return Status::IOError(StrCat("short write to ", spill.path));
+  }
+  ++spill.records;
+  return Status::OK();
+}
+
+}  // namespace
+
+int32_t StreamCommunityOf(uint64_t seed, int32_t num_classes,
+                          graph::NodeId v) {
+  // One mix + modulo: at most 2^16 classes against 2^64 states, so the
+  // modulo bias is unobservable and the per-call cost stays tiny (this is
+  // the inner loop of rejection sampling).
+  return static_cast<int32_t>(
+      DeriveSeed(seed, kStreamCommunity, static_cast<uint64_t>(v)) %
+      static_cast<uint64_t>(num_classes));
+}
+
+StatusOr<storage::ShardStoreStats> StreamSyntheticShards(
+    const SyntheticGraphSpec& spec, const std::string& dir,
+    const StreamShardingOptions& options) {
+  WIDEN_RETURN_IF_ERROR(ValidateSpec(spec));
+  WIDEN_ASSIGN_OR_RETURN(Layout layout, ComputeLayout(spec));
+  if (options.num_shards <= 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  WIDEN_RETURN_IF_ERROR(EnsureDirectory(dir));
+
+  // Schema (also validates type-name references).
+  graph::GraphSchema schema;
+  std::unordered_map<std::string, graph::NodeTypeId> type_by_name;
+  for (const NodeTypeSpec& nt : spec.node_types) {
+    if (type_by_name.count(nt.name) > 0) {
+      return Status::InvalidArgument(StrCat("duplicate node type ", nt.name));
+    }
+    type_by_name[nt.name] = schema.AddNodeType(nt.name);
+  }
+  std::vector<graph::EdgeTypeId> edge_type_ids;
+  for (const EdgeTypeSpec& et : spec.edge_types) {
+    auto src = type_by_name.find(et.src_type);
+    auto dst = type_by_name.find(et.dst_type);
+    if (src == type_by_name.end() || dst == type_by_name.end()) {
+      return Status::InvalidArgument(
+          StrCat("edge type '", et.name, "' references unknown node type"));
+    }
+    edge_type_ids.push_back(
+        schema.AddEdgeType(et.name, src->second, dst->second));
+  }
+
+  const int64_t block_size =
+      (layout.total + options.num_shards - 1) / options.num_shards;
+  auto shard_of = [&](graph::NodeId v) {
+    return static_cast<int32_t>(v / block_size);
+  };
+
+  // ---- Pass 1: generate edges, spill half-edges to their owner shards. ----
+  std::vector<SpillFile> spills(static_cast<size_t>(options.num_shards));
+  for (int32_t s = 0; s < options.num_shards; ++s) {
+    SpillFile& spill = spills[static_cast<size_t>(s)];
+    spill.path = StrCat(dir, "/spill_", s, ".tmp");
+    spill.f = std::fopen(spill.path.c_str(), "wb");
+    if (spill.f == nullptr) {
+      for (SpillFile& open : spills) {
+        if (open.f != nullptr) std::fclose(open.f);
+      }
+      return Status::IOError(StrCat("cannot create ", spill.path));
+    }
+  }
+  auto close_spills = [&spills]() {
+    for (SpillFile& spill : spills) {
+      if (spill.f != nullptr) {
+        std::fclose(spill.f);
+        spill.f = nullptr;
+      }
+      std::remove(spill.path.c_str());
+    }
+  };
+
+  storage::ShardStoreStats stats;
+  int64_t total_half_edges = 0;
+  for (size_t e = 0; e < spec.edge_types.size(); ++e) {
+    const EdgeTypeSpec& et = spec.edge_types[e];
+    const int32_t src_type = type_by_name[et.src_type];
+    const int32_t dst_type = type_by_name[et.dst_type];
+    const int64_t src_begin = layout.offsets[static_cast<size_t>(src_type)];
+    const int64_t src_end =
+        src_begin + spec.node_types[static_cast<size_t>(src_type)].count;
+    const int64_t dst_begin = layout.offsets[static_cast<size_t>(dst_type)];
+    const int64_t dst_count =
+        spec.node_types[static_cast<size_t>(dst_type)].count;
+    double max_class_weight = 0.0;
+    for (double w : et.dst_class_weights) {
+      max_class_weight = std::max(max_class_weight, w);
+    }
+    for (int64_t u = src_begin; u < src_end; ++u) {
+      Rng rng(DeriveSeed(spec.seed, kStreamEdge, e, static_cast<uint64_t>(u)));
+      int64_t degree = static_cast<int64_t>(et.mean_degree_per_src);
+      if (rng.Bernoulli(et.mean_degree_per_src -
+                        std::floor(et.mean_degree_per_src))) {
+        ++degree;
+      }
+      if (degree < 1) degree = 1;
+      const int32_t cu = StreamCommunityOf(spec.seed, spec.num_classes,
+                                           static_cast<graph::NodeId>(u));
+      for (int64_t k = 0; k < degree; ++k) {
+        graph::NodeId v = -1;
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          graph::NodeId cand = static_cast<graph::NodeId>(
+              dst_begin + static_cast<int64_t>(rng.UniformInt(
+                              static_cast<uint64_t>(dst_count))));
+          if (rng.Bernoulli(et.homophily)) {
+            // Homophilous draw by bounded rejection: retry uniform draws
+            // until one lands in u's community (the streaming stand-in for
+            // the materialized per-community node lists).
+            for (int probe = 0;
+                 probe < 32 && StreamCommunityOf(spec.seed, spec.num_classes,
+                                                 cand) != cu;
+                 ++probe) {
+              cand = static_cast<graph::NodeId>(
+                  dst_begin + static_cast<int64_t>(rng.UniformInt(
+                                  static_cast<uint64_t>(dst_count))));
+            }
+          }
+          v = cand;
+          if (et.dst_class_weights.empty()) break;
+          const double accept =
+              et.dst_class_weights[static_cast<size_t>(StreamCommunityOf(
+                  spec.seed, spec.num_classes, v))] /
+              max_class_weight;
+          if (rng.Bernoulli(accept)) break;
+          v = -1;
+        }
+        if (v < 0) continue;  // all retries rejected
+        if (v == static_cast<graph::NodeId>(u)) continue;  // self loop
+        const int32_t su = shard_of(static_cast<graph::NodeId>(u));
+        const int32_t sv = shard_of(v);
+        const int32_t etype = edge_type_ids[e];
+        Status st = Append(spills[static_cast<size_t>(su)],
+                           SpillRec{static_cast<int32_t>(u), v, etype});
+        if (st.ok()) {
+          st = Append(spills[static_cast<size_t>(sv)],
+                      SpillRec{v, static_cast<int32_t>(u), etype});
+        }
+        if (!st.ok()) {
+          close_spills();
+          return st;
+        }
+        total_half_edges += 2;
+        if (su != sv) stats.cut_half_edges += 2;
+      }
+    }
+  }
+  for (SpillFile& spill : spills) {
+    if (std::fclose(spill.f) != 0) {
+      spill.f = nullptr;
+      close_spills();
+      return Status::IOError(StrCat("cannot flush ", spill.path));
+    }
+    spill.f = nullptr;
+  }
+
+  // ---- Pass 2: emit each shard from its spill (pure per shard). ----
+  const std::vector<std::vector<float>> means = ComputeMeans(spec);
+  const bool has_labels = true;  // synthetic graphs always label one type
+  std::vector<StatusOr<storage::ShardStats>> results(
+      static_cast<size_t>(options.num_shards),
+      Status::Internal("shard not emitted"));
+  auto emit_shard = [&](int32_t s) {
+    const SpillFile& spill = spills[static_cast<size_t>(s)];
+    std::vector<SpillRec> recs(static_cast<size_t>(spill.records));
+    if (spill.records > 0) {
+      std::FILE* f = std::fopen(spill.path.c_str(), "rb");
+      if (f == nullptr) {
+        results[static_cast<size_t>(s)] =
+            Status::IOError(StrCat("cannot reopen ", spill.path));
+        return;
+      }
+      const size_t want = static_cast<size_t>(spill.records);
+      const bool ok = std::fread(recs.data(), sizeof(SpillRec), want, f) == want;
+      std::fclose(f);
+      if (!ok) {
+        results[static_cast<size_t>(s)] =
+            Status::IOError(StrCat("short read from ", spill.path));
+        return;
+      }
+    }
+    // CSR adjacency order: by owner, then (neighbor, edge_type).
+    std::sort(recs.begin(), recs.end(),
+              [](const SpillRec& a, const SpillRec& b) {
+                if (a.owner != b.owner) return a.owner < b.owner;
+                if (a.neighbor != b.neighbor) return a.neighbor < b.neighbor;
+                return a.etype < b.etype;
+              });
+
+    const int64_t begin = std::min<int64_t>(
+        static_cast<int64_t>(s) * block_size, layout.total);
+    const int64_t end = std::min<int64_t>(begin + block_size, layout.total);
+    storage::ShardFileWriter writer(s, options.num_shards, spec.feature_dim,
+                                    has_labels);
+    std::vector<float> row(static_cast<size_t>(spec.feature_dim));
+    std::vector<graph::NodeId> neighbors;
+    std::vector<graph::EdgeTypeId> etypes;
+    size_t cursor = 0;
+    for (int64_t v = begin; v < end; ++v) {
+      neighbors.clear();
+      etypes.clear();
+      while (cursor < recs.size() && recs[cursor].owner == v) {
+        neighbors.push_back(recs[cursor].neighbor);
+        etypes.push_back(recs[cursor].etype);
+        ++cursor;
+      }
+      const graph::NodeTypeId type =
+          layout.TypeOf(static_cast<graph::NodeId>(v));
+      const int32_t label =
+          type == layout.labeled_type
+              ? LabelOf(spec, static_cast<graph::NodeId>(v))
+              : -1;
+      FeatureRowOf(spec, means, static_cast<graph::NodeId>(v), row.data());
+      writer.AddNode(static_cast<graph::NodeId>(v), type, label,
+                     neighbors.data(), etypes.data(),
+                     static_cast<int64_t>(neighbors.size()), row.data());
+    }
+    results[static_cast<size_t>(s)] =
+        writer.Finish(StrCat(dir, "/", storage::ShardFileName(s)), shard_of);
+  };
+
+  if (options.num_threads > 1 && options.num_shards > 1) {
+    ThreadPool pool(static_cast<size_t>(options.num_threads));
+    ParallelFor(pool, 0, static_cast<size_t>(options.num_shards),
+                [&](size_t s) { emit_shard(static_cast<int32_t>(s)); });
+  } else {
+    for (int32_t s = 0; s < options.num_shards; ++s) emit_shard(s);
+  }
+  close_spills();
+  for (auto& result : results) {
+    if (!result.ok()) return result.status();
+    stats.total_bytes += result->file_bytes;
+    stats.shards.push_back(*result);
+  }
+
+  storage::Manifest manifest;
+  manifest.num_shards = options.num_shards;
+  manifest.num_nodes = layout.total;
+  manifest.num_half_edges = total_half_edges;
+  manifest.feature_dim = spec.feature_dim;
+  manifest.num_classes = spec.num_classes;
+  manifest.labeled_node_type = layout.labeled_type;
+  manifest.schema = schema;
+  manifest.partition_kind = storage::PartitionKind::kUniformBlocks;
+  manifest.block_size = block_size;
+  WIDEN_RETURN_IF_ERROR(storage::WriteManifestFile(dir, manifest));
+  WIDEN_ASSIGN_OR_RETURN(
+      int64_t manifest_bytes,
+      FileSize(StrCat(dir, "/", storage::ManifestFileName())));
+  stats.total_bytes += manifest_bytes;
+  return stats;
+}
+
+}  // namespace widen::datasets

@@ -1,0 +1,70 @@
+// Streaming synthetic-graph sharding: paper-scale graphs without ever
+// materializing one.
+//
+// GenerateSyntheticGraph (synthetic.h) builds a HeteroGraph in RAM, which
+// caps it at graphs that fit. StreamSyntheticShards emits the SAME KIND of
+// planted-structure heterogeneous graph directly as a sharded store
+// (storage/shard_format.h) with peak memory proportional to ONE shard, so a
+// million-node graph builds inside a laptop-sized budget and is then
+// consumed through the mmap loader (storage/sharded_graph.h).
+//
+// How it streams:
+//
+//   1. Every random decision is drawn from a per-node DERIVED stream — a
+//      pure function of (spec.seed, stream id, node id) — instead of one
+//      long sequential stream. Communities, labels, and feature rows can
+//      therefore be (re)computed for any node in O(1) with no global state,
+//      and the output is bitwise-identical no matter how generation is
+//      chunked or how many threads emit shards.
+//
+//   2. Edges are generated source-by-source and appended to per-shard spill
+//      files as 12-byte (owner, neighbor, edge_type) half-edge records —
+//      each undirected edge spills once for each endpoint's owner shard.
+//
+//   3. Each shard is then finished independently: read its spill file
+//      (~ total_half_edges / num_shards records), sort by (owner, neighbor,
+//      edge_type) — exactly the CSR adjacency order — regenerate node
+//      types/labels/features from the derived streams, and write the shard
+//      via storage::ShardFileWriter. Shards are pure functions of
+//      (spec, num_shards), so the per-shard pass may run on a thread pool
+//      without affecting a single output bit.
+//
+// The store uses the kUniformBlocks partition (shard = v / block_size), so
+// the manifest needs no per-node resolver arrays — opening a million-node
+// store costs O(num_shards) RAM.
+
+#ifndef WIDEN_DATASETS_SYNTHETIC_STREAM_H_
+#define WIDEN_DATASETS_SYNTHETIC_STREAM_H_
+
+#include <string>
+
+#include "datasets/synthetic.h"
+#include "storage/shard_writer.h"
+#include "util/status.h"
+
+namespace widen::datasets {
+
+struct StreamShardingOptions {
+  int32_t num_shards = 8;
+  /// Threads for the per-shard emission pass. 1 = sequential (lowest peak
+  /// RSS: exactly one shard's arrays live at a time); n > 1 trades ~n shards
+  /// of peak memory for wall clock. Output bits do not depend on this.
+  int32_t num_threads = 1;
+};
+
+/// Latent community of node `v` under the streaming generator — a pure
+/// function of (seed, v), exposed so tests can check homophily and
+/// label alignment without regenerating anything.
+int32_t StreamCommunityOf(uint64_t seed, int32_t num_classes,
+                          graph::NodeId v);
+
+/// Emits `spec` as a sharded store into `dir` (created if needed).
+/// Fails on malformed specs with the same validation as
+/// GenerateSyntheticGraph, plus: total node count must fit NodeId.
+StatusOr<storage::ShardStoreStats> StreamSyntheticShards(
+    const SyntheticGraphSpec& spec, const std::string& dir,
+    const StreamShardingOptions& options = {});
+
+}  // namespace widen::datasets
+
+#endif  // WIDEN_DATASETS_SYNTHETIC_STREAM_H_

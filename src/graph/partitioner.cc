@@ -32,11 +32,10 @@ StatusOr<PartitionResult> GreedyPartition(const HeteroGraph& graph,
   if (num_parts <= 0) {
     return Status::InvalidArgument("num_parts must be positive");
   }
+  // num_parts > num_nodes is legal: the extra parts simply end up empty
+  // (a sharded store may be opened with more shards than a tiny graph has
+  // nodes). Capacity still balances the non-empty parts to within one node.
   const int64_t n = graph.num_nodes();
-  if (num_parts > n) {
-    return Status::InvalidArgument(
-        StrCat("num_parts ", num_parts, " exceeds node count ", n));
-  }
 
   PartitionResult result;
   result.assignment.assign(static_cast<size_t>(n), -1);

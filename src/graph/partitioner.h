@@ -27,7 +27,9 @@ struct PartitionResult {
 
 /// Splits `graph` into `num_parts` balanced parts by growing BFS regions from
 /// spread-out seeds, then greedily refining boundary nodes (one
-/// Kernighan-Lin-style sweep).
+/// Kernighan-Lin-style sweep). Disconnected components are absorbed by the
+/// smallest part; `num_parts` may exceed the node count, in which case the
+/// surplus parts are empty. Fails only on num_parts <= 0.
 StatusOr<PartitionResult> GreedyPartition(const HeteroGraph& graph,
                                           int32_t num_parts);
 

@@ -7,7 +7,10 @@
 
 namespace widen::sampling {
 
-LayerSampler::LayerSampler(const graph::HeteroGraph& graph) {
+LayerSampler::LayerSampler(const graph::HeteroGraph& graph)
+    : LayerSampler(graph::HeteroGraphView(graph)) {}
+
+LayerSampler::LayerSampler(const graph::GraphView& graph) {
   const int64_t n = graph.num_nodes();
   WIDEN_CHECK_GT(n, 0);
   probabilities_.resize(static_cast<size_t>(n));

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "graph/graph_view.h"
 #include "graph/hetero_graph.h"
 #include "util/random.h"
 
@@ -26,6 +27,11 @@ struct LayerSample {
 class LayerSampler {
  public:
   explicit LayerSampler(const graph::HeteroGraph& graph);
+
+  /// Same distribution built through the GraphView interface, so the sampler
+  /// works over any backing (delta overlays, mmap'd shard stores). Degrees
+  /// are read once at construction; the view may be destroyed afterwards.
+  explicit LayerSampler(const graph::GraphView& graph);
 
   /// Samples `t` nodes (with replacement, then deduplicated — weights are
   /// aggregated on duplicates, keeping the estimator unbiased).

@@ -1,0 +1,74 @@
+#include "storage/halo_cache.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace widen::storage {
+
+HaloCache::HaloCache(int64_t capacity_rows, int64_t dim)
+    : capacity_rows_(capacity_rows), dim_(dim) {
+  WIDEN_CHECK_GE(capacity_rows, 1);
+  WIDEN_CHECK_GE(dim, 0);
+  arena_.resize(static_cast<size_t>(capacity_rows * dim));
+  slot_node_.resize(static_cast<size_t>(capacity_rows), -1);
+  slot_prev_.resize(static_cast<size_t>(capacity_rows), -1);
+  slot_next_.resize(static_cast<size_t>(capacity_rows), -1);
+  index_.reserve(static_cast<size_t>(capacity_rows));
+}
+
+const float* HaloCache::Get(graph::NodeId v) {
+  auto it = index_.find(v);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  MoveToFront(it->second);
+  return arena_.data() + static_cast<int64_t>(it->second) * dim_;
+}
+
+const float* HaloCache::Insert(graph::NodeId v, const float* row) {
+  int32_t slot;
+  if (used_slots_ < capacity_rows_) {
+    slot = used_slots_++;
+  } else {
+    slot = lru_tail_;
+    Unlink(slot);
+    index_.erase(slot_node_[static_cast<size_t>(slot)]);
+    ++stats_.evictions;
+  }
+  slot_node_[static_cast<size_t>(slot)] = v;
+  index_[v] = slot;
+  PushFront(slot);
+  float* dst = arena_.data() + static_cast<int64_t>(slot) * dim_;
+  if (dim_ > 0) {
+    std::memcpy(dst, row, static_cast<size_t>(dim_) * sizeof(float));
+  }
+  return dst;
+}
+
+void HaloCache::MoveToFront(int32_t slot) {
+  if (slot == lru_head_) return;
+  Unlink(slot);
+  PushFront(slot);
+}
+
+void HaloCache::PushFront(int32_t slot) {
+  slot_prev_[static_cast<size_t>(slot)] = -1;
+  slot_next_[static_cast<size_t>(slot)] = lru_head_;
+  if (lru_head_ >= 0) slot_prev_[static_cast<size_t>(lru_head_)] = slot;
+  lru_head_ = slot;
+  if (lru_tail_ < 0) lru_tail_ = slot;
+}
+
+void HaloCache::Unlink(int32_t slot) {
+  const int32_t prev = slot_prev_[static_cast<size_t>(slot)];
+  const int32_t next = slot_next_[static_cast<size_t>(slot)];
+  if (prev >= 0) slot_next_[static_cast<size_t>(prev)] = next;
+  if (next >= 0) slot_prev_[static_cast<size_t>(next)] = prev;
+  if (lru_head_ == slot) lru_head_ = next;
+  if (lru_tail_ == slot) lru_tail_ = prev;
+}
+
+}  // namespace widen::storage

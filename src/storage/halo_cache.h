@@ -1,0 +1,84 @@
+// Bounded LRU cache of remote ("halo") feature rows.
+//
+// When a sampler works shard-by-shard, most feature reads hit the home
+// shard's mmap directly; the reads that cross a shard boundary land here.
+// Rows are copied once into a fixed slot arena (capacity_rows x dim floats,
+// allocated up front — the cache never grows), then served by pointer until
+// evicted.
+//
+// Invariants (DESIGN.md §15):
+//   * A pointer returned by Get()/Insert() stays valid until that row is
+//     evicted, which cannot happen before `capacity_rows - 1` other distinct
+//     rows have been inserted. Callers that copy the row immediately (every
+//     encoder gather does) need no further care.
+//   * Not thread-safe: one HaloCache per sampling thread (it lives inside
+//     ShardedGraphView, which is itself a cheap per-thread cursor).
+//
+// Hit/miss/eviction counters land in the process metrics registry
+// (widen_storage_halo_*), and miss fills record a 1-in-32 sampled latency
+// histogram, so a bench can report halo hit rates without plumbing.
+
+#ifndef WIDEN_STORAGE_HALO_CACHE_H_
+#define WIDEN_STORAGE_HALO_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace widen::storage {
+
+struct HaloCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+
+  double HitRate() const {
+    const int64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+class HaloCache {
+ public:
+  /// `capacity_rows` >= 1; `dim` is the feature width of every row.
+  HaloCache(int64_t capacity_rows, int64_t dim);
+
+  /// The cached row for `v`, or nullptr on a miss (caller then fetches the
+  /// row and Insert()s it).
+  const float* Get(graph::NodeId v);
+
+  /// Copies `row` (dim floats) into the cache, evicting the least recently
+  /// used row if full. Returns the cached copy.
+  const float* Insert(graph::NodeId v, const float* row);
+
+  const HaloCacheStats& stats() const { return stats_; }
+  int64_t capacity_rows() const { return capacity_rows_; }
+  int64_t size() const { return static_cast<int64_t>(index_.size()); }
+
+ private:
+  // Intrusive LRU list over slot indices; slot_prev_/slot_next_ link slots,
+  // lru_head_ is most recent, lru_tail_ least recent.
+  void MoveToFront(int32_t slot);
+  void PushFront(int32_t slot);
+  void Unlink(int32_t slot);
+
+  int64_t capacity_rows_;
+  int64_t dim_;
+  std::vector<float> arena_;              // capacity_rows * dim
+  std::vector<graph::NodeId> slot_node_;  // node cached in each used slot
+  std::vector<int32_t> slot_prev_;
+  std::vector<int32_t> slot_next_;
+  std::unordered_map<graph::NodeId, int32_t> index_;
+  int32_t lru_head_ = -1;
+  int32_t lru_tail_ = -1;
+  int32_t used_slots_ = 0;
+  HaloCacheStats stats_;
+};
+
+}  // namespace widen::storage
+
+#endif  // WIDEN_STORAGE_HALO_CACHE_H_

@@ -1,0 +1,130 @@
+#include "storage/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace widen::storage {
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError(
+        StrCat("cannot open ", path, ": ", std::strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(
+        StrCat("cannot stat ", path, ": ", std::strerror(err)));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IOError(StrCat(path, " is not a regular file"));
+  }
+  const int64_t size = static_cast<int64_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return MappedFile(nullptr, 0, -1);
+  }
+  void* base = ::mmap(nullptr, static_cast<size_t>(size), PROT_READ,
+                      MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(
+        StrCat("cannot mmap ", path, ": ", std::strerror(err)));
+  }
+  // The fd is retained for ReadAt (the mapping alone keeps the file alive,
+  // but pread needs a descriptor).
+  return MappedFile(static_cast<uint8_t*>(base), size, fd);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      fd_(std::exchange(other.fd_, -1)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(data_, static_cast<size_t>(size_));
+    }
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(data_, static_cast<size_t>(size_));
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+bool MappedFile::ReadAt(int64_t offset, int64_t size, void* dst) const {
+  if (fd_ < 0 || offset < 0 || size < 0 || offset > size_ ||
+      size > size_ - offset) {
+    return false;
+  }
+  uint8_t* out = static_cast<uint8_t*>(dst);
+  int64_t left = size;
+  while (left > 0) {
+    const ssize_t n = ::pread(fd_, out, static_cast<size_t>(left),
+                              static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF inside a validated range: corrupt file
+    out += n;
+    offset += n;
+    left -= n;
+  }
+  return true;
+}
+
+void MappedFile::Evict() const {
+#ifdef MADV_DONTNEED
+  if (data_ != nullptr) {
+    // Read-only MAP_SHARED pages are clean; DONTNEED frees them immediately
+    // and later touches re-fault from the page cache or disk.
+    (void)::madvise(data_, static_cast<size_t>(size_), MADV_DONTNEED);
+  }
+#endif
+}
+
+int64_t MappedFile::ResidentBytes() const {
+#ifdef __linux__
+  if (data_ == nullptr) return 0;
+  const int64_t page = static_cast<int64_t>(::sysconf(_SC_PAGESIZE));
+  const int64_t pages = (size_ + page - 1) / page;
+  std::vector<unsigned char> vec(static_cast<size_t>(pages));
+  if (::mincore(data_, static_cast<size_t>(size_), vec.data()) != 0) return 0;
+  int64_t resident = 0;
+  for (unsigned char byte : vec) {
+    if (byte & 1) ++resident;
+  }
+  return resident * page;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace widen::storage

@@ -1,0 +1,79 @@
+// Read-only memory-mapped files for the shard store.
+//
+// A MappedFile owns one PROT_READ/MAP_SHARED mapping of a whole file. The
+// mapping is page-faulted lazily: opening a shard costs no resident memory
+// until its arrays are actually touched, which is the mechanism behind the
+// out-of-core story. Evict() gives pages back to the OS (MADV_DONTNEED), so
+// a long scan over many shards can hold only the working shard resident.
+//
+// Pointer reads vs ReadAt(): touching the mapping faults not just the hit
+// page but the kernel's whole fault-around window (64 KB on current Linux),
+// so scattered single-row reads can map a shard's entire payload almost
+// immediately. ReadAt() serves the same bytes through pread on the retained
+// fd instead — the page cache absorbs the I/O, but the pages are never
+// mapped into this process, so its RSS does not grow. Use the pointers for
+// dense local traversal, ReadAt() for sparse remote row fetches that get
+// copied anyway (the halo cache fill is the canonical caller).
+//
+// Lifetime rule (DESIGN.md §15): every pointer handed out by the shard
+// loader — CSR spans, feature rows, halo lists — points into a MappedFile
+// and is valid exactly as long as the owning ShardedGraph is alive. Evict()
+// does NOT invalidate pointers (the next touch faults the page back in).
+
+#ifndef WIDEN_STORAGE_MMAP_FILE_H_
+#define WIDEN_STORAGE_MMAP_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace widen::storage {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+
+  /// Maps the whole regular file at `path` read-only. Empty files map to a
+  /// null base with size 0 (valid, nothing to read).
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const uint8_t* data() const { return data_; }
+  int64_t size() const { return size_; }
+
+  /// Advises the kernel to drop this mapping's resident pages. Safe on live
+  /// pointers: subsequent reads fault the data back from the file. No-op on
+  /// platforms without madvise.
+  void Evict() const;
+
+  /// Reads `size` bytes at `offset` into `dst` via pread, bypassing the
+  /// mapping entirely (no pages fault in, so process RSS is unaffected).
+  /// Returns false on short reads, out-of-range requests, or empty files.
+  bool ReadAt(int64_t offset, int64_t size, void* dst) const;
+
+  /// Resident bytes of this mapping per Linux mincore (0 elsewhere). For a
+  /// MAP_SHARED file mapping mincore reports page-cache residency — pages a
+  /// sequential pass (e.g. checksum verification) pulled into the cache
+  /// count here even after Evict() has unmapped them from this process. Read
+  /// it as "bytes warm in the page cache", an upper bound on mapped bytes;
+  /// use /proc VmRSS (obs::ReadCurrentRssBytes) for the process footprint.
+  int64_t ResidentBytes() const;
+
+ private:
+  MappedFile(uint8_t* data, int64_t size, int fd)
+      : data_(data), size_(size), fd_(fd) {}
+
+  uint8_t* data_ = nullptr;
+  int64_t size_ = 0;
+  int fd_ = -1;  // retained for ReadAt; owned, closed by the destructor
+};
+
+}  // namespace widen::storage
+
+#endif  // WIDEN_STORAGE_MMAP_FILE_H_

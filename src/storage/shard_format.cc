@@ -1,0 +1,191 @@
+#include "storage/shard_format.h"
+
+#include <cstring>
+
+#include "util/byte_io.h"
+#include "util/crc32.h"
+#include "util/string_util.h"
+
+namespace widen::storage {
+namespace {
+
+// Element counts are validated against this cap before any allocation, the
+// same defense as tensor/serialize.cc: a corrupt count must fail cleanly,
+// not size a vector with a wrapped-around value.
+constexpr uint64_t kMaxNodes = uint64_t{1} << 33;
+constexpr uint64_t kMaxTypeNameBytes = 1 << 12;
+constexpr uint64_t kMaxTypes = 1 << 16;
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument(StrCat("corrupt shard manifest: ", what));
+}
+
+}  // namespace
+
+std::string ManifestFileName() { return "manifest.wshard"; }
+
+std::string ShardFileName(int32_t shard_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard_%05d.wshard", shard_id);
+  return buf;
+}
+
+std::string EncodeManifest(const Manifest& m) {
+  std::string out;
+  ByteWriter w(&out);
+  w.WriteBytes(kManifestMagic, 4);
+  w.WriteScalar<uint32_t>(m.version);
+  w.WriteScalar<int32_t>(m.num_shards);
+  w.WriteScalar<int64_t>(m.num_nodes);
+  w.WriteScalar<int64_t>(m.num_half_edges);
+  w.WriteScalar<int64_t>(m.feature_dim);
+  w.WriteScalar<int32_t>(m.num_classes);
+  w.WriteScalar<int32_t>(m.labeled_node_type);
+  w.WriteScalar<uint32_t>(static_cast<uint32_t>(m.schema.num_node_types()));
+  for (int32_t t = 0; t < m.schema.num_node_types(); ++t) {
+    const std::string& name = m.schema.node_type_name(t);
+    w.WriteScalar<uint32_t>(static_cast<uint32_t>(name.size()));
+    w.WriteBytes(name.data(), name.size());
+  }
+  w.WriteScalar<uint32_t>(static_cast<uint32_t>(m.schema.num_edge_types()));
+  for (int32_t e = 0; e < m.schema.num_edge_types(); ++e) {
+    const graph::EdgeTypeSpec& spec = m.schema.edge_type(e);
+    w.WriteScalar<uint32_t>(static_cast<uint32_t>(spec.name.size()));
+    w.WriteBytes(spec.name.data(), spec.name.size());
+    w.WriteScalar<int32_t>(spec.src_type);
+    w.WriteScalar<int32_t>(spec.dst_type);
+  }
+  w.WriteScalar<uint8_t>(static_cast<uint8_t>(m.partition_kind));
+  if (m.partition_kind == PartitionKind::kUniformBlocks) {
+    w.WriteScalar<int64_t>(m.block_size);
+  } else {
+    w.WriteVector(m.shard_of);
+    w.WriteVector(m.local_of);
+  }
+  // Footer: magic + payload size + CRC of everything before the footer.
+  const uint64_t payload_size = out.size();
+  const uint32_t crc = Crc32c(out.data(), out.size());
+  w.WriteBytes(kFooterMagic, 4);
+  w.WriteScalar<uint64_t>(payload_size);
+  w.WriteScalar<uint32_t>(crc);
+  return out;
+}
+
+StatusOr<Manifest> DecodeManifest(const std::string& bytes) {
+  constexpr size_t kFooterSize = 4 + sizeof(uint64_t) + sizeof(uint32_t);
+  if (bytes.size() < 4 + kFooterSize) return Corrupt("file too small");
+  if (std::memcmp(bytes.data(), kManifestMagic, 4) != 0) {
+    return Corrupt("bad magic");
+  }
+  // Validate the footer first: payload size and whole-payload CRC. This is
+  // what catches truncation, trailing garbage, and any byte flip.
+  const size_t payload_size = bytes.size() - kFooterSize;
+  ByteReader footer(bytes.data() + payload_size, kFooterSize);
+  char fmagic[4];
+  uint64_t declared_size = 0;
+  uint32_t declared_crc = 0;
+  if (!footer.ReadScalar(&fmagic[0]) || !footer.ReadScalar(&fmagic[1]) ||
+      !footer.ReadScalar(&fmagic[2]) || !footer.ReadScalar(&fmagic[3]) ||
+      !footer.ReadScalar(&declared_size) || !footer.ReadScalar(&declared_crc)) {
+    return Corrupt("unreadable footer");
+  }
+  if (std::memcmp(fmagic, kFooterMagic, 4) != 0) {
+    return Corrupt("bad footer magic");
+  }
+  if (declared_size != payload_size) {
+    return Corrupt("payload size mismatch");
+  }
+  if (Crc32c(bytes.data(), payload_size) != declared_crc) {
+    return Corrupt("checksum mismatch");
+  }
+
+  ByteReader r(bytes.data() + 4, payload_size - 4);
+  Manifest m;
+  uint32_t num_node_types = 0;
+  if (!r.ReadScalar(&m.version)) return Corrupt("truncated header");
+  if (m.version != kShardFormatVersion) {
+    return Status::InvalidArgument(
+        StrCat("unsupported shard format version ", m.version));
+  }
+  if (!r.ReadScalar(&m.num_shards) || !r.ReadScalar(&m.num_nodes) ||
+      !r.ReadScalar(&m.num_half_edges) || !r.ReadScalar(&m.feature_dim) ||
+      !r.ReadScalar(&m.num_classes) || !r.ReadScalar(&m.labeled_node_type) ||
+      !r.ReadScalar(&num_node_types)) {
+    return Corrupt("truncated header");
+  }
+  if (m.num_shards <= 0 || m.num_nodes < 0 || m.num_half_edges < 0 ||
+      m.feature_dim < 0 || m.num_classes < 0 ||
+      static_cast<uint64_t>(m.num_nodes) > kMaxNodes ||
+      num_node_types > kMaxTypes) {
+    return Corrupt("implausible counts");
+  }
+  auto read_name = [&r](std::string* name) {
+    uint32_t len = 0;
+    if (!r.ReadScalar(&len) || len > kMaxTypeNameBytes ||
+        len > r.remaining()) {
+      return false;
+    }
+    std::vector<char> buf(len);
+    for (uint32_t i = 0; i < len; ++i) {
+      if (!r.ReadScalar(&buf[i])) return false;
+    }
+    name->assign(buf.data(), len);
+    return true;
+  };
+  for (uint32_t t = 0; t < num_node_types; ++t) {
+    std::string name;
+    if (!read_name(&name)) return Corrupt("bad node type table");
+    m.schema.AddNodeType(std::move(name));
+  }
+  uint32_t num_edge_types = 0;
+  if (!r.ReadScalar(&num_edge_types) || num_edge_types > kMaxTypes) {
+    return Corrupt("bad edge type count");
+  }
+  for (uint32_t e = 0; e < num_edge_types; ++e) {
+    std::string name;
+    int32_t src = -1, dst = -1;
+    if (!read_name(&name) || !r.ReadScalar(&src) || !r.ReadScalar(&dst) ||
+        src < 0 || dst < 0 || src >= m.schema.num_node_types() ||
+        dst >= m.schema.num_node_types()) {
+      return Corrupt("bad edge type table");
+    }
+    m.schema.AddEdgeType(std::move(name), src, dst);
+  }
+  if (m.labeled_node_type < -1 ||
+      m.labeled_node_type >= m.schema.num_node_types()) {
+    return Corrupt("labeled node type out of range");
+  }
+  uint8_t kind = 0;
+  if (!r.ReadScalar(&kind)) return Corrupt("missing partition kind");
+  if (kind == static_cast<uint8_t>(PartitionKind::kUniformBlocks)) {
+    m.partition_kind = PartitionKind::kUniformBlocks;
+    if (!r.ReadScalar(&m.block_size) || m.block_size <= 0) {
+      return Corrupt("bad block size");
+    }
+    // Every node must land in [0, num_shards).
+    if (m.num_nodes > 0 &&
+        (m.num_nodes - 1) / m.block_size >= m.num_shards) {
+      return Corrupt("block size does not cover all shards");
+    }
+  } else if (kind == static_cast<uint8_t>(PartitionKind::kExplicitMap)) {
+    m.partition_kind = PartitionKind::kExplicitMap;
+    if (!r.ReadVector(&m.shard_of, kMaxNodes) ||
+        !r.ReadVector(&m.local_of, kMaxNodes) ||
+        m.shard_of.size() != static_cast<size_t>(m.num_nodes) ||
+        m.local_of.size() != static_cast<size_t>(m.num_nodes)) {
+      return Corrupt("bad resolver arrays");
+    }
+    for (size_t v = 0; v < m.shard_of.size(); ++v) {
+      if (m.shard_of[v] < 0 || m.shard_of[v] >= m.num_shards ||
+          m.local_of[v] < 0) {
+        return Corrupt("resolver entry out of range");
+      }
+    }
+  } else {
+    return Corrupt("unknown partition kind");
+  }
+  if (!r.AtEnd()) return Corrupt("trailing bytes before footer");
+  return m;
+}
+
+}  // namespace widen::storage

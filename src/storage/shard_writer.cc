@@ -1,0 +1,280 @@
+#include "storage/shard_writer.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "graph/partitioner.h"
+#include "util/byte_io.h"
+#include "util/crc32.h"
+#include "util/file_util.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace widen::storage {
+namespace {
+
+constexpr size_t kSectionEntryBytes = 32;
+constexpr size_t kFooterBytes = 4 + sizeof(uint64_t) + sizeof(uint32_t);
+
+uint64_t AlignUp(uint64_t offset) {
+  return (offset + kSectionAlignment - 1) & ~(kSectionAlignment - 1);
+}
+
+struct PendingSection {
+  SectionKind kind;
+  const void* data;
+  uint64_t size;
+};
+
+// Streams header + table + aligned sections + footer through `file`,
+// computing the whole-file CRC as bytes go out.
+Status WriteShardBytes(AtomicFile& file, const ShardHeader& header,
+                       const std::vector<PendingSection>& sections) {
+  std::string head;
+  ByteWriter w(&head);
+  w.WriteBytes(kShardMagic, 4);
+  w.WriteScalar<uint32_t>(header.version);
+  w.WriteScalar<uint32_t>(header.shard_id);
+  w.WriteScalar<uint32_t>(header.num_shards);
+  w.WriteScalar<uint32_t>(header.section_count);
+  w.WriteScalar<int64_t>(header.num_local_nodes);
+  w.WriteScalar<int64_t>(header.num_half_edges);
+  w.WriteScalar<int64_t>(header.num_halo_nodes);
+  w.WriteScalar<int64_t>(header.feature_dim);
+  w.WriteScalar<uint32_t>(Crc32c(head.data(), head.size()));
+
+  // Lay the sections out after the table, each aligned.
+  const uint64_t table_bytes =
+      sections.size() * kSectionEntryBytes + sizeof(uint32_t);
+  uint64_t cursor = AlignUp(head.size() + table_bytes);
+  std::string table;
+  ByteWriter tw(&table);
+  std::vector<uint64_t> offsets;
+  for (const PendingSection& s : sections) {
+    offsets.push_back(cursor);
+    tw.WriteScalar<uint32_t>(static_cast<uint32_t>(s.kind));
+    tw.WriteScalar<uint32_t>(0);
+    tw.WriteScalar<uint64_t>(cursor);
+    tw.WriteScalar<uint64_t>(s.size);
+    tw.WriteScalar<uint32_t>(s.size > 0 ? Crc32c(s.data, s.size) : 0);
+    tw.WriteScalar<uint32_t>(0);
+    cursor = AlignUp(cursor + s.size);
+  }
+  tw.WriteScalar<uint32_t>(Crc32c(table.data(), table.size()));
+
+  uint32_t crc = 0;
+  uint64_t written = 0;
+  auto emit = [&](const void* data, size_t size) -> Status {
+    if (size == 0) return Status::OK();
+    if (std::fwrite(data, 1, size, file.stream()) != size) {
+      return Status::IOError("short write to " + file.temp_path());
+    }
+    crc = Crc32cExtend(crc, data, size);
+    written += size;
+    return Status::OK();
+  };
+  static const char kZeros[kSectionAlignment] = {};
+  auto pad_to = [&](uint64_t target) -> Status {
+    WIDEN_CHECK_GE(target, written);
+    while (written < target) {
+      const size_t chunk = static_cast<size_t>(
+          std::min<uint64_t>(sizeof(kZeros), target - written));
+      WIDEN_RETURN_IF_ERROR(emit(kZeros, chunk));
+    }
+    return Status::OK();
+  };
+
+  WIDEN_RETURN_IF_ERROR(emit(head.data(), head.size()));
+  WIDEN_RETURN_IF_ERROR(emit(table.data(), table.size()));
+  for (size_t i = 0; i < sections.size(); ++i) {
+    WIDEN_RETURN_IF_ERROR(pad_to(offsets[i]));
+    WIDEN_RETURN_IF_ERROR(emit(sections[i].data, sections[i].size));
+  }
+  WIDEN_RETURN_IF_ERROR(pad_to(AlignUp(written)));
+
+  std::string footer;
+  ByteWriter fw(&footer);
+  fw.WriteBytes(kFooterMagic, 4);
+  fw.WriteScalar<uint64_t>(written);
+  fw.WriteScalar<uint32_t>(crc);
+  if (std::fwrite(footer.data(), 1, footer.size(), file.stream()) !=
+      footer.size()) {
+    return Status::IOError("short write to " + file.temp_path());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int64_t ShardStoreStats::TotalHalfEdges() const {
+  int64_t total = 0;
+  for (const ShardStats& s : shards) total += s.half_edges;
+  return total;
+}
+
+int64_t ShardStoreStats::TotalNodes() const {
+  int64_t total = 0;
+  for (const ShardStats& s : shards) total += s.local_nodes;
+  return total;
+}
+
+ShardFileWriter::ShardFileWriter(int32_t shard_id, int32_t num_shards,
+                                 int64_t feature_dim, bool has_labels)
+    : shard_id_(shard_id),
+      num_shards_(num_shards),
+      feature_dim_(feature_dim),
+      has_labels_(has_labels) {
+  WIDEN_CHECK_GE(shard_id, 0);
+  WIDEN_CHECK_LT(shard_id, num_shards);
+  WIDEN_CHECK_GE(feature_dim, 0);
+}
+
+void ShardFileWriter::AddNode(graph::NodeId global_id,
+                              graph::NodeTypeId node_type, int32_t label,
+                              const graph::NodeId* neighbors,
+                              const graph::EdgeTypeId* edge_types,
+                              int64_t degree, const float* feature_row) {
+  WIDEN_CHECK(global_ids_.empty() || global_id > global_ids_.back())
+      << "shard nodes must be added in ascending global order";
+  global_ids_.push_back(global_id);
+  node_types_.push_back(node_type);
+  if (has_labels_) labels_.push_back(label);
+  offsets_.push_back(offsets_.back() + degree);
+  neighbors_.insert(neighbors_.end(), neighbors, neighbors + degree);
+  edge_types_.insert(edge_types_.end(), edge_types, edge_types + degree);
+  if (feature_dim_ > 0) {
+    features_.insert(features_.end(), feature_row,
+                     feature_row + feature_dim_);
+  }
+}
+
+StatusOr<ShardStats> ShardFileWriter::Finish(
+    const std::string& path,
+    const std::function<int32_t(graph::NodeId)>& shard_of) {
+  // Halo set: distinct remote neighbors, ascending.
+  std::vector<int32_t> halo;
+  for (int32_t v : neighbors_) {
+    if (shard_of(v) != shard_id_) halo.push_back(v);
+  }
+  std::sort(halo.begin(), halo.end());
+  halo.erase(std::unique(halo.begin(), halo.end()), halo.end());
+
+  ShardHeader header;
+  header.shard_id = static_cast<uint32_t>(shard_id_);
+  header.num_shards = static_cast<uint32_t>(num_shards_);
+  header.num_local_nodes = static_cast<int64_t>(global_ids_.size());
+  header.num_half_edges = static_cast<int64_t>(neighbors_.size());
+  header.num_halo_nodes = static_cast<int64_t>(halo.size());
+  header.feature_dim = feature_dim_;
+
+  std::vector<PendingSection> sections;
+  auto add = [&sections](SectionKind kind, const void* data, uint64_t bytes) {
+    sections.push_back(PendingSection{kind, data, bytes});
+  };
+  add(SectionKind::kGlobalIds, global_ids_.data(), global_ids_.size() * 4);
+  add(SectionKind::kNodeTypes, node_types_.data(), node_types_.size() * 4);
+  if (has_labels_) {
+    add(SectionKind::kLabels, labels_.data(), labels_.size() * 4);
+  }
+  add(SectionKind::kCsrOffsets, offsets_.data(), offsets_.size() * 8);
+  add(SectionKind::kCsrNeighbors, neighbors_.data(), neighbors_.size() * 4);
+  add(SectionKind::kCsrEdgeTypes, edge_types_.data(), edge_types_.size() * 4);
+  add(SectionKind::kFeatures, features_.data(), features_.size() * 4);
+  add(SectionKind::kHaloIds, halo.data(), halo.size() * 4);
+  header.section_count = static_cast<uint32_t>(sections.size());
+
+  WIDEN_ASSIGN_OR_RETURN(AtomicFile file, AtomicFile::Open(path));
+  WIDEN_RETURN_IF_ERROR(WriteShardBytes(file, header, sections));
+  WIDEN_RETURN_IF_ERROR(file.Commit());
+
+  ShardStats stats;
+  stats.shard_id = shard_id_;
+  stats.local_nodes = header.num_local_nodes;
+  stats.half_edges = header.num_half_edges;
+  stats.halo_nodes = header.num_halo_nodes;
+  WIDEN_ASSIGN_OR_RETURN(stats.file_bytes, FileSize(path));
+  return stats;
+}
+
+Status WriteManifestFile(const std::string& dir, const Manifest& manifest) {
+  const std::string bytes = EncodeManifest(manifest);
+  const std::string path = dir + "/" + ManifestFileName();
+  WIDEN_ASSIGN_OR_RETURN(AtomicFile file, AtomicFile::Open(path));
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file.stream()) !=
+      bytes.size()) {
+    return Status::IOError("short write to " + file.temp_path());
+  }
+  return file.Commit();
+}
+
+StatusOr<ShardStoreStats> WriteShards(const graph::HeteroGraph& graph,
+                                      const std::string& dir,
+                                      const WriteShardsOptions& options) {
+  if (options.num_shards <= 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  WIDEN_RETURN_IF_ERROR(EnsureDirectory(dir));
+  WIDEN_ASSIGN_OR_RETURN(
+      graph::PartitionResult partition,
+      graph::GreedyPartition(graph, options.num_shards));
+
+  const int64_t n = graph.num_nodes();
+  Manifest manifest;
+  manifest.num_shards = options.num_shards;
+  manifest.num_nodes = n;
+  manifest.num_half_edges = graph.num_edges() * 2;
+  manifest.feature_dim = graph.feature_dim();
+  manifest.num_classes = graph.num_classes();
+  manifest.labeled_node_type = graph.labeled_node_type();
+  manifest.schema = graph.schema();
+  manifest.partition_kind = PartitionKind::kExplicitMap;
+  manifest.shard_of = partition.assignment;
+  manifest.local_of.assign(static_cast<size_t>(n), 0);
+
+  // Local index = rank of the node among its shard's members (ascending
+  // global id), i.e. the order ShardFileWriter receives them in.
+  std::vector<int32_t> next_local(
+      static_cast<size_t>(options.num_shards), 0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const int32_t s = manifest.shard_of[static_cast<size_t>(v)];
+    manifest.local_of[static_cast<size_t>(v)] = next_local[
+        static_cast<size_t>(s)]++;
+  }
+
+  auto shard_of = [&manifest](graph::NodeId v) {
+    return manifest.shard_of[static_cast<size_t>(v)];
+  };
+
+  ShardStoreStats stats;
+  const bool has_labels = graph.has_labels();
+  const float* features =
+      graph.feature_dim() > 0 ? graph.features().data() : nullptr;
+  for (int32_t s = 0; s < options.num_shards; ++s) {
+    ShardFileWriter writer(s, options.num_shards, graph.feature_dim(),
+                           has_labels);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (shard_of(v) != s) continue;
+      graph::Csr::NeighborSpan span = graph.neighbors(v);
+      writer.AddNode(v, graph.node_type(v), graph.label(v), span.neighbors,
+                     span.edge_types, span.size,
+                     features != nullptr ? features + v * graph.feature_dim()
+                                         : nullptr);
+      for (int64_t i = 0; i < span.size; ++i) {
+        if (shard_of(span.neighbors[i]) != s) ++stats.cut_half_edges;
+      }
+    }
+    WIDEN_ASSIGN_OR_RETURN(
+        ShardStats shard_stats,
+        writer.Finish(dir + "/" + ShardFileName(s), shard_of));
+    stats.total_bytes += shard_stats.file_bytes;
+    stats.shards.push_back(shard_stats);
+  }
+
+  WIDEN_RETURN_IF_ERROR(WriteManifestFile(dir, manifest));
+  WIDEN_ASSIGN_OR_RETURN(int64_t manifest_bytes,
+                         FileSize(dir + "/" + ManifestFileName()));
+  stats.total_bytes += manifest_bytes;
+  return stats;
+}
+
+}  // namespace widen::storage

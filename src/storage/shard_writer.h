@@ -1,0 +1,104 @@
+// Builders for the on-disk sharded graph store.
+//
+// Two entry points:
+//
+//   * WriteShards(graph, dir, options) — shard an in-RAM HeteroGraph with
+//     the greedy edge-cut partitioner (graph/partitioner.h) and write the
+//     store. This is the `widen_cli shard` path.
+//
+//   * ShardFileWriter — the low-level single-shard emitter both WriteShards
+//     and the streaming synthetic generator (datasets/synthetic_stream.h)
+//     feed. It buffers ONE shard's arrays (the only materialization the
+//     streaming path ever does: peak memory is graph_size / num_shards, not
+//     graph_size) and writes the file via AtomicFile with per-section and
+//     whole-file CRC-32C.
+//
+// All files are written with the temp+fsync+rename protocol, so a crashed
+// build leaves either nothing or a previous complete store, never a torn
+// shard.
+
+#ifndef WIDEN_STORAGE_SHARD_WRITER_H_
+#define WIDEN_STORAGE_SHARD_WRITER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "storage/shard_format.h"
+#include "util/status.h"
+
+namespace widen::storage {
+
+struct ShardStats {
+  int32_t shard_id = 0;
+  int64_t local_nodes = 0;
+  int64_t half_edges = 0;
+  int64_t halo_nodes = 0;  // distinct neighbors owned by other shards
+  int64_t file_bytes = 0;
+};
+
+struct ShardStoreStats {
+  std::vector<ShardStats> shards;
+  int64_t cut_half_edges = 0;  // half-edges whose endpoint is remote
+  int64_t total_bytes = 0;     // shard files + manifest
+
+  int64_t TotalHalfEdges() const;
+  int64_t TotalNodes() const;
+};
+
+/// Accumulates one shard and writes its file. Nodes must be added in
+/// ascending global-id order; each node's adjacency must be sorted by
+/// (global neighbor id, edge type) — i.e. exactly a Csr::NeighborSpan.
+class ShardFileWriter {
+ public:
+  ShardFileWriter(int32_t shard_id, int32_t num_shards, int64_t feature_dim,
+                  bool has_labels);
+
+  /// `label` is ignored unless the writer was built with has_labels.
+  void AddNode(graph::NodeId global_id, graph::NodeTypeId node_type,
+               int32_t label, const graph::NodeId* neighbors,
+               const graph::EdgeTypeId* edge_types, int64_t degree,
+               const float* feature_row);
+
+  int64_t num_nodes() const {
+    return static_cast<int64_t>(global_ids_.size());
+  }
+
+  /// Computes the halo set (via `shard_of`), writes the file atomically, and
+  /// resets nothing — the writer is single-use.
+  StatusOr<ShardStats> Finish(
+      const std::string& path,
+      const std::function<int32_t(graph::NodeId)>& shard_of);
+
+ private:
+  int32_t shard_id_;
+  int32_t num_shards_;
+  int64_t feature_dim_;
+  bool has_labels_;
+  std::vector<int32_t> global_ids_;
+  std::vector<int32_t> node_types_;
+  std::vector<int32_t> labels_;
+  std::vector<int64_t> offsets_{0};
+  std::vector<int32_t> neighbors_;
+  std::vector<int32_t> edge_types_;
+  std::vector<float> features_;
+};
+
+struct WriteShardsOptions {
+  int32_t num_shards = 4;
+};
+
+/// Partitions `graph` with GreedyPartition and writes a complete store
+/// (manifest + one file per shard, kExplicitMap resolver) into `dir`,
+/// creating it if needed.
+StatusOr<ShardStoreStats> WriteShards(const graph::HeteroGraph& graph,
+                                      const std::string& dir,
+                                      const WriteShardsOptions& options);
+
+/// Writes the manifest for a store whose shard files were already emitted.
+Status WriteManifestFile(const std::string& dir, const Manifest& manifest);
+
+}  // namespace widen::storage
+
+#endif  // WIDEN_STORAGE_SHARD_WRITER_H_

@@ -1,0 +1,217 @@
+// Mmap-backed loader for the sharded graph store (storage/shard_format.h).
+//
+// ShardedGraph::Open maps every shard file read-only and exposes
+//
+//   * O(1) global-id resolution (Locate: global -> (shard, local)),
+//   * zero-copy typed pointers into each shard (CSR spans, feature rows),
+//   * per-shard eviction (EvictShard -> MADV_DONTNEED) so a shard-by-shard
+//     pass keeps only the working shard resident,
+//
+// and ShardedGraphView adapts a ShardedGraph to graph::GraphView so the
+// samplers and the shared encode path (core/encoder.h) traverse it with the
+// exact code — and the exact bytes — they use on an in-RAM HeteroGraph.
+// Because shard files store neighbor ids GLOBALLY in CSR sort order, the
+// spans handed out here are byte-identical to HeteroGraph's, which is what
+// makes sampling (and therefore embeddings) bitwise-reproducible across the
+// two backings at the same seed.
+//
+// Integrity: with `verify_checksums` (the default) Open() streams each file
+// through a small read() buffer and checks the footer CRC-32C before
+// mmapping — a deliberate non-mmap pass, so verification does not page the
+// store into the process and the out-of-core RSS story holds. Structural
+// validation (magic, version, section table, counts, offsets) always runs.
+//
+// Threading: ShardedGraph is immutable after Open and safe for concurrent
+// readers. ShardedGraphView carries a per-view halo cache and is NOT
+// thread-safe — construct one view per sampling thread (cheap: the views
+// share the underlying mappings).
+
+#ifndef WIDEN_STORAGE_SHARDED_GRAPH_H_
+#define WIDEN_STORAGE_SHARDED_GRAPH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph_view.h"
+#include "storage/halo_cache.h"
+#include "storage/mmap_file.h"
+#include "storage/shard_format.h"
+#include "util/status.h"
+
+namespace widen::storage {
+
+struct ShardedGraphOptions {
+  /// Streaming whole-file CRC pass before mmap. Catches every truncation and
+  /// byte flip; costs one sequential read of the store.
+  bool verify_checksums = true;
+};
+
+struct ShardLocation {
+  int32_t shard = 0;
+  int32_t local = 0;
+};
+
+class ShardedGraph {
+ public:
+  static StatusOr<ShardedGraph> Open(const std::string& dir,
+                                     const ShardedGraphOptions& options = {});
+
+  ShardedGraph(ShardedGraph&&) = default;
+  ShardedGraph& operator=(ShardedGraph&&) = default;
+  ShardedGraph(const ShardedGraph&) = delete;
+  ShardedGraph& operator=(const ShardedGraph&) = delete;
+
+  /// One opened shard: typed pointers into its (lazily faulted) mapping.
+  /// Pointer lifetime = lifetime of the owning ShardedGraph.
+  struct Shard {
+    MappedFile file;
+    int64_t num_local_nodes = 0;
+    int64_t num_half_edges = 0;
+    int64_t num_halo_nodes = 0;
+    const int32_t* global_ids = nullptr;
+    const int32_t* node_types = nullptr;
+    const int32_t* labels = nullptr;  // nullptr on unlabeled graphs
+    const int64_t* csr_offsets = nullptr;
+    const graph::NodeId* csr_neighbors = nullptr;  // GLOBAL ids
+    const graph::EdgeTypeId* csr_edge_types = nullptr;
+    const float* features = nullptr;  // nullptr when feature_dim == 0
+    const int32_t* halo_ids = nullptr;
+    // File offset of the features section (-1 when absent). Lets sparse
+    // remote-row fetches go through MappedFile::ReadAt instead of faulting
+    // the mapping; see ReadFeatureRowInto.
+    int64_t features_file_offset = -1;
+  };
+
+  const Manifest& manifest() const { return manifest_; }
+  const graph::GraphSchema& schema() const { return manifest_.schema; }
+  int32_t num_shards() const { return manifest_.num_shards; }
+  int64_t num_nodes() const { return manifest_.num_nodes; }
+  int64_t feature_dim() const { return manifest_.feature_dim; }
+  bool has_labels() const { return manifest_.num_classes > 0; }
+
+  const Shard& shard(int32_t s) const {
+    WIDEN_DCHECK(s >= 0 && s < num_shards());
+    return (*shards_)[static_cast<size_t>(s)];
+  }
+
+  /// O(1) global -> (shard, local). Branches once on the partition kind.
+  ShardLocation Locate(graph::NodeId v) const {
+    WIDEN_DCHECK(v >= 0 && v < num_nodes());
+    if (manifest_.partition_kind == PartitionKind::kUniformBlocks) {
+      const int32_t s = static_cast<int32_t>(v / manifest_.block_size);
+      return ShardLocation{s,
+                           static_cast<int32_t>(v - static_cast<int64_t>(s) *
+                                                        manifest_.block_size)};
+    }
+    return ShardLocation{manifest_.shard_of[static_cast<size_t>(v)],
+                         manifest_.local_of[static_cast<size_t>(v)]};
+  }
+
+  // Global-id convenience accessors (each is Locate + one indexed read).
+  graph::NodeTypeId node_type(graph::NodeId v) const {
+    const ShardLocation loc = Locate(v);
+    return shard(loc.shard).node_types[loc.local];
+  }
+  int64_t degree(graph::NodeId v) const {
+    const ShardLocation loc = Locate(v);
+    const Shard& sh = shard(loc.shard);
+    return sh.csr_offsets[loc.local + 1] - sh.csr_offsets[loc.local];
+  }
+  graph::Csr::NeighborSpan neighbors(graph::NodeId v) const {
+    const ShardLocation loc = Locate(v);
+    const Shard& sh = shard(loc.shard);
+    const int64_t begin = sh.csr_offsets[loc.local];
+    return graph::Csr::NeighborSpan{sh.csr_neighbors + begin,
+                                    sh.csr_edge_types + begin,
+                                    sh.csr_offsets[loc.local + 1] - begin};
+  }
+  const float* feature_row(graph::NodeId v) const {
+    const ShardLocation loc = Locate(v);
+    const Shard& sh = shard(loc.shard);
+    return sh.features != nullptr
+               ? sh.features + static_cast<int64_t>(loc.local) *
+                                   manifest_.feature_dim
+               : nullptr;
+  }
+  int32_t label(graph::NodeId v) const {
+    const ShardLocation loc = Locate(v);
+    const Shard& sh = shard(loc.shard);
+    return sh.labels != nullptr ? sh.labels[loc.local] : -1;
+  }
+
+  /// Copies `loc`'s feature row (feature_dim floats) into `dst` via pread,
+  /// without touching the shard's mapping. A pointer read faults the whole
+  /// kernel fault-around window (64 KB) per miss, so scattered remote reads
+  /// through the mapping quickly page in entire shards; this path keeps the
+  /// process RSS flat and is what the halo cache uses to fill on a miss.
+  /// Returns false when the store has no features or the read fails.
+  bool ReadFeatureRowInto(ShardLocation loc, float* dst) const;
+
+  /// Drops shard s's resident pages (pointers stay valid; see mmap_file.h).
+  void EvictShard(int32_t s) const { shard(s).file.Evict(); }
+
+  /// Resident bytes across all shard mappings (mincore; Linux only). NOTE:
+  /// for MAP_SHARED file mappings mincore reports page-cache residency, so
+  /// this is "how much of the store is warm in the page cache" — an upper
+  /// bound on what the mappings contribute to process RSS, not the
+  /// contribution itself (see mmap_file.h).
+  int64_t ResidentBytes() const;
+
+ private:
+  ShardedGraph() = default;
+
+  Manifest manifest_;
+  // unique_ptr keeps Shard pointers stable across ShardedGraph moves.
+  std::unique_ptr<std::vector<Shard>> shards_;
+};
+
+/// GraphView over a ShardedGraph, with an optional halo cache.
+///
+/// By default every feature read returns the raw mmap pointer (zero-copy) —
+/// the bitwise-parity configuration. Calling SetHomeShard(s) switches remote
+/// (non-home-shard) feature reads through the LRU halo cache, so a
+/// shard-at-a-time pass that evicts finished shards re-reads hot boundary
+/// rows from RAM instead of re-faulting evicted pages. Cached rows are
+/// copies of the mmap bytes, so results are identical either way.
+class ShardedGraphView final : public graph::GraphView {
+ public:
+  /// `halo_cache_rows` == 0 disables caching entirely.
+  explicit ShardedGraphView(const ShardedGraph& store,
+                            int64_t halo_cache_rows = 0);
+
+  /// s in [0, num_shards) routes remote feature reads through the halo
+  /// cache; -1 (the default) reads everything directly from the mappings.
+  void SetHomeShard(int32_t s) { home_shard_ = s; }
+  int32_t home_shard() const { return home_shard_; }
+
+  const graph::GraphSchema& schema() const override { return store_->schema(); }
+  int64_t num_nodes() const override { return store_->num_nodes(); }
+  graph::NodeTypeId node_type(graph::NodeId v) const override {
+    return store_->node_type(v);
+  }
+  int64_t degree(graph::NodeId v) const override { return store_->degree(v); }
+  graph::Csr::NeighborSpan neighbors(graph::NodeId v) const override {
+    return store_->neighbors(v);
+  }
+  int64_t feature_dim() const override { return store_->feature_dim(); }
+  const float* feature_row(graph::NodeId v) const override;
+
+  const ShardedGraph& store() const { return *store_; }
+  /// nullptr when the cache is disabled.
+  const HaloCacheStats* halo_stats() const {
+    return halo_cache_ != nullptr ? &halo_cache_->stats() : nullptr;
+  }
+
+ private:
+  const ShardedGraph* store_;
+  std::unique_ptr<HaloCache> halo_cache_;
+  // Staging row for pread-based halo fills (feature_dim floats). mutable
+  // because feature_row is const; safe because the view is single-threaded.
+  mutable std::vector<float> fill_row_;
+  int32_t home_shard_ = -1;
+};
+
+}  // namespace widen::storage
+
+#endif  // WIDEN_STORAGE_SHARDED_GRAPH_H_

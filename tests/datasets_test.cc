@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <cstring>
 #include <set>
 
 #include "datasets/acm.h"
@@ -43,6 +44,22 @@ TEST(SyntheticTest, DeterministicGivenSeed) {
   EXPECT_EQ(a->labels(), b->labels());
   for (int64_t i = 0; i < a->features().size(); ++i) {
     ASSERT_EQ(a->features().data()[i], b->features().data()[i]) << i;
+  }
+  // The full adjacency — neighbor ids AND edge types, in CSR order — must
+  // be bitwise identical, not just the edge count: samplers consume these
+  // spans verbatim, so any reordering would silently change training.
+  for (graph::NodeId v = 0; v < a->num_nodes(); ++v) {
+    const auto span_a = a->neighbors(v);
+    const auto span_b = b->neighbors(v);
+    ASSERT_EQ(span_a.size, span_b.size) << v;
+    ASSERT_EQ(std::memcmp(span_a.neighbors, span_b.neighbors,
+                          sizeof(graph::NodeId) * span_a.size),
+              0)
+        << v;
+    ASSERT_EQ(std::memcmp(span_a.edge_types, span_b.edge_types,
+                          sizeof(graph::EdgeTypeId) * span_a.size),
+              0)
+        << v;
   }
   SyntheticGraphSpec other = TinySpec();
   other.seed = 6;

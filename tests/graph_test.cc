@@ -220,10 +220,86 @@ TEST(PartitionerTest, BalancedPartsCoverAllNodes) {
   EXPECT_LE(partition->cut_edges, 12);
 }
 
-TEST(PartitionerTest, RejectsBadPartCounts) {
+TEST(PartitionerTest, RejectsNonPositivePartCounts) {
   HeteroGraph graph = ChainGraph(2);
   EXPECT_FALSE(GreedyPartition(graph, 0).ok());
-  EXPECT_FALSE(GreedyPartition(graph, 100).ok());
+  EXPECT_FALSE(GreedyPartition(graph, -3).ok());
+}
+
+TEST(PartitionerTest, MorePartsThanNodesLeavesSurplusPartsEmpty) {
+  // 4 nodes into 100 parts: legal — a shard store sized for growth may start
+  // nearly empty. Every node still lands somewhere, surplus parts are empty.
+  HeteroGraph graph = ChainGraph(2);
+  auto partition = GreedyPartition(graph, 100);
+  ASSERT_TRUE(partition.ok()) << partition.status().ToString();
+  ASSERT_EQ(partition->assignment.size(), 4u);
+  ASSERT_EQ(partition->part_sizes.size(), 100u);
+  int64_t total = 0;
+  int32_t non_empty = 0;
+  for (int64_t size : partition->part_sizes) {
+    EXPECT_LE(size, 1) << "surplus capacity should spread nodes out";
+    total += size;
+    if (size > 0) ++non_empty;
+  }
+  EXPECT_EQ(total, 4);
+  EXPECT_EQ(non_empty, 4);
+  for (int32_t part : partition->assignment) {
+    EXPECT_GE(part, 0);
+    EXPECT_LT(part, 100);
+  }
+}
+
+TEST(PartitionerTest, SingleNodePartsAreExact) {
+  // num_parts == num_nodes degenerates to one node per part, all edges cut.
+  HeteroGraph graph = ChainGraph(3);  // 6-node path, 5 edges
+  auto partition = GreedyPartition(graph, 6);
+  ASSERT_TRUE(partition.ok());
+  for (int64_t size : partition->part_sizes) EXPECT_EQ(size, 1);
+  EXPECT_EQ(partition->cut_edges, 5);
+}
+
+TEST(PartitionerTest, HandlesDisconnectedComponents) {
+  // Two disjoint 10-paper chains (40 nodes). Every component must be
+  // reached (BFS seeds cover isolated regions) and the parts stay balanced.
+  GraphBuilder builder(AcademicSchema());
+  for (int component = 0; component < 2; ++component) {
+    std::vector<NodeId> ids;
+    for (int64_t i = 0; i < 10; ++i) {
+      ids.push_back(builder.AddNode(0));
+      ids.push_back(builder.AddNode(1));
+    }
+    for (size_t i = 0; i + 1 < ids.size(); ++i) {
+      WIDEN_CHECK_OK(builder.AddEdge(ids[i], ids[i + 1], 0));
+    }
+  }
+  auto built = builder.Build();
+  ASSERT_TRUE(built.ok());
+  auto partition = GreedyPartition(*built, 4);
+  ASSERT_TRUE(partition.ok());
+  ASSERT_EQ(partition->assignment.size(), 40u);
+  int64_t total = 0;
+  for (int64_t size : partition->part_sizes) {
+    EXPECT_GE(size, 1);
+    EXPECT_LE(size, 12);  // capacity 10 + refinement slack
+    total += size;
+  }
+  EXPECT_EQ(total, 40);
+  // Two disjoint paths cut into 4 parts need at most a handful of cut edges.
+  EXPECT_LE(partition->cut_edges, 12);
+}
+
+TEST(PartitionerTest, IsolatedNodesAreAssigned) {
+  // Nodes with no edges at all (degree 0) must still get a part.
+  GraphBuilder builder(AcademicSchema());
+  for (int i = 0; i < 7; ++i) builder.AddNode(0);
+  auto built = builder.Build();
+  ASSERT_TRUE(built.ok());
+  auto partition = GreedyPartition(*built, 3);
+  ASSERT_TRUE(partition.ok());
+  int64_t total = 0;
+  for (int64_t size : partition->part_sizes) total += size;
+  EXPECT_EQ(total, 7);
+  EXPECT_EQ(partition->cut_edges, 0);
 }
 
 TEST(HeteroGraphTest, UidNamesTheInstanceNotTheContents) {
