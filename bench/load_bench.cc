@@ -47,7 +47,10 @@
 #include "core/checkpoint.h"
 #include "core/widen_model.h"
 #include "datasets/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
 #include "serve/inference_session.h"
+#include "serve/net/admin.h"
 #include "serve/net/client.h"
 #include "serve/net/protocol.h"
 #include "serve/net/server.h"
@@ -66,6 +69,10 @@ using serve::net::NetResponse;
 struct LoadOptions {
   std::string connect_host;  // empty => spawn an in-process server
   int connect_port = 0;
+  // Admin plane to scrape during the run. Spawn mode always stands one up on
+  // an ephemeral port; --connect mode needs --admin HOST:PORT to opt in.
+  std::string admin_host;
+  int admin_port = -1;
   int clients = 4;
   double closed_seconds = 2.0;
   double open_seconds = 2.0;
@@ -99,6 +106,7 @@ struct ClientResult {
   int64_t deadline_exceeded = 0;  // expired in the batcher queue
   int64_t other_errors = 0;
   int64_t transport_errors = 0;  // send/recv failures — always fatal
+  int64_t trace_mismatches = 0;  // traced request answered w/o its trace id
   bool saw_draining = false;
   DurationStats embed_us;    // OK responses only
   DurationStats predict_us;  // OK responses only
@@ -108,6 +116,8 @@ struct ClientResult {
 struct Pending {
   NetOp op = NetOp::kHealth;
   Clock::time_point departed;  // closed: send time; open: scheduled tick
+  bool traced = false;
+  uint64_t trace_id = 0;
 };
 
 NetRequest MakeRequest(uint64_t id, NetOp op, int64_t num_nodes,
@@ -117,6 +127,14 @@ NetRequest MakeRequest(uint64_t id, NetOp op, int64_t num_nodes,
   request.op = op;
   if (op == NetOp::kEmbed || op == NetOp::kPredict) {
     request.deadline_ms = options.deadline_ms;
+    // Stamp a trace trailer on a quarter of the latency-sensitive traffic:
+    // the server must echo the id, which the accounting verifies — the wire
+    // trailer gets exercised at full load, not just in unit tests.
+    if (id % 4 == 0) {
+      request.has_trace = true;
+      request.trace_id = id * 0x9E3779B97F4A7C15ull;  // spread the bits
+      request.trace_flags = serve::net::kTraceFlagSampled;
+    }
     const int64_t batch = 1 + rng() % 4;
     for (int64_t i = 0; i < batch; ++i) {
       request.nodes.push_back(
@@ -142,6 +160,10 @@ void Account(ClientResult& result, const Pending& pending,
              const NetResponse& response, const LoadOptions& options) {
   ++result.answered;
   if (response.draining) result.saw_draining = true;
+  if (pending.traced &&
+      (!response.has_trace || response.trace_id != pending.trace_id)) {
+    ++result.trace_mismatches;
+  }
   if (response.code == StatusCode::kOk) {
     ++result.ok;
     const double us = std::chrono::duration<double, std::micro>(
@@ -206,7 +228,8 @@ ClientResult RunClosedLoopClient(const std::string& host, int port,
         ++result.transport_errors;
         return result;
       }
-      outstanding[request.id] = Pending{op, Clock::now()};
+      outstanding[request.id] =
+          Pending{op, Clock::now(), request.has_trace, request.trace_id};
       ++result.sent;
     }
     NetResponse response;
@@ -252,7 +275,8 @@ ClientResult RunOpenLoopClient(const std::string& host, int port,
       ++result.transport_errors;
       return result;
     }
-    outstanding[request.id] = Pending{op, tick};  // charged from the schedule
+    outstanding[request.id] =  // latency charged from the schedule tick
+        Pending{op, tick, request.has_trace, request.trace_id};
     ++result.sent;
     NetResponse response;
     const Status recv = client.Receive(&response);
@@ -279,6 +303,7 @@ void Merge(ClientResult& total, const ClientResult& part) {
   total.deadline_exceeded += part.deadline_exceeded;
   total.other_errors += part.other_errors;
   total.transport_errors += part.transport_errors;
+  total.trace_mismatches += part.trace_mismatches;
   total.saw_draining = total.saw_draining || part.saw_draining;
   total.within_slo += part.within_slo;
   for (double us : part.embed_us.samples()) total.embed_us.Add(us);
@@ -346,8 +371,11 @@ struct SpawnedServer {
   core::WidenConfig config;
   std::string ckpt;
   std::unique_ptr<serve::net::NetServer> server;
+  std::unique_ptr<obs::SloEngine> slo;
+  std::unique_ptr<serve::net::AdminServer> admin;
 
   ~SpawnedServer() {
+    admin.reset();   // its health_fn/slo point into the members below
     server.reset();  // joins threads before graph/ckpt go away
     if (!ckpt.empty()) std::remove(ckpt.c_str());
   }
@@ -412,7 +440,56 @@ std::unique_ptr<SpawnedServer> SpawnServer(const LoadOptions& options) {
       server_options);
   WIDEN_CHECK(server.ok()) << server.status().ToString();
   spawned->server = std::move(server).value();
+
+  // Admin plane on an ephemeral port, judging the same SLO the harness
+  // measures client-side — the run's report carries both views.
+  obs::SloEngine::Options slo_options;
+  slo_options.objectives = {
+      {"embed",
+       obs::MetricsRegistry::Get().GetHistogram(
+           "widen_net_embed_request_us",
+           "Embed request wall time, admission to completion (microseconds)"),
+       options.slo_ms * 1000.0, 0.99},
+      {"predict",
+       obs::MetricsRegistry::Get().GetHistogram(
+           "widen_net_predict_request_us",
+           "Predict request wall time, admission to completion "
+           "(microseconds)"),
+       options.slo_ms * 1000.0, 0.99},
+  };
+  spawned->slo = std::make_unique<obs::SloEngine>(std::move(slo_options));
+  serve::net::AdminOptions admin_options;
+  admin_options.port = 0;
+  admin_options.slo = spawned->slo.get();
+  serve::net::NetServer* net = spawned->server.get();
+  admin_options.health_fn = [net](std::string* reason) {
+    if (net->draining()) {
+      *reason = "draining";
+      return false;
+    }
+    return true;
+  };
+  auto admin = serve::net::AdminServer::Start(admin_options);
+  WIDEN_CHECK(admin.ok()) << admin.status().ToString();
+  spawned->admin = std::move(admin).value();
   return spawned;
+}
+
+// First value of gauge/counter sample `name` in Prometheus text, if present.
+bool ParsePromValue(const std::string& text, const std::string& name,
+                    double* out) {
+  const std::string needle = name + " ";
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    if (text.compare(pos, needle.size(), needle) == 0) {
+      *out = std::atof(text.c_str() + pos + needle.size());
+      return true;
+    }
+    pos = eol + 1;
+  }
+  return false;
 }
 
 int Run(const LoadOptions& options) {
@@ -425,6 +502,46 @@ int Run(const LoadOptions& options) {
     host = "127.0.0.1";
     port = spawned->server->port();
     std::printf("spawned in-process server on %s:%d\n", host.c_str(), port);
+  }
+
+  // Admin plane to scrape concurrently with the load: the bench proves the
+  // introspection listener never perturbs the zero-drop contract, and the
+  // final /metrics scrape feeds the server's own SLO view into the report.
+  std::string admin_host = options.admin_host;
+  int admin_port = options.admin_port;
+  if (spawn) {
+    admin_host = "127.0.0.1";
+    admin_port = spawned->admin->port();
+    std::printf("admin plane on %s:%d\n", admin_host.c_str(), admin_port);
+  }
+  const bool scrape = admin_port >= 0 && !admin_host.empty();
+  std::atomic<bool> scrape_stop{false};
+  std::atomic<int64_t> scrapes{0};
+  std::atomic<int64_t> scrape_failures{0};
+  std::thread scraper;
+  if (scrape) {
+    scraper = std::thread([&] {
+      while (!scrape_stop.load(std::memory_order_relaxed)) {
+        int code = 0;
+        auto health =
+            serve::net::AdminHttpGet(admin_host, admin_port, "/healthz", &code);
+        if (!health.ok() || (code != 200 && code != 503)) {
+          ++scrape_failures;
+        }
+        auto metrics =
+            serve::net::AdminHttpGet(admin_host, admin_port, "/metrics", &code);
+        if (!metrics.ok() || code != 200) {
+          ++scrape_failures;
+        } else if (Status valid = obs::ValidatePrometheusText(*metrics);
+                   !valid.ok()) {
+          ++scrape_failures;
+          WIDEN_LOG(Warning) << "scraped /metrics failed validation: "
+                             << valid.ToString();
+        }
+        ++scrapes;
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+    });
   }
 
   // Health probe: node count for request generation, and proof of life.
@@ -543,6 +660,40 @@ int Run(const LoadOptions& options) {
                 "loop\n");
   }
 
+  // ---- Server-side SLO view (final scrape, before the drain kills it) -----
+  double server_attainment = -1.0;
+  double server_burn = -1.0;
+  double server_predict_attainment = -1.0;
+  if (scrape) {
+    scrape_stop.store(true);
+    scraper.join();
+    int code = 0;
+    auto metrics =
+        serve::net::AdminHttpGet(admin_host, admin_port, "/metrics", &code);
+    if (metrics.ok() && code == 200) {
+      (void)ParsePromValue(*metrics, "widen_slo_embed_attainment_5m",
+                           &server_attainment);
+      (void)ParsePromValue(*metrics, "widen_slo_embed_burn_rate_5m",
+                           &server_burn);
+      (void)ParsePromValue(*metrics, "widen_slo_predict_attainment_5m",
+                           &server_predict_attainment);
+    } else if (spawn) {
+      // In-process admin plane must outlive the phases; failure is a bug.
+      ++scrape_failures;
+    } else {
+      // An externally drained server may exit between the last client
+      // hanging up and this scrape; report, don't fail the contract.
+      std::printf("final admin scrape unavailable; skipping server SLO "
+                  "rows\n");
+    }
+    std::printf(
+        "admin: %lld scrapes, %lld failures; server SLO view: embed "
+        "attainment %.4f burn %.2f, predict attainment %.4f\n",
+        static_cast<long long>(scrapes.load()),
+        static_cast<long long>(scrape_failures.load()), server_attainment,
+        server_burn, server_predict_attainment);
+  }
+
   // ---- Phase 3 (spawn only): drain with requests in flight ----------------
   PhaseSummary drain;
   drain.name = "drain";
@@ -583,11 +734,23 @@ int Run(const LoadOptions& options) {
   int64_t transport = closed.merged.transport_errors +
                       open.merged.transport_errors +
                       drain.merged.transport_errors;
-  bool ok = sent == answered && transport == 0 && sent > 0;
-  std::printf("total: sent %lld answered %lld transport errors %lld -> %s\n",
-              static_cast<long long>(sent), static_cast<long long>(answered),
-              static_cast<long long>(transport),
-              ok ? "ZERO DROPPED" : "DROPPED REQUESTS");
+  int64_t trace_mismatches = closed.merged.trace_mismatches +
+                             open.merged.trace_mismatches +
+                             drain.merged.trace_mismatches;
+  // Scrape failures gate the contract only in spawn mode: a --connect
+  // server's admin plane can legitimately vanish when the server is drained
+  // externally mid-scrape.
+  const bool scrape_ok = !spawn || scrape_failures.load() == 0;
+  bool ok = sent == answered && transport == 0 && sent > 0 &&
+            trace_mismatches == 0 && scrape_ok;
+  std::printf(
+      "total: sent %lld answered %lld transport errors %lld trace "
+      "mismatches %lld scrape failures %lld -> %s\n",
+      static_cast<long long>(sent), static_cast<long long>(answered),
+      static_cast<long long>(transport),
+      static_cast<long long>(trace_mismatches),
+      static_cast<long long>(scrape_failures.load()),
+      ok ? "ZERO DROPPED" : "CONTRACT VIOLATED");
 
   bench::BenchReport report("load", bench::FullMode());
   report.SetConfig("mode", spawn ? "spawn" : "connect");
@@ -603,6 +766,17 @@ int Run(const LoadOptions& options) {
                    "higher");
   report.AddMetric("dropped", static_cast<double>(sent - answered), "req",
                    "lower");
+  if (server_attainment >= 0.0) {
+    report.AddMetric("server_slo_attainment", server_attainment, "frac",
+                     "higher");
+  }
+  if (server_burn >= 0.0) {
+    report.AddMetric("server_burn_rate", server_burn, "x", "lower");
+  }
+  if (server_predict_attainment >= 0.0) {
+    report.AddMetric("server_predict_slo_attainment",
+                     server_predict_attainment, "frac", "higher");
+  }
   WIDEN_CHECK_OK(report.Write(options.out_path));
   std::printf("wrote %s\n", options.out_path.c_str());
   return ok ? 0 : 1;
@@ -611,11 +785,14 @@ int Run(const LoadOptions& options) {
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--connect HOST:PORT] [--clients N] [--seconds S]\n"
-      "          [--open_seconds S] [--qps Q] [--slo_ms MS]\n"
+      "usage: %s [--connect HOST:PORT] [--admin HOST:PORT] [--clients N]\n"
+      "          [--seconds S] [--open_seconds S] [--qps Q] [--slo_ms MS]\n"
       "          [--deadline_ms MS] [--feature_dim D] [--reload]\n"
       "          [--ingest_node_type T] [--ingest_edge_type T]\n"
-      "          [--out PATH]\n",
+      "          [--out PATH]\n"
+      "--admin scrapes /healthz and /metrics concurrently with the load and\n"
+      "adds the server's own SLO attainment/burn-rate to the report (spawn\n"
+      "mode stands up its own admin plane automatically)\n",
       argv0);
   return 2;
 }
@@ -638,6 +815,14 @@ int main(int argc, char** argv) {
       options.connect_host.assign(value, colon);
       options.connect_port = std::atoi(colon + 1);
       if (options.connect_port <= 0) return widen::Usage(argv[0]);
+    } else if (arg == "--admin") {
+      const char* value = next();
+      if (value == nullptr) return widen::Usage(argv[0]);
+      const char* colon = std::strrchr(value, ':');
+      if (colon == nullptr) return widen::Usage(argv[0]);
+      options.admin_host.assign(value, colon);
+      options.admin_port = std::atoi(colon + 1);
+      if (options.admin_port <= 0) return widen::Usage(argv[0]);
     } else if (arg == "--clients") {
       const char* value = next();
       if (value == nullptr) return widen::Usage(argv[0]);

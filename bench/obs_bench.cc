@@ -32,8 +32,10 @@
 #include "core/checkpoint.h"
 #include "core/widen_model.h"
 #include "datasets/synthetic.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "serve/inference_session.h"
+#include "serve/request_context.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
 #include "util/random.h"
@@ -74,7 +76,10 @@ double RunTensorWorkload(int64_t n, int iters) {
 }
 
 // Serving path, cold sweep + warm sweeps against a fresh session so every
-// rep exercises the identical mix of cold encodes and store hits.
+// rep exercises the identical mix of cold encodes and store hits. Each batch
+// carries the same per-request tracking the network server performs —
+// RequestContext stamps, an EmbedReport, and a flight-recorder slot write —
+// so the budget prices the request-tracing path, not just the histograms.
 double RunServeWorkload(const std::string& ckpt,
                         const graph::HeteroGraph& graph,
                         const core::WidenConfig& config, int64_t batch_size,
@@ -95,8 +100,26 @@ double RunServeWorkload(const std::string& ckpt,
       for (int64_t v = start; v < start + batch_size; ++v) {
         batch.push_back(static_cast<graph::NodeId>(v));
       }
-      auto rows = session.Embed(batch);
+      // Same gating as the server: with the kill switch off, no clock reads,
+      // no report, no flight record — the disabled leg measures a bare Embed.
+      const bool stamp = obs::MetricsEnabled();
+      serve::InferenceSession::EmbedReport report;
+      const int64_t admitted_us = stamp ? obs::MonotonicMicros() : 0;
+      auto rows = session.Embed(batch, stamp ? &report : nullptr);
       WIDEN_CHECK(rows.ok()) << rows.status().ToString();
+      if (stamp) {
+        const int64_t replied_us = obs::MonotonicMicros();
+        obs::FlightRecord record;
+        record.request_id = static_cast<uint64_t>(start + sweep);
+        record.admitted_us = admitted_us;
+        record.replied_us = replied_us;
+        record.encode_us = static_cast<uint32_t>(replied_us - admitted_us);
+        record.op = 1;
+        record.batch_nodes = static_cast<uint16_t>(batch.size());
+        record.store_hits = static_cast<uint16_t>(report.store_hits);
+        record.cold_encodes = static_cast<uint16_t>(report.cold_encodes);
+        obs::FlightRecorder::Get().Record(record);
+      }
     }
   }
   return watch.ElapsedMillis();

@@ -156,6 +156,10 @@ int RunScaleSweep(const Args& args, bench::BenchReport& report) {
 
   const storage::HaloCacheStats* halo = view.halo_stats();
   WIDEN_CHECK(halo != nullptr);
+  // Mirror the sweep's storage behavior into the registry so a metrics
+  // export from this process carries the halo hit rate and page-cache
+  // warmth alongside the counters the read path maintained.
+  storage::PublishStorageGauges(*store, &view);
   const int64_t materialized = MaterializedBytes(store->manifest());
   const int64_t peak_rss = obs::ReadPeakRssBytes();
   const double rss_fraction =

@@ -53,10 +53,13 @@
 #include "datasets/splits.h"
 #include "datasets/synthetic.h"
 #include "graph/io.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "serve/inference_session.h"
+#include "serve/net/admin.h"
 #include "serve/net/server.h"
 #include "serve/request_batcher.h"
 
@@ -118,7 +121,9 @@ class PeriodicMetricsDumper {
 // graceful drain instead — main() returns from Join() once everything
 // admitted is answered and flushes through the normal exit path — a second
 // signal force-flushes and exits. SIGHUP triggers a hot checkpoint reload
-// when the server allows one.
+// when the server allows one. SIGQUIT dumps the in-flight picture (flight
+// recorder + Chrome trace flush) WITHOUT stopping the process — the
+// kill -QUIT equivalent of /tracez for when the admin plane is not up.
 class SignalWatcher {
  public:
   SignalWatcher(std::string metrics_out, std::string trace_out,
@@ -127,6 +132,7 @@ class SignalWatcher {
     sigaddset(&set_, SIGINT);
     sigaddset(&set_, SIGTERM);
     sigaddset(&set_, SIGHUP);
+    sigaddset(&set_, SIGQUIT);  // live flight-recorder dump, keeps running
     sigaddset(&set_, SIGUSR1);  // shutdown nudge from the destructor
     pthread_sigmask(SIG_BLOCK, &set_, nullptr);
     watcher_ = std::thread([this, metrics_out = std::move(metrics_out),
@@ -148,6 +154,16 @@ class SignalWatcher {
             }
           }
           continue;
+        }
+        if (sig == SIGQUIT) {
+          std::fprintf(stderr, "[SIGQUIT] flight recorder:\n%s\n",
+                       obs::FlightRecorder::Get().DumpJson(16, 16).c_str());
+          Status flushed = obs::TraceRecorder::Get().Flush();
+          if (!flushed.ok()) {
+            std::fprintf(stderr, "[SIGQUIT] trace flush failed: %s\n",
+                         flushed.ToString().c_str());
+          }
+          continue;  // diagnostic only — the service keeps running
         }
         if (sig != SIGINT && sig != SIGTERM) continue;
         const char* name = sig == SIGINT ? "SIGINT" : "SIGTERM";
@@ -222,6 +238,57 @@ core::WidenConfig SmokeConfig() {
   return config;
 }
 
+// The introspection side-car for a serving run: an SloEngine judging the
+// serve-side request histograms plus the HTTP admin listener. Bundled so
+// both live exactly as long as the NetServer they describe.
+struct AdminPlane {
+  std::unique_ptr<obs::SloEngine> slo;
+  std::unique_ptr<serve::net::AdminServer> server;
+};
+
+StatusOr<AdminPlane> StartAdminPlane(int admin_port, long slo_ms,
+                                     serve::net::NetServer* net) {
+  AdminPlane plane;
+  obs::SloEngine::Options slo_options;
+  // Without an explicit --slo_ms, judge against a 50 ms / 99% objective —
+  // generous for in-process smoke traffic, tight enough to mean something.
+  const double threshold_us =
+      static_cast<double>(slo_ms > 0 ? slo_ms : 50) * 1000.0;
+  auto& registry = obs::MetricsRegistry::Get();
+  slo_options.objectives = {
+      {"embed",
+       registry.GetHistogram("widen_net_embed_request_us",
+                             "Embed request wall time, admission to "
+                             "completion (microseconds)"),
+       threshold_us, 0.99},
+      {"predict",
+       registry.GetHistogram("widen_net_predict_request_us",
+                             "Predict request wall time, admission to "
+                             "completion (microseconds)"),
+       threshold_us, 0.99},
+  };
+  plane.slo = std::make_unique<obs::SloEngine>(std::move(slo_options));
+  serve::net::AdminOptions admin_options;
+  admin_options.port = admin_port;
+  admin_options.slo = plane.slo.get();
+  admin_options.health_fn = [net](std::string* reason) {
+    if (net != nullptr && net->draining()) {
+      *reason = "draining";
+      return false;
+    }
+    return true;
+  };
+  auto admin = serve::net::AdminServer::Start(admin_options);
+  if (!admin.ok()) return admin.status();
+  plane.server = std::move(*admin);
+  std::printf(
+      "admin plane on 127.0.0.1:%d (/healthz /metrics /varz /tracez "
+      "/profilez)\n",
+      plane.server->port());
+  std::fflush(stdout);  // scripts grep for the admin port line too
+  return plane;
+}
+
 // Runs `server` until it drains (SIGTERM/SIGINT via `watcher`, or every
 // client hung up after a wire-op-initiated drain), then reports front-end
 // stats. Blocks for the server's lifetime.
@@ -246,8 +313,8 @@ int ServeUntilDrained(serve::net::NetServer* server, SignalWatcher& watcher) {
 }
 
 int RunSmoke(int64_t clients, int64_t queries,
-             tensor::QuantFormat weight_quant, int listen_port,
-             SignalWatcher& watcher) {
+             tensor::QuantFormat weight_quant, int listen_port, int admin_port,
+             long slo_ms, SignalWatcher& watcher) {
   // 1. Synthesize and train (two epochs — enough to populate the embedding
   //    store the checkpoint carries).
   datasets::SyntheticGraphSpec spec;
@@ -372,6 +439,7 @@ int RunSmoke(int64_t clients, int64_t queries,
   if (listen_port >= 0) {
     serve::net::ServerOptions server_options;
     server_options.port = listen_port;
+    server_options.slo_warn_ms = slo_ms;
     server_options.reload_fn =
         [&graph, ckpt, config,
          weight_quant]() -> StatusOr<std::shared_ptr<serve::InferenceSession>> {
@@ -388,6 +456,12 @@ int RunSmoke(int64_t clients, int64_t queries,
             std::shared_ptr<serve::InferenceSession>(), &session),
         server_options);
     if (!server_or.ok()) return Fail(server_or.status());
+    AdminPlane admin_plane;
+    if (admin_port >= 0) {
+      auto plane = StartAdminPlane(admin_port, slo_ms, server_or->get());
+      if (!plane.ok()) return Fail(plane.status());
+      admin_plane = std::move(*plane);
+    }
     const int rc = ServeUntilDrained(server_or->get(), watcher);
     return rc;
   }
@@ -423,8 +497,8 @@ StatusOr<std::shared_ptr<serve::InferenceSession>> LoadServingBundle(
 }
 
 int RunServe(const std::string& graph_path, const std::string& ckpt_path,
-             tensor::QuantFormat weight_quant, int listen_port,
-             bool allow_reload, SignalWatcher& watcher) {
+             tensor::QuantFormat weight_quant, int listen_port, int admin_port,
+             long slo_ms, bool allow_reload, SignalWatcher& watcher) {
   auto session = LoadServingBundle(graph_path, ckpt_path, weight_quant);
   if (!session.ok()) return Fail(session.status());
   std::printf("loaded %s over %s: %lld nodes, %lld dims\n", ckpt_path.c_str(),
@@ -432,6 +506,7 @@ int RunServe(const std::string& graph_path, const std::string& ckpt_path,
               static_cast<long long>((*session)->embedding_dim()));
   serve::net::ServerOptions options;
   options.port = listen_port;
+  options.slo_warn_ms = slo_ms;
   if (allow_reload) {
     // Re-reads BOTH files, so a checkpoint (or graph) replaced on disk goes
     // live without dropping a request.
@@ -441,6 +516,12 @@ int RunServe(const std::string& graph_path, const std::string& ckpt_path,
   }
   auto server = serve::net::NetServer::Start(std::move(*session), options);
   if (!server.ok()) return Fail(server.status());
+  AdminPlane admin_plane;
+  if (admin_port >= 0) {
+    auto plane = StartAdminPlane(admin_port, slo_ms, server->get());
+    if (!plane.ok()) return Fail(plane.status());
+    admin_plane = std::move(*plane);
+  }
   return ServeUntilDrained(server->get(), watcher);
 }
 
@@ -487,6 +568,8 @@ int main(int argc, char** argv) {
   long clients = 4;
   long queries = 25;
   int listen_port = -1;  // -1 = no network front-end
+  int admin_port = -1;   // -1 = no admin plane (0 = ephemeral)
+  long slo_ms = 0;       // 0 = no server-side SLO warnings
   bool allow_reload = false;
   std::string metrics_out;
   std::string trace_out;
@@ -513,6 +596,22 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(arg, "--listen=", 9) == 0) {
       listen_port = static_cast<int>(std::atol(arg + 9));
+      continue;
+    }
+    if (std::strcmp(arg, "--admin_port") == 0 && i + 1 < argc) {
+      admin_port = static_cast<int>(std::atol(argv[++i]));
+      continue;
+    }
+    if (std::strncmp(arg, "--admin_port=", 13) == 0) {
+      admin_port = static_cast<int>(std::atol(arg + 13));
+      continue;
+    }
+    if (std::strcmp(arg, "--slo_ms") == 0 && i + 1 < argc) {
+      slo_ms = std::atol(argv[++i]);
+      continue;
+    }
+    if (std::strncmp(arg, "--slo_ms=", 9) == 0) {
+      slo_ms = std::atol(arg + 9);
       continue;
     }
     if (std::strcmp(arg, "--reload") == 0) {
@@ -584,8 +683,8 @@ int main(int argc, char** argv) {
       dumper = std::make_unique<PeriodicMetricsDumper>(metrics_out);
     }
     if (smoke || argc == 1) {
-      return RunSmoke(clients, queries, weight_quant, listen_port,
-                      signal_watcher);
+      return RunSmoke(clients, queries, weight_quant, listen_port, admin_port,
+                      slo_ms, signal_watcher);
     }
     const std::string command = argv[1];
     if (command == "embed" && argc == 5) {
@@ -593,8 +692,8 @@ int main(int argc, char** argv) {
     }
     if (command == "serve" && argc == 4) {
       return RunServe(argv[2], argv[3], weight_quant,
-                      listen_port >= 0 ? listen_port : 0, allow_reload,
-                      signal_watcher);
+                      listen_port >= 0 ? listen_port : 0, admin_port, slo_ms,
+                      allow_reload, signal_watcher);
     }
     std::fprintf(stderr,
                  "usage:\n"
@@ -608,6 +707,10 @@ int main(int argc, char** argv) {
                  "127.0.0.1:PORT (0 = ephemeral)\n"
                  "         --reload       allow hot checkpoint reload "
                  "(SIGHUP or wire op)\n"
+                 "         --admin_port PORT  HTTP introspection plane "
+                 "(/healthz /metrics /varz /tracez /profilez; 0 = ephemeral)\n"
+                 "         --slo_ms MS    warn (rate-limited) when a request "
+                 "exceeds MS; also the admin plane's SLO threshold\n"
                  "         --metrics_out PATH  dump metrics every second and "
                  "on exit\n"
                  "         --trace_out PATH    write a Chrome trace on exit\n"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <map>
 #include <memory>
@@ -13,6 +15,7 @@
 
 #include "util/file_util.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace widen::obs {
 
@@ -356,13 +359,158 @@ std::string MetricsRegistry::DumpJson() const {
 }
 
 Status MetricsRegistry::WriteMetrics(const std::string& path) const {
+  // Atomic tmp+rename writes: widen_serve re-exports these files every
+  // second while scrapers poll them, and a plain truncate-and-write lets a
+  // reader catch the file half-written (torn JSON).
   const bool json_only =
       path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
   if (json_only) {
-    return WriteStringToFile(path, DumpJson());
+    return WriteStringToFileAtomic(path, DumpJson());
   }
-  WIDEN_RETURN_IF_ERROR(WriteStringToFile(path, DumpPrometheus()));
-  return WriteStringToFile(path + ".json", DumpJson());
+  WIDEN_RETURN_IF_ERROR(WriteStringToFileAtomic(path, DumpPrometheus()));
+  return WriteStringToFileAtomic(path + ".json", DumpJson());
+}
+
+namespace {
+
+// "name{labels} value" or "name value"; returns false on anything else.
+bool SplitSampleLine(const std::string& line, std::string* name,
+                     std::string* labels, std::string* value) {
+  size_t name_end = line.find_first_of("{ ");
+  if (name_end == std::string::npos || name_end == 0) return false;
+  *name = line.substr(0, name_end);
+  size_t value_begin = name_end;
+  labels->clear();
+  if (line[name_end] == '{') {
+    const size_t close = line.find('}', name_end);
+    if (close == std::string::npos || close + 1 >= line.size() ||
+        line[close + 1] != ' ') {
+      return false;
+    }
+    *labels = line.substr(name_end + 1, close - name_end - 1);
+    value_begin = close + 1;
+  }
+  *value = line.substr(value_begin + 1);
+  return !value->empty() && value->find(' ') == std::string::npos;
+}
+
+bool ParsePromDouble(const std::string& s, double* out) {
+  if (s == "+Inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (s == "-Inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+}  // namespace
+
+Status ValidatePrometheusText(const std::string& text) {
+  std::map<std::string, std::string> types;  // metric name -> TYPE
+  // Histogram bucket state for the series currently being read.
+  std::string bucket_metric;
+  double last_le = -std::numeric_limits<double>::infinity();
+  double last_cumulative = 0.0;
+  bool saw_inf = false;
+  double inf_count = 0.0;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  auto err = [&](const std::string& what) {
+    return Status::InvalidArgument(
+        StrCat("prometheus text line ", line_no, ": ", what, ": ", line));
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream comment(line);
+      std::string hash, kind, name, rest;
+      comment >> hash >> kind >> name;
+      if (kind == "TYPE") {
+        comment >> rest;
+        if (rest != "counter" && rest != "gauge" && rest != "histogram" &&
+            rest != "summary" && rest != "untyped") {
+          return err("unknown TYPE");
+        }
+        types[name] = rest;
+      }
+      continue;
+    }
+    std::string name, labels, value_text;
+    if (!SplitSampleLine(line, &name, &labels, &value_text)) {
+      return err("unparseable sample");
+    }
+    double value = 0.0;
+    if (!ParsePromDouble(value_text, &value)) return err("bad value");
+
+    // Resolve the declaring metric: histogram series use _bucket/_sum/_count
+    // suffixes on the TYPE'd family name.
+    std::string family = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const size_t len = std::strlen(suffix);
+      if (name.size() > len &&
+          name.compare(name.size() - len, len, suffix) == 0) {
+        const std::string candidate = name.substr(0, name.size() - len);
+        auto it = types.find(candidate);
+        if (it != types.end() && it->second == "histogram") {
+          family = candidate;
+          break;
+        }
+      }
+    }
+    auto type_it = types.find(family);
+    if (type_it == types.end()) return err("sample without a # TYPE comment");
+
+    const bool is_bucket =
+        type_it->second == "histogram" && name == family + "_bucket";
+    if (is_bucket) {
+      if (labels.compare(0, 4, "le=\"") != 0 || labels.back() != '"') {
+        return err("histogram bucket without an le label");
+      }
+      double le = 0.0;
+      if (!ParsePromDouble(labels.substr(4, labels.size() - 5), &le)) {
+        return err("bad le bound");
+      }
+      if (name != bucket_metric) {
+        // A new bucket series begins; the previous one is closed below when
+        // its _count line arrives.
+        bucket_metric = name;
+        last_le = -std::numeric_limits<double>::infinity();
+        last_cumulative = 0.0;
+        saw_inf = false;
+      }
+      if (le <= last_le) return err("bucket le bounds not increasing");
+      if (value < last_cumulative) return err("bucket counts not cumulative");
+      last_le = le;
+      last_cumulative = value;
+      if (std::isinf(le)) {
+        saw_inf = true;
+        inf_count = value;
+      }
+    } else if (type_it->second == "histogram" && name == family + "_count") {
+      if (bucket_metric == family + "_bucket") {
+        if (!saw_inf) return err("histogram without a +Inf bucket");
+        if (value != inf_count) {
+          return err("histogram _count disagrees with the +Inf bucket");
+        }
+        bucket_metric.clear();
+      } else {
+        return err("histogram _count without buckets");
+      }
+    }
+  }
+  if (!bucket_metric.empty()) {
+    line = bucket_metric;
+    return err("histogram ends without _count");
+  }
+  return Status::OK();
 }
 
 void MetricsRegistry::ResetAll() {

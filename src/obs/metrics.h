@@ -222,6 +222,14 @@ class MetricsRegistry {
   Impl* impl() const;
 };
 
+/// Structural validation of Prometheus text exposition format, used by the
+/// admin-plane tests and the CI scrape check (tools/adminctl --check-prom):
+/// every sample line must parse as `name[{labels}] value`, every series must
+/// be preceded by a # TYPE comment, histogram buckets must be cumulative
+/// (non-decreasing in `le` order) and end in a +Inf bucket equal to
+/// `<name>_count`. Returns the first violation as InvalidArgument.
+Status ValidatePrometheusText(const std::string& text);
+
 /// Times its scope and records the elapsed MICROSECONDS into `hist`.
 /// With metrics disabled, no clock is read at all.
 /// For scopes cheaper than a clock read (sub-microsecond), use

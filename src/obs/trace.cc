@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/file_util.h"
 #include "util/logging.h"
 
@@ -29,6 +30,8 @@ struct Registry {
   std::mutex mu;
   std::vector<ThreadBuffer*> buffers;  // leaked at exit; trivially small
   std::atomic<size_t> total_events{0};
+  std::atomic<size_t> max_events{TraceRecorder::kDefaultMaxEvents};
+  std::atomic<size_t> dropped_events{0};
 };
 
 Registry& GetRegistry() {
@@ -54,7 +57,11 @@ ThreadBuffer& GetThreadBuffer() {
 void AppendEvent(const Event& event) {
   Registry& reg = GetRegistry();
   if (reg.total_events.load(std::memory_order_relaxed) >=
-      TraceRecorder::kMaxEvents) {
+      reg.max_events.load(std::memory_order_relaxed)) {
+    reg.dropped_events.fetch_add(1, std::memory_order_relaxed);
+    WIDEN_METRIC_COUNTER(dropped, "widen_trace_dropped_spans_total",
+                         "Trace spans dropped at the TraceRecorder cap");
+    dropped->Increment();
     return;
   }
   reg.total_events.fetch_add(1, std::memory_order_relaxed);
@@ -101,6 +108,21 @@ void TraceRecorder::Clear() {
     buffer->events.clear();
   }
   reg.total_events.store(0, std::memory_order_relaxed);
+}
+
+void TraceRecorder::SetMaxEvents(size_t max_events) {
+  internal_trace::GetRegistry().max_events.store(max_events,
+                                                 std::memory_order_relaxed);
+}
+
+size_t TraceRecorder::MaxEvents() {
+  return internal_trace::GetRegistry().max_events.load(
+      std::memory_order_relaxed);
+}
+
+size_t TraceRecorder::DroppedCount() const {
+  return internal_trace::GetRegistry().dropped_events.load(
+      std::memory_order_relaxed);
 }
 
 size_t TraceRecorder::EventCount() const {
@@ -179,6 +201,15 @@ void ExportTraceAtExit() {
 }
 
 }  // namespace
+
+Status TraceRecorder::Flush() {
+  if (g_trace_exit_path == nullptr) return Status::OK();
+  WIDEN_RETURN_IF_ERROR(WriteChromeJson(*g_trace_exit_path));
+  // Clearing after a successful write bounds a long-running server's trace
+  // memory to one flush interval; the dropped-span count is preserved.
+  Clear();
+  return Status::OK();
+}
 
 void InstallTraceExportOnExit(const std::string& trace_out) {
   std::string path = trace_out;

@@ -80,9 +80,22 @@ class TraceRecorder {
   std::string ExportChromeJson() const;
   Status WriteChromeJson(const std::string& path) const;
 
-  /// Per-thread buffers stop growing past this many events in total; spans
-  /// beyond the cap are silently dropped (a runaway-trace backstop).
-  static constexpr size_t kMaxEvents = 1u << 20;
+  /// Writes the buffered events to the path registered with
+  /// InstallTraceExportOnExit and clears the buffers, so a long-running
+  /// server can checkpoint its trace mid-flight (SIGQUIT, /tracez) instead
+  /// of waiting for exit. OK no-op when no exit path is installed.
+  Status Flush();
+
+  /// Buffers stop growing past this many events in total; spans beyond the
+  /// cap are dropped and counted (widen_trace_dropped_spans_total and
+  /// DroppedCount()). Runtime-settable backstop for long-running servers;
+  /// raising the cap resumes recording, it never truncates what is buffered.
+  static void SetMaxEvents(size_t max_events);
+  static size_t MaxEvents();
+  static constexpr size_t kDefaultMaxEvents = 1u << 20;
+
+  /// Spans dropped at the cap since process start (not reset by Clear()).
+  size_t DroppedCount() const;
 
  private:
   TraceRecorder() = default;

@@ -199,6 +199,11 @@ GraphDelta InferenceSession::NewDelta() const {
 
 StatusOr<tensor::Tensor> InferenceSession::Embed(
     const std::vector<graph::NodeId>& nodes) {
+  return Embed(nodes, nullptr);
+}
+
+StatusOr<tensor::Tensor> InferenceSession::Embed(
+    const std::vector<graph::NodeId>& nodes, EmbedReport* report) {
   const ServeMetrics& metrics = ServeMetrics::Get();
   WIDEN_TRACE_SPAN("embed", "serve");
   // Warm phase covers the whole call; cold encodes re-scope themselves below
@@ -248,6 +253,10 @@ StatusOr<tensor::Tensor> InferenceSession::Embed(
     store_hits_ += store_hits;
     metrics.base_hits->Add(base_hits);
     metrics.store_hits->Add(store_hits);
+    if (report != nullptr) {
+      report->base_hits = base_hits;
+      report->store_hits = store_hits;
+    }
   }
 
   if (!cold.empty()) {
@@ -271,6 +280,9 @@ StatusOr<tensor::Tensor> InferenceSession::Embed(
       for (size_t k = 0; k < cold.size(); ++k) encode_one(k);
     }
     cold_encodes_ += static_cast<int64_t>(cold.size());
+    if (report != nullptr) {
+      report->cold_encodes = static_cast<int64_t>(cold.size());
+    }
     std::lock_guard<std::mutex> store_lock(store_mu_);
     for (size_t k : cold) {
       store_.Insert(version, nodes[k],

@@ -74,9 +74,22 @@ class InferenceSession {
   InferenceSession(const InferenceSession&) = delete;
   InferenceSession& operator=(const InferenceSession&) = delete;
 
+  /// Per-call composition of one Embed: how many rows came from the frozen
+  /// rep table, the warm LRU store, and fresh encodes. The deltas behind the
+  /// cumulative Stats counters, exposed so request tracing can attribute a
+  /// batch's store behavior to the requests it served.
+  struct EmbedReport {
+    int64_t base_hits = 0;
+    int64_t store_hits = 0;
+    int64_t cold_encodes = 0;
+  };
+
   /// Embeds `nodes` (base or delta-added): [nodes.size(), d]. Safe to call
-  /// from many threads concurrently.
+  /// from many threads concurrently. `report`, when non-null, receives this
+  /// call's row composition.
   StatusOr<tensor::Tensor> Embed(const std::vector<graph::NodeId>& nodes);
+  StatusOr<tensor::Tensor> Embed(const std::vector<graph::NodeId>& nodes,
+                                 EmbedReport* report);
 
   /// Class predictions through the trained classifier head.
   StatusOr<std::vector<int32_t>> Predict(

@@ -22,6 +22,13 @@ bool ValidCode(uint8_t raw) {
   return raw <= static_cast<uint8_t>(StatusCode::kUnavailable);
 }
 
+/// Appends the optional trace trailer (u8 flags | u64 id).
+void WriteTraceTrailer(ByteWriter* writer, uint8_t trace_flags,
+                       uint64_t trace_id) {
+  writer->WriteScalar<uint8_t>(trace_flags);
+  writer->WriteScalar<uint64_t>(trace_id);
+}
+
 /// Prepends the length prefix once the payload is complete.
 std::string Frame(std::string payload) {
   std::string out;
@@ -88,6 +95,9 @@ std::string EncodeRequest(const NetRequest& request) {
     case NetOp::kReload:
       break;
   }
+  if (request.has_trace) {
+    WriteTraceTrailer(&writer, request.trace_flags, request.trace_id);
+  }
   return Frame(std::move(payload));
 }
 
@@ -101,6 +111,9 @@ std::string EncodeResponse(const NetResponse& response) {
   if (response.code != StatusCode::kOk) {
     writer.WriteScalar<uint64_t>(response.error.size());
     writer.WriteBytes(response.error.data(), response.error.size());
+    if (response.has_trace) {
+      WriteTraceTrailer(&writer, response.trace_flags, response.trace_id);
+    }
     return Frame(std::move(payload));
   }
   switch (response.op) {
@@ -121,6 +134,9 @@ std::string EncodeResponse(const NetResponse& response) {
       writer.WriteScalar<uint64_t>(response.generation);
       writer.WriteScalar<int64_t>(response.num_nodes);
       break;
+  }
+  if (response.has_trace) {
+    WriteTraceTrailer(&writer, response.trace_flags, response.trace_id);
   }
   return Frame(std::move(payload));
 }
@@ -172,6 +188,16 @@ Status DecodeRequestPayload(const char* data, size_t size, NetRequest* out) {
     case NetOp::kReload:
       break;
   }
+  // Version gate: exactly kTraceTrailerBytes left is the optional trace
+  // trailer; nothing left is an untraced (pre-trace-format) request; any
+  // other residue is still a protocol error.
+  if (reader.remaining() == kTraceTrailerBytes) {
+    if (!reader.ReadScalar(&out->trace_flags) ||
+        !reader.ReadScalar(&out->trace_id)) {
+      return Status::InvalidArgument("request trace trailer truncated");
+    }
+    out->has_trace = true;
+  }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after request payload");
   }
@@ -204,6 +230,12 @@ Status DecodeResponsePayload(const char* data, size_t size, NetResponse* out) {
     }
     out->error.assign(data + (size - reader.remaining()),
                       static_cast<size_t>(len));
+    if (reader.remaining() == len + kTraceTrailerBytes &&
+        reader.Skip(static_cast<size_t>(len)) &&
+        reader.ReadScalar(&out->trace_flags) &&
+        reader.ReadScalar(&out->trace_id)) {
+      out->has_trace = true;
+    }
     return Status::OK();
   }
   switch (out->op) {
@@ -234,6 +266,13 @@ Status DecodeResponsePayload(const char* data, size_t size, NetResponse* out) {
         return Status::InvalidArgument("health response truncated");
       }
       break;
+  }
+  // Echoed trace trailer; other residue stays tolerated (the response
+  // decoder has never rejected trailing bytes).
+  if (reader.remaining() == kTraceTrailerBytes &&
+      reader.ReadScalar(&out->trace_flags) &&
+      reader.ReadScalar(&out->trace_id)) {
+    out->has_trace = true;
   }
   return Status::OK();
 }

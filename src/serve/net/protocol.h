@@ -3,8 +3,10 @@
 // A compact length-prefixed binary framing, symmetric for both directions:
 //
 //   frame    := u32 payload_len | payload              (little-endian)
-//   request  := u64 request_id | u8 op | body
-//   response := u64 request_id | u8 op | u8 status_code | u8 flags | body
+//   request  := u64 request_id | u8 op | body [trace]
+//   response := u64 request_id | u8 op | u8 status_code | u8 flags
+//               | body [trace]
+//   trace    := u8 trace_flags | u64 trace_id          (optional trailer)
 //
 // Ops: Embed and Predict carry a node list plus an optional relative
 // deadline; Ingest carries a self-contained GraphDelta (new nodes reference
@@ -13,6 +15,12 @@
 // mirror the op: embedding rows, predicted labels, the post-ingest graph
 // version, a health snapshot, or the post-reload generation. A non-OK
 // status_code replaces the body with a UTF-8 message.
+//
+// The trace trailer is the version gate for end-to-end request tracing
+// (DESIGN.md §16): presence-detected by payload length, so untraced frames
+// are byte-identical to the pre-trace format, old servers reject (not
+// misparse) traced requests, and old clients skip the echoed trailer on
+// responses, whose decoder has always tolerated trailing bytes.
 //
 // Flags bit 0 (kFlagDraining) is the server's wind-down signal: once set,
 // the server answers everything it has received but will accept no new
@@ -55,6 +63,12 @@ enum class NetOp : uint8_t {
 /// Response flag bits.
 inline constexpr uint8_t kFlagDraining = 1u << 0;
 
+/// Trace-flag bits carried in the optional trace trailer.
+inline constexpr uint8_t kTraceFlagSampled = 1u << 0;
+
+/// Bytes of the optional trace trailer: u8 trace_flags | u64 trace_id.
+inline constexpr size_t kTraceTrailerBytes = 9;
+
 /// One edge in an ingest request. Endpoints >= 0 name existing server nodes;
 /// endpoint -1-k names the k-th new node of the SAME request, so a delta can
 /// wire its own nodes together without knowing the server's node count.
@@ -78,6 +92,14 @@ struct NetRequest {
   uint32_t deadline_ms = 0;
   std::vector<graph::NodeId> nodes;  // Embed/Predict
   IngestPayload ingest;              // Ingest
+
+  /// Optional trace context (version-gated trailer). A request encoded with
+  /// has_trace == false is byte-identical to the pre-trace wire format, and
+  /// a pre-trace server rejects a traced request cleanly (trailing-bytes
+  /// protocol error) rather than misparsing it.
+  bool has_trace = false;
+  uint64_t trace_id = 0;
+  uint8_t trace_flags = 0;
 };
 
 struct NetResponse {
@@ -99,6 +121,13 @@ struct NetResponse {
   uint64_t graph_version = 0;
   uint64_t generation = 0;
   int64_t num_nodes = 0;
+
+  /// Trace context echoed back from a traced request. The trailer is only
+  /// emitted when has_trace is set; response decoders (which tolerate
+  /// trailing bytes by design) in old clients skip it.
+  bool has_trace = false;
+  uint64_t trace_id = 0;
+  uint8_t trace_flags = 0;
 
   /// The response's status with its transported message.
   Status ToStatus() const;

@@ -8,13 +8,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/request_context.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -37,6 +41,10 @@ struct NetMetrics {
   obs::Counter* protocol_errors;
   obs::Counter* reloads;
   obs::Gauge* connections;
+  // Admission-to-completion wall time per op, the server-side latency the
+  // SLO engine judges (client-side numbers include the network).
+  obs::Histogram* embed_request_us;
+  obs::Histogram* predict_request_us;
 
   static const NetMetrics& Get() {
     static const NetMetrics m = {
@@ -56,10 +64,80 @@ struct NetMetrics {
             "widen_net_reloads_total", "Hot checkpoint reloads completed"),
         obs::MetricsRegistry::Get().GetGauge(
             "widen_net_connections", "Currently open client connections"),
+        obs::MetricsRegistry::Get().GetHistogram(
+            "widen_net_embed_request_us",
+            "Embed request wall time, admission to completion "
+            "(microseconds)"),
+        obs::MetricsRegistry::Get().GetHistogram(
+            "widen_net_predict_request_us",
+            "Predict request wall time, admission to completion "
+            "(microseconds)"),
     };
     return m;
   }
 };
+
+// Saturating narrowing for FlightRecord's compact fields.
+template <typename To>
+To Saturate(int64_t v) {
+  if (v < 0) return 0;
+  const int64_t cap = static_cast<int64_t>(std::numeric_limits<To>::max());
+  return static_cast<To>(std::min(v, cap));
+}
+
+obs::FlightRecord ToFlightRecord(const RequestContext& ctx) {
+  obs::FlightRecord record;
+  record.trace_id = ctx.trace_id;
+  record.request_id = ctx.request_id;
+  record.admitted_us = ctx.admitted_us;
+  record.replied_us = ctx.replied_us;
+  record.queue_us =
+      Saturate<uint32_t>(ctx.batch_formed_us > 0
+                             ? ctx.batch_formed_us - ctx.admitted_us
+                             : 0);
+  record.encode_us = Saturate<uint32_t>(ctx.encode_us);
+  record.op = ctx.op;
+  record.batch_nodes = Saturate<uint16_t>(ctx.batch_nodes);
+  record.store_hits = Saturate<uint16_t>(ctx.store_hits);
+  record.cold_encodes = Saturate<uint16_t>(ctx.cold_encodes);
+  return record;
+}
+
+// Completes a tracked request: stamps the reply time, records the
+// server-side latency histogram, publishes the flight record, and — past
+// options.slo_warn_ms — logs one stage-breakdown warning per second at most
+// (a violation storm must not amplify itself through the logger).
+void FinishTracked(RequestContext* ctx, int64_t slo_warn_ms) {
+  if (ctx == nullptr || !obs::MetricsEnabled()) return;
+  ctx->replied_us = obs::MonotonicMicros();
+  const int64_t total_us = ctx->replied_us - ctx->admitted_us;
+  const NetMetrics& metrics = NetMetrics::Get();
+  if (ctx->op == static_cast<uint8_t>(NetOp::kPredict)) {
+    metrics.predict_request_us->Record(static_cast<double>(total_us));
+  } else {
+    metrics.embed_request_us->Record(static_cast<double>(total_us));
+  }
+  obs::FlightRecorder::Get().Record(ToFlightRecord(*ctx));
+  if (slo_warn_ms > 0 && total_us > slo_warn_ms * 1000) {
+    static std::atomic<int64_t> last_warn_us{-1'000'000};
+    int64_t last = last_warn_us.load(std::memory_order_relaxed);
+    const int64_t now = ctx->replied_us;
+    if (now - last >= 1'000'000 &&
+        last_warn_us.compare_exchange_strong(last, now,
+                                             std::memory_order_relaxed)) {
+      WIDEN_LOG(Warning)
+          << "SLO violation: " << NetOpName(static_cast<NetOp>(ctx->op))
+          << " request " << ctx->request_id << " took " << total_us
+          << " us (> " << slo_warn_ms << " ms): queue="
+          << (ctx->batch_formed_us > 0
+                  ? ctx->batch_formed_us - ctx->admitted_us
+                  : 0)
+          << " us encode=" << ctx->encode_us << " us batch_nodes="
+          << ctx->batch_nodes << " store_hits=" << ctx->store_hits
+          << " cold_encodes=" << ctx->cold_encodes;
+    }
+  }
+}
 
 Status Errno(const char* what) {
   return Status::IOError(StrCat(what, ": ", std::strerror(errno)));
@@ -450,6 +528,9 @@ void NetServer::DispatchRequest(Conn* conn, NetRequest request) {
     response.graph_version = session->graph_version();
     response.generation = generation_.load();
     response.num_nodes = session->num_nodes();
+    response.has_trace = request.has_trace;
+    response.trace_id = request.trace_id;
+    response.trace_flags = request.trace_flags;
     Reply(conn, response);
     return;
   }
@@ -489,11 +570,31 @@ void NetServer::DispatchRequest(Conn* conn, NetRequest request) {
     submit.deadline = std::chrono::steady_clock::now() +
                       std::chrono::milliseconds(request.deadline_ms);
   }
+  // Trace every Embed/Predict (trailer or not — the server's flight
+  // recorder wants untraced traffic too). The completion lambda owns the
+  // context; the batcher sees a raw pointer whose stamps all happen-before
+  // that lambda runs.
+  std::shared_ptr<RequestContext> ctx;
+  if (obs::MetricsEnabled() &&
+      (request.op == NetOp::kEmbed || request.op == NetOp::kPredict)) {
+    ctx = std::make_shared<RequestContext>();
+    ctx->trace_id = request.trace_id;
+    ctx->trace_flags = request.trace_flags;
+    ctx->request_id = request.id;
+    ctx->op = static_cast<uint8_t>(request.op);
+    ctx->admitted_us = obs::MonotonicMicros();
+    submit.context = ctx.get();
+  }
+  const bool has_trace = request.has_trace;
+  const uint64_t trace_id = request.trace_id;
+  const uint8_t trace_flags = request.trace_flags;
+  const int64_t slo_warn_ms = options_.slo_warn_ms;
   switch (request.op) {
     case NetOp::kEmbed:
       batcher_->SubmitEmbed(
           std::move(request.nodes), submit,
-          [this, conn_id, request_id](StatusOr<tensor::Tensor> result) {
+          [this, conn_id, request_id, ctx, has_trace, trace_id, trace_flags,
+           slo_warn_ms](StatusOr<tensor::Tensor> result) {
             NetResponse response;
             response.id = request_id;
             response.op = NetOp::kEmbed;
@@ -506,13 +607,18 @@ void NetServer::DispatchRequest(Conn* conn, NetRequest request) {
               response.code = result.status().code();
               response.error = result.status().message();
             }
+            response.has_trace = has_trace;
+            response.trace_id = trace_id;
+            response.trace_flags = trace_flags;
+            FinishTracked(ctx.get(), slo_warn_ms);
             Complete(conn_id, response);
           });
       break;
     case NetOp::kPredict:
       batcher_->SubmitPredict(
           std::move(request.nodes), submit,
-          [this, conn_id, request_id](StatusOr<std::vector<int32_t>> result) {
+          [this, conn_id, request_id, ctx, has_trace, trace_id, trace_flags,
+           slo_warn_ms](StatusOr<std::vector<int32_t>> result) {
             NetResponse response;
             response.id = request_id;
             response.op = NetOp::kPredict;
@@ -522,6 +628,10 @@ void NetServer::DispatchRequest(Conn* conn, NetRequest request) {
               response.code = result.status().code();
               response.error = result.status().message();
             }
+            response.has_trace = has_trace;
+            response.trace_id = trace_id;
+            response.trace_flags = trace_flags;
+            FinishTracked(ctx.get(), slo_warn_ms);
             Complete(conn_id, response);
           });
       break;
@@ -612,6 +722,9 @@ NetResponse NetServer::ErrorResponse(const NetRequest& request,
   response.op = request.op;
   response.code = status.code();
   response.error = status.message();
+  response.has_trace = request.has_trace;
+  response.trace_id = request.trace_id;
+  response.trace_flags = request.trace_flags;
   return response;
 }
 

@@ -65,6 +65,11 @@ struct ServerOptions {
   /// Loads a replacement session for hot reload. Reload requests (wire op or
   /// Reload()) fail with kFailedPrecondition when unset.
   std::function<StatusOr<std::shared_ptr<InferenceSession>>()> reload_fn;
+  /// When > 0, an Embed/Predict request whose admission-to-completion time
+  /// exceeds this many milliseconds logs a rate-limited (1/s) warning with
+  /// its per-stage breakdown — the "dump on SLO violation" path; the full
+  /// record is always in the flight recorder regardless.
+  int64_t slo_warn_ms = 0;
   BatcherOptions batcher;
 };
 

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
@@ -116,6 +117,7 @@ void RequestBatcher::SubmitEmbed(std::vector<graph::NodeId> nodes,
   pending.nodes = std::move(nodes);
   pending.predict = false;
   pending.deadline = options.deadline;
+  pending.context = options.context;
   pending.embed_cb = std::move(done);
   Enqueue(std::move(pending));
 }
@@ -144,6 +146,7 @@ void RequestBatcher::SubmitPredict(std::vector<graph::NodeId> nodes,
   pending.nodes = std::move(nodes);
   pending.predict = true;
   pending.deadline = options.deadline;
+  pending.context = options.context;
   pending.predict_cb = std::move(done);
   Enqueue(std::move(pending));
 }
@@ -173,6 +176,9 @@ void RequestBatcher::Enqueue(Pending pending) {
     ++stats_.requests;
     if (invalid.ok() && !shutting_down_) {
       pending.enqueued_at = std::chrono::steady_clock::now();
+      if (pending.context != nullptr && obs::MetricsEnabled()) {
+        pending.context->enqueued_us = obs::MonotonicMicros();
+      }
       pending_nodes_ += static_cast<int64_t>(pending.nodes.size());
       BatcherMetrics::Get().queue_depth->Set(
           static_cast<double>(pending_nodes_));
@@ -276,10 +282,15 @@ void RequestBatcher::WorkerLoop() {
       metrics.batch_nodes->Record(static_cast<double>(batch_nodes));
       if (obs::MetricsEnabled()) {
         const auto formed = std::chrono::steady_clock::now();
-        for (const Pending& p : batch) {
+        const int64_t formed_us = obs::MonotonicMicros();
+        for (Pending& p : batch) {
           metrics.linger_us->Record(
               std::chrono::duration<double, std::micro>(formed - p.enqueued_at)
                   .count());
+          if (p.context != nullptr) {
+            p.context->batch_formed_us = formed_us;
+            p.context->batch_nodes = batch_nodes;
+          }
         }
       }
     }
@@ -315,15 +326,30 @@ void RequestBatcher::RunBatch(const std::shared_ptr<InferenceSession>& session,
   for (const Pending& p : batch) {
     all.insert(all.end(), p.nodes.begin(), p.nodes.end());
   }
+  InferenceSession::EmbedReport report;
+  const bool stamp = obs::MetricsEnabled();
+  const int64_t encode_start_us = stamp ? obs::MonotonicMicros() : 0;
   StatusOr<T::Tensor> result = [&]() -> StatusOr<T::Tensor> {
     try {
-      return session->Embed(all);
+      return session->Embed(all, &report);
     } catch (const std::exception& e) {
       return Status::Internal(StrCat("Embed threw: ", e.what()));
     } catch (...) {
       return Status::Internal("Embed threw a non-exception object");
     }
   }();
+  if (stamp) {
+    const int64_t encode_us = obs::MonotonicMicros() - encode_start_us;
+    // Store behavior is a batch-level fact (rows interleave across the
+    // fan-in), so every request in the batch carries the batch's totals.
+    for (const Pending& p : batch) {
+      if (p.context == nullptr) continue;
+      p.context->encode_us = encode_us;
+      p.context->base_hits = report.base_hits;
+      p.context->store_hits = report.store_hits;
+      p.context->cold_encodes = report.cold_encodes;
+    }
+  }
   if (!result.ok()) {
     for (Pending& p : batch) {
       Fail(p, result.status());

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "serve/inference_session.h"
+#include "serve/request_context.h"
 
 namespace widen::serve {
 
@@ -81,6 +82,11 @@ class RequestBatcher {
     /// batch has not formed by then. max() = no deadline.
     std::chrono::steady_clock::time_point deadline =
         std::chrono::steady_clock::time_point::max();
+    /// Optional trace context; when set, the batcher stamps enqueue, batch
+    /// formation, encode duration, and batch composition into it. Must stay
+    /// valid until the request's callback runs (NetServer keeps it alive in
+    /// the completion lambda); stamps are skipped with metrics disabled.
+    RequestContext* context = nullptr;
   };
 
   /// `session` must outlive the batcher. Fixed-session convenience wrapper
@@ -141,6 +147,7 @@ class RequestBatcher {
     // linger-time histogram.
     std::chrono::steady_clock::time_point enqueued_at;
     std::chrono::steady_clock::time_point deadline;
+    RequestContext* context = nullptr;  // optional; see SubmitOptions
     EmbedCallback embed_cb;
     PredictCallback predict_cb;
   };

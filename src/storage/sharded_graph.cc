@@ -332,4 +332,18 @@ const float* ShardedGraphView::feature_row(graph::NodeId v) const {
   return out;
 }
 
+void PublishStorageGauges(const ShardedGraph& store,
+                          const ShardedGraphView* view) {
+  WIDEN_METRIC_GAUGE(resident, "widen_storage_resident_bytes",
+                     "Bytes of the shard mappings warm in the page cache");
+  resident->Set(static_cast<double>(store.ResidentBytes()));
+  if (view != nullptr) {
+    if (const HaloCacheStats* stats = view->halo_stats()) {
+      WIDEN_METRIC_GAUGE(hit_rate, "widen_storage_halo_hit_rate",
+                         "Halo cache hits / (hits + misses), lifetime");
+      hit_rate->Set(stats->HitRate());
+    }
+  }
+}
+
 }  // namespace widen::storage

@@ -212,6 +212,15 @@ class ShardedGraphView final : public graph::GraphView {
   int32_t home_shard_ = -1;
 };
 
+/// Publishes point-in-time storage gauges into the metrics registry:
+/// widen_storage_resident_bytes (page-cache warmth of the shard mappings,
+/// see ShardedGraph::ResidentBytes) and — when `view` has a halo cache —
+/// widen_storage_halo_hit_rate. The halo counters are maintained on the read
+/// path; these two are derived values a scraper cannot compute from one
+/// scrape, so benches and serving loops call this before each export.
+void PublishStorageGauges(const ShardedGraph& store,
+                          const ShardedGraphView* view);
+
 }  // namespace widen::storage
 
 #endif  // WIDEN_STORAGE_SHARDED_GRAPH_H_

@@ -82,6 +82,13 @@ class ByteReader {
     return true;
   }
 
+  /// Advances past `bytes` without copying; false (no move) past the end.
+  bool Skip(size_t bytes) {
+    if (size_ - pos_ < bytes) return false;
+    pos_ += bytes;
+    return true;
+  }
+
   bool AtEnd() const { return pos_ == size_; }
   size_t remaining() const { return size_ - pos_; }
 

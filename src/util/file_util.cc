@@ -176,6 +176,19 @@ Status WriteStringToFile(const std::string& path,
   return Status::OK();
 }
 
+Status WriteStringToFileAtomic(const std::string& path,
+                               const std::string& contents) {
+  WIDEN_ASSIGN_OR_RETURN(AtomicFile file, AtomicFile::Open(path));
+  const size_t written =
+      contents.empty()
+          ? 0
+          : std::fwrite(contents.data(), 1, contents.size(), file.stream());
+  if (written != contents.size()) {
+    return Status::IOError(ErrnoMessage("write", file.temp_path()));
+  }
+  return file.Commit();
+}
+
 StatusOr<std::string> ReadFileToString(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {

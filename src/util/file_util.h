@@ -76,6 +76,13 @@ StatusOr<int64_t> FileSize(const std::string& path);
 /// when the file must never be observed torn).
 Status WriteStringToFile(const std::string& path, const std::string& contents);
 
+/// Replaces `path` with `contents` through the AtomicFile tmp+fsync+rename
+/// protocol: a concurrent reader sees either the previous contents or the
+/// new ones, never a torn mix. The periodic metrics dump uses this so a
+/// scraper polling the file mid-write cannot read half a JSON object.
+Status WriteStringToFileAtomic(const std::string& path,
+                               const std::string& contents);
+
 /// Reads the whole regular file at `path` into a string.
 StatusOr<std::string> ReadFileToString(const std::string& path);
 

@@ -1,0 +1,81 @@
+// adminctl: poke a running server's introspection plane (serve/net/admin.h)
+// from scripts and CI without needing curl semantics around exit codes.
+//
+//   ./build/tools/adminctl HOST:PORT /healthz
+//   ./build/tools/adminctl HOST:PORT /metrics --check-prom
+//   ./build/tools/adminctl HOST:PORT /tracez
+//
+// Prints the response body to stdout. Exit code 0 for HTTP 200, 3 for any
+// other HTTP status (body still printed — a 503 "draining" is an answer,
+// not a transport failure), 1 for transport errors, 2 for usage.
+//
+// --check-prom additionally runs the scraped body through
+// obs::ValidatePrometheusText — cumulative bucket ordering, +Inf == _count —
+// and fails (exit 4) on the first malformed family. CI uses this to prove
+// the /metrics endpoint emits parseable Prometheus under live load.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "serve/net/admin.h"
+#include "util/status.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s HOST:PORT PATH [--check-prom]\n"
+               "  PATH is an admin-plane endpoint: /healthz /metrics /varz "
+               "/tracez /profilez\n"
+               "  --check-prom  validate the body as Prometheus text "
+               "(exit 4 when malformed)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string target;
+  std::string path;
+  bool check_prom = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-prom") == 0) {
+      check_prom = true;
+    } else if (target.empty()) {
+      target = argv[i];
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (target.empty() || path.empty() || path[0] != '/') return Usage(argv[0]);
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos) return Usage(argv[0]);
+  const std::string host = target.substr(0, colon);
+  const int port = std::atoi(target.c_str() + colon + 1);
+  if (host.empty() || port <= 0) return Usage(argv[0]);
+
+  int code = 0;
+  auto body = widen::serve::net::AdminHttpGet(host, port, path, &code);
+  if (!body.ok()) {
+    std::fprintf(stderr, "error: %s\n", body.status().ToString().c_str());
+    return 1;
+  }
+  std::fwrite(body->data(), 1, body->size(), stdout);
+  if (!body->empty() && body->back() != '\n') std::printf("\n");
+  if (check_prom) {
+    widen::Status valid = widen::obs::ValidatePrometheusText(*body);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "malformed Prometheus text: %s\n",
+                   valid.ToString().c_str());
+      return 4;
+    }
+    std::fprintf(stderr, "prometheus text OK (%zu bytes)\n", body->size());
+  }
+  return code == 200 ? 0 : 3;
+}
